@@ -1,0 +1,104 @@
+//! Array microbenchmarks: lookup, candidate-walk and install costs across
+//! array families, including the zcache candidate-count ablation
+//! (Z4/16 vs Z4/52 vs Z4/64).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vantage_cache::{CacheArray, LineAddr, RandomArray, SetAssocArray, SkewArray, Walk, ZArray};
+
+const FRAMES: usize = 32 * 1024;
+
+fn arrays() -> Vec<(&'static str, Box<dyn CacheArray>)> {
+    vec![
+        ("SA16", Box::new(SetAssocArray::hashed(FRAMES, 16, 1))),
+        ("SA64", Box::new(SetAssocArray::hashed(FRAMES, 64, 1))),
+        ("Skew4", Box::new(SkewArray::new(FRAMES, 4, 1))),
+        ("Z4/16", Box::new(ZArray::new(FRAMES, 4, 16, 1))),
+        ("Z4/52", Box::new(ZArray::new(FRAMES, 4, 52, 1))),
+        ("Z4/64", Box::new(ZArray::new(FRAMES, 4, 64, 1))),
+        ("Rand52", Box::new(RandomArray::new(FRAMES, 52, 1))),
+    ]
+}
+
+/// Fills an array to capacity through its own replacement process.
+fn fill(array: &mut dyn CacheArray, seed: u64) -> Vec<LineAddr> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut walk = Walk::new();
+    let mut moves = Vec::new();
+    let mut resident = Vec::new();
+    while array.occupancy() < array.num_frames() {
+        let addr = LineAddr(rng.gen::<u64>() >> 8);
+        if array.lookup(addr).is_some() {
+            continue;
+        }
+        array.walk(addr, &mut walk);
+        let v = walk.first_empty().unwrap_or(0);
+        moves.clear();
+        array.install(addr, &walk, v, &mut moves);
+        resident.push(addr);
+    }
+    resident
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("array_lookup_hit");
+    g.sample_size(20);
+    for (name, mut array) in arrays() {
+        let resident = fill(array.as_mut(), 7);
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                i = (i + 97) % resident.len();
+                std::hint::black_box(array.lookup(resident[i]))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("array_walk");
+    g.sample_size(20);
+    for (name, mut array) in arrays() {
+        fill(array.as_mut(), 9);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut walk = Walk::with_capacity(64);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                let addr = LineAddr(rng.gen::<u64>() >> 8);
+                array.walk(addr, &mut walk);
+                std::hint::black_box(walk.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_replace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("array_walk_and_install");
+    g.sample_size(20);
+    for (name, mut array) in arrays() {
+        fill(array.as_mut(), 13);
+        let mut rng = SmallRng::seed_from_u64(15);
+        let mut walk = Walk::with_capacity(64);
+        let mut moves = Vec::with_capacity(8);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                let addr = LineAddr(rng.gen::<u64>() >> 8);
+                if array.lookup(addr).is_some() {
+                    return;
+                }
+                array.walk(addr, &mut walk);
+                // Deepest candidate: worst-case relocation chain.
+                let v = walk.len() - 1;
+                moves.clear();
+                std::hint::black_box(array.install(addr, &walk, v, &mut moves));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_walk, bench_replace);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Controller and policy microbenchmarks: the hardware-path operations of
+//! the Vantage controller (demotion checks, candidate metering, threshold
+//! tables), the analytical model functions, and UCP's monitor/allocator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vantage::controller::{PartitionState, ThresholdTable};
+use vantage::model::{assoc, managed, sizing};
+use vantage_cache::{LineAddr, TsLru};
+use vantage_partitioning::TsHistogram;
+use vantage_ucp::{interpolate_curve, lookahead, Umon};
+
+fn bench_controller_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller");
+    g.sample_size(30);
+
+    g.bench_function("threshold_table_build", |b| {
+        b.iter(|| std::hint::black_box(ThresholdTable::new(10_000, 0.1, 0.5, 256, 8)))
+    });
+
+    let table = ThresholdTable::new(10_000, 0.1, 0.5, 256, 8);
+    let mut size = 9_900u64;
+    g.bench_function("threshold_table_lookup", |b| {
+        b.iter(|| {
+            size = 9_900 + (size + 17) % 1_200;
+            std::hint::black_box(table.threshold(size))
+        })
+    });
+
+    let mut st = PartitionState::new(10_000, 0.1, 0.5, 256, 8, 7);
+    st.actual = 10_400;
+    let mut ts = 0u8;
+    g.bench_function("demotion_check", |b| {
+        b.iter(|| {
+            ts = ts.wrapping_add(37);
+            std::hint::black_box(st.should_demote_ts(ts))
+        })
+    });
+
+    let mut flip = false;
+    g.bench_function("note_candidate", |b| {
+        b.iter(|| {
+            flip = !flip;
+            std::hint::black_box(st.note_candidate(flip, 256, 7))
+        })
+    });
+
+    let mut lru = TsLru::for_size(10_000);
+    g.bench_function("tslru_access", |b| b.iter(|| std::hint::black_box(lru.on_access())));
+
+    let mut hist = TsHistogram::new();
+    for i in 0..10_000u32 {
+        hist.add((i % 256) as u8);
+    }
+    let mut t = 0u8;
+    g.bench_function("histogram_rank", |b| {
+        b.iter(|| {
+            t = t.wrapping_add(7);
+            std::hint::black_box(hist.rank(t, 128))
+        })
+    });
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    g.sample_size(30);
+    g.bench_function("assoc_cdf", |b| b.iter(|| std::hint::black_box(assoc::cdf(0.93, 52))));
+    g.bench_function("eq2_one_demotion_cdf", |b| {
+        b.iter(|| std::hint::black_box(managed::one_demotion_cdf(0.9, 52, 0.15)))
+    });
+    g.bench_function("unmanaged_fraction", |b| {
+        b.iter(|| std::hint::black_box(sizing::unmanaged_fraction(52, 1e-3, 0.4, 0.1)))
+    });
+    g.finish();
+}
+
+fn bench_ucp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ucp");
+    g.sample_size(20);
+
+    let mut umon = Umon::new(16, 64, 2048, 3);
+    let mut i = 0u64;
+    g.bench_function("umon_access", |b| {
+        b.iter(|| {
+            i += 1;
+            umon.access(LineAddr(i % 50_000));
+        })
+    });
+
+    // Lookahead over 4 partitions at way granularity and 32 partitions at
+    // fine granularity (the paper's two operating points).
+    let curve: Vec<u64> = (0..=16u64).map(|w| 10_000u64.saturating_sub(w * 550)).collect();
+    let curves4: Vec<Vec<u64>> = (0..4).map(|_| curve.clone()).collect();
+    g.bench_function("lookahead_4x16", |b| {
+        b.iter(|| std::hint::black_box(lookahead(&curves4, 16, 1)))
+    });
+
+    let fine: Vec<Vec<u64>> = (0..32).map(|_| interpolate_curve(&curve, 256)).collect();
+    g.bench_function("lookahead_32x256", |b| {
+        b.iter(|| std::hint::black_box(lookahead(&fine, 256, 1)))
+    });
+
+    g.bench_function("interpolate_curve_256", |b| {
+        b.iter(|| std::hint::black_box(interpolate_curve(&curve, 256)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_controller_ops, bench_model, bench_ucp);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! One benchmark per paper table/figure: each runs a reduced-scale kernel
+//! of the corresponding experiment, keeping the full regeneration pipeline
+//! exercised under `cargo bench`. The paper-scale numbers come from the
+//! `vantage-experiments` binary (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vantage::model::{assoc, sizing};
+use vantage::{DemotionMode, VantageConfig};
+use vantage_bench::tiny_sim;
+use vantage_experiments::montecarlo::{
+    managed_demotion_cdf, zcache_eviction_cdf, DemotionPolicy,
+};
+use vantage_sim::{ArrayKind, BaselineRank, SchemeKind};
+
+const INSTR_4C: u64 = 60_000;
+const INSTR_32C: u64 = 15_000;
+
+fn sa16_lru() -> SchemeKind {
+    SchemeKind::Baseline { array: ArrayKind::SetAssoc { ways: 16 }, rank: BaselineRank::Lru }
+}
+
+fn bench_model_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_model");
+    g.sample_size(10);
+    g.bench_function("fig1_zcache_mc", |b| {
+        b.iter(|| std::hint::black_box(zcache_eviction_cdf(52, 2_000, 50, 1)))
+    });
+    g.bench_function("fig1_analytic_series", |b| {
+        b.iter(|| std::hint::black_box(assoc::series(64, 100)))
+    });
+    g.bench_function("fig2_managed_mc", |b| {
+        b.iter(|| {
+            std::hint::black_box(managed_demotion_cdf(
+                4096,
+                0.3,
+                16,
+                DemotionPolicy::Aperture(0.09),
+                5_000,
+                50,
+                2,
+            ))
+        })
+    });
+    g.bench_function("fig5_sizing_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=100 {
+                acc += sizing::unmanaged_fraction(52, 1e-2, i as f64 / 100.0, 0.1).min(1.0);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_throughput_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_throughput");
+    g.sample_size(10);
+    // Fig. 6a kernel: one 4-core mix under baseline + the three schemes.
+    g.bench_function("fig6a_kernel_baseline", |b| {
+        b.iter(|| std::hint::black_box(tiny_sim(&sa16_lru(), 4, INSTR_4C, 5)))
+    });
+    g.bench_function("fig6a_kernel_waypart", |b| {
+        b.iter(|| std::hint::black_box(tiny_sim(&SchemeKind::WayPart, 4, INSTR_4C, 5)))
+    });
+    g.bench_function("fig6a_kernel_pipp", |b| {
+        b.iter(|| std::hint::black_box(tiny_sim(&SchemeKind::Pipp, 4, INSTR_4C, 5)))
+    });
+    g.bench_function("fig6a_kernel_vantage", |b| {
+        b.iter(|| std::hint::black_box(tiny_sim(&SchemeKind::vantage_paper(), 4, INSTR_4C, 5)))
+    });
+    // Fig. 7 kernel: the 32-core configuration.
+    g.bench_function("fig7_kernel_vantage_32core", |b| {
+        b.iter(|| std::hint::black_box(tiny_sim(&SchemeKind::vantage_paper(), 32, INSTR_32C, 5)))
+    });
+    g.finish();
+}
+
+fn bench_sensitivity_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_sensitivity");
+    g.sample_size(10);
+    // Fig. 9 ablation: unmanaged-region size.
+    for u in [0.05, 0.30] {
+        let kind = SchemeKind::Vantage {
+            array: ArrayKind::Z4_52,
+            cfg: VantageConfig { unmanaged_fraction: u, ..VantageConfig::default() },
+            drrip: false,
+        };
+        g.bench_function(format!("fig9_kernel_u{:.0}pct", u * 100.0), |b| {
+            b.iter(|| std::hint::black_box(tiny_sim(&kind, 4, INSTR_4C, 6)))
+        });
+    }
+    // Fig. 10 ablation: array family under Vantage.
+    for (name, array, u) in [
+        ("z4_52", ArrayKind::Z4_52, 0.05),
+        ("sa16", ArrayKind::SetAssoc { ways: 16 }, 0.10),
+    ] {
+        let kind = SchemeKind::Vantage {
+            array,
+            cfg: VantageConfig { unmanaged_fraction: u, ..VantageConfig::default() },
+            drrip: false,
+        };
+        g.bench_function(format!("fig10_kernel_{name}"), |b| {
+            b.iter(|| std::hint::black_box(tiny_sim(&kind, 4, INSTR_4C, 7)))
+        });
+    }
+    // Fig. 11 kernel: RRIP baseline vs Vantage.
+    let tadrrip =
+        SchemeKind::Baseline { array: ArrayKind::Z4_52, rank: BaselineRank::TaDrrip };
+    g.bench_function("fig11_kernel_tadrrip", |b| {
+        b.iter(|| std::hint::black_box(tiny_sim(&tadrrip, 4, INSTR_4C, 8)))
+    });
+    // Model-check ablation: setpoint vs perfect-aperture demotions.
+    let ideal = SchemeKind::Vantage {
+        array: ArrayKind::Z4_52,
+        cfg: VantageConfig {
+            demotion_mode: DemotionMode::PerfectAperture,
+            ..VantageConfig::default()
+        },
+        drrip: false,
+    };
+    g.bench_function("modelcheck_kernel_perfect_aperture", |b| {
+        b.iter(|| std::hint::black_box(tiny_sim(&ideal, 4, INSTR_4C, 9)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model_figures, bench_throughput_figures, bench_sensitivity_figures);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Scheme microbenchmarks: per-access cost of each LLC under steady-state
+//! churn, plus the Vantage unmanaged-region-size ablation.
+//!
+//! The interesting comparison is Vantage vs the unpartitioned baseline on
+//! the same array: the difference is the cost of demotion checks and
+//! setpoint bookkeeping, which the paper argues is small (§4.3,
+//! "Implementation costs").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vantage::{VantageConfig, VantageLlc};
+use vantage_bench::{warm, AddrStream};
+use vantage_cache::{SetAssocArray, ZArray};
+use vantage_partitioning::{BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, WayPartLlc};
+
+const LINES: usize = 32 * 1024;
+const PARTS: usize = 4;
+
+fn schemes() -> Vec<(&'static str, Box<dyn Llc>)> {
+    let targets = vec![(LINES / PARTS) as u64; PARTS];
+    let mut out: Vec<(&'static str, Box<dyn Llc>)> = vec![
+        (
+            "Baseline-LRU-SA16",
+            Box::new(BaselineLlc::new(
+                Box::new(SetAssocArray::hashed(LINES, 16, 1)),
+                PARTS,
+                RankPolicy::Lru,
+            )),
+        ),
+        (
+            "Baseline-LRU-Z4/52",
+            Box::new(BaselineLlc::new(
+                Box::new(ZArray::new(LINES, 4, 52, 1)),
+                PARTS,
+                RankPolicy::Lru,
+            )),
+        ),
+        ("WayPart-SA16", Box::new(WayPartLlc::new(LINES, 16, PARTS, 1))),
+        ("PIPP-SA16", Box::new(PippLlc::new(LINES, 16, PARTS, PippConfig::default(), 1))),
+        (
+            "Vantage-Z4/52",
+            Box::new(VantageLlc::new(
+                Box::new(ZArray::new(LINES, 4, 52, 1)),
+                PARTS,
+                VantageConfig::default(),
+                1,
+            )),
+        ),
+        (
+            "Vantage-Z4/16",
+            Box::new(VantageLlc::new(
+                Box::new(ZArray::new(LINES, 4, 16, 1)),
+                PARTS,
+                VantageConfig { unmanaged_fraction: 0.10, ..VantageConfig::default() },
+                1,
+            )),
+        ),
+    ];
+    for (_, llc) in &mut out {
+        llc.set_targets(&targets);
+    }
+    out
+}
+
+fn bench_access_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("llc_access_churn");
+    g.sample_size(20);
+    for (name, mut llc) in schemes() {
+        // Working set 4x capacity: heavy miss traffic (replacement path).
+        let mut stream = AddrStream::new(4 * LINES as u64, 11);
+        warm(llc.as_mut(), PARTS, 2 * LINES as u64, &mut stream);
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(
+                    llc.access((i % PARTS as u64) as usize, stream.next_addr()),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_access_hits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("llc_access_hits");
+    g.sample_size(20);
+    for (name, mut llc) in schemes() {
+        // Working set fits: hit path cost.
+        let mut stream = AddrStream::new(LINES as u64 / 2, 13);
+        warm(llc.as_mut(), PARTS, 2 * LINES as u64, &mut stream);
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(
+                    llc.access((i % PARTS as u64) as usize, stream.next_addr()),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_repartition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("llc_set_targets");
+    g.sample_size(20);
+    for (name, mut llc) in schemes() {
+        let mut stream = AddrStream::new(2 * LINES as u64, 17);
+        warm(llc.as_mut(), PARTS, LINES as u64, &mut stream);
+        let a = vec![(LINES / PARTS) as u64; PARTS];
+        let mut b_targets = vec![
+            (LINES / 2) as u64,
+            (LINES / 4) as u64,
+            (LINES / 8) as u64,
+            (LINES / 8) as u64,
+        ];
+        let spare = LINES as u64 - b_targets.iter().sum::<u64>();
+        b_targets[0] += spare;
+        let mut flip = false;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                flip = !flip;
+                llc.set_targets(if flip { &b_targets } else { &a });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_access_churn, bench_access_hits, bench_repartition);
+criterion_main!(benches);

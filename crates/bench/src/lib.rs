@@ -1,0 +1,91 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches serve two purposes:
+//!
+//! * **Microbenchmarks** (`arrays`, `schemes`, `controller`): per-operation
+//!   costs of the substrate and of each partitioning scheme, quantifying the
+//!   paper's "simple to implement / low overhead" claims and the ablations
+//!   DESIGN.md calls out (candidate count, unmanaged-region size, array
+//!   family).
+//! * **Figure kernels** (`figures`): one benchmark per paper table/figure,
+//!   running a reduced-scale version of the corresponding experiment so the
+//!   full regeneration pipeline stays exercised under `cargo bench`
+//!   (the `vantage-experiments` binary produces the paper-scale outputs).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vantage_cache::LineAddr;
+use vantage_partitioning::Llc;
+use vantage_sim::{CmpSim, SchemeKind, SimResult, SystemConfig};
+use vantage_workloads::{mixes, Mix};
+
+/// A deterministic pseudo-random address stream with a bounded working set,
+/// for driving LLCs outside the full simulator.
+pub struct AddrStream {
+    rng: SmallRng,
+    working_set: u64,
+    base: u64,
+}
+
+impl AddrStream {
+    /// Creates a stream over `working_set` distinct lines.
+    pub fn new(working_set: u64, seed: u64) -> Self {
+        Self { rng: SmallRng::seed_from_u64(seed), working_set, base: seed << 40 }
+    }
+
+    /// The next line address.
+    #[inline]
+    pub fn next_addr(&mut self) -> LineAddr {
+        LineAddr(self.base + self.rng.gen_range(0..self.working_set))
+    }
+}
+
+/// Warms an LLC with `n` accesses from `parts` alternating partitions.
+pub fn warm(llc: &mut dyn Llc, parts: usize, n: u64, stream: &mut AddrStream) {
+    for i in 0..n {
+        llc.access((i % parts as u64) as usize, stream.next_addr());
+    }
+}
+
+/// Runs one mix under one scheme at a tiny scale (for figure kernels).
+pub fn tiny_sim(kind: &SchemeKind, cores: usize, instructions: u64, seed: u64) -> SimResult {
+    let mut sys = if cores <= 4 {
+        SystemConfig::small_scale()
+    } else {
+        SystemConfig::large_scale()
+    };
+    sys.cores = cores;
+    sys.instructions = instructions;
+    sys.seed = seed;
+    let mix: Mix = mixes(cores, 1, seed)[7].clone();
+    CmpSim::new(sys, kind, &mix).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage_sim::ArrayKind;
+
+    #[test]
+    fn addr_stream_bounded() {
+        let mut s = AddrStream::new(100, 3);
+        for _ in 0..1000 {
+            let a = s.next_addr();
+            assert!(a.0 >= 3 << 40 && a.0 < (3 << 40) + 100);
+        }
+    }
+
+    #[test]
+    fn tiny_sim_runs_all_scheme_kinds() {
+        for kind in [
+            SchemeKind::Baseline {
+                array: ArrayKind::SetAssoc { ways: 16 },
+                rank: vantage_sim::BaselineRank::Lru,
+            },
+            SchemeKind::vantage_paper(),
+        ] {
+            let r = tiny_sim(&kind, 4, 20_000, 1);
+            assert!(r.throughput > 0.0);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! H3 universal hash functions.
+//!
+//! The Vantage paper relies on cache arrays with *good hashing*: each way of
+//! a skew-associative cache or zcache is indexed with a different hash
+//! function drawn from the H3 family of universal hash functions
+//! (Carter & Wegman, 1977), and hashed set-associative caches use one such
+//! function for their single index.
+//!
+//! An H3 function maps an `n`-bit key to an `m`-bit index; output bit `i` is
+//! the parity of `key & q_i` for a random mask `q_i`. Equivalently (and much
+//! faster in software), the key is split into bytes and the output is the
+//! XOR of one 256-entry table lookup per byte; this is the classic
+//! tabulation-hashing implementation used here.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of input bytes hashed (line addresses fit in 64 bits).
+const INPUT_BYTES: usize = 8;
+
+/// A nonlinear 64-bit mixer (the splitmix64 finalizer).
+///
+/// H3 functions are GF(2)-linear, which is a *feature* for cache indexing
+/// (dense and strided address ranges map conflict-free) but a hazard for
+/// set *sampling*: a dense range can be rank-deficient in the sampled index
+/// bits, concentrating many lines onto few sampled sets. Components that
+/// need statistical uniformity rather than conflict-freedom (utility-monitor
+/// sampling, dueling-bucket selection) should mix with this instead.
+///
+/// # Example
+///
+/// ```
+/// use vantage_cache::hash::mix64;
+///
+/// assert_ne!(mix64(1), mix64(2));
+/// assert_eq!(mix64(42), mix64(42));
+/// ```
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Maps `key` uniformly into `0..buckets` using [`mix64`].
+///
+/// # Panics
+///
+/// Panics if `buckets` is zero.
+#[inline]
+pub fn mix_bucket(key: u64, seed: u64, buckets: u32) -> u32 {
+    assert!(buckets > 0, "bucket count must be non-zero");
+    ((u128::from(mix64(key ^ seed)) * u128::from(buckets)) >> 64) as u32
+}
+
+/// An H3 (tabulation) hash function from 64-bit line addresses to 32-bit
+/// indices.
+///
+/// Functions are drawn from the family with an explicit seed so that
+/// experiments are reproducible; two hashers built with the same seed are
+/// identical, and hashers with different seeds are independent draws.
+///
+/// # Example
+///
+/// ```
+/// use vantage_cache::H3Hasher;
+///
+/// let h = H3Hasher::new(12345);
+/// // Deterministic: same key, same hash.
+/// assert_eq!(h.hash(0xDEAD_BEEF), h.hash(0xDEAD_BEEF));
+/// // H3 is linear in GF(2): h(a ^ b) == h(a) ^ h(b) ^ h(0), and h(0) == 0.
+/// assert_eq!(h.hash(0), 0);
+/// ```
+#[derive(Clone)]
+pub struct H3Hasher {
+    tables: Box<[[u32; 256]; INPUT_BYTES]>,
+    seed: u64,
+}
+
+impl H3Hasher {
+    /// Draws a new hash function from the H3 family using `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut tables = Box::new([[0u32; 256]; INPUT_BYTES]);
+        for table in tables.iter_mut() {
+            // Random column masks, one per input bit of this byte. Entry v is
+            // the XOR of the masks of the bits set in v, which makes the
+            // whole function GF(2)-linear as H3 requires.
+            let mut masks = [0u32; 8];
+            for m in masks.iter_mut() {
+                *m = rng.gen();
+            }
+            for (v, entry) in table.iter_mut().enumerate() {
+                let mut acc = 0u32;
+                for (bit, m) in masks.iter().enumerate() {
+                    if v & (1 << bit) != 0 {
+                        acc ^= m;
+                    }
+                }
+                *entry = acc;
+            }
+        }
+        Self { tables, seed }
+    }
+
+    /// Hashes a 64-bit key to a 32-bit value.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u32 {
+        let bytes = key.to_le_bytes();
+        let mut acc = 0u32;
+        for (i, b) in bytes.iter().enumerate() {
+            acc ^= self.tables[i][*b as usize];
+        }
+        acc
+    }
+
+    /// Hashes `key` into the range `0..buckets`.
+    ///
+    /// `buckets` does not need to be a power of two; a fixed-point multiply
+    /// maps the 32-bit hash uniformly onto the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    #[inline]
+    pub fn bucket(&self, key: u64, buckets: u32) -> u32 {
+        assert!(buckets > 0, "bucket count must be non-zero");
+        ((u64::from(self.hash(key)) * u64::from(buckets)) >> 32) as u32
+    }
+
+    /// The seed this function was drawn with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl std::fmt::Debug for H3Hasher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("H3Hasher").field("seed", &self.seed).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = H3Hasher::new(7);
+        let b = H3Hasher::new(7);
+        for k in [0u64, 1, 42, u64::MAX, 0x1234_5678_9ABC_DEF0] {
+            assert_eq!(a.hash(k), b.hash(k));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = H3Hasher::new(1);
+        let b = H3Hasher::new(2);
+        // With 32-bit outputs, 16 collisions in a row is astronomically
+        // unlikely for independent draws.
+        let all_equal = (0..16u64).all(|k| a.hash(k) == b.hash(k));
+        assert!(!all_equal);
+    }
+
+    #[test]
+    fn gf2_linearity() {
+        let h = H3Hasher::new(99);
+        assert_eq!(h.hash(0), 0);
+        for (a, b) in [(3u64, 5u64), (0xFF00, 0x00FF), (u64::MAX, 12345)] {
+            assert_eq!(h.hash(a ^ b), h.hash(a) ^ h.hash(b));
+        }
+    }
+
+    #[test]
+    fn bucket_stays_in_range() {
+        let h = H3Hasher::new(3);
+        for buckets in [1u32, 2, 3, 64, 1000, 4096] {
+            for k in 0..1000u64 {
+                assert!(h.bucket(k * 0x9E37_79B9, buckets) < buckets);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_distribution_is_roughly_uniform() {
+        let h = H3Hasher::new(11);
+        let buckets = 64u32;
+        let samples = 64_000u64;
+        let mut counts = vec![0u64; buckets as usize];
+        for k in 0..samples {
+            counts[h.bucket(k, buckets) as usize] += 1;
+        }
+        let expected = samples / u64::from(buckets);
+        for &c in &counts {
+            // Loose 3-sigma-ish bound: each bucket within 20% of expected.
+            assert!(
+                c > expected * 8 / 10 && c < expected * 12 / 10,
+                "bucket count {c} too far from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count")]
+    fn zero_buckets_panics() {
+        H3Hasher::new(0).bucket(1, 0);
+    }
+}

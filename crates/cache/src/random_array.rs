@@ -1,0 +1,203 @@
+//! An idealized cache array returning truly uniform random candidates.
+//!
+//! The Vantage analysis assumes replacement candidates are independent and
+//! uniformly distributed over the cache's frames. Real zcaches are close to
+//! but not exactly this (paper §3.2); the paper validates its models by also
+//! simulating an "unrealistic cache design that gives truly independent and
+//! uniformly distributed candidates" (§6.2). [`RandomArray`] is that design:
+//! it is unbuildable in hardware (lines can live anywhere, so lookups need a
+//! full map) but is the exact embodiment of the analytical model.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::array::{CacheArray, Frame, LineAddr, Walk, WalkNode};
+
+/// An array whose replacement candidates are `R` uniformly random frames.
+///
+/// # Example
+///
+/// ```
+/// use vantage_cache::{CacheArray, LineAddr, RandomArray, Walk};
+///
+/// let mut a = RandomArray::new(1024, 16, 42);
+/// let mut walk = Walk::new();
+/// a.walk(LineAddr(3), &mut walk);
+/// // Cold array: the walk ends at the first empty frame it samples.
+/// assert_eq!(walk.len(), 1);
+/// assert!(walk.nodes[0].line.is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomArray {
+    lines: Vec<Option<LineAddr>>,
+    map: HashMap<LineAddr, Frame>,
+    candidates: usize,
+    rng: SmallRng,
+}
+
+impl RandomArray {
+    /// Creates an idealized array with `frames` frames yielding `candidates`
+    /// uniform random candidates per replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames == 0`, `candidates == 0`, or
+    /// `candidates > frames`.
+    pub fn new(frames: usize, candidates: usize, seed: u64) -> Self {
+        assert!(frames > 0, "frames must be non-zero");
+        assert!(candidates > 0 && candidates <= frames, "need 1..=frames candidates");
+        assert!(frames <= u32::MAX as usize, "frame count must fit in u32");
+        Self {
+            lines: vec![None; frames],
+            map: HashMap::with_capacity(frames),
+            candidates,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl CacheArray for RandomArray {
+    fn num_frames(&self) -> usize {
+        self.lines.len()
+    }
+
+    fn ways(&self) -> usize {
+        // Any frame is a legal home, so "ways" is not meaningful; report the
+        // candidate count so depth-0 semantics (install anywhere) hold.
+        self.candidates
+    }
+
+    fn candidates_per_walk(&self) -> usize {
+        self.candidates
+    }
+
+    fn lookup(&self, addr: LineAddr) -> Option<Frame> {
+        self.map.get(&addr).copied()
+    }
+
+    fn walk(&mut self, addr: LineAddr, walk: &mut Walk) {
+        debug_assert!(self.lookup(addr).is_none(), "walk for a resident line");
+        walk.clear();
+        let n = self.lines.len() as u32;
+        // Sample candidate frames without replacement (Floyd would be
+        // overkill: R << frames in all configurations, so rejection is fast).
+        while walk.nodes.len() < self.candidates {
+            let frame = self.rng.gen_range(0..n);
+            if walk.nodes.iter().any(|c| c.frame == frame) {
+                continue;
+            }
+            let line = self.lines[frame as usize];
+            walk.nodes.push(WalkNode { frame, line, parent: None });
+            if line.is_none() {
+                return; // empty frame: use it, as the real arrays do
+            }
+        }
+    }
+
+    fn install(
+        &mut self,
+        addr: LineAddr,
+        walk: &Walk,
+        victim: usize,
+        _moves: &mut Vec<(Frame, Frame)>,
+    ) -> Frame {
+        let node = walk.nodes[victim];
+        debug_assert_eq!(self.lines[node.frame as usize], node.line, "stale walk");
+        if let Some(old) = self.lines[node.frame as usize] {
+            self.map.remove(&old);
+        }
+        self.lines[node.frame as usize] = Some(addr);
+        self.map.insert(addr, node.frame);
+        node.frame
+    }
+
+    fn invalidate(&mut self, addr: LineAddr) -> Option<Frame> {
+        let frame = self.map.remove(&addr)?;
+        self.lines[frame as usize] = None;
+        Some(frame)
+    }
+
+    fn occupant(&self, frame: Frame) -> Option<LineAddr> {
+        self.lines[frame as usize]
+    }
+
+    fn occupancy(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_yield_distinct_frames() {
+        let mut a = RandomArray::new(256, 16, 1);
+        let mut walk = Walk::new();
+        // Fill so walks return full candidate lists.
+        let mut moves = Vec::new();
+        for i in 0..2048u64 {
+            let addr = LineAddr(i);
+            if a.lookup(addr).is_some() {
+                continue;
+            }
+            a.walk(addr, &mut walk);
+            a.install(addr, &walk, walk.first_empty().unwrap_or(0), &mut moves);
+        }
+        a.walk(LineAddr(99_999), &mut walk);
+        assert_eq!(walk.len(), 16);
+        let mut frames: Vec<Frame> = walk.nodes.iter().map(|n| n.frame).collect();
+        frames.sort_unstable();
+        frames.dedup();
+        assert_eq!(frames.len(), 16, "candidates must be distinct");
+    }
+
+    #[test]
+    fn eviction_updates_map() {
+        let mut a = RandomArray::new(8, 8, 2);
+        let mut walk = Walk::new();
+        let mut moves = Vec::new();
+        for i in 0..8u64 {
+            let addr = LineAddr(i);
+            a.walk(addr, &mut walk);
+            a.install(addr, &walk, walk.first_empty().expect("room"), &mut moves);
+        }
+        assert_eq!(a.occupancy(), 8);
+        let newcomer = LineAddr(100);
+        a.walk(newcomer, &mut walk);
+        let victim_line = walk.nodes[0].line.expect("full array");
+        a.install(newcomer, &walk, 0, &mut moves);
+        assert_eq!(a.lookup(victim_line), None);
+        assert!(a.lookup(newcomer).is_some());
+        assert_eq!(a.occupancy(), 8);
+    }
+
+    #[test]
+    fn candidates_cover_frames_uniformly() {
+        let mut a = RandomArray::new(64, 4, 3);
+        // Fill completely.
+        let mut walk = Walk::new();
+        let mut moves = Vec::new();
+        for i in 0..640u64 {
+            let addr = LineAddr(i);
+            if a.lookup(addr).is_some() {
+                continue;
+            }
+            a.walk(addr, &mut walk);
+            a.install(addr, &walk, walk.first_empty().unwrap_or(0), &mut moves);
+        }
+        let mut counts = vec![0u32; 64];
+        for t in 0..8000u64 {
+            a.walk(LineAddr(1_000_000 + t), &mut walk);
+            for n in &walk.nodes {
+                counts[n.frame as usize] += 1;
+            }
+        }
+        let expected = 8000 * 4 / 64; // 500 per frame
+        for &c in &counts {
+            assert!(c > expected * 7 / 10 && c < expected * 13 / 10, "count {c} vs {expected}");
+        }
+    }
+}

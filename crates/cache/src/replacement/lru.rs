@@ -1,0 +1,147 @@
+//! Coarse-grained timestamp LRU.
+//!
+//! Each line is tagged with an 8-bit timestamp; a domain (the whole cache,
+//! or one Vantage partition) keeps a *current timestamp* register that is
+//! incremented once every `period` accesses (the paper uses
+//! `period = size/16`, making wrap-arounds rare). A line's eviction rank is
+//! its age, `(current - tag) mod 256`: older lines rank higher.
+
+/// Timestamp counter logic for one coarse-timestamp-LRU domain.
+///
+/// The Vantage controller instantiates one of these per partition (plus one
+/// for the unmanaged region); an unpartitioned LRU cache uses a single
+/// global instance.
+///
+/// # Example
+///
+/// ```
+/// use vantage_cache::TsLru;
+///
+/// let mut lru = TsLru::new(4); // timestamp advances every 4 accesses
+/// let tag = lru.current();
+/// for _ in 0..8 {
+///     lru.on_access();
+/// }
+/// assert_eq!(lru.age(tag), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TsLru {
+    current: u8,
+    counter: u32,
+    period: u32,
+}
+
+impl TsLru {
+    /// Creates a domain whose timestamp advances every `period` accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u32) -> Self {
+        assert!(period > 0, "period must be non-zero");
+        Self { current: 0, counter: 0, period }
+    }
+
+    /// Creates a domain sized for `lines` lines, using the paper's
+    /// `period = max(lines/16, 1)` rule.
+    pub fn for_size(lines: u64) -> Self {
+        Self::new(((lines / 16).max(1)).min(u32::MAX as u64) as u32)
+    }
+
+    /// The current timestamp, used to tag accessed lines.
+    #[inline]
+    pub fn current(&self) -> u8 {
+        self.current
+    }
+
+    /// Updates the period (e.g. when a Vantage partition's actual size
+    /// changes). Takes effect on the next access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn set_period(&mut self, period: u32) {
+        assert!(period > 0, "period must be non-zero");
+        self.period = period;
+    }
+
+    /// Re-derives the period from a line count, per the `size/16` rule.
+    pub fn set_period_for_size(&mut self, lines: u64) {
+        self.set_period(((lines / 16).max(1)).min(u32::MAX as u64) as u32);
+    }
+
+    /// Records one access; returns `true` if the current timestamp advanced
+    /// (Vantage advances the setpoint timestamp in lockstep when this
+    /// happens).
+    #[inline]
+    pub fn on_access(&mut self) -> bool {
+        self.counter += 1;
+        if self.counter >= self.period {
+            self.counter = 0;
+            self.current = self.current.wrapping_add(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The age of a line tagged `ts`, in timestamp units (modulo-256
+    /// arithmetic). Older lines have larger ages and rank higher for
+    /// eviction.
+    #[inline]
+    pub fn age(&self, ts: u8) -> u8 {
+        self.current.wrapping_sub(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_every_period() {
+        let mut lru = TsLru::new(3);
+        assert_eq!(lru.current(), 0);
+        assert!(!lru.on_access());
+        assert!(!lru.on_access());
+        assert!(lru.on_access());
+        assert_eq!(lru.current(), 1);
+    }
+
+    #[test]
+    fn age_uses_modulo_arithmetic() {
+        let mut lru = TsLru::new(1);
+        for _ in 0..255 {
+            lru.on_access();
+        }
+        assert_eq!(lru.current(), 255);
+        assert_eq!(lru.age(250), 5);
+        lru.on_access(); // wraps to 0
+        assert_eq!(lru.current(), 0);
+        assert_eq!(lru.age(250), 6);
+        assert_eq!(lru.age(0), 0);
+    }
+
+    #[test]
+    fn for_size_uses_sixteenth_rule() {
+        let lru = TsLru::for_size(1600);
+        // period = 1600/16 = 100: the 100th access advances.
+        let mut lru2 = lru.clone();
+        for i in 1..=100u32 {
+            let advanced = lru2.on_access();
+            assert_eq!(advanced, i == 100);
+        }
+    }
+
+    #[test]
+    fn tiny_domains_get_period_one() {
+        let mut lru = TsLru::for_size(3);
+        assert!(lru.on_access(), "period clamps to 1 for tiny sizes");
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        TsLru::new(0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Replacement policy building blocks.
+//!
+//! Skew-associative caches and zcaches break the concept of a set, so they
+//! cannot use policies that rely on per-set ordering (true LRU chains).
+//! Instead, policies assign each line a small amount of per-line state that
+//! induces a *global rank*; on a replacement the controller evicts the
+//! candidate with the best rank (highest eviction priority).
+//!
+//! * [`lru::TsLru`] — coarse-grained timestamp LRU: an 8-bit timestamp per
+//!   line, a domain-wide current timestamp advanced every
+//!   `size/16` accesses, rank = age in timestamp units (paper §4.2).
+//! * [`rrip::RripPolicy`] — the RRIP family (Jaleel et al., ISCA 2010):
+//!   SRRIP, BRRIP, DRRIP with set dueling and thread-aware TA-DRRIP,
+//!   adapted to candidate-based arrays (paper §6.2, Fig. 11).
+
+pub mod lru;
+pub mod rrip;

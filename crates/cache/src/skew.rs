@@ -1,0 +1,177 @@
+//! Skew-associative cache arrays (Seznec, ISCA 1993).
+//!
+//! Each way is indexed with a *different* H3 hash function, which spreads
+//! conflicts: two lines that collide in one way almost surely do not collide
+//! in the others. The candidate set on a replacement is one frame per way,
+//! which for well-hashed ways is statistically close to a uniform random
+//! sample of `W` lines — the property Vantage's analysis builds on.
+
+use crate::array::{debug_check_walk, CacheArray, Frame, LineAddr, Walk, WalkNode};
+use crate::hash::H3Hasher;
+
+/// A skew-associative array: `ways` banks of `frames/ways` frames, each bank
+/// indexed by its own hash function.
+///
+/// # Example
+///
+/// ```
+/// use vantage_cache::{CacheArray, LineAddr, SkewArray, Walk};
+///
+/// let mut a = SkewArray::new(4096, 4, 11);
+/// let mut walk = Walk::new();
+/// a.walk(LineAddr(99), &mut walk);
+/// assert!(walk.len() <= 4); // one candidate per way, deduplicated
+/// ```
+#[derive(Clone, Debug)]
+pub struct SkewArray {
+    lines: Vec<Option<LineAddr>>,
+    hashers: Vec<H3Hasher>,
+    bank_size: u32,
+    occupancy: usize,
+}
+
+impl SkewArray {
+    /// Creates a skew-associative array with `ways` hash functions derived
+    /// from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is not a positive multiple of `ways`.
+    pub fn new(frames: usize, ways: usize, seed: u64) -> Self {
+        assert!(ways > 0, "ways must be non-zero");
+        assert!(frames > 0 && frames % ways == 0, "frames must be a positive multiple of ways");
+        assert!(frames <= u32::MAX as usize, "frame count must fit in u32");
+        let hashers = (0..ways).map(|w| H3Hasher::new(seed.wrapping_add(w as u64 * 0x5851_F42D))).collect();
+        Self {
+            lines: vec![None; frames],
+            hashers,
+            bank_size: (frames / ways) as u32,
+            occupancy: 0,
+        }
+    }
+
+    /// The frame address `addr` maps to in way `way`.
+    #[inline]
+    pub(crate) fn frame_in_way(&self, addr: LineAddr, way: usize) -> Frame {
+        way as u32 * self.bank_size + self.hashers[way].bucket(addr.0, self.bank_size)
+    }
+}
+
+impl CacheArray for SkewArray {
+    fn num_frames(&self) -> usize {
+        self.lines.len()
+    }
+
+    fn ways(&self) -> usize {
+        self.hashers.len()
+    }
+
+    fn candidates_per_walk(&self) -> usize {
+        self.hashers.len()
+    }
+
+    fn lookup(&self, addr: LineAddr) -> Option<Frame> {
+        (0..self.hashers.len())
+            .map(|w| self.frame_in_way(addr, w))
+            .find(|&f| self.lines[f as usize] == Some(addr))
+    }
+
+    fn walk(&mut self, addr: LineAddr, walk: &mut Walk) {
+        walk.clear();
+        for w in 0..self.hashers.len() {
+            let frame = self.frame_in_way(addr, w);
+            // Different ways index disjoint banks, so frames never collide
+            // across ways; no dedup needed.
+            walk.nodes.push(WalkNode { frame, line: self.lines[frame as usize], parent: None });
+        }
+        debug_check_walk(walk, self.hashers.len());
+    }
+
+    fn install(
+        &mut self,
+        addr: LineAddr,
+        walk: &Walk,
+        victim: usize,
+        _moves: &mut Vec<(Frame, Frame)>,
+    ) -> Frame {
+        let node = walk.nodes[victim];
+        debug_assert_eq!(self.lines[node.frame as usize], node.line, "stale walk");
+        if self.lines[node.frame as usize].is_none() {
+            self.occupancy += 1;
+        }
+        self.lines[node.frame as usize] = Some(addr);
+        node.frame
+    }
+
+    fn invalidate(&mut self, addr: LineAddr) -> Option<Frame> {
+        let frame = self.lookup(addr)?;
+        self.lines[frame as usize] = None;
+        self.occupancy -= 1;
+        Some(frame)
+    }
+
+    fn occupant(&self, frame: Frame) -> Option<LineAddr> {
+        self.lines[frame as usize]
+    }
+
+    fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_come_from_distinct_banks() {
+        let mut a = SkewArray::new(1024, 4, 1);
+        let mut walk = Walk::new();
+        a.walk(LineAddr(123), &mut walk);
+        assert_eq!(walk.len(), 4);
+        let banks: Vec<u32> = walk.nodes.iter().map(|n| n.frame / 256).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn install_lookup_roundtrip() {
+        let mut a = SkewArray::new(256, 4, 2);
+        let mut walk = Walk::new();
+        let mut moves = Vec::new();
+        for i in 0..32u64 {
+            let addr = LineAddr(i * 17);
+            a.walk(addr, &mut walk);
+            let slot = walk.first_empty().unwrap_or(0);
+            a.install(addr, &walk, slot, &mut moves);
+            assert!(a.lookup(addr).is_some());
+        }
+        assert!(a.occupancy() >= 24, "most installs should have found room");
+    }
+
+    #[test]
+    fn conflicting_lines_spread_across_ways() {
+        // Lines that collide in way 0 should mostly not collide in way 1.
+        let a = SkewArray::new(4096, 2, 3);
+        let target = a.frame_in_way(LineAddr(0), 0);
+        let colliders: Vec<LineAddr> =
+            (1..100_000u64).map(LineAddr).filter(|&x| a.frame_in_way(x, 0) == target).collect();
+        assert!(colliders.len() > 5, "need some way-0 colliders to test");
+        let mut way1 = std::collections::HashSet::new();
+        for &c in &colliders {
+            way1.insert(a.frame_in_way(c, 1));
+        }
+        assert!(way1.len() > colliders.len() / 2, "way-1 frames should be diverse");
+    }
+
+    #[test]
+    fn invalidate_then_miss() {
+        let mut a = SkewArray::new(64, 4, 4);
+        let mut walk = Walk::new();
+        let mut moves = Vec::new();
+        let addr = LineAddr(5);
+        a.walk(addr, &mut walk);
+        a.install(addr, &walk, 0, &mut moves);
+        assert!(a.invalidate(addr).is_some());
+        assert_eq!(a.lookup(addr), None);
+    }
+}

@@ -1,0 +1,377 @@
+//! ZCache arrays (Sanchez & Kozyrakis, MICRO 2010).
+//!
+//! A zcache is a skew-associative cache whose replacement process walks the
+//! hash positions of the lines it finds, obtaining an arbitrarily large
+//! number of replacement candidates `R` with a small number of ways `W`:
+//! depth 0 yields `W` candidates (the incoming line's own positions), depth 1
+//! yields up to `W·(W-1)` more (each depth-0 line's alternative positions),
+//! and so on. A Z4/52 cache is a 4-way zcache walking
+//! `4 + 12 + 36 = 52` candidates.
+//!
+//! Evicting a candidate at depth `d` requires relocating `d` lines: the
+//! victim's frame is filled by its parent's line, whose frame is filled by
+//! the grandparent's line, until a depth-0 frame — one of the incoming
+//! line's own hash positions — is freed. Because the candidates of a
+//! well-hashed zcache are statistically close to a uniform random sample of
+//! the cache's lines, the associativity distribution follows
+//! `FA(x) = x^R` regardless of workload, which is the property Vantage's
+//! analytical models are built on (paper §3.2).
+
+use crate::array::{debug_check_walk, CacheArray, Frame, LineAddr, Walk, WalkNode};
+use crate::hash::H3Hasher;
+
+/// A zcache array: `ways` hashed banks with a multi-level candidate walk.
+///
+/// # Example
+///
+/// A Z4/52 configuration as used throughout the paper's evaluation:
+///
+/// ```
+/// use vantage_cache::{CacheArray, LineAddr, Walk, ZArray};
+///
+/// let mut a = ZArray::new(32 * 1024, 4, 52, 0xFEED);
+/// assert_eq!(a.candidates_per_walk(), 52);
+/// let mut walk = Walk::new();
+/// a.walk(LineAddr(7), &mut walk);
+/// assert!(walk.len() >= 1); // empty frames terminate the walk early
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZArray {
+    lines: Vec<Option<LineAddr>>,
+    hashers: Vec<H3Hasher>,
+    bank_size: u32,
+    max_candidates: usize,
+    occupancy: usize,
+    /// Frame-dedup scratch: `seen[f] == epoch` means frame `f` is already in
+    /// the current walk. Epoch-stamping avoids clearing per walk.
+    seen: Vec<u32>,
+    epoch: u32,
+}
+
+impl ZArray {
+    /// Creates a zcache with `ways` hash functions (derived from `seed`)
+    /// that gathers up to `max_candidates` replacement candidates per walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is not a positive multiple of `ways`, if
+    /// `max_candidates < ways`, or if `ways < 2` (a 1-way zcache cannot
+    /// expand its walk).
+    pub fn new(frames: usize, ways: usize, max_candidates: usize, seed: u64) -> Self {
+        assert!(ways >= 2, "a zcache needs at least 2 ways");
+        assert!(frames > 0 && frames % ways == 0, "frames must be a positive multiple of ways");
+        assert!(frames <= u32::MAX as usize, "frame count must fit in u32");
+        assert!(max_candidates >= ways, "max_candidates must be at least the way count");
+        let hashers =
+            (0..ways).map(|w| H3Hasher::new(seed.wrapping_add(w as u64 * 0x9E37_79B9))).collect();
+        Self {
+            lines: vec![None; frames],
+            hashers,
+            bank_size: (frames / ways) as u32,
+            max_candidates,
+            occupancy: 0,
+            seen: vec![0; frames],
+            epoch: 0,
+        }
+    }
+
+    /// The frame `addr` maps to in `way`.
+    #[inline]
+    fn frame_in_way(&self, addr: LineAddr, way: usize) -> Frame {
+        way as u32 * self.bank_size + self.hashers[way].bucket(addr.0, self.bank_size)
+    }
+
+    /// The way a frame belongs to.
+    #[inline]
+    fn way_of(&self, frame: Frame) -> usize {
+        (frame / self.bank_size) as usize
+    }
+}
+
+impl CacheArray for ZArray {
+    fn num_frames(&self) -> usize {
+        self.lines.len()
+    }
+
+    fn ways(&self) -> usize {
+        self.hashers.len()
+    }
+
+    fn candidates_per_walk(&self) -> usize {
+        self.max_candidates
+    }
+
+    fn lookup(&self, addr: LineAddr) -> Option<Frame> {
+        (0..self.hashers.len())
+            .map(|w| self.frame_in_way(addr, w))
+            .find(|&f| self.lines[f as usize] == Some(addr))
+    }
+
+    fn walk(&mut self, addr: LineAddr, walk: &mut Walk) {
+        walk.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: reset stamps so stale epochs cannot match.
+            self.seen.fill(0);
+            self.epoch = 1;
+        }
+        let ways = self.hashers.len();
+
+        // Depth 0: the incoming line's own positions (distinct banks, so no
+        // dedup needed among them). An empty frame ends the walk early — the
+        // replacement process would use it directly.
+        for w in 0..ways {
+            let frame = self.frame_in_way(addr, w);
+            self.seen[frame as usize] = self.epoch;
+            let line = self.lines[frame as usize];
+            walk.nodes.push(WalkNode { frame, line, parent: None });
+            if line.is_none() {
+                return;
+            }
+        }
+
+        // BFS expansion: each occupied node contributes its line's
+        // alternative positions in the other ways.
+        let mut cursor = 0;
+        while walk.nodes.len() < self.max_candidates && cursor < walk.nodes.len() {
+            let parent = walk.nodes[cursor];
+            let line = match parent.line {
+                Some(l) => l,
+                None => break, // unreachable: empty nodes end the walk below
+            };
+            let parent_way = self.way_of(parent.frame);
+            for w in 0..ways {
+                if w == parent_way {
+                    continue;
+                }
+                let frame = self.frame_in_way(line, w);
+                if self.seen[frame as usize] == self.epoch {
+                    continue; // duplicate frame, already a candidate
+                }
+                self.seen[frame as usize] = self.epoch;
+                let occupant = self.lines[frame as usize];
+                walk.nodes.push(WalkNode {
+                    frame,
+                    line: occupant,
+                    parent: Some(cursor as u32),
+                });
+                if occupant.is_none() || walk.nodes.len() == self.max_candidates {
+                    debug_check_walk(walk, ways);
+                    return;
+                }
+            }
+            cursor += 1;
+        }
+        debug_check_walk(walk, ways);
+    }
+
+    fn install(
+        &mut self,
+        addr: LineAddr,
+        walk: &Walk,
+        victim: usize,
+        moves: &mut Vec<(Frame, Frame)>,
+    ) -> Frame {
+        // Collect the parent chain from the victim up to a depth-0 node.
+        let mut chain: Vec<usize> = vec![victim];
+        while let Some(p) = walk.nodes[*chain.last().expect("chain non-empty")].parent {
+            chain.push(p as usize);
+        }
+
+        let victim_node = walk.nodes[victim];
+        debug_assert_eq!(
+            self.lines[victim_node.frame as usize], victim_node.line,
+            "stale walk passed to install"
+        );
+        if victim_node.line.is_none() {
+            self.occupancy += 1;
+        }
+
+        // Relocate along the chain: each node's frame receives its parent's
+        // line, freeing the depth-0 frame for the incoming line. The victim
+        // end moves first, so every destination frame has just been vacated.
+        for k in 0..chain.len() - 1 {
+            let to = walk.nodes[chain[k]].frame;
+            let from = walk.nodes[chain[k + 1]].frame;
+            self.lines[to as usize] = self.lines[from as usize];
+            moves.push((from, to));
+        }
+
+        let root = walk.nodes[*chain.last().expect("chain non-empty")].frame;
+        self.lines[root as usize] = Some(addr);
+        root
+    }
+
+    fn invalidate(&mut self, addr: LineAddr) -> Option<Frame> {
+        let frame = self.lookup(addr)?;
+        self.lines[frame as usize] = None;
+        self.occupancy -= 1;
+        Some(frame)
+    }
+
+    fn occupant(&self, frame: Frame) -> Option<LineAddr> {
+        self.lines[frame as usize]
+    }
+
+    fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Checks the placement invariant: every line sits in one of the frames
+    /// its hash functions map it to.
+    fn check_placement(a: &ZArray) {
+        for (f, line) in a.lines.iter().enumerate() {
+            if let Some(addr) = line {
+                let ok = (0..a.ways()).any(|w| a.frame_in_way(*addr, w) == f as Frame);
+                assert!(ok, "line {addr} at frame {f} violates placement invariant");
+            }
+        }
+    }
+
+    /// Fills the array via its own replacement process.
+    fn fill(a: &mut ZArray, n: u64, rng: &mut SmallRng) {
+        let mut walk = Walk::new();
+        let mut moves = Vec::new();
+        for _ in 0..n {
+            let addr = LineAddr(rng.gen::<u64>() >> 4);
+            if a.lookup(addr).is_some() {
+                continue;
+            }
+            a.walk(addr, &mut walk);
+            let victim = walk.first_empty().unwrap_or_else(|| rng.gen_range(0..walk.len()));
+            a.install(addr, &walk, victim, &mut moves);
+            moves.clear();
+        }
+    }
+
+    #[test]
+    fn z4_52_walk_reaches_52_candidates_when_full() {
+        let mut a = ZArray::new(4096, 4, 52, 7);
+        let mut rng = SmallRng::seed_from_u64(1);
+        fill(&mut a, 40_000, &mut rng);
+        assert_eq!(a.occupancy(), 4096, "array should be full");
+        let mut walk = Walk::new();
+        let mut total = 0usize;
+        let trials = 200;
+        for i in 0..trials {
+            a.walk(LineAddr(0xABCD_0000 + i), &mut walk);
+            total += walk.len();
+            assert!(walk.len() <= 52);
+        }
+        // Hash collisions occasionally dedup a candidate, but the average
+        // walk on a full array must be close to the nominal 52.
+        assert!(total as f64 / trials as f64 > 50.0, "avg walk {}", total as f64 / trials as f64);
+    }
+
+    #[test]
+    fn walk_levels_have_expected_structure() {
+        let mut a = ZArray::new(4096, 4, 52, 8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        fill(&mut a, 40_000, &mut rng);
+        let mut walk = Walk::new();
+        a.walk(LineAddr(0x1234_5678), &mut walk);
+        // Depth of each node via parent chain.
+        let mut depth = vec![0usize; walk.len()];
+        for (i, n) in walk.nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                depth[i] = depth[p as usize] + 1;
+            }
+        }
+        assert_eq!(depth.iter().filter(|&&d| d == 0).count(), 4);
+        assert!(depth.iter().filter(|&&d| d == 1).count() <= 12);
+        assert!(depth.iter().all(|&d| d <= 2), "Z4/52 walks at most 3 levels");
+    }
+
+    #[test]
+    fn relocations_preserve_placement_invariant() {
+        let mut a = ZArray::new(1024, 4, 52, 9);
+        let mut rng = SmallRng::seed_from_u64(3);
+        fill(&mut a, 20_000, &mut rng);
+        check_placement(&a);
+    }
+
+    #[test]
+    fn deep_eviction_reports_moves_and_keeps_lines_findable() {
+        let mut a = ZArray::new(1024, 4, 52, 10);
+        let mut rng = SmallRng::seed_from_u64(4);
+        fill(&mut a, 10_000, &mut rng);
+        let mut walk = Walk::new();
+        let mut moves = Vec::new();
+        let addr = LineAddr(0xBEEF_0001);
+        a.walk(addr, &mut walk);
+        // Pick the deepest candidate.
+        let mut depth = vec![0usize; walk.len()];
+        for (i, n) in walk.nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                depth[i] = depth[p as usize] + 1;
+            }
+        }
+        let (victim, &d) = depth.iter().enumerate().max_by_key(|(_, &d)| d).unwrap();
+        let displaced: Vec<LineAddr> = {
+            // The victim's ancestors' lines will be relocated; they must all
+            // remain findable afterwards.
+            let mut v = Vec::new();
+            let mut i = victim;
+            while let Some(p) = walk.nodes[i].parent {
+                v.push(walk.nodes[p as usize].line.unwrap());
+                i = p as usize;
+            }
+            v
+        };
+        a.install(addr, &walk, victim, &mut moves);
+        assert_eq!(moves.len(), d, "evicting at depth d takes d moves");
+        assert!(a.lookup(addr).is_some());
+        for l in displaced {
+            assert!(a.lookup(l).is_some(), "relocated line {l} lost");
+        }
+        check_placement(&a);
+    }
+
+    #[test]
+    fn empty_frame_terminates_walk() {
+        let mut a = ZArray::new(1024, 4, 52, 11);
+        let mut walk = Walk::new();
+        a.walk(LineAddr(1), &mut walk);
+        // Cold array: the very first candidate is empty.
+        assert_eq!(walk.len(), 1);
+        assert!(walk.nodes[0].line.is_none());
+    }
+
+    #[test]
+    fn occupancy_tracks_installs_and_evictions() {
+        let mut a = ZArray::new(64, 4, 16, 12);
+        let mut walk = Walk::new();
+        let mut moves = Vec::new();
+        for i in 0..64u64 {
+            let addr = LineAddr(i);
+            a.walk(addr, &mut walk);
+            let v = walk.first_empty().unwrap_or(0);
+            a.install(addr, &walk, v, &mut moves);
+            moves.clear();
+        }
+        let occ = a.occupancy();
+        // Now every install on a full array must keep occupancy constant.
+        for i in 64..96u64 {
+            let addr = LineAddr(i);
+            a.walk(addr, &mut walk);
+            let v = walk.first_empty().unwrap_or(walk.len() - 1);
+            a.install(addr, &walk, v, &mut moves);
+            moves.clear();
+        }
+        assert!(a.occupancy() >= occ);
+        assert!(a.occupancy() <= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ways")]
+    fn one_way_zcache_rejected() {
+        ZArray::new(64, 1, 4, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Vantage configuration.
+
+use crate::model::sizing;
+
+/// How demotion decisions are made on each replacement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemotionMode {
+    /// The practical controller (§4.2): a per-partition setpoint timestamp,
+    /// adjusted every `cands_period` candidates against the demotion
+    /// thresholds lookup table. This is real-hardware Vantage.
+    Setpoint,
+    /// The idealized controller the paper uses to validate its models
+    /// (§6.2): feedback-based apertures (Eq. 7) applied with perfect
+    /// knowledge of every candidate's eviction priority.
+    PerfectAperture,
+    /// The strawman of Fig. 2b: demote *exactly one* line per eviction —
+    /// the oldest candidate among over-target partitions — instead of
+    /// demoting on average. Sizes still hold, but demotions hit much
+    /// younger lines (worse associativity); implemented as an ablation.
+    ExactlyOne,
+}
+
+/// The base replacement policy ranking lines within partitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankMode {
+    /// Coarse-timestamp LRU with 8-bit per-partition timestamps (§4.2).
+    Lru,
+    /// RRIP re-reference prediction values; the per-partition setpoint
+    /// becomes a setpoint RRPV (§6.2, "Vantage-DRRIP"). `bits` is the RRPV
+    /// width (the paper uses 3).
+    Rrip {
+        /// RRPV width in bits.
+        bits: u8,
+    },
+}
+
+/// Configuration of a [`VantageLlc`](crate::VantageLlc).
+///
+/// The defaults are the configuration used for all of the paper's
+/// throughput results (§6.1): `u = 5%`, `A_max = 0.5`, `slack = 10%`,
+/// LRU ranking, setpoint-based demotions with `c = 256` candidates, and an
+/// 8-entry demotion thresholds table.
+#[derive(Clone, Debug)]
+pub struct VantageConfig {
+    /// Fraction of the cache kept unmanaged (`u`).
+    pub unmanaged_fraction: f64,
+    /// Maximum aperture (`A_max`).
+    pub a_max: f64,
+    /// Feedback slack: apertures ramp from 0 to `A_max` as a partition grows
+    /// from its target to `(1 + slack)` times it (Eq. 7).
+    pub slack: f64,
+    /// Demotion decision mechanism.
+    pub demotion_mode: DemotionMode,
+    /// Base replacement policy.
+    pub rank: RankMode,
+    /// Entries in the demotion thresholds lookup table.
+    pub table_entries: usize,
+    /// Candidates seen from a partition between setpoint adjustments (`c`).
+    pub cands_period: u32,
+    /// Churn throttling (§3.4, stability option 2): when a partition's
+    /// aperture is saturated at `A_max`, insert its incoming lines directly
+    /// into the unmanaged region instead of letting it outgrow its target.
+    /// The paper's chosen design leaves this off (partitions borrow from
+    /// the unmanaged region up to their minimum stable sizes); enabling it
+    /// trades some hit rate in high-churn partitions for tighter sizing.
+    pub churn_throttling: bool,
+}
+
+impl Default for VantageConfig {
+    fn default() -> Self {
+        Self {
+            unmanaged_fraction: 0.05,
+            a_max: 0.5,
+            slack: 0.1,
+            demotion_mode: DemotionMode::Setpoint,
+            rank: RankMode::Lru,
+            table_entries: 8,
+            cands_period: 256,
+            churn_throttling: false,
+        }
+    }
+}
+
+impl VantageConfig {
+    /// Derives a configuration from isolation requirements using the §4.3
+    /// sizing rule: given the array's candidate count `r` and a worst-case
+    /// managed-eviction probability `p_ev`, computes the unmanaged fraction
+    /// analytically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are outside their domains (see
+    /// [`sizing::unmanaged_fraction`]) or would leave no managed space.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vantage::VantageConfig;
+    ///
+    /// // Strong isolation on a Z4/52: ~21% unmanaged (paper §4.3).
+    /// let cfg = VantageConfig::for_guarantees(52, 1e-4, 0.4, 0.1);
+    /// assert!(cfg.unmanaged_fraction > 0.19 && cfg.unmanaged_fraction < 0.23);
+    /// ```
+    pub fn for_guarantees(r: u32, p_ev: f64, a_max: f64, slack: f64) -> Self {
+        let u = sizing::unmanaged_fraction(r, p_ev, a_max, slack);
+        assert!(u < 1.0, "requirements leave no managed space (u = {u})");
+        Self { unmanaged_fraction: u, a_max, slack, ..Self::default() }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if any field is out of range.
+    pub fn validate(&self) {
+        assert!(
+            self.unmanaged_fraction > 0.0 && self.unmanaged_fraction < 1.0,
+            "unmanaged fraction must be in (0, 1)"
+        );
+        assert!(self.a_max > 0.0 && self.a_max <= 1.0, "A_max must be in (0, 1]");
+        assert!(self.slack > 0.0, "slack must be positive");
+        assert!(self.table_entries >= 1 && self.table_entries <= 64, "1..=64 table entries");
+        assert!(self.cands_period >= 8, "candidate period too small to meter");
+        if let RankMode::Rrip { bits } = self.rank {
+            assert!((1..=7).contains(&bits), "RRPV width must be 1..=7");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_evaluation() {
+        let c = VantageConfig::default();
+        assert_eq!(c.unmanaged_fraction, 0.05);
+        assert_eq!(c.a_max, 0.5);
+        assert_eq!(c.slack, 0.1);
+        assert_eq!(c.demotion_mode, DemotionMode::Setpoint);
+        assert_eq!(c.rank, RankMode::Lru);
+        assert_eq!(c.table_entries, 8);
+        assert_eq!(c.cands_period, 256);
+        assert!(!c.churn_throttling, "the paper's design lets partitions borrow");
+        c.validate();
+    }
+
+    #[test]
+    fn guarantees_constructor_moderate_isolation() {
+        // Moderate isolation (P_ev = 1e-2) on Z4/52: ~13%.
+        let cfg = VantageConfig::for_guarantees(52, 1e-2, 0.4, 0.1);
+        assert!(cfg.unmanaged_fraction > 0.11 && cfg.unmanaged_fraction < 0.15);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no managed space")]
+    fn too_few_candidates_cannot_meet_guarantees() {
+        // The flip side of "associativity depends on candidates": a plain
+        // 4-way skew-associative cache (R = 4) cannot host Vantage with
+        // meaningful isolation — the sizing rule demands more than the
+        // whole cache be unmanaged. This is why the paper pairs Vantage
+        // with zcaches (R = 16/52) rather than raw skew caches.
+        VantageConfig::for_guarantees(4, 1e-2, 0.5, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "A_max")]
+    fn invalid_a_max_rejected() {
+        let cfg = VantageConfig { a_max: 0.0, ..VantageConfig::default() };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "unmanaged fraction")]
+    fn invalid_u_rejected() {
+        let cfg = VantageConfig { unmanaged_fraction: 1.0, ..VantageConfig::default() };
+        cfg.validate();
+    }
+}

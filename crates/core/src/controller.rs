@@ -1,0 +1,377 @@
+//! The per-partition controller state of Fig. 4: target/actual sizes,
+//! coarse timestamps, setpoints, candidate meters and the demotion
+//! thresholds lookup table.
+
+use vantage_cache::TsLru;
+
+/// The demotion thresholds lookup table (Fig. 3c).
+///
+/// Built once per resize, it discretizes the linear aperture transfer
+/// function (Eq. 7) into `n` size ranges between the target `T` and
+/// `(1 + slack)·T`; range `i` maps to a demotion count threshold
+/// `c · A_max · (i+1)/n` per `c` candidates. Sizes at or below the target
+/// map to no entry (aperture 0); sizes beyond the last range saturate at
+/// `A_max`.
+///
+/// # Example
+///
+/// The paper's worked example — `T = 1000` lines, 10% slack,
+/// `A_max = 0.5`, `c = 256`, 4 entries — produces thresholds
+/// 32/64/96/128 over ranges 1000-1033 / 1034-1066 / 1067-1100 / 1101+:
+///
+/// ```
+/// use vantage::controller::ThresholdTable;
+///
+/// let t = ThresholdTable::new(1000, 0.1, 0.5, 256, 4);
+/// assert_eq!(t.threshold(1000), None);      // at target: aperture 0
+/// assert_eq!(t.threshold(1020), Some(32));
+/// assert_eq!(t.threshold(1050), Some(64));
+/// assert_eq!(t.threshold(1090), Some(96));
+/// assert_eq!(t.threshold(1500), Some(128)); // saturates at c·A_max
+/// ```
+#[derive(Clone, Debug)]
+pub struct ThresholdTable {
+    target: u64,
+    /// Width of each size range in lines (at least 1).
+    width: u64,
+    /// Demotion count thresholds, one per range.
+    dems: Vec<u32>,
+    a_max: f64,
+    slack: f64,
+}
+
+impl ThresholdTable {
+    /// Builds the table for a partition with `target` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slack <= 0`, `a_max` is not in `(0, 1]`, `c == 0`, or
+    /// `entries == 0`.
+    pub fn new(target: u64, slack: f64, a_max: f64, c: u32, entries: usize) -> Self {
+        assert!(slack > 0.0, "slack must be positive");
+        assert!(a_max > 0.0 && a_max <= 1.0, "A_max must be in (0, 1]");
+        assert!(c > 0 && entries > 0, "need a candidate period and entries");
+        // Fig. 3c geometry: the slack span is split into `entries - 1`
+        // ranges, with the last entry covering everything beyond
+        // `(1 + slack)·T` at the saturated `A_max` threshold.
+        let span = (slack * target as f64).round() as u64;
+        let width = (span / (entries as u64 - 1).max(1)).max(1);
+        let dems = (0..entries)
+            .map(|i| (f64::from(c) * a_max * (i + 1) as f64 / entries as f64).round() as u32)
+            .collect();
+        Self { target, width, dems, a_max, slack }
+    }
+
+    /// The demotion count threshold (per `c` candidates) for a partition of
+    /// `actual` lines, or `None` when at or below target (aperture 0).
+    pub fn threshold(&self, actual: u64) -> Option<u32> {
+        if actual <= self.target {
+            return None;
+        }
+        let idx = (((actual - self.target - 1) / self.width) as usize).min(self.dems.len() - 1);
+        Some(self.dems[idx])
+    }
+
+    /// The continuous aperture of Eq. 7 at `actual` lines — what the
+    /// idealized (perfect-knowledge) controller uses directly.
+    pub fn aperture(&self, actual: u64) -> f64 {
+        if actual <= self.target {
+            return 0.0;
+        }
+        if self.target == 0 {
+            // Draining partition: demote everything allowed.
+            return self.a_max;
+        }
+        let overshoot = (actual - self.target) as f64 / (self.slack * self.target as f64);
+        (self.a_max * overshoot).min(self.a_max)
+    }
+
+    /// The target this table was built for.
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+}
+
+/// What the candidate meter says about the last `c` candidates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Feedback {
+    /// More demotions than the table threshold: open the keep window.
+    TooMany,
+    /// Fewer demotions than the threshold: tighten the keep window.
+    TooFew,
+    /// Exactly on the threshold, or the partition is at/below target.
+    OnTarget,
+}
+
+/// Per-partition controller registers (Fig. 4).
+///
+/// Mirrors the hardware state: `TargetSize`, `ActualSize`, `CurrentTS` +
+/// `AccessCounter` (inside [`TsLru`]), `SetpointTS`, `CandsSeen`,
+/// `CandsDemoted` and the thresholds table. The RRIP variant reuses the
+/// setpoint register as a setpoint RRPV.
+#[derive(Clone, Debug)]
+pub struct PartitionState {
+    /// Target size in lines (`TargetSize`).
+    pub target: u64,
+    /// Current size in lines (`ActualSize`).
+    pub actual: u64,
+    /// `CurrentTS` and `AccessCounter`.
+    pub lru: TsLru,
+    /// `SetpointTS` — lines stamped outside `(setpoint, current]` are
+    /// demotion candidates (Fig. 3b).
+    pub setpoint: u8,
+    /// Setpoint RRPV for [`RankMode::Rrip`](crate::RankMode::Rrip): lines
+    /// with RRPV at or above it are demotion candidates.
+    pub setpoint_rrpv: u8,
+    /// Candidates seen since the last adjustment (`CandsSeen`).
+    pub cands_seen: u32,
+    /// Of those, how many were demoted (`CandsDemoted`).
+    pub cands_demoted: u32,
+    /// The demotion thresholds lookup table.
+    pub table: ThresholdTable,
+}
+
+impl PartitionState {
+    /// Creates the state for a partition with the given `target`.
+    pub fn new(target: u64, slack: f64, a_max: f64, c: u32, entries: usize, max_rrpv: u8) -> Self {
+        Self {
+            target,
+            actual: 0,
+            lru: TsLru::for_size(target.max(16)),
+            // Start mid-window: keep the newest half of timestamps.
+            setpoint: 0u8.wrapping_sub(128),
+            setpoint_rrpv: max_rrpv, // initially demote only "distant" lines
+            cands_seen: 0,
+            cands_demoted: 0,
+            table: ThresholdTable::new(target, slack, a_max, c, entries),
+        }
+    }
+
+    /// Installs a new target, rebuilding the thresholds table.
+    pub fn set_target(&mut self, target: u64, slack: f64, a_max: f64, c: u32, entries: usize) {
+        self.target = target;
+        self.table = ThresholdTable::new(target, slack, a_max, c, entries);
+    }
+
+    /// The keep window in timestamp units: `CurrentTS - SetpointTS`
+    /// (modulo 256). Lines older than this are demotion candidates.
+    #[inline]
+    pub fn keep_window(&self) -> u8 {
+        self.lru.current().wrapping_sub(self.setpoint)
+    }
+
+    /// Whether a managed line of this partition stamped `ts` should be
+    /// demoted under setpoint-based demotions (LRU ranking).
+    #[inline]
+    pub fn should_demote_ts(&self, ts: u8) -> bool {
+        self.actual > self.target && self.lru.age(ts) > self.keep_window()
+    }
+
+    /// Whether a managed line with re-reference value `rrpv` should be
+    /// demoted under setpoint-based demotions (RRIP ranking).
+    #[inline]
+    pub fn should_demote_rrpv(&self, rrpv: u8) -> bool {
+        self.actual > self.target && rrpv >= self.setpoint_rrpv
+    }
+
+    /// Records one access (hit or insertion): re-derives the timestamp
+    /// period from the actual size and advances the setpoint in lockstep
+    /// when the current timestamp advances, keeping the window constant.
+    /// Returns the timestamp to stamp the line with.
+    pub fn on_access(&mut self) -> u8 {
+        self.lru.set_period_for_size(self.actual.max(16));
+        if self.lru.on_access() {
+            self.setpoint = self.setpoint.wrapping_add(1);
+        }
+        self.lru.current()
+    }
+
+    /// Meters one candidate seen (`demoted` says whether it was demoted).
+    /// Every `c` candidates, compares the demotion count against the
+    /// thresholds table and returns the feedback that was applied to the
+    /// setpoint; returns `None` between adjustment points.
+    pub fn note_candidate(&mut self, demoted: bool, c: u32, max_rrpv: u8) -> Option<Feedback> {
+        self.cands_seen += 1;
+        if demoted {
+            self.cands_demoted += 1;
+        }
+        if self.cands_seen < c {
+            return None;
+        }
+        // At or below target the aperture is 0, so the threshold is 0: any
+        // demotions counted while transiently over target are "too many".
+        // Keeping the comparison symmetric here is what stops the keep
+        // window from ratcheting tight on partitions whose equilibrium
+        // demotion rate is below the smallest table step.
+        let thr = self.table.threshold(self.actual).unwrap_or(0);
+        let fb = if self.cands_demoted > thr {
+            Feedback::TooMany
+        } else if self.cands_demoted < thr {
+            Feedback::TooFew
+        } else {
+            Feedback::OnTarget
+        };
+        match fb {
+            Feedback::TooMany => {
+                // Widen the keep window (move the setpoint back), demoting
+                // less; the RRIP setpoint instead moves up.
+                if self.keep_window() < u8::MAX {
+                    self.setpoint = self.setpoint.wrapping_sub(1);
+                }
+                if self.setpoint_rrpv <= max_rrpv {
+                    self.setpoint_rrpv += 1; // max+1 demotes nothing
+                }
+            }
+            Feedback::TooFew => {
+                if self.keep_window() > 0 {
+                    self.setpoint = self.setpoint.wrapping_add(1);
+                }
+                self.setpoint_rrpv = self.setpoint_rrpv.saturating_sub(1);
+            }
+            Feedback::OnTarget => {}
+        }
+        self.cands_seen = 0;
+        self.cands_demoted = 0;
+        Some(fb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(target: u64) -> PartitionState {
+        PartitionState::new(target, 0.1, 0.5, 256, 8, 7)
+    }
+
+    #[test]
+    fn paper_fig3c_table() {
+        let t = ThresholdTable::new(1000, 0.1, 0.5, 256, 4);
+        // Range boundaries from Fig. 3c (1-line shifts from rounding the
+        // 33.3-line width are acceptable; check interior points).
+        assert_eq!(t.threshold(999), None);
+        assert_eq!(t.threshold(1010), Some(32));
+        assert_eq!(t.threshold(1040), Some(64));
+        assert_eq!(t.threshold(1070), Some(96));
+        assert_eq!(t.threshold(1101), Some(128));
+        assert_eq!(t.threshold(9999), Some(128));
+    }
+
+    #[test]
+    fn aperture_transfer_function() {
+        let t = ThresholdTable::new(1000, 0.1, 0.5, 256, 8);
+        assert_eq!(t.aperture(900), 0.0);
+        assert_eq!(t.aperture(1000), 0.0);
+        let mid = t.aperture(1050);
+        assert!((mid - 0.25).abs() < 1e-9, "midpoint aperture {mid}");
+        assert_eq!(t.aperture(1100), 0.5);
+        assert_eq!(t.aperture(5000), 0.5, "saturates at A_max");
+    }
+
+    #[test]
+    fn zero_target_drains_at_max_aperture() {
+        let t = ThresholdTable::new(0, 0.1, 0.5, 256, 8);
+        assert_eq!(t.aperture(1), 0.5);
+        // With a zero target the ranges are 1 line wide: any size beyond the
+        // table saturates at the c·A_max threshold.
+        assert_eq!(t.threshold(9), t.threshold(u64::MAX));
+        assert_eq!(t.threshold(u64::MAX), Some(128));
+    }
+
+    #[test]
+    fn demote_only_when_over_target() {
+        let mut s = state(100);
+        s.actual = 100;
+        // At target: never demote, regardless of age.
+        assert!(!s.should_demote_ts(s.lru.current().wrapping_sub(200)));
+        s.actual = 101;
+        // Over target: demote lines older than the keep window (128).
+        assert!(s.should_demote_ts(s.lru.current().wrapping_sub(200)));
+        assert!(!s.should_demote_ts(s.lru.current()));
+    }
+
+    #[test]
+    fn setpoint_tracks_timestamp_advances() {
+        let mut s = state(64);
+        s.actual = 64;
+        let w0 = s.keep_window();
+        // 16-line period for a 64-line partition is 4 accesses... drive
+        // enough accesses to advance the timestamp several times.
+        for _ in 0..64 {
+            s.on_access();
+        }
+        assert_eq!(s.keep_window(), w0, "window must stay constant across TS advances");
+    }
+
+    #[test]
+    fn feedback_widens_on_too_many() {
+        let mut s = state(100);
+        s.actual = 150; // far over target: threshold = 128 of 256
+        let w0 = s.keep_window();
+        // Demote every candidate: way over any threshold.
+        let mut fb = None;
+        for _ in 0..256 {
+            fb = s.note_candidate(true, 256, 7);
+        }
+        assert_eq!(fb, Some(Feedback::TooMany));
+        assert_eq!(s.keep_window(), w0 + 1, "keep window must widen");
+        assert_eq!((s.cands_seen, s.cands_demoted), (0, 0), "meters reset");
+    }
+
+    #[test]
+    fn feedback_tightens_on_too_few() {
+        let mut s = state(100);
+        s.actual = 150;
+        let w0 = s.keep_window();
+        let mut fb = None;
+        for _ in 0..256 {
+            fb = s.note_candidate(false, 256, 7);
+        }
+        assert_eq!(fb, Some(Feedback::TooFew));
+        assert_eq!(s.keep_window(), w0 - 1);
+    }
+
+    #[test]
+    fn feedback_idle_below_target() {
+        let mut s = state(100);
+        s.actual = 50;
+        let w0 = s.keep_window();
+        let mut fb = None;
+        for _ in 0..256 {
+            fb = s.note_candidate(false, 256, 7);
+        }
+        assert_eq!(fb, Some(Feedback::OnTarget));
+        assert_eq!(s.keep_window(), w0);
+    }
+
+    #[test]
+    fn rrpv_setpoint_moves_oppositely() {
+        let mut s = state(100);
+        s.actual = 150;
+        let r0 = s.setpoint_rrpv;
+        for _ in 0..256 {
+            s.note_candidate(true, 256, 7);
+        }
+        assert_eq!(s.setpoint_rrpv, r0 + 1, "too many demotions raise the RRPV bar");
+        for _ in 0..512 {
+            s.note_candidate(false, 256, 7);
+        }
+        assert!(s.setpoint_rrpv < r0 + 1);
+    }
+
+    #[test]
+    fn window_saturates() {
+        let mut s = state(100);
+        s.actual = 200;
+        // Tighten for a long time: window must stop at 0, not wrap.
+        for _ in 0..(300 * 256) {
+            s.note_candidate(false, 256, 7);
+        }
+        assert_eq!(s.keep_window(), 0);
+        // Widen for a long time: window stops at 255.
+        for _ in 0..(300 * 256) {
+            s.note_candidate(true, 256, 7);
+        }
+        assert_eq!(s.keep_window(), 255);
+    }
+}

@@ -1,0 +1,914 @@
+//! The Vantage last-level cache: the practical controller of §4 bound to a
+//! cache array.
+//!
+//! Lines from all partitions share the array; capacity is enforced purely at
+//! replacement time. Each tag carries a partition ID (with one extra ID for
+//! the unmanaged region) and an 8-bit timestamp (or RRPV). On each miss the
+//! controller:
+//!
+//! 1. checks every replacement candidate for *demotion* — a managed line
+//!    over its partition's target whose stamp falls outside the partition's
+//!    keep window is re-tagged into the unmanaged region (setpoint-based
+//!    demotions, §4.2);
+//! 2. evicts the unmanaged candidate with the oldest timestamp, falling back
+//!    to a just-demoted candidate, and only if neither exists forcing an
+//!    eviction from the managed region (counted, since its probability is
+//!    the paper's isolation metric, Fig. 9b);
+//! 3. inserts the incoming line into its partition.
+//!
+//! Per-partition setpoints are steered by negative feedback every
+//! `c = 256` candidates using the demotion thresholds lookup table
+//! (feedback-based aperture control, §4.1), so apertures are never computed
+//! explicitly at run time.
+
+use vantage_cache::replacement::rrip::BasePolicy;
+use vantage_cache::{
+    CacheArray, Frame, LineAddr, RripConfig, RripMode, RripPolicy, TsLru, Walk,
+};
+use vantage_partitioning::{AccessOutcome, Llc, LlcStats, TsHistogram};
+
+use crate::config::{DemotionMode, RankMode, VantageConfig};
+use crate::controller::PartitionState;
+
+/// The partition ID tagging unmanaged lines.
+pub const UNMANAGED: u16 = u16::MAX;
+
+/// One demotion's empirical priority sample:
+/// `(access sequence number, partition, priority in [0, 1])`.
+pub type PrioritySample = (u64, u16, f32);
+
+/// Vantage-specific event counters (beyond hit/miss bookkeeping).
+#[derive(Clone, Debug, Default)]
+pub struct VantageStats {
+    /// Managed lines demoted to the unmanaged region.
+    pub demotions: u64,
+    /// Unmanaged lines promoted back on a hit.
+    pub promotions: u64,
+    /// Evictions served from the unmanaged region (including just-demoted
+    /// candidates).
+    pub unmanaged_evictions: u64,
+    /// Forced evictions from the managed region (no unmanaged or demoted
+    /// candidate available) — the isolation-violation count.
+    pub forced_managed_evictions: u64,
+    /// Fills into empty frames (warm-up only).
+    pub empty_fills: u64,
+    /// Setpoint adjustments performed.
+    pub setpoint_adjustments: u64,
+    /// Insertions diverted to the unmanaged region by churn throttling.
+    pub throttled_insertions: u64,
+}
+
+impl VantageStats {
+    /// Fraction of evictions that had to come from the managed region —
+    /// the empirical counterpart of the model's `P_ev` (Fig. 9b).
+    pub fn managed_eviction_fraction(&self) -> f64 {
+        let total = self.unmanaged_evictions + self.forced_managed_evictions;
+        if total == 0 {
+            0.0
+        } else {
+            self.forced_managed_evictions as f64 / total as f64
+        }
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Per-frame tag extension: partition ID + timestamp/RRPV (Fig. 4).
+#[derive(Clone, Copy, Debug, Default)]
+struct Tag {
+    part: u16,
+    ts: u8,
+}
+
+/// A Vantage-partitioned last-level cache over any [`CacheArray`].
+///
+/// # Example
+///
+/// ```
+/// use vantage::{VantageConfig, VantageLlc};
+/// use vantage_cache::ZArray;
+/// use vantage_partitioning::Llc;
+///
+/// let array = ZArray::new(4096, 4, 52, 1); // Z4/52
+/// let mut llc = VantageLlc::new(Box::new(array), 2, VantageConfig::default(), 1);
+/// llc.set_targets(&[3072, 1024]);
+/// llc.access(0, 0x1000.into());
+/// assert_eq!(llc.stats().misses[0], 1);
+/// ```
+pub struct VantageLlc {
+    array: Box<dyn CacheArray>,
+    meta: Vec<Tag>,
+    parts: Vec<PartitionState>,
+    /// Unmanaged-region timestamp domain (advanced per demotion).
+    um_lru: TsLru,
+    um_size: u64,
+    um_target: u64,
+    cfg: VantageConfig,
+    max_rrpv: u8,
+    rrip: Option<RripPolicy>,
+    /// Per-partition timestamp histograms (LRU mode): used for the
+    /// perfect-aperture controller and priority instrumentation.
+    hists: Vec<TsHistogram>,
+    um_hist: TsHistogram,
+    stats: LlcStats,
+    vstats: VantageStats,
+    walk: Walk,
+    moves: Vec<(Frame, Frame)>,
+    probe: bool,
+    samples: Vec<PrioritySample>,
+    accesses: u64,
+}
+
+impl VantageLlc {
+    /// Creates a Vantage cache over `array` with `partitions` partitions,
+    /// initially splitting capacity evenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`VantageConfig::validate`]), if
+    /// `partitions` is 0 or ≥ `u16::MAX`, or if
+    /// `cfg.demotion_mode == PerfectAperture` is combined with RRIP ranking
+    /// (the idealized controller is defined for LRU priorities only).
+    pub fn new(
+        array: Box<dyn CacheArray>,
+        partitions: usize,
+        cfg: VantageConfig,
+        seed: u64,
+    ) -> Self {
+        cfg.validate();
+        assert!(partitions > 0 && partitions < UNMANAGED as usize, "bad partition count");
+        let (max_rrpv, rrip) = match cfg.rank {
+            RankMode::Lru => (0u8, None),
+            RankMode::Rrip { bits } => {
+                assert!(
+                    cfg.demotion_mode == DemotionMode::Setpoint,
+                    "perfect-aperture mode requires LRU ranking"
+                );
+                let mut rcfg = RripConfig::paper(RripMode::PerPartition, partitions, seed);
+                rcfg.bits = bits;
+                ((1u8 << bits) - 1, Some(RripPolicy::new(rcfg)))
+            }
+        };
+        let frames = array.num_frames();
+        let parts = (0..partitions)
+            .map(|_| {
+                PartitionState::new(
+                    0,
+                    cfg.slack,
+                    cfg.a_max,
+                    cfg.cands_period,
+                    cfg.table_entries,
+                    max_rrpv,
+                )
+            })
+            .collect();
+        let mut llc = Self {
+            array,
+            meta: vec![Tag::default(); frames],
+            parts,
+            um_lru: TsLru::for_size(16),
+            um_size: 0,
+            um_target: 0,
+            cfg,
+            max_rrpv,
+            rrip,
+            hists: (0..partitions).map(|_| TsHistogram::new()).collect(),
+            um_hist: TsHistogram::new(),
+            stats: LlcStats::new(partitions),
+            vstats: VantageStats::default(),
+            walk: Walk::with_capacity(64),
+            moves: Vec::with_capacity(8),
+            probe: false,
+            samples: Vec::new(),
+            accesses: 0,
+        };
+        let even = vec![(frames / partitions) as u64; partitions];
+        llc.set_targets(&even);
+        llc
+    }
+
+    /// Vantage-specific counters.
+    pub fn vantage_stats(&self) -> &VantageStats {
+        &self.vstats
+    }
+
+    /// Mutable Vantage-specific counters (e.g. to reset per interval).
+    pub fn vantage_stats_mut(&mut self) -> &mut VantageStats {
+        &mut self.vstats
+    }
+
+    /// Current number of lines in the unmanaged region.
+    pub fn unmanaged_size(&self) -> u64 {
+        self.um_size
+    }
+
+    /// The unmanaged region's target size in lines.
+    pub fn unmanaged_target(&self) -> u64 {
+        self.um_target
+    }
+
+    /// Partition `part`'s (scaled) target size in lines.
+    pub fn partition_target(&self, part: usize) -> u64 {
+        self.parts[part].target
+    }
+
+    /// Enables Fig. 8-style demotion-priority sampling (LRU ranking only).
+    ///
+    /// # Panics
+    ///
+    /// Panics under RRIP ranking, where timestamp ranks are undefined.
+    pub fn enable_priority_probe(&mut self) {
+        assert!(matches!(self.cfg.rank, RankMode::Lru), "probe requires LRU ranking");
+        self.probe = true;
+    }
+
+    /// Drains accumulated demotion-priority samples.
+    pub fn drain_priority_samples(&mut self) -> Vec<PrioritySample> {
+        std::mem::take(&mut self.samples)
+    }
+
+    /// Sets the base policy (SRRIP/BRRIP) for one partition; only meaningful
+    /// with RRIP ranking, where the allocation policy picks per-partition
+    /// policies at each repartitioning (Vantage-DRRIP, §6.2).
+    pub fn set_partition_policy(&mut self, part: usize, policy: BasePolicy) {
+        if let Some(rr) = &mut self.rrip {
+            rr.set_partition_policy(part, policy);
+        }
+    }
+
+    /// Read-only view of the underlying array.
+    pub fn array(&self) -> &dyn CacheArray {
+        self.array.as_ref()
+    }
+
+    /// Verifies internal accounting against a full array scan: the sum of
+    /// partition actual sizes plus the unmanaged size must equal the array
+    /// occupancy, and every tag's partition must be in range. Test support;
+    /// O(frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn check_invariants(&self) {
+        let mut sizes = vec![0u64; self.parts.len()];
+        let mut um = 0u64;
+        for f in 0..self.meta.len() {
+            if self.array.occupant(f as Frame).is_none() {
+                continue;
+            }
+            let tag = self.meta[f];
+            if tag.part == UNMANAGED {
+                um += 1;
+            } else {
+                sizes[tag.part as usize] += 1;
+            }
+        }
+        assert_eq!(um, self.um_size, "unmanaged size accounting drift");
+        for (p, st) in self.parts.iter().enumerate() {
+            assert_eq!(sizes[p], st.actual, "partition {p} size accounting drift");
+        }
+    }
+
+    fn is_lru(&self) -> bool {
+        matches!(self.cfg.rank, RankMode::Lru)
+    }
+
+    fn hit(&mut self, part: usize, frame: Frame) {
+        let tag = self.meta[frame as usize];
+        let lru = self.is_lru();
+        if tag.part == UNMANAGED {
+            // Promotion: the line rejoins the accessing partition.
+            self.vstats.promotions += 1;
+            self.um_size -= 1;
+            if lru {
+                self.um_hist.remove(tag.ts);
+            }
+            self.parts[part].actual += 1;
+        } else {
+            let q = tag.part as usize;
+            if lru {
+                self.hists[q].remove(tag.ts);
+            }
+            if q != part {
+                // Shared line: it migrates to its latest user.
+                self.parts[q].actual -= 1;
+                self.parts[part].actual += 1;
+            }
+        }
+        let ts = if lru {
+            let t = self.parts[part].on_access();
+            self.hists[part].add(t);
+            t
+        } else {
+            0 // RRIP hit promotion: near-immediate re-reference
+        };
+        self.meta[frame as usize] = Tag { part: part as u16, ts };
+    }
+
+    /// Decides whether the managed candidate `(q, ts)` should be demoted.
+    fn demotes(&self, q: usize, ts: u8) -> bool {
+        let st = &self.parts[q];
+        match (self.cfg.demotion_mode, self.cfg.rank) {
+            (DemotionMode::Setpoint, RankMode::Lru) => st.should_demote_ts(ts),
+            (DemotionMode::Setpoint, RankMode::Rrip { .. }) => st.should_demote_rrpv(ts),
+            (DemotionMode::PerfectAperture, RankMode::Lru) => {
+                if st.actual <= st.target {
+                    return false;
+                }
+                let aperture = st.table.aperture(st.actual);
+                aperture > 0.0 && self.hists[q].rank(ts, st.lru.current()) > 1.0 - aperture
+            }
+            (DemotionMode::PerfectAperture, RankMode::Rrip { .. }) => {
+                unreachable!("rejected at construction")
+            }
+            (DemotionMode::ExactlyOne, _) => {
+                unreachable!("ExactlyOne is resolved before per-candidate checks")
+            }
+        }
+    }
+
+    /// Demotes the line at candidate `i` of the current walk (bookkeeping
+    /// shared by the per-candidate and exactly-one paths).
+    fn demote_candidate(&mut self, i: usize, lru: bool) {
+        let f = self.walk.nodes[i].frame as usize;
+        let tag = self.meta[f];
+        let q = tag.part as usize;
+        self.vstats.demotions += 1;
+        if self.probe {
+            let pr = self.hists[q].rank(tag.ts, self.parts[q].lru.current());
+            self.samples.push((self.accesses, q as u16, pr as f32));
+        }
+        if lru {
+            self.hists[q].remove(tag.ts);
+        }
+        self.parts[q].actual -= 1;
+        self.um_size += 1;
+        let um_ts = if lru {
+            self.um_lru.set_period_for_size(self.um_target.max(16));
+            self.um_lru.on_access();
+            let t = self.um_lru.current();
+            self.um_hist.add(t);
+            t
+        } else {
+            tag.ts
+        };
+        self.meta[f] = Tag { part: UNMANAGED, ts: um_ts };
+    }
+
+    fn miss(&mut self, part: usize, addr: LineAddr) {
+        if let Some(rr) = &mut self.rrip {
+            rr.note_miss(part, addr);
+        }
+        self.array.walk(addr, &mut self.walk);
+        let lru = self.is_lru();
+
+        // --- Demotion pass over all candidates (§4.3, "Misses"). ---
+        let mut empty: Option<usize> = None;
+        let mut best_um: Option<(usize, u8)> = None; // (walk idx, age/rrpv)
+        let mut first_demoted: Option<usize> = None;
+        let exactly_one = self.cfg.demotion_mode == DemotionMode::ExactlyOne;
+        let mut best_managed: Option<(usize, u8)> = None; // exactly-one pick
+        for i in 0..self.walk.nodes.len() {
+            let node = self.walk.nodes[i];
+            if node.line.is_none() {
+                empty = Some(i);
+                break; // walks end at the first empty frame
+            }
+            let f = node.frame as usize;
+            let tag = self.meta[f];
+            if tag.part == UNMANAGED {
+                let age = if lru { self.um_lru.age(tag.ts) } else { tag.ts };
+                if best_um.map_or(true, |(_, a)| age > a) {
+                    best_um = Some((i, age));
+                }
+                continue;
+            }
+            let q = tag.part as usize;
+            if exactly_one {
+                // Fig. 2b policy: remember the oldest over-target candidate
+                // and demote exactly that one after the scan.
+                let st = &self.parts[q];
+                if st.actual > st.target {
+                    let age = if lru { st.lru.age(tag.ts) } else { tag.ts };
+                    if best_managed.map_or(true, |(_, a)| age > a) {
+                        best_managed = Some((i, age));
+                    }
+                }
+                continue;
+            }
+            let demote = self.demotes(q, tag.ts);
+            if self.parts[q]
+                .note_candidate(demote, self.cfg.cands_period, self.max_rrpv)
+                .is_some()
+            {
+                self.vstats.setpoint_adjustments += 1;
+            }
+            if demote {
+                first_demoted.get_or_insert(i);
+                self.demote_candidate(i, lru);
+            } else if !lru {
+                // RRIP aging: candidates of over-target partitions drift
+                // towards "distant" so demotion pressure can build
+                // (under-target partitions are never aged, §6.2).
+                let st = &self.parts[q];
+                if st.actual > st.target && tag.ts < self.max_rrpv {
+                    self.meta[f].ts = tag.ts + 1;
+                }
+            }
+        }
+        if exactly_one && empty.is_none() {
+            if let Some((i, _)) = best_managed {
+                first_demoted = Some(i);
+                self.demote_candidate(i, lru);
+            }
+        }
+
+        // --- Victim selection. ---
+        let victim = if let Some(e) = empty {
+            self.vstats.empty_fills += 1;
+            e
+        } else if let Some((i, _)) = best_um {
+            self.vstats.unmanaged_evictions += 1;
+            i
+        } else if let Some(i) = first_demoted {
+            self.vstats.unmanaged_evictions += 1;
+            i
+        } else {
+            // Forced eviction from the managed region. The paper leaves the
+            // choice arbitrary; we pick the oldest candidate, preferring
+            // partitions that are over their targets so transients do not
+            // bleed quiet, under-target partitions.
+            self.vstats.forced_managed_evictions += 1;
+            let mut best = 0usize;
+            let mut best_key = (false, 0u16);
+            for (i, node) in self.walk.nodes.iter().enumerate() {
+                let tag = self.meta[node.frame as usize];
+                let q = tag.part as usize;
+                let age = if lru {
+                    u16::from(self.parts[q].lru.age(tag.ts))
+                } else {
+                    u16::from(tag.ts)
+                };
+                let key = (self.parts[q].actual > self.parts[q].target, age);
+                if key >= best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            best
+        };
+
+        // --- Retire the victim's tag. ---
+        let vnode = self.walk.nodes[victim];
+        if vnode.line.is_some() {
+            self.stats.evictions += 1;
+            let tag = self.meta[vnode.frame as usize];
+            if tag.part == UNMANAGED {
+                self.um_size -= 1;
+                if lru {
+                    self.um_hist.remove(tag.ts);
+                }
+            } else {
+                let q = tag.part as usize;
+                self.parts[q].actual -= 1;
+                if lru {
+                    self.hists[q].remove(tag.ts);
+                }
+            }
+        }
+
+        // --- Install the incoming line. ---
+        self.moves.clear();
+        let landing = {
+            let walk = &self.walk;
+            self.array.install(addr, walk, victim, &mut self.moves)
+        };
+        for &(from, to) in &self.moves {
+            self.meta[to as usize] = self.meta[from as usize];
+        }
+        // Churn throttling (§3.4 option 2): a partition whose aperture is
+        // pinned at A_max cannot shed lines fast enough; divert its fills
+        // to the unmanaged region instead of growing it further.
+        let st = &self.parts[part];
+        if self.cfg.churn_throttling
+            && st.table.aperture(st.actual.saturating_add(1)) >= self.cfg.a_max
+        {
+            self.vstats.throttled_insertions += 1;
+            self.um_size += 1;
+            let ts = if lru {
+                self.um_lru.set_period_for_size(self.um_target.max(16));
+                self.um_lru.on_access();
+                let t = self.um_lru.current();
+                self.um_hist.add(t);
+                t
+            } else {
+                self.rrip.as_mut().expect("RRIP mode has a policy").insertion_rrpv(part, addr)
+            };
+            self.meta[landing as usize] = Tag { part: UNMANAGED, ts };
+            return;
+        }
+        self.parts[part].actual += 1;
+        let ts = if lru {
+            let t = self.parts[part].on_access();
+            self.hists[part].add(t);
+            t
+        } else {
+            self.rrip.as_mut().expect("RRIP mode has a policy").insertion_rrpv(part, addr)
+        };
+        self.meta[landing as usize] = Tag { part: part as u16, ts };
+    }
+}
+
+impl Llc for VantageLlc {
+    fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
+        self.accesses += 1;
+        if let Some(frame) = self.array.lookup(addr) {
+            self.stats.hits[part] += 1;
+            self.hit(part, frame);
+            AccessOutcome::Hit
+        } else {
+            self.stats.misses[part] += 1;
+            self.miss(part, addr);
+            AccessOutcome::Miss
+        }
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Installs targets, scaling them onto the managed region: a partition
+    /// granted `t` lines of the cache receives `t·(1-u)` managed lines, and
+    /// the remainder funds the unmanaged region (§3.3).
+    fn set_targets(&mut self, targets: &[u64]) {
+        assert_eq!(targets.len(), self.parts.len(), "one target per partition");
+        let cap = self.meta.len() as u64;
+        let total: u64 = targets.iter().sum();
+        assert!(total <= cap, "targets ({total}) exceed capacity ({cap})");
+        let m = 1.0 - self.cfg.unmanaged_fraction;
+        let mut managed_total = 0u64;
+        for (st, &t) in self.parts.iter_mut().zip(targets) {
+            let scaled = (t as f64 * m).floor() as u64;
+            st.set_target(
+                scaled,
+                self.cfg.slack,
+                self.cfg.a_max,
+                self.cfg.cands_period,
+                self.cfg.table_entries,
+            );
+            managed_total += scaled;
+        }
+        self.um_target = cap - managed_total;
+        self.um_lru.set_period_for_size(self.um_target.max(16));
+    }
+
+    fn partition_size(&self, part: usize) -> u64 {
+        self.parts[part].actual
+    }
+
+    fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut LlcStats {
+        &mut self.stats
+    }
+
+    fn name(&self) -> &str {
+        match (self.cfg.demotion_mode, self.cfg.rank) {
+            (DemotionMode::Setpoint, RankMode::Lru) => "Vantage",
+            (DemotionMode::Setpoint, RankMode::Rrip { .. }) => "Vantage-RRIP",
+            (DemotionMode::PerfectAperture, _) => "Vantage-Ideal",
+            (DemotionMode::ExactlyOne, _) => "Vantage-ExactlyOne",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use vantage_cache::ZArray;
+
+    fn z52(frames: usize) -> Box<dyn CacheArray> {
+        Box::new(ZArray::new(frames, 4, 52, 0xA11CE))
+    }
+
+    fn default_llc(frames: usize, partitions: usize) -> VantageLlc {
+        VantageLlc::new(z52(frames), partitions, VantageConfig::default(), 7)
+    }
+
+    /// Drives `n` accesses of uniform random lines over `working_set`
+    /// distinct addresses, tagged per partition.
+    fn drive(llc: &mut VantageLlc, part: usize, working_set: u64, n: u64, rng: &mut SmallRng) {
+        let base = (part as u64 + 1) << 40;
+        for _ in 0..n {
+            llc.access(part, LineAddr(base + rng.gen_range(0..working_set)));
+        }
+    }
+
+    #[test]
+    fn sizes_converge_to_asymmetric_targets() {
+        let mut llc = default_llc(4096, 2);
+        llc.set_targets(&[3072, 1024]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Both partitions churn heavily (working sets far over capacity).
+        for _ in 0..40 {
+            drive(&mut llc, 0, 100_000, 5_000, &mut rng);
+            drive(&mut llc, 1, 100_000, 5_000, &mut rng);
+        }
+        llc.check_invariants();
+        let (t0, t1) = (llc.partition_target(0) as f64, llc.partition_target(1) as f64);
+        let (s0, s1) = (llc.partition_size(0) as f64, llc.partition_size(1) as f64);
+        // Sizes track scaled targets within the feedback slack plus a small
+        // margin for in-flight drift.
+        assert!(s0 >= t0 * 0.92 && s0 <= t0 * 1.2, "s0 = {s0}, t0 = {t0}");
+        assert!(s1 >= t1 * 0.92 && s1 <= t1 * 1.2, "s1 = {s1}, t1 = {t1}");
+    }
+
+    #[test]
+    fn thrasher_cannot_displace_quiet_partition() {
+        let mut llc = default_llc(4096, 2);
+        llc.set_targets(&[2048, 2048]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        // Partition 0 loads a working set that fits comfortably, then goes
+        // quiet while partition 1 streams.
+        drive(&mut llc, 0, 1500, 60_000, &mut rng);
+        let resident_before = llc.partition_size(0);
+        assert!(resident_before > 1200, "warmup failed ({resident_before})");
+        for i in 0..400_000u64 {
+            llc.access(1, LineAddr((2u64 << 40) + i));
+        }
+        llc.check_invariants();
+        // The quiet partition keeps (almost) all its lines: only forced
+        // managed evictions could remove them, and those are rare.
+        let resident_after = llc.partition_size(0);
+        assert!(
+            resident_after as f64 > resident_before as f64 * 0.97,
+            "quiet partition lost {} of {} lines",
+            resident_before - resident_after,
+            resident_before
+        );
+        // And the streamer is bounded near its own target.
+        let t1 = llc.partition_target(1) as f64;
+        assert!((llc.partition_size(1) as f64) < t1 * 1.2);
+    }
+
+    #[test]
+    fn forced_managed_evictions_are_rare() {
+        let cfg = VantageConfig { unmanaged_fraction: 0.15, ..VantageConfig::default() };
+        let mut llc = VantageLlc::new(z52(4096), 4, cfg, 3);
+        llc.set_targets(&[1024, 1024, 1024, 1024]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            for p in 0..4 {
+                drive(&mut llc, p, 50_000, 10_000, &mut rng);
+            }
+        }
+        let frac = llc.vantage_stats().managed_eviction_fraction();
+        // Model worst case for u = 0.15, R = 52 is ~2e-4; give slack for
+        // warmup and walk truncation.
+        assert!(frac < 0.01, "managed eviction fraction {frac}");
+        llc.check_invariants();
+    }
+
+    #[test]
+    fn promotion_rescues_unmanaged_lines() {
+        let mut llc = default_llc(1024, 2);
+        llc.set_targets(&[512, 512]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Create churn so partition 0's lines get demoted...
+        drive(&mut llc, 0, 5_000, 30_000, &mut rng);
+        assert!(llc.vantage_stats().demotions > 0);
+        // ...then re-touch a recent window; some hits will be promotions.
+        let before = llc.vantage_stats().promotions;
+        drive(&mut llc, 0, 5_000, 30_000, &mut rng);
+        assert!(llc.vantage_stats().promotions > before, "no promotions happened");
+        llc.check_invariants();
+    }
+
+    #[test]
+    fn zero_target_drains_partition() {
+        let mut llc = default_llc(2048, 2);
+        llc.set_targets(&[1024, 1024]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        drive(&mut llc, 0, 50_000, 30_000, &mut rng);
+        drive(&mut llc, 1, 50_000, 30_000, &mut rng);
+        let s0 = llc.partition_size(0);
+        assert!(s0 > 700);
+        // Delete partition 0: target 0; its lines drain as partition 1
+        // churns.
+        llc.set_targets(&[0, 2048]);
+        drive(&mut llc, 1, 50_000, 120_000, &mut rng);
+        llc.check_invariants();
+        let drained = llc.partition_size(0);
+        assert!(drained < s0 / 4, "partition retained {drained} of {s0} lines");
+    }
+
+    #[test]
+    fn small_partition_respects_minimum_stable_size() {
+        // A 1-line-target partition with high churn grows to its MSS but no
+        // further: MSS ≈ ΣS/(A_max·R·m) of the managed region (Eq. 5 with
+        // all churn in one partition).
+        let mut llc = default_llc(4096, 2);
+        llc.set_targets(&[16, 4080]);
+        let mut rng = SmallRng::seed_from_u64(6);
+        // Partition 1 fills and stays quiet; partition 0 churns hard.
+        drive(&mut llc, 1, 3400, 60_000, &mut rng);
+        for i in 0..300_000u64 {
+            llc.access(0, LineAddr(i));
+        }
+        llc.check_invariants();
+        let mss_bound = (4096.0 / (0.5 * 52.0)) * 1.5; // 1/(A_max·R) + 50% margin
+        let s0 = llc.partition_size(0) as f64;
+        assert!(s0 < mss_bound, "runaway partition: {s0} lines > bound {mss_bound}");
+    }
+
+    #[test]
+    fn downsize_converges_quickly() {
+        let mut llc = default_llc(4096, 2);
+        llc.set_targets(&[3584, 512]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        drive(&mut llc, 0, 100_000, 60_000, &mut rng);
+        drive(&mut llc, 1, 100_000, 20_000, &mut rng);
+        assert!(llc.partition_size(0) > 2500);
+        // Swap the allocations; both partitions keep churning.
+        llc.set_targets(&[512, 3584]);
+        for _ in 0..20 {
+            drive(&mut llc, 0, 100_000, 2_000, &mut rng);
+            drive(&mut llc, 1, 100_000, 2_000, &mut rng);
+        }
+        llc.check_invariants();
+        let t0 = llc.partition_target(0) as f64;
+        assert!(
+            (llc.partition_size(0) as f64) < t0 * 1.3,
+            "downsized partition stuck at {}",
+            llc.partition_size(0)
+        );
+    }
+
+    #[test]
+    fn perfect_aperture_mode_matches_setpoint_mode() {
+        let mk = |mode| {
+            let cfg = VantageConfig { demotion_mode: mode, ..VantageConfig::default() };
+            VantageLlc::new(z52(2048), 2, cfg, 9)
+        };
+        let mut practical = mk(DemotionMode::Setpoint);
+        let mut ideal = mk(DemotionMode::PerfectAperture);
+        for llc in [&mut practical, &mut ideal] {
+            llc.set_targets(&[1536, 512]);
+            let mut rng = SmallRng::seed_from_u64(10);
+            for _ in 0..20 {
+                drive(llc, 0, 50_000, 4_000, &mut rng);
+                drive(llc, 1, 50_000, 4_000, &mut rng);
+            }
+            llc.check_invariants();
+        }
+        // §6.2: both designs perform essentially identically; sizes must
+        // agree within a few percent of capacity.
+        for p in 0..2 {
+            let a = practical.partition_size(p) as f64;
+            let b = ideal.partition_size(p) as f64;
+            assert!((a - b).abs() / 2048.0 < 0.06, "partition {p}: {a} vs {b}");
+        }
+        assert_eq!(ideal.name(), "Vantage-Ideal");
+    }
+
+    #[test]
+    fn rrip_mode_runs_and_sizes_track() {
+        let cfg = VantageConfig { rank: RankMode::Rrip { bits: 3 }, ..VantageConfig::default() };
+        let mut llc = VantageLlc::new(z52(2048), 2, cfg, 11);
+        llc.set_targets(&[1536, 512]);
+        llc.set_partition_policy(0, BasePolicy::Srrip);
+        llc.set_partition_policy(1, BasePolicy::Brrip);
+        let mut rng = SmallRng::seed_from_u64(12);
+        for _ in 0..30 {
+            drive(&mut llc, 0, 50_000, 4_000, &mut rng);
+            drive(&mut llc, 1, 50_000, 4_000, &mut rng);
+        }
+        llc.check_invariants();
+        assert_eq!(llc.name(), "Vantage-RRIP");
+        let (s0, s1) = (llc.partition_size(0) as f64, llc.partition_size(1) as f64);
+        let (t0, t1) = (llc.partition_target(0) as f64, llc.partition_target(1) as f64);
+        assert!(s0 > t0 * 0.8 && s0 < t0 * 1.3, "s0 = {s0} vs t0 = {t0}");
+        assert!(s1 > t1 * 0.8 && s1 < t1 * 1.3, "s1 = {s1} vs t1 = {t1}");
+    }
+
+    #[test]
+    fn probe_samples_concentrate_near_one_for_low_churn() {
+        let mut llc = default_llc(2048, 2);
+        llc.enable_priority_probe();
+        llc.set_targets(&[1024, 1024]);
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..30 {
+            drive(&mut llc, 0, 20_000, 3_000, &mut rng);
+            drive(&mut llc, 1, 20_000, 3_000, &mut rng);
+        }
+        let samples = llc.drain_priority_samples();
+        assert!(samples.len() > 100, "expected many demotion samples");
+        let mean: f64 =
+            samples.iter().map(|(_, _, p)| f64::from(*p)).sum::<f64>() / samples.len() as f64;
+        // Balanced partitions demote from a small aperture: mean priority
+        // must sit well above 0.5 (Fig. 8's dark band near 1.0).
+        assert!(mean > 0.75, "mean demotion priority {mean}");
+    }
+
+    #[test]
+    fn exactly_one_mode_holds_sizes_but_demotes_younger_lines() {
+        // Fig. 2b vs 2c on the real cache: exactly-one demotion maintains
+        // partition sizes, but its demotion priorities are spread far below
+        // the demote-on-average controller's.
+        let run = |mode: DemotionMode| {
+            let cfg = VantageConfig { demotion_mode: mode, ..VantageConfig::default() };
+            let mut llc = VantageLlc::new(z52(2048), 2, cfg, 31);
+            llc.enable_priority_probe();
+            llc.set_targets(&[1024, 1024]);
+            let mut rng = SmallRng::seed_from_u64(32);
+            for _ in 0..30 {
+                drive(&mut llc, 0, 20_000, 3_000, &mut rng);
+                drive(&mut llc, 1, 20_000, 3_000, &mut rng);
+            }
+            llc.check_invariants();
+            let samples = llc.drain_priority_samples();
+            // The Eq. 2-vs-Eq. 3 difference is in the low-priority tail:
+            // demote-on-average never reaches below 1 - A, exactly-one does
+            // whenever few of a partition's lines appear among candidates.
+            let tail = samples.iter().filter(|(_, _, p)| *p < 0.8).count() as f64
+                / samples.len().max(1) as f64;
+            (llc.partition_size(0), tail)
+        };
+        let (size_avg, tail_avg) = run(DemotionMode::PerfectAperture);
+        let (size_one, tail_one) = run(DemotionMode::ExactlyOne);
+        // Both hold sizes near the (scaled) target...
+        for s in [size_avg, size_one] {
+            assert!(s > 850 && s < 1150, "size {s} off target");
+        }
+        // ...but exactly-one demotes soft-pinned (low-priority) lines that
+        // the aperture-based controller never touches.
+        assert!(
+            tail_one > 2.0 * tail_avg + 0.005,
+            "exactly-one tail {tail_one:.4} vs demote-on-average tail {tail_avg:.4}"
+        );
+    }
+
+    #[test]
+    fn churn_throttling_caps_runaway_partitions() {
+        // Without throttling a tiny-target churner grows to its minimum
+        // stable size; with throttling its fills divert to the unmanaged
+        // region and it stays pinned near the target.
+        let run = |throttle: bool| {
+            let cfg = VantageConfig { churn_throttling: throttle, ..VantageConfig::default() };
+            let mut llc = VantageLlc::new(z52(4096), 2, cfg, 21);
+            llc.set_targets(&[64, 4032]);
+            let mut rng = SmallRng::seed_from_u64(22);
+            drive(&mut llc, 1, 3_000, 50_000, &mut rng);
+            for i in 0..200_000u64 {
+                llc.access(0, LineAddr(i));
+            }
+            llc.check_invariants();
+            (llc.partition_size(0), llc.vantage_stats().throttled_insertions)
+        };
+        let (unthrottled, t0) = run(false);
+        let (throttled, t1) = run(true);
+        assert_eq!(t0, 0, "throttling off must divert nothing");
+        assert!(t1 > 10_000, "throttling should divert the churner's fills");
+        assert!(
+            throttled < unthrottled / 2,
+            "throttled churner at {throttled} vs {unthrottled} lines"
+        );
+        assert!(throttled < 200, "throttled partition should hug its target");
+    }
+
+    #[test]
+    fn targets_exceeding_capacity_rejected() {
+        let mut llc = default_llc(1024, 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            llc.set_targets(&[1024, 1024]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unmanaged_region_size_hovers_near_its_target() {
+        let mut llc = default_llc(4096, 4);
+        llc.set_targets(&[1024, 1024, 1024, 1024]);
+        let mut rng = SmallRng::seed_from_u64(14);
+        for _ in 0..25 {
+            for p in 0..4 {
+                drive(&mut llc, p, 50_000, 3_000, &mut rng);
+            }
+        }
+        llc.check_invariants();
+        let um = llc.unmanaged_size() as f64;
+        let target = llc.unmanaged_target() as f64;
+        assert!(um > target * 0.3 && um < target * 2.5, "unmanaged {um} vs target {target}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Associativity distributions under the uniformity assumption (Eq. 1).
+//!
+//! Following the zcache analytical framework, every line is assigned a
+//! uniformly distributed *eviction priority* `e ∈ [0, 1]` by the replacement
+//! policy, and on each replacement the controller evicts the candidate with
+//! the highest priority. The *associativity distribution* is the
+//! distribution of the priorities of evicted lines; the more skewed towards
+//! 1.0, the better the array approximates a fully-associative cache.
+//!
+//! If the array yields `R` independent, uniformly-distributed candidates,
+//! the evicted priority is the maximum of `R` uniforms:
+//!
+//! ```text
+//! FA(x) = Prob(A ≤ x) = x^R,  x ∈ [0, 1]          (Eq. 1)
+//! ```
+
+/// The associativity CDF `FA(x) = x^R` (Eq. 1).
+///
+/// # Panics
+///
+/// Panics if `r == 0` or `x` is not finite.
+///
+/// # Example
+///
+/// ```
+/// use vantage::model::assoc::cdf;
+///
+/// // With R = 64 candidates, evicting a line in the bottom 80% of priorities
+/// // is a one-in-a-million event (paper §3.2).
+/// assert!(cdf(0.8, 64) < 1.1e-6);
+/// ```
+pub fn cdf(x: f64, r: u32) -> f64 {
+    assert!(r > 0, "candidate count must be non-zero");
+    assert!(x.is_finite(), "x must be finite");
+    x.clamp(0.0, 1.0).powi(r as i32)
+}
+
+/// Inverse of [`cdf`]: the eviction priority below which a fraction `p` of
+/// evictions fall.
+///
+/// # Panics
+///
+/// Panics if `r == 0` or `p` is outside `[0, 1]`.
+pub fn quantile(p: f64, r: u32) -> f64 {
+    assert!(r > 0, "candidate count must be non-zero");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    p.powf(1.0 / f64::from(r))
+}
+
+/// Mean evicted priority, `R / (R + 1)`.
+pub fn mean(r: u32) -> f64 {
+    assert!(r > 0, "candidate count must be non-zero");
+    f64::from(r) / f64::from(r + 1)
+}
+
+/// Samples the CDF at `points + 1` evenly spaced priorities, producing the
+/// series plotted in Fig. 1.
+pub fn series(r: u32, points: usize) -> Vec<(f64, f64)> {
+    assert!(points > 0, "need at least one interval");
+    (0..=points)
+        .map(|i| {
+            let x = i as f64 / points as f64;
+            (x, cdf(x, r))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        for r in [4u32, 8, 16, 64] {
+            let s = series(r, 100);
+            assert_eq!(s.first().unwrap().1, 0.0);
+            assert_eq!(s.last().unwrap().1, 1.0);
+            for w in s.windows(2) {
+                assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn more_candidates_skew_towards_one() {
+        // Higher R means lower probability of evicting low-priority lines.
+        for x in [0.2, 0.5, 0.8, 0.95] {
+            assert!(cdf(x, 64) < cdf(x, 16));
+            assert!(cdf(x, 16) < cdf(x, 4));
+        }
+    }
+
+    #[test]
+    fn paper_reference_points() {
+        // §3.2: "with R = 64, the probability of evicting a line with
+        // eviction priority e < 0.8 is FA(0.8) = 1e-6".
+        let p = cdf(0.8, 64);
+        assert!(p > 1e-7 && p < 1e-5, "FA(0.8; 64) = {p}");
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for r in [4u32, 16, 52] {
+            for p in [0.01, 0.5, 0.99] {
+                let x = quantile(p, r);
+                assert!((cdf(x, r) - p).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_matches_closed_form() {
+        assert!((mean(1) - 0.5).abs() < 1e-12);
+        assert!((mean(63) - 63.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_clamps_out_of_range_x() {
+        assert_eq!(cdf(-0.5, 8), 0.0);
+        assert_eq!(cdf(1.5, 8), 1.0);
+    }
+}

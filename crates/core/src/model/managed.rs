@@ -1,0 +1,176 @@
+//! Associativity inside the managed region (Eqs. 2-3, Fig. 2).
+//!
+//! With the cache split into a managed fraction `m = 1 - u` and an
+//! unmanaged fraction `u`, demotions (the managed region's equivalent of
+//! evictions) can be performed two ways:
+//!
+//! * **Exactly one demotion per eviction** (Eq. 2): the controller must
+//!   demote the best candidate it finds among however many of the `R`
+//!   candidates happen to fall in the managed region — a binomial lottery
+//!   that sometimes forces demoting young lines.
+//! * **One demotion per eviction on average** (Eq. 3): the controller picks
+//!   an *aperture* `A` and demotes every candidate in the top `A` fraction
+//!   of eviction priorities; sizes are maintained because `R·m·A = 1` on
+//!   average. Demoted priorities are then uniform on `[1-A, 1]`, a large
+//!   associativity win (compare Fig. 2b and 2c).
+
+/// Binomial probability `B(i, R) = C(R,i) (1-u)^i u^(R-i)` that exactly `i`
+/// of `R` candidates fall in the managed region.
+///
+/// # Panics
+///
+/// Panics if `i > r` or `u` is outside `[0, 1]`.
+pub fn binom_managed(i: u32, r: u32, u: f64) -> f64 {
+    assert!(i <= r, "i must be at most R");
+    assert!((0.0..=1.0).contains(&u), "u must be a fraction");
+    // C(R, i) via a multiplicative loop; R ≤ a few hundred, so f64 is exact
+    // enough (exact through R = 64 for the configurations we use).
+    let mut c = 1.0f64;
+    for k in 0..i {
+        c = c * f64::from(r - k) / f64::from(k + 1);
+    }
+    c * (1.0 - u).powi(i as i32) * u.powi((r - i) as i32)
+}
+
+/// Managed-region associativity CDF when demoting *exactly one* line per
+/// eviction (Eq. 2):
+///
+/// ```text
+/// FM(x) ≈ Σ_{i=1}^{R-1} B(i, R) · x^i
+/// ```
+///
+/// (the negligible `i = 0` and `i = R` cases are ignored, as in the paper).
+///
+/// # Panics
+///
+/// Panics if `r < 2` or arguments are out of range.
+pub fn one_demotion_cdf(x: f64, r: u32, u: f64) -> f64 {
+    assert!(r >= 2, "need at least 2 candidates");
+    assert!((0.0..=1.0).contains(&u), "u must be a fraction");
+    let x = x.clamp(0.0, 1.0);
+    let mut acc = 0.0;
+    for i in 1..r {
+        acc += binom_managed(i, r, u) * x.powi(i as i32);
+    }
+    // Normalize over the included cases so FM(1) = 1 exactly.
+    let mass: f64 = (1..r).map(|i| binom_managed(i, r, u)).sum();
+    acc / mass
+}
+
+/// Managed-region associativity CDF when demoting on *average* with
+/// aperture `a` (Eq. 3): demoted priorities are uniform on `[1-a, 1]`.
+///
+/// # Panics
+///
+/// Panics if `a` is not in `(0, 1]`.
+pub fn average_demotion_cdf(x: f64, a: f64) -> f64 {
+    assert!(a > 0.0 && a <= 1.0, "aperture must be in (0, 1]");
+    if x < 1.0 - a {
+        0.0
+    } else if x >= 1.0 {
+        1.0
+    } else {
+        (x - (1.0 - a)) / a
+    }
+}
+
+/// The balanced aperture `A = 1 / (R·m)` that demotes one line per eviction
+/// on average when all partitions behave alike (§3.3).
+///
+/// # Panics
+///
+/// Panics if `r == 0` or `m` is not in `(0, 1]`.
+pub fn balanced_aperture(r: u32, m: f64) -> f64 {
+    assert!(r > 0, "candidate count must be non-zero");
+    assert!(m > 0.0 && m <= 1.0, "managed fraction must be in (0, 1]");
+    1.0 / (f64::from(r) * m)
+}
+
+/// Samples [`one_demotion_cdf`] (Fig. 2b series).
+pub fn one_demotion_series(r: u32, u: f64, points: usize) -> Vec<(f64, f64)> {
+    (0..=points)
+        .map(|i| {
+            let x = i as f64 / points as f64;
+            (x, one_demotion_cdf(x, r, u))
+        })
+        .collect()
+}
+
+/// Samples [`average_demotion_cdf`] with the balanced aperture for
+/// `(r, m = 1-u)` (Fig. 2c series).
+pub fn average_demotion_series(r: u32, u: f64, points: usize) -> Vec<(f64, f64)> {
+    let a = balanced_aperture(r, 1.0 - u).min(1.0);
+    (0..=points)
+        .map(|i| {
+            let x = i as f64 / points as f64;
+            (x, average_demotion_cdf(x, a))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_sums_to_one() {
+        for (r, u) in [(16u32, 0.3), (52, 0.05), (64, 0.15)] {
+            let total: f64 = (0..=r).map(|i| binom_managed(i, r, u)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "Σ B(i,R) = {total}");
+        }
+    }
+
+    #[test]
+    fn one_demotion_cdf_is_a_cdf() {
+        for (r, u) in [(16u32, 0.3), (32, 0.3), (64, 0.3)] {
+            assert!(one_demotion_cdf(0.0, r, u).abs() < 1e-12);
+            assert!((one_demotion_cdf(1.0, r, u) - 1.0).abs() < 1e-9);
+            let mut prev = 0.0;
+            for i in 0..=100 {
+                let v = one_demotion_cdf(i as f64 / 100.0, r, u);
+                assert!(v >= prev - 1e-12);
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn average_beats_exactly_one() {
+        // Fig. 2b vs 2c: with R = 16 and u = 0.3, demoting on average only
+        // touches lines with e > 0.9, while exactly-one demotes ~60% of its
+        // lines below e = 0.9.
+        let r = 16;
+        let u = 0.3;
+        let a = balanced_aperture(r, 1.0 - u);
+        assert!((a - 1.0 / (16.0 * 0.7)).abs() < 1e-12);
+        assert_eq!(average_demotion_cdf(0.9, a), 0.0, "average never demotes e < 1-A");
+        // Eq. 2 puts a substantial fraction (~31% here; E[x^i] with
+        // i ~ Binomial(16, 0.7)) of exactly-one demotions below e = 0.9,
+        // versus exactly zero for demote-on-average.
+        let exact = one_demotion_cdf(0.9, r, u);
+        assert!(exact > 0.25, "exactly-one demotes {exact} below 0.9");
+    }
+
+    #[test]
+    fn average_cdf_shape() {
+        let a = 0.1;
+        assert_eq!(average_demotion_cdf(0.0, a), 0.0);
+        assert_eq!(average_demotion_cdf(0.89, a), 0.0);
+        assert!((average_demotion_cdf(0.95, a) - 0.5).abs() < 1e-9);
+        assert_eq!(average_demotion_cdf(1.0, a), 1.0);
+    }
+
+    #[test]
+    fn series_lengths() {
+        assert_eq!(one_demotion_series(16, 0.3, 50).len(), 51);
+        assert_eq!(average_demotion_series(16, 0.3, 50).len(), 51);
+    }
+
+    #[test]
+    fn paper_aperture_example() {
+        // §3.3: R = 16, m = 0.625 → R·m = 10 candidates in the managed
+        // region per eviction, aperture 1/10.
+        let a = balanced_aperture(16, 0.625);
+        assert!((a - 0.1).abs() < 1e-12);
+    }
+}

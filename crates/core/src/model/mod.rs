@@ -1,0 +1,19 @@
+//! The paper's analytical models (§3).
+//!
+//! Vantage is "derived from statistical analysis, not empirical
+//! observation": every guarantee it offers — associativity bounds, partition
+//! size bounds, and the unmanaged-region sizing — comes from the closed-form
+//! models in this module.
+//!
+//! * [`assoc`] — associativity distributions of candidate-based arrays
+//!   under the uniformity assumption (`FA(x) = x^R`, Eq. 1 / Fig. 1).
+//! * [`managed`] — associativity inside the managed region, for
+//!   one-demotion-per-eviction (Eq. 2 / Fig. 2b) and demote-on-average
+//!   (Eq. 3 / Fig. 2c) policies.
+//! * [`sizing`] — aperture and stability math: per-partition apertures
+//!   (Eq. 4), minimum stable sizes (Eq. 5-6), feedback outgrowth (Eq. 8-9)
+//!   and the unmanaged-region sizing rule (§4.3 / Fig. 5).
+
+pub mod assoc;
+pub mod managed;
+pub mod sizing;

@@ -1,0 +1,158 @@
+//! Hardware state-overhead accounting (Fig. 4, §4.3 "Implementation
+//! costs").
+//!
+//! Vantage's cost is a few tag bits plus per-partition registers:
+//!
+//! * **Tag state**: a partition ID per line (`⌈log2(P+1)⌉` bits — one extra
+//!   ID for the unmanaged region) and the 8-bit coarse timestamp the
+//!   baseline zcache already carries for LRU.
+//! * **Per-partition state**: the Fig. 4 register file — `CurrentTS`,
+//!   `SetpointTS`, `AccessCounter`, `ActualSize`, `TargetSize`,
+//!   `CandsSeen`, `CandsDemoted` and the 8-entry demotion thresholds table
+//!   — 256 bits per partition.
+//!
+//! The paper's headline: on an 8 MB cache with 32 partitions, about 1.5%
+//! state overhead overall.
+
+/// Size-and-overhead breakdown for a Vantage deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateOverhead {
+    /// Cache lines.
+    pub lines: u64,
+    /// Partitions supported.
+    pub partitions: u32,
+    /// Partition-ID bits per tag (includes the unmanaged-region ID).
+    pub partition_id_bits: u32,
+    /// Timestamp bits per tag (present in the LRU baseline too).
+    pub timestamp_bits: u32,
+    /// Added tag bits across the cache (partition IDs only).
+    pub added_tag_bits: u64,
+    /// Controller register bits across all partitions.
+    pub controller_bits: u64,
+    /// Total added bits.
+    pub total_added_bits: u64,
+    /// Baseline state: data + nominal tags (+ timestamp) per line.
+    pub baseline_bits: u64,
+    /// `total_added_bits / baseline_bits`.
+    pub overhead_fraction: f64,
+}
+
+/// Per-partition controller state in bits, per Fig. 4:
+/// `CurrentTS(8) + SetpointTS(8) + AccessCounter(16) + ActualSize(16) +
+/// TargetSize(16) + CandsSeen(8) + CandsDemoted(8) + 8×(ThrSize(16) +
+/// ThrDems(8)) = 272` — the paper rounds to "about 256 bits".
+pub const PARTITION_STATE_BITS: u64 = 8 + 8 + 16 + 16 + 16 + 8 + 8 + 8 * (16 + 8);
+
+/// Computes the Vantage state overhead for a cache of `lines` 64-byte
+/// lines supporting `partitions` partitions, assuming `tag_bits`-bit
+/// nominal tags (the paper uses 64).
+///
+/// # Panics
+///
+/// Panics if `lines` or `partitions` is zero.
+///
+/// # Example
+///
+/// The paper's headline configuration — 8 MB, 32 partitions:
+///
+/// ```
+/// use vantage::overhead::state_overhead;
+///
+/// let o = state_overhead(128 * 1024, 32, 64);
+/// assert_eq!(o.partition_id_bits, 6); // 33 IDs
+/// // "around 1.5% state overhead overall"
+/// assert!(o.overhead_fraction > 0.010 && o.overhead_fraction < 0.020);
+/// ```
+pub fn state_overhead(lines: u64, partitions: u32, tag_bits: u32) -> StateOverhead {
+    assert!(lines > 0, "cache must have lines");
+    assert!(partitions > 0, "need at least one partition");
+    // IDs 0..=partitions (one extra for the unmanaged region): the widest
+    // value is `partitions` itself, so its bit length suffices.
+    let partition_id_bits = u32::BITS - partitions.leading_zeros();
+    let timestamp_bits = 8u32;
+    let added_tag_bits = lines * u64::from(partition_id_bits);
+    let controller_bits = u64::from(partitions) * PARTITION_STATE_BITS;
+    let total_added_bits = added_tag_bits + controller_bits;
+    // Baseline per line: 512 data bits + tag + coherence/valid (~4) + the
+    // 8-bit timestamp the LRU zcache already has.
+    let baseline_bits = lines * (512 + u64::from(tag_bits) + 4 + u64::from(timestamp_bits));
+    StateOverhead {
+        lines,
+        partitions,
+        partition_id_bits,
+        timestamp_bits,
+        added_tag_bits,
+        controller_bits,
+        total_added_bits,
+        baseline_bits,
+        overhead_fraction: total_added_bits as f64 / baseline_bits as f64,
+    }
+}
+
+impl std::fmt::Display for StateOverhead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} lines, {} partitions: {}b partition IDs/tag, {} controller bits/partition",
+            self.lines,
+            self.partitions,
+            self.partition_id_bits,
+            PARTITION_STATE_BITS
+        )?;
+        write!(
+            f,
+            "added {} KB over a {} KB baseline = {:.2}% overhead",
+            self.total_added_bits / 8 / 1024,
+            self.baseline_bits / 8 / 1024,
+            100.0 * self.overhead_fraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_configuration() {
+        // 8 MB / 64 B = 131072 lines, 32 partitions, 64-bit nominal tags.
+        let o = state_overhead(128 * 1024, 32, 64);
+        assert_eq!(o.partition_id_bits, 6, "33 identifiers need 6 bits");
+        // §4.3: tag adder is "a 1.01% increase"; total "around 1.5%"
+        // counting 4 banks' register files — we land in the same band.
+        assert!(
+            o.overhead_fraction > 0.009 && o.overhead_fraction < 0.02,
+            "overall overhead {:.3}%",
+            100.0 * o.overhead_fraction
+        );
+        // Controller state is tiny: 32 × 272b ≈ 1.1 KB per bank.
+        assert!(o.controller_bits / 8 <= 2 * 1024);
+    }
+
+    #[test]
+    fn id_bits_scale_with_partitions() {
+        assert_eq!(state_overhead(1024, 1, 64).partition_id_bits, 1); // 2 IDs
+        assert_eq!(state_overhead(1024, 3, 64).partition_id_bits, 2); // 4 IDs
+        assert_eq!(state_overhead(1024, 7, 64).partition_id_bits, 3); // 8 IDs
+        assert_eq!(state_overhead(1024, 8, 64).partition_id_bits, 4); // 9 IDs
+        assert_eq!(state_overhead(1024, 63, 64).partition_id_bits, 6);
+        assert_eq!(state_overhead(1024, 64, 64).partition_id_bits, 7);
+    }
+
+    #[test]
+    fn overhead_independent_of_cache_size_for_tags() {
+        // Tag overhead is per line, so the fraction is ~constant in size;
+        // controller state amortizes away on big caches.
+        let small = state_overhead(32 * 1024, 32, 64);
+        let big = state_overhead(1024 * 1024, 32, 64);
+        assert!(big.overhead_fraction <= small.overhead_fraction);
+        assert!((big.overhead_fraction - small.overhead_fraction).abs() < 0.002);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = state_overhead(128 * 1024, 32, 64).to_string();
+        assert!(s.contains("overhead"));
+        assert!(s.contains("32 partitions"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Progressive repartitioning (§3.4, "Transient behavior").
+//!
+//! When targets change abruptly, upsized partitions can acquire capacity
+//! faster than downsized ones release it, transiently squeezing the
+//! unmanaged region. The paper's advice for high-frequency resizers is to
+//! "control the upsizing and downsizing of partitions progressively and in
+//! multiple steps" — [`TargetRamp`] implements exactly that: a linear
+//! interpolation between two allocations whose every intermediate step
+//! sums to the same total.
+
+/// An iterator-style ramp from one target vector to another.
+///
+/// # Example
+///
+/// ```
+/// use vantage::resize::TargetRamp;
+///
+/// let mut ramp = TargetRamp::new(vec![800, 200], vec![200, 800], 3);
+/// assert_eq!(ramp.step(), Some(vec![600, 400]));
+/// assert_eq!(ramp.step(), Some(vec![400, 600]));
+/// assert_eq!(ramp.step(), Some(vec![200, 800]));
+/// assert_eq!(ramp.step(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TargetRamp {
+    from: Vec<u64>,
+    to: Vec<u64>,
+    steps: u32,
+    taken: u32,
+}
+
+impl TargetRamp {
+    /// Creates a ramp from `from` to `to` over `steps` steps (the final
+    /// step yields `to` exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length, `steps == 0`, or the totals
+    /// differ (a ramp conserves capacity).
+    pub fn new(from: Vec<u64>, to: Vec<u64>, steps: u32) -> Self {
+        assert_eq!(from.len(), to.len(), "allocations must have equal arity");
+        assert!(steps > 0, "need at least one step");
+        assert_eq!(
+            from.iter().sum::<u64>(),
+            to.iter().sum::<u64>(),
+            "a ramp conserves total capacity"
+        );
+        Self { from, to, steps, taken: 0 }
+    }
+
+    /// Whether the ramp has delivered its final allocation.
+    pub fn is_done(&self) -> bool {
+        self.taken >= self.steps
+    }
+
+    /// Produces the next intermediate allocation, or `None` when done.
+    /// Every step's total equals the endpoints' total exactly.
+    pub fn step(&mut self) -> Option<Vec<u64>> {
+        if self.is_done() {
+            return None;
+        }
+        self.taken += 1;
+        if self.taken == self.steps {
+            return Some(self.to.clone());
+        }
+        let t = self.taken as u128;
+        let s = self.steps as u128;
+        let mut out: Vec<u64> = Vec::with_capacity(self.from.len());
+        let mut fracs: Vec<(usize, u128)> = Vec::with_capacity(self.from.len());
+        let mut total = 0u64;
+        for (i, (&f, &g)) in self.from.iter().zip(&self.to).enumerate() {
+            // f + (g - f) * t / s in integer arithmetic, tracking remainders
+            // for largest-remainder correction.
+            let num = u128::from(f) * (s - t) + u128::from(g) * t;
+            out.push((num / s) as u64);
+            fracs.push((i, num % s));
+            total += (num / s) as u64;
+        }
+        let want: u64 = self.from.iter().sum();
+        fracs.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut short = want - total;
+        let mut k = 0;
+        while short > 0 {
+            out[fracs[k % fracs.len()].0] += 1;
+            short -= 1;
+            k += 1;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_conserves_totals_every_step() {
+        let mut ramp = TargetRamp::new(vec![1000, 1, 23, 476], vec![1, 999, 400, 100], 7);
+        let want: u64 = 1500;
+        let mut steps = 0;
+        while let Some(t) = ramp.step() {
+            assert_eq!(t.iter().sum::<u64>(), want, "step {steps}");
+            steps += 1;
+        }
+        assert_eq!(steps, 7);
+    }
+
+    #[test]
+    fn ramp_is_monotone_per_partition() {
+        let mut ramp = TargetRamp::new(vec![800, 200], vec![100, 900], 10);
+        let mut prev = vec![800u64, 200];
+        while let Some(t) = ramp.step() {
+            assert!(t[0] <= prev[0] + 1, "shrinking partition must not grow");
+            assert!(t[1] + 1 >= prev[1], "growing partition must not shrink");
+            prev = t;
+        }
+        assert_eq!(prev, vec![100, 900]);
+    }
+
+    #[test]
+    fn single_step_jumps_directly() {
+        let mut ramp = TargetRamp::new(vec![5, 5], vec![2, 8], 1);
+        assert_eq!(ramp.step(), Some(vec![2, 8]));
+        assert!(ramp.is_done());
+        assert_eq!(ramp.step(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "conserves total")]
+    fn mismatched_totals_rejected() {
+        TargetRamp::new(vec![10], vec![20], 2);
+    }
+}

@@ -1,0 +1,358 @@
+//! Shared experiment infrastructure: options, CSV output, the
+//! multi-scheme comparison runner and summary statistics.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use vantage_sim::{CmpSim, SchemeKind, SimResult, SystemConfig};
+use vantage_workloads::Mix;
+
+/// Command-line options shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Mixes generated per workload class (paper: 10).
+    pub mixes_per_class: usize,
+    /// Instruction quota per core (paper: 200M; scaled default).
+    pub instructions: Option<u64>,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+    /// Master seed.
+    pub seed: u64,
+    /// Quick mode: drastically reduced scale for smoke runs.
+    pub quick: bool,
+    /// Worker threads for mix-level parallelism (default: available cores).
+    pub jobs: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            mixes_per_class: 1,
+            instructions: None,
+            out_dir: PathBuf::from("results"),
+            seed: 42,
+            quick: false,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--mixes N --instr N --out DIR --seed N --quick` style
+    /// arguments (unknown arguments abort with a message).
+    pub fn parse(args: &[String]) -> Self {
+        let mut o = Self::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut take = || {
+                it.next().unwrap_or_else(|| panic!("missing value after {a}")).clone()
+            };
+            match a.as_str() {
+                "--mixes" => o.mixes_per_class = take().parse().expect("--mixes N"),
+                "--instr" => o.instructions = Some(take().parse().expect("--instr N")),
+                "--out" => o.out_dir = PathBuf::from(take()),
+                "--seed" => o.seed = take().parse().expect("--seed N"),
+                "--jobs" => o.jobs = take().parse::<usize>().expect("--jobs N").max(1),
+                "--quick" => o.quick = true,
+                other => panic!("unknown option: {other}"),
+            }
+        }
+        o
+    }
+
+    /// The per-core instruction quota for a machine, honoring overrides and
+    /// quick mode.
+    pub fn instructions_for(&self, sys: &SystemConfig) -> u64 {
+        if let Some(i) = self.instructions {
+            return i;
+        }
+        if self.quick {
+            sys.instructions / 20
+        } else {
+            sys.instructions
+        }
+    }
+}
+
+/// Writes CSV rows (first row = header) to `<out_dir>/<name>.csv`.
+pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) -> PathBuf {
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    println!("  wrote {}", path.display());
+    path
+}
+
+/// Result of running one mix under a baseline and several schemes.
+#[derive(Clone, Debug)]
+pub struct MixOutcome {
+    /// The mix's name (e.g. `ffnn3`).
+    pub mix: String,
+    /// Baseline aggregate throughput.
+    pub base_throughput: f64,
+    /// Per scheme (same order as the scheme list): absolute throughput.
+    pub throughput: Vec<f64>,
+    /// Per scheme: managed-eviction fraction where applicable.
+    pub managed_fraction: Vec<Option<f64>>,
+}
+
+impl MixOutcome {
+    /// Normalized throughput of scheme `s` versus the baseline.
+    pub fn normalized(&self, s: usize) -> f64 {
+        self.throughput[s] / self.base_throughput
+    }
+}
+
+/// Runs one mix under the baseline and each scheme.
+fn run_one(
+    sys: &SystemConfig,
+    baseline: &SchemeKind,
+    schemes: &[SchemeKind],
+    mix: &Mix,
+) -> MixOutcome {
+    let base = CmpSim::new(sys.clone(), baseline, mix).run();
+    let mut tp = Vec::with_capacity(schemes.len());
+    let mut mf = Vec::with_capacity(schemes.len());
+    for kind in schemes {
+        let r: SimResult = CmpSim::new(sys.clone(), kind, mix).run();
+        tp.push(r.throughput);
+        mf.push(r.managed_eviction_fraction);
+    }
+    MixOutcome {
+        mix: mix.name.clone(),
+        base_throughput: base.throughput,
+        throughput: tp,
+        managed_fraction: mf,
+    }
+}
+
+/// Runs every mix under the baseline and each scheme. Mixes are processed
+/// in parallel across `jobs` workers (simulations are independent and
+/// internally deterministic, so results do not depend on scheduling);
+/// output order matches the input order.
+pub fn run_comparison_jobs(
+    sys: &SystemConfig,
+    baseline: &SchemeKind,
+    schemes: &[SchemeKind],
+    mixes: &[Mix],
+    progress: bool,
+    jobs: usize,
+) -> Vec<MixOutcome> {
+    let jobs = jobs.max(1).min(mixes.len().max(1));
+    if jobs <= 1 {
+        let mut out = Vec::with_capacity(mixes.len());
+        for (i, mix) in mixes.iter().enumerate() {
+            if progress && (i % 10 == 0 || i + 1 == mixes.len()) {
+                eprintln!("  [{}/{}] {}", i + 1, mixes.len(), mix.name);
+            }
+            out.push(run_one(sys, baseline, schemes, mix));
+        }
+        return out;
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<MixOutcome>>> =
+        (0..mixes.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= mixes.len() {
+                    break;
+                }
+                let outcome = run_one(sys, baseline, schemes, &mixes[i]);
+                *slots[i].lock().expect("poisoned slot") = Some(outcome);
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if progress && (d % 10 == 0 || d == mixes.len()) {
+                    eprintln!("  [{d}/{}]", mixes.len());
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("poisoned slot").expect("all slots filled"))
+        .collect()
+}
+
+/// [`run_comparison_jobs`] with single-threaded execution (used by callers
+/// without an [`Options`] at hand).
+pub fn run_comparison(
+    sys: &SystemConfig,
+    baseline: &SchemeKind,
+    schemes: &[SchemeKind],
+    mixes: &[Mix],
+    progress: bool,
+) -> Vec<MixOutcome> {
+    run_comparison_jobs(sys, baseline, schemes, mixes, progress, 1)
+}
+
+/// Geometric mean of an iterator of positive values.
+pub fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut logsum, mut n) = (0.0, 0u64);
+    for v in values {
+        logsum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (logsum / n as f64).exp()
+    }
+}
+
+/// Per-scheme summary over a comparison (the numbers the paper's prose
+/// quotes for Figs. 6a and 7).
+#[derive(Clone, Debug)]
+pub struct SchemeSummary {
+    /// Scheme label.
+    pub label: String,
+    /// Geometric-mean normalized throughput.
+    pub geomean: f64,
+    /// Fraction of workloads with normalized throughput > 1.
+    pub improved: f64,
+    /// Best normalized throughput.
+    pub best: f64,
+    /// Worst normalized throughput.
+    pub worst: f64,
+}
+
+/// Summarizes one scheme column of a comparison.
+pub fn summarize(label: &str, outcomes: &[MixOutcome], s: usize) -> SchemeSummary {
+    let norm: Vec<f64> = outcomes.iter().map(|o| o.normalized(s)).collect();
+    SchemeSummary {
+        label: label.to_string(),
+        geomean: geomean(norm.iter().copied()),
+        improved: norm.iter().filter(|&&x| x > 1.0).count() as f64 / norm.len().max(1) as f64,
+        best: norm.iter().copied().fold(f64::MIN, f64::max),
+        worst: norm.iter().copied().fold(f64::MAX, f64::min),
+    }
+}
+
+/// Prints the standard summary block for a set of scheme summaries.
+pub fn print_summaries(title: &str, summaries: &[SchemeSummary]) {
+    println!("\n{title}");
+    println!(
+        "  {:<24} {:>9} {:>10} {:>8} {:>8}",
+        "scheme", "geomean", "%improved", "best", "worst"
+    );
+    for s in summaries {
+        println!(
+            "  {:<24} {:>8.3}x {:>9.1}% {:>7.3}x {:>7.3}x",
+            s.label,
+            s.geomean,
+            s.improved * 100.0,
+            s.best,
+            s.worst
+        );
+    }
+}
+
+/// Emits the sorted normalized-throughput curves (what Fig. 6a / Fig. 7
+/// plot) as CSV rows: `rank,<scheme1>,<scheme2>,...` with each scheme's
+/// column independently sorted ascending, as in the paper.
+pub fn sorted_curves_csv(outcomes: &[MixOutcome], schemes: &[String]) -> (String, Vec<String>) {
+    let mut columns: Vec<Vec<f64>> = (0..schemes.len())
+        .map(|s| {
+            let mut v: Vec<f64> = outcomes.iter().map(|o| o.normalized(s)).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v
+        })
+        .collect();
+    let header = format!("rank,{}", schemes.join(","));
+    let rows = (0..outcomes.len())
+        .map(|i| {
+            let vals: Vec<String> =
+                columns.iter_mut().map(|c| format!("{:.5}", c[i])).collect();
+            format!("{},{}", i, vals.join(","))
+        })
+        .collect();
+    (header, rows)
+}
+
+/// Renders a compact textual histogram of normalized values (a terminal
+/// stand-in for the paper's curves).
+pub fn ascii_distribution(label: &str, values: &[f64]) {
+    if values.is_empty() {
+        return;
+    }
+    let buckets = [
+        (0.0, 0.9, "<0.90"),
+        (0.9, 0.97, "0.90-0.97"),
+        (0.97, 1.0, "0.97-1.00"),
+        (1.0, 1.03, "1.00-1.03"),
+        (1.03, 1.10, "1.03-1.10"),
+        (1.10, f64::INFINITY, ">1.10"),
+    ];
+    print!("  {label:<24}");
+    for (lo, hi, name) in buckets {
+        let n = values.iter().filter(|&&v| v >= lo && v < hi).count();
+        let pct = 100.0 * n as f64 / values.len() as f64;
+        print!(" {name}:{pct:>4.0}%");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    fn options_parse_roundtrip() {
+        let args: Vec<String> =
+            ["--mixes", "3", "--instr", "500000", "--seed", "9", "--quick"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let o = Options::parse(&args);
+        assert_eq!(o.mixes_per_class, 3);
+        assert_eq!(o.instructions, Some(500_000));
+        assert_eq!(o.seed, 9);
+        assert!(o.quick);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown option")]
+    fn unknown_option_rejected() {
+        Options::parse(&["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn summaries_and_curves() {
+        let outcomes = vec![
+            MixOutcome {
+                mix: "a".into(),
+                base_throughput: 1.0,
+                throughput: vec![1.1, 0.9],
+                managed_fraction: vec![None, None],
+            },
+            MixOutcome {
+                mix: "b".into(),
+                base_throughput: 2.0,
+                throughput: vec![2.4, 1.8],
+                managed_fraction: vec![None, None],
+            },
+        ];
+        let s = summarize("x", &outcomes, 0);
+        assert!((s.geomean - (1.1f64 * 1.2).sqrt()).abs() < 1e-9);
+        assert_eq!(s.improved, 1.0);
+        let (header, rows) = sorted_curves_csv(&outcomes, &["x".into(), "y".into()]);
+        assert_eq!(header, "rank,x,y");
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with("0,1.10000,0.90000"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Reproduction harness for the Vantage paper: one subcommand per figure
+//! and table of the evaluation, plus `all`.
+//!
+//! ```text
+//! vantage-experiments <command> [--mixes N] [--instr N] [--out DIR] [--seed N] [--quick]
+//!
+//! commands:
+//!   fig1 fig2 fig3 fig5        model figures (analytical + Monte Carlo)
+//!   table1 table2 table3       scheme table, machine table, classification
+//!   fig6a fig6b fig7           throughput comparisons (4-core, 32-core)
+//!   fig8                       size tracking + associativity heat maps
+//!   fig9 fig10 fig11           sensitivity, cache designs, RRIP variants
+//!   modelcheck                 §6.2 idealized-configuration check
+//!   all                        everything above, in order
+//! ```
+//!
+//! `--mixes N` sets mixes per workload class (paper: 10; default: 1 for
+//! single-machine runtimes), `--instr N` overrides the per-core instruction
+//! quota, `--quick` shrinks everything for smoke testing. CSV artifacts are
+//! written under `--out` (default `results/`).
+
+use vantage_experiments::common::Options;
+use vantage_experiments::{fig_dynamics, fig_model, fig_sensitivity, fig_throughput, tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.clone(), r.to_vec()),
+        None => {
+            eprintln!("usage: vantage-experiments <command> [options]; see --help");
+            std::process::exit(2);
+        }
+    };
+    if cmd == "--help" || cmd == "help" {
+        println!(
+            "commands: fig1 fig2 fig3 fig5 table1 table2 table3 fig4|overheads fig6a fig6b \
+             fig7 fig8 fig9 fig10 fig11 modelcheck ablation all\noptions: --mixes N --instr N --out DIR --seed N --quick"
+        );
+        return;
+    }
+    let opts = Options::parse(&rest);
+    let t0 = std::time::Instant::now();
+    match cmd.as_str() {
+        "fig1" => fig_model::fig1(&opts),
+        "fig2" => fig_model::fig2(&opts),
+        "fig3" => fig_model::fig3(&opts),
+        "fig5" => fig_model::fig5(&opts),
+        "table1" => tables::table1(&opts),
+        "table2" => tables::table2(&opts),
+        "table3" => tables::table3(&opts),
+        "fig4" | "overheads" => tables::overheads(&opts),
+        "fig6a" => fig_throughput::fig6a(&opts),
+        "fig6b" => fig_throughput::fig6b(&opts),
+        "fig7" => fig_throughput::fig7(&opts),
+        "fig8" => fig_dynamics::fig8(&opts),
+        "fig9" => fig_sensitivity::fig9(&opts),
+        "fig10" => fig_sensitivity::fig10(&opts),
+        "fig11" => fig_sensitivity::fig11(&opts),
+        "modelcheck" => fig_sensitivity::modelcheck(&opts),
+        "ablation" => fig_sensitivity::ablation(&opts),
+        "all" => {
+            fig_model::fig1(&opts);
+            fig_model::fig2(&opts);
+            fig_model::fig3(&opts);
+            fig_model::fig5(&opts);
+            tables::table1(&opts);
+            tables::table2(&opts);
+            tables::table3(&opts);
+            tables::overheads(&opts);
+            fig_throughput::fig6a(&opts);
+            fig_throughput::fig6b(&opts);
+            fig_throughput::fig7(&opts);
+            fig_dynamics::fig8(&opts);
+            fig_sensitivity::fig9(&opts);
+            fig_sensitivity::fig10(&opts);
+            fig_sensitivity::fig11(&opts);
+            fig_sensitivity::modelcheck(&opts);
+        }
+        other => {
+            eprintln!("unknown command: {other}; try --help");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

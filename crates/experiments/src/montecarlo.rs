@@ -1,0 +1,348 @@
+//! Monte-Carlo validation of the analytical models: empirical
+//! associativity distributions measured on real arrays (Fig. 1) and on the
+//! managed/unmanaged region abstraction (Fig. 2).
+//!
+//! Eviction priority is defined as in the zcache framework: a line's *rank
+//! under the replacement policy among the lines currently resident*,
+//! normalized to `[0, 1]` (1.0 = evict first). Ranks are uniformly
+//! distributed at every instant by construction, which is what makes
+//! `FA(x) = x^R` the right reference. We track age ranks with a Fenwick
+//! tree over insertion stamps.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vantage_cache::{CacheArray, LineAddr, Walk, ZArray};
+
+/// A Fenwick (binary indexed) tree counting stamps, used to turn a stamp
+/// into its age rank among live stamps in O(log n).
+struct Fenwick {
+    tree: Vec<u32>,
+    counts: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(capacity: usize) -> Self {
+        Self { tree: vec![0; capacity + 1], counts: vec![0; capacity] }
+    }
+
+    fn add(&mut self, i: usize, delta: i32) {
+        if i >= self.counts.len() {
+            // Grow and rebuild (rare; growth is amortized by doubling).
+            let new_len = (i + 1).next_power_of_two() * 2;
+            self.counts.resize(new_len, 0);
+            self.counts[i] = (self.counts[i] as i32 + delta) as u32;
+            self.tree = vec![0; new_len + 1];
+            for (j, &c) in self.counts.iter().enumerate() {
+                if c > 0 {
+                    let mut k = j + 1;
+                    while k < self.tree.len() {
+                        self.tree[k] += c;
+                        k += k & k.wrapping_neg();
+                    }
+                }
+            }
+            return;
+        }
+        self.counts[i] = (self.counts[i] as i32 + delta) as u32;
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i32 + delta) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Number of live stamps strictly less than `i`.
+    fn count_less(&self, i: usize) -> u32 {
+        let mut i = i; // prefix sum over [0, i)
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Measures the empirical eviction-priority CDF of a zcache with `r`
+/// candidates under FIFO-stamp ranking (LRU with a no-reuse stream):
+/// every replacement evicts the oldest candidate, and the evicted line's
+/// age rank among all resident lines is collected. Returns the CDF sampled
+/// at `points + 1` evenly spaced priorities.
+pub fn zcache_eviction_cdf(r: usize, replacements: usize, points: usize, seed: u64) -> Vec<f64> {
+    let frames = 16 * 1024;
+    let array = ZArray::new(frames, 4, r, seed);
+    array_eviction_cdf(Box::new(array), frames, replacements, points, seed)
+}
+
+/// Same measurement on the idealized uniform-random-candidates array; this
+/// validates the measurement and the model exactly (the `FA(x) = x^R`
+/// derivation assumes precisely this array).
+pub fn random_array_eviction_cdf(
+    r: usize,
+    replacements: usize,
+    points: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let frames = 16 * 1024;
+    let array = vantage_cache::RandomArray::new(frames, r, seed);
+    array_eviction_cdf(Box::new(array), frames, replacements, points, seed)
+}
+
+/// Rank-based eviction-priority CDF measurement over any array.
+fn array_eviction_cdf(
+    mut boxed: Box<dyn CacheArray>,
+    frames: usize,
+    replacements: usize,
+    points: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let array = boxed.as_mut();
+    let mut stamp_of = vec![0usize; frames];
+    let mut fen = Fenwick::new(frames + replacements + 1);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x51AB);
+    let mut walk = Walk::new();
+    let mut moves = Vec::new();
+    let mut next_stamp = 0usize;
+
+    // Fill with unique random lines.
+    while array.occupancy() < frames {
+        let addr = LineAddr(rng.gen::<u64>() >> 1);
+        if array.lookup(addr).is_some() {
+            continue;
+        }
+        array.walk(addr, &mut walk);
+        let v = match walk.first_empty() {
+            Some(v) => v,
+            None => {
+                // Rare hash-conflict eviction during fill: retire the
+                // victim's stamp so ranks stay consistent.
+                fen.add(stamp_of[walk.nodes[0].frame as usize], -1);
+                0
+            }
+        };
+        moves.clear();
+        let landing = array.install(addr, &walk, v, &mut moves);
+        for &(from, to) in &moves {
+            stamp_of[to as usize] = stamp_of[from as usize];
+        }
+        stamp_of[landing as usize] = next_stamp;
+        fen.add(next_stamp, 1);
+        next_stamp += 1;
+    }
+
+    // Measure: evict the oldest candidate; record its age rank.
+    let mut samples = Vec::with_capacity(replacements);
+    while samples.len() < replacements {
+        let addr = LineAddr(rng.gen::<u64>() >> 1);
+        if array.lookup(addr).is_some() {
+            continue; // 2^-40ish; skip rather than double-install
+        }
+        array.walk(addr, &mut walk);
+        let victim = walk
+            .occupied()
+            .min_by_key(|(_, n)| stamp_of[n.frame as usize])
+            .map(|(i, _)| i)
+            .expect("full array");
+        let vstamp = stamp_of[walk.nodes[victim].frame as usize];
+        let older = fen.count_less(vstamp) as f64;
+        // Eviction priority: fraction of lines at least as old (oldest → 1).
+        samples.push((frames as f64 - older) / frames as f64);
+        fen.add(vstamp, -1);
+        moves.clear();
+        let landing = array.install(addr, &walk, victim, &mut moves);
+        for &(from, to) in &moves {
+            stamp_of[to as usize] = stamp_of[from as usize];
+        }
+        stamp_of[landing as usize] = next_stamp;
+        fen.add(next_stamp, 1);
+        next_stamp += 1;
+    }
+    empirical_cdf(&samples, points)
+}
+
+/// Demotion policy for the managed-region Monte Carlo.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DemotionPolicy {
+    /// Demote exactly the best managed candidate on every eviction (Eq. 2).
+    ExactlyOne,
+    /// Demote every managed candidate with rank above `1 - aperture`
+    /// (Eq. 3).
+    Aperture(f64),
+}
+
+/// Simulates the managed/unmanaged division at the rank level: `n` lines,
+/// fraction `u` unmanaged, `r` uniform candidates per replacement, FIFO
+/// age ranks within the managed region. Returns the empirical CDF of
+/// demoted priorities (ranks among managed lines at demotion time).
+pub fn managed_demotion_cdf(
+    n: usize,
+    u: f64,
+    r: usize,
+    policy: DemotionPolicy,
+    replacements: usize,
+    points: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut managed = vec![false; n];
+    let mut stamp = vec![0usize; n];
+    let mut fen = Fenwick::new(n + 2 * replacements + 1);
+    let mut next_stamp = 0usize;
+    let mut managed_count = 0u64;
+
+    // Initialize: (1-u)·n managed lines with increasing stamps.
+    for i in 0..n {
+        if (i as f64) < (1.0 - u) * n as f64 {
+            managed[i] = true;
+            stamp[i] = next_stamp;
+            fen.add(next_stamp, 1);
+            next_stamp += 1;
+            managed_count += 1;
+        }
+    }
+
+    let mut samples = Vec::new();
+    let mut cands: Vec<usize> = Vec::with_capacity(r);
+    for _ in 0..replacements {
+        cands.clear();
+        while cands.len() < r {
+            let i = rng.gen_range(0..n);
+            if !cands.contains(&i) {
+                cands.push(i);
+            }
+        }
+        // Rank of a managed line: fraction of managed lines at least as old.
+        let rank = |fen: &Fenwick, s: usize, mc: u64| {
+            let older = fen.count_less(s) as f64;
+            (mc as f64 - older) / mc as f64
+        };
+        match policy {
+            DemotionPolicy::ExactlyOne => {
+                if let Some(&best) =
+                    cands.iter().filter(|&&i| managed[i]).min_by_key(|&&i| stamp[i])
+                {
+                    samples.push(rank(&fen, stamp[best], managed_count));
+                    managed[best] = false;
+                    fen.add(stamp[best], -1);
+                    managed_count -= 1;
+                }
+            }
+            DemotionPolicy::Aperture(a) => {
+                for k in 0..cands.len() {
+                    let i = cands[k];
+                    if managed[i] {
+                        let e = rank(&fen, stamp[i], managed_count);
+                        if e > 1.0 - a {
+                            samples.push(e);
+                            managed[i] = false;
+                            fen.add(stamp[i], -1);
+                            managed_count -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Evict the oldest unmanaged candidate and insert a fresh managed
+        // line there (fills go to the managed region, as in Vantage).
+        if let Some(&evict) =
+            cands.iter().filter(|&&i| !managed[i]).min_by_key(|&&i| stamp[i])
+        {
+            managed[evict] = true;
+            stamp[evict] = next_stamp;
+            fen.add(next_stamp, 1);
+            next_stamp += 1;
+            managed_count += 1;
+        }
+    }
+    empirical_cdf(&samples, points)
+}
+
+/// Empirical CDF of `samples` at `points + 1` evenly spaced x positions.
+pub fn empirical_cdf(samples: &[f64], points: usize) -> Vec<f64> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (0..=points)
+        .map(|i| {
+            let x = i as f64 / points as f64;
+            let idx = sorted.partition_point(|&s| s <= x);
+            idx as f64 / sorted.len().max(1) as f64
+        })
+        .collect()
+}
+
+/// Maximum absolute deviation between two equally-sampled CDFs.
+pub fn max_deviation(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage::model::assoc;
+
+    #[test]
+    fn zcache_tracks_fa_model_and_random_array_matches_it() {
+        // The core uniformity claim (§3.2): candidates behave like a
+        // uniform sample. The idealized random array matches FA exactly;
+        // the zcache is close, with a bounded tail deviation under this
+        // adversarial evict-the-global-oldest, no-reuse stress (deep-walk
+        // in-degree variance; see fig1's note).
+        let emp = zcache_eviction_cdf(16, 30_000, 50, 1);
+        let ideal = random_array_eviction_cdf(16, 30_000, 50, 1);
+        let model: Vec<f64> = (0..=50).map(|i| assoc::cdf(i as f64 / 50.0, 16)).collect();
+        assert!(
+            max_deviation(&ideal, &model) < 0.03,
+            "random array must match FA exactly: {}",
+            max_deviation(&ideal, &model)
+        );
+        let dev = max_deviation(&emp, &model);
+        assert!(dev < 0.25, "Z4/16 deviates from FA by {dev}");
+        // And the zcache is far closer to x^16 than to a low-associativity
+        // reference like x^4.
+        let weak: Vec<f64> = (0..=50).map(|i| assoc::cdf(i as f64 / 50.0, 4)).collect();
+        assert!(max_deviation(&emp, &weak) > 2.0 * dev, "zcache should look ~16-way");
+    }
+
+    #[test]
+    fn managed_mc_matches_eq3() {
+        use vantage::model::managed;
+        let a = managed::balanced_aperture(16, 0.7);
+        let emp =
+            managed_demotion_cdf(8192, 0.3, 16, DemotionPolicy::Aperture(a), 60_000, 50, 2);
+        let model: Vec<f64> =
+            (0..=50).map(|i| managed::average_demotion_cdf(i as f64 / 50.0, a)).collect();
+        let dev = max_deviation(&emp, &model);
+        assert!(dev < 0.06, "aperture MC deviates from Eq. 3 by {dev}");
+    }
+
+    #[test]
+    fn managed_mc_matches_eq2() {
+        use vantage::model::managed;
+        let emp =
+            managed_demotion_cdf(8192, 0.3, 16, DemotionPolicy::ExactlyOne, 60_000, 50, 3);
+        let model: Vec<f64> =
+            (0..=50).map(|i| managed::one_demotion_cdf(i as f64 / 50.0, 16, 0.3)).collect();
+        let dev = max_deviation(&emp, &model);
+        assert!(dev < 0.08, "exactly-one MC deviates from Eq. 2 by {dev}");
+    }
+
+    #[test]
+    fn empirical_cdf_shape() {
+        let cdf = empirical_cdf(&[0.1, 0.5, 0.9], 10);
+        assert_eq!(cdf[0], 0.0);
+        assert_eq!(cdf[10], 1.0);
+        assert!((cdf[5] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fenwick_counts() {
+        let mut f = Fenwick::new(10);
+        f.add(3, 1);
+        f.add(7, 1);
+        assert_eq!(f.count_less(3), 0);
+        assert_eq!(f.count_less(4), 1);
+        assert_eq!(f.count_less(8), 2);
+        f.add(3, -1);
+        assert_eq!(f.count_less(8), 1);
+    }
+}

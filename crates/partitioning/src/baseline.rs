@@ -1,0 +1,303 @@
+//! The unpartitioned baseline LLC: a plain shared cache with LRU or RRIP
+//! replacement over any cache array.
+//!
+//! This is the cache all the paper's throughput figures normalize against
+//! ("an unpartitioned 16-way set-associative L2 with LRU" in Fig. 6, 64-way
+//! in Fig. 7) and, over a zcache array, the "LRU-Z4/52" configuration of
+//! Fig. 6b. Partition IDs are still tracked so experiments can observe how
+//! free-for-all sharing divides capacity, but targets are ignored.
+
+use vantage_cache::{CacheArray, Frame, LineAddr, RripConfig, RripPolicy, Walk};
+
+use crate::llc::{AccessOutcome, Llc, LlcStats};
+
+/// Replacement ranking used by [`BaselineLlc`].
+#[derive(Clone, Debug)]
+pub enum RankPolicy {
+    /// Exact least-recently-used (per-line access clocks).
+    Lru,
+    /// An RRIP variant (see [`RripConfig`]).
+    Rrip(RripConfig),
+}
+
+enum RankState {
+    Lru { last: Vec<u64>, clock: u64 },
+    Rrip { policy: RripPolicy, rrpv: Vec<u8> },
+}
+
+/// An unpartitioned shared cache.
+///
+/// # Example
+///
+/// ```
+/// use vantage_cache::SetAssocArray;
+/// use vantage_partitioning::{BaselineLlc, Llc, RankPolicy};
+///
+/// let array = SetAssocArray::hashed(4096, 16, 1);
+/// let mut llc = BaselineLlc::new(Box::new(array), 4, RankPolicy::Lru);
+/// llc.access(0, 0x10.into());
+/// assert_eq!(llc.stats().misses[0], 1);
+/// llc.access(0, 0x10.into());
+/// assert_eq!(llc.stats().hits[0], 1);
+/// ```
+pub struct BaselineLlc {
+    array: Box<dyn CacheArray>,
+    rank: RankState,
+    /// Which partition inserted the line in each frame (stats only).
+    owner: Vec<u16>,
+    part_lines: Vec<u64>,
+    stats: LlcStats,
+    walk: Walk,
+    moves: Vec<(Frame, Frame)>,
+    name: &'static str,
+}
+
+impl BaselineLlc {
+    /// Creates an unpartitioned cache over `array` serving `partitions`
+    /// requestors with the given replacement `rank` policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is 0 or exceeds `u16::MAX`.
+    pub fn new(array: Box<dyn CacheArray>, partitions: usize, rank: RankPolicy) -> Self {
+        assert!(partitions > 0 && partitions <= u16::MAX as usize, "bad partition count");
+        let frames = array.num_frames();
+        let (rank, name) = match rank {
+            RankPolicy::Lru => {
+                (RankState::Lru { last: vec![0; frames], clock: 0 }, "Baseline-LRU")
+            }
+            RankPolicy::Rrip(cfg) => (
+                RankState::Rrip { policy: RripPolicy::new(cfg), rrpv: vec![0; frames] },
+                "Baseline-RRIP",
+            ),
+        };
+        Self {
+            array,
+            rank,
+            owner: vec![0; frames],
+            part_lines: vec![0; partitions],
+            stats: LlcStats::new(partitions),
+            walk: Walk::with_capacity(64),
+            moves: Vec::with_capacity(8),
+            name,
+        }
+    }
+
+    /// Read-only access to the underlying array.
+    pub fn array(&self) -> &dyn CacheArray {
+        self.array.as_ref()
+    }
+
+    fn on_hit(&mut self, frame: Frame) {
+        match &mut self.rank {
+            RankState::Lru { last, clock } => {
+                *clock += 1;
+                last[frame as usize] = *clock;
+            }
+            RankState::Rrip { policy, rrpv } => {
+                rrpv[frame as usize] = policy.hit_rrpv();
+            }
+        }
+    }
+
+    fn select_victim(&mut self) -> usize {
+        if let Some(i) = self.walk.first_empty() {
+            return i;
+        }
+        match &mut self.rank {
+            RankState::Lru { last, .. } => self
+                .walk
+                .nodes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| last[n.frame as usize])
+                .map(|(i, _)| i)
+                .expect("walk non-empty"),
+            RankState::Rrip { policy, rrpv } => {
+                let cands: Vec<u8> =
+                    self.walk.nodes.iter().map(|n| rrpv[n.frame as usize]).collect();
+                let (victim, aging) = policy.select_victim(&cands);
+                if aging > 0 {
+                    let max = policy.max_rrpv();
+                    for n in &self.walk.nodes {
+                        let v = &mut rrpv[n.frame as usize];
+                        *v = v.saturating_add(aging).min(max);
+                    }
+                }
+                victim
+            }
+        }
+    }
+}
+
+impl Llc for BaselineLlc {
+    fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
+        if let Some(frame) = self.array.lookup(addr) {
+            self.on_hit(frame);
+            self.stats.hits[part] += 1;
+            return AccessOutcome::Hit;
+        }
+        self.stats.misses[part] += 1;
+        if let RankState::Rrip { policy, .. } = &mut self.rank {
+            policy.note_miss(part, addr);
+        }
+        self.array.walk(addr, &mut self.walk);
+        let victim = self.select_victim();
+        let evicted = self.walk.nodes[victim].line.is_some();
+        if evicted {
+            self.stats.evictions += 1;
+            let vf = self.walk.nodes[victim].frame as usize;
+            self.part_lines[self.owner[vf] as usize] -= 1;
+        }
+        self.moves.clear();
+        let landing = {
+            // Split borrow: install needs &mut array only.
+            let walk = &self.walk;
+            self.array.install(addr, walk, victim, &mut self.moves)
+        };
+        // Relocate per-frame metadata along with the moved lines.
+        for &(from, to) in &self.moves {
+            self.owner[to as usize] = self.owner[from as usize];
+            match &mut self.rank {
+                RankState::Lru { last, .. } => last[to as usize] = last[from as usize],
+                RankState::Rrip { rrpv, .. } => rrpv[to as usize] = rrpv[from as usize],
+            }
+        }
+        self.owner[landing as usize] = part as u16;
+        self.part_lines[part] += 1;
+        match &mut self.rank {
+            RankState::Lru { last, clock } => {
+                *clock += 1;
+                last[landing as usize] = *clock;
+            }
+            RankState::Rrip { policy, rrpv } => {
+                rrpv[landing as usize] = policy.insertion_rrpv(part, addr);
+            }
+        }
+        AccessOutcome::Miss
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.part_lines.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.array.num_frames()
+    }
+
+    fn set_targets(&mut self, targets: &[u64]) {
+        // Unpartitioned: targets are advisory no-ops, but validate shape so
+        // misuse is caught uniformly across schemes.
+        assert_eq!(targets.len(), self.part_lines.len(), "one target per partition");
+    }
+
+    fn partition_size(&self, part: usize) -> u64 {
+        self.part_lines[part]
+    }
+
+    fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut LlcStats {
+        &mut self.stats
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage_cache::{RripMode, SetAssocArray, ZArray};
+
+    fn lru_llc(frames: usize, ways: usize) -> BaselineLlc {
+        BaselineLlc::new(Box::new(SetAssocArray::hashed(frames, ways, 3)), 2, RankPolicy::Lru)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = lru_llc(256, 4);
+        assert_eq!(c.access(0, LineAddr(1)), AccessOutcome::Miss);
+        assert_eq!(c.access(0, LineAddr(1)), AccessOutcome::Hit);
+        assert_eq!(c.stats().hits[0], 1);
+        assert_eq!(c.stats().misses[0], 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Modulo-indexed 1-set cache so we control the conflict pattern.
+        let array = SetAssocArray::modulo(4, 4);
+        let mut c = BaselineLlc::new(Box::new(array), 1, RankPolicy::Lru);
+        for i in 0..4u64 {
+            c.access(0, LineAddr(i));
+        }
+        // Touch 0 to make 1 the LRU line.
+        c.access(0, LineAddr(0));
+        c.access(0, LineAddr(100)); // evicts 1
+        assert_eq!(c.access(0, LineAddr(0)), AccessOutcome::Hit);
+        assert_eq!(c.access(0, LineAddr(1)), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn partition_sizes_track_ownership() {
+        let mut c = lru_llc(256, 4);
+        for i in 0..10u64 {
+            c.access(0, LineAddr(i));
+        }
+        for i in 100..105u64 {
+            c.access(1, LineAddr(i));
+        }
+        assert_eq!(c.partition_size(0), 10);
+        assert_eq!(c.partition_size(1), 5);
+        assert_eq!(c.capacity(), 256);
+    }
+
+    #[test]
+    fn works_over_zcache_with_relocations() {
+        let array = ZArray::new(512, 4, 16, 5);
+        let mut c = BaselineLlc::new(Box::new(array), 1, RankPolicy::Lru);
+        // Drive enough traffic to force evictions with relocations.
+        for i in 0..4096u64 {
+            c.access(0, LineAddr(i % 700));
+        }
+        assert!(c.stats().evictions > 0);
+        assert_eq!(c.partition_size(0), c.array().occupancy() as u64);
+        // Re-access a recently used window: mostly hits.
+        let before = c.stats().hits[0];
+        for i in 0..50u64 {
+            c.access(0, LineAddr(i % 700));
+        }
+        assert!(c.stats().hits[0] > before);
+    }
+
+    #[test]
+    fn rrip_baseline_runs() {
+        let array = SetAssocArray::hashed(512, 16, 9);
+        let cfg = RripConfig::paper(RripMode::Drrip, 2, 11);
+        let mut c = BaselineLlc::new(Box::new(array), 2, RankPolicy::Rrip(cfg));
+        for i in 0..10_000u64 {
+            c.access((i % 2) as usize, LineAddr(i % 1500));
+        }
+        let s = c.stats();
+        assert!(s.total_hits() > 0);
+        assert!(s.total_misses() > 0);
+        assert_eq!(c.name(), "Baseline-RRIP");
+    }
+
+    #[test]
+    fn eviction_counter_counts_only_replacements() {
+        let mut c = lru_llc(64, 4);
+        for i in 0..64u64 {
+            c.access(0, LineAddr(i));
+        }
+        // At most capacity lines could have been installed without eviction.
+        assert_eq!(c.stats().evictions, 0);
+        for i in 64..256u64 {
+            c.access(0, LineAddr(i));
+        }
+        assert!(c.stats().evictions > 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Last-level cache partitioning schemes.
+//!
+//! This crate defines the [`Llc`] abstraction — a shared last-level cache
+//! that serves accesses on behalf of partitions and enforces per-partition
+//! capacity targets — and implements the schemes the Vantage paper compares
+//! against:
+//!
+//! * [`BaselineLlc`] — an unpartitioned cache (LRU or RRIP) over any
+//!   [`CacheArray`](vantage_cache::CacheArray); the normalization baseline.
+//! * [`WayPartLlc`] — way-partitioning / column caching (Chiou et al.,
+//!   DAC 2000): each partition owns a subset of the ways; strict isolation
+//!   but associativity proportional to the way count.
+//! * [`PippLlc`] — promotion/insertion pseudo-partitioning (Xie & Loh,
+//!   ISCA 2009): insertion position equals the partition's way allocation,
+//!   single-step probabilistic promotion on hits, plus stream detection.
+//!
+//! Vantage itself implements this same [`Llc`] trait (in the `vantage`
+//! crate), so simulators and experiments treat all schemes uniformly.
+
+pub mod banked;
+pub mod baseline;
+pub mod hist;
+pub mod llc;
+pub mod pipp;
+pub mod way_part;
+
+pub use banked::BankedLlc;
+pub use baseline::{BaselineLlc, RankPolicy};
+pub use hist::TsHistogram;
+pub use llc::{AccessOutcome, Llc, LlcStats};
+pub use pipp::{PippConfig, PippLlc};
+pub use way_part::WayPartLlc;

@@ -1,0 +1,237 @@
+//! The [`Llc`] trait: a shared, partitioned last-level cache.
+
+use vantage_cache::LineAddr;
+
+/// Outcome of one cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was fetched and installed (possibly evicting another line).
+    Miss,
+}
+
+impl AccessOutcome {
+    /// `true` for [`AccessOutcome::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// Aggregate per-LLC statistics, kept uniformly across schemes.
+#[derive(Clone, Debug, Default)]
+pub struct LlcStats {
+    /// Hits per partition.
+    pub hits: Vec<u64>,
+    /// Misses per partition.
+    pub misses: Vec<u64>,
+    /// Total lines evicted (excluding fills into empty frames).
+    pub evictions: u64,
+}
+
+impl LlcStats {
+    /// Creates zeroed stats for `partitions` partitions.
+    pub fn new(partitions: usize) -> Self {
+        Self { hits: vec![0; partitions], misses: vec![0; partitions], evictions: 0 }
+    }
+
+    /// Total accesses by `part`.
+    pub fn accesses(&self, part: usize) -> u64 {
+        self.hits[part] + self.misses[part]
+    }
+
+    /// Miss ratio of `part` (0 if it made no accesses).
+    pub fn miss_ratio(&self, part: usize) -> f64 {
+        let a = self.accesses(part);
+        if a == 0 {
+            0.0
+        } else {
+            self.misses[part] as f64 / a as f64
+        }
+    }
+
+    /// Total hits across partitions.
+    pub fn total_hits(&self) -> u64 {
+        self.hits.iter().sum()
+    }
+
+    /// Total misses across partitions.
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.hits.fill(0);
+        self.misses.fill(0);
+        self.evictions = 0;
+    }
+}
+
+/// A shared last-level cache serving multiple partitions.
+///
+/// A partition is usually a core/thread, but may be any capacity domain
+/// (an address range pinned as a local store, a transactional-state
+/// partition, a security domain, ...). Implementations differ in how — and
+/// how strictly — they enforce the capacity targets.
+///
+/// # Target semantics
+///
+/// [`set_targets`](Llc::set_targets) receives one target per partition in
+/// *lines of total cache capacity* (the allocation-policy view). Schemes map
+/// these onto their own mechanism: way-partitioning and PIPP round to whole
+/// ways; Vantage scales them onto its managed region.
+pub trait Llc {
+    /// Serves an access to `addr` on behalf of partition `part`,
+    /// updating replacement and partition state.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `part >= num_partitions()`.
+    fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome;
+
+    /// Number of partitions this cache was configured with.
+    fn num_partitions(&self) -> usize;
+
+    /// Total capacity in lines.
+    fn capacity(&self) -> usize;
+
+    /// Installs new capacity targets (in lines; see trait docs).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `targets.len() != num_partitions()` or
+    /// if the sum of targets exceeds the capacity.
+    fn set_targets(&mut self, targets: &[u64]);
+
+    /// The number of lines partition `part` currently holds.
+    fn partition_size(&self, part: usize) -> u64;
+
+    /// Hit/miss statistics.
+    fn stats(&self) -> &LlcStats;
+
+    /// Mutable statistics (e.g. to reset between measurement intervals).
+    fn stats_mut(&mut self) -> &mut LlcStats;
+
+    /// A short human-readable scheme name (e.g. `"Vantage"`, `"WayPart"`).
+    fn name(&self) -> &str;
+}
+
+/// Converts line-granularity targets into a whole-way allocation summing to
+/// exactly `ways`, giving every partition at least one way.
+///
+/// This is how way-granularity schemes (way-partitioning, PIPP) map the
+/// allocation policy's targets onto their mechanism. Uses largest-remainder
+/// apportionment on top of a one-way-per-partition floor.
+///
+/// # Panics
+///
+/// Panics if `targets` is empty or there are fewer ways than partitions.
+pub fn ways_from_targets(targets: &[u64], ways: u32) -> Vec<u32> {
+    let n = targets.len();
+    assert!(n > 0, "no partitions");
+    assert!(ways as usize >= n, "need at least one way per partition");
+    let total: u64 = targets.iter().sum();
+    let mut alloc = vec![1u32; n];
+    let rem = ways - n as u32;
+    if rem == 0 {
+        return alloc;
+    }
+    // Desired way share beyond the 1-way floor.
+    let extras: Vec<f64> = if total == 0 {
+        vec![1.0; n]
+    } else {
+        targets
+            .iter()
+            .map(|&t| (t as f64 / total as f64 * f64::from(ways) - 1.0).max(0.0))
+            .collect()
+    };
+    let extra_sum: f64 = extras.iter().sum();
+    if extra_sum <= 0.0 {
+        // Degenerate: all targets want less than one way; spread evenly.
+        for i in 0..rem as usize {
+            alloc[i % n] += 1;
+        }
+        return alloc;
+    }
+    let scaled: Vec<f64> = extras.iter().map(|e| e * f64::from(rem) / extra_sum).collect();
+    let mut given = 0u32;
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(n);
+    for (i, &s) in scaled.iter().enumerate() {
+        let f = s.floor() as u32;
+        alloc[i] += f;
+        given += f;
+        fracs.push((i, s - s.floor()));
+    }
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+    for k in 0..(rem - given) as usize {
+        alloc[fracs[k % n].0] += 1;
+    }
+    debug_assert_eq!(alloc.iter().sum::<u32>(), ways);
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(AccessOutcome::Hit.is_hit());
+        assert!(!AccessOutcome::Miss.is_hit());
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut s = LlcStats::new(2);
+        s.hits[0] = 6;
+        s.misses[0] = 2;
+        s.misses[1] = 4;
+        assert_eq!(s.accesses(0), 8);
+        assert_eq!(s.miss_ratio(0), 0.25);
+        assert_eq!(s.miss_ratio(1), 1.0);
+        assert_eq!(s.total_hits(), 6);
+        assert_eq!(s.total_misses(), 6);
+        s.reset();
+        assert_eq!(s.accesses(0), 0);
+        assert_eq!(s.miss_ratio(0), 0.0);
+    }
+
+    #[test]
+    fn ways_sum_exactly_and_respect_floor() {
+        let alloc = ways_from_targets(&[100, 100, 100, 100], 16);
+        assert_eq!(alloc, vec![4, 4, 4, 4]);
+
+        let alloc = ways_from_targets(&[700, 100, 100, 100], 16);
+        assert_eq!(alloc.iter().sum::<u32>(), 16);
+        assert!(alloc.iter().all(|&w| w >= 1));
+        assert!(alloc[0] > alloc[1]);
+
+        // A partition with a zero target still gets its floor way.
+        let alloc = ways_from_targets(&[1000, 0, 0, 0], 8);
+        assert_eq!(alloc.iter().sum::<u32>(), 8);
+        assert_eq!(&alloc[1..], &[1, 1, 1]);
+        assert_eq!(alloc[0], 5);
+    }
+
+    #[test]
+    fn ways_handle_many_partitions() {
+        let targets: Vec<u64> = (0..32).map(|i| 100 + i * 10).collect();
+        let alloc = ways_from_targets(&targets, 64);
+        assert_eq!(alloc.iter().sum::<u32>(), 64);
+        assert!(alloc.iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    fn zero_targets_split_evenly() {
+        let alloc = ways_from_targets(&[0, 0], 8);
+        assert_eq!(alloc.iter().sum::<u32>(), 8);
+        assert!(alloc.iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn too_few_ways_panics() {
+        ways_from_targets(&[1, 2, 3, 4, 5], 4);
+    }
+}

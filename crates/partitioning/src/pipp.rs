@@ -1,0 +1,392 @@
+//! PIPP: promotion/insertion pseudo-partitioning (Xie & Loh, ISCA 2009).
+//!
+//! PIPP approximates partitioning by managing each set's priority chain:
+//!
+//! * **Insertion**: a partition allocated `w` ways inserts new lines at
+//!   chain position `w - 1` (0 = LRU end), so larger allocations insert
+//!   closer to MRU and naturally retain more lines.
+//! * **Promotion**: on a hit, a line moves up a single position with
+//!   probability `p_prom = 3/4` (instead of jumping to MRU as in LRU).
+//! * **Stream detection**: partitions missing on at least
+//!   `θ_m = 12.5%` of their accesses in the last interval are classified as
+//!   streaming; they are treated as owning a single way, insert at the
+//!   bottom of the stack (position `s - 1`, where `s` counts total
+//!   streaming ways) and promote with `p_stream = 1/128`, limiting cache
+//!   pollution.
+//!
+//! These are the parameter values the Vantage paper uses for its PIPP
+//! baseline (§5). As the paper observes (§6.1), insertion positions equal to
+//! the way allocation stop scaling with many partitions: with 32 partitions
+//! on a 64-way cache most partitions insert near the LRU end, causing
+//! contention at the bottom of the chain and dead lines at the top (Fig. 7).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vantage_cache::{CacheArray, LineAddr, SetAssocArray, Walk};
+
+use crate::llc::{ways_from_targets, AccessOutcome, Llc, LlcStats};
+
+/// Tuning knobs for [`PippLlc`] (defaults are the paper's values).
+#[derive(Clone, Debug)]
+pub struct PippConfig {
+    /// Probability a hit promotes the line one position.
+    pub p_prom: f64,
+    /// Promotion probability for streaming partitions.
+    pub p_stream: f64,
+    /// Miss-ratio threshold for classifying a partition as streaming.
+    pub theta_miss: f64,
+    /// Minimum interval accesses before (re)classifying a partition.
+    pub min_classify_accesses: u64,
+}
+
+impl Default for PippConfig {
+    fn default() -> Self {
+        Self { p_prom: 0.75, p_stream: 1.0 / 128.0, theta_miss: 0.125, min_classify_accesses: 1000 }
+    }
+}
+
+/// A PIPP-managed set-associative LLC.
+///
+/// # Example
+///
+/// ```
+/// use vantage_partitioning::{Llc, PippConfig, PippLlc};
+///
+/// let mut llc = PippLlc::new(4096, 16, 4, PippConfig::default(), 7);
+/// llc.set_targets(&[1024, 1024, 1024, 1024]);
+/// llc.access(0, 0x3.into());
+/// ```
+pub struct PippLlc {
+    array: SetAssocArray,
+    ways: u32,
+    /// Per-set priority chains: `chain[set*ways + pos]` is the way at
+    /// position `pos` (0 = LRU end).
+    chain: Vec<u8>,
+    /// Inverse map: `pos_of[frame]` is the chain position of that frame.
+    pos_of: Vec<u8>,
+    alloc: Vec<u32>,
+    streaming: Vec<bool>,
+    owner: Vec<u16>,
+    part_lines: Vec<u64>,
+    /// Interval counters for stream classification.
+    interval_hits: Vec<u64>,
+    interval_misses: Vec<u64>,
+    cfg: PippConfig,
+    rng: SmallRng,
+    stats: LlcStats,
+    walk: Walk,
+}
+
+impl PippLlc {
+    /// Creates a PIPP cache of `frames` lines and `ways` ways (H3-hashed
+    /// indexing) shared by `partitions` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid or `partitions > ways`.
+    pub fn new(frames: usize, ways: usize, partitions: usize, cfg: PippConfig, seed: u64) -> Self {
+        assert!(partitions > 0 && partitions <= ways, "need 1..=ways partitions");
+        assert!(ways <= u8::MAX as usize + 1, "way index must fit in u8");
+        let array = SetAssocArray::hashed(frames, ways, seed);
+        let sets = frames / ways;
+        let mut chain = Vec::with_capacity(frames);
+        for _ in 0..sets {
+            chain.extend(0..ways as u8);
+        }
+        let mut llc = Self {
+            array,
+            ways: ways as u32,
+            chain,
+            pos_of: (0..frames).map(|f| (f % ways) as u8).collect(),
+            alloc: vec![0; partitions],
+            streaming: vec![false; partitions],
+            owner: vec![0; frames],
+            part_lines: vec![0; partitions],
+            interval_hits: vec![0; partitions],
+            interval_misses: vec![0; partitions],
+            cfg,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9157),
+            stats: LlcStats::new(partitions),
+            walk: Walk::with_capacity(ways),
+        };
+        let even = vec![1u64; partitions];
+        Llc::set_targets(&mut llc, &even);
+        llc
+    }
+
+    /// Current way allocation (streaming partitions are reported as
+    /// allocated, even though they effectively use one way).
+    pub fn way_allocation(&self) -> &[u32] {
+        &self.alloc
+    }
+
+    /// Which partitions are currently classified as streaming.
+    pub fn streaming_flags(&self) -> &[bool] {
+        &self.streaming
+    }
+
+    #[inline]
+    fn chain_slice(&mut self, set: u32) -> &mut [u8] {
+        let w = self.ways as usize;
+        let base = set as usize * w;
+        &mut self.chain[base..base + w]
+    }
+
+    /// Moves way `way` in `set`'s chain from its current position to `to`,
+    /// shifting the ways in between.
+    fn reposition(&mut self, set: u32, way: u8, to: usize) {
+        let ways = self.ways;
+        let chain = self.chain_slice(set);
+        let from = chain.iter().position(|&w| w == way).expect("way present in chain");
+        if from == to {
+            return;
+        }
+        if from < to {
+            chain[from..=to].rotate_left(1);
+        } else {
+            chain[to..=from].rotate_right(1);
+        }
+        // Rebuild the inverse map for the touched span.
+        let (lo, hi) = (from.min(to), from.max(to));
+        let span: Vec<u8> = chain[lo..=hi].to_vec();
+        for (off, &w) in span.iter().enumerate() {
+            let frame = set * ways + u32::from(w);
+            self.pos_of[frame as usize] = (lo + off) as u8;
+        }
+    }
+
+    /// The insertion position for partition `part` (0-indexed from the LRU
+    /// end), per the paper's parameters.
+    fn insert_position(&self, part: usize) -> usize {
+        if self.streaming[part] {
+            // Streaming apps share the bottom of the stack: one way each.
+            let s: u32 = self
+                .streaming
+                .iter()
+                .zip(&self.alloc)
+                .map(|(&st, _)| u32::from(st))
+                .sum();
+            (s.max(1) - 1) as usize
+        } else {
+            (self.alloc[part].max(1) - 1) as usize
+        }
+        .min(self.ways as usize - 1)
+    }
+
+    /// Re-runs stream classification from the interval counters and resets
+    /// them. Called on every repartitioning ([`set_targets`](Llc::set_targets)).
+    fn classify_streams(&mut self) {
+        for p in 0..self.streaming.len() {
+            let acc = self.interval_hits[p] + self.interval_misses[p];
+            if acc >= self.cfg.min_classify_accesses {
+                let ratio = self.interval_misses[p] as f64 / acc as f64;
+                self.streaming[p] = ratio >= self.cfg.theta_miss;
+            }
+            self.interval_hits[p] = 0;
+            self.interval_misses[p] = 0;
+        }
+    }
+}
+
+impl Llc for PippLlc {
+    fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
+        if let Some(frame) = self.array.lookup(addr) {
+            self.stats.hits[part] += 1;
+            self.interval_hits[part] += 1;
+            // Single-step probabilistic promotion.
+            let p = if self.streaming[self.owner[frame as usize] as usize] {
+                self.cfg.p_stream
+            } else {
+                self.cfg.p_prom
+            };
+            if self.rng.gen_bool(p) {
+                let pos = self.pos_of[frame as usize] as usize;
+                if pos + 1 < self.ways as usize {
+                    let set = frame / self.ways;
+                    let way = (frame % self.ways) as u8;
+                    self.reposition(set, way, pos + 1);
+                }
+            }
+            return AccessOutcome::Hit;
+        }
+
+        self.stats.misses[part] += 1;
+        self.interval_misses[part] += 1;
+        // Victim: the lowest-priority frame, preferring empty frames.
+        let walk = &mut self.walk;
+        self.array.walk(addr, walk);
+        let set = walk.nodes[0].frame / self.ways;
+        let victim_way = {
+            let ways = self.ways as usize;
+            let base = set as usize * ways;
+            let chain = &self.chain[base..base + ways];
+            *chain
+                .iter()
+                .find(|&&w| walk.nodes[w as usize].line.is_none())
+                .unwrap_or(&chain[0])
+        };
+        let vnode = walk.nodes[victim_way as usize];
+        if vnode.line.is_some() {
+            self.stats.evictions += 1;
+            self.part_lines[self.owner[vnode.frame as usize] as usize] -= 1;
+        }
+        let mut moves = Vec::new();
+        let landing = {
+            let walk = &self.walk;
+            self.array.install(addr, walk, victim_way as usize, &mut moves)
+        };
+        debug_assert!(moves.is_empty());
+        self.owner[landing as usize] = part as u16;
+        self.part_lines[part] += 1;
+        let pos = self.insert_position(part);
+        self.reposition(set, victim_way, pos);
+        AccessOutcome::Miss
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.part_lines.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.owner.len()
+    }
+
+    fn set_targets(&mut self, targets: &[u64]) {
+        let mut alloc = ways_from_targets(targets, self.ways);
+        self.classify_streams();
+        // Streaming partitions are capped at one way; their surplus goes to
+        // the largest non-streaming partition.
+        let mut surplus = 0u32;
+        for (p, a) in alloc.iter_mut().enumerate() {
+            if self.streaming[p] && *a > 1 {
+                surplus += *a - 1;
+                *a = 1;
+            }
+        }
+        if surplus > 0 {
+            if let Some((best, _)) = alloc
+                .iter()
+                .enumerate()
+                .filter(|(p, _)| !self.streaming[*p])
+                .max_by_key(|(_, &a)| a)
+            {
+                alloc[best] += surplus;
+            } else {
+                alloc[0] += surplus; // everyone streams; shape is moot
+            }
+        }
+        self.alloc = alloc;
+    }
+
+    fn partition_size(&self, part: usize) -> u64 {
+        self.part_lines[part]
+    }
+
+    fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut LlcStats {
+        &mut self.stats
+    }
+
+    fn name(&self) -> &str {
+        "PIPP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipp(parts: usize) -> PippLlc {
+        PippLlc::new(1024, 16, parts, PippConfig::default(), 42)
+    }
+
+    #[test]
+    fn chain_invariants_hold_under_traffic() {
+        let mut llc = pipp(4);
+        llc.set_targets(&[256, 256, 256, 256]);
+        for i in 0..50_000u64 {
+            llc.access((i % 4) as usize, LineAddr(i % 2000));
+        }
+        // Every set's chain must remain a permutation of the ways.
+        let ways = 16usize;
+        for set in 0..(1024 / ways) {
+            let mut seen = [false; 16];
+            for pos in 0..ways {
+                let w = llc.chain[set * ways + pos] as usize;
+                assert!(!seen[w], "way {w} duplicated in set {set}");
+                seen[w] = true;
+                let frame = (set * ways + w) as usize;
+                assert_eq!(llc.pos_of[frame] as usize, pos, "pos_of out of sync");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_allocations_retain_more() {
+        let mut llc = pipp(2);
+        llc.set_targets(&[960, 64]); // 15 vs 1 way
+        // Equal access pressure from both partitions.
+        for i in 0..400_000u64 {
+            llc.access(0, LineAddr(i % 600));
+            llc.access(1, LineAddr(10_000 + i % 600));
+        }
+        assert!(
+            llc.partition_size(0) > llc.partition_size(1),
+            "sizes {} vs {}",
+            llc.partition_size(0),
+            llc.partition_size(1)
+        );
+    }
+
+    #[test]
+    fn approximate_sizing_not_strict() {
+        // PIPP only approximates targets: a high-churn small partition can
+        // exceed its share, unlike way-partitioning.
+        let mut llc = pipp(2);
+        llc.set_targets(&[512, 512]);
+        for i in 0..100_000u64 {
+            // Partition 1 misses constantly (streams), partition 0 is idle.
+            llc.access(1, LineAddr(i));
+        }
+        assert!(llc.partition_size(1) > 512, "idle partner cedes space in PIPP");
+    }
+
+    #[test]
+    fn stream_detection_classifies_thrashers() {
+        let mut llc = pipp(2);
+        llc.set_targets(&[512, 512]);
+        // Partition 0: cache-resident loop. Partition 1: pure stream.
+        for i in 0..50_000u64 {
+            llc.access(0, LineAddr(i % 128));
+            llc.access(1, LineAddr(1_000_000 + i));
+        }
+        llc.set_targets(&[512, 512]); // triggers classification
+        assert!(!llc.streaming_flags()[0]);
+        assert!(llc.streaming_flags()[1]);
+        // The streamer is throttled to one effective way at insertion.
+        assert_eq!(llc.insert_position(1), 0);
+    }
+
+    #[test]
+    fn insert_positions_collapse_with_many_partitions() {
+        // The scalability failure the paper highlights: 16 partitions on 16
+        // ways all insert at the LRU end.
+        let llc = PippLlc::new(1024, 16, 16, PippConfig::default(), 1);
+        for p in 0..16 {
+            assert_eq!(llc.insert_position(p), 0);
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let mut llc = pipp(2);
+        assert_eq!(llc.access(0, LineAddr(7)), AccessOutcome::Miss);
+        assert_eq!(llc.access(0, LineAddr(7)), AccessOutcome::Hit);
+        assert_eq!(llc.stats().hits[0], 1);
+        assert_eq!(llc.stats().misses[0], 1);
+        assert_eq!(llc.name(), "PIPP");
+    }
+}

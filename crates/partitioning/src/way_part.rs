@@ -1,0 +1,394 @@
+//! Way-partitioning (column caching): strict partitioning by restricting
+//! line placement to a per-partition subset of the ways.
+//!
+//! On a miss from partition `p`, the victim is the least-recently-used line
+//! among the ways assigned to `p` in the indexed set; lookups remain global,
+//! so lines of other partitions still hit while they age out. This gives
+//! strict sizing and isolation but couples each partition's associativity to
+//! its way count — the scalability problem Vantage fixes (paper §2, Table 1,
+//! Figs. 6-8).
+//!
+//! Repartitioning reassigns ways lazily: resident lines of the previous
+//! owner are evicted only as the new owner misses into each set, which
+//! reproduces the slow target-tracking the paper observes in Fig. 8a.
+
+use vantage_cache::{LineAddr, SetAssocArray, TsLru};
+
+use crate::hist::TsHistogram;
+use crate::llc::{ways_from_targets, AccessOutcome, Llc, LlcStats};
+
+/// A sample of one eviction's empirical priority, for Fig. 8-style heat
+/// maps: (access sequence number, partition, priority in `[0, 1]`).
+pub type PrioritySample = (u64, u16, f32);
+
+/// Optional eviction-priority instrumentation shared by scheme
+/// implementations: per-partition coarse timestamps plus histograms that
+/// turn an evicted line's timestamp into a rank among its partition's lines.
+pub(crate) struct PriorityProbe {
+    lru: Vec<TsLru>,
+    hist: Vec<TsHistogram>,
+    samples: Vec<PrioritySample>,
+}
+
+impl PriorityProbe {
+    pub(crate) fn new(partitions: usize) -> Self {
+        Self {
+            lru: (0..partitions).map(|_| TsLru::new(64)).collect(),
+            hist: (0..partitions).map(|_| TsHistogram::new()).collect(),
+            samples: Vec::new(),
+        }
+    }
+
+    pub(crate) fn on_access(&mut self, part: usize, part_lines: u64) -> u8 {
+        self.lru[part].set_period_for_size(part_lines.max(16));
+        self.lru[part].on_access();
+        self.lru[part].current()
+    }
+
+    pub(crate) fn stamp_insert(&mut self, part: usize, ts: u8) {
+        self.hist[part].add(ts);
+    }
+
+    pub(crate) fn stamp_hit(&mut self, part: usize, old: u8, new: u8) {
+        self.hist[part].restamp(old, new);
+    }
+
+    pub(crate) fn record_evict(&mut self, access_no: u64, part: usize, ts: u8) {
+        let rank = self.hist[part].rank(ts, self.lru[part].current());
+        self.hist[part].remove(ts);
+        self.samples.push((access_no, part as u16, rank as f32));
+    }
+
+    pub(crate) fn drain(&mut self) -> Vec<PrioritySample> {
+        std::mem::take(&mut self.samples)
+    }
+}
+
+/// A way-partitioned set-associative LLC with per-partition LRU.
+///
+/// # Example
+///
+/// ```
+/// use vantage_partitioning::{Llc, WayPartLlc};
+///
+/// // 4096 lines, 16 ways, 2 partitions.
+/// let mut llc = WayPartLlc::new(4096, 16, 2, 1);
+/// llc.set_targets(&[3072, 1024]); // 12 + 4 ways
+/// assert_eq!(llc.way_allocation(), &[12, 4]);
+/// llc.access(0, 0x99.into());
+/// ```
+pub struct WayPartLlc {
+    array: SetAssocArray,
+    ways: u32,
+    /// Owning partition of each way.
+    way_owner: Vec<u16>,
+    /// Current way counts per partition.
+    alloc: Vec<u32>,
+    /// Exact-LRU clocks per frame.
+    last: Vec<u64>,
+    clock: u64,
+    /// Partition that inserted each frame's line.
+    owner: Vec<u16>,
+    part_lines: Vec<u64>,
+    stats: LlcStats,
+    probe: Option<PriorityProbe>,
+    probe_ts: Vec<u8>,
+    accesses: u64,
+}
+
+impl WayPartLlc {
+    /// Creates a way-partitioned cache of `frames` lines and `ways` ways
+    /// (H3-hashed set indexing, seeded by `seed`), initially divided evenly
+    /// among `partitions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid or `partitions > ways`.
+    pub fn new(frames: usize, ways: usize, partitions: usize, seed: u64) -> Self {
+        assert!(partitions > 0 && partitions <= ways, "need 1..=ways partitions");
+        let array = SetAssocArray::hashed(frames, ways, seed);
+        let mut llc = Self {
+            array,
+            ways: ways as u32,
+            way_owner: vec![0; ways],
+            alloc: vec![0; partitions],
+            last: vec![0; frames],
+            clock: 0,
+            owner: vec![0; frames],
+            part_lines: vec![0; partitions],
+            stats: LlcStats::new(partitions),
+            probe: None,
+            probe_ts: vec![0; frames],
+            accesses: 0,
+        };
+        let even = vec![1u64; partitions];
+        llc.set_targets(&even);
+        llc
+    }
+
+    /// Enables Fig. 8-style eviction-priority sampling.
+    pub fn enable_priority_probe(&mut self) {
+        if self.probe.is_none() {
+            self.probe = Some(PriorityProbe::new(self.part_lines.len()));
+        }
+    }
+
+    /// Drains accumulated priority samples (empty if the probe is off).
+    pub fn drain_priority_samples(&mut self) -> Vec<PrioritySample> {
+        self.probe.as_mut().map(PriorityProbe::drain).unwrap_or_default()
+    }
+
+    /// The current whole-way allocation.
+    pub fn way_allocation(&self) -> &[u32] {
+        &self.alloc
+    }
+
+    /// Reassigns ways directly (bypassing the line-target conversion).
+    ///
+    /// Way ownership changes are *stable*: partitions losing ways release
+    /// their highest-numbered ways, which gainers pick up, minimizing churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alloc` does not sum to the way count or gives any
+    /// partition zero ways.
+    pub fn set_ways(&mut self, alloc: &[u32]) {
+        assert_eq!(alloc.len(), self.alloc.len(), "one entry per partition");
+        assert_eq!(alloc.iter().sum::<u32>(), self.ways, "allocation must cover all ways");
+        assert!(alloc.iter().all(|&w| w >= 1), "every partition needs a way");
+        // Release ways from shrinking partitions.
+        let mut have: Vec<Vec<usize>> = vec![Vec::new(); alloc.len()];
+        for (w, &p) in self.way_owner.iter().enumerate() {
+            have[p as usize].push(w);
+        }
+        let mut free: Vec<usize> = Vec::new();
+        for (p, ways) in have.iter_mut().enumerate() {
+            while ways.len() > alloc[p] as usize {
+                free.push(ways.pop().expect("non-empty"));
+            }
+        }
+        // Hand them to growing partitions.
+        for (p, ways) in have.iter_mut().enumerate() {
+            while ways.len() < alloc[p] as usize {
+                let w = free.pop().expect("conservation of ways");
+                self.way_owner[w] = p as u16;
+                ways.push(w);
+            }
+        }
+        self.alloc.copy_from_slice(alloc);
+    }
+
+}
+
+impl Llc for WayPartLlc {
+    fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
+        use vantage_cache::CacheArray;
+        self.accesses += 1;
+        let probe_ts = self
+            .probe
+            .as_mut()
+            .map(|pr| pr.on_access(part, self.part_lines[part]));
+
+        if let Some(frame) = self.array.lookup(addr) {
+            self.clock += 1;
+            self.last[frame as usize] = self.clock;
+            if let (Some(pr), Some(ts)) = (self.probe.as_mut(), probe_ts) {
+                // The line is re-stamped under its *owner's* clock domain;
+                // owner and accessor coincide except right after releasing a
+                // way, when hitting another partition's leftover line.
+                let owner = self.owner[frame as usize] as usize;
+                let ts = if owner == part { ts } else { pr.lru[owner].current() };
+                pr.stamp_hit(owner, self.probe_ts[frame as usize], ts);
+                self.probe_ts[frame as usize] = ts;
+            }
+            self.stats.hits[part] += 1;
+            return AccessOutcome::Hit;
+        }
+
+        self.stats.misses[part] += 1;
+        // Victim: LRU among this partition's ways in the indexed set. The
+        // walk yields the whole set in way order; filter to owned ways.
+        let mut walk = vantage_cache::Walk::with_capacity(self.ways as usize);
+        self.array.walk(addr, &mut walk);
+        let mut victim: Option<usize> = None;
+        let mut best = u64::MAX;
+        for (i, node) in walk.nodes.iter().enumerate() {
+            if self.way_owner[i] as usize != part {
+                continue;
+            }
+            match node.line {
+                None => {
+                    victim = Some(i);
+                    break;
+                }
+                Some(_) => {
+                    let l = self.last[node.frame as usize];
+                    if l < best {
+                        best = l;
+                        victim = Some(i);
+                    }
+                }
+            }
+        }
+        let victim = victim.expect("every partition owns at least one way");
+        let vnode = walk.nodes[victim];
+        if vnode.line.is_some() {
+            self.stats.evictions += 1;
+            let vowner = self.owner[vnode.frame as usize] as usize;
+            self.part_lines[vowner] -= 1;
+            if let Some(pr) = self.probe.as_mut() {
+                pr.record_evict(self.accesses, vowner, self.probe_ts[vnode.frame as usize]);
+            }
+        }
+        let mut moves = Vec::new();
+        let landing = self.array.install(addr, &walk, victim, &mut moves);
+        debug_assert!(moves.is_empty(), "set-associative arrays never relocate");
+        self.owner[landing as usize] = part as u16;
+        self.part_lines[part] += 1;
+        self.clock += 1;
+        self.last[landing as usize] = self.clock;
+        if let (Some(pr), Some(ts)) = (self.probe.as_mut(), probe_ts) {
+            pr.stamp_insert(part, ts);
+            self.probe_ts[landing as usize] = ts;
+        }
+        AccessOutcome::Miss
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.part_lines.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.last.len()
+    }
+
+    fn set_targets(&mut self, targets: &[u64]) {
+        let alloc = ways_from_targets(targets, self.ways);
+        self.set_ways(&alloc);
+    }
+
+    fn partition_size(&self, part: usize) -> u64 {
+        self.part_lines[part]
+    }
+
+    fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut LlcStats {
+        &mut self.stats
+    }
+
+    fn name(&self) -> &str {
+        "WayPart"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_isolation_between_partitions() {
+        let mut llc = WayPartLlc::new(1024, 16, 2, 1);
+        llc.set_targets(&[512, 512]);
+        // Partition 0 touches a small working set; partition 1 streams.
+        for i in 0..64u64 {
+            llc.access(0, LineAddr(i));
+        }
+        for i in 0..100_000u64 {
+            llc.access(1, LineAddr(1_000_000 + i));
+        }
+        // Partition 0's lines are untouched by partition 1's thrashing.
+        let misses_before = llc.stats().misses[0];
+        for i in 0..64u64 {
+            llc.access(0, LineAddr(i));
+        }
+        assert_eq!(llc.stats().misses[0], misses_before, "isolation violated");
+    }
+
+    #[test]
+    fn partition_cannot_exceed_way_share() {
+        let mut llc = WayPartLlc::new(1024, 16, 2, 2);
+        llc.set_targets(&[256, 768]); // 4 vs 12 ways
+        for i in 0..100_000u64 {
+            llc.access(0, LineAddr(i));
+        }
+        // Partition 0 owns 4/16 of the ways = 256 lines at most.
+        assert!(llc.partition_size(0) <= 256);
+    }
+
+    #[test]
+    fn repartitioning_is_lazy() {
+        let mut llc = WayPartLlc::new(1024, 16, 2, 3);
+        llc.set_targets(&[512, 512]);
+        for i in 0..100_000u64 {
+            llc.access(0, LineAddr(i % 2000));
+            llc.access(1, LineAddr(10_000 + i % 2000));
+        }
+        let before = llc.partition_size(0);
+        assert!(before > 400, "partition 0 should be near its 512-line share");
+        // Shrink partition 0 to 1 way; its lines drain only as partition 1
+        // misses into sets.
+        llc.set_targets(&[64, 960]);
+        assert!(llc.partition_size(0) > 300, "resize must not flush instantly");
+        for i in 0..200_000u64 {
+            llc.access(1, LineAddr(50_000 + i));
+        }
+        assert!(llc.partition_size(0) <= 100, "old lines eventually drain");
+    }
+
+    #[test]
+    fn one_way_partition_has_poor_associativity() {
+        // A 1-way partition degenerates to direct-mapped (64 slots here). A
+        // scattered 48-line working set then suffers birthday conflicts,
+        // while the same working set in a 64-line *associative* partition
+        // would fit without a single steady-state miss.
+        let mut llc = WayPartLlc::new(1024, 16, 2, 4);
+        llc.set_targets(&[64, 960]); // 1 way vs 15 ways
+        assert_eq!(llc.way_allocation()[0], 1);
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Sparse random addresses (dense ranges are conflict-free under the
+        // GF(2)-linear H3 hash, by design).
+        let ws: Vec<LineAddr> = (0..48).map(|_| LineAddr(rng.gen())).collect();
+        for _rep in 0..50 {
+            for &a in &ws {
+                llc.access(0, a);
+            }
+        }
+        let s = llc.stats();
+        let ratio = s.misses[0] as f64 / (s.hits[0] + s.misses[0]) as f64;
+        assert!(ratio > 0.05, "direct-mapped partition missed only {ratio}");
+    }
+
+    #[test]
+    fn probe_records_eviction_priorities() {
+        let mut llc = WayPartLlc::new(256, 4, 2, 5);
+        llc.enable_priority_probe();
+        llc.set_targets(&[128, 128]);
+        for i in 0..20_000u64 {
+            llc.access((i % 2) as usize, LineAddr(i % 700));
+        }
+        let samples = llc.drain_priority_samples();
+        assert!(!samples.is_empty());
+        for (_, part, pr) in &samples {
+            assert!(*part < 2);
+            assert!((0.0..=1.0).contains(pr));
+        }
+        assert!(llc.drain_priority_samples().is_empty(), "drain empties the buffer");
+    }
+
+    #[test]
+    fn sizes_and_stats_stay_consistent() {
+        let mut llc = WayPartLlc::new(512, 8, 4, 6);
+        llc.set_targets(&[128, 128, 128, 128]);
+        for i in 0..50_000u64 {
+            llc.access((i % 4) as usize, LineAddr(i % 3000));
+        }
+        let total: u64 = (0..4).map(|p| llc.partition_size(p)).sum();
+        assert!(total <= 512);
+        assert_eq!(llc.num_partitions(), 4);
+        assert_eq!(llc.name(), "WayPart");
+    }
+}

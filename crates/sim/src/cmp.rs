@@ -1,0 +1,476 @@
+//! The multicore simulation loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use vantage_cache::hash::mix64;
+use vantage_cache::replacement::rrip::BasePolicy;
+use vantage_ucp::{RripUmon, UcpGranularity, UcpPolicy};
+use vantage_workloads::{AppGen, Mix, RefStream};
+
+use crate::config::{SchemeKind, SystemConfig};
+use crate::l1::L1;
+use crate::scheme::Scheme;
+
+/// One sample of the partition-size time series (Fig. 8).
+#[derive(Clone, Debug)]
+pub struct TraceSample {
+    /// Global cycle of the sample.
+    pub cycle: u64,
+    /// UCP targets in effect (lines of total cache).
+    pub targets: Vec<u64>,
+    /// Actual partition sizes (lines).
+    pub actuals: Vec<u64>,
+}
+
+/// Results of one simulation.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Scheme label (e.g. `Vantage-Z4/52`).
+    pub label: String,
+    /// Per-core IPC over each core's measured instruction quota.
+    pub ipc: Vec<f64>,
+    /// Aggregate throughput `Σ IPC` — the paper's headline metric.
+    pub throughput: f64,
+    /// L2 accesses per core within the measured window.
+    pub l2_accesses: Vec<u64>,
+    /// L2 misses per core within the measured window.
+    pub l2_misses: Vec<u64>,
+    /// L2 misses per kilo-instruction per core.
+    pub mpki: Vec<f64>,
+    /// Fraction of evictions forced from the managed region (Vantage only).
+    pub managed_eviction_fraction: Option<f64>,
+    /// Partition-size samples (when tracing was enabled).
+    pub trace: Vec<TraceSample>,
+    /// Demotion/eviction priority samples (when the probe was enabled).
+    pub priority_samples: Vec<(u64, u16, f32)>,
+}
+
+struct CoreState {
+    gen: Box<dyn RefStream + Send>,
+    l1: L1,
+    time: u64,
+    instrs: u64,
+    done_at: Option<u64>,
+    l2_accesses: u64,
+    l2_misses: u64,
+    measured_l2_accesses: u64,
+    measured_l2_misses: u64,
+}
+
+/// An event-interleaved CMP simulation of one mix under one scheme.
+///
+/// # Example
+///
+/// ```
+/// use vantage_sim::{CmpSim, SchemeKind, SystemConfig};
+/// use vantage_workloads::mixes;
+///
+/// let mut sys = SystemConfig::small_scale();
+/// sys.instructions = 200_000; // keep the doctest quick
+/// let mix = &mixes(4, 1, 7)[0];
+/// let mut sim = CmpSim::new(sys, &SchemeKind::vantage_paper(), mix);
+/// let result = sim.run();
+/// assert!(result.throughput > 0.0);
+/// assert_eq!(result.ipc.len(), 4);
+/// ```
+pub struct CmpSim {
+    sys: SystemConfig,
+    scheme: Scheme,
+    label: String,
+    cores: Vec<CoreState>,
+    ucp: Option<UcpPolicy>,
+    rrip_umons: Option<Vec<RripUmon>>,
+    mem_free: Vec<u64>,
+    last_targets: Vec<u64>,
+    trace_interval: Option<u64>,
+    trace: Vec<TraceSample>,
+}
+
+impl CmpSim {
+    /// Builds a simulation of `mix` on machine `sys` under scheme `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix's application count does not match `sys.cores` or
+    /// the configuration is invalid.
+    pub fn new(sys: SystemConfig, kind: &SchemeKind, mix: &Mix) -> Self {
+        sys.validate();
+        assert_eq!(mix.apps.len(), sys.cores, "mix size must match core count");
+        let scheme = Scheme::build(kind, &sys);
+        let ucp_granularity = match kind {
+            SchemeKind::WayPart | SchemeKind::Pipp => UcpGranularity::Ways(sys.l2_ways as u32),
+            SchemeKind::Vantage { .. } => UcpGranularity::Fine { blocks: 256 },
+            SchemeKind::Baseline { .. } => UcpGranularity::Ways(sys.l2_ways as u32), // unused
+        };
+        let ucp = scheme.uses_ucp().then(|| {
+            UcpPolicy::new(
+                sys.cores,
+                sys.l2_ways,
+                sys.umon_sets,
+                (sys.l2_lines / sys.l2_ways) as u32,
+                sys.l2_lines as u64,
+                ucp_granularity,
+                sys.seed ^ 0x0C0,
+            )
+        });
+        let rrip_umons = match kind {
+            SchemeKind::Vantage { drrip: true, .. } => Some(
+                (0..sys.cores)
+                    .map(|c| {
+                        RripUmon::new(
+                            sys.l2_ways,
+                            sys.umon_sets,
+                            (sys.l2_lines / sys.l2_ways) as u32,
+                            3,
+                            sys.seed ^ (c as u64 + 0xD00),
+                        )
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        };
+        let cores = mix
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(c, app)| CoreState {
+                gen: Box::new(AppGen::new(
+                    app.clone(),
+                    (c as u64 + 1) << 44,
+                    sys.seed ^ mix64(c as u64 + 0xABC),
+                )) as Box<dyn RefStream + Send>,
+                l1: L1::new(sys.l1_lines, sys.l1_ways),
+                time: 0,
+                instrs: 0,
+                done_at: None,
+                l2_accesses: 0,
+                l2_misses: 0,
+                measured_l2_accesses: 0,
+                measured_l2_misses: 0,
+            })
+            .collect();
+        let channels = sys.mem_channels;
+        let label = kind.label();
+        Self {
+            sys,
+            scheme,
+            label,
+            cores,
+            ucp,
+            rrip_umons,
+            mem_free: vec![0; channels],
+            last_targets: Vec::new(),
+            trace_interval: None,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Builds a simulation driven by arbitrary reference sources (e.g.
+    /// recorded traces via
+    /// [`TraceGen`](vantage_workloads::TraceGen)) instead of the synthetic
+    /// application models — one source per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source count does not match `sys.cores`.
+    pub fn with_sources(
+        sys: SystemConfig,
+        kind: &SchemeKind,
+        sources: Vec<Box<dyn RefStream + Send>>,
+        label_suffix: &str,
+    ) -> Self {
+        use vantage_workloads::mixes;
+        assert_eq!(sources.len(), sys.cores, "one source per core");
+        // Build the machinery with a placeholder mix, then swap the cores'
+        // generators for the provided sources.
+        let mix = &mixes(((sys.cores + 3) / 4) * 4, 1, sys.seed)[0];
+        let mut placeholder_mix = mix.clone();
+        placeholder_mix.apps.truncate(sys.cores);
+        while placeholder_mix.apps.len() < sys.cores {
+            placeholder_mix.apps.push(mix.apps[0].clone());
+        }
+        let mut sim = Self::new(sys, kind, &placeholder_mix);
+        for (core, src) in sim.cores.iter_mut().zip(sources) {
+            core.gen = src;
+        }
+        sim.label = format!("{}{label_suffix}", sim.label);
+        sim
+    }
+
+    /// Enables partition-size tracing every `interval` cycles (Fig. 8).
+    pub fn enable_trace(&mut self, interval: u64) {
+        assert!(interval > 0, "trace interval must be non-zero");
+        self.trace_interval = Some(interval);
+    }
+
+    /// Enables demotion/eviction priority probing where the scheme
+    /// supports it (Vantage-LRU, way-partitioning).
+    pub fn enable_priority_probe(&mut self) {
+        self.scheme.enable_priority_probe();
+    }
+
+    /// Direct access to the scheme under test.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    fn take_trace_sample(&mut self, cycle: u64) {
+        let n = self.cores.len();
+        let targets = if self.last_targets.is_empty() {
+            vec![(self.sys.l2_lines / n) as u64; n]
+        } else {
+            self.last_targets.clone()
+        };
+        let actuals = (0..n).map(|p| self.scheme.llc().partition_size(p)).collect();
+        self.trace.push(TraceSample { cycle, targets, actuals });
+    }
+
+    fn repartition(&mut self) {
+        if let Some(ucp) = &mut self.ucp {
+            let targets = ucp.reallocate();
+            self.scheme.llc_mut().set_targets(&targets);
+            self.last_targets = targets;
+        }
+        if let Some(umons) = &mut self.rrip_umons {
+            let policies: Vec<BasePolicy> = umons.iter().map(RripUmon::best_policy).collect();
+            for u in umons.iter_mut() {
+                u.decay();
+            }
+            if let Some(v) = self.scheme.vantage_mut() {
+                for (p, pol) in policies.into_iter().enumerate() {
+                    v.set_partition_policy(p, pol);
+                }
+            }
+        }
+    }
+
+    /// Runs the simulation to completion: every core executes at least its
+    /// instruction quota (finished cores keep running to preserve
+    /// contention, as in the paper's methodology).
+    pub fn run(&mut self) -> SimResult {
+        let quota = self.sys.instructions;
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..self.cores.len()).map(|c| Reverse((0u64, c))).collect();
+        let mut remaining = self.cores.len();
+        let mut next_repart = self.sys.repartition_interval;
+        let mut next_trace = self.trace_interval.unwrap_or(u64::MAX);
+
+        while remaining > 0 {
+            let Reverse((now, c)) = heap.pop().expect("cores remain");
+
+            // Global-time-ordered bookkeeping (the popped time is the
+            // minimum over all cores).
+            while now >= next_repart {
+                self.repartition();
+                next_repart += self.sys.repartition_interval;
+            }
+            if now >= next_trace {
+                self.take_trace_sample(now);
+                next_trace += self.trace_interval.expect("tracing enabled");
+            }
+
+            let core = &mut self.cores[c];
+            let r = core.gen.next_ref();
+            core.time = now + u64::from(r.gap);
+            core.instrs += u64::from(r.gap);
+
+            if !core.l1.access(r.addr) {
+                core.l2_accesses += 1;
+                if let Some(ucp) = &mut self.ucp {
+                    ucp.observe(c, r.addr);
+                }
+                if let Some(umons) = &mut self.rrip_umons {
+                    umons[c].access(r.addr);
+                }
+                let outcome = self.scheme.llc_mut().access(c, r.addr);
+                if outcome.is_hit() {
+                    core.time += self.sys.l2_latency;
+                } else {
+                    core.l2_misses += 1;
+                    // Bandwidth model: the line occupies one memory channel
+                    // for a fixed service time; contention queues behind it.
+                    let ch = (mix64(r.addr.0) % self.mem_free.len() as u64) as usize;
+                    let start = self.mem_free[ch].max(core.time);
+                    self.mem_free[ch] = start + self.sys.mem_cycles_per_line;
+                    core.time = start + self.sys.mem_latency;
+                }
+            }
+
+            if core.done_at.is_none() && core.instrs >= quota {
+                core.done_at = Some(core.time);
+                core.measured_l2_accesses = core.l2_accesses;
+                core.measured_l2_misses = core.l2_misses;
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            heap.push(Reverse((core.time, c)));
+        }
+
+        let ipc: Vec<f64> = self
+            .cores
+            .iter()
+            .map(|c| quota as f64 / c.done_at.expect("all cores finished") as f64)
+            .collect();
+        let mpki: Vec<f64> = self
+            .cores
+            .iter()
+            .map(|c| c.measured_l2_misses as f64 * 1000.0 / quota as f64)
+            .collect();
+        SimResult {
+            label: self.label.clone(),
+            throughput: ipc.iter().sum(),
+            ipc,
+            l2_accesses: self.cores.iter().map(|c| c.measured_l2_accesses).collect(),
+            l2_misses: self.cores.iter().map(|c| c.measured_l2_misses).collect(),
+            mpki,
+            managed_eviction_fraction: self
+                .scheme
+                .vantage()
+                .map(|v| v.vantage_stats().managed_eviction_fraction()),
+            trace: std::mem::take(&mut self.trace),
+            priority_samples: self.scheme.drain_priority_samples(),
+        }
+    }
+}
+
+/// Convenience: runs a single-core application alone on the machine (used
+/// by the Table 3 classification experiment).
+pub fn run_solo(
+    sys: &SystemConfig,
+    kind: &SchemeKind,
+    app: &vantage_workloads::AppSpec,
+) -> SimResult {
+    let mut sys = sys.clone();
+    sys.cores = 1;
+    let mix = Mix {
+        name: format!("solo-{}", app.name),
+        class: [app.category; 4],
+        apps: vec![app.clone()],
+    };
+    CmpSim::new(sys, kind, &mix).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArrayKind, BaselineRank};
+    use vantage_workloads::mixes;
+
+    fn quick_sys() -> SystemConfig {
+        let mut s = SystemConfig::small_scale();
+        s.instructions = 300_000;
+        s.repartition_interval = 50_000;
+        s
+    }
+
+    #[test]
+    fn baseline_and_vantage_complete() {
+        let mix = &mixes(4, 1, 11)[17]; // some mid-catalog class
+        for kind in [
+            SchemeKind::Baseline {
+                array: ArrayKind::SetAssoc { ways: 16 },
+                rank: BaselineRank::Lru,
+            },
+            SchemeKind::vantage_paper(),
+        ] {
+            let r = CmpSim::new(quick_sys(), &kind, mix).run();
+            assert_eq!(r.ipc.len(), 4);
+            assert!(r.throughput > 0.0 && r.throughput <= 4.0, "{}: {}", r.label, r.throughput);
+            assert!(r.ipc.iter().all(|&x| x > 0.0 && x <= 1.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mix = &mixes(4, 1, 3)[8];
+        let kind = SchemeKind::vantage_paper();
+        let a = CmpSim::new(quick_sys(), &kind, mix).run();
+        let b = CmpSim::new(quick_sys(), &kind, mix).run();
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.l2_misses, b.l2_misses);
+    }
+
+    #[test]
+    fn streaming_core_has_high_mpki() {
+        // Class "ssss" is index 0 in class order? Find a mix with a
+        // streaming app in slot 0 ("s" first in name order).
+        let all = mixes(4, 1, 5);
+        let mix = all.iter().find(|m| m.name.starts_with("sn")).unwrap_or(&all[0]);
+        let kind = SchemeKind::Baseline {
+            array: ArrayKind::SetAssoc { ways: 16 },
+            rank: BaselineRank::Lru,
+        };
+        let r = CmpSim::new(quick_sys(), &kind, mix).run();
+        assert!(r.mpki[0] > 5.0, "streaming app mpki {}", r.mpki[0]);
+    }
+
+    #[test]
+    fn trace_and_probe_collect_samples() {
+        let mix = &mixes(4, 1, 7)[30];
+        let mut sim = CmpSim::new(quick_sys(), &SchemeKind::vantage_paper(), mix);
+        sim.enable_trace(20_000);
+        sim.enable_priority_probe();
+        let r = sim.run();
+        assert!(!r.trace.is_empty(), "no trace samples");
+        for s in &r.trace {
+            assert_eq!(s.targets.len(), 4);
+            assert_eq!(s.actuals.len(), 4);
+        }
+        assert!(r.managed_eviction_fraction.is_some());
+    }
+
+    #[test]
+    fn trace_replay_reproduces_the_live_run() {
+        // Record each core's reference stream, then drive the same machine
+        // from the recorded traces: identical results.
+        use vantage_workloads::{AppGen, TraceGen};
+        let sys = quick_sys();
+        let mix = &mixes(4, 1, 13)[22];
+        let live = CmpSim::new(sys.clone(), &SchemeKind::vantage_paper(), mix).run();
+
+        let sources: Vec<Box<dyn vantage_workloads::RefStream + Send>> = mix
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(c, app)| {
+                let mut gen = AppGen::new(
+                    app.clone(),
+                    (c as u64 + 1) << 44,
+                    sys.seed ^ vantage_cache::hash::mix64(c as u64 + 0xABC),
+                );
+                // Enough records that no core wraps within its quota.
+                Box::new(TraceGen::record(&mut gen, 500_000))
+                    as Box<dyn vantage_workloads::RefStream + Send>
+            })
+            .collect();
+        let replayed = CmpSim::with_sources(
+            sys,
+            &SchemeKind::vantage_paper(),
+            sources,
+            " (trace)",
+        )
+        .run();
+        assert_eq!(live.ipc, replayed.ipc);
+        assert_eq!(live.l2_misses, replayed.l2_misses);
+        assert!(replayed.label.ends_with("(trace)"));
+    }
+
+    #[test]
+    fn solo_run_classifies_streaming_as_high_mpki() {
+        let sys = quick_sys();
+        let app = vantage_workloads::spec_by_name("libquantum_like").expect("in catalog");
+        let kind = SchemeKind::Baseline {
+            array: ArrayKind::SetAssoc { ways: 16 },
+            rank: BaselineRank::Lru,
+        };
+        let r = run_solo(&sys, &kind, &app);
+        assert!(r.mpki[0] > 10.0, "solo stream mpki {}", r.mpki[0]);
+
+        let quiet = vantage_workloads::spec_by_name("povray_like").expect("in catalog");
+        let r = run_solo(&sys, &kind, &quiet);
+        assert!(r.mpki[0] < 5.0, "insensitive solo mpki {}", r.mpki[0]);
+    }
+}

@@ -1,0 +1,240 @@
+//! System and scheme configuration.
+
+use vantage::VantageConfig;
+
+/// Cache array families available to schemes that are array-agnostic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrayKind {
+    /// Hashed set-associative with `ways` ways.
+    SetAssoc {
+        /// Associativity.
+        ways: usize,
+    },
+    /// A zcache with `ways` ways and `candidates` replacement candidates
+    /// (Z4/52 is `ways: 4, candidates: 52`).
+    Z {
+        /// Physical ways.
+        ways: usize,
+        /// Replacement candidates per walk.
+        candidates: usize,
+    },
+    /// Skew-associative with `ways` ways.
+    Skew {
+        /// Physical ways (one hash function each).
+        ways: usize,
+    },
+    /// The idealized uniform-random-candidates array (§6.2 model check).
+    Random {
+        /// Candidates per replacement.
+        candidates: usize,
+    },
+}
+
+impl ArrayKind {
+    /// The paper's Z4/52 configuration.
+    pub const Z4_52: ArrayKind = ArrayKind::Z { ways: 4, candidates: 52 };
+    /// The cheaper Z4/16 configuration (Fig. 10).
+    pub const Z4_16: ArrayKind = ArrayKind::Z { ways: 4, candidates: 16 };
+}
+
+/// Replacement policy for the unpartitioned baseline (Fig. 6/7 baselines
+/// and the RRIP comparison of Fig. 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineRank {
+    /// Least-recently-used.
+    Lru,
+    /// Static RRIP.
+    Srrip,
+    /// Dynamic RRIP (bucket dueling).
+    Drrip,
+    /// Thread-aware dynamic RRIP.
+    TaDrrip,
+}
+
+/// Which LLC scheme a simulation runs.
+#[derive(Clone, Debug)]
+pub enum SchemeKind {
+    /// Unpartitioned shared cache; UCP is not engaged.
+    Baseline {
+        /// Array family.
+        array: ArrayKind,
+        /// Replacement policy.
+        rank: BaselineRank,
+    },
+    /// Way-partitioning on the machine's set-associative geometry.
+    WayPart,
+    /// PIPP on the machine's set-associative geometry.
+    Pipp,
+    /// Vantage over `array` with `cfg`. With `drrip = true`, partitions run
+    /// SRRIP/BRRIP chosen per interval by RRIP UMONs (Vantage-DRRIP, §6.2);
+    /// `cfg.rank` must then be [`RankMode::Rrip`](vantage::RankMode::Rrip).
+    Vantage {
+        /// Array family.
+        array: ArrayKind,
+        /// Vantage controller configuration.
+        cfg: VantageConfig,
+        /// Enable per-partition SRRIP/BRRIP selection via RRIP UMONs.
+        drrip: bool,
+    },
+}
+
+impl SchemeKind {
+    /// The paper's standard Vantage configuration: Z4/52, `u = 5%`,
+    /// `A_max = 0.5`, `slack = 10%`, LRU.
+    pub fn vantage_paper() -> Self {
+        SchemeKind::Vantage { array: ArrayKind::Z4_52, cfg: VantageConfig::default(), drrip: false }
+    }
+
+    /// Short display name for result tables.
+    pub fn label(&self) -> String {
+        match self {
+            SchemeKind::Baseline { array, rank } => {
+                format!("{}-{}", rank_label(*rank), array_label(*array))
+            }
+            SchemeKind::WayPart => "WayPart".into(),
+            SchemeKind::Pipp => "PIPP".into(),
+            SchemeKind::Vantage { array, drrip, .. } => {
+                if *drrip {
+                    format!("Vantage-DRRIP-{}", array_label(*array))
+                } else {
+                    format!("Vantage-{}", array_label(*array))
+                }
+            }
+        }
+    }
+}
+
+fn rank_label(r: BaselineRank) -> &'static str {
+    match r {
+        BaselineRank::Lru => "LRU",
+        BaselineRank::Srrip => "SRRIP",
+        BaselineRank::Drrip => "DRRIP",
+        BaselineRank::TaDrrip => "TA-DRRIP",
+    }
+}
+
+fn array_label(a: ArrayKind) -> String {
+    match a {
+        ArrayKind::SetAssoc { ways } => format!("SA{ways}"),
+        ArrayKind::Z { ways, candidates } => format!("Z{ways}/{candidates}"),
+        ArrayKind::Skew { ways } => format!("Skew{ways}"),
+        ArrayKind::Random { candidates } => format!("Rand{candidates}"),
+    }
+}
+
+/// Machine parameters (Table 2, scaled run lengths).
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Number of cores (= partitions; one per core).
+    pub cores: usize,
+    /// Private L1 size in lines (32 KB = 512 lines).
+    pub l1_lines: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// Shared L2 size in lines.
+    pub l2_lines: usize,
+    /// Baseline/way-scheme associativity; also the UMON way count.
+    pub l2_ways: usize,
+    /// L2 hit latency in cycles (L1-to-bank + bank).
+    pub l2_latency: u64,
+    /// Memory zero-load latency in cycles.
+    pub mem_latency: u64,
+    /// Independent memory channels.
+    pub mem_channels: usize,
+    /// Channel occupancy per line transfer, in cycles (bandwidth model).
+    pub mem_cycles_per_line: u64,
+    /// UCP repartitioning interval in cycles.
+    pub repartition_interval: u64,
+    /// Per-core instruction quota (IPC is measured over exactly this many).
+    pub instructions: u64,
+    /// Sampled UMON sets.
+    pub umon_sets: usize,
+    /// Master seed (hashes, workload draws, PIPP coins).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The 4-core machine (§5): 2 MB 16-way L2, 4 GB/s memory.
+    ///
+    /// Run length and repartitioning interval are scaled down ~20× from the
+    /// paper's 200M instructions / 5M cycles so the full 350-mix sweep runs
+    /// in minutes; pass larger values to approach paper scale.
+    pub fn small_scale() -> Self {
+        Self {
+            cores: 4,
+            l1_lines: 512,
+            l1_ways: 4,
+            l2_lines: 32 * 1024,
+            l2_ways: 16,
+            l2_latency: 12,
+            mem_latency: 200,
+            mem_channels: 1,
+            mem_cycles_per_line: 32, // 64 B / (2 B/cycle) — 4 GB/s at 2 GHz
+            repartition_interval: 250_000,
+            instructions: 10_000_000,
+            umon_sets: 64,
+            seed: 0xFEED_F00D,
+        }
+    }
+
+    /// The 32-core machine (Table 2): 8 MB 64-way L2, 32 GB/s memory.
+    pub fn large_scale() -> Self {
+        Self {
+            cores: 32,
+            l1_lines: 512,
+            l1_ways: 4,
+            l2_lines: 128 * 1024,
+            l2_ways: 64,
+            l2_latency: 12,
+            mem_latency: 200,
+            mem_channels: 4,
+            mem_cycles_per_line: 16, // 64 B / (4 B/cycle/channel) — 32 GB/s
+            repartition_interval: 250_000,
+            instructions: 2_000_000,
+            umon_sets: 64,
+            seed: 0xFEED_F00D,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on inconsistent parameters.
+    pub fn validate(&self) {
+        assert!(self.cores > 0, "need at least one core");
+        assert!(self.l1_lines > 0 && self.l1_lines % self.l1_ways == 0, "bad L1 geometry");
+        assert!(self.l2_lines > 0 && self.l2_lines % self.l2_ways == 0, "bad L2 geometry");
+        assert!(self.mem_channels > 0, "need at least one memory channel");
+        assert!(self.instructions > 0, "need a nonzero instruction quota");
+        assert!(self.repartition_interval > 0, "need a nonzero repartition interval");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machines_are_consistent() {
+        SystemConfig::small_scale().validate();
+        SystemConfig::large_scale().validate();
+        let small = SystemConfig::small_scale();
+        assert_eq!(small.l2_lines * 64, 2 * 1024 * 1024, "2 MB L2");
+        let large = SystemConfig::large_scale();
+        assert_eq!(large.l2_lines * 64, 8 * 1024 * 1024, "8 MB L2");
+        assert_eq!(large.cores, 32);
+    }
+
+    #[test]
+    fn labels_are_paper_style() {
+        assert_eq!(SchemeKind::vantage_paper().label(), "Vantage-Z4/52");
+        assert_eq!(
+            SchemeKind::Baseline { array: ArrayKind::SetAssoc { ways: 16 }, rank: BaselineRank::Lru }
+                .label(),
+            "LRU-SA16"
+        );
+        assert_eq!(SchemeKind::WayPart.label(), "WayPart");
+        assert_eq!(SchemeKind::Pipp.label(), "PIPP");
+    }
+}

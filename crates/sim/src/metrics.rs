@@ -1,0 +1,102 @@
+//! Multiprogrammed-workload metrics.
+//!
+//! The paper reports aggregate throughput (`Σ IPC`) and notes that weighted
+//! speedup and the harmonic mean of weighted speedups "do not offer
+//! additional insights" for its UCP-driven results (§5). These helpers
+//! compute all three so downstream users can study fairness-oriented
+//! allocation policies too.
+
+/// Aggregate throughput: `Σ IPC_i` (the paper's headline metric).
+///
+/// # Example
+///
+/// ```
+/// use vantage_sim::metrics::throughput;
+///
+/// assert_eq!(throughput(&[0.5, 0.25]), 0.75);
+/// ```
+pub fn throughput(ipc: &[f64]) -> f64 {
+    ipc.iter().sum()
+}
+
+/// Weighted speedup: `Σ IPC_shared,i / IPC_alone,i` (Snavely & Tullsen).
+/// Equals the core count when sharing is free.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any solo IPC is non-positive.
+pub fn weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "one solo IPC per core");
+    assert!(alone.iter().all(|&a| a > 0.0), "solo IPCs must be positive");
+    shared.iter().zip(alone).map(|(s, a)| s / a).sum()
+}
+
+/// Harmonic mean of weighted speedups (Luo et al.) — balances throughput
+/// and fairness: a single starved application collapses it.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, any solo IPC is non-positive, or
+/// any shared IPC is zero (the harmonic mean is undefined).
+pub fn hmean_weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "one solo IPC per core");
+    assert!(alone.iter().all(|&a| a > 0.0), "solo IPCs must be positive");
+    assert!(shared.iter().all(|&s| s > 0.0), "shared IPCs must be positive");
+    let n = shared.len() as f64;
+    n / shared.iter().zip(alone).map(|(s, a)| a / s).sum::<f64>()
+}
+
+/// Maximum slowdown: `max_i IPC_alone,i / IPC_shared,i` — the QoS metric
+/// (1.0 = nobody slowed down).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any IPC is non-positive.
+pub fn max_slowdown(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "one solo IPC per core");
+    assert!(alone.iter().all(|&a| a > 0.0) && shared.iter().all(|&s| s > 0.0));
+    shared.iter().zip(alone).map(|(s, a)| a / s).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_sharing_is_the_upper_bound() {
+        let alone = [0.8, 0.6, 0.4];
+        let ws = weighted_speedup(&alone, &alone);
+        assert!((ws - 3.0).abs() < 1e-12);
+        assert!((hmean_weighted_speedup(&alone, &alone) - 1.0).abs() < 1e-12);
+        assert!((max_slowdown(&alone, &alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starvation_collapses_hmean_but_not_throughput() {
+        let alone = [0.8, 0.8];
+        let fair = [0.4, 0.4];
+        let unfair = [0.79, 0.01];
+        // Same-ish throughput...
+        assert!((throughput(&fair) - throughput(&unfair)).abs() < 0.01);
+        // ...but the harmonic mean exposes the starvation.
+        assert!(
+            hmean_weighted_speedup(&fair, &alone)
+                > 10.0 * hmean_weighted_speedup(&unfair, &alone)
+        );
+        assert!(max_slowdown(&unfair, &alone) > 50.0);
+    }
+
+    #[test]
+    fn weighted_speedup_normalizes_per_app() {
+        // A slow app running at its solo speed contributes exactly 1.
+        let shared = [0.1, 0.9];
+        let alone = [0.1, 0.9];
+        assert!((weighted_speedup(&shared, &alone) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "solo IPC")]
+    fn mismatched_lengths_rejected() {
+        weighted_speedup(&[1.0], &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Scheme instantiation: turning a [`SchemeKind`] into a live LLC.
+
+use vantage::{RankMode, VantageLlc};
+use vantage_cache::{
+    CacheArray, RandomArray, RripConfig, RripMode, SetAssocArray, SkewArray, ZArray,
+};
+use vantage_partitioning::{BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, WayPartLlc};
+
+use crate::config::{ArrayKind, BaselineRank, SchemeKind, SystemConfig};
+
+/// A live LLC of any scheme, with scheme-specific instrumentation surfaced
+/// without downcasting.
+pub enum Scheme {
+    /// Unpartitioned baseline.
+    Baseline(BaselineLlc),
+    /// Way-partitioning.
+    WayPart(WayPartLlc),
+    /// PIPP.
+    Pipp(PippLlc),
+    /// Vantage.
+    Vantage(VantageLlc),
+}
+
+fn build_array(kind: ArrayKind, lines: usize, seed: u64) -> Box<dyn CacheArray> {
+    match kind {
+        ArrayKind::SetAssoc { ways } => Box::new(SetAssocArray::hashed(lines, ways, seed)),
+        ArrayKind::Z { ways, candidates } => Box::new(ZArray::new(lines, ways, candidates, seed)),
+        ArrayKind::Skew { ways } => Box::new(SkewArray::new(lines, ways, seed)),
+        ArrayKind::Random { candidates } => Box::new(RandomArray::new(lines, candidates, seed)),
+    }
+}
+
+impl Scheme {
+    /// Builds the LLC described by `kind` for machine `sys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configurations (e.g. more partitions than
+    /// ways for way-granularity schemes).
+    pub fn build(kind: &SchemeKind, sys: &SystemConfig) -> Self {
+        let seed = sys.seed ^ 0xCAC4E;
+        match kind {
+            SchemeKind::Baseline { array, rank } => {
+                let arr = build_array(*array, sys.l2_lines, seed);
+                let policy = match rank {
+                    BaselineRank::Lru => RankPolicy::Lru,
+                    BaselineRank::Srrip => {
+                        RankPolicy::Rrip(RripConfig::paper(RripMode::Srrip, sys.cores, seed))
+                    }
+                    BaselineRank::Drrip => {
+                        RankPolicy::Rrip(RripConfig::paper(RripMode::Drrip, sys.cores, seed))
+                    }
+                    BaselineRank::TaDrrip => {
+                        RankPolicy::Rrip(RripConfig::paper(RripMode::TaDrrip, sys.cores, seed))
+                    }
+                };
+                Scheme::Baseline(BaselineLlc::new(arr, sys.cores, policy))
+            }
+            SchemeKind::WayPart => {
+                Scheme::WayPart(WayPartLlc::new(sys.l2_lines, sys.l2_ways, sys.cores, seed))
+            }
+            SchemeKind::Pipp => Scheme::Pipp(PippLlc::new(
+                sys.l2_lines,
+                sys.l2_ways,
+                sys.cores,
+                PippConfig::default(),
+                seed,
+            )),
+            SchemeKind::Vantage { array, cfg, drrip } => {
+                if *drrip {
+                    assert!(
+                        matches!(cfg.rank, RankMode::Rrip { .. }),
+                        "Vantage-DRRIP needs RRIP ranking in its VantageConfig"
+                    );
+                }
+                let arr = build_array(*array, sys.l2_lines, seed);
+                Scheme::Vantage(VantageLlc::new(arr, sys.cores, cfg.clone(), seed))
+            }
+        }
+    }
+
+    /// The scheme as a trait object.
+    pub fn llc(&self) -> &dyn Llc {
+        match self {
+            Scheme::Baseline(l) => l,
+            Scheme::WayPart(l) => l,
+            Scheme::Pipp(l) => l,
+            Scheme::Vantage(l) => l,
+        }
+    }
+
+    /// The scheme as a mutable trait object.
+    pub fn llc_mut(&mut self) -> &mut dyn Llc {
+        match self {
+            Scheme::Baseline(l) => l,
+            Scheme::WayPart(l) => l,
+            Scheme::Pipp(l) => l,
+            Scheme::Vantage(l) => l,
+        }
+    }
+
+    /// Whether UCP should drive this scheme (baselines are unmanaged).
+    pub fn uses_ucp(&self) -> bool {
+        !matches!(self, Scheme::Baseline(_))
+    }
+
+    /// Vantage-specific statistics, when the scheme is Vantage.
+    pub fn vantage(&self) -> Option<&VantageLlc> {
+        match self {
+            Scheme::Vantage(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Mutable Vantage access (for DRRIP policy updates, probes).
+    pub fn vantage_mut(&mut self) -> Option<&mut VantageLlc> {
+        match self {
+            Scheme::Vantage(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Enables eviction/demotion priority probes where supported
+    /// (way-partitioning and Vantage-LRU; others ignore the request).
+    pub fn enable_priority_probe(&mut self) {
+        match self {
+            Scheme::WayPart(l) => l.enable_priority_probe(),
+            Scheme::Vantage(l) => l.enable_priority_probe(),
+            _ => {}
+        }
+    }
+
+    /// Drains accumulated priority samples (empty when unsupported).
+    pub fn drain_priority_samples(&mut self) -> Vec<(u64, u16, f32)> {
+        match self {
+            Scheme::WayPart(l) => l.drain_priority_samples(),
+            Scheme::Vantage(l) => l.drain_priority_samples(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage::VantageConfig;
+
+    #[test]
+    fn all_schemes_build_and_serve() {
+        let sys = SystemConfig::small_scale();
+        let kinds = [
+            SchemeKind::Baseline {
+                array: ArrayKind::SetAssoc { ways: 16 },
+                rank: BaselineRank::Lru,
+            },
+            SchemeKind::Baseline { array: ArrayKind::Z4_52, rank: BaselineRank::TaDrrip },
+            SchemeKind::WayPart,
+            SchemeKind::Pipp,
+            SchemeKind::vantage_paper(),
+            SchemeKind::Vantage {
+                array: ArrayKind::Random { candidates: 52 },
+                cfg: VantageConfig::default(),
+                drrip: false,
+            },
+        ];
+        for kind in &kinds {
+            let mut s = Scheme::build(kind, &sys);
+            for i in 0..1000u64 {
+                s.llc_mut().access((i % 4) as usize, vantage_cache::LineAddr(i % 300));
+            }
+            assert!(s.llc().stats().total_hits() > 0, "{}", kind.label());
+            assert_eq!(s.llc().num_partitions(), 4);
+        }
+    }
+
+    #[test]
+    fn ucp_flag_matches_scheme() {
+        let sys = SystemConfig::small_scale();
+        let base = Scheme::build(
+            &SchemeKind::Baseline { array: ArrayKind::Z4_52, rank: BaselineRank::Lru },
+            &sys,
+        );
+        assert!(!base.uses_ucp());
+        let v = Scheme::build(&SchemeKind::vantage_paper(), &sys);
+        assert!(v.uses_ucp());
+        assert!(v.vantage().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "RRIP ranking")]
+    fn drrip_requires_rrip_rank() {
+        let sys = SystemConfig::small_scale();
+        let kind = SchemeKind::Vantage {
+            array: ArrayKind::Z4_52,
+            cfg: VantageConfig::default(),
+            drrip: true,
+        };
+        Scheme::build(&kind, &sys);
+    }
+}

@@ -1,0 +1,284 @@
+//! The Lookahead allocation algorithm (Qureshi & Patt, MICRO 2006) and the
+//! curve interpolation that lets Vantage allocate at line granularity.
+//!
+//! Miss curves are generally not convex (cache-fitting applications have
+//! knees), so greedy hill-climbing one block at a time can starve an
+//! application whose utility only materializes after several blocks.
+//! Lookahead fixes this by considering, for each partition, the *maximum
+//! marginal utility per block* over every possible extension, and granting
+//! the winning extension wholesale.
+
+/// Computes a Lookahead allocation.
+///
+/// `curves[p][b]` is partition `p`'s miss count when allocated `b` blocks
+/// (`b ∈ 0..=blocks`). Every partition is guaranteed at least `min_blocks`
+/// blocks; the remainder is distributed by maximum marginal utility per
+/// block. Returns per-partition block counts summing to exactly `blocks`.
+///
+/// # Panics
+///
+/// Panics if `curves` is empty, if any curve is shorter than `blocks + 1`,
+/// or if `blocks < min_blocks * curves.len()`.
+///
+/// # Example
+///
+/// ```
+/// use vantage_ucp::lookahead;
+///
+/// // Partition 0 stops benefiting after 2 blocks; partition 1 keeps
+/// // benefiting. Lookahead gives the rest to partition 1.
+/// let c0 = vec![100, 50, 10, 10, 10, 10, 10, 10, 10];
+/// let c1 = vec![100, 90, 80, 70, 60, 50, 40, 30, 20];
+/// let alloc = lookahead(&[c0, c1], 8, 1);
+/// assert_eq!(alloc.iter().sum::<u32>(), 8);
+/// assert!(alloc[1] >= 5);
+/// assert!(alloc[0] >= 2);
+/// ```
+pub fn lookahead(curves: &[Vec<u64>], blocks: u32, min_blocks: u32) -> Vec<u32> {
+    let n = curves.len();
+    assert!(n > 0, "no partitions");
+    assert!(
+        curves.iter().all(|c| c.len() > blocks as usize),
+        "curves must cover 0..=blocks"
+    );
+    assert!(blocks >= min_blocks * n as u32, "not enough blocks for the minimum");
+
+    let mut alloc = vec![min_blocks; n];
+    let mut balance = blocks - min_blocks * n as u32;
+    while balance > 0 {
+        // For each partition, the best extension: max over k of
+        // (misses[a] - misses[a+k]) / k.
+        let mut best: Option<(f64, usize, u32)> = None; // (mu, part, k)
+        for (p, curve) in curves.iter().enumerate() {
+            let a = alloc[p] as usize;
+            for k in 1..=balance {
+                let gain = curve[a].saturating_sub(curve[a + k as usize]);
+                let mu = gain as f64 / f64::from(k);
+                let better = match best {
+                    None => true,
+                    Some((bmu, _, _)) => mu > bmu + 1e-12,
+                };
+                if better {
+                    best = Some((mu, p, k));
+                }
+            }
+        }
+        let (mu, p, k) = best.expect("balance > 0 implies candidates exist");
+        if mu <= 0.0 {
+            // No one benefits: spread the remainder round-robin (the UCP
+            // paper gives leftover blocks to the highest-miss apps; any
+            // deterministic rule works since utility is zero).
+            let mut p = 0;
+            while balance > 0 {
+                alloc[p % n] += 1;
+                balance -= 1;
+                p += 1;
+            }
+            break;
+        }
+        alloc[p] += k;
+        balance -= k;
+    }
+    debug_assert_eq!(alloc.iter().sum::<u32>(), blocks);
+    alloc
+}
+
+/// Linearly interpolates a `ways + 1`-point miss curve onto `blocks + 1`
+/// points, scaling counts to `f64`-rounded `u64`s. This is how the paper
+/// drives Lookahead at 256-point granularity for Vantage while the UMONs
+/// only monitor `ways` positions (§5).
+///
+/// # Panics
+///
+/// Panics if `curve` has fewer than 2 points or `blocks == 0`.
+pub fn interpolate_curve(curve: &[u64], blocks: u32) -> Vec<u64> {
+    assert!(curve.len() >= 2, "need at least a 2-point curve");
+    assert!(blocks > 0, "need at least one block");
+    let ways = curve.len() - 1;
+    (0..=blocks)
+        .map(|b| {
+            let x = f64::from(b) * ways as f64 / f64::from(blocks);
+            let lo = x.floor() as usize;
+            let hi = x.ceil() as usize;
+            if lo == hi {
+                curve[lo]
+            } else {
+                let frac = x - lo as f64;
+                (curve[lo] as f64 * (1.0 - frac) + curve[hi] as f64 * frac).round() as u64
+            }
+        })
+        .collect()
+}
+
+/// A fairness-oriented allocator ("communist" in Hsu et al.'s taxonomy,
+/// which the paper cites as an alternative allocation policy): instead of
+/// maximizing aggregate utility, repeatedly grants a block to the partition
+/// with the worst projected miss ratio, provided the block actually helps
+/// it. Streaming partitions (flat curves) are skipped once capacity stops
+/// reducing their misses, so they cannot absorb the budget pointlessly.
+///
+/// `curves[p][b]` are miss counts at `b` blocks; `accesses[p]` normalizes
+/// them into ratios. Returns block counts summing to `blocks`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or an infeasible minimum (see [`lookahead`]).
+pub fn equalize_miss_ratios(
+    curves: &[Vec<u64>],
+    accesses: &[u64],
+    blocks: u32,
+    min_blocks: u32,
+) -> Vec<u32> {
+    let n = curves.len();
+    assert!(n > 0, "no partitions");
+    assert_eq!(accesses.len(), n, "one access count per partition");
+    assert!(curves.iter().all(|c| c.len() > blocks as usize), "curves must cover 0..=blocks");
+    assert!(blocks >= min_blocks * n as u32, "not enough blocks for the minimum");
+
+    let ratio = |p: usize, b: usize| {
+        if accesses[p] == 0 {
+            0.0
+        } else {
+            curves[p][b] as f64 / accesses[p] as f64
+        }
+    };
+    let mut alloc = vec![min_blocks; n];
+    let mut balance = blocks - min_blocks * n as u32;
+    while balance > 0 {
+        // Worst-off partition that still benefits from one more block.
+        let pick = (0..n)
+            .filter(|&p| {
+                let a = alloc[p] as usize;
+                curves[p][a + 1] < curves[p][a]
+            })
+            .max_by(|&a, &b| {
+                ratio(a, alloc[a] as usize)
+                    .partial_cmp(&ratio(b, alloc[b] as usize))
+                    .expect("finite ratios")
+            });
+        match pick {
+            Some(p) => {
+                alloc[p] += 1;
+                balance -= 1;
+            }
+            None => {
+                // Nobody benefits: spread the remainder deterministically.
+                let mut p = 0;
+                while balance > 0 {
+                    alloc[p % n] += 1;
+                    balance -= 1;
+                    p += 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(alloc.iter().sum::<u32>(), blocks);
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fairness_equalizes_instead_of_maximizing() {
+        // Partition 0: huge utility (throughput policy would give it all).
+        // Partition 1: worse miss ratio but modest gains. Fairness must
+        // favor the worse-off partition 1 more than Lookahead does.
+        let c0: Vec<u64> = (0..=16u64).map(|b| 800u64.saturating_sub(b * 50)).collect();
+        let c1: Vec<u64> = (0..=16u64).map(|b| 900u64.saturating_sub(b * 20)).collect();
+        let accesses = [1000u64, 1000];
+        let fair = equalize_miss_ratios(&[c0.clone(), c1.clone()], &accesses, 16, 1);
+        let tput = lookahead(&[c0, c1], 16, 1);
+        assert_eq!(fair.iter().sum::<u32>(), 16);
+        assert!(
+            fair[1] > tput[1],
+            "fairness should favor the worse-off partition: fair {fair:?} vs tput {tput:?}"
+        );
+    }
+
+    #[test]
+    fn fairness_does_not_feed_streamers() {
+        let stream = vec![1000u64; 17]; // terrible ratio, zero utility
+        let friendly: Vec<u64> = (0..=16u64).map(|b| 400u64.saturating_sub(b * 25)).collect();
+        let alloc = equalize_miss_ratios(&[stream, friendly], &[1000, 1000], 16, 1);
+        assert_eq!(alloc[0], 1, "flat-curve partition must not absorb blocks: {alloc:?}");
+    }
+
+    #[test]
+    fn fairness_conserves_blocks_with_idle_partitions() {
+        let idle = vec![0u64; 17];
+        let busy: Vec<u64> = (0..=16u64).map(|b| 500u64.saturating_sub(b * 30)).collect();
+        let alloc = equalize_miss_ratios(&[idle, busy], &[0, 1000], 16, 1);
+        assert_eq!(alloc.iter().sum::<u32>(), 16);
+    }
+
+    #[test]
+    fn respects_minimum() {
+        let flat = vec![vec![100u64; 17]; 4];
+        let alloc = lookahead(&flat, 16, 1);
+        assert_eq!(alloc.iter().sum::<u32>(), 16);
+        assert!(alloc.iter().all(|&a| a >= 1));
+    }
+
+    #[test]
+    fn knee_curves_are_not_starved() {
+        // Partition 0: no gain until 6 blocks, then everything. A 1-block
+        // greedy allocator would starve it; Lookahead must not.
+        let mut knee = vec![1000u64; 17];
+        for b in 6..17 {
+            knee[b] = 10;
+        }
+        let gradual: Vec<u64> = (0..17u64).map(|b| 1000 - 40 * b).collect();
+        let alloc = lookahead(&[knee, gradual], 16, 1);
+        assert!(alloc[0] >= 6, "cache-fitting app starved: {alloc:?}");
+    }
+
+    #[test]
+    fn streaming_gets_minimum_only() {
+        let stream = vec![1000u64; 17]; // no utility at any size
+        let friendly: Vec<u64> = (0..17u64).map(|b| 1000u64.saturating_sub(60 * b)).collect();
+        let alloc = lookahead(&[stream.clone(), friendly], 16, 1);
+        assert_eq!(alloc[0], 1, "streamer should get the minimum: {alloc:?}");
+        assert_eq!(alloc[1], 15);
+    }
+
+    #[test]
+    fn zero_utility_everywhere_still_allocates_all() {
+        let flat = vec![vec![7u64; 9]; 3];
+        let alloc = lookahead(&flat, 8, 1);
+        assert_eq!(alloc.iter().sum::<u32>(), 8);
+    }
+
+    #[test]
+    fn fine_grain_allocation_at_256_blocks() {
+        let c0: Vec<u64> = (0..=16u64).map(|w| 1000u64.saturating_sub(w * 55)).collect();
+        let c1 = vec![500u64; 17];
+        let f0 = interpolate_curve(&c0, 256);
+        let f1 = interpolate_curve(&c1, 256);
+        assert_eq!(f0.len(), 257);
+        let alloc = lookahead(&[f0, f1], 256, 1);
+        assert_eq!(alloc.iter().sum::<u32>(), 256);
+        assert!(alloc[0] > 200, "useful partition should dominate: {alloc:?}");
+    }
+
+    #[test]
+    fn interpolation_preserves_endpoints_and_monotonicity() {
+        let curve = vec![100u64, 80, 30, 28, 28];
+        let fine = interpolate_curve(&curve, 64);
+        assert_eq!(fine[0], 100);
+        assert_eq!(fine[64], 28);
+        for w in fine.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        // Original points are preserved at multiples of 16.
+        assert_eq!(fine[16], 80);
+        assert_eq!(fine[32], 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough blocks")]
+    fn too_small_budget_rejected() {
+        lookahead(&[vec![1; 5], vec![1; 5]], 1, 1);
+    }
+}

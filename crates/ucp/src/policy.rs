@@ -1,0 +1,291 @@
+//! The periodic UCP controller: monitors per-partition utility and emits
+//! line-granularity capacity targets at each repartitioning interval.
+
+use vantage_cache::LineAddr;
+
+use crate::lookahead::{equalize_miss_ratios, interpolate_curve, lookahead};
+use crate::umon::Umon;
+
+/// What the allocator optimizes for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AllocationGoal {
+    /// Maximize aggregate hits (the paper's UCP/Lookahead policy).
+    #[default]
+    Throughput,
+    /// Equalize per-partition miss ratios ("communist" allocation; Hsu et
+    /// al., cited by the paper as an alternative allocation policy).
+    Fairness,
+}
+
+/// Allocation granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UcpGranularity {
+    /// Whole ways — what way-partitioning and PIPP can enforce.
+    Ways(u32),
+    /// Fine-grain blocks (the paper interpolates UMON curves to 256 points
+    /// for Vantage, §5).
+    Fine {
+        /// Number of allocation blocks the cache is divided into.
+        blocks: u32,
+    },
+}
+
+/// Utility-based cache partitioning: one [`Umon`] per partition plus the
+/// Lookahead allocator.
+///
+/// # Example
+///
+/// ```
+/// use vantage_cache::LineAddr;
+/// use vantage_ucp::{UcpGranularity, UcpPolicy};
+///
+/// let mut ucp = UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Fine { blocks: 256 }, 1);
+/// // Partition 0 re-uses a working set; partition 1 streams.
+/// for i in 0..200_000u64 {
+///     ucp.observe(0, LineAddr(i % 10_000));
+///     ucp.observe(1, LineAddr(1 << 32 | i));
+/// }
+/// let targets = ucp.reallocate();
+/// assert_eq!(targets.iter().sum::<u64>(), 32_768);
+/// assert!(targets[0] > targets[1]); // utility goes where it helps
+/// ```
+#[derive(Clone, Debug)]
+pub struct UcpPolicy {
+    umons: Vec<Umon>,
+    granularity: UcpGranularity,
+    cache_lines: u64,
+    goal: AllocationGoal,
+}
+
+impl UcpPolicy {
+    /// Creates the policy for `partitions` partitions over a cache of
+    /// `cache_lines` lines.
+    ///
+    /// Each partition gets a UMON with `umon_ways` ways and `sampled_sets`
+    /// sampled sets modeling `model_sets` total sets (the paper samples 64
+    /// sets and matches `umon_ways` to the comparison schemes' way count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions == 0` or the granularity cannot cover every
+    /// partition with one block.
+    pub fn new(
+        partitions: usize,
+        umon_ways: usize,
+        sampled_sets: usize,
+        model_sets: u32,
+        cache_lines: u64,
+        granularity: UcpGranularity,
+        seed: u64,
+    ) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        let blocks = match granularity {
+            UcpGranularity::Ways(w) => w,
+            UcpGranularity::Fine { blocks } => blocks,
+        };
+        assert!(blocks as usize >= partitions, "fewer blocks than partitions");
+        let umons = (0..partitions)
+            .map(|p| Umon::new(umon_ways, sampled_sets, model_sets, seed.wrapping_add(p as u64)))
+            .collect();
+        Self { umons, granularity, cache_lines, goal: AllocationGoal::default() }
+    }
+
+    /// Switches the allocation goal (throughput vs fairness). Takes effect
+    /// at the next [`reallocate`](Self::reallocate).
+    pub fn set_goal(&mut self, goal: AllocationGoal) {
+        self.goal = goal;
+    }
+
+    /// The current allocation goal.
+    pub fn goal(&self) -> AllocationGoal {
+        self.goal
+    }
+
+    /// Observes one LLC access by `part` (both hits and misses — the
+    /// monitor models the partition owning the whole cache).
+    #[inline]
+    pub fn observe(&mut self, part: usize, addr: LineAddr) {
+        self.umons[part].access(addr);
+    }
+
+    /// Direct access to a partition's monitor (e.g. for inspection).
+    pub fn umon(&self, part: usize) -> &Umon {
+        &self.umons[part]
+    }
+
+    /// Runs Lookahead on the current miss curves and returns per-partition
+    /// targets in lines, summing to exactly the cache capacity. Counters
+    /// are decayed afterwards so the next interval adapts to phase changes.
+    pub fn reallocate(&mut self) -> Vec<u64> {
+        let blocks = match self.granularity {
+            UcpGranularity::Ways(w) => w,
+            UcpGranularity::Fine { blocks } => blocks,
+        };
+        let curves: Vec<Vec<u64>> = self
+            .umons
+            .iter()
+            .map(|u| {
+                let base = u.miss_curve();
+                match self.granularity {
+                    UcpGranularity::Ways(_) => base,
+                    UcpGranularity::Fine { blocks } => interpolate_curve(&base, blocks),
+                }
+            })
+            .collect();
+        let alloc = match self.goal {
+            AllocationGoal::Throughput => lookahead(&curves, blocks, 1),
+            AllocationGoal::Fairness => {
+                let accesses: Vec<u64> = self.umons.iter().map(Umon::accesses).collect();
+                equalize_miss_ratios(&curves, &accesses, blocks, 1)
+            }
+        };
+        for u in &mut self.umons {
+            u.decay();
+        }
+        // Blocks → lines, largest-remainder so the total is exact.
+        let mut targets: Vec<u64> = Vec::with_capacity(alloc.len());
+        let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(alloc.len());
+        let mut assigned = 0u64;
+        for (p, &b) in alloc.iter().enumerate() {
+            let exact = u128::from(b) * u128::from(self.cache_lines);
+            let lines = (exact / u128::from(blocks)) as u64;
+            let frac = (exact % u128::from(blocks)) as f64 / f64::from(blocks);
+            targets.push(lines);
+            fracs.push((p, frac));
+            assigned += lines;
+        }
+        fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+        let mut left = self.cache_lines - assigned;
+        let mut i = 0;
+        while left > 0 {
+            targets[fracs[i % fracs.len()].0] += 1;
+            left -= 1;
+            i += 1;
+        }
+        targets
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.umons.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(ucp: &mut UcpPolicy, part: usize, ws: u64, n: u64) {
+        let base = (part as u64 + 1) << 40;
+        for i in 0..n {
+            ucp.observe(part, LineAddr(base + (i % ws)));
+        }
+    }
+
+    #[test]
+    fn targets_sum_to_capacity_exactly() {
+        for granularity in
+            [UcpGranularity::Ways(16), UcpGranularity::Fine { blocks: 256 }]
+        {
+            let mut ucp = UcpPolicy::new(4, 16, 64, 2048, 32_768, granularity, 2);
+            for p in 0..4 {
+                stream(&mut ucp, p, 5_000 * (p as u64 + 1), 100_000);
+            }
+            let t = ucp.reallocate();
+            assert_eq!(t.iter().sum::<u64>(), 32_768, "granularity {granularity:?}");
+        }
+    }
+
+    #[test]
+    fn cache_friendly_beats_streaming() {
+        let mut ucp =
+            UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Fine { blocks: 256 }, 3);
+        stream(&mut ucp, 0, 20_000, 300_000); // heavy reuse
+        for i in 0..300_000u64 {
+            ucp.observe(1, LineAddr((2u64 << 40) + i)); // pure stream
+        }
+        let t = ucp.reallocate();
+        assert!(t[0] > 4 * t[1], "friendly {} vs streaming {}", t[0], t[1]);
+    }
+
+    #[test]
+    fn fairness_goal_narrows_the_allocation_gap() {
+        let build = || {
+            UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Fine { blocks: 256 }, 6)
+        };
+        let observe = |ucp: &mut UcpPolicy| {
+            stream(ucp, 0, 4_000, 300_000); // modest working set, big gains
+            stream(ucp, 1, 60_000, 300_000); // larger set, shallower gains
+        };
+        let mut tput = build();
+        observe(&mut tput);
+        let t = tput.reallocate();
+
+        let mut fair = build();
+        fair.set_goal(AllocationGoal::Fairness);
+        assert_eq!(fair.goal(), AllocationGoal::Fairness);
+        observe(&mut fair);
+        let f = fair.reallocate();
+
+        assert_eq!(f.iter().sum::<u64>(), 32_768);
+        let gap = |v: &[u64]| v[0].abs_diff(v[1]);
+        assert!(
+            gap(&f) <= gap(&t),
+            "fairness should not widen the gap: fair {f:?} vs tput {t:?}"
+        );
+    }
+
+    #[test]
+    fn way_targets_are_way_multiples_fine_targets_are_not_constrained() {
+        let observe_all = |ucp: &mut UcpPolicy| {
+            stream(ucp, 0, 2_000, 150_000);
+            stream(ucp, 1, 40_000, 300_000);
+        };
+        let mut ways =
+            UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Ways(16), 4);
+        observe_all(&mut ways);
+        let tw = ways.reallocate();
+        assert_eq!(tw.iter().sum::<u64>(), 32_768);
+        for &t in &tw {
+            assert_eq!(t % 2048, 0, "way-granularity target not a way multiple: {tw:?}");
+            assert!(t >= 2048, "way granularity cannot allocate below one way");
+        }
+
+        let mut fine =
+            UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Fine { blocks: 256 }, 4);
+        observe_all(&mut fine);
+        let tf = fine.reallocate();
+        assert_eq!(tf.iter().sum::<u64>(), 32_768);
+        // The fine allocator works on a 128-line quantum; both allocators
+        // must agree on who the capacity-hungry partition is.
+        assert!(tf[1] > tf[0] && tw[1] > tw[0]);
+    }
+
+    #[test]
+    fn repartitioning_adapts_after_phase_change() {
+        let mut ucp =
+            UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Fine { blocks: 256 }, 5);
+        // Phase 1: partition 0 is the reuser.
+        stream(&mut ucp, 0, 20_000, 200_000);
+        for i in 0..200_000u64 {
+            ucp.observe(1, LineAddr((2u64 << 40) + i));
+        }
+        let t1 = ucp.reallocate();
+        assert!(t1[0] > t1[1]);
+        // Phase 2: roles swap; decay lets the new phase win within a couple
+        // of intervals.
+        for _ in 0..3 {
+            stream(&mut ucp, 1, 20_000, 200_000);
+            for i in 0..200_000u64 {
+                ucp.observe(0, LineAddr((3u64 << 40) + i));
+            }
+            ucp.reallocate();
+        }
+        stream(&mut ucp, 1, 20_000, 200_000);
+        for i in 0..200_000u64 {
+            ucp.observe(0, LineAddr((4u64 << 40) + i));
+        }
+        let t2 = ucp.reallocate();
+        assert!(t2[1] > t2[0], "policy failed to adapt: {t2:?}");
+    }
+}

@@ -1,0 +1,199 @@
+//! The application catalog: 29 synthetic models mirroring Table 3's
+//! classification of SPEC CPU2006 (14 insensitive / 6 friendly / 5 fitting
+//! / 4 streaming).
+//!
+//! Names evoke the SPEC programs they stand in for, but the models are
+//! synthetic: each is a region mixture whose solo miss curve lands in the
+//! intended category under the paper's rule (< 5 L2 MPKI ⇒ insensitive;
+//! gradual decline ⇒ friendly; abrupt knee above 1 MB ⇒ fitting; flat ⇒
+//! streaming). Sizes assume 64-byte lines, so 16384 lines = 1 MB.
+
+use crate::app::{AppSpec, Category, RegionKind};
+
+/// Lines per megabyte with 64-byte cache lines.
+pub const LINES_PER_MB: u64 = 16 * 1024;
+
+fn hot(name: &'static str, lines: u64, apki: f64) -> AppSpec {
+    AppSpec {
+        name,
+        category: Category::Insensitive,
+        apki,
+        regions: vec![(1.0, RegionKind::Hot { lines })],
+        phases: None,
+    }
+}
+
+fn friendly(name: &'static str, lines: u64, gamma: f64, apki: f64) -> AppSpec {
+    AppSpec {
+        name,
+        category: Category::Friendly,
+        apki,
+        regions: vec![(1.0, RegionKind::Skewed { lines, gamma })],
+        phases: None,
+    }
+}
+
+fn fitting(name: &'static str, loop_lines: u64, hot_lines: u64, apki: f64) -> AppSpec {
+    AppSpec {
+        name,
+        category: Category::Fitting,
+        apki,
+        regions: vec![
+            (0.85, RegionKind::Loop { lines: loop_lines }),
+            (0.15, RegionKind::Hot { lines: hot_lines }),
+        ],
+        phases: None,
+    }
+}
+
+fn streaming(name: &'static str, apki: f64) -> AppSpec {
+    AppSpec {
+        name,
+        category: Category::Streaming,
+        apki,
+        regions: vec![
+            (0.92, RegionKind::Stream { wrap: 1 << 26 }),
+            (0.08, RegionKind::Hot { lines: 256 }),
+        ],
+        phases: None,
+    }
+}
+
+/// Builds the 29-application catalog.
+///
+/// # Example
+///
+/// ```
+/// use vantage_workloads::{catalog, Category};
+///
+/// let apps = catalog();
+/// assert_eq!(apps.len(), 29);
+/// let n = apps.iter().filter(|a| a.category == Category::Insensitive).count();
+/// assert_eq!(n, 14); // Table 3's split
+/// ```
+pub fn catalog() -> Vec<AppSpec> {
+    let mut v = Vec::with_capacity(29);
+
+    // --- Insensitive (14): small hot sets, mostly L1/L2-resident. ---
+    v.push(hot("perlbench_like", 900, 18.0));
+    v.push(hot("bwaves_like", 1400, 25.0));
+    v.push(hot("gamess_like", 400, 12.0));
+    v.push(hot("gromacs_like", 700, 15.0));
+    v.push(hot("namd_like", 1100, 20.0));
+    v.push(hot("gobmk_like", 1600, 22.0));
+    v.push(hot("dealII_like", 1900, 24.0));
+    v.push(hot("povray_like", 300, 10.0));
+    v.push(hot("calculix_like", 800, 14.0));
+    v.push(hot("hmmer_like", 600, 30.0));
+    v.push(hot("sjeng_like", 1200, 16.0));
+    v.push(hot("h264ref_like", 1700, 28.0));
+    v.push(hot("tonto_like", 500, 11.0));
+    v.push(hot("wrf_like", 1500, 19.0));
+
+    // --- Cache-friendly (6): skewed reuse over multi-MB footprints. ---
+    v.push(friendly("bzip2_like", 6 * LINES_PER_MB, 5.0, 35.0));
+    v.push(AppSpec {
+        // gcc-like: friendly with phase behaviour, so UCP retargets it over
+        // time (the dynamics Fig. 8 shows).
+        name: "gcc_like",
+        category: Category::Friendly,
+        apki: 40.0,
+        regions: vec![
+            (0.7, RegionKind::Skewed { lines: 4 * LINES_PER_MB, gamma: 4.0 }),
+            (0.3, RegionKind::Hot { lines: 2048 }),
+        ],
+        phases: Some((400_000, vec![vec![0.7, 0.3], vec![0.25, 0.75], vec![0.9, 0.1]])),
+    });
+    v.push(friendly("zeusmp_like", 8 * LINES_PER_MB, 6.0, 30.0));
+    v.push(friendly("cactusADM_like", 5 * LINES_PER_MB, 3.5, 45.0));
+    v.push(friendly("leslie3d_like", 7 * LINES_PER_MB, 4.5, 38.0));
+    v.push(AppSpec {
+        name: "astar_like",
+        category: Category::Friendly,
+        apki: 32.0,
+        regions: vec![
+            (0.8, RegionKind::Skewed { lines: 3 * LINES_PER_MB, gamma: 3.0 }),
+            (0.2, RegionKind::Loop { lines: 8 * 1024 }),
+        ],
+        phases: Some((600_000, vec![vec![0.8, 0.2], vec![0.4, 0.6]])),
+    });
+
+    // --- Cache-fitting (5): loops of 1.1-1.9 MB with abrupt knees. ---
+    v.push(fitting("soplex_like", (1.6 * LINES_PER_MB as f64) as u64, 512, 42.0));
+    v.push(fitting("lbm_like", (1.9 * LINES_PER_MB as f64) as u64, 256, 50.0));
+    v.push(fitting("omnetpp_like", (1.2 * LINES_PER_MB as f64) as u64, 768, 36.0));
+    v.push(fitting("sphinx3_like", (1.4 * LINES_PER_MB as f64) as u64, 384, 44.0));
+    v.push(fitting("xalancbmk_like", (1.1 * LINES_PER_MB as f64) as u64, 640, 33.0));
+
+    // --- Thrashing/streaming (4). ---
+    v.push(streaming("mcf_like", 70.0));
+    v.push(streaming("milc_like", 45.0));
+    v.push(streaming("GemsFDTD_like", 40.0));
+    v.push(streaming("libquantum_like", 55.0));
+
+    v
+}
+
+/// Looks up a catalog entry by name.
+pub fn spec_by_name(name: &str) -> Option<AppSpec> {
+    catalog().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table3_split() {
+        let apps = catalog();
+        assert_eq!(apps.len(), 29);
+        let count = |c: Category| apps.iter().filter(|a| a.category == c).count();
+        assert_eq!(count(Category::Insensitive), 14);
+        assert_eq!(count(Category::Friendly), 6);
+        assert_eq!(count(Category::Fitting), 5);
+        assert_eq!(count(Category::Streaming), 4);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let apps = catalog();
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 29);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(spec_by_name("mcf_like").is_some());
+        assert_eq!(spec_by_name("mcf_like").unwrap().category, Category::Streaming);
+        assert!(spec_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn fitting_apps_have_knees_above_1mb() {
+        for app in catalog().iter().filter(|a| a.category == Category::Fitting) {
+            let loop_lines: u64 = app
+                .regions
+                .iter()
+                .map(|(_, r)| match r {
+                    RegionKind::Loop { lines } => *lines,
+                    _ => 0,
+                })
+                .sum();
+            assert!(loop_lines > LINES_PER_MB, "{} knee below 1MB", app.name);
+            assert!(loop_lines < 2 * LINES_PER_MB, "{} knee above 2MB", app.name);
+        }
+    }
+
+    #[test]
+    fn all_specs_instantiate() {
+        for (i, app) in catalog().into_iter().enumerate() {
+            let mut g = crate::app::AppGen::new(app, (i as u64) << 40, 42);
+            for _ in 0..1000 {
+                let r = g.next_ref();
+                assert!(r.gap >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Multiprogrammed mix construction (§5, "Workloads").
+//!
+//! With four behavioural categories there are 35 multisets (combinations
+//! with repetition) of four category slots; each multiset is a *class*. The
+//! paper builds 10 mixes per class: for the 4-core machine each slot is one
+//! randomly chosen application from its category, and for the 32-core
+//! machine each slot contributes 8 randomly chosen applications. Class
+//! names concatenate the slot codes in `s < f < t < n` order, matching the
+//! paper's mix names (`sftn1`, `ffnn3`, `sssf6`, ...).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::app::{AppSpec, Category};
+use crate::catalog::catalog;
+
+/// Category ordering used in class names (the paper's `sftn` order).
+const NAME_ORDER: [Category; 4] =
+    [Category::Streaming, Category::Friendly, Category::Fitting, Category::Insensitive];
+
+/// A multiprogrammed workload: one application per core.
+#[derive(Clone, Debug)]
+pub struct Mix {
+    /// `<class><index>` (e.g. `ffnn3`), as in the paper's figures.
+    pub name: String,
+    /// The four category slots of this mix's class.
+    pub class: [Category; 4],
+    /// One spec per core (`cores = 4 × slot multiplicity`).
+    pub apps: Vec<AppSpec>,
+}
+
+/// All 35 class slot-combinations in name order.
+pub fn class_names() -> Vec<[Category; 4]> {
+    let mut classes = Vec::with_capacity(35);
+    for a in 0..4 {
+        for b in a..4 {
+            for c in b..4 {
+                for d in c..4 {
+                    classes.push([NAME_ORDER[a], NAME_ORDER[b], NAME_ORDER[c], NAME_ORDER[d]]);
+                }
+            }
+        }
+    }
+    classes
+}
+
+/// Builds `per_class` mixes per class for a `cores`-core machine
+/// (`cores` must be a positive multiple of 4: each class slot contributes
+/// `cores / 4` applications). Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `cores` is not a positive multiple of 4.
+///
+/// # Example
+///
+/// ```
+/// use vantage_workloads::mixes;
+///
+/// // The paper's 4-core workload set: 35 classes × 10 mixes.
+/// let all = mixes(4, 10, 42);
+/// assert_eq!(all.len(), 350);
+/// assert_eq!(all[0].apps.len(), 4);
+///
+/// // And the 32-core set: 8 apps per class slot.
+/// let big = mixes(32, 10, 42);
+/// assert_eq!(big.len(), 350);
+/// assert_eq!(big[0].apps.len(), 32);
+/// ```
+pub fn mixes(cores: usize, per_class: usize, seed: u64) -> Vec<Mix> {
+    assert!(cores > 0 && cores % 4 == 0, "cores must be a positive multiple of 4");
+    let per_slot = cores / 4;
+    let apps = catalog();
+    let pool = |cat: Category| -> Vec<&AppSpec> {
+        apps.iter().filter(|a| a.category == cat).collect()
+    };
+    let pools: Vec<(Category, Vec<&AppSpec>)> =
+        NAME_ORDER.iter().map(|&c| (c, pool(c))).collect();
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(35 * per_class);
+    for class in class_names() {
+        let class_str: String = class.iter().map(|c| c.code()).collect();
+        for k in 0..per_class {
+            let mut mix_apps = Vec::with_capacity(cores);
+            for &slot in &class {
+                let pool = &pools.iter().find(|(c, _)| *c == slot).expect("pool exists").1;
+                for _ in 0..per_slot {
+                    mix_apps.push(pool[rng.gen_range(0..pool.len())].clone());
+                }
+            }
+            out.push(Mix { name: format!("{class_str}{k}"), class, apps: mix_apps });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_five_classes() {
+        let classes = class_names();
+        assert_eq!(classes.len(), 35);
+        // All distinct.
+        let mut names: Vec<String> =
+            classes.iter().map(|c| c.iter().map(|x| x.code()).collect()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 35);
+        // Paper-style names exist.
+        assert!(names.contains(&"sftn".to_string()));
+        assert!(names.contains(&"ffnn".to_string()));
+        assert!(names.contains(&"sssf".to_string()));
+    }
+
+    #[test]
+    fn mixes_are_deterministic() {
+        let a = mixes(4, 2, 9);
+        let b = mixes(4, 2, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            let xa: Vec<&str> = x.apps.iter().map(|s| s.name).collect();
+            let ya: Vec<&str> = y.apps.iter().map(|s| s.name).collect();
+            assert_eq!(xa, ya);
+        }
+    }
+
+    #[test]
+    fn apps_match_their_slots() {
+        for mix in mixes(8, 1, 3) {
+            assert_eq!(mix.apps.len(), 8);
+            for (i, app) in mix.apps.iter().enumerate() {
+                let slot = mix.class[i / 2];
+                assert_eq!(app.category, slot, "mix {} app {i}", mix.name);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = mixes(4, 1, 1);
+        let b = mixes(4, 1, 2);
+        let same = a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.apps.iter().zip(&y.apps).all(|(p, q)| p.name == q.name));
+        assert!(!same);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn bad_core_count_rejected() {
+        mixes(6, 1, 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Trace recording and replay.
+//!
+//! The synthetic models exist because SPEC traces are not distributable;
+//! anyone who *does* have traces can plug them straight into the simulator
+//! through this module. The format is deliberately trivial: a stream of
+//! 12-byte little-endian records, `u32 gap` followed by `u64 line address`
+//! (one [`MemRef`] each), with an 8-byte magic header.
+//!
+//! [`TraceWriter`]/[`TraceReader`] handle the encoding; [`TraceGen`] replays
+//! a trace as a [`RefStream`] (looping at the end, so a finite trace can
+//! drive an arbitrarily long simulation, like SimPoint-style samples do).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use vantage_cache::LineAddr;
+
+use crate::app::{AppGen, MemRef};
+
+/// Anything that can feed a simulated core with memory references.
+pub trait RefStream {
+    /// Produces the next reference.
+    fn next_ref(&mut self) -> MemRef;
+}
+
+impl RefStream for AppGen {
+    fn next_ref(&mut self) -> MemRef {
+        AppGen::next_ref(self)
+    }
+}
+
+const MAGIC: &[u8; 8] = b"VNTGTRC1";
+
+/// Streaming writer for the trace format.
+///
+/// # Example
+///
+/// ```no_run
+/// use vantage_workloads::trace::TraceWriter;
+/// use vantage_workloads::MemRef;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut w = TraceWriter::create("app.trace")?;
+/// w.write(MemRef { gap: 3, addr: 0x1000.into() })?;
+/// w.finish()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct TraceWriter<W: Write = BufWriter<File>> {
+    sink: W,
+    records: u64,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::new(BufWriter::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps any sink (note a `&mut Vec<u8>` or `BufWriter` works).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(MAGIC)?;
+        Ok(Self { sink, records: 0 })
+    }
+
+    /// Appends one reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&mut self, r: MemRef) -> io::Result<()> {
+        self.sink.write_all(&r.gap.to_le_bytes())?;
+        self.sink.write_all(&r.addr.0.to_le_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the record count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.sink.flush()?;
+        Ok(self.records)
+    }
+}
+
+/// Streaming reader for the trace format.
+pub struct TraceReader<R: Read = BufReader<File>> {
+    source: R,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or a bad magic header.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps any source, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a bad magic header.
+    pub fn new(mut source: R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        source.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a vantage trace"));
+        }
+        Ok(Self { source })
+    }
+
+    /// Reads the next record, or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a truncated record.
+    pub fn read(&mut self) -> io::Result<Option<MemRef>> {
+        let mut gap = [0u8; 4];
+        match self.source.read_exact(&mut gap) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let mut addr = [0u8; 8];
+        self.source.read_exact(&mut addr)?;
+        Ok(Some(MemRef {
+            gap: u32::from_le_bytes(gap).max(1),
+            addr: LineAddr(u64::from_le_bytes(addr)),
+        }))
+    }
+
+    /// Drains the remaining records into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors.
+    pub fn read_all(mut self) -> io::Result<Vec<MemRef>> {
+        let mut out = Vec::new();
+        while let Some(r) = self.read()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+/// Replays an in-memory trace as a [`RefStream`], looping at the end.
+#[derive(Clone, Debug)]
+pub struct TraceGen {
+    refs: Vec<MemRef>,
+    pos: usize,
+    /// Completed passes over the trace.
+    pub loops: u64,
+}
+
+impl TraceGen {
+    /// Builds a replayer over `refs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refs` is empty (nothing to replay).
+    pub fn new(refs: Vec<MemRef>) -> Self {
+        assert!(!refs.is_empty(), "cannot replay an empty trace");
+        Self { refs, pos: 0, loops: 0 }
+    }
+
+    /// Loads a trace file into a replayer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and format errors; an empty trace is `InvalidData`.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let refs = TraceReader::open(path)?.read_all()?;
+        if refs.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+        }
+        Ok(Self::new(refs))
+    }
+
+    /// Records `n` references from any generator into a new replayer
+    /// (useful for checkpoint-style determinism without files).
+    pub fn record(gen: &mut impl RefStream, n: usize) -> Self {
+        assert!(n > 0, "cannot record an empty trace");
+        Self::new((0..n).map(|_| gen.next_ref()).collect())
+    }
+
+    /// Number of records in one pass.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether the trace is empty (never true: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+}
+
+impl RefStream for TraceGen {
+    fn next_ref(&mut self) -> MemRef {
+        let r = self.refs[self.pos];
+        self.pos += 1;
+        if self.pos == self.refs.len() {
+            self.pos = 0;
+            self.loops += 1;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppSpec, Category, RegionKind};
+
+    fn gen() -> AppGen {
+        AppGen::new(
+            AppSpec {
+                name: "t",
+                category: Category::Friendly,
+                apki: 30.0,
+                regions: vec![(1.0, RegionKind::Skewed { lines: 1000, gamma: 3.0 })],
+                phases: None,
+            },
+            1 << 40,
+            5,
+        )
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut g = gen();
+        let refs: Vec<MemRef> = (0..500).map(|_| g.next_ref()).collect();
+        let mut buf = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut buf).expect("header");
+            for &r in &refs {
+                w.write(r).expect("write");
+            }
+            assert_eq!(w.finish().expect("flush"), 500);
+        }
+        let back = TraceReader::new(buf.as_slice()).expect("header").read_all().expect("read");
+        assert_eq!(back, refs);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = TraceReader::new(&b"NOTATRACE123"[..]).map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).expect("header");
+        w.write(MemRef { gap: 1, addr: LineAddr(7) }).expect("write");
+        w.finish().expect("flush");
+        buf.pop(); // chop the last byte
+        let mut r = TraceReader::new(buf.as_slice()).expect("header");
+        assert!(r.read().is_err());
+    }
+
+    #[test]
+    fn replay_loops_and_matches_source() {
+        let mut g = gen();
+        let mut replay = TraceGen::record(&mut g, 100);
+        let mut again = gen();
+        for _ in 0..100 {
+            assert_eq!(replay.next_ref(), again.next_ref());
+        }
+        assert_eq!(replay.loops, 1);
+        // Second pass repeats the first.
+        let first = replay.next_ref();
+        let mut third = gen();
+        assert_eq!(first, third.next_ref());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("vantage_trace_test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("t.trace");
+        let mut g = gen();
+        let mut w = TraceWriter::create(&path).expect("create");
+        for _ in 0..64 {
+            w.write(g.next_ref()).expect("write");
+        }
+        w.finish().expect("flush");
+        let t = TraceGen::load(&path).expect("load");
+        assert_eq!(t.len(), 64);
+        std::fs::remove_file(path).ok();
+    }
+}

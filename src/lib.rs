@@ -1,0 +1,39 @@
+//! Facade crate for the Vantage reproduction workspace.
+//!
+//! Re-exports the workspace crates under one roof so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`cache`] — cache arrays (set-associative, skew, zcache), H3 hashing,
+//!   and replacement-policy building blocks.
+//! * [`core`] — the Vantage controller and the paper's analytical models.
+//! * [`partitioning`] — the [`Llc`](partitioning::Llc) trait plus baseline
+//!   schemes: unpartitioned LRU/RRIP, way-partitioning and PIPP.
+//! * [`ucp`] — utility-based cache partitioning: UMON-DSS monitors and the
+//!   Lookahead allocation algorithm.
+//! * [`workloads`] — synthetic SPEC-CPU2006-like applications and
+//!   multiprogrammed mix generation.
+//! * [`sim`] — the CMP simulator (in-order cores, private L1s, shared
+//!   partitioned L2, memory).
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vantage_repro::cache::ZArray;
+//! use vantage_repro::core::{VantageConfig, VantageLlc};
+//! use vantage_repro::partitioning::Llc;
+//!
+//! // A 4096-line Z4/52 zcache, partitioned in two with Vantage.
+//! let array = ZArray::new(4096, 4, 52, 1);
+//! let mut llc = VantageLlc::new(Box::new(array), 2, VantageConfig::default(), 1);
+//! llc.set_targets(&[3000, 896]);
+//! llc.access(0, 0x100.into());
+//! ```
+
+pub use vantage as core;
+pub use vantage_cache as cache;
+pub use vantage_partitioning as partitioning;
+pub use vantage_sim as sim;
+pub use vantage_ucp as ucp;
+pub use vantage_workloads as workloads;

@@ -1,0 +1,137 @@
+//! End-to-end integration: full simulations spanning every crate
+//! (workloads → cores/L1 → UCP → scheme → arrays).
+
+use vantage_repro::sim::{ArrayKind, BaselineRank, CmpSim, SchemeKind, SystemConfig};
+use vantage_repro::workloads::mixes;
+
+fn quick_sys() -> SystemConfig {
+    let mut s = SystemConfig::small_scale();
+    s.instructions = 400_000;
+    s.repartition_interval = 50_000;
+    s
+}
+
+#[test]
+fn every_scheme_completes_on_every_class_shape() {
+    let all = mixes(4, 1, 21);
+    // One mix from each "corner" class: homogeneous s/f/t/n.
+    for prefix in ["ssss", "ffff", "tttt", "nnnn"] {
+        let mix = all.iter().find(|m| m.name.starts_with(prefix)).expect("class exists");
+        for kind in [
+            SchemeKind::Baseline {
+                array: ArrayKind::SetAssoc { ways: 16 },
+                rank: BaselineRank::Lru,
+            },
+            SchemeKind::WayPart,
+            SchemeKind::Pipp,
+            SchemeKind::vantage_paper(),
+        ] {
+            let r = CmpSim::new(quick_sys(), &kind, mix).run();
+            assert_eq!(r.ipc.len(), 4, "{} on {}", r.label, mix.name);
+            assert!(
+                r.ipc.iter().all(|&i| i > 0.0 && i <= 1.0),
+                "{} on {}: IPCs {:?}",
+                r.label,
+                mix.name,
+                r.ipc
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let mix = &mixes(4, 1, 5)[12];
+    let kind = SchemeKind::vantage_paper();
+    let a = CmpSim::new(quick_sys(), &kind, mix).run();
+    let b = CmpSim::new(quick_sys(), &kind, mix).run();
+    assert_eq!(a.ipc, b.ipc);
+    assert_eq!(a.l2_misses, b.l2_misses);
+    assert_eq!(a.l2_accesses, b.l2_accesses);
+}
+
+#[test]
+fn seeds_change_outcomes() {
+    let kind = SchemeKind::vantage_paper();
+    let mut s1 = quick_sys();
+    s1.seed = 1;
+    let mut s2 = quick_sys();
+    s2.seed = 2;
+    let mix = &mixes(4, 1, 5)[12];
+    let a = CmpSim::new(s1, &kind, mix).run();
+    let b = CmpSim::new(s2, &kind, mix).run();
+    assert_ne!(a.l2_misses, b.l2_misses, "different seeds should perturb the run");
+}
+
+#[test]
+fn vantage_matches_baseline_within_noise_on_insensitive_mixes() {
+    // On an all-insensitive mix nothing contends; partitioning must not
+    // hurt (the paper's "maintains associativity" property).
+    let all = mixes(4, 1, 33);
+    let mix = all.iter().find(|m| m.name.starts_with("nnnn")).expect("class exists");
+    let base = CmpSim::new(
+        quick_sys(),
+        &SchemeKind::Baseline { array: ArrayKind::SetAssoc { ways: 16 }, rank: BaselineRank::Lru },
+        mix,
+    )
+    .run();
+    let vant = CmpSim::new(quick_sys(), &SchemeKind::vantage_paper(), mix).run();
+    let ratio = vant.throughput / base.throughput;
+    assert!(ratio > 0.97, "Vantage degraded an uncontended mix: {ratio:.3}");
+}
+
+#[test]
+fn thirty_two_core_vantage_runs_with_32_partitions_on_4_ways() {
+    // The scalability headline: 32 fine-grain partitions on a 4-way array.
+    let mut sys = SystemConfig::large_scale();
+    sys.instructions = 60_000;
+    let mix = &mixes(32, 1, 3)[10];
+    let r = CmpSim::new(sys, &SchemeKind::vantage_paper(), mix).run();
+    assert_eq!(r.ipc.len(), 32);
+    assert!(r.throughput > 0.0);
+    assert!(
+        r.managed_eviction_fraction.expect("vantage reports it") < 0.2,
+        "warmup-inclusive managed fraction out of range"
+    );
+}
+
+#[test]
+fn trace_targets_follow_ucp_and_actuals_follow_targets() {
+    let mut sys = quick_sys();
+    sys.instructions = 800_000;
+    let all = mixes(4, 1, 9);
+    let mix = all.iter().find(|m| m.name.starts_with("sfft")).expect("class exists");
+    let mut sim = CmpSim::new(sys.clone(), &SchemeKind::vantage_paper(), mix);
+    sim.enable_trace(sys.repartition_interval / 2);
+    let r = sim.run();
+    assert!(r.trace.len() >= 4);
+    // Vantage bounds sizes from above: no partition materially exceeds its
+    // (managed-scaled) target plus slack and the MSS reserve. Under-target
+    // is fine — partitions only fill up to their demand.
+    let mss = 32_768.0 / (0.5 * 52.0);
+    for (i, s) in r.trace.iter().enumerate().skip(4) {
+        let total: u64 = s.actuals.iter().sum();
+        assert!(total <= 32_768, "actual sizes exceed capacity: {total}");
+        for (p, (&t, &a)) in s.targets.iter().zip(&s.actuals).enumerate() {
+            // Downsizing drains at a finite (A_max-limited) rate, so the
+            // bound only applies once the target has been stable for a few
+            // samples (§3.4, "Transient behavior").
+            let stable = (i - 3..i).all(|j| r.trace[j].targets[p] == t);
+            if !stable {
+                continue;
+            }
+            let managed_target = t as f64 * 0.95; // scaled by 1 - u
+            assert!(
+                (a as f64) <= managed_target * 1.15 + mss,
+                "partition {p} at {a} lines exceeds bound for target {t} (cycle {})",
+                s.cycle
+            );
+        }
+    }
+    // And UCP must actually retarget over time for this phased mix.
+    let first = &r.trace[1].targets;
+    assert!(
+        r.trace.iter().skip(2).any(|s| &s.targets != first),
+        "UCP never changed its allocation"
+    );
+}

@@ -1,0 +1,119 @@
+//! Model-vs-measurement consistency: the analytical guarantees of §3/§4
+//! checked against the actual implementation, end to end.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vantage_repro::cache::ZArray;
+use vantage_repro::core::model::sizing;
+use vantage_repro::core::{VantageConfig, VantageLlc};
+use vantage_repro::partitioning::Llc;
+
+fn churn(llc: &mut VantageLlc, parts: usize, accesses: u64, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..accesses {
+        let p = (i % parts as u64) as usize;
+        let base = (p as u64 + 1) << 40;
+        llc.access(p, (base + rng.gen_range(0..100_000u64)).into());
+    }
+}
+
+#[test]
+fn managed_eviction_fraction_tracks_unmanaged_sizing() {
+    // Growing u must reduce forced managed evictions by orders of
+    // magnitude, staying in the neighborhood of the model's worst case.
+    let mut fractions = Vec::new();
+    for u in [0.05, 0.15, 0.25] {
+        let cfg = VantageConfig { unmanaged_fraction: u, ..VantageConfig::default() };
+        let mut llc = VantageLlc::new(Box::new(ZArray::new(8 * 1024, 4, 52, 1)), 4, cfg, 1);
+        llc.set_targets(&[2048; 4]);
+        churn(&mut llc, 4, 1_500_000, 42);
+        // Skip warmup effects: reset and measure a steady-state window.
+        llc.vantage_stats_mut().reset();
+        churn(&mut llc, 4, 1_500_000, 43);
+        fractions.push(llc.vantage_stats().managed_eviction_fraction());
+    }
+    assert!(
+        fractions[0] > fractions[1] && fractions[1] >= fractions[2],
+        "managed evictions must fall with u: {fractions:?}"
+    );
+    // u = 25%: the model's worst case is ~1e-4; steady state must be tiny.
+    let model = sizing::worst_case_pev(0.25, 52, 0.5, 0.1);
+    assert!(
+        fractions[2] <= model * 50.0 + 1e-4,
+        "u=25%: measured {} vs model worst-case {model}",
+        fractions[2]
+    );
+}
+
+#[test]
+fn feedback_outgrowth_respects_eq9() {
+    // In steady state, aggregate outgrowth beyond targets is bounded by
+    // slack/(A_max·R) of the cache (Eq. 9) plus MSS borrowing (Eq. 6).
+    let cfg = VantageConfig::default();
+    let cap = 8 * 1024u64;
+    let mut llc = VantageLlc::new(Box::new(ZArray::new(cap as usize, 4, 52, 2)), 4, cfg, 1);
+    llc.set_targets(&[cap / 4; 4]);
+    churn(&mut llc, 4, 3_000_000, 7);
+    llc.check_invariants();
+    let outgrowth: f64 = (0..4)
+        .map(|p| {
+            (llc.partition_size(p) as f64 - llc.partition_target(p) as f64).max(0.0)
+        })
+        .sum();
+    let bound = (sizing::feedback_outgrowth(0.1, 0.5, 52)
+        + sizing::total_borrowed_approx(0.5, 52))
+        * cap as f64;
+    assert!(
+        outgrowth <= bound * 1.5,
+        "aggregate outgrowth {outgrowth} lines exceeds model bound {bound}"
+    );
+}
+
+#[test]
+fn minimum_stable_size_bounded_by_eq5() {
+    // One partition with target ~0 and all the churn: it must stabilize at
+    // most around MSS = ΣS/(A_max·R·m) lines (Eq. 5 with C_j/ΣC = 1).
+    let cap = 8 * 1024u64;
+    let cfg = VantageConfig::default();
+    let mut llc = VantageLlc::new(Box::new(ZArray::new(cap as usize, 4, 52, 3)), 2, cfg, 1);
+    llc.set_targets(&[16, cap - 16]);
+    // Partition 1 fills once and goes quiet; partition 0 churns forever.
+    let mut rng = SmallRng::seed_from_u64(11);
+    for _ in 0..40_000 {
+        llc.access(1, ((2u64 << 40) + rng.gen_range(0..7_000u64)).into());
+    }
+    for i in 0..1_500_000u64 {
+        llc.access(0, ((1u64 << 40) + i).into());
+    }
+    llc.check_invariants();
+    let mss_lines = cap as f64 / (0.5 * 52.0); // ≈ 1/(A_max·R) of the cache
+    let s0 = llc.partition_size(0) as f64;
+    assert!(
+        s0 <= mss_lines * 1.6,
+        "high-churn tiny partition at {s0} lines, MSS bound {mss_lines}"
+    );
+}
+
+#[test]
+fn unmanaged_region_absorbs_borrowing_without_interference() {
+    // Two partitions: one outgrows its target (high churn), borrowing from
+    // the unmanaged region; the quiet partner's size must be untouched.
+    let cap = 8 * 1024u64;
+    let cfg = VantageConfig { unmanaged_fraction: 0.15, ..VantageConfig::default() };
+    let mut llc = VantageLlc::new(Box::new(ZArray::new(cap as usize, 4, 52, 4)), 2, cfg, 1);
+    llc.set_targets(&[cap / 2, cap / 2]);
+    let mut rng = SmallRng::seed_from_u64(13);
+    // Quiet partner loads a set well under its target.
+    for _ in 0..60_000 {
+        llc.access(1, ((2u64 << 40) + rng.gen_range(0..3_000u64)).into());
+    }
+    let quiet_before = llc.partition_size(1);
+    for i in 0..1_200_000u64 {
+        llc.access(0, ((1u64 << 40) + i).into());
+    }
+    let quiet_after = llc.partition_size(1);
+    assert!(
+        quiet_after as f64 >= quiet_before as f64 * 0.98,
+        "borrowing dented the quiet partner: {quiet_before} -> {quiet_after}"
+    );
+}

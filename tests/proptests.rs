@@ -1,0 +1,304 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use vantage_repro::cache::{CacheArray, LineAddr, Walk, ZArray};
+use vantage_repro::core::controller::ThresholdTable;
+use vantage_repro::core::model::{assoc, managed, sizing};
+use vantage_repro::core::{VantageConfig, VantageLlc};
+use vantage_repro::partitioning::llc::ways_from_targets;
+use vantage_repro::partitioning::Llc;
+use vantage_repro::ucp::{interpolate_curve, lookahead};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The zcache placement invariant survives arbitrary access sequences:
+    /// walks stay well-formed, install keeps every line findable, and
+    /// occupancy accounting matches a full scan.
+    #[test]
+    fn zcache_invariants_under_arbitrary_traffic(
+        seed in 0u64..1000,
+        ops in prop::collection::vec((0u64..5000, 0usize..52), 50..400),
+    ) {
+        let mut a = ZArray::new(512, 4, 52, seed);
+        let mut walk = Walk::new();
+        let mut moves = Vec::new();
+        for (addr, victim_hint) in ops {
+            let addr = LineAddr(addr);
+            if a.lookup(addr).is_some() {
+                continue;
+            }
+            a.walk(addr, &mut walk);
+            prop_assert!(walk.len() >= 1);
+            prop_assert!(walk.len() <= 52);
+            // Parent links must point backwards.
+            for (i, n) in walk.nodes.iter().enumerate() {
+                if let Some(p) = n.parent {
+                    prop_assert!((p as usize) < i);
+                }
+            }
+            let victim = walk.first_empty().unwrap_or(victim_hint % walk.len());
+            moves.clear();
+            a.install(addr, &walk, victim, &mut moves);
+            prop_assert!(a.lookup(addr).is_some(), "installed line must be findable");
+        }
+        // Occupancy equals the number of distinct frames holding lines.
+        let scan = (0..512u32).filter(|&f| a.occupant(f).is_some()).count();
+        prop_assert_eq!(scan, a.occupancy());
+    }
+
+    /// Way allocation: sums exactly, respects the 1-way floor, and is
+    /// monotone-ish (a partition asking for everything gets the most).
+    #[test]
+    fn way_allocation_properties(
+        targets in prop::collection::vec(0u64..100_000, 1..16),
+        extra_ways in 0u32..48,
+    ) {
+        let ways = targets.len() as u32 + extra_ways;
+        let alloc = ways_from_targets(&targets, ways);
+        prop_assert_eq!(alloc.iter().sum::<u32>(), ways);
+        prop_assert!(alloc.iter().all(|&w| w >= 1));
+        if let Some((imax, _)) = targets.iter().enumerate().max_by_key(|(_, &t)| t) {
+            let wmax = alloc[imax];
+            prop_assert!(alloc.iter().all(|&w| w <= wmax + 1), "biggest asker got {wmax}, alloc {alloc:?}");
+        }
+    }
+
+    /// Lookahead conserves blocks and never starves below the minimum.
+    #[test]
+    fn lookahead_conserves_blocks(
+        curves in prop::collection::vec(
+            prop::collection::vec(0u64..10_000, 17..18),
+            2..6
+        ),
+        blocks in 8u32..16,
+    ) {
+        // Make each curve non-increasing (a valid miss curve).
+        let curves: Vec<Vec<u64>> = curves
+            .into_iter()
+            .map(|mut c| {
+                c.sort_unstable_by(|a, b| b.cmp(a));
+                c
+            })
+            .collect();
+        let n = curves.len() as u32;
+        let blocks = blocks.max(n);
+        let alloc = lookahead(&curves, blocks, 1);
+        prop_assert_eq!(alloc.iter().sum::<u32>(), blocks);
+        prop_assert!(alloc.iter().all(|&b| b >= 1));
+    }
+
+    /// Interpolation preserves endpoints and monotonicity.
+    #[test]
+    fn interpolation_properties(
+        curve in prop::collection::vec(0u64..1_000_000, 2..20),
+        blocks in 1u32..512,
+    ) {
+        let mut curve = curve;
+        curve.sort_unstable_by(|a, b| b.cmp(a));
+        let fine = interpolate_curve(&curve, blocks);
+        prop_assert_eq!(fine.len(), blocks as usize + 1);
+        prop_assert_eq!(fine[0], curve[0]);
+        prop_assert_eq!(*fine.last().unwrap(), *curve.last().unwrap());
+        for w in fine.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+    }
+
+    /// The associativity CDF is a valid, monotone CDF for any R.
+    #[test]
+    fn assoc_cdf_is_valid(r in 1u32..128, x in 0.0f64..1.0, y in 0.0f64..1.0) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(assoc::cdf(lo, r) <= assoc::cdf(hi, r) + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&assoc::cdf(x, r)));
+        // Quantile inverts.
+        let q = assoc::quantile(x, r);
+        prop_assert!((assoc::cdf(q, r) - x).abs() < 1e-9);
+    }
+
+    /// Eq. 2 dominates Eq. 3 nowhere above the aperture threshold... more
+    /// precisely: demote-on-average never demotes below `1 - A`, while
+    /// exactly-one always has positive mass there.
+    #[test]
+    fn managed_models_ordering(r in 4u32..64, u in 0.05f64..0.5) {
+        let a = managed::balanced_aperture(r, 1.0 - u).min(1.0);
+        let x = (1.0 - a) * 0.95;
+        prop_assert_eq!(managed::average_demotion_cdf(x, a), 0.0);
+        prop_assert!(managed::one_demotion_cdf(x, r, u) > 0.0);
+    }
+
+    /// The sizing rule is monotone: stricter isolation or fewer candidates
+    /// always need a (weakly) larger unmanaged region.
+    #[test]
+    fn sizing_monotonicity(
+        r in 8u32..128,
+        pev_exp in -6.0f64..-0.5,
+        a_max in 0.1f64..1.0,
+    ) {
+        let pev = 10f64.powf(pev_exp);
+        let u = sizing::unmanaged_fraction(r, pev, a_max, 0.1);
+        let stricter = sizing::unmanaged_fraction(r, pev / 10.0, a_max, 0.1);
+        prop_assert!(stricter >= u - 1e-12);
+        let fewer = sizing::unmanaged_fraction(r / 2, pev, a_max, 0.1);
+        prop_assert!(fewer >= u - 1e-12);
+    }
+
+    /// Threshold tables: monotone in size, zero at/below target, saturating
+    /// at c·A_max.
+    #[test]
+    fn threshold_table_properties(
+        target in 16u64..100_000,
+        slack in 0.02f64..0.5,
+        a_max in 0.1f64..1.0,
+    ) {
+        let t = ThresholdTable::new(target, slack, a_max, 256, 8);
+        prop_assert_eq!(t.threshold(target), None);
+        let cap = (256.0 * a_max).round() as u32;
+        let mut prev = 0u32;
+        for k in 1..=12u64 {
+            let size = target + k * ((slack * target as f64 / 8.0).ceil() as u64 + 1);
+            let thr = t.threshold(size).expect("over target");
+            prop_assert!(thr >= prev, "thresholds must not decrease");
+            prop_assert!(thr <= cap);
+            prev = thr;
+        }
+        // Aperture is within [0, A_max] and monotone.
+        prop_assert!(t.aperture(target * 2 + 16) <= a_max + 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Set-associative and skew arrays never lose an installed line until
+    /// it is explicitly evicted, and candidate counts equal the way count.
+    #[test]
+    fn sa_and_skew_lookup_after_install(
+        seed in 0u64..500,
+        addrs in prop::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        use vantage_repro::cache::{SetAssocArray, SkewArray};
+        let mut arrays: Vec<Box<dyn CacheArray>> = vec![
+            Box::new(SetAssocArray::hashed(256, 4, seed)),
+            Box::new(SetAssocArray::modulo(256, 4)),
+            Box::new(SkewArray::new(256, 4, seed)),
+        ];
+        for a in &mut arrays {
+            let mut walk = Walk::new();
+            let mut moves = Vec::new();
+            for &x in &addrs {
+                let addr = LineAddr(x);
+                if a.lookup(addr).is_some() {
+                    continue;
+                }
+                a.walk(addr, &mut walk);
+                prop_assert_eq!(walk.len(), 4);
+                let v = walk.first_empty().unwrap_or(0);
+                moves.clear();
+                a.install(addr, &walk, v, &mut moves);
+                prop_assert!(moves.is_empty(), "flat arrays never relocate");
+                prop_assert!(a.lookup(addr).is_some());
+            }
+        }
+    }
+
+    /// TargetRamp conserves capacity at every step and terminates exactly.
+    #[test]
+    fn target_ramp_properties(
+        from in prop::collection::vec(0u64..10_000, 2..8),
+        deltas in prop::collection::vec(-500i64..500, 2..8),
+        steps in 1u32..20,
+    ) {
+        use vantage_repro::core::TargetRamp;
+        let n = from.len().min(deltas.len());
+        let from: Vec<u64> = from[..n].to_vec();
+        // Build a `to` with the same total by paired transfers.
+        let mut to = from.clone();
+        for i in 0..n / 2 {
+            let d = deltas[i].unsigned_abs().min(to[2 * i]);
+            to[2 * i] -= d;
+            to[2 * i + 1] += d;
+        }
+        let total: u64 = from.iter().sum();
+        let mut ramp = TargetRamp::new(from, to.clone(), steps);
+        let mut count = 0;
+        let mut last = Vec::new();
+        while let Some(t) = ramp.step() {
+            prop_assert_eq!(t.iter().sum::<u64>(), total);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, steps);
+        prop_assert_eq!(last, to);
+    }
+
+    /// Fairness allocation conserves blocks and never starves.
+    #[test]
+    fn fairness_allocation_conserves(
+        raw in prop::collection::vec(
+            prop::collection::vec(0u64..10_000, 17..18),
+            2..6
+        ),
+        accesses in prop::collection::vec(1u64..100_000, 6),
+    ) {
+        use vantage_repro::ucp::equalize_miss_ratios;
+        let curves: Vec<Vec<u64>> = raw
+            .into_iter()
+            .map(|mut c| {
+                c.sort_unstable_by(|a, b| b.cmp(a));
+                c
+            })
+            .collect();
+        let acc = &accesses[..curves.len()];
+        let alloc = equalize_miss_ratios(&curves, acc, 16, 1);
+        prop_assert_eq!(alloc.iter().sum::<u32>(), 16);
+        prop_assert!(alloc.iter().all(|&b| b >= 1));
+    }
+
+    /// State overhead grows monotonically with partition count and stays
+    /// small for realistic configurations.
+    #[test]
+    fn overhead_monotone_in_partitions(lines_kb in 64u64..32_768, parts in 1u32..512) {
+        use vantage_repro::core::state_overhead;
+        let lines = lines_kb * 16; // 64 B lines
+        let o1 = state_overhead(lines, parts, 64);
+        let o2 = state_overhead(lines, parts * 2, 64);
+        prop_assert!(o2.total_added_bits >= o1.total_added_bits);
+        prop_assert!(o1.overhead_fraction < 0.05, "overhead {:.3}", o1.overhead_fraction);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// VantageLlc accounting invariants hold under arbitrary interleavings
+    /// of accesses and retargets.
+    #[test]
+    fn vantage_llc_accounting_invariants(
+        seed in 0u64..100,
+        phases in prop::collection::vec((0u64..3, 1u64..2000), 2..6),
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut llc = VantageLlc::new(
+            Box::new(ZArray::new(1024, 4, 52, seed)),
+            3,
+            VantageConfig::default(),
+            seed,
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for (retarget, accesses) in phases {
+            match retarget {
+                0 => llc.set_targets(&[512, 256, 256]),
+                1 => llc.set_targets(&[100, 800, 124]),
+                _ => llc.set_targets(&[341, 341, 342]),
+            }
+            for _ in 0..accesses {
+                let p = rng.gen_range(0..3usize);
+                let base = (p as u64 + 1) << 40;
+                llc.access(p, LineAddr(base + rng.gen_range(0..5_000u64)));
+            }
+            llc.check_invariants();
+        }
+    }
+}
