@@ -45,7 +45,9 @@ fn bench_controller_ops(c: &mut Criterion) {
     });
 
     let mut lru = TsLru::for_size(10_000);
-    g.bench_function("tslru_access", |b| b.iter(|| std::hint::black_box(lru.on_access())));
+    g.bench_function("tslru_access", |b| {
+        b.iter(|| std::hint::black_box(lru.on_access()))
+    });
 
     let mut hist = TsHistogram::new();
     for i in 0..10_000u32 {
@@ -64,7 +66,9 @@ fn bench_controller_ops(c: &mut Criterion) {
 fn bench_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("model");
     g.sample_size(30);
-    g.bench_function("assoc_cdf", |b| b.iter(|| std::hint::black_box(assoc::cdf(0.93, 52))));
+    g.bench_function("assoc_cdf", |b| {
+        b.iter(|| std::hint::black_box(assoc::cdf(0.93, 52)))
+    });
     g.bench_function("eq2_one_demotion_cdf", |b| {
         b.iter(|| std::hint::black_box(managed::one_demotion_cdf(0.9, 52, 0.15)))
     });
@@ -89,7 +93,9 @@ fn bench_ucp(c: &mut Criterion) {
 
     // Lookahead over 4 partitions at way granularity and 32 partitions at
     // fine granularity (the paper's two operating points).
-    let curve: Vec<u64> = (0..=16u64).map(|w| 10_000u64.saturating_sub(w * 550)).collect();
+    let curve: Vec<u64> = (0..=16u64)
+        .map(|w| 10_000u64.saturating_sub(w * 550))
+        .collect();
     let curves4: Vec<Vec<u64>> = (0..4).map(|_| curve.clone()).collect();
     g.bench_function("lookahead_4x16", |b| {
         b.iter(|| std::hint::black_box(lookahead(&curves4, 16, 1)))

@@ -7,16 +7,17 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use vantage::model::{assoc, sizing};
 use vantage::{DemotionMode, VantageConfig};
 use vantage_bench::tiny_sim;
-use vantage_experiments::montecarlo::{
-    managed_demotion_cdf, zcache_eviction_cdf, DemotionPolicy,
-};
+use vantage_experiments::montecarlo::{managed_demotion_cdf, zcache_eviction_cdf, DemotionPolicy};
 use vantage_sim::{ArrayKind, BaselineRank, SchemeKind};
 
 const INSTR_4C: u64 = 60_000;
 const INSTR_32C: u64 = 15_000;
 
 fn sa16_lru() -> SchemeKind {
-    SchemeKind::Baseline { array: ArrayKind::SetAssoc { ways: 16 }, rank: BaselineRank::Lru }
+    SchemeKind::Baseline {
+        array: ArrayKind::SetAssoc { ways: 16 },
+        rank: BaselineRank::Lru,
+    }
 }
 
 fn bench_model_figures(c: &mut Criterion) {
@@ -83,7 +84,10 @@ fn bench_sensitivity_figures(c: &mut Criterion) {
     for u in [0.05, 0.30] {
         let kind = SchemeKind::Vantage {
             array: ArrayKind::Z4_52,
-            cfg: VantageConfig { unmanaged_fraction: u, ..VantageConfig::default() },
+            cfg: VantageConfig {
+                unmanaged_fraction: u,
+                ..VantageConfig::default()
+            },
             drrip: false,
         };
         g.bench_function(format!("fig9_kernel_u{:.0}pct", u * 100.0), |b| {
@@ -97,7 +101,10 @@ fn bench_sensitivity_figures(c: &mut Criterion) {
     ] {
         let kind = SchemeKind::Vantage {
             array,
-            cfg: VantageConfig { unmanaged_fraction: u, ..VantageConfig::default() },
+            cfg: VantageConfig {
+                unmanaged_fraction: u,
+                ..VantageConfig::default()
+            },
             drrip: false,
         };
         g.bench_function(format!("fig10_kernel_{name}"), |b| {
@@ -105,8 +112,10 @@ fn bench_sensitivity_figures(c: &mut Criterion) {
         });
     }
     // Fig. 11 kernel: RRIP baseline vs Vantage.
-    let tadrrip =
-        SchemeKind::Baseline { array: ArrayKind::Z4_52, rank: BaselineRank::TaDrrip };
+    let tadrrip = SchemeKind::Baseline {
+        array: ArrayKind::Z4_52,
+        rank: BaselineRank::TaDrrip,
+    };
     g.bench_function("fig11_kernel_tadrrip", |b| {
         b.iter(|| std::hint::black_box(tiny_sim(&tadrrip, 4, INSTR_4C, 8)))
     });
@@ -125,5 +134,10 @@ fn bench_sensitivity_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_model_figures, bench_throughput_figures, bench_sensitivity_figures);
+criterion_group!(
+    benches,
+    bench_model_figures,
+    bench_throughput_figures,
+    bench_sensitivity_figures
+);
 criterion_main!(benches);

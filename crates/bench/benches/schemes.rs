@@ -34,8 +34,14 @@ fn schemes() -> Vec<(&'static str, Box<dyn Llc>)> {
                 RankPolicy::Lru,
             )),
         ),
-        ("WayPart-SA16", Box::new(WayPartLlc::new(LINES, 16, PARTS, 1))),
-        ("PIPP-SA16", Box::new(PippLlc::new(LINES, 16, PARTS, PippConfig::default(), 1))),
+        (
+            "WayPart-SA16",
+            Box::new(WayPartLlc::new(LINES, 16, PARTS, 1)),
+        ),
+        (
+            "PIPP-SA16",
+            Box::new(PippLlc::new(LINES, 16, PARTS, PippConfig::default(), 1)),
+        ),
         (
             "Vantage-Z4/52",
             Box::new(VantageLlc::new(
@@ -50,7 +56,10 @@ fn schemes() -> Vec<(&'static str, Box<dyn Llc>)> {
             Box::new(VantageLlc::new(
                 Box::new(ZArray::new(LINES, 4, 16, 1)),
                 PARTS,
-                VantageConfig { unmanaged_fraction: 0.10, ..VantageConfig::default() },
+                VantageConfig {
+                    unmanaged_fraction: 0.10,
+                    ..VantageConfig::default()
+                },
                 1,
             )),
         ),
@@ -72,9 +81,7 @@ fn bench_access_churn(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
             b.iter(|| {
                 i += 1;
-                std::hint::black_box(
-                    llc.access((i % PARTS as u64) as usize, stream.next_addr()),
-                )
+                std::hint::black_box(llc.access((i % PARTS as u64) as usize, stream.next_addr()))
             })
         });
     }
@@ -92,9 +99,7 @@ fn bench_access_hits(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
             b.iter(|| {
                 i += 1;
-                std::hint::black_box(
-                    llc.access((i % PARTS as u64) as usize, stream.next_addr()),
-                )
+                std::hint::black_box(llc.access((i % PARTS as u64) as usize, stream.next_addr()))
             })
         });
     }
@@ -127,5 +132,10 @@ fn bench_repartition(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_access_churn, bench_access_hits, bench_repartition);
+criterion_group!(
+    benches,
+    bench_access_churn,
+    bench_access_hits,
+    bench_repartition
+);
 criterion_main!(benches);

@@ -30,7 +30,11 @@ pub struct AddrStream {
 impl AddrStream {
     /// Creates a stream over `working_set` distinct lines.
     pub fn new(working_set: u64, seed: u64) -> Self {
-        Self { rng: SmallRng::seed_from_u64(seed), working_set, base: seed << 40 }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            working_set,
+            base: seed << 40,
+        }
     }
 
     /// The next line address.

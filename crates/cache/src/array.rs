@@ -83,7 +83,9 @@ impl Walk {
 
     /// Creates an empty walk buffer with room for `cap` candidates.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { nodes: Vec::with_capacity(cap) }
+        Self {
+            nodes: Vec::with_capacity(cap),
+        }
     }
 
     /// Removes all candidates, keeping the allocation.
@@ -108,7 +110,10 @@ impl Walk {
 
     /// Iterates over `(index, node)` pairs of candidates holding valid lines.
     pub fn occupied(&self) -> impl Iterator<Item = (usize, &WalkNode)> {
-        self.nodes.iter().enumerate().filter(|(_, n)| n.line.is_some())
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.line.is_some())
     }
 }
 
@@ -201,9 +206,21 @@ mod tests {
     fn walk_helpers() {
         let mut w = Walk::with_capacity(4);
         assert!(w.is_empty());
-        w.nodes.push(WalkNode { frame: 0, line: Some(LineAddr(1)), parent: None });
-        w.nodes.push(WalkNode { frame: 1, line: None, parent: None });
-        w.nodes.push(WalkNode { frame: 2, line: Some(LineAddr(3)), parent: Some(0) });
+        w.nodes.push(WalkNode {
+            frame: 0,
+            line: Some(LineAddr(1)),
+            parent: None,
+        });
+        w.nodes.push(WalkNode {
+            frame: 1,
+            line: None,
+            parent: None,
+        });
+        w.nodes.push(WalkNode {
+            frame: 2,
+            line: Some(LineAddr(3)),
+            parent: Some(0),
+        });
         assert_eq!(w.len(), 3);
         assert_eq!(w.first_empty(), Some(1));
         let occ: Vec<usize> = w.occupied().map(|(i, _)| i).collect();

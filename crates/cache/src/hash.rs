@@ -140,7 +140,9 @@ impl H3Hasher {
 
 impl std::fmt::Debug for H3Hasher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("H3Hasher").field("seed", &self.seed).finish()
+        f.debug_struct("H3Hasher")
+            .field("seed", &self.seed)
+            .finish()
     }
 }
 

@@ -47,7 +47,10 @@ impl RandomArray {
     /// `candidates > frames`.
     pub fn new(frames: usize, candidates: usize, seed: u64) -> Self {
         assert!(frames > 0, "frames must be non-zero");
-        assert!(candidates > 0 && candidates <= frames, "need 1..=frames candidates");
+        assert!(
+            candidates > 0 && candidates <= frames,
+            "need 1..=frames candidates"
+        );
         assert!(frames <= u32::MAX as usize, "frame count must fit in u32");
         Self {
             lines: vec![None; frames],
@@ -89,7 +92,11 @@ impl CacheArray for RandomArray {
                 continue;
             }
             let line = self.lines[frame as usize];
-            walk.nodes.push(WalkNode { frame, line, parent: None });
+            walk.nodes.push(WalkNode {
+                frame,
+                line,
+                parent: None,
+            });
             if line.is_none() {
                 return; // empty frame: use it, as the real arrays do
             }
@@ -197,7 +204,10 @@ mod tests {
         }
         let expected = 8000 * 4 / 64; // 500 per frame
         for &c in &counts {
-            assert!(c > expected * 7 / 10 && c < expected * 13 / 10, "count {c} vs {expected}");
+            assert!(
+                c > expected * 7 / 10 && c < expected * 13 / 10,
+                "count {c} vs {expected}"
+            );
         }
     }
 }

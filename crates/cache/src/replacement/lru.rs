@@ -39,7 +39,11 @@ impl TsLru {
     /// Panics if `period` is zero.
     pub fn new(period: u32) -> Self {
         assert!(period > 0, "period must be non-zero");
-        Self { current: 0, counter: 0, period }
+        Self {
+            current: 0,
+            counter: 0,
+            period,
+        }
     }
 
     /// Creates a domain sized for `lines` lines, using the paper's

@@ -76,7 +76,14 @@ pub struct RripConfig {
 impl RripConfig {
     /// The paper's configuration: 3-bit RRPVs.
     pub fn paper(mode: RripMode, partitions: usize, seed: u64) -> Self {
-        Self { bits: 3, mode, partitions, duel_buckets: 32, psel_max: 512, seed }
+        Self {
+            bits: 3,
+            mode,
+            partitions,
+            duel_buckets: 32,
+            psel_max: 512,
+            seed,
+        }
     }
 }
 
@@ -121,7 +128,10 @@ impl RripPolicy {
     /// Panics if `bits` is 0 or > 7, if `partitions` is 0, or if
     /// `duel_buckets < 2`.
     pub fn new(config: RripConfig) -> Self {
-        assert!(config.bits >= 1 && config.bits <= 7, "RRPV width must be 1..=7 bits");
+        assert!(
+            config.bits >= 1 && config.bits <= 7,
+            "RRPV width must be 1..=7 bits"
+        );
         assert!(config.partitions > 0, "need at least one partition");
         assert!(config.duel_buckets >= 2, "need at least 2 dueling buckets");
         let psel_len = match config.mode {
@@ -227,10 +237,12 @@ impl RripPolicy {
     /// `addr` (leader buckets force their fixed policy).
     pub fn insertion_rrpv(&mut self, part: usize, addr: LineAddr) -> u8 {
         let policy = match self.mode {
-            RripMode::Drrip => self.leader_role(0, addr).unwrap_or_else(|| self.partition_policy(part)),
-            RripMode::TaDrrip => {
-                self.leader_role(part, addr).unwrap_or_else(|| self.partition_policy(part))
-            }
+            RripMode::Drrip => self
+                .leader_role(0, addr)
+                .unwrap_or_else(|| self.partition_policy(part)),
+            RripMode::TaDrrip => self
+                .leader_role(part, addr)
+                .unwrap_or_else(|| self.partition_policy(part)),
             _ => self.partition_policy(part),
         };
         match policy {
@@ -255,8 +267,11 @@ impl RripPolicy {
     /// Panics if `candidates` is empty.
     pub fn select_victim(&self, candidates: &[u8]) -> (usize, u8) {
         assert!(!candidates.is_empty(), "no candidates to select from");
-        let (idx, &best) =
-            candidates.iter().enumerate().max_by_key(|(_, &v)| v).expect("non-empty");
+        let (idx, &best) = candidates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .expect("non-empty");
         (idx, self.max - best)
     }
 }
@@ -310,7 +325,11 @@ mod tests {
     #[test]
     fn drrip_psel_switches_policy() {
         let mut p = policy(RripMode::Drrip);
-        assert_eq!(p.partition_policy(0), BasePolicy::Srrip, "ties break to SRRIP");
+        assert_eq!(
+            p.partition_policy(0),
+            BasePolicy::Srrip,
+            "ties break to SRRIP"
+        );
         // Hammer misses on SRRIP leader addresses until PSEL goes positive.
         let srrip_leaders: Vec<LineAddr> = (0..100_000u64)
             .map(LineAddr)
@@ -340,7 +359,11 @@ mod tests {
             }
         }
         assert_eq!(p.partition_policy(1), BasePolicy::Brrip);
-        assert_eq!(p.partition_policy(0), BasePolicy::Srrip, "other partitions unaffected");
+        assert_eq!(
+            p.partition_policy(0),
+            BasePolicy::Srrip,
+            "other partitions unaffected"
+        );
     }
 
     #[test]

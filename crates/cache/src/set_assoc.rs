@@ -59,7 +59,10 @@ impl SetAssocArray {
 
     fn build(frames: usize, ways: usize, indexing: Indexing) -> Self {
         assert!(ways > 0, "ways must be non-zero");
-        assert!(frames > 0 && frames % ways == 0, "frames must be a positive multiple of ways");
+        assert!(
+            frames > 0 && frames.is_multiple_of(ways),
+            "frames must be a positive multiple of ways"
+        );
         assert!(frames <= u32::MAX as usize, "frame count must fit in u32");
         Self {
             lines: vec![None; frames],
@@ -104,7 +107,9 @@ impl CacheArray for SetAssocArray {
 
     fn lookup(&self, addr: LineAddr) -> Option<Frame> {
         let set = self.set_of(addr);
-        (0..self.ways).map(|w| self.frame_of(set, w)).find(|&f| self.lines[f as usize] == Some(addr))
+        (0..self.ways)
+            .map(|w| self.frame_of(set, w))
+            .find(|&f| self.lines[f as usize] == Some(addr))
     }
 
     fn walk(&mut self, addr: LineAddr, walk: &mut Walk) {
@@ -112,7 +117,11 @@ impl CacheArray for SetAssocArray {
         let set = self.set_of(addr);
         for w in 0..self.ways {
             let frame = self.frame_of(set, w);
-            walk.nodes.push(WalkNode { frame, line: self.lines[frame as usize], parent: None });
+            walk.nodes.push(WalkNode {
+                frame,
+                line: self.lines[frame as usize],
+                parent: None,
+            });
         }
         debug_check_walk(walk, self.ways as usize);
     }

@@ -39,9 +39,14 @@ impl SkewArray {
     /// Panics if `frames` is not a positive multiple of `ways`.
     pub fn new(frames: usize, ways: usize, seed: u64) -> Self {
         assert!(ways > 0, "ways must be non-zero");
-        assert!(frames > 0 && frames % ways == 0, "frames must be a positive multiple of ways");
+        assert!(
+            frames > 0 && frames.is_multiple_of(ways),
+            "frames must be a positive multiple of ways"
+        );
         assert!(frames <= u32::MAX as usize, "frame count must fit in u32");
-        let hashers = (0..ways).map(|w| H3Hasher::new(seed.wrapping_add(w as u64 * 0x5851_F42D))).collect();
+        let hashers = (0..ways)
+            .map(|w| H3Hasher::new(seed.wrapping_add(w as u64 * 0x5851_F42D)))
+            .collect();
         Self {
             lines: vec![None; frames],
             hashers,
@@ -82,7 +87,11 @@ impl CacheArray for SkewArray {
             let frame = self.frame_in_way(addr, w);
             // Different ways index disjoint banks, so frames never collide
             // across ways; no dedup needed.
-            walk.nodes.push(WalkNode { frame, line: self.lines[frame as usize], parent: None });
+            walk.nodes.push(WalkNode {
+                frame,
+                line: self.lines[frame as usize],
+                parent: None,
+            });
         }
         debug_check_walk(walk, self.hashers.len());
     }
@@ -153,14 +162,19 @@ mod tests {
         // Lines that collide in way 0 should mostly not collide in way 1.
         let a = SkewArray::new(4096, 2, 3);
         let target = a.frame_in_way(LineAddr(0), 0);
-        let colliders: Vec<LineAddr> =
-            (1..100_000u64).map(LineAddr).filter(|&x| a.frame_in_way(x, 0) == target).collect();
+        let colliders: Vec<LineAddr> = (1..100_000u64)
+            .map(LineAddr)
+            .filter(|&x| a.frame_in_way(x, 0) == target)
+            .collect();
         assert!(colliders.len() > 5, "need some way-0 colliders to test");
         let mut way1 = std::collections::HashSet::new();
         for &c in &colliders {
             way1.insert(a.frame_in_way(c, 1));
         }
-        assert!(way1.len() > colliders.len() / 2, "way-1 frames should be diverse");
+        assert!(
+            way1.len() > colliders.len() / 2,
+            "way-1 frames should be diverse"
+        );
     }
 
     #[test]

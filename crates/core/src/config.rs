@@ -1,5 +1,6 @@
 //! Vantage configuration.
 
+use crate::error::ConfigError;
 use crate::model::sizing;
 
 /// How demotion decisions are made on each replacement.
@@ -102,9 +103,51 @@ impl VantageConfig {
     /// assert!(cfg.unmanaged_fraction > 0.19 && cfg.unmanaged_fraction < 0.23);
     /// ```
     pub fn for_guarantees(r: u32, p_ev: f64, a_max: f64, slack: f64) -> Self {
+        match Self::try_for_guarantees(r, p_ev, a_max, slack) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::for_guarantees`] with typed errors instead of panics: the
+    /// sizing-rule inputs are validated, and infeasible requirements (the
+    /// rule asking for `u >= 1`) surface as
+    /// [`ConfigError::NoManagedSpace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first out-of-domain
+    /// parameter, or `NoManagedSpace` when the requirements are infeasible.
+    pub fn try_for_guarantees(
+        r: u32,
+        p_ev: f64,
+        a_max: f64,
+        slack: f64,
+    ) -> Result<Self, ConfigError> {
+        if r == 0 {
+            return Err(ConfigError::CandidateCount(r));
+        }
+        if !(p_ev > 0.0 && p_ev <= 1.0) {
+            return Err(ConfigError::EvictionProbability(p_ev));
+        }
+        if !(a_max > 0.0 && a_max <= 1.0) {
+            return Err(ConfigError::AMax(a_max));
+        }
+        if slack <= 0.0 {
+            return Err(ConfigError::Slack(slack));
+        }
         let u = sizing::unmanaged_fraction(r, p_ev, a_max, slack);
-        assert!(u < 1.0, "requirements leave no managed space (u = {u})");
-        Self { unmanaged_fraction: u, a_max, slack, ..Self::default() }
+        if u >= 1.0 {
+            return Err(ConfigError::NoManagedSpace {
+                unmanaged_fraction: u,
+            });
+        }
+        Ok(Self {
+            unmanaged_fraction: u,
+            a_max,
+            slack,
+            ..Self::default()
+        })
     }
 
     /// Validates internal consistency.
@@ -113,17 +156,38 @@ impl VantageConfig {
     ///
     /// Panics with a descriptive message if any field is out of range.
     pub fn validate(&self) {
-        assert!(
-            self.unmanaged_fraction > 0.0 && self.unmanaged_fraction < 1.0,
-            "unmanaged fraction must be in (0, 1)"
-        );
-        assert!(self.a_max > 0.0 && self.a_max <= 1.0, "A_max must be in (0, 1]");
-        assert!(self.slack > 0.0, "slack must be positive");
-        assert!(self.table_entries >= 1 && self.table_entries <= 64, "1..=64 table entries");
-        assert!(self.cands_period >= 8, "candidate period too small to meter");
-        if let RankMode::Rrip { bits } = self.rank {
-            assert!((1..=7).contains(&bits), "RRPV width must be 1..=7");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
+    }
+
+    /// [`Self::validate`] with a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] identifying the first out-of-range field.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if !(self.unmanaged_fraction > 0.0 && self.unmanaged_fraction < 1.0) {
+            return Err(ConfigError::UnmanagedFraction(self.unmanaged_fraction));
+        }
+        if !(self.a_max > 0.0 && self.a_max <= 1.0) {
+            return Err(ConfigError::AMax(self.a_max));
+        }
+        if self.slack <= 0.0 {
+            return Err(ConfigError::Slack(self.slack));
+        }
+        if !(1..=64).contains(&self.table_entries) {
+            return Err(ConfigError::TableEntries(self.table_entries));
+        }
+        if self.cands_period < 8 {
+            return Err(ConfigError::CandsPeriod(self.cands_period));
+        }
+        if let RankMode::Rrip { bits } = self.rank {
+            if !(1..=7).contains(&bits) {
+                return Err(ConfigError::RrpvBits(bits));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -141,7 +205,10 @@ mod tests {
         assert_eq!(c.rank, RankMode::Lru);
         assert_eq!(c.table_entries, 8);
         assert_eq!(c.cands_period, 256);
-        assert!(!c.churn_throttling, "the paper's design lets partitions borrow");
+        assert!(
+            !c.churn_throttling,
+            "the paper's design lets partitions borrow"
+        );
         c.validate();
     }
 
@@ -167,14 +234,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "A_max")]
     fn invalid_a_max_rejected() {
-        let cfg = VantageConfig { a_max: 0.0, ..VantageConfig::default() };
+        let cfg = VantageConfig {
+            a_max: 0.0,
+            ..VantageConfig::default()
+        };
         cfg.validate();
     }
 
     #[test]
     #[should_panic(expected = "unmanaged fraction")]
     fn invalid_u_rejected() {
-        let cfg = VantageConfig { unmanaged_fraction: 1.0, ..VantageConfig::default() };
+        let cfg = VantageConfig {
+            unmanaged_fraction: 1.0,
+            ..VantageConfig::default()
+        };
         cfg.validate();
     }
 }

@@ -4,6 +4,8 @@
 
 use vantage_cache::TsLru;
 
+use crate::error::ConfigError;
+
 /// The demotion thresholds lookup table (Fig. 3c).
 ///
 /// Built once per resize, it discretizes the linear aperture transfer
@@ -48,9 +50,37 @@ impl ThresholdTable {
     /// Panics if `slack <= 0`, `a_max` is not in `(0, 1]`, `c == 0`, or
     /// `entries == 0`.
     pub fn new(target: u64, slack: f64, a_max: f64, c: u32, entries: usize) -> Self {
-        assert!(slack > 0.0, "slack must be positive");
-        assert!(a_max > 0.0 && a_max <= 1.0, "A_max must be in (0, 1]");
-        assert!(c > 0 && entries > 0, "need a candidate period and entries");
+        match Self::try_new(target, slack, a_max, c, entries) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::new`] with typed errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] identifying the first out-of-domain
+    /// parameter.
+    pub fn try_new(
+        target: u64,
+        slack: f64,
+        a_max: f64,
+        c: u32,
+        entries: usize,
+    ) -> Result<Self, ConfigError> {
+        if slack.is_nan() || slack <= 0.0 {
+            return Err(ConfigError::Slack(slack));
+        }
+        if a_max.is_nan() || a_max <= 0.0 || a_max > 1.0 {
+            return Err(ConfigError::AMax(a_max));
+        }
+        if c == 0 {
+            return Err(ConfigError::CandsPeriod(c));
+        }
+        if entries == 0 {
+            return Err(ConfigError::TableEntries(entries));
+        }
         // Fig. 3c geometry: the slack span is split into `entries - 1`
         // ranges, with the last entry covering everything beyond
         // `(1 + slack)·T` at the saturated `A_max` threshold.
@@ -59,7 +89,13 @@ impl ThresholdTable {
         let dems = (0..entries)
             .map(|i| (f64::from(c) * a_max * (i + 1) as f64 / entries as f64).round() as u32)
             .collect();
-        Self { target, width, dems, a_max, slack }
+        Ok(Self {
+            target,
+            width,
+            dems,
+            a_max,
+            slack,
+        })
     }
 
     /// The demotion count threshold (per `c` candidates) for a partition of
@@ -300,7 +336,11 @@ mod tests {
         for _ in 0..64 {
             s.on_access();
         }
-        assert_eq!(s.keep_window(), w0, "window must stay constant across TS advances");
+        assert_eq!(
+            s.keep_window(),
+            w0,
+            "window must stay constant across TS advances"
+        );
     }
 
     #[test]
@@ -352,7 +392,11 @@ mod tests {
         for _ in 0..256 {
             s.note_candidate(true, 256, 7);
         }
-        assert_eq!(s.setpoint_rrpv, r0 + 1, "too many demotions raise the RRPV bar");
+        assert_eq!(
+            s.setpoint_rrpv,
+            r0 + 1,
+            "too many demotions raise the RRPV bar"
+        );
         for _ in 0..512 {
             s.note_candidate(false, 256, 7);
         }

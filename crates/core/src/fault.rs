@@ -1,0 +1,314 @@
+//! Deterministic fault injection for the Vantage stack.
+//!
+//! Vantage's correctness story rests on a small amount of state: ~6 tag bits
+//! per line and ~256 bits of controller registers per partition (Fig. 4).
+//! This module models what happens when that state is corrupted — by soft
+//! errors in tag arrays, stuck register bits, or adversarial workloads — so
+//! the recovery paths ([`VantageLlc::scrub`](crate::VantageLlc::scrub), the
+//! corrupted-PID fallbacks in the hit/miss paths and the
+//! [`invariants`](crate::VantageLlc::invariants) checker) can be exercised
+//! reproducibly.
+//!
+//! A [`FaultPlan`] is a seeded schedule: polled with the cache's access
+//! count, it periodically emits a [`Fault`] drawn from the enabled classes.
+//! Faults carry raw random payloads (frame/partition selectors, bit
+//! indices); [`VantageLlc::inject`](crate::VantageLlc::inject) maps them
+//! onto live state, so plans are independent of any particular cache
+//! geometry and a given seed always produces the same fault sequence.
+//!
+//! ```
+//! use vantage::fault::{Fault, FaultKind, FaultPlan};
+//!
+//! let mut plan = FaultPlan::new(42, 1000, &[FaultKind::TagPart]);
+//! assert_eq!(plan.poll(999), None);
+//! let fault = plan.poll(1000).expect("due");
+//! assert!(matches!(fault, Fault::TagPartFlip { .. }));
+//! // Deterministic: an identical plan produces the identical fault.
+//! let mut again = FaultPlan::new(42, 1000, &[FaultKind::TagPart]);
+//! assert_eq!(again.poll(1234), Some(fault));
+//! ```
+
+/// One concrete fault. Selector fields (`frame_sel`, `part_sel`) are raw
+/// random words that the injection point reduces onto live state (modulo the
+/// frame/partition count), so a `Fault` is meaningful for any cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Flip one bit of an occupied frame's partition-ID tag. Low bits
+    /// migrate the line between valid partitions; high bits usually produce
+    /// an out-of-range PID that the access paths must tolerate.
+    TagPartFlip {
+        /// Raw frame selector (reduced modulo the frame count, then scanned
+        /// forward to the next occupied frame).
+        frame_sel: u64,
+        /// Bit index into the 16-bit PID (taken modulo 16).
+        bit: u8,
+    },
+    /// Flip one bit of an occupied frame's coarse timestamp (or RRPV),
+    /// making the line appear older or younger than it is.
+    TagTsFlip {
+        /// Raw frame selector.
+        frame_sel: u64,
+        /// Bit index into the 8-bit stamp (taken modulo 8).
+        bit: u8,
+    },
+    /// Flip one bit of a partition's `ActualSize` register. The feedback
+    /// controller then steers against a fictitious size until a scrub
+    /// recomputes the register from the tag array.
+    ActualSizeCorrupt {
+        /// Raw partition selector (reduced modulo the partition count).
+        part_sel: u64,
+        /// Bit index into the size register (taken modulo 20, so the
+        /// corruption stays within plausible cache-size magnitudes).
+        bit: u8,
+    },
+    /// Overwrite a partition's `SetpointTS` (and setpoint RRPV) with an
+    /// arbitrary value — modelling a stuck or glitched setpoint register.
+    /// The keep window may wedge fully open or fully closed.
+    SetpointCorrupt {
+        /// Raw partition selector.
+        part_sel: u64,
+        /// The value forced into the setpoint register.
+        value: u8,
+    },
+    /// Overwrite a partition's candidate meters (`CandsSeen`,
+    /// `CandsDemoted`) with arbitrary values, desynchronizing the feedback
+    /// period.
+    MeterCorrupt {
+        /// Raw partition selector.
+        part_sel: u64,
+        /// Forced `CandsSeen` value.
+        seen: u32,
+        /// Forced `CandsDemoted` value.
+        demoted: u32,
+    },
+    /// An adversarial churn burst: the workload harness should stream
+    /// `accesses` distinct lines through the selected partition. This is a
+    /// workload-level fault —
+    /// [`VantageLlc::inject`](crate::VantageLlc::inject) ignores it (and
+    /// returns `false`); drivers are expected to synthesize the burst.
+    ChurnBurst {
+        /// Raw partition selector.
+        part_sel: u64,
+        /// Length of the burst in accesses.
+        accesses: u64,
+    },
+}
+
+impl Fault {
+    /// The class this fault belongs to.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            Fault::TagPartFlip { .. } => FaultKind::TagPart,
+            Fault::TagTsFlip { .. } => FaultKind::TagTs,
+            Fault::ActualSizeCorrupt { .. } => FaultKind::ActualSize,
+            Fault::SetpointCorrupt { .. } => FaultKind::Setpoint,
+            Fault::MeterCorrupt { .. } => FaultKind::Meters,
+            Fault::ChurnBurst { .. } => FaultKind::ChurnBurst,
+        }
+    }
+}
+
+/// A fault class a [`FaultPlan`] can draw from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Partition-ID tag bit flips.
+    TagPart,
+    /// Coarse-timestamp tag bit flips.
+    TagTs,
+    /// `ActualSize` register corruption.
+    ActualSize,
+    /// `SetpointTS` register corruption.
+    Setpoint,
+    /// Candidate-meter corruption.
+    Meters,
+    /// Adversarial churn bursts (workload-level).
+    ChurnBurst,
+}
+
+impl FaultKind {
+    /// Every fault class.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::TagPart,
+        FaultKind::TagTs,
+        FaultKind::ActualSize,
+        FaultKind::Setpoint,
+        FaultKind::Meters,
+        FaultKind::ChurnBurst,
+    ];
+
+    /// The classes that corrupt state [`VantageLlc::inject`](crate::VantageLlc::inject)
+    /// can apply directly (everything except workload-level churn bursts).
+    pub const INJECTABLE: [FaultKind; 5] = [
+        FaultKind::TagPart,
+        FaultKind::TagTs,
+        FaultKind::ActualSize,
+        FaultKind::Setpoint,
+        FaultKind::Meters,
+    ];
+}
+
+/// SplitMix64: a tiny, self-contained generator so fault schedules do not
+/// depend on (and cannot drift with) the workload RNG streams.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, seeded fault schedule.
+///
+/// The plan fires one fault every `period` accesses (the first at access
+/// `period`), cycling its RNG once per fault, so the sequence of faults is a
+/// pure function of `(seed, enabled kinds)` regardless of when or how often
+/// [`poll`](Self::poll) is called.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    rng: u64,
+    period: u64,
+    next_at: u64,
+    kinds: Vec<FaultKind>,
+    log: Vec<(u64, Fault)>,
+}
+
+impl FaultPlan {
+    /// Creates a plan injecting one fault from `kinds` every `period`
+    /// accesses. An empty `kinds` slice or a zero `period` yields a plan
+    /// that never fires.
+    pub fn new(seed: u64, period: u64, kinds: &[FaultKind]) -> Self {
+        Self {
+            rng: seed,
+            period,
+            next_at: period,
+            kinds: kinds.to_vec(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Polls the schedule with the cache's current access count; returns
+    /// the due fault, if any. At most one fault is emitted per call (missed
+    /// slots collapse into one), and every emitted fault is recorded in
+    /// [`log`](Self::log).
+    pub fn poll(&mut self, accesses: u64) -> Option<Fault> {
+        if self.period == 0 || self.kinds.is_empty() || accesses < self.next_at {
+            return None;
+        }
+        while self.next_at <= accesses {
+            self.next_at += self.period;
+        }
+        let fault = self.draw();
+        self.log.push((accesses, fault));
+        Some(fault)
+    }
+
+    /// Every fault emitted so far, with the access count it fired at.
+    pub fn log(&self) -> &[(u64, Fault)] {
+        &self.log
+    }
+
+    fn draw(&mut self) -> Fault {
+        let kind = self.kinds[(splitmix64(&mut self.rng) % self.kinds.len() as u64) as usize];
+        let a = splitmix64(&mut self.rng);
+        let b = splitmix64(&mut self.rng);
+        match kind {
+            FaultKind::TagPart => Fault::TagPartFlip {
+                frame_sel: a,
+                bit: (b % 16) as u8,
+            },
+            FaultKind::TagTs => Fault::TagTsFlip {
+                frame_sel: a,
+                bit: (b % 8) as u8,
+            },
+            FaultKind::ActualSize => Fault::ActualSizeCorrupt {
+                part_sel: a,
+                bit: (b % 20) as u8,
+            },
+            FaultKind::Setpoint => Fault::SetpointCorrupt {
+                part_sel: a,
+                value: b as u8,
+            },
+            FaultKind::Meters => Fault::MeterCorrupt {
+                part_sel: a,
+                seen: (b as u32) & 0xFFFF,
+                demoted: ((b >> 32) as u32) & 0xFFFF,
+            },
+            FaultKind::ChurnBurst => Fault::ChurnBurst {
+                part_sel: a,
+                accesses: 1_000 + b % 9_000,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic() {
+        let mk = || FaultPlan::new(0xDEAD, 500, &FaultKind::ALL);
+        let (mut a, mut b) = (mk(), mk());
+        for acc in (0..20_000u64).step_by(137) {
+            assert_eq!(a.poll(acc), b.poll(acc));
+        }
+        assert_eq!(a.log(), b.log());
+        assert!(!a.log().is_empty(), "plan never fired");
+    }
+
+    #[test]
+    fn fires_once_per_period() {
+        let mut plan = FaultPlan::new(7, 100, &[FaultKind::Setpoint]);
+        let fired: Vec<u64> = (0..=1000u64)
+            .filter(|&acc| plan.poll(acc).is_some())
+            .collect();
+        assert_eq!(
+            fired,
+            vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+        );
+    }
+
+    #[test]
+    fn missed_slots_collapse() {
+        // Polling sparsely must not queue up a backlog of faults.
+        let mut plan = FaultPlan::new(7, 100, &[FaultKind::Meters]);
+        assert!(plan.poll(950).is_some());
+        assert!(plan.poll(999).is_none(), "next slot is 1000");
+        assert!(plan.poll(1000).is_some());
+    }
+
+    #[test]
+    fn disabled_plans_never_fire() {
+        let mut empty = FaultPlan::new(7, 100, &[]);
+        let mut zero = FaultPlan::new(7, 0, &FaultKind::ALL);
+        for acc in 0..10_000 {
+            assert_eq!(empty.poll(acc), None);
+            assert_eq!(zero.poll(acc), None);
+        }
+    }
+
+    #[test]
+    fn draws_cover_all_enabled_kinds() {
+        let mut plan = FaultPlan::new(3, 1, &FaultKind::ALL);
+        let mut seen = [false; 6];
+        for acc in 1..=200u64 {
+            if let Some(f) = plan.poll(acc) {
+                seen[FaultKind::ALL.iter().position(|&k| k == f.kind()).unwrap()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "kinds drawn: {seen:?}");
+    }
+
+    #[test]
+    fn payload_bit_indices_are_in_range() {
+        let mut plan = FaultPlan::new(11, 1, &FaultKind::INJECTABLE);
+        for acc in 1..=500u64 {
+            match plan.poll(acc) {
+                Some(Fault::TagPartFlip { bit, .. }) => assert!(bit < 16),
+                Some(Fault::TagTsFlip { bit, .. }) => assert!(bit < 8),
+                Some(Fault::ActualSizeCorrupt { bit, .. }) => assert!(bit < 20),
+                _ => {}
+            }
+        }
+    }
+}

@@ -56,6 +56,8 @@
 
 pub mod config;
 pub mod controller;
+pub mod error;
+pub mod fault;
 pub mod llc;
 pub mod model;
 pub mod overhead;
@@ -63,6 +65,8 @@ pub mod resize;
 
 pub use config::{DemotionMode, RankMode, VantageConfig};
 pub use controller::{PartitionState, ThresholdTable};
-pub use llc::{PrioritySample, VantageLlc, VantageStats, UNMANAGED};
+pub use error::{ConfigError, VantageError};
+pub use fault::{Fault, FaultKind, FaultPlan};
+pub use llc::{PrioritySample, ScrubReport, VantageLlc, VantageStats, UNMANAGED};
 pub use overhead::{state_overhead, StateOverhead};
 pub use resize::TargetRamp;

@@ -22,13 +22,13 @@
 //! explicitly at run time.
 
 use vantage_cache::replacement::rrip::BasePolicy;
-use vantage_cache::{
-    CacheArray, Frame, LineAddr, RripConfig, RripMode, RripPolicy, TsLru, Walk,
-};
+use vantage_cache::{CacheArray, Frame, LineAddr, RripConfig, RripMode, RripPolicy, TsLru, Walk};
 use vantage_partitioning::{AccessOutcome, Llc, LlcStats, TsHistogram};
 
 use crate::config::{DemotionMode, RankMode, VantageConfig};
 use crate::controller::PartitionState;
+use crate::error::VantageError;
+use crate::fault::Fault;
 
 /// The partition ID tagging unmanaged lines.
 pub const UNMANAGED: u16 = u16::MAX;
@@ -56,6 +56,11 @@ pub struct VantageStats {
     pub setpoint_adjustments: u64,
     /// Insertions diverted to the unmanaged region by churn throttling.
     pub throttled_insertions: u64,
+    /// Accesses that met a tag with an out-of-range partition ID (fault
+    /// injection / soft errors) and fell back to unmanaged-region handling.
+    pub corrupted_pid_fallbacks: u64,
+    /// Scrub passes performed (manual or periodic).
+    pub scrubs: u64,
 }
 
 impl VantageStats {
@@ -120,6 +125,30 @@ pub struct VantageLlc {
     probe: bool,
     samples: Vec<PrioritySample>,
     accesses: u64,
+    /// Run [`Self::scrub`] automatically every this many accesses.
+    scrub_period: Option<u64>,
+}
+
+/// What one [`VantageLlc::scrub`] pass found and repaired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Tags with out-of-range partition IDs re-tagged as [`UNMANAGED`].
+    pub repaired_tags: u64,
+    /// Size registers (per-partition `ActualSize` or the unmanaged size)
+    /// rewritten from the tag scan.
+    pub size_corrections: u64,
+    /// Candidate meters reset because they were outside their period.
+    pub meters_reset: u64,
+    /// Setpoints re-centered because the keep window was wedged fully
+    /// closed (0) or fully open (255).
+    pub setpoints_recentered: u64,
+}
+
+impl ScrubReport {
+    /// Whether the pass found anything to repair.
+    pub fn clean(&self) -> bool {
+        *self == Self::default()
+    }
 }
 
 impl VantageLlc {
@@ -138,15 +167,35 @@ impl VantageLlc {
         cfg: VantageConfig,
         seed: u64,
     ) -> Self {
-        cfg.validate();
-        assert!(partitions > 0 && partitions < UNMANAGED as usize, "bad partition count");
+        match Self::try_new(array, partitions, cfg, seed) {
+            Ok(llc) => llc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::new`] with typed errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VantageError`] if `cfg` is out of domain, `partitions`
+    /// is 0 or would collide with the reserved unmanaged ID, or the
+    /// idealized perfect-aperture controller is combined with RRIP ranking.
+    pub fn try_new(
+        array: Box<dyn CacheArray>,
+        partitions: usize,
+        cfg: VantageConfig,
+        seed: u64,
+    ) -> Result<Self, VantageError> {
+        cfg.try_validate()?;
+        if partitions == 0 || partitions >= UNMANAGED as usize {
+            return Err(VantageError::PartitionCount(partitions));
+        }
         let (max_rrpv, rrip) = match cfg.rank {
             RankMode::Lru => (0u8, None),
             RankMode::Rrip { bits } => {
-                assert!(
-                    cfg.demotion_mode == DemotionMode::Setpoint,
-                    "perfect-aperture mode requires LRU ranking"
-                );
+                if cfg.demotion_mode != DemotionMode::Setpoint {
+                    return Err(VantageError::PerfectApertureNeedsLru);
+                }
                 let mut rcfg = RripConfig::paper(RripMode::PerPartition, partitions, seed);
                 rcfg.bits = bits;
                 ((1u8 << bits) - 1, Some(RripPolicy::new(rcfg)))
@@ -184,10 +233,11 @@ impl VantageLlc {
             probe: false,
             samples: Vec::new(),
             accesses: 0,
+            scrub_period: None,
         };
         let even = vec![(frames / partitions) as u64; partitions];
-        llc.set_targets(&even);
-        llc
+        llc.try_set_targets(&even).expect("even split always fits");
+        Ok(llc)
     }
 
     /// Vantage-specific counters.
@@ -221,7 +271,10 @@ impl VantageLlc {
     ///
     /// Panics under RRIP ranking, where timestamp ranks are undefined.
     pub fn enable_priority_probe(&mut self) {
-        assert!(matches!(self.cfg.rank, RankMode::Lru), "probe requires LRU ranking");
+        assert!(
+            matches!(self.cfg.rank, RankMode::Lru),
+            "probe requires LRU ranking"
+        );
         self.probe = true;
     }
 
@@ -244,31 +297,325 @@ impl VantageLlc {
         self.array.as_ref()
     }
 
-    /// Verifies internal accounting against a full array scan: the sum of
-    /// partition actual sizes plus the unmanaged size must equal the array
-    /// occupancy, and every tag's partition must be in range. Test support;
-    /// O(frames).
+    /// Installs targets with typed errors instead of panics (the
+    /// [`Llc::set_targets`] trait method wraps this; see it for the
+    /// managed-region scaling semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VantageError::TargetsLength`] on a length mismatch and
+    /// [`VantageError::TargetsExceedCapacity`] when the targets sum past
+    /// the array's line count. On error the cache is left unchanged.
+    pub fn try_set_targets(&mut self, targets: &[u64]) -> Result<(), VantageError> {
+        if targets.len() != self.parts.len() {
+            return Err(VantageError::TargetsLength {
+                expected: self.parts.len(),
+                got: targets.len(),
+            });
+        }
+        let cap = self.meta.len() as u64;
+        let total: u64 = targets.iter().sum();
+        if total > cap {
+            return Err(VantageError::TargetsExceedCapacity {
+                total,
+                capacity: cap,
+            });
+        }
+        let m = 1.0 - self.cfg.unmanaged_fraction;
+        let mut managed_total = 0u64;
+        for (st, &t) in self.parts.iter_mut().zip(targets) {
+            let scaled = (t as f64 * m).floor() as u64;
+            st.set_target(
+                scaled,
+                self.cfg.slack,
+                self.cfg.a_max,
+                self.cfg.cands_period,
+                self.cfg.table_entries,
+            );
+            managed_total += scaled;
+        }
+        self.um_target = cap - managed_total;
+        self.um_lru.set_period_for_size(self.um_target.max(16));
+        Ok(())
+    }
+
+    /// Verifies internal accounting against a full array scan. Test
+    /// support and fault-recovery instrumentation; O(frames).
     ///
     /// # Panics
     ///
-    /// Panics if any invariant is violated.
+    /// Panics if any invariant is violated; see [`Self::invariants`] for
+    /// the non-panicking form and the list of checks.
     pub fn check_invariants(&self) {
+        if let Err(e) = self.invariants() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks every internal accounting invariant, returning the first
+    /// violation instead of panicking — usable inside fault-injection
+    /// experiments, where a violation is data rather than a bug. O(frames).
+    ///
+    /// Checked invariants:
+    ///
+    /// * every tag's partition ID is in range (or [`UNMANAGED`]);
+    /// * each partition's `ActualSize` register matches a full scan of the
+    ///   tags, and the unmanaged size register likewise;
+    /// * the sum of all size registers equals the array occupancy (and so
+    ///   never exceeds the line count);
+    /// * candidate meters are mid-period: `cands_demoted <= cands_seen < c`;
+    /// * the unmanaged target leaves the configured unmanaged fraction
+    ///   available: `um_target >= u · capacity` (floor) and the managed
+    ///   targets plus `um_target` exactly tile the capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VantageError::Invariant`] describing the first violation.
+    pub fn invariants(&self) -> Result<(), VantageError> {
+        let viol = |what: String| Err(VantageError::Invariant(what));
         let mut sizes = vec![0u64; self.parts.len()];
         let mut um = 0u64;
+        let mut occupied = 0u64;
+        for f in 0..self.meta.len() {
+            if self.array.occupant(f as Frame).is_none() {
+                continue;
+            }
+            occupied += 1;
+            let tag = self.meta[f];
+            if tag.part == UNMANAGED {
+                um += 1;
+            } else if (tag.part as usize) < self.parts.len() {
+                sizes[tag.part as usize] += 1;
+            } else {
+                return viol(format!(
+                    "frame {f} tagged with out-of-range partition {}",
+                    tag.part
+                ));
+            }
+        }
+        if um != self.um_size {
+            return viol(format!(
+                "unmanaged size accounting drift: register {} vs scan {um}",
+                self.um_size
+            ));
+        }
+        for (p, st) in self.parts.iter().enumerate() {
+            if sizes[p] != st.actual {
+                return viol(format!(
+                    "partition {p} size accounting drift: register {} vs scan {}",
+                    st.actual, sizes[p]
+                ));
+            }
+        }
+        let total: u64 = self.parts.iter().map(|st| st.actual).sum::<u64>() + self.um_size;
+        if total != occupied {
+            return viol(format!(
+                "size registers sum to {total} but {occupied} frames are occupied"
+            ));
+        }
+        for (p, st) in self.parts.iter().enumerate() {
+            if st.cands_seen >= self.cfg.cands_period {
+                return viol(format!(
+                    "partition {p} candidate meter at {} (period {})",
+                    st.cands_seen, self.cfg.cands_period
+                ));
+            }
+            if st.cands_demoted > st.cands_seen {
+                return viol(format!(
+                    "partition {p} demoted meter {} exceeds seen meter {}",
+                    st.cands_demoted, st.cands_seen
+                ));
+            }
+        }
+        let cap = self.meta.len() as u64;
+        let managed_total: u64 = self.parts.iter().map(|st| st.target).sum();
+        if managed_total + self.um_target != cap {
+            return viol(format!(
+                "targets do not tile the cache: {managed_total} managed + {} unmanaged != {cap}",
+                self.um_target
+            ));
+        }
+        let floor = (self.cfg.unmanaged_fraction * cap as f64).floor() as u64;
+        if self.um_target < floor {
+            return viol(format!(
+                "unmanaged target {} below the configured fraction's floor {floor}",
+                self.um_target
+            ));
+        }
+        Ok(())
+    }
+
+    /// Enables (or disables, with `None`) an automatic [`Self::scrub`]
+    /// pass every `period` accesses — the recovery half of a
+    /// fault-tolerance loop. A zero period disables scrubbing.
+    pub fn set_scrub_period(&mut self, period: Option<u64>) {
+        self.scrub_period = period.filter(|&p| p > 0);
+    }
+
+    /// Applies one [`Fault`] to live state, deliberately leaving dependent
+    /// registers stale — that staleness is what the recovery paths exist to
+    /// absorb. Returns `false` for faults that do not apply (workload-level
+    /// [`ChurnBurst`](Fault::ChurnBurst) descriptors, or tag faults when
+    /// the array is empty).
+    ///
+    /// The per-partition timestamp histograms are simulator instrumentation
+    /// (real hardware keeps no such structure), so tag faults update them
+    /// coherently with the corrupted tag; everything architectural — size
+    /// registers, setpoints, meters — is left for [`Self::scrub`] and the
+    /// access-path fallbacks to repair.
+    pub fn inject(&mut self, fault: &Fault) -> bool {
+        let lru = self.is_lru();
+        let nparts = self.parts.len();
+        match *fault {
+            Fault::TagPartFlip { frame_sel, bit } => {
+                let Some(f) = self.pick_occupied(frame_sel) else {
+                    return false;
+                };
+                let old = self.meta[f];
+                let new_part = old.part ^ (1 << (bit % 16));
+                if lru {
+                    self.hist_remove(old.part, old.ts);
+                    self.hist_add(new_part, old.ts);
+                }
+                self.meta[f].part = new_part;
+            }
+            Fault::TagTsFlip { frame_sel, bit } => {
+                let Some(f) = self.pick_occupied(frame_sel) else {
+                    return false;
+                };
+                let old = self.meta[f];
+                let new_ts = old.ts ^ (1 << (bit % 8));
+                if lru {
+                    self.hist_remove(old.part, old.ts);
+                    self.hist_add(old.part, new_ts);
+                }
+                self.meta[f].ts = new_ts;
+            }
+            Fault::ActualSizeCorrupt { part_sel, bit } => {
+                let p = (part_sel % nparts as u64) as usize;
+                self.parts[p].actual ^= 1u64 << (bit % 20);
+            }
+            Fault::SetpointCorrupt { part_sel, value } => {
+                let p = (part_sel % nparts as u64) as usize;
+                self.parts[p].setpoint = value;
+                if !lru {
+                    // In RRIP mode the setpoint register holds an RRPV; a
+                    // glitch can push it past max_rrpv + 1 ("demote
+                    // nothing"), which scrub clamps back.
+                    self.parts[p].setpoint_rrpv = value;
+                }
+            }
+            Fault::MeterCorrupt {
+                part_sel,
+                seen,
+                demoted,
+            } => {
+                let p = (part_sel % nparts as u64) as usize;
+                self.parts[p].cands_seen = seen;
+                self.parts[p].cands_demoted = demoted;
+            }
+            Fault::ChurnBurst { .. } => return false,
+        }
+        true
+    }
+
+    /// One recovery pass over all soft state, O(frames) — the software
+    /// analogue of a periodic tag-array scrubber:
+    ///
+    /// * tags with out-of-range partition IDs are re-tagged [`UNMANAGED`]
+    ///   (the line stays resident and is evicted or promoted normally);
+    /// * every size register (`ActualSize`, unmanaged size) is recomputed
+    ///   from the tag scan, and the instrumentation histograms are rebuilt;
+    /// * candidate meters outside `demoted <= seen < c` are reset to 0;
+    /// * setpoints whose keep window is wedged fully closed (0) or fully
+    ///   open (255) are re-centered to the constructor's half-window, and
+    ///   RRIP setpoints are clamped to `max_rrpv + 1` — the feedback loop
+    ///   then re-converges in a few adjustment periods instead of having to
+    ///   ratchet one step per period across the whole timestamp space.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let lru = self.is_lru();
+        let mut report = ScrubReport::default();
+        let mut sizes = vec![0u64; self.parts.len()];
+        let mut um = 0u64;
+        let mut hists = vec![TsHistogram::new(); self.parts.len()];
+        let mut um_hist = TsHistogram::new();
         for f in 0..self.meta.len() {
             if self.array.occupant(f as Frame).is_none() {
                 continue;
             }
             let tag = self.meta[f];
+            if tag.part != UNMANAGED && (tag.part as usize) >= self.parts.len() {
+                self.meta[f].part = UNMANAGED;
+                report.repaired_tags += 1;
+            }
+            let tag = self.meta[f];
             if tag.part == UNMANAGED {
                 um += 1;
+                um_hist.add(tag.ts);
             } else {
                 sizes[tag.part as usize] += 1;
+                hists[tag.part as usize].add(tag.ts);
             }
         }
-        assert_eq!(um, self.um_size, "unmanaged size accounting drift");
-        for (p, st) in self.parts.iter().enumerate() {
-            assert_eq!(sizes[p], st.actual, "partition {p} size accounting drift");
+        if um != self.um_size {
+            self.um_size = um;
+            report.size_corrections += 1;
+        }
+        for (st, &scanned) in self.parts.iter_mut().zip(&sizes) {
+            if st.actual != scanned {
+                st.actual = scanned;
+                report.size_corrections += 1;
+            }
+        }
+        if lru {
+            self.hists = hists;
+            self.um_hist = um_hist;
+        }
+        for st in &mut self.parts {
+            if st.cands_seen >= self.cfg.cands_period || st.cands_demoted > st.cands_seen {
+                st.cands_seen = 0;
+                st.cands_demoted = 0;
+                report.meters_reset += 1;
+            }
+            let window = st.keep_window();
+            if window == 0 || window == u8::MAX {
+                st.setpoint = st.lru.current().wrapping_sub(128);
+                report.setpoints_recentered += 1;
+            }
+            if !lru && st.setpoint_rrpv > self.max_rrpv + 1 {
+                st.setpoint_rrpv = self.max_rrpv + 1;
+                report.setpoints_recentered += 1;
+            }
+        }
+        self.vstats.scrubs += 1;
+        report
+    }
+
+    /// Maps a raw frame selector to an occupied frame: reduce modulo the
+    /// frame count, then scan forward (wrapping) to the next occupied slot.
+    fn pick_occupied(&self, frame_sel: u64) -> Option<usize> {
+        let n = self.meta.len();
+        let start = (frame_sel % n as u64) as usize;
+        (0..n)
+            .map(|i| (start + i) % n)
+            .find(|&f| self.array.occupant(f as Frame).is_some())
+    }
+
+    fn hist_remove(&mut self, part: u16, ts: u8) {
+        if part == UNMANAGED {
+            self.um_hist.remove(ts);
+        } else if (part as usize) < self.hists.len() {
+            self.hists[part as usize].remove(ts);
+        }
+        // Out-of-range PIDs own no histogram entry: their line was dropped
+        // from the instrumentation when the PID was corrupted.
+    }
+
+    fn hist_add(&mut self, part: u16, ts: u8) {
+        if part == UNMANAGED {
+            self.um_hist.add(ts);
+        } else if (part as usize) < self.hists.len() {
+            self.hists[part as usize].add(ts);
         }
     }
 
@@ -280,12 +627,21 @@ impl VantageLlc {
         let tag = self.meta[frame as usize];
         let lru = self.is_lru();
         if tag.part == UNMANAGED {
-            // Promotion: the line rejoins the accessing partition.
+            // Promotion: the line rejoins the accessing partition. The
+            // saturating decrement tolerates a corrupted unmanaged-size
+            // register (scrub recomputes the true value).
             self.vstats.promotions += 1;
-            self.um_size -= 1;
+            self.um_size = self.um_size.saturating_sub(1);
             if lru {
                 self.um_hist.remove(tag.ts);
             }
+            self.parts[part].actual += 1;
+        } else if (tag.part as usize) >= self.parts.len() {
+            // Corrupted partition ID (fault injection / soft error): adopt
+            // the line into the accessing partition. The original owner's
+            // size register still counts it; that drift is repaired by the
+            // next scrub.
+            self.vstats.corrupted_pid_fallbacks += 1;
             self.parts[part].actual += 1;
         } else {
             let q = tag.part as usize;
@@ -294,7 +650,7 @@ impl VantageLlc {
             }
             if q != part {
                 // Shared line: it migrates to its latest user.
-                self.parts[q].actual -= 1;
+                self.parts[q].actual = self.parts[q].actual.saturating_sub(1);
                 self.parts[part].actual += 1;
             }
         }
@@ -305,7 +661,10 @@ impl VantageLlc {
         } else {
             0 // RRIP hit promotion: near-immediate re-reference
         };
-        self.meta[frame as usize] = Tag { part: part as u16, ts };
+        self.meta[frame as usize] = Tag {
+            part: part as u16,
+            ts,
+        };
     }
 
     /// Decides whether the managed candidate `(q, ts)` should be demoted.
@@ -344,7 +703,7 @@ impl VantageLlc {
         if lru {
             self.hists[q].remove(tag.ts);
         }
-        self.parts[q].actual -= 1;
+        self.parts[q].actual = self.parts[q].actual.saturating_sub(1);
         self.um_size += 1;
         let um_ts = if lru {
             self.um_lru.set_period_for_size(self.um_target.max(16));
@@ -355,7 +714,10 @@ impl VantageLlc {
         } else {
             tag.ts
         };
-        self.meta[f] = Tag { part: UNMANAGED, ts: um_ts };
+        self.meta[f] = Tag {
+            part: UNMANAGED,
+            ts: um_ts,
+        };
     }
 
     fn miss(&mut self, part: usize, addr: LineAddr) {
@@ -381,19 +743,27 @@ impl VantageLlc {
             let tag = self.meta[f];
             if tag.part == UNMANAGED {
                 let age = if lru { self.um_lru.age(tag.ts) } else { tag.ts };
-                if best_um.map_or(true, |(_, a)| age > a) {
+                if best_um.is_none_or(|(_, a)| age > a) {
                     best_um = Some((i, age));
                 }
                 continue;
             }
             let q = tag.part as usize;
+            if q >= self.parts.len() {
+                // Corrupted partition ID: treat the line as the oldest
+                // possible unmanaged candidate so it is evicted (and the
+                // corruption flushed) at the first opportunity.
+                self.vstats.corrupted_pid_fallbacks += 1;
+                best_um = Some((i, u8::MAX));
+                continue;
+            }
             if exactly_one {
                 // Fig. 2b policy: remember the oldest over-target candidate
                 // and demote exactly that one after the scan.
                 let st = &self.parts[q];
                 if st.actual > st.target {
                     let age = if lru { st.lru.age(tag.ts) } else { tag.ts };
-                    if best_managed.map_or(true, |(_, a)| age > a) {
+                    if best_managed.is_none_or(|(_, a)| age > a) {
                         best_managed = Some((i, age));
                     }
                 }
@@ -447,12 +817,18 @@ impl VantageLlc {
             for (i, node) in self.walk.nodes.iter().enumerate() {
                 let tag = self.meta[node.frame as usize];
                 let q = tag.part as usize;
-                let age = if lru {
-                    u16::from(self.parts[q].lru.age(tag.ts))
+                // A corrupted-PID line (tolerated above) is always the best
+                // forced victim: no healthy partition loses a line.
+                let key = if q >= self.parts.len() {
+                    (true, u16::MAX)
                 } else {
-                    u16::from(tag.ts)
+                    let age = if lru {
+                        u16::from(self.parts[q].lru.age(tag.ts))
+                    } else {
+                        u16::from(tag.ts)
+                    };
+                    (self.parts[q].actual > self.parts[q].target, age)
                 };
-                let key = (self.parts[q].actual > self.parts[q].target, age);
                 if key >= best_key {
                     best_key = key;
                     best = i;
@@ -467,17 +843,20 @@ impl VantageLlc {
             self.stats.evictions += 1;
             let tag = self.meta[vnode.frame as usize];
             if tag.part == UNMANAGED {
-                self.um_size -= 1;
+                self.um_size = self.um_size.saturating_sub(1);
                 if lru {
                     self.um_hist.remove(tag.ts);
                 }
-            } else {
+            } else if (tag.part as usize) < self.parts.len() {
                 let q = tag.part as usize;
-                self.parts[q].actual -= 1;
+                self.parts[q].actual = self.parts[q].actual.saturating_sub(1);
                 if lru {
                     self.hists[q].remove(tag.ts);
                 }
             }
+            // Out-of-range PIDs: no register ever counted this line under a
+            // valid owner, so there is nothing to decrement; the stale
+            // original-owner register is repaired by the next scrub.
         }
 
         // --- Install the incoming line. ---
@@ -505,9 +884,15 @@ impl VantageLlc {
                 self.um_hist.add(t);
                 t
             } else {
-                self.rrip.as_mut().expect("RRIP mode has a policy").insertion_rrpv(part, addr)
+                self.rrip
+                    .as_mut()
+                    .expect("RRIP mode has a policy")
+                    .insertion_rrpv(part, addr)
             };
-            self.meta[landing as usize] = Tag { part: UNMANAGED, ts };
+            self.meta[landing as usize] = Tag {
+                part: UNMANAGED,
+                ts,
+            };
             return;
         }
         self.parts[part].actual += 1;
@@ -516,15 +901,26 @@ impl VantageLlc {
             self.hists[part].add(t);
             t
         } else {
-            self.rrip.as_mut().expect("RRIP mode has a policy").insertion_rrpv(part, addr)
+            self.rrip
+                .as_mut()
+                .expect("RRIP mode has a policy")
+                .insertion_rrpv(part, addr)
         };
-        self.meta[landing as usize] = Tag { part: part as u16, ts };
+        self.meta[landing as usize] = Tag {
+            part: part as u16,
+            ts,
+        };
     }
 }
 
 impl Llc for VantageLlc {
     fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
         self.accesses += 1;
+        if let Some(period) = self.scrub_period {
+            if self.accesses.is_multiple_of(period) {
+                self.scrub();
+            }
+        }
         if let Some(frame) = self.array.lookup(addr) {
             self.stats.hits[part] += 1;
             self.hit(part, frame);
@@ -547,26 +943,13 @@ impl Llc for VantageLlc {
     /// Installs targets, scaling them onto the managed region: a partition
     /// granted `t` lines of the cache receives `t·(1-u)` managed lines, and
     /// the remainder funds the unmanaged region (§3.3).
+    ///
+    /// This is [`VantageLlc::try_set_targets`] panicking on invalid target
+    /// vectors (trait compatibility).
     fn set_targets(&mut self, targets: &[u64]) {
-        assert_eq!(targets.len(), self.parts.len(), "one target per partition");
-        let cap = self.meta.len() as u64;
-        let total: u64 = targets.iter().sum();
-        assert!(total <= cap, "targets ({total}) exceed capacity ({cap})");
-        let m = 1.0 - self.cfg.unmanaged_fraction;
-        let mut managed_total = 0u64;
-        for (st, &t) in self.parts.iter_mut().zip(targets) {
-            let scaled = (t as f64 * m).floor() as u64;
-            st.set_target(
-                scaled,
-                self.cfg.slack,
-                self.cfg.a_max,
-                self.cfg.cands_period,
-                self.cfg.table_entries,
-            );
-            managed_total += scaled;
+        if let Err(e) = self.try_set_targets(targets) {
+            panic!("{e}");
         }
-        self.um_target = cap - managed_total;
-        self.um_lru.set_period_for_size(self.um_target.max(16));
     }
 
     fn partition_size(&self, part: usize) -> u64 {
@@ -626,7 +1009,10 @@ mod tests {
             drive(&mut llc, 1, 100_000, 5_000, &mut rng);
         }
         llc.check_invariants();
-        let (t0, t1) = (llc.partition_target(0) as f64, llc.partition_target(1) as f64);
+        let (t0, t1) = (
+            llc.partition_target(0) as f64,
+            llc.partition_target(1) as f64,
+        );
         let (s0, s1) = (llc.partition_size(0) as f64, llc.partition_size(1) as f64);
         // Sizes track scaled targets within the feedback slack plus a small
         // margin for in-flight drift.
@@ -664,7 +1050,10 @@ mod tests {
 
     #[test]
     fn forced_managed_evictions_are_rare() {
-        let cfg = VantageConfig { unmanaged_fraction: 0.15, ..VantageConfig::default() };
+        let cfg = VantageConfig {
+            unmanaged_fraction: 0.15,
+            ..VantageConfig::default()
+        };
         let mut llc = VantageLlc::new(z52(4096), 4, cfg, 3);
         llc.set_targets(&[1024, 1024, 1024, 1024]);
         let mut rng = SmallRng::seed_from_u64(3);
@@ -691,7 +1080,10 @@ mod tests {
         // ...then re-touch a recent window; some hits will be promotions.
         let before = llc.vantage_stats().promotions;
         drive(&mut llc, 0, 5_000, 30_000, &mut rng);
-        assert!(llc.vantage_stats().promotions > before, "no promotions happened");
+        assert!(
+            llc.vantage_stats().promotions > before,
+            "no promotions happened"
+        );
         llc.check_invariants();
     }
 
@@ -710,7 +1102,10 @@ mod tests {
         drive(&mut llc, 1, 50_000, 120_000, &mut rng);
         llc.check_invariants();
         let drained = llc.partition_size(0);
-        assert!(drained < s0 / 4, "partition retained {drained} of {s0} lines");
+        assert!(
+            drained < s0 / 4,
+            "partition retained {drained} of {s0} lines"
+        );
     }
 
     #[test]
@@ -729,7 +1124,10 @@ mod tests {
         llc.check_invariants();
         let mss_bound = (4096.0 / (0.5 * 52.0)) * 1.5; // 1/(A_max·R) + 50% margin
         let s0 = llc.partition_size(0) as f64;
-        assert!(s0 < mss_bound, "runaway partition: {s0} lines > bound {mss_bound}");
+        assert!(
+            s0 < mss_bound,
+            "runaway partition: {s0} lines > bound {mss_bound}"
+        );
     }
 
     #[test]
@@ -758,7 +1156,10 @@ mod tests {
     #[test]
     fn perfect_aperture_mode_matches_setpoint_mode() {
         let mk = |mode| {
-            let cfg = VantageConfig { demotion_mode: mode, ..VantageConfig::default() };
+            let cfg = VantageConfig {
+                demotion_mode: mode,
+                ..VantageConfig::default()
+            };
             VantageLlc::new(z52(2048), 2, cfg, 9)
         };
         let mut practical = mk(DemotionMode::Setpoint);
@@ -784,7 +1185,10 @@ mod tests {
 
     #[test]
     fn rrip_mode_runs_and_sizes_track() {
-        let cfg = VantageConfig { rank: RankMode::Rrip { bits: 3 }, ..VantageConfig::default() };
+        let cfg = VantageConfig {
+            rank: RankMode::Rrip { bits: 3 },
+            ..VantageConfig::default()
+        };
         let mut llc = VantageLlc::new(z52(2048), 2, cfg, 11);
         llc.set_targets(&[1536, 512]);
         llc.set_partition_policy(0, BasePolicy::Srrip);
@@ -797,7 +1201,10 @@ mod tests {
         llc.check_invariants();
         assert_eq!(llc.name(), "Vantage-RRIP");
         let (s0, s1) = (llc.partition_size(0) as f64, llc.partition_size(1) as f64);
-        let (t0, t1) = (llc.partition_target(0) as f64, llc.partition_target(1) as f64);
+        let (t0, t1) = (
+            llc.partition_target(0) as f64,
+            llc.partition_target(1) as f64,
+        );
         assert!(s0 > t0 * 0.8 && s0 < t0 * 1.3, "s0 = {s0} vs t0 = {t0}");
         assert!(s1 > t1 * 0.8 && s1 < t1 * 1.3, "s1 = {s1} vs t1 = {t1}");
     }
@@ -827,7 +1234,10 @@ mod tests {
         // partition sizes, but its demotion priorities are spread far below
         // the demote-on-average controller's.
         let run = |mode: DemotionMode| {
-            let cfg = VantageConfig { demotion_mode: mode, ..VantageConfig::default() };
+            let cfg = VantageConfig {
+                demotion_mode: mode,
+                ..VantageConfig::default()
+            };
             let mut llc = VantageLlc::new(z52(2048), 2, cfg, 31);
             llc.enable_priority_probe();
             llc.set_targets(&[1024, 1024]);
@@ -865,7 +1275,10 @@ mod tests {
         // stable size; with throttling its fills divert to the unmanaged
         // region and it stays pinned near the target.
         let run = |throttle: bool| {
-            let cfg = VantageConfig { churn_throttling: throttle, ..VantageConfig::default() };
+            let cfg = VantageConfig {
+                churn_throttling: throttle,
+                ..VantageConfig::default()
+            };
             let mut llc = VantageLlc::new(z52(4096), 2, cfg, 21);
             llc.set_targets(&[64, 4032]);
             let mut rng = SmallRng::seed_from_u64(22);
@@ -874,7 +1287,10 @@ mod tests {
                 llc.access(0, LineAddr(i));
             }
             llc.check_invariants();
-            (llc.partition_size(0), llc.vantage_stats().throttled_insertions)
+            (
+                llc.partition_size(0),
+                llc.vantage_stats().throttled_insertions,
+            )
         };
         let (unthrottled, t0) = run(false);
         let (throttled, t1) = run(true);
@@ -909,6 +1325,9 @@ mod tests {
         llc.check_invariants();
         let um = llc.unmanaged_size() as f64;
         let target = llc.unmanaged_target() as f64;
-        assert!(um > target * 0.3 && um < target * 2.5, "unmanaged {um} vs target {target}");
+        assert!(
+            um > target * 0.3 && um < target * 2.5,
+            "unmanaged {um} vs target {target}"
+        );
     }
 }

@@ -143,7 +143,11 @@ mod tests {
         let u = 0.3;
         let a = balanced_aperture(r, 1.0 - u);
         assert!((a - 1.0 / (16.0 * 0.7)).abs() < 1e-12);
-        assert_eq!(average_demotion_cdf(0.9, a), 0.0, "average never demotes e < 1-A");
+        assert_eq!(
+            average_demotion_cdf(0.9, a),
+            0.0,
+            "average never demotes e < 1-A"
+        );
         // Eq. 2 puts a substantial fraction (~31% here; E[x^i] with
         // i ~ Binomial(16, 0.7)) of exactly-one demotions below e = 0.9,
         // versus exactly zero for demote-on-average.

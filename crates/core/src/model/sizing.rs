@@ -16,7 +16,10 @@
 pub fn aperture(churn: f64, size: f64, churn_sum: f64, size_sum: f64, r: u32, m: f64) -> f64 {
     assert!(r > 0, "candidate count must be non-zero");
     assert!(m > 0.0 && m <= 1.0, "managed fraction must be in (0, 1]");
-    assert!(churn >= 0.0 && churn_sum > 0.0, "churns must be non-negative, sum positive");
+    assert!(
+        churn >= 0.0 && churn_sum > 0.0,
+        "churns must be non-negative, sum positive"
+    );
     assert!(size > 0.0 && size_sum > 0.0, "sizes must be positive");
     (churn / churn_sum) * (size_sum / size) / (f64::from(r) * m)
 }
@@ -28,7 +31,14 @@ pub fn aperture(churn: f64, size: f64, churn_sum: f64, size_sum: f64, r: u32, m:
 /// ```text
 /// MSS_j = (C_j / ΣC) · ΣS / (A_max · R · m)
 /// ```
-pub fn min_stable_size(churn: f64, churn_sum: f64, size_sum: f64, a_max: f64, r: u32, m: f64) -> f64 {
+pub fn min_stable_size(
+    churn: f64,
+    churn_sum: f64,
+    size_sum: f64,
+    a_max: f64,
+    r: u32,
+    m: f64,
+) -> f64 {
     assert!(a_max > 0.0 && a_max <= 1.0, "A_max must be in (0, 1]");
     assert!(r > 0 && m > 0.0, "bad geometry");
     (churn / churn_sum) * size_sum / (a_max * f64::from(r) * m)
@@ -127,7 +137,10 @@ mod tests {
         for pev in [1e-2, 1e-3, 1e-4] {
             let u = unmanaged_fraction(52, pev, 0.4, 0.1);
             let back = worst_case_pev(u, 52, 0.4, 0.1);
-            assert!((back.log10() - pev.log10()).abs() < 0.05, "{pev} -> {u} -> {back}");
+            assert!(
+                (back.log10() - pev.log10()).abs() < 0.05,
+                "{pev} -> {u} -> {back}"
+            );
         }
         // No margin: probability 1.
         assert_eq!(worst_case_pev(0.01, 52, 0.4, 0.1), 1.0);

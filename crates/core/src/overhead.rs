@@ -94,10 +94,7 @@ impl std::fmt::Display for StateOverhead {
         writeln!(
             f,
             "{} lines, {} partitions: {}b partition IDs/tag, {} controller bits/partition",
-            self.lines,
-            self.partitions,
-            self.partition_id_bits,
-            PARTITION_STATE_BITS
+            self.lines, self.partitions, self.partition_id_bits, PARTITION_STATE_BITS
         )?;
         write!(
             f,

@@ -45,7 +45,12 @@ impl TargetRamp {
             to.iter().sum::<u64>(),
             "a ramp conserves total capacity"
         );
-        Self { from, to, steps, taken: 0 }
+        Self {
+            from,
+            to,
+            steps,
+            taken: 0,
+        }
     }
 
     /// Whether the ramp has delivered its final allocation.
@@ -77,7 +82,7 @@ impl TargetRamp {
             total += (num / s) as u64;
         }
         let want: u64 = self.from.iter().sum();
-        fracs.sort_by(|a, b| b.1.cmp(&a.1));
+        fracs.sort_by_key(|&(_, rem)| std::cmp::Reverse(rem));
         let mut short = want - total;
         let mut k = 0;
         while short > 0 {

@@ -1,12 +1,46 @@
 //! Shared experiment infrastructure: options, CSV output, the
 //! multi-scheme comparison runner and summary statistics.
+//!
+//! # Failure handling
+//!
+//! Experiment runs are *keep-going*: a mix that panics inside the simulator
+//! or a CSV file that cannot be written is recorded in a process-wide
+//! failure registry (see [`record_failure`]/[`take_failures`]) instead of
+//! aborting the run. The `vantage-experiments` binary drains the registry
+//! after the last command, prints a failure summary, and only then exits
+//! nonzero — so one bad mix cannot take down an `all` sweep.
 
+use std::fmt;
 use std::fs;
 use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use vantage_sim::{CmpSim, SchemeKind, SimResult, SystemConfig};
 use vantage_workloads::Mix;
+
+/// A malformed command line: carries the message shown above the usage
+/// block (typed, so argument errors never panic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The options accepted by every experiment command.
+pub const USAGE: &str = "options:
+  --mixes N    mixes generated per workload class (default 1; paper 10)
+  --instr N    per-core instruction quota override
+  --out DIR    output directory for CSV artifacts (default results/)
+  --seed N     master seed (default 42)
+  --jobs N     worker threads for mix-level parallelism
+  --quick      drastically reduced scale for smoke runs";
 
 /// Command-line options shared by all experiments.
 #[derive(Clone, Debug)]
@@ -40,25 +74,47 @@ impl Default for Options {
 
 impl Options {
     /// Parses `--mixes N --instr N --out DIR --seed N --quick` style
-    /// arguments (unknown arguments abort with a message).
-    pub fn parse(args: &[String]) -> Self {
+    /// arguments. A typo'd flag or a malformed value yields a typed
+    /// [`UsageError`] (never a panic) so the CLI can print a clean usage
+    /// message and exit with status 2.
+    pub fn try_parse(args: &[String]) -> Result<Self, UsageError> {
         let mut o = Self::default();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let mut take = || {
-                it.next().unwrap_or_else(|| panic!("missing value after {a}")).clone()
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| UsageError(format!("missing value after {a}")))
             };
+            fn num<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, UsageError> {
+                v.parse()
+                    .map_err(|_| UsageError(format!("{flag} expects a number, got '{v}'")))
+            }
             match a.as_str() {
-                "--mixes" => o.mixes_per_class = take().parse().expect("--mixes N"),
-                "--instr" => o.instructions = Some(take().parse().expect("--instr N")),
-                "--out" => o.out_dir = PathBuf::from(take()),
-                "--seed" => o.seed = take().parse().expect("--seed N"),
-                "--jobs" => o.jobs = take().parse::<usize>().expect("--jobs N").max(1),
+                "--mixes" => o.mixes_per_class = num(a, take()?)?,
+                "--instr" => o.instructions = Some(num(a, take()?)?),
+                "--out" => o.out_dir = PathBuf::from(take()?),
+                "--seed" => o.seed = num(a, take()?)?,
+                "--jobs" => o.jobs = num::<usize>(a, take()?)?.max(1),
                 "--quick" => o.quick = true,
-                other => panic!("unknown option: {other}"),
+                other => return Err(UsageError(format!("unknown option: {other}"))),
             }
         }
-        o
+        Ok(o)
+    }
+
+    /// [`Options::try_parse`], panicking on malformed arguments. Kept for
+    /// API compatibility with callers that treat arguments as trusted
+    /// (tests, scripts); the CLI itself uses `try_parse`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown flags or malformed values.
+    pub fn parse(args: &[String]) -> Self {
+        match Self::try_parse(args) {
+            Ok(o) => o,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The per-core instruction quota for a machine, honoring overrides and
@@ -75,17 +131,86 @@ impl Options {
     }
 }
 
-/// Writes CSV rows (first row = header) to `<out_dir>/<name>.csv`.
-pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) -> PathBuf {
-    fs::create_dir_all(dir).expect("create results dir");
-    let path = dir.join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{header}").expect("write header");
-    for r in rows {
-        writeln!(f, "{r}").expect("write row");
+/// One recorded failure from a keep-going run: which unit failed and why.
+#[derive(Clone, Debug)]
+pub struct RunFailure {
+    /// What failed (a mix name or an artifact path).
+    pub what: String,
+    /// The panic message or I/O error.
+    pub why: String,
+}
+
+static FAILURES: Mutex<Vec<RunFailure>> = Mutex::new(Vec::new());
+
+/// Records a failure in the process-wide registry (keep-going semantics).
+pub fn record_failure(what: impl Into<String>, why: impl Into<String>) {
+    let f = RunFailure {
+        what: what.into(),
+        why: why.into(),
+    };
+    eprintln!("  FAILED {}: {}", f.what, f.why);
+    // The mutex is only poisoned if a panic escapes this module while the
+    // lock is held, which the two-line critical section cannot do.
+    match FAILURES.lock() {
+        Ok(mut v) => v.push(f),
+        Err(poisoned) => poisoned.into_inner().push(f),
     }
-    println!("  wrote {}", path.display());
-    path
+}
+
+/// Drains every failure recorded so far (the CLI calls this once, at the
+/// very end, to print the summary and pick the exit status).
+pub fn take_failures() -> Vec<RunFailure> {
+    match FAILURES.lock() {
+        Ok(mut v) => std::mem::take(&mut *v),
+        Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+    }
+}
+
+/// Writes CSV rows (first row = header) to `<out_dir>/<name>.csv`,
+/// atomically: content goes to `<name>.csv.tmp` first and is renamed into
+/// place only once fully flushed, so an interrupted run never leaves a
+/// truncated artifact behind.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn try_write_csv(
+    dir: &Path,
+    name: &str,
+    header: &str,
+    rows: &[String],
+) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let tmp = dir.join(format!("{name}.csv.tmp"));
+    let mut f = fs::File::create(&tmp)?;
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
+    }
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// [`try_write_csv`] with keep-going error handling: an I/O failure is
+/// recorded in the failure registry and `None` is returned, so figure code
+/// keeps producing its remaining artifacts.
+pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) -> Option<PathBuf> {
+    match try_write_csv(dir, name, header, rows) {
+        Ok(path) => {
+            println!("  wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            record_failure(
+                dir.join(format!("{name}.csv")).display().to_string(),
+                e.to_string(),
+            );
+            None
+        }
+    }
 }
 
 /// Result of running one mix under a baseline and several schemes.
@@ -131,10 +256,43 @@ fn run_one(
     }
 }
 
+/// Renders a panic payload as a printable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// [`run_one`] with the panic isolated: a mix whose simulation panics
+/// becomes an `Err` carrying the panic message instead of unwinding into
+/// the worker pool.
+fn run_one_isolated(
+    sys: &SystemConfig,
+    baseline: &SchemeKind,
+    schemes: &[SchemeKind],
+    mix: &Mix,
+) -> Result<MixOutcome, RunFailure> {
+    catch_unwind(AssertUnwindSafe(|| run_one(sys, baseline, schemes, mix))).map_err(|p| {
+        RunFailure {
+            what: mix.name.clone(),
+            why: panic_message(p.as_ref()),
+        }
+    })
+}
+
 /// Runs every mix under the baseline and each scheme. Mixes are processed
 /// in parallel across `jobs` workers (simulations are independent and
 /// internally deterministic, so results do not depend on scheduling);
 /// output order matches the input order.
+///
+/// A mix whose simulation panics is caught, recorded in the failure
+/// registry and dropped from the output — one poisoned mix no longer kills
+/// a whole sweep (`--keep-going` semantics; the CLI exits nonzero at the
+/// very end if anything failed).
 pub fn run_comparison_jobs(
     sys: &SystemConfig,
     baseline: &SchemeKind,
@@ -144,43 +302,61 @@ pub fn run_comparison_jobs(
     jobs: usize,
 ) -> Vec<MixOutcome> {
     let jobs = jobs.max(1).min(mixes.len().max(1));
-    if jobs <= 1 {
-        let mut out = Vec::with_capacity(mixes.len());
-        for (i, mix) in mixes.iter().enumerate() {
-            if progress && (i % 10 == 0 || i + 1 == mixes.len()) {
-                eprintln!("  [{}/{}] {}", i + 1, mixes.len(), mix.name);
+    let results: Vec<Result<MixOutcome, RunFailure>> = if jobs <= 1 {
+        mixes
+            .iter()
+            .enumerate()
+            .map(|(i, mix)| {
+                if progress && (i % 10 == 0 || i + 1 == mixes.len()) {
+                    eprintln!("  [{}/{}] {}", i + 1, mixes.len(), mix.name);
+                }
+                run_one_isolated(sys, baseline, schemes, mix)
+            })
+            .collect()
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<MixOutcome, RunFailure>>>> =
+            (0..mixes.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= mixes.len() {
+                        break;
+                    }
+                    let outcome = run_one_isolated(sys, baseline, schemes, &mixes[i]);
+                    // Workers cannot poison the slot: the fallible part ran
+                    // under catch_unwind above.
+                    match slots[i].lock() {
+                        Ok(mut s) => *s = Some(outcome),
+                        Err(poisoned) => *poisoned.into_inner() = Some(outcome),
+                    }
+                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if progress && (d.is_multiple_of(10) || d == mixes.len()) {
+                        eprintln!("  [{d}/{}]", mixes.len());
+                    }
+                });
             }
-            out.push(run_one(sys, baseline, schemes, mix));
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every slot is filled before the scope ends")
+            })
+            .collect()
+    };
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(o) => out.push(o),
+            Err(f) => record_failure(format!("mix {}", f.what), f.why),
         }
-        return out;
     }
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-    let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<MixOutcome>>> =
-        (0..mixes.len()).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= mixes.len() {
-                    break;
-                }
-                let outcome = run_one(sys, baseline, schemes, &mixes[i]);
-                *slots[i].lock().expect("poisoned slot") = Some(outcome);
-                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if progress && (d % 10 == 0 || d == mixes.len()) {
-                    eprintln!("  [{d}/{}]", mixes.len());
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("poisoned slot").expect("all slots filled"))
-        .collect()
+    out
 }
 
 /// [`run_comparison_jobs`] with single-threaded execution (used by callers
@@ -270,8 +446,7 @@ pub fn sorted_curves_csv(outcomes: &[MixOutcome], schemes: &[String]) -> (String
     let header = format!("rank,{}", schemes.join(","));
     let rows = (0..outcomes.len())
         .map(|i| {
-            let vals: Vec<String> =
-                columns.iter_mut().map(|c| format!("{:.5}", c[i])).collect();
+            let vals: Vec<String> = columns.iter_mut().map(|c| format!("{:.5}", c[i])).collect();
             format!("{},{}", i, vals.join(","))
         })
         .collect();
@@ -313,11 +488,12 @@ mod tests {
 
     #[test]
     fn options_parse_roundtrip() {
-        let args: Vec<String> =
-            ["--mixes", "3", "--instr", "500000", "--seed", "9", "--quick"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = [
+            "--mixes", "3", "--instr", "500000", "--seed", "9", "--quick",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let o = Options::parse(&args);
         assert_eq!(o.mixes_per_class, 3);
         assert_eq!(o.instructions, Some(500_000));

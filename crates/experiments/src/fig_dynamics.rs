@@ -16,7 +16,12 @@ pub fn fig8_mix() -> Mix {
         .collect();
     Mix {
         name: "fig8".into(),
-        class: [Category::Friendly, Category::Fitting, Category::Streaming, Category::Insensitive],
+        class: [
+            Category::Friendly,
+            Category::Fitting,
+            Category::Streaming,
+            Category::Insensitive,
+        ],
         apps,
     }
 }
@@ -27,11 +32,19 @@ pub fn fig8(opts: &Options) {
     println!("== Fig. 8: partition size tracking and associativity ==");
     let mut sys = SystemConfig::small_scale();
     sys.seed = opts.seed;
-    sys.instructions = if opts.quick { 1_000_000 } else { opts.instructions_for(&sys) };
+    sys.instructions = if opts.quick {
+        1_000_000
+    } else {
+        opts.instructions_for(&sys)
+    };
     let mix = fig8_mix();
     let tracked = 0usize;
 
-    for kind in [SchemeKind::WayPart, SchemeKind::vantage_paper(), SchemeKind::Pipp] {
+    for kind in [
+        SchemeKind::WayPart,
+        SchemeKind::vantage_paper(),
+        SchemeKind::Pipp,
+    ] {
         let label = kind.label();
         let mut sim = CmpSim::new(sys.clone(), &kind, &mix);
         sim.enable_trace(sys.repartition_interval / 5);
@@ -82,8 +95,13 @@ pub fn fig8(opts: &Options) {
         if !r.priority_samples.is_empty() {
             let buckets_t = 60usize;
             let buckets_p = 20usize;
-            let max_access =
-                r.priority_samples.iter().map(|(a, _, _)| *a).max().unwrap_or(1).max(1);
+            let max_access = r
+                .priority_samples
+                .iter()
+                .map(|(a, _, _)| *a)
+                .max()
+                .unwrap_or(1)
+                .max(1);
             let mut grid = vec![vec![0u32; buckets_p]; buckets_t];
             for (a, part, pri) in &r.priority_samples {
                 if *part as usize != tracked {
@@ -121,8 +139,8 @@ pub fn fig8(opts: &Options) {
                 .collect();
             if !pris.is_empty() {
                 let mean = pris.iter().sum::<f64>() / pris.len() as f64;
-                let below_half = pris.iter().filter(|&&p| p < 0.5).count() as f64
-                    / pris.len() as f64;
+                let below_half =
+                    pris.iter().filter(|&&p| p < 0.5).count() as f64 / pris.len() as f64;
                 println!(
                     "  {label:<16} demotion/eviction priorities: mean {mean:.3}, {:.1}% below 0.5",
                     100.0 * below_half

@@ -23,8 +23,18 @@ pub fn fig1(opts: &Options) {
     let mut zc = Vec::new();
     let mut ideal = Vec::new();
     for &r in &rs {
-        zc.push(zcache_eviction_cdf(r as usize, reps, points, opts.seed + u64::from(r)));
-        ideal.push(random_array_eviction_cdf(r as usize, reps, points, opts.seed + u64::from(r)));
+        zc.push(zcache_eviction_cdf(
+            r as usize,
+            reps,
+            points,
+            opts.seed + u64::from(r),
+        ));
+        ideal.push(random_array_eviction_cdf(
+            r as usize,
+            reps,
+            points,
+            opts.seed + u64::from(r),
+        ));
     }
     for i in 0..=points {
         let x = i as f64 / points as f64;
@@ -45,8 +55,9 @@ pub fn fig1(opts: &Options) {
     println!("  reference points (paper §3.2): FA(0.8; R=64) ≈ 1e-6:");
     println!("    model = {:.2e}", assoc::cdf(0.8, 64));
     for (k, &r) in rs.iter().enumerate() {
-        let model: Vec<f64> =
-            (0..=points).map(|i| assoc::cdf(i as f64 / points as f64, r)).collect();
+        let model: Vec<f64> = (0..=points)
+            .map(|i| assoc::cdf(i as f64 / points as f64, r))
+            .collect();
         println!(
             "  R={r:>2}: max |model - zcache| = {:.4}, |model - random-array| = {:.4} ({reps} replacements)",
             max_deviation(&model, &zc[k]),
@@ -129,11 +140,22 @@ pub fn fig3(opts: &Options) {
     // 3a/3c worked example: Ti = 1000 lines, 10% slack, A_max = 0.5, c=256.
     let table4 = ThresholdTable::new(1000, 0.1, 0.5, 256, 4);
     println!("  paper's 4-entry table (Ti=1000, slack=10%, A_max=0.5, c=256):");
-    println!("    {:<16} {}", "size range", "dems per 256 candidates");
-    let probes = [(1000u64, 1033u64), (1034, 1066), (1067, 1100), (1101, u64::MAX)];
+    println!("    {:<16} dems per 256 candidates", "size range");
+    let probes = [
+        (1000u64, 1033u64),
+        (1034, 1066),
+        (1067, 1100),
+        (1101, u64::MAX),
+    ];
     for (lo, hi) in probes {
-        let thr = table4.threshold(lo + 10).or_else(|| table4.threshold(hi.min(lo + 20)));
-        let hi_s = if hi == u64::MAX { "+".to_string() } else { format!("-{hi}") };
+        let thr = table4
+            .threshold(lo + 10)
+            .or_else(|| table4.threshold(hi.min(lo + 20)));
+        let hi_s = if hi == u64::MAX {
+            "+".to_string()
+        } else {
+            format!("-{hi}")
+        };
         println!("    {:<16} {:?}", format!("{lo}{hi_s}"), thr);
     }
 
@@ -146,7 +168,12 @@ pub fn fig3(opts: &Options) {
             table8.threshold(size).map_or(0, |t| t)
         ));
     }
-    write_csv(&opts.out_dir, "fig3_transfer_function", "size,aperture,dems_threshold", &rows);
+    write_csv(
+        &opts.out_dir,
+        "fig3_transfer_function",
+        "size,aperture,dems_threshold",
+        &rows,
+    );
 }
 
 /// Fig. 5: unmanaged-region fraction versus `A_max` and versus `P_ev`

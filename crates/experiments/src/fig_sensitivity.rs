@@ -6,12 +6,13 @@ use vantage::{DemotionMode, RankMode, VantageConfig};
 use vantage_sim::{ArrayKind, BaselineRank, SchemeKind, SystemConfig};
 use vantage_workloads::{mixes, Mix};
 
-use crate::common::{
-    geomean, print_summaries, run_comparison_jobs, summarize, write_csv, Options,
-};
+use crate::common::{geomean, print_summaries, run_comparison_jobs, summarize, write_csv, Options};
 
 fn baseline_sa16() -> SchemeKind {
-    SchemeKind::Baseline { array: ArrayKind::SetAssoc { ways: 16 }, rank: BaselineRank::Lru }
+    SchemeKind::Baseline {
+        array: ArrayKind::SetAssoc { ways: 16 },
+        rank: BaselineRank::Lru,
+    }
 }
 
 fn four_core(opts: &Options) -> (SystemConfig, Vec<Mix>) {
@@ -28,22 +29,32 @@ fn four_core(opts: &Options) -> (SystemConfig, Vec<Mix>) {
 pub fn fig9(opts: &Options) {
     println!("== Fig. 9: sensitivity to the unmanaged region size ==");
     let (sys, all) = four_core(opts);
-    println!("  {} mixes × 6 sizes, {} instrs/core", all.len(), sys.instructions);
+    println!(
+        "  {} mixes × 6 sizes, {} instrs/core",
+        all.len(),
+        sys.instructions
+    );
 
     let us = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
     let schemes: Vec<SchemeKind> = us
         .iter()
         .map(|&u| SchemeKind::Vantage {
             array: ArrayKind::Z4_52,
-            cfg: VantageConfig { unmanaged_fraction: u, ..VantageConfig::default() },
+            cfg: VantageConfig {
+                unmanaged_fraction: u,
+                ..VantageConfig::default()
+            },
             drrip: false,
         })
         .collect();
     let labels: Vec<String> = us.iter().map(|u| format!("u={:.0}%", u * 100.0)).collect();
     let outcomes = run_comparison_jobs(&sys, &baseline_sa16(), &schemes, &all, true, opts.jobs);
 
-    let summaries: Vec<_> =
-        labels.iter().enumerate().map(|(s, l)| summarize(l, &outcomes, s)).collect();
+    let summaries: Vec<_> = labels
+        .iter()
+        .enumerate()
+        .map(|(s, l)| summarize(l, &outcomes, s))
+        .collect();
     print_summaries("Fig. 9a summary (normalized throughput per u):", &summaries);
 
     println!("\n  Fig. 9b: fraction of evictions from the managed region:");
@@ -53,8 +64,10 @@ pub fn fig9(opts: &Options) {
     );
     let mut rows = Vec::new();
     for (s, &u) in us.iter().enumerate() {
-        let mut fr: Vec<f64> =
-            outcomes.iter().filter_map(|o| o.managed_fraction[s]).collect();
+        let mut fr: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.managed_fraction[s])
+            .collect();
         fr.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let q = |p: f64| fr[((fr.len() - 1) as f64 * p) as usize];
         let model = sizing::worst_case_pev(u, 52, 0.5, 0.1);
@@ -74,7 +87,12 @@ pub fn fig9(opts: &Options) {
             model
         ));
     }
-    write_csv(&opts.out_dir, "fig9b_managed_evictions", "u,median,p90,max,model_pev", &rows);
+    write_csv(
+        &opts.out_dir,
+        "fig9b_managed_evictions",
+        "u,median,p90,max,model_pev",
+        &rows,
+    );
     println!(
         "  paper shape: throughput is largely insensitive (u = 5% best under UCP);\n  \
          managed-region evictions fall orders of magnitude as u grows."
@@ -86,11 +104,18 @@ pub fn fig9(opts: &Options) {
 pub fn fig10(opts: &Options) {
     println!("== Fig. 10: Vantage on different cache designs ==");
     let (sys, all) = four_core(opts);
-    println!("  {} mixes × 4 designs, {} instrs/core", all.len(), sys.instructions);
+    println!(
+        "  {} mixes × 4 designs, {} instrs/core",
+        all.len(),
+        sys.instructions
+    );
 
     let design = |array: ArrayKind, u: f64| SchemeKind::Vantage {
         array,
-        cfg: VantageConfig { unmanaged_fraction: u, ..VantageConfig::default() },
+        cfg: VantageConfig {
+            unmanaged_fraction: u,
+            ..VantageConfig::default()
+        },
         drrip: false,
     };
     let schemes = vec![
@@ -99,15 +124,18 @@ pub fn fig10(opts: &Options) {
         design(ArrayKind::Z4_16, 0.10),
         design(ArrayKind::SetAssoc { ways: 16 }, 0.10),
     ];
-    let labels = vec![
+    let labels = [
         "Vantage-Z4/52".to_string(),
         "Vantage-SA64".to_string(),
         "Vantage-Z4/16".to_string(),
         "Vantage-SA16".to_string(),
     ];
     let outcomes = run_comparison_jobs(&sys, &baseline_sa16(), &schemes, &all, true, opts.jobs);
-    let summaries: Vec<_> =
-        labels.iter().enumerate().map(|(s, l)| summarize(l, &outcomes, s)).collect();
+    let summaries: Vec<_> = labels
+        .iter()
+        .enumerate()
+        .map(|(s, l)| summarize(l, &outcomes, s))
+        .collect();
     print_summaries("Fig. 10 summary (normalized throughput):", &summaries);
     println!(
         "  paper shape: Z4/52 ≈ SA64 > Z4/16 > SA16, degrading gracefully — Vantage is\n  \
@@ -127,23 +155,44 @@ pub fn fig10(opts: &Options) {
             )
         })
         .collect();
-    write_csv(&opts.out_dir, "fig10_designs", &format!("mix,{}", labels.join(",")), &rows);
+    write_csv(
+        &opts.out_dir,
+        "fig10_designs",
+        &format!("mix,{}", labels.join(",")),
+        &rows,
+    );
 }
 
 /// Fig. 11: RRIP replacement variants with and without Vantage.
 pub fn fig11(opts: &Options) {
     println!("== Fig. 11: RRIP variants and Vantage ==");
     let (sys, all) = four_core(opts);
-    println!("  {} mixes × 5 configurations, {} instrs/core", all.len(), sys.instructions);
+    println!(
+        "  {} mixes × 5 configurations, {} instrs/core",
+        all.len(),
+        sys.instructions
+    );
 
     let schemes = vec![
-        SchemeKind::Baseline { array: ArrayKind::Z4_52, rank: BaselineRank::Srrip },
-        SchemeKind::Baseline { array: ArrayKind::Z4_52, rank: BaselineRank::Drrip },
-        SchemeKind::Baseline { array: ArrayKind::Z4_52, rank: BaselineRank::TaDrrip },
+        SchemeKind::Baseline {
+            array: ArrayKind::Z4_52,
+            rank: BaselineRank::Srrip,
+        },
+        SchemeKind::Baseline {
+            array: ArrayKind::Z4_52,
+            rank: BaselineRank::Drrip,
+        },
+        SchemeKind::Baseline {
+            array: ArrayKind::Z4_52,
+            rank: BaselineRank::TaDrrip,
+        },
         SchemeKind::vantage_paper(),
         SchemeKind::Vantage {
             array: ArrayKind::Z4_52,
-            cfg: VantageConfig { rank: RankMode::Rrip { bits: 3 }, ..VantageConfig::default() },
+            cfg: VantageConfig {
+                rank: RankMode::Rrip { bits: 3 },
+                ..VantageConfig::default()
+            },
             drrip: true,
         },
     ];
@@ -155,9 +204,15 @@ pub fn fig11(opts: &Options) {
         "Vantage-DRRIP-Z4/52".to_string(),
     ];
     let outcomes = run_comparison_jobs(&sys, &baseline_sa16(), &schemes, &all, true, opts.jobs);
-    let summaries: Vec<_> =
-        labels.iter().enumerate().map(|(s, l)| summarize(l, &outcomes, s)).collect();
-    print_summaries("Fig. 11 summary (normalized throughput vs LRU-SA16):", &summaries);
+    let summaries: Vec<_> = labels
+        .iter()
+        .enumerate()
+        .map(|(s, l)| summarize(l, &outcomes, s))
+        .collect();
+    print_summaries(
+        "Fig. 11 summary (normalized throughput vs LRU-SA16):",
+        &summaries,
+    );
     println!(
         "  paper shape: Vantage-LRU outperforms all stand-alone RRIP variants;\n  \
          Vantage-DRRIP adds a small further gain (6.2% -> 6.8% geomean in the paper)."
@@ -173,25 +228,38 @@ pub fn fig11(opts: &Options) {
 pub fn ablation(opts: &Options) {
     println!("== Ablations: demotion policy and churn throttling ==");
     let (sys, all) = four_core(opts);
-    let subset: Vec<Mix> = all.into_iter().take(if opts.quick { 4 } else { 12 }).collect();
+    let subset: Vec<Mix> = all
+        .into_iter()
+        .take(if opts.quick { 4 } else { 12 })
+        .collect();
 
-    let v = |cfg: VantageConfig| SchemeKind::Vantage { array: ArrayKind::Z4_52, cfg, drrip: false };
+    let v = |cfg: VantageConfig| SchemeKind::Vantage {
+        array: ArrayKind::Z4_52,
+        cfg,
+        drrip: false,
+    };
     let schemes = vec![
         v(VantageConfig::default()),
         v(VantageConfig {
             demotion_mode: DemotionMode::ExactlyOne,
             ..VantageConfig::default()
         }),
-        v(VantageConfig { churn_throttling: true, ..VantageConfig::default() }),
+        v(VantageConfig {
+            churn_throttling: true,
+            ..VantageConfig::default()
+        }),
     ];
-    let labels = vec![
+    let labels = [
         "setpoint (default)".to_string(),
         "exactly-one".to_string(),
         "churn-throttled".to_string(),
     ];
     let outcomes = run_comparison_jobs(&sys, &baseline_sa16(), &schemes, &subset, true, opts.jobs);
-    let summaries: Vec<_> =
-        labels.iter().enumerate().map(|(s, l)| summarize(l, &outcomes, s)).collect();
+    let summaries: Vec<_> = labels
+        .iter()
+        .enumerate()
+        .map(|(s, l)| summarize(l, &outcomes, s))
+        .collect();
     print_summaries("Ablation summary (normalized throughput):", &summaries);
     println!(
         "  notes: exactly-one can edge out the setpoint controller on pure throughput\n  \
@@ -213,7 +281,12 @@ pub fn ablation(opts: &Options) {
             )
         })
         .collect();
-    write_csv(&opts.out_dir, "ablation", &format!("mix,{}", labels.join(",")), &rows);
+    write_csv(
+        &opts.out_dir,
+        "ablation",
+        &format!("mix,{}", labels.join(",")),
+        &rows,
+    );
 }
 
 /// §6.2 model check: the practical setpoint controller vs (a) perfect
@@ -223,7 +296,10 @@ pub fn modelcheck(opts: &Options) {
     println!("== §6.2 model check: idealized configurations ==");
     let (sys, all) = four_core(opts);
     // A subset is plenty: the claim is per-mix equality, not aggregates.
-    let subset: Vec<Mix> = all.into_iter().take(if opts.quick { 4 } else { 12 }).collect();
+    let subset: Vec<Mix> = all
+        .into_iter()
+        .take(if opts.quick { 4 } else { 12 })
+        .collect();
 
     let schemes = vec![
         SchemeKind::vantage_paper(),
@@ -241,8 +317,11 @@ pub fn modelcheck(opts: &Options) {
             drrip: false,
         },
     ];
-    let labels =
-        vec!["practical".to_string(), "perfect-aperture".to_string(), "random-array".to_string()];
+    let labels = [
+        "practical".to_string(),
+        "perfect-aperture".to_string(),
+        "random-array".to_string(),
+    ];
     let outcomes = run_comparison_jobs(&sys, &baseline_sa16(), &schemes, &subset, true, opts.jobs);
 
     println!(

@@ -10,7 +10,10 @@ use crate::common::{
 };
 
 fn baseline_sa(ways: usize) -> SchemeKind {
-    SchemeKind::Baseline { array: ArrayKind::SetAssoc { ways }, rank: BaselineRank::Lru }
+    SchemeKind::Baseline {
+        array: ArrayKind::SetAssoc { ways },
+        rank: BaselineRank::Lru,
+    }
 }
 
 /// Fig. 6a: Vantage-Z4/52 vs PIPP-SA16 vs WayPart-SA16 on the 4-core
@@ -21,15 +24,25 @@ pub fn fig6a(opts: &Options) {
     sys.seed = opts.seed;
     sys.instructions = opts.instructions_for(&sys);
     let all = mixes(4, opts.mixes_per_class, opts.seed);
-    println!("  {} mixes × 4 configurations, {} instrs/core", all.len(), sys.instructions);
+    println!(
+        "  {} mixes × 4 configurations, {} instrs/core",
+        all.len(),
+        sys.instructions
+    );
 
-    let schemes =
-        vec![SchemeKind::WayPart, SchemeKind::Pipp, SchemeKind::vantage_paper()];
+    let schemes = vec![
+        SchemeKind::WayPart,
+        SchemeKind::Pipp,
+        SchemeKind::vantage_paper(),
+    ];
     let labels: Vec<String> = schemes.iter().map(SchemeKind::label).collect();
     let outcomes = run_comparison_jobs(&sys, &baseline_sa(16), &schemes, &all, true, opts.jobs);
 
-    let summaries: Vec<_> =
-        labels.iter().enumerate().map(|(s, l)| summarize(l, &outcomes, s)).collect();
+    let summaries: Vec<_> = labels
+        .iter()
+        .enumerate()
+        .map(|(s, l)| summarize(l, &outcomes, s))
+        .collect();
     print_summaries("Fig. 6a summary (normalized throughput):", &summaries);
     println!("\n  distribution of normalized throughput:");
     for (s, l) in labels.iter().enumerate() {
@@ -74,25 +87,40 @@ pub fn fig6b(opts: &Options) {
     sys.instructions = opts.instructions_for(&sys);
     let all = mixes(4, opts.mixes_per_class.max(1), opts.seed);
     // The paper highlights these classes.
-    let wanted = ["sftn", "ffft", "ssst", "fffn", "ffnn", "ttnn", "sfff", "sssf"];
+    let wanted = [
+        "sftn", "ffft", "ssst", "fffn", "ffnn", "ttnn", "sfff", "sssf",
+    ];
     let selected: Vec<_> = wanted
         .iter()
         .filter_map(|w| all.iter().find(|m| m.name.starts_with(w)).cloned())
         .collect();
 
     let schemes = vec![
-        SchemeKind::Baseline { array: ArrayKind::Z4_52, rank: BaselineRank::Lru },
+        SchemeKind::Baseline {
+            array: ArrayKind::Z4_52,
+            rank: BaselineRank::Lru,
+        },
         SchemeKind::WayPart,
         SchemeKind::Pipp,
         SchemeKind::vantage_paper(),
     ];
     let labels: Vec<String> = schemes.iter().map(SchemeKind::label).collect();
-    let outcomes = run_comparison_jobs(&sys, &baseline_sa(16), &schemes, &selected, false, opts.jobs);
+    let outcomes = run_comparison_jobs(
+        &sys,
+        &baseline_sa(16),
+        &schemes,
+        &selected,
+        false,
+        opts.jobs,
+    );
 
     println!(
         "  {:<8} {}",
         "mix",
-        labels.iter().map(|l| format!("{l:>18}")).collect::<String>()
+        labels
+            .iter()
+            .map(|l| format!("{l:>18}"))
+            .collect::<String>()
     );
     let mut rows = Vec::new();
     for o in &outcomes {
@@ -110,7 +138,12 @@ pub fn fig6b(opts: &Options) {
                 .join(",")
         ));
     }
-    write_csv(&opts.out_dir, "fig6b_selected", &format!("mix,{}", labels.join(",")), &rows);
+    write_csv(
+        &opts.out_dir,
+        "fig6b_selected",
+        &format!("mix,{}", labels.join(",")),
+        &rows,
+    );
     println!("  paper shape: most gains come from partitioning, not the zcache alone.");
 }
 
@@ -122,16 +155,29 @@ pub fn fig7(opts: &Options) {
     sys.seed = opts.seed;
     sys.instructions = opts.instructions_for(&sys);
     let all = mixes(32, opts.mixes_per_class, opts.seed);
-    println!("  {} mixes × 4 configurations, {} instrs/core", all.len(), sys.instructions);
+    println!(
+        "  {} mixes × 4 configurations, {} instrs/core",
+        all.len(),
+        sys.instructions
+    );
 
-    let schemes =
-        vec![SchemeKind::WayPart, SchemeKind::Pipp, SchemeKind::vantage_paper()];
+    let schemes = vec![
+        SchemeKind::WayPart,
+        SchemeKind::Pipp,
+        SchemeKind::vantage_paper(),
+    ];
     let labels: Vec<String> = schemes.iter().map(SchemeKind::label).collect();
     let outcomes = run_comparison_jobs(&sys, &baseline_sa(64), &schemes, &all, true, opts.jobs);
 
-    let summaries: Vec<_> =
-        labels.iter().enumerate().map(|(s, l)| summarize(l, &outcomes, s)).collect();
-    print_summaries("Fig. 7 summary (normalized throughput, 32 partitions):", &summaries);
+    let summaries: Vec<_> = labels
+        .iter()
+        .enumerate()
+        .map(|(s, l)| summarize(l, &outcomes, s))
+        .collect();
+    print_summaries(
+        "Fig. 7 summary (normalized throughput, 32 partitions):",
+        &summaries,
+    );
     println!("\n  distribution of normalized throughput:");
     for (s, l) in labels.iter().enumerate() {
         let vals: Vec<f64> = outcomes.iter().map(|o| o.normalized(s)).collect();

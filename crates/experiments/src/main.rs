@@ -18,63 +18,95 @@
 //! single-machine runtimes), `--instr N` overrides the per-core instruction
 //! quota, `--quick` shrinks everything for smoke testing. CSV artifacts are
 //! written under `--out` (default `results/`).
+//!
+//! Runs are keep-going: a panicking step or mix is recorded (see
+//! [`vantage_experiments::common`]) and the remaining steps still run; the
+//! process prints a failure summary and exits nonzero only at the end.
 
-use vantage_experiments::common::Options;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use vantage_experiments::common::{record_failure, take_failures, Options, USAGE};
 use vantage_experiments::{fig_dynamics, fig_model, fig_sensitivity, fig_throughput, tables};
+
+const COMMANDS: &str = "commands: fig1 fig2 fig3 fig5 table1 table2 table3 fig4|overheads \
+                        fig6a fig6b fig7 fig8 fig9 fig10 fig11 modelcheck ablation all";
+
+/// Runs one experiment step, isolating panics so that `all` keeps going.
+fn step(name: &str, f: impl FnOnce() + std::panic::UnwindSafe) {
+    if let Err(p) = catch_unwind(f) {
+        let why = if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        };
+        record_failure(format!("step {name}"), why);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.clone(), r.to_vec()),
         None => {
-            eprintln!("usage: vantage-experiments <command> [options]; see --help");
+            eprintln!("usage: vantage-experiments <command> [options]\n{COMMANDS}\n{USAGE}");
             std::process::exit(2);
         }
     };
     if cmd == "--help" || cmd == "help" {
-        println!(
-            "commands: fig1 fig2 fig3 fig5 table1 table2 table3 fig4|overheads fig6a fig6b \
-             fig7 fig8 fig9 fig10 fig11 modelcheck ablation all\noptions: --mixes N --instr N --out DIR --seed N --quick"
-        );
+        println!("{COMMANDS}\n{USAGE}");
         return;
     }
-    let opts = Options::parse(&rest);
+    let opts = match Options::try_parse(&rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\nusage: vantage-experiments <command> [options]\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     let t0 = std::time::Instant::now();
+    type Step = (&'static str, fn(&Options));
+    let all: &[Step] = &[
+        ("fig1", fig_model::fig1),
+        ("fig2", fig_model::fig2),
+        ("fig3", fig_model::fig3),
+        ("fig5", fig_model::fig5),
+        ("table1", tables::table1),
+        ("table2", tables::table2),
+        ("table3", tables::table3),
+        ("overheads", tables::overheads),
+        ("fig6a", fig_throughput::fig6a),
+        ("fig6b", fig_throughput::fig6b),
+        ("fig7", fig_throughput::fig7),
+        ("fig8", fig_dynamics::fig8),
+        ("fig9", fig_sensitivity::fig9),
+        ("fig10", fig_sensitivity::fig10),
+        ("fig11", fig_sensitivity::fig11),
+        ("modelcheck", fig_sensitivity::modelcheck),
+    ];
     match cmd.as_str() {
-        "fig1" => fig_model::fig1(&opts),
-        "fig2" => fig_model::fig2(&opts),
-        "fig3" => fig_model::fig3(&opts),
-        "fig5" => fig_model::fig5(&opts),
-        "table1" => tables::table1(&opts),
-        "table2" => tables::table2(&opts),
-        "table3" => tables::table3(&opts),
-        "fig4" | "overheads" => tables::overheads(&opts),
-        "fig6a" => fig_throughput::fig6a(&opts),
-        "fig6b" => fig_throughput::fig6b(&opts),
-        "fig7" => fig_throughput::fig7(&opts),
-        "fig8" => fig_dynamics::fig8(&opts),
-        "fig9" => fig_sensitivity::fig9(&opts),
-        "fig10" => fig_sensitivity::fig10(&opts),
-        "fig11" => fig_sensitivity::fig11(&opts),
-        "modelcheck" => fig_sensitivity::modelcheck(&opts),
-        "ablation" => fig_sensitivity::ablation(&opts),
+        "fig1" => step("fig1", || fig_model::fig1(&opts)),
+        "fig2" => step("fig2", || fig_model::fig2(&opts)),
+        "fig3" => step("fig3", || fig_model::fig3(&opts)),
+        "fig5" => step("fig5", || fig_model::fig5(&opts)),
+        "table1" => step("table1", || tables::table1(&opts)),
+        "table2" => step("table2", || tables::table2(&opts)),
+        "table3" => step("table3", || tables::table3(&opts)),
+        "fig4" | "overheads" => step("overheads", || tables::overheads(&opts)),
+        "fig6a" => step("fig6a", || fig_throughput::fig6a(&opts)),
+        "fig6b" => step("fig6b", || fig_throughput::fig6b(&opts)),
+        "fig7" => step("fig7", || fig_throughput::fig7(&opts)),
+        "fig8" => step("fig8", || fig_dynamics::fig8(&opts)),
+        "fig9" => step("fig9", || fig_sensitivity::fig9(&opts)),
+        "fig10" => step("fig10", || fig_sensitivity::fig10(&opts)),
+        "fig11" => step("fig11", || fig_sensitivity::fig11(&opts)),
+        "modelcheck" => step("modelcheck", || fig_sensitivity::modelcheck(&opts)),
+        "ablation" => step("ablation", || fig_sensitivity::ablation(&opts)),
         "all" => {
-            fig_model::fig1(&opts);
-            fig_model::fig2(&opts);
-            fig_model::fig3(&opts);
-            fig_model::fig5(&opts);
-            tables::table1(&opts);
-            tables::table2(&opts);
-            tables::table3(&opts);
-            tables::overheads(&opts);
-            fig_throughput::fig6a(&opts);
-            fig_throughput::fig6b(&opts);
-            fig_throughput::fig7(&opts);
-            fig_dynamics::fig8(&opts);
-            fig_sensitivity::fig9(&opts);
-            fig_sensitivity::fig10(&opts);
-            fig_sensitivity::fig11(&opts);
-            fig_sensitivity::modelcheck(&opts);
+            for (name, f) in all {
+                step(name, AssertUnwindSafe(|| f(&opts)));
+            }
         }
         other => {
             eprintln!("unknown command: {other}; try --help");
@@ -82,4 +114,12 @@ fn main() {
         }
     }
     eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
+    let failures = take_failures();
+    if !failures.is_empty() {
+        eprintln!("\n{} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {}: {}", f.what, f.why);
+        }
+        std::process::exit(1);
+    }
 }

@@ -22,7 +22,10 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(capacity: usize) -> Self {
-        Self { tree: vec![0; capacity + 1], counts: vec![0; capacity] }
+        Self {
+            tree: vec![0; capacity + 1],
+            counts: vec![0; capacity],
+        }
     }
 
     fn add(&mut self, i: usize, delta: i32) {
@@ -218,8 +221,10 @@ pub fn managed_demotion_cdf(
         };
         match policy {
             DemotionPolicy::ExactlyOne => {
-                if let Some(&best) =
-                    cands.iter().filter(|&&i| managed[i]).min_by_key(|&&i| stamp[i])
+                if let Some(&best) = cands
+                    .iter()
+                    .filter(|&&i| managed[i])
+                    .min_by_key(|&&i| stamp[i])
                 {
                     samples.push(rank(&fen, stamp[best], managed_count));
                     managed[best] = false;
@@ -228,8 +233,7 @@ pub fn managed_demotion_cdf(
                 }
             }
             DemotionPolicy::Aperture(a) => {
-                for k in 0..cands.len() {
-                    let i = cands[k];
+                for &i in &cands {
                     if managed[i] {
                         let e = rank(&fen, stamp[i], managed_count);
                         if e > 1.0 - a {
@@ -244,8 +248,10 @@ pub fn managed_demotion_cdf(
         }
         // Evict the oldest unmanaged candidate and insert a fresh managed
         // line there (fills go to the managed region, as in Vantage).
-        if let Some(&evict) =
-            cands.iter().filter(|&&i| !managed[i]).min_by_key(|&&i| stamp[i])
+        if let Some(&evict) = cands
+            .iter()
+            .filter(|&&i| !managed[i])
+            .min_by_key(|&&i| stamp[i])
         {
             managed[evict] = true;
             stamp[evict] = next_stamp;
@@ -272,7 +278,10 @@ pub fn empirical_cdf(samples: &[f64], points: usize) -> Vec<f64> {
 
 /// Maximum absolute deviation between two equally-sampled CDFs.
 pub fn max_deviation(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -300,17 +309,20 @@ mod tests {
         // And the zcache is far closer to x^16 than to a low-associativity
         // reference like x^4.
         let weak: Vec<f64> = (0..=50).map(|i| assoc::cdf(i as f64 / 50.0, 4)).collect();
-        assert!(max_deviation(&emp, &weak) > 2.0 * dev, "zcache should look ~16-way");
+        assert!(
+            max_deviation(&emp, &weak) > 2.0 * dev,
+            "zcache should look ~16-way"
+        );
     }
 
     #[test]
     fn managed_mc_matches_eq3() {
         use vantage::model::managed;
         let a = managed::balanced_aperture(16, 0.7);
-        let emp =
-            managed_demotion_cdf(8192, 0.3, 16, DemotionPolicy::Aperture(a), 60_000, 50, 2);
-        let model: Vec<f64> =
-            (0..=50).map(|i| managed::average_demotion_cdf(i as f64 / 50.0, a)).collect();
+        let emp = managed_demotion_cdf(8192, 0.3, 16, DemotionPolicy::Aperture(a), 60_000, 50, 2);
+        let model: Vec<f64> = (0..=50)
+            .map(|i| managed::average_demotion_cdf(i as f64 / 50.0, a))
+            .collect();
         let dev = max_deviation(&emp, &model);
         assert!(dev < 0.06, "aperture MC deviates from Eq. 3 by {dev}");
     }
@@ -318,10 +330,10 @@ mod tests {
     #[test]
     fn managed_mc_matches_eq2() {
         use vantage::model::managed;
-        let emp =
-            managed_demotion_cdf(8192, 0.3, 16, DemotionPolicy::ExactlyOne, 60_000, 50, 3);
-        let model: Vec<f64> =
-            (0..=50).map(|i| managed::one_demotion_cdf(i as f64 / 50.0, 16, 0.3)).collect();
+        let emp = managed_demotion_cdf(8192, 0.3, 16, DemotionPolicy::ExactlyOne, 60_000, 50, 3);
+        let model: Vec<f64> = (0..=50)
+            .map(|i| managed::one_demotion_cdf(i as f64 / 50.0, 16, 0.3))
+            .collect();
         let dev = max_deviation(&emp, &model);
         assert!(dev < 0.08, "exactly-one MC deviates from Eq. 2 by {dev}");
     }

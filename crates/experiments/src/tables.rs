@@ -10,11 +10,56 @@ use crate::common::{write_csv, Options};
 pub fn table1(_opts: &Options) {
     println!("== Table 1: classification of partitioning schemes ==");
     let rows = [
-        ("Way-partitioning", "No", "No", "Yes", "Yes", "Yes", "Low", "Yes"),
-        ("Set-partitioning", "No", "Yes", "No", "Yes", "Yes", "High", "Yes"),
-        ("Page coloring", "No", "Yes", "No", "Yes", "Yes", "None (SW)", "Yes"),
-        ("Ins/repl policy-based", "Sometimes", "Sometimes", "Yes", "No", "No", "Low", "Yes"),
-        ("Vantage", "Yes", "Yes", "Yes", "Yes", "Yes", "Low", "No (most)"),
+        (
+            "Way-partitioning",
+            "No",
+            "No",
+            "Yes",
+            "Yes",
+            "Yes",
+            "Low",
+            "Yes",
+        ),
+        (
+            "Set-partitioning",
+            "No",
+            "Yes",
+            "No",
+            "Yes",
+            "Yes",
+            "High",
+            "Yes",
+        ),
+        (
+            "Page coloring",
+            "No",
+            "Yes",
+            "No",
+            "Yes",
+            "Yes",
+            "None (SW)",
+            "Yes",
+        ),
+        (
+            "Ins/repl policy-based",
+            "Sometimes",
+            "Sometimes",
+            "Yes",
+            "No",
+            "No",
+            "Low",
+            "Yes",
+        ),
+        (
+            "Vantage",
+            "Yes",
+            "Yes",
+            "Yes",
+            "Yes",
+            "Yes",
+            "Low",
+            "No (most)",
+        ),
     ];
     println!(
         "  {:<22} {:>10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}",
@@ -32,11 +77,15 @@ pub fn table1(_opts: &Options) {
 /// Table 2: the modeled large-scale CMP.
 pub fn table2(_opts: &Options) {
     println!("== Table 2: modeled systems ==");
-    for (name, sys) in
-        [("small-scale (4-core)", SystemConfig::small_scale()), ("large-scale (32-core)", SystemConfig::large_scale())]
-    {
+    for (name, sys) in [
+        ("small-scale (4-core)", SystemConfig::small_scale()),
+        ("large-scale (32-core)", SystemConfig::large_scale()),
+    ] {
         println!("  {name}:");
-        println!("    cores: {} in-order, IPC=1 except on memory accesses", sys.cores);
+        println!(
+            "    cores: {} in-order, IPC=1 except on memory accesses",
+            sys.cores
+        );
         println!(
             "    L1: {} KB, {}-way, per core; L2: {} MB shared, {}-way baseline, {}-cycle",
             sys.l1_lines * 64 / 1024,
@@ -95,8 +144,10 @@ pub fn table3(opts: &Options) {
     // Classification needs several passes over the largest working sets
     // (cache-fitting loops are ~1.6 MB ≈ 26k lines at ~40 APKI).
     sys.instructions = if opts.quick { 1_500_000 } else { 8_000_000 };
-    let kind =
-        SchemeKind::Baseline { array: ArrayKind::SetAssoc { ways: 16 }, rank: BaselineRank::Lru };
+    let kind = SchemeKind::Baseline {
+        array: ArrayKind::SetAssoc { ways: 16 },
+        rank: BaselineRank::Lru,
+    };
 
     let mut rows = Vec::new();
     let mut correct = 0;
@@ -136,7 +187,10 @@ pub fn table3(opts: &Options) {
             app.name,
             app.category.code(),
             class.code(),
-            mpki.iter().map(|m| format!("{m:.3}")).collect::<Vec<_>>().join(",")
+            mpki.iter()
+                .map(|m| format!("{m:.3}"))
+                .collect::<Vec<_>>()
+                .join(",")
         ));
     }
     println!("  classification agreement: {}/{}", correct, apps.len());
@@ -162,7 +216,10 @@ fn classify(mpki: &[f64]) -> Category {
     let first = mpki[0];
     let last = *mpki.last().expect("non-empty");
     // Abrupt: some step at ≥1MB (index ≥ 2) removes over half the misses.
-    let abrupt = mpki.windows(2).enumerate().any(|(i, w)| i >= 1 && w[1] < 0.45 * w[0]);
+    let abrupt = mpki
+        .windows(2)
+        .enumerate()
+        .any(|(i, w)| i >= 1 && w[1] < 0.45 * w[0]);
     if abrupt && last < 0.5 * first {
         return Category::Fitting;
     }
@@ -179,12 +236,24 @@ mod tests {
     #[test]
     fn classify_rule_on_archetypes() {
         // Insensitive: tiny MPKI everywhere.
-        assert_eq!(classify(&[2.0, 1.0, 0.5, 0.4, 0.4, 0.4]), Category::Insensitive);
+        assert_eq!(
+            classify(&[2.0, 1.0, 0.5, 0.4, 0.4, 0.4]),
+            Category::Insensitive
+        );
         // Fitting: abrupt knee at 2MB.
-        assert_eq!(classify(&[40.0, 40.0, 39.0, 5.0, 0.5, 0.5]), Category::Fitting);
+        assert_eq!(
+            classify(&[40.0, 40.0, 39.0, 5.0, 0.5, 0.5]),
+            Category::Fitting
+        );
         // Friendly: gradual decline.
-        assert_eq!(classify(&[40.0, 34.0, 28.0, 22.0, 17.0, 12.0]), Category::Friendly);
+        assert_eq!(
+            classify(&[40.0, 34.0, 28.0, 22.0, 17.0, 12.0]),
+            Category::Friendly
+        );
         // Streaming: flat and high.
-        assert_eq!(classify(&[50.0, 50.0, 49.5, 49.5, 49.0, 49.0]), Category::Streaming);
+        assert_eq!(
+            classify(&[50.0, 50.0, 49.5, 49.5, 49.0, 49.0]),
+            Category::Streaming
+        );
     }
 }

@@ -62,7 +62,13 @@ impl BankedLlc {
             "banks must agree on partition count"
         );
         let name = format!("{}x{}", banks.len(), banks[0].name());
-        Self { banks, bank_seed, partitions, agg: LlcStats::new(partitions), name }
+        Self {
+            banks,
+            bank_seed,
+            partitions,
+            agg: LlcStats::new(partitions),
+            name,
+        }
     }
 
     /// Number of banks.

@@ -60,14 +60,24 @@ impl BaselineLlc {
     ///
     /// Panics if `partitions` is 0 or exceeds `u16::MAX`.
     pub fn new(array: Box<dyn CacheArray>, partitions: usize, rank: RankPolicy) -> Self {
-        assert!(partitions > 0 && partitions <= u16::MAX as usize, "bad partition count");
+        assert!(
+            partitions > 0 && partitions <= u16::MAX as usize,
+            "bad partition count"
+        );
         let frames = array.num_frames();
         let (rank, name) = match rank {
-            RankPolicy::Lru => {
-                (RankState::Lru { last: vec![0; frames], clock: 0 }, "Baseline-LRU")
-            }
+            RankPolicy::Lru => (
+                RankState::Lru {
+                    last: vec![0; frames],
+                    clock: 0,
+                },
+                "Baseline-LRU",
+            ),
             RankPolicy::Rrip(cfg) => (
-                RankState::Rrip { policy: RripPolicy::new(cfg), rrpv: vec![0; frames] },
+                RankState::Rrip {
+                    policy: RripPolicy::new(cfg),
+                    rrpv: vec![0; frames],
+                },
                 "Baseline-RRIP",
             ),
         };
@@ -114,8 +124,12 @@ impl BaselineLlc {
                 .map(|(i, _)| i)
                 .expect("walk non-empty"),
             RankState::Rrip { policy, rrpv } => {
-                let cands: Vec<u8> =
-                    self.walk.nodes.iter().map(|n| rrpv[n.frame as usize]).collect();
+                let cands: Vec<u8> = self
+                    .walk
+                    .nodes
+                    .iter()
+                    .map(|n| rrpv[n.frame as usize])
+                    .collect();
                 let (victim, aging) = policy.select_victim(&cands);
                 if aging > 0 {
                     let max = policy.max_rrpv();
@@ -188,7 +202,11 @@ impl Llc for BaselineLlc {
     fn set_targets(&mut self, targets: &[u64]) {
         // Unpartitioned: targets are advisory no-ops, but validate shape so
         // misuse is caught uniformly across schemes.
-        assert_eq!(targets.len(), self.part_lines.len(), "one target per partition");
+        assert_eq!(
+            targets.len(),
+            self.part_lines.len(),
+            "one target per partition"
+        );
     }
 
     fn partition_size(&self, part: usize) -> u64 {
@@ -214,7 +232,11 @@ mod tests {
     use vantage_cache::{RripMode, SetAssocArray, ZArray};
 
     fn lru_llc(frames: usize, ways: usize) -> BaselineLlc {
-        BaselineLlc::new(Box::new(SetAssocArray::hashed(frames, ways, 3)), 2, RankPolicy::Lru)
+        BaselineLlc::new(
+            Box::new(SetAssocArray::hashed(frames, ways, 3)),
+            2,
+            RankPolicy::Lru,
+        )
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl Default for TsHistogram {
 impl TsHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self { counts: [0; 256], total: 0 }
+        Self {
+            counts: [0; 256],
+            total: 0,
+        }
     }
 
     /// Records a line stamped `ts`.
@@ -57,7 +60,10 @@ impl TsHistogram {
     /// Panics in debug builds if no line with `ts` is recorded.
     #[inline]
     pub fn remove(&mut self, ts: u8) {
-        debug_assert!(self.counts[ts as usize] > 0, "histogram underflow at ts {ts}");
+        debug_assert!(
+            self.counts[ts as usize] > 0,
+            "histogram underflow at ts {ts}"
+        );
         self.counts[ts as usize] = self.counts[ts as usize].saturating_sub(1);
         self.total = self.total.saturating_sub(1);
     }
@@ -115,7 +121,9 @@ impl TsHistogram {
 
 impl std::fmt::Debug for TsHistogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TsHistogram").field("total", &self.total).finish()
+        f.debug_struct("TsHistogram")
+            .field("total", &self.total)
+            .finish()
     }
 }
 

@@ -32,7 +32,11 @@ pub struct LlcStats {
 impl LlcStats {
     /// Creates zeroed stats for `partitions` partitions.
     pub fn new(partitions: usize) -> Self {
-        Self { hits: vec![0; partitions], misses: vec![0; partitions], evictions: 0 }
+        Self {
+            hits: vec![0; partitions],
+            misses: vec![0; partitions],
+            evictions: 0,
+        }
     }
 
     /// Total accesses by `part`.
@@ -154,7 +158,10 @@ pub fn ways_from_targets(targets: &[u64], ways: u32) -> Vec<u32> {
         }
         return alloc;
     }
-    let scaled: Vec<f64> = extras.iter().map(|e| e * f64::from(rem) / extra_sum).collect();
+    let scaled: Vec<f64> = extras
+        .iter()
+        .map(|e| e * f64::from(rem) / extra_sum)
+        .collect();
     let mut given = 0u32;
     let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(n);
     for (i, &s) in scaled.iter().enumerate() {

@@ -41,7 +41,12 @@ pub struct PippConfig {
 
 impl Default for PippConfig {
     fn default() -> Self {
-        Self { p_prom: 0.75, p_stream: 1.0 / 128.0, theta_miss: 0.125, min_classify_accesses: 1000 }
+        Self {
+            p_prom: 0.75,
+            p_stream: 1.0 / 128.0,
+            theta_miss: 0.125,
+            min_classify_accesses: 1000,
+        }
     }
 }
 
@@ -85,7 +90,10 @@ impl PippLlc {
     ///
     /// Panics if the geometry is invalid or `partitions > ways`.
     pub fn new(frames: usize, ways: usize, partitions: usize, cfg: PippConfig, seed: u64) -> Self {
-        assert!(partitions > 0 && partitions <= ways, "need 1..=ways partitions");
+        assert!(
+            partitions > 0 && partitions <= ways,
+            "need 1..=ways partitions"
+        );
         assert!(ways <= u8::MAX as usize + 1, "way index must fit in u8");
         let array = SetAssocArray::hashed(frames, ways, seed);
         let sets = frames / ways;
@@ -137,7 +145,10 @@ impl PippLlc {
     fn reposition(&mut self, set: u32, way: u8, to: usize) {
         let ways = self.ways;
         let chain = self.chain_slice(set);
-        let from = chain.iter().position(|&w| w == way).expect("way present in chain");
+        let from = chain
+            .iter()
+            .position(|&w| w == way)
+            .expect("way present in chain");
         if from == to {
             return;
         }
@@ -233,7 +244,8 @@ impl Llc for PippLlc {
         let mut moves = Vec::new();
         let landing = {
             let walk = &self.walk;
-            self.array.install(addr, walk, victim_way as usize, &mut moves)
+            self.array
+                .install(addr, walk, victim_way as usize, &mut moves)
         };
         debug_assert!(moves.is_empty());
         self.owner[landing as usize] = part as u16;
@@ -318,7 +330,7 @@ mod tests {
                 let w = llc.chain[set * ways + pos] as usize;
                 assert!(!seen[w], "way {w} duplicated in set {set}");
                 seen[w] = true;
-                let frame = (set * ways + w) as usize;
+                let frame = set * ways + w;
                 assert_eq!(llc.pos_of[frame] as usize, pos, "pos_of out of sync");
             }
         }
@@ -328,7 +340,7 @@ mod tests {
     fn larger_allocations_retain_more() {
         let mut llc = pipp(2);
         llc.set_targets(&[960, 64]); // 15 vs 1 way
-        // Equal access pressure from both partitions.
+                                     // Equal access pressure from both partitions.
         for i in 0..400_000u64 {
             llc.access(0, LineAddr(i % 600));
             llc.access(1, LineAddr(10_000 + i % 600));
@@ -351,7 +363,10 @@ mod tests {
             // Partition 1 misses constantly (streams), partition 0 is idle.
             llc.access(1, LineAddr(i));
         }
-        assert!(llc.partition_size(1) > 512, "idle partner cedes space in PIPP");
+        assert!(
+            llc.partition_size(1) > 512,
+            "idle partner cedes space in PIPP"
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ impl WayPartLlc {
     ///
     /// Panics if the geometry is invalid or `partitions > ways`.
     pub fn new(frames: usize, ways: usize, partitions: usize, seed: u64) -> Self {
-        assert!(partitions > 0 && partitions <= ways, "need 1..=ways partitions");
+        assert!(
+            partitions > 0 && partitions <= ways,
+            "need 1..=ways partitions"
+        );
         let array = SetAssocArray::hashed(frames, ways, seed);
         let mut llc = Self {
             array,
@@ -135,7 +138,10 @@ impl WayPartLlc {
 
     /// Drains accumulated priority samples (empty if the probe is off).
     pub fn drain_priority_samples(&mut self) -> Vec<PrioritySample> {
-        self.probe.as_mut().map(PriorityProbe::drain).unwrap_or_default()
+        self.probe
+            .as_mut()
+            .map(PriorityProbe::drain)
+            .unwrap_or_default()
     }
 
     /// The current whole-way allocation.
@@ -154,7 +160,11 @@ impl WayPartLlc {
     /// partition zero ways.
     pub fn set_ways(&mut self, alloc: &[u32]) {
         assert_eq!(alloc.len(), self.alloc.len(), "one entry per partition");
-        assert_eq!(alloc.iter().sum::<u32>(), self.ways, "allocation must cover all ways");
+        assert_eq!(
+            alloc.iter().sum::<u32>(),
+            self.ways,
+            "allocation must cover all ways"
+        );
         assert!(alloc.iter().all(|&w| w >= 1), "every partition needs a way");
         // Release ways from shrinking partitions.
         let mut have: Vec<Vec<usize>> = vec![Vec::new(); alloc.len()];
@@ -177,7 +187,6 @@ impl WayPartLlc {
         }
         self.alloc.copy_from_slice(alloc);
     }
-
 }
 
 impl Llc for WayPartLlc {
@@ -197,7 +206,11 @@ impl Llc for WayPartLlc {
                 // owner and accessor coincide except right after releasing a
                 // way, when hitting another partition's leftover line.
                 let owner = self.owner[frame as usize] as usize;
-                let ts = if owner == part { ts } else { pr.lru[owner].current() };
+                let ts = if owner == part {
+                    ts
+                } else {
+                    pr.lru[owner].current()
+                };
                 pr.stamp_hit(owner, self.probe_ts[frame as usize], ts);
                 self.probe_ts[frame as usize] = ts;
             }
@@ -327,11 +340,17 @@ mod tests {
             llc.access(1, LineAddr(10_000 + i % 2000));
         }
         let before = llc.partition_size(0);
-        assert!(before > 400, "partition 0 should be near its 512-line share");
+        assert!(
+            before > 400,
+            "partition 0 should be near its 512-line share"
+        );
         // Shrink partition 0 to 1 way; its lines drain only as partition 1
         // misses into sets.
         llc.set_targets(&[64, 960]);
-        assert!(llc.partition_size(0) > 300, "resize must not flush instantly");
+        assert!(
+            llc.partition_size(0) > 300,
+            "resize must not flush instantly"
+        );
         for i in 0..200_000u64 {
             llc.access(1, LineAddr(50_000 + i));
         }
@@ -376,7 +395,10 @@ mod tests {
             assert!(*part < 2);
             assert!((0.0..=1.0).contains(pr));
         }
-        assert!(llc.drain_priority_samples().is_empty(), "drain empties the buffer");
+        assert!(
+            llc.drain_priority_samples().is_empty(),
+            "drain empties the buffer"
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ impl CmpSim {
     pub fn new(sys: SystemConfig, kind: &SchemeKind, mix: &Mix) -> Self {
         sys.validate();
         assert_eq!(mix.apps.len(), sys.cores, "mix size must match core count");
-        let scheme = Scheme::build(kind, &sys);
+        let mut scheme = Scheme::build(kind, &sys);
+        if let Some(v) = scheme.vantage_mut() {
+            v.set_scrub_period(sys.scrub_period);
+        }
         let ucp_granularity = match kind {
             SchemeKind::WayPart | SchemeKind::Pipp => UcpGranularity::Ways(sys.l2_ways as u32),
             SchemeKind::Vantage { .. } => UcpGranularity::Fine { blocks: 256 },
@@ -184,7 +187,7 @@ impl CmpSim {
         assert_eq!(sources.len(), sys.cores, "one source per core");
         // Build the machinery with a placeholder mix, then swap the cores'
         // generators for the provided sources.
-        let mix = &mixes(((sys.cores + 3) / 4) * 4, 1, sys.seed)[0];
+        let mix = &mixes(sys.cores.div_ceil(4) * 4, 1, sys.seed)[0];
         let mut placeholder_mix = mix.clone();
         placeholder_mix.apps.truncate(sys.cores);
         while placeholder_mix.apps.len() < sys.cores {
@@ -222,11 +225,24 @@ impl CmpSim {
         } else {
             self.last_targets.clone()
         };
-        let actuals = (0..n).map(|p| self.scheme.llc().partition_size(p)).collect();
-        self.trace.push(TraceSample { cycle, targets, actuals });
+        let actuals = (0..n)
+            .map(|p| self.scheme.llc().partition_size(p))
+            .collect();
+        self.trace.push(TraceSample {
+            cycle,
+            targets,
+            actuals,
+        });
     }
 
     fn repartition(&mut self) {
+        if self.sys.check_invariants {
+            if let Some(v) = self.scheme.vantage() {
+                if let Err(e) = v.invariants() {
+                    panic!("invariant check at repartitioning failed: {e}");
+                }
+            }
+        }
         if let Some(ucp) = &mut self.ucp {
             let targets = ucp.reallocate();
             self.scheme.llc_mut().set_targets(&targets);
@@ -378,7 +394,12 @@ mod tests {
         ] {
             let r = CmpSim::new(quick_sys(), &kind, mix).run();
             assert_eq!(r.ipc.len(), 4);
-            assert!(r.throughput > 0.0 && r.throughput <= 4.0, "{}: {}", r.label, r.throughput);
+            assert!(
+                r.throughput > 0.0 && r.throughput <= 4.0,
+                "{}: {}",
+                r.label,
+                r.throughput
+            );
             assert!(r.ipc.iter().all(|&x| x > 0.0 && x <= 1.0));
         }
     }
@@ -398,7 +419,10 @@ mod tests {
         // Class "ssss" is index 0 in class order? Find a mix with a
         // streaming app in slot 0 ("s" first in name order).
         let all = mixes(4, 1, 5);
-        let mix = all.iter().find(|m| m.name.starts_with("sn")).unwrap_or(&all[0]);
+        let mix = all
+            .iter()
+            .find(|m| m.name.starts_with("sn"))
+            .unwrap_or(&all[0]);
         let kind = SchemeKind::Baseline {
             array: ArrayKind::SetAssoc { ways: 16 },
             rank: BaselineRank::Lru,
@@ -446,16 +470,28 @@ mod tests {
                     as Box<dyn vantage_workloads::RefStream + Send>
             })
             .collect();
-        let replayed = CmpSim::with_sources(
-            sys,
-            &SchemeKind::vantage_paper(),
-            sources,
-            " (trace)",
-        )
-        .run();
+        let replayed =
+            CmpSim::with_sources(sys, &SchemeKind::vantage_paper(), sources, " (trace)").run();
         assert_eq!(live.ipc, replayed.ipc);
         assert_eq!(live.l2_misses, replayed.l2_misses);
         assert!(replayed.label.ends_with("(trace)"));
+    }
+
+    #[test]
+    fn invariant_checking_and_scrubbing_run_clean() {
+        // With the debug checker on, a healthy run must pass every
+        // repartitioning-boundary invariant scan; with periodic scrubbing
+        // on, the scrubber must actually fire (and find nothing to fix).
+        let mut sys = quick_sys();
+        sys.check_invariants = true;
+        sys.scrub_period = Some(10_000);
+        let mix = &mixes(4, 1, 7)[0];
+        let mut sim = CmpSim::new(sys, &SchemeKind::vantage_paper(), mix);
+        let r = sim.run();
+        assert!(r.throughput > 0.0);
+        let v = sim.scheme().vantage().expect("vantage scheme");
+        assert!(v.vantage_stats().scrubs > 0, "periodic scrub never ran");
+        assert_eq!(v.vantage_stats().corrupted_pid_fallbacks, 0);
     }
 
     #[test]

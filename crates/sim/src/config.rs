@@ -32,9 +32,15 @@ pub enum ArrayKind {
 
 impl ArrayKind {
     /// The paper's Z4/52 configuration.
-    pub const Z4_52: ArrayKind = ArrayKind::Z { ways: 4, candidates: 52 };
+    pub const Z4_52: ArrayKind = ArrayKind::Z {
+        ways: 4,
+        candidates: 52,
+    };
     /// The cheaper Z4/16 configuration (Fig. 10).
-    pub const Z4_16: ArrayKind = ArrayKind::Z { ways: 4, candidates: 16 };
+    pub const Z4_16: ArrayKind = ArrayKind::Z {
+        ways: 4,
+        candidates: 16,
+    };
 }
 
 /// Replacement policy for the unpartitioned baseline (Fig. 6/7 baselines
@@ -82,7 +88,11 @@ impl SchemeKind {
     /// The paper's standard Vantage configuration: Z4/52, `u = 5%`,
     /// `A_max = 0.5`, `slack = 10%`, LRU.
     pub fn vantage_paper() -> Self {
-        SchemeKind::Vantage { array: ArrayKind::Z4_52, cfg: VantageConfig::default(), drrip: false }
+        SchemeKind::Vantage {
+            array: ArrayKind::Z4_52,
+            cfg: VantageConfig::default(),
+            drrip: false,
+        }
     }
 
     /// Short display name for result tables.
@@ -122,6 +132,38 @@ fn array_label(a: ArrayKind) -> String {
     }
 }
 
+/// An inconsistent [`SystemConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SysConfigError {
+    /// Zero cores.
+    NoCores,
+    /// L1 lines zero or not divisible by the way count.
+    L1Geometry,
+    /// L2 lines zero or not divisible by the way count.
+    L2Geometry,
+    /// Zero memory channels.
+    NoMemChannels,
+    /// Zero per-core instruction quota.
+    NoInstructions,
+    /// Zero repartitioning interval.
+    NoRepartitionInterval,
+}
+
+impl std::fmt::Display for SysConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::NoCores => "need at least one core",
+            Self::L1Geometry => "bad L1 geometry",
+            Self::L2Geometry => "bad L2 geometry",
+            Self::NoMemChannels => "need at least one memory channel",
+            Self::NoInstructions => "need a nonzero instruction quota",
+            Self::NoRepartitionInterval => "need a nonzero repartition interval",
+        })
+    }
+}
+
+impl std::error::Error for SysConfigError {}
+
 /// Machine parameters (Table 2, scaled run lengths).
 #[derive(Clone, Debug)]
 pub struct SystemConfig {
@@ -151,6 +193,15 @@ pub struct SystemConfig {
     pub umon_sets: usize,
     /// Master seed (hashes, workload draws, PIPP coins).
     pub seed: u64,
+    /// Debug flag: verify the Vantage accounting invariants (an O(frames)
+    /// tag scan) at every repartitioning boundary, panicking on the first
+    /// violation. Off by default — it is a correctness harness, not a
+    /// model feature.
+    pub check_invariants: bool,
+    /// Run a Vantage recovery scrub every this many LLC accesses (see
+    /// [`VantageLlc::scrub`](vantage::VantageLlc::scrub)). `None` disables
+    /// scrubbing; only meaningful under fault injection.
+    pub scrub_period: Option<u64>,
 }
 
 impl SystemConfig {
@@ -174,6 +225,8 @@ impl SystemConfig {
             instructions: 10_000_000,
             umon_sets: 64,
             seed: 0xFEED_F00D,
+            check_invariants: false,
+            scrub_period: None,
         }
     }
 
@@ -193,6 +246,8 @@ impl SystemConfig {
             instructions: 2_000_000,
             umon_sets: 64,
             seed: 0xFEED_F00D,
+            check_invariants: false,
+            scrub_period: None,
         }
     }
 
@@ -202,12 +257,36 @@ impl SystemConfig {
     ///
     /// Panics with a descriptive message on inconsistent parameters.
     pub fn validate(&self) {
-        assert!(self.cores > 0, "need at least one core");
-        assert!(self.l1_lines > 0 && self.l1_lines % self.l1_ways == 0, "bad L1 geometry");
-        assert!(self.l2_lines > 0 && self.l2_lines % self.l2_ways == 0, "bad L2 geometry");
-        assert!(self.mem_channels > 0, "need at least one memory channel");
-        assert!(self.instructions > 0, "need a nonzero instruction quota");
-        assert!(self.repartition_interval > 0, "need a nonzero repartition interval");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// [`Self::validate`] with a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SysConfigError`] identifying the first inconsistency.
+    pub fn try_validate(&self) -> Result<(), SysConfigError> {
+        if self.cores == 0 {
+            return Err(SysConfigError::NoCores);
+        }
+        if self.l1_lines == 0 || self.l1_ways == 0 || !self.l1_lines.is_multiple_of(self.l1_ways) {
+            return Err(SysConfigError::L1Geometry);
+        }
+        if self.l2_lines == 0 || self.l2_ways == 0 || !self.l2_lines.is_multiple_of(self.l2_ways) {
+            return Err(SysConfigError::L2Geometry);
+        }
+        if self.mem_channels == 0 {
+            return Err(SysConfigError::NoMemChannels);
+        }
+        if self.instructions == 0 {
+            return Err(SysConfigError::NoInstructions);
+        }
+        if self.repartition_interval == 0 {
+            return Err(SysConfigError::NoRepartitionInterval);
+        }
+        Ok(())
     }
 }
 
@@ -227,11 +306,41 @@ mod tests {
     }
 
     #[test]
+    fn try_validate_identifies_the_broken_field() {
+        let base = SystemConfig::small_scale();
+        assert_eq!(base.try_validate(), Ok(()));
+        type Case = (fn(&mut SystemConfig), SysConfigError);
+        let cases: [Case; 5] = [
+            (|s| s.cores = 0, SysConfigError::NoCores),
+            (|s| s.l1_lines = 7, SysConfigError::L1Geometry),
+            (|s| s.l2_ways = 0, SysConfigError::L2Geometry),
+            (|s| s.mem_channels = 0, SysConfigError::NoMemChannels),
+            (|s| s.instructions = 0, SysConfigError::NoInstructions),
+        ];
+        for (break_it, want) in cases {
+            let mut sys = base.clone();
+            break_it(&mut sys);
+            assert_eq!(sys.try_validate(), Err(want));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need a nonzero repartition interval")]
+    fn validate_panics_with_the_legacy_message() {
+        let mut sys = SystemConfig::small_scale();
+        sys.repartition_interval = 0;
+        sys.validate();
+    }
+
+    #[test]
     fn labels_are_paper_style() {
         assert_eq!(SchemeKind::vantage_paper().label(), "Vantage-Z4/52");
         assert_eq!(
-            SchemeKind::Baseline { array: ArrayKind::SetAssoc { ways: 16 }, rank: BaselineRank::Lru }
-                .label(),
+            SchemeKind::Baseline {
+                array: ArrayKind::SetAssoc { ways: 16 },
+                rank: BaselineRank::Lru
+            }
+            .label(),
             "LRU-SA16"
         );
         assert_eq!(SchemeKind::WayPart.label(), "WayPart");

@@ -33,7 +33,10 @@ impl L1 {
     ///
     /// Panics if `lines` is not a positive multiple of `ways`.
     pub fn new(lines: usize, ways: usize) -> Self {
-        assert!(ways > 0 && lines > 0 && lines % ways == 0, "bad L1 geometry");
+        assert!(
+            ways > 0 && lines > 0 && lines.is_multiple_of(ways),
+            "bad L1 geometry"
+        );
         Self {
             lines: vec![None; lines],
             last: vec![0; lines],
@@ -97,7 +100,7 @@ mod tests {
     #[test]
     fn evicts_lru_within_set() {
         let mut l1 = L1::new(16, 4); // 4 sets
-        // Fill set 0 with 0, 4, 8, 12; touch 0 so 4 is LRU.
+                                     // Fill set 0 with 0, 4, 8, 12; touch 0 so 4 is LRU.
         for a in [0u64, 4, 8, 12, 0] {
             l1.access(LineAddr(a));
         }
@@ -109,7 +112,9 @@ mod tests {
     #[test]
     fn streaming_misses_continuously() {
         let mut l1 = L1::new(512, 4);
-        let misses = (0..10_000u64).filter(|&i| !l1.access(LineAddr(i * 3))).count();
+        let misses = (0..10_000u64)
+            .filter(|&i| !l1.access(LineAddr(i * 3)))
+            .count();
         assert!(misses > 9_000);
     }
 }

@@ -25,6 +25,6 @@ pub mod metrics;
 pub mod scheme;
 
 pub use cmp::{run_solo, CmpSim, SimResult, TraceSample};
-pub use config::{ArrayKind, BaselineRank, SchemeKind, SystemConfig};
+pub use config::{ArrayKind, BaselineRank, SchemeKind, SysConfigError, SystemConfig};
 pub use l1::L1;
 pub use scheme::Scheme;

@@ -41,7 +41,10 @@ pub fn weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
 pub fn hmean_weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
     assert_eq!(shared.len(), alone.len(), "one solo IPC per core");
     assert!(alone.iter().all(|&a| a > 0.0), "solo IPCs must be positive");
-    assert!(shared.iter().all(|&s| s > 0.0), "shared IPCs must be positive");
+    assert!(
+        shared.iter().all(|&s| s > 0.0),
+        "shared IPCs must be positive"
+    );
     let n = shared.len() as f64;
     n / shared.iter().zip(alone).map(|(s, a)| a / s).sum::<f64>()
 }
@@ -55,7 +58,11 @@ pub fn hmean_weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
 pub fn max_slowdown(shared: &[f64], alone: &[f64]) -> f64 {
     assert_eq!(shared.len(), alone.len(), "one solo IPC per core");
     assert!(alone.iter().all(|&a| a > 0.0) && shared.iter().all(|&s| s > 0.0));
-    shared.iter().zip(alone).map(|(s, a)| a / s).fold(0.0, f64::max)
+    shared
+        .iter()
+        .zip(alone)
+        .map(|(s, a)| a / s)
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -80,8 +87,7 @@ mod tests {
         assert!((throughput(&fair) - throughput(&unfair)).abs() < 0.01);
         // ...but the harmonic mean exposes the starvation.
         assert!(
-            hmean_weighted_speedup(&fair, &alone)
-                > 10.0 * hmean_weighted_speedup(&unfair, &alone)
+            hmean_weighted_speedup(&fair, &alone) > 10.0 * hmean_weighted_speedup(&unfair, &alone)
         );
         assert!(max_slowdown(&unfair, &alone) > 50.0);
     }

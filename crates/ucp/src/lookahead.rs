@@ -41,7 +41,10 @@ pub fn lookahead(curves: &[Vec<u64>], blocks: u32, min_blocks: u32) -> Vec<u32> 
         curves.iter().all(|c| c.len() > blocks as usize),
         "curves must cover 0..=blocks"
     );
-    assert!(blocks >= min_blocks * n as u32, "not enough blocks for the minimum");
+    assert!(
+        blocks >= min_blocks * n as u32,
+        "not enough blocks for the minimum"
+    );
 
     let mut alloc = vec![min_blocks; n];
     let mut balance = blocks - min_blocks * n as u32;
@@ -132,8 +135,14 @@ pub fn equalize_miss_ratios(
     let n = curves.len();
     assert!(n > 0, "no partitions");
     assert_eq!(accesses.len(), n, "one access count per partition");
-    assert!(curves.iter().all(|c| c.len() > blocks as usize), "curves must cover 0..=blocks");
-    assert!(blocks >= min_blocks * n as u32, "not enough blocks for the minimum");
+    assert!(
+        curves.iter().all(|c| c.len() > blocks as usize),
+        "curves must cover 0..=blocks"
+    );
+    assert!(
+        blocks >= min_blocks * n as u32,
+        "not enough blocks for the minimum"
+    );
 
     let ratio = |p: usize, b: usize| {
         if accesses[p] == 0 {
@@ -202,7 +211,10 @@ mod tests {
         let stream = vec![1000u64; 17]; // terrible ratio, zero utility
         let friendly: Vec<u64> = (0..=16u64).map(|b| 400u64.saturating_sub(b * 25)).collect();
         let alloc = equalize_miss_ratios(&[stream, friendly], &[1000, 1000], 16, 1);
-        assert_eq!(alloc[0], 1, "flat-curve partition must not absorb blocks: {alloc:?}");
+        assert_eq!(
+            alloc[0], 1,
+            "flat-curve partition must not absorb blocks: {alloc:?}"
+        );
     }
 
     #[test]
@@ -226,8 +238,8 @@ mod tests {
         // Partition 0: no gain until 6 blocks, then everything. A 1-block
         // greedy allocator would starve it; Lookahead must not.
         let mut knee = vec![1000u64; 17];
-        for b in 6..17 {
-            knee[b] = 10;
+        for k in knee.iter_mut().skip(6) {
+            *k = 10;
         }
         let gradual: Vec<u64> = (0..17u64).map(|b| 1000 - 40 * b).collect();
         let alloc = lookahead(&[knee, gradual], 16, 1);
@@ -252,14 +264,19 @@ mod tests {
 
     #[test]
     fn fine_grain_allocation_at_256_blocks() {
-        let c0: Vec<u64> = (0..=16u64).map(|w| 1000u64.saturating_sub(w * 55)).collect();
+        let c0: Vec<u64> = (0..=16u64)
+            .map(|w| 1000u64.saturating_sub(w * 55))
+            .collect();
         let c1 = vec![500u64; 17];
         let f0 = interpolate_curve(&c0, 256);
         let f1 = interpolate_curve(&c1, 256);
         assert_eq!(f0.len(), 257);
         let alloc = lookahead(&[f0, f1], 256, 1);
         assert_eq!(alloc.iter().sum::<u32>(), 256);
-        assert!(alloc[0] > 200, "useful partition should dominate: {alloc:?}");
+        assert!(
+            alloc[0] > 200,
+            "useful partition should dominate: {alloc:?}"
+        );
     }
 
     #[test]

@@ -83,11 +83,26 @@ impl UcpPolicy {
             UcpGranularity::Ways(w) => w,
             UcpGranularity::Fine { blocks } => blocks,
         };
-        assert!(blocks as usize >= partitions, "fewer blocks than partitions");
+        assert!(
+            blocks as usize >= partitions,
+            "fewer blocks than partitions"
+        );
         let umons = (0..partitions)
-            .map(|p| Umon::new(umon_ways, sampled_sets, model_sets, seed.wrapping_add(p as u64)))
+            .map(|p| {
+                Umon::new(
+                    umon_ways,
+                    sampled_sets,
+                    model_sets,
+                    seed.wrapping_add(p as u64),
+                )
+            })
             .collect();
-        Self { umons, granularity, cache_lines, goal: AllocationGoal::default() }
+        Self {
+            umons,
+            granularity,
+            cache_lines,
+            goal: AllocationGoal::default(),
+        }
     }
 
     /// Switches the allocation goal (throughput vs fairness). Takes effect
@@ -184,9 +199,10 @@ mod tests {
 
     #[test]
     fn targets_sum_to_capacity_exactly() {
-        for granularity in
-            [UcpGranularity::Ways(16), UcpGranularity::Fine { blocks: 256 }]
-        {
+        for granularity in [
+            UcpGranularity::Ways(16),
+            UcpGranularity::Fine { blocks: 256 },
+        ] {
             let mut ucp = UcpPolicy::new(4, 16, 64, 2048, 32_768, granularity, 2);
             for p in 0..4 {
                 stream(&mut ucp, p, 5_000 * (p as u64 + 1), 100_000);
@@ -198,8 +214,15 @@ mod tests {
 
     #[test]
     fn cache_friendly_beats_streaming() {
-        let mut ucp =
-            UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Fine { blocks: 256 }, 3);
+        let mut ucp = UcpPolicy::new(
+            2,
+            16,
+            64,
+            2048,
+            32_768,
+            UcpGranularity::Fine { blocks: 256 },
+            3,
+        );
         stream(&mut ucp, 0, 20_000, 300_000); // heavy reuse
         for i in 0..300_000u64 {
             ucp.observe(1, LineAddr((2u64 << 40) + i)); // pure stream
@@ -211,7 +234,15 @@ mod tests {
     #[test]
     fn fairness_goal_narrows_the_allocation_gap() {
         let build = || {
-            UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Fine { blocks: 256 }, 6)
+            UcpPolicy::new(
+                2,
+                16,
+                64,
+                2048,
+                32_768,
+                UcpGranularity::Fine { blocks: 256 },
+                6,
+            )
         };
         let observe = |ucp: &mut UcpPolicy| {
             stream(ucp, 0, 4_000, 300_000); // modest working set, big gains
@@ -241,18 +272,28 @@ mod tests {
             stream(ucp, 0, 2_000, 150_000);
             stream(ucp, 1, 40_000, 300_000);
         };
-        let mut ways =
-            UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Ways(16), 4);
+        let mut ways = UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Ways(16), 4);
         observe_all(&mut ways);
         let tw = ways.reallocate();
         assert_eq!(tw.iter().sum::<u64>(), 32_768);
         for &t in &tw {
-            assert_eq!(t % 2048, 0, "way-granularity target not a way multiple: {tw:?}");
+            assert_eq!(
+                t % 2048,
+                0,
+                "way-granularity target not a way multiple: {tw:?}"
+            );
             assert!(t >= 2048, "way granularity cannot allocate below one way");
         }
 
-        let mut fine =
-            UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Fine { blocks: 256 }, 4);
+        let mut fine = UcpPolicy::new(
+            2,
+            16,
+            64,
+            2048,
+            32_768,
+            UcpGranularity::Fine { blocks: 256 },
+            4,
+        );
         observe_all(&mut fine);
         let tf = fine.reallocate();
         assert_eq!(tf.iter().sum::<u64>(), 32_768);
@@ -263,8 +304,15 @@ mod tests {
 
     #[test]
     fn repartitioning_adapts_after_phase_change() {
-        let mut ucp =
-            UcpPolicy::new(2, 16, 64, 2048, 32_768, UcpGranularity::Fine { blocks: 256 }, 5);
+        let mut ucp = UcpPolicy::new(
+            2,
+            16,
+            64,
+            2048,
+            32_768,
+            UcpGranularity::Fine { blocks: 256 },
+            5,
+        );
         // Phase 1: partition 0 is the reuser.
         stream(&mut ucp, 0, 20_000, 200_000);
         for i in 0..200_000u64 {

@@ -7,8 +7,8 @@
 //! at every repartitioning the better policy can be chosen per partition
 //! (making Vantage-DRRIP automatically thread-aware).
 
-use vantage_cache::replacement::rrip::BasePolicy;
 use vantage_cache::hash::mix_bucket;
+use vantage_cache::replacement::rrip::BasePolicy;
 use vantage_cache::LineAddr;
 
 /// A per-core RRIP utility monitor with built-in SRRIP/BRRIP dueling.
@@ -52,9 +52,18 @@ impl RripUmon {
     /// # Panics
     ///
     /// Panics on zero sizes, `sampled_sets < 2`, or an invalid RRPV width.
-    pub fn new(ways: usize, sampled_sets: usize, model_sets: u32, rrpv_bits: u8, seed: u64) -> Self {
+    pub fn new(
+        ways: usize,
+        sampled_sets: usize,
+        model_sets: u32,
+        rrpv_bits: u8,
+        seed: u64,
+    ) -> Self {
         assert!(ways > 0, "ways must be non-zero");
-        assert!(sampled_sets >= 2 && sampled_sets as u32 <= model_sets, "bad set sampling");
+        assert!(
+            sampled_sets >= 2 && sampled_sets as u32 <= model_sets,
+            "bad set sampling"
+        );
         assert!((1..=7).contains(&rrpv_bits), "RRPV width must be 1..=7");
         Self {
             ways,
@@ -78,7 +87,11 @@ impl RripUmon {
             return;
         }
         let use_srrip = set < self.tags.len() / 2;
-        let stats = if use_srrip { &mut self.srrip_stats } else { &mut self.brrip_stats };
+        let stats = if use_srrip {
+            &mut self.srrip_stats
+        } else {
+            &mut self.brrip_stats
+        };
         stats.0 += 1;
 
         if let Some(pos) = self.tags[set].iter().position(|&t| t == addr.0) {

@@ -53,7 +53,10 @@ impl Umon {
     /// Panics if any count is zero or `sampled_sets > model_sets`.
     pub fn new(ways: usize, sampled_sets: usize, model_sets: u32, seed: u64) -> Self {
         assert!(ways > 0, "ways must be non-zero");
-        assert!(sampled_sets > 0 && sampled_sets as u32 <= model_sets, "bad set sampling");
+        assert!(
+            sampled_sets > 0 && sampled_sets as u32 <= model_sets,
+            "bad set sampling"
+        );
         Self {
             ways,
             stacks: vec![Vec::with_capacity(ways); sampled_sets],

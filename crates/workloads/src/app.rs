@@ -40,8 +40,12 @@ impl Category {
     }
 
     /// All categories, in class-name order.
-    pub const ALL: [Category; 4] =
-        [Category::Insensitive, Category::Friendly, Category::Fitting, Category::Streaming];
+    pub const ALL: [Category; 4] = [
+        Category::Insensitive,
+        Category::Friendly,
+        Category::Fitting,
+        Category::Streaming,
+    ];
 }
 
 /// One memory region of an application's address space.
@@ -182,10 +186,9 @@ impl AppGen {
     /// Generates the next memory reference.
     pub fn next_ref(&mut self) -> MemRef {
         self.accesses += 1;
-        if self.spec.phases.is_some() {
+        if let Some((period, phases)) = &self.spec.phases {
             self.phase_left -= 1;
             if self.phase_left == 0 {
-                let (period, phases) = self.spec.phases.as_ref().expect("checked");
                 self.phase = (self.phase + 1) % phases.len();
                 self.phase_left = *period;
             }
@@ -229,7 +232,10 @@ impl AppGen {
         // mean, at least 1 instruction.
         let jitter = self.rng.gen_range(0.5..1.5);
         let gap = (self.mean_gap * jitter).round().max(1.0) as u32;
-        MemRef { gap, addr: LineAddr(region_base + line) }
+        MemRef {
+            gap,
+            addr: LineAddr(region_base + line),
+        }
     }
 }
 
@@ -307,7 +313,13 @@ mod tests {
             name: "test_skew",
             category: Category::Friendly,
             apki: 40.0,
-            regions: vec![(1.0, RegionKind::Skewed { lines: 100_000, gamma: 4.0 })],
+            regions: vec![(
+                1.0,
+                RegionKind::Skewed {
+                    lines: 100_000,
+                    gamma: 4.0,
+                },
+            )],
             phases: None,
         };
         let mut g = AppGen::new(spec, 0, 4);
@@ -351,7 +363,10 @@ mod tests {
                 streamed += 1;
             }
         }
-        assert!(streamed >= 999, "phase switch did not take effect: {streamed}");
+        assert!(
+            streamed >= 999,
+            "phase switch did not take effect: {streamed}"
+        );
     }
 
     #[test]

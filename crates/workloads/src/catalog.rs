@@ -72,66 +72,91 @@ fn streaming(name: &'static str, apki: f64) -> AppSpec {
 /// assert_eq!(n, 14); // Table 3's split
 /// ```
 pub fn catalog() -> Vec<AppSpec> {
-    let mut v = Vec::with_capacity(29);
-
-    // --- Insensitive (14): small hot sets, mostly L1/L2-resident. ---
-    v.push(hot("perlbench_like", 900, 18.0));
-    v.push(hot("bwaves_like", 1400, 25.0));
-    v.push(hot("gamess_like", 400, 12.0));
-    v.push(hot("gromacs_like", 700, 15.0));
-    v.push(hot("namd_like", 1100, 20.0));
-    v.push(hot("gobmk_like", 1600, 22.0));
-    v.push(hot("dealII_like", 1900, 24.0));
-    v.push(hot("povray_like", 300, 10.0));
-    v.push(hot("calculix_like", 800, 14.0));
-    v.push(hot("hmmer_like", 600, 30.0));
-    v.push(hot("sjeng_like", 1200, 16.0));
-    v.push(hot("h264ref_like", 1700, 28.0));
-    v.push(hot("tonto_like", 500, 11.0));
-    v.push(hot("wrf_like", 1500, 19.0));
-
-    // --- Cache-friendly (6): skewed reuse over multi-MB footprints. ---
-    v.push(friendly("bzip2_like", 6 * LINES_PER_MB, 5.0, 35.0));
-    v.push(AppSpec {
-        // gcc-like: friendly with phase behaviour, so UCP retargets it over
-        // time (the dynamics Fig. 8 shows).
-        name: "gcc_like",
-        category: Category::Friendly,
-        apki: 40.0,
-        regions: vec![
-            (0.7, RegionKind::Skewed { lines: 4 * LINES_PER_MB, gamma: 4.0 }),
-            (0.3, RegionKind::Hot { lines: 2048 }),
-        ],
-        phases: Some((400_000, vec![vec![0.7, 0.3], vec![0.25, 0.75], vec![0.9, 0.1]])),
-    });
-    v.push(friendly("zeusmp_like", 8 * LINES_PER_MB, 6.0, 30.0));
-    v.push(friendly("cactusADM_like", 5 * LINES_PER_MB, 3.5, 45.0));
-    v.push(friendly("leslie3d_like", 7 * LINES_PER_MB, 4.5, 38.0));
-    v.push(AppSpec {
-        name: "astar_like",
-        category: Category::Friendly,
-        apki: 32.0,
-        regions: vec![
-            (0.8, RegionKind::Skewed { lines: 3 * LINES_PER_MB, gamma: 3.0 }),
-            (0.2, RegionKind::Loop { lines: 8 * 1024 }),
-        ],
-        phases: Some((600_000, vec![vec![0.8, 0.2], vec![0.4, 0.6]])),
-    });
-
-    // --- Cache-fitting (5): loops of 1.1-1.9 MB with abrupt knees. ---
-    v.push(fitting("soplex_like", (1.6 * LINES_PER_MB as f64) as u64, 512, 42.0));
-    v.push(fitting("lbm_like", (1.9 * LINES_PER_MB as f64) as u64, 256, 50.0));
-    v.push(fitting("omnetpp_like", (1.2 * LINES_PER_MB as f64) as u64, 768, 36.0));
-    v.push(fitting("sphinx3_like", (1.4 * LINES_PER_MB as f64) as u64, 384, 44.0));
-    v.push(fitting("xalancbmk_like", (1.1 * LINES_PER_MB as f64) as u64, 640, 33.0));
-
-    // --- Thrashing/streaming (4). ---
-    v.push(streaming("mcf_like", 70.0));
-    v.push(streaming("milc_like", 45.0));
-    v.push(streaming("GemsFDTD_like", 40.0));
-    v.push(streaming("libquantum_like", 55.0));
-
-    v
+    vec![
+        // --- Insensitive (14): small hot sets, mostly L1/L2-resident. ---
+        hot("perlbench_like", 900, 18.0),
+        hot("bwaves_like", 1400, 25.0),
+        hot("gamess_like", 400, 12.0),
+        hot("gromacs_like", 700, 15.0),
+        hot("namd_like", 1100, 20.0),
+        hot("gobmk_like", 1600, 22.0),
+        hot("dealII_like", 1900, 24.0),
+        hot("povray_like", 300, 10.0),
+        hot("calculix_like", 800, 14.0),
+        hot("hmmer_like", 600, 30.0),
+        hot("sjeng_like", 1200, 16.0),
+        hot("h264ref_like", 1700, 28.0),
+        hot("tonto_like", 500, 11.0),
+        hot("wrf_like", 1500, 19.0),
+        // --- Cache-friendly (6): skewed reuse over multi-MB footprints. ---
+        friendly("bzip2_like", 6 * LINES_PER_MB, 5.0, 35.0),
+        AppSpec {
+            // gcc-like: friendly with phase behaviour, so UCP retargets it
+            // over time (the dynamics Fig. 8 shows).
+            name: "gcc_like",
+            category: Category::Friendly,
+            apki: 40.0,
+            regions: vec![
+                (
+                    0.7,
+                    RegionKind::Skewed {
+                        lines: 4 * LINES_PER_MB,
+                        gamma: 4.0,
+                    },
+                ),
+                (0.3, RegionKind::Hot { lines: 2048 }),
+            ],
+            phases: Some((
+                400_000,
+                vec![vec![0.7, 0.3], vec![0.25, 0.75], vec![0.9, 0.1]],
+            )),
+        },
+        friendly("zeusmp_like", 8 * LINES_PER_MB, 6.0, 30.0),
+        friendly("cactusADM_like", 5 * LINES_PER_MB, 3.5, 45.0),
+        friendly("leslie3d_like", 7 * LINES_PER_MB, 4.5, 38.0),
+        AppSpec {
+            name: "astar_like",
+            category: Category::Friendly,
+            apki: 32.0,
+            regions: vec![
+                (
+                    0.8,
+                    RegionKind::Skewed {
+                        lines: 3 * LINES_PER_MB,
+                        gamma: 3.0,
+                    },
+                ),
+                (0.2, RegionKind::Loop { lines: 8 * 1024 }),
+            ],
+            phases: Some((600_000, vec![vec![0.8, 0.2], vec![0.4, 0.6]])),
+        },
+        // --- Cache-fitting (5): loops of 1.1-1.9 MB with abrupt knees. ---
+        fitting("soplex_like", (1.6 * LINES_PER_MB as f64) as u64, 512, 42.0),
+        fitting("lbm_like", (1.9 * LINES_PER_MB as f64) as u64, 256, 50.0),
+        fitting(
+            "omnetpp_like",
+            (1.2 * LINES_PER_MB as f64) as u64,
+            768,
+            36.0,
+        ),
+        fitting(
+            "sphinx3_like",
+            (1.4 * LINES_PER_MB as f64) as u64,
+            384,
+            44.0,
+        ),
+        fitting(
+            "xalancbmk_like",
+            (1.1 * LINES_PER_MB as f64) as u64,
+            640,
+            33.0,
+        ),
+        // --- Thrashing/streaming (4). ---
+        streaming("mcf_like", 70.0),
+        streaming("milc_like", 45.0),
+        streaming("GemsFDTD_like", 40.0),
+        streaming("libquantum_like", 55.0),
+    ]
 }
 
 /// Looks up a catalog entry by name.
@@ -166,7 +191,10 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert!(spec_by_name("mcf_like").is_some());
-        assert_eq!(spec_by_name("mcf_like").unwrap().category, Category::Streaming);
+        assert_eq!(
+            spec_by_name("mcf_like").unwrap().category,
+            Category::Streaming
+        );
         assert!(spec_by_name("nonexistent").is_none());
     }
 

@@ -15,8 +15,12 @@ use crate::app::{AppSpec, Category};
 use crate::catalog::catalog;
 
 /// Category ordering used in class names (the paper's `sftn` order).
-const NAME_ORDER: [Category; 4] =
-    [Category::Streaming, Category::Friendly, Category::Fitting, Category::Insensitive];
+const NAME_ORDER: [Category; 4] = [
+    Category::Streaming,
+    Category::Friendly,
+    Category::Fitting,
+    Category::Insensitive,
+];
 
 /// A multiprogrammed workload: one application per core.
 #[derive(Clone, Debug)]
@@ -32,6 +36,9 @@ pub struct Mix {
 /// All 35 class slot-combinations in name order.
 pub fn class_names() -> Vec<[Category; 4]> {
     let mut classes = Vec::with_capacity(35);
+    // Index-based combination enumeration: `a <= b <= c <= d` over the four
+    // category slots, which iterator adapters only obscure.
+    #[allow(clippy::needless_range_loop)]
     for a in 0..4 {
         for b in a..4 {
             for c in b..4 {
@@ -68,14 +75,15 @@ pub fn class_names() -> Vec<[Category; 4]> {
 /// assert_eq!(big[0].apps.len(), 32);
 /// ```
 pub fn mixes(cores: usize, per_class: usize, seed: u64) -> Vec<Mix> {
-    assert!(cores > 0 && cores % 4 == 0, "cores must be a positive multiple of 4");
+    assert!(
+        cores > 0 && cores.is_multiple_of(4),
+        "cores must be a positive multiple of 4"
+    );
     let per_slot = cores / 4;
     let apps = catalog();
-    let pool = |cat: Category| -> Vec<&AppSpec> {
-        apps.iter().filter(|a| a.category == cat).collect()
-    };
-    let pools: Vec<(Category, Vec<&AppSpec>)> =
-        NAME_ORDER.iter().map(|&c| (c, pool(c))).collect();
+    let pool =
+        |cat: Category| -> Vec<&AppSpec> { apps.iter().filter(|a| a.category == cat).collect() };
+    let pools: Vec<(Category, Vec<&AppSpec>)> = NAME_ORDER.iter().map(|&c| (c, pool(c))).collect();
 
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(35 * per_class);
@@ -84,12 +92,20 @@ pub fn mixes(cores: usize, per_class: usize, seed: u64) -> Vec<Mix> {
         for k in 0..per_class {
             let mut mix_apps = Vec::with_capacity(cores);
             for &slot in &class {
-                let pool = &pools.iter().find(|(c, _)| *c == slot).expect("pool exists").1;
+                let pool = &pools
+                    .iter()
+                    .find(|(c, _)| *c == slot)
+                    .expect("pool exists")
+                    .1;
                 for _ in 0..per_slot {
                     mix_apps.push(pool[rng.gen_range(0..pool.len())].clone());
                 }
             }
-            out.push(Mix { name: format!("{class_str}{k}"), class, apps: mix_apps });
+            out.push(Mix {
+                name: format!("{class_str}{k}"),
+                class,
+                apps: mix_apps,
+            });
         }
     }
     out
@@ -104,8 +120,10 @@ mod tests {
         let classes = class_names();
         assert_eq!(classes.len(), 35);
         // All distinct.
-        let mut names: Vec<String> =
-            classes.iter().map(|c| c.iter().map(|x| x.code()).collect()).collect();
+        let mut names: Vec<String> = classes
+            .iter()
+            .map(|c| c.iter().map(|x| x.code()).collect())
+            .collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 35);

@@ -128,25 +128,56 @@ impl<R: Read> TraceReader<R> {
         let mut magic = [0u8; 8];
         source.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a vantage trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a vantage trace",
+            ));
         }
         Ok(Self { source })
     }
 
     /// Reads the next record, or `None` at end of stream.
     ///
+    /// End of stream is only clean on a record boundary: a stream ending
+    /// with 1–11 leftover bytes is a truncated record, reported as
+    /// [`io::ErrorKind::UnexpectedEof`] rather than silently dropped (a
+    /// truncated trace would otherwise replay as a shorter, valid-looking
+    /// one).
+    ///
     /// # Errors
     ///
     /// Fails on I/O errors or a truncated record.
     pub fn read(&mut self) -> io::Result<Option<MemRef>> {
         let mut gap = [0u8; 4];
-        match self.source.read_exact(&mut gap) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e),
+        let mut filled = 0;
+        while filled < gap.len() {
+            match self.source.read(&mut gap[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if filled == 0 {
+            return Ok(None); // clean end of stream
+        }
+        if filled < gap.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("truncated trace record: {filled} of 12 bytes present"),
+            ));
         }
         let mut addr = [0u8; 8];
-        self.source.read_exact(&mut addr)?;
+        self.source.read_exact(&mut addr).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated trace record: address bytes missing",
+                )
+            } else {
+                e
+            }
+        })?;
         Ok(Some(MemRef {
             gap: u32::from_le_bytes(gap).max(1),
             addr: LineAddr(u64::from_le_bytes(addr)),
@@ -184,7 +215,11 @@ impl TraceGen {
     /// Panics if `refs` is empty (nothing to replay).
     pub fn new(refs: Vec<MemRef>) -> Self {
         assert!(!refs.is_empty(), "cannot replay an empty trace");
-        Self { refs, pos: 0, loops: 0 }
+        Self {
+            refs,
+            pos: 0,
+            loops: 0,
+        }
     }
 
     /// Loads a trace file into a replayer.
@@ -241,7 +276,13 @@ mod tests {
                 name: "t",
                 category: Category::Friendly,
                 apki: 30.0,
-                regions: vec![(1.0, RegionKind::Skewed { lines: 1000, gamma: 3.0 })],
+                regions: vec![(
+                    1.0,
+                    RegionKind::Skewed {
+                        lines: 1000,
+                        gamma: 3.0,
+                    },
+                )],
                 phases: None,
             },
             1 << 40,
@@ -261,13 +302,18 @@ mod tests {
             }
             assert_eq!(w.finish().expect("flush"), 500);
         }
-        let back = TraceReader::new(buf.as_slice()).expect("header").read_all().expect("read");
+        let back = TraceReader::new(buf.as_slice())
+            .expect("header")
+            .read_all()
+            .expect("read");
         assert_eq!(back, refs);
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let err = TraceReader::new(&b"NOTATRACE123"[..]).map(|_| ()).unwrap_err();
+        let err = TraceReader::new(&b"NOTATRACE123"[..])
+            .map(|_| ())
+            .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
@@ -275,11 +321,57 @@ mod tests {
     fn truncated_record_is_an_error() {
         let mut buf = Vec::new();
         let mut w = TraceWriter::new(&mut buf).expect("header");
-        w.write(MemRef { gap: 1, addr: LineAddr(7) }).expect("write");
+        w.write(MemRef {
+            gap: 1,
+            addr: LineAddr(7),
+        })
+        .expect("write");
         w.finish().expect("flush");
         buf.pop(); // chop the last byte
         let mut r = TraceReader::new(buf.as_slice()).expect("header");
         assert!(r.read().is_err());
+    }
+
+    #[test]
+    fn truncation_inside_the_gap_field_is_an_error_not_eof() {
+        // Regression: a stream cut 1-3 bytes into a record used to look
+        // like a clean end of stream (read_exact reports both cases as
+        // UnexpectedEof), so corrupt traces replayed as shorter valid ones.
+        for extra in 1..4usize {
+            let mut buf = Vec::new();
+            let mut w = TraceWriter::new(&mut buf).expect("header");
+            w.write(MemRef {
+                gap: 9,
+                addr: LineAddr(42),
+            })
+            .expect("write");
+            w.finish().expect("flush");
+            buf.extend(std::iter::repeat_n(0xAB, extra));
+            let mut r = TraceReader::new(buf.as_slice()).expect("header");
+            assert!(r.read().expect("first record intact").is_some());
+            let err = r.read().expect_err("partial record must error");
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "extra = {extra}");
+            assert!(
+                err.to_string().contains("truncated"),
+                "extra = {extra}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_eof_on_record_boundary_is_none() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).expect("header");
+        w.write(MemRef {
+            gap: 2,
+            addr: LineAddr(3),
+        })
+        .expect("write");
+        w.finish().expect("flush");
+        let mut r = TraceReader::new(buf.as_slice()).expect("header");
+        assert!(r.read().expect("record").is_some());
+        assert!(r.read().expect("clean eof").is_none());
+        assert!(r.read().expect("still clean").is_none());
     }
 
     #[test]

@@ -27,7 +27,10 @@ fn main() {
     for i in 0..STORE_LINES {
         llc.access(1, (0x5_0000_0000u64 + i).into());
     }
-    println!("local store loaded: {} lines resident", llc.partition_size(1));
+    println!(
+        "local store loaded: {} lines resident",
+        llc.partition_size(1)
+    );
 
     // --- Phase 2: heavy regular traffic; the store must stay resident. ---
     for _ in 0..1_500_000u64 {
@@ -58,6 +61,9 @@ fn main() {
         llc.partition_size(1),
         llc.partition_size(0)
     );
-    assert!(llc.partition_size(1) < STORE_LINES / 4, "deleted partition should drain");
+    assert!(
+        llc.partition_size(1) < STORE_LINES / 4,
+        "deleted partition should drain"
+    );
     println!("OK: scratchpad semantics from an ordinary cache, no flushes needed.");
 }

@@ -18,7 +18,12 @@ fn build_mix() -> Mix {
     }
     Mix {
         name: "qos".into(),
-        class: [Category::Fitting, Category::Streaming, Category::Streaming, Category::Streaming],
+        class: [
+            Category::Fitting,
+            Category::Streaming,
+            Category::Streaming,
+            Category::Streaming,
+        ],
         apps,
     }
 }
@@ -45,7 +50,10 @@ fn main() {
 
     let unprotected = report(
         "unpartitioned LRU",
-        &SchemeKind::Baseline { array: ArrayKind::SetAssoc { ways: 64 }, rank: BaselineRank::Lru },
+        &SchemeKind::Baseline {
+            array: ArrayKind::SetAssoc { ways: 64 },
+            rank: BaselineRank::Lru,
+        },
     );
     let protected = report("Vantage (UCP)", &SchemeKind::vantage_paper());
 
@@ -55,6 +63,9 @@ fn main() {
         100.0 * unprotected,
         100.0 * protected
     );
-    assert!(protected < 0.6 * unprotected, "partitioning should protect the service");
+    assert!(
+        protected < 0.6 * unprotected,
+        "partitioning should protect the service"
+    );
     println!("OK: the service's working set survives 31 thrashers.");
 }

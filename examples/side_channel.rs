@@ -35,7 +35,10 @@ fn prime_probe(llc: &mut dyn Llc, victim_accesses: u64) -> u64 {
     // Victim activity: a secret-dependent walk over its own data.
     for i in 0..victim_accesses {
         let secret_stride = 3 + (i / 1000) % 5; // "key-dependent" pattern
-        llc.access(victim, (0x2_0000_0000u64 + (i * secret_stride) % 60_000).into());
+        llc.access(
+            victim,
+            (0x2_0000_0000u64 + (i * secret_stride) % 60_000).into(),
+        );
     }
 
     // Probe: attacker misses reveal victim-induced evictions.

@@ -14,9 +14,23 @@ fn main() {
     // One generated mix per class; pick a "sftn" class mix (stream +
     // friendly + fitting + insensitive): maximal diversity.
     let all = mixes(4, 1, 42);
-    let mix = all.iter().find(|m| m.name.starts_with("sftn")).expect("class exists");
-    println!("mix {}: {}", mix.name, mix.apps.iter().map(|a| a.name).collect::<Vec<_>>().join(", "));
-    println!("machine: 4 cores, 2 MB shared L2, UCP repartitions every {} cycles\n", sys.repartition_interval);
+    let mix = all
+        .iter()
+        .find(|m| m.name.starts_with("sftn"))
+        .expect("class exists");
+    println!(
+        "mix {}: {}",
+        mix.name,
+        mix.apps
+            .iter()
+            .map(|a| a.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "machine: 4 cores, 2 MB shared L2, UCP repartitions every {} cycles\n",
+        sys.repartition_interval
+    );
 
     let baseline = SchemeKind::Baseline {
         array: ArrayKind::SetAssoc { ways: 16 },
@@ -24,7 +38,10 @@ fn main() {
     };
     let base_tp = CmpSim::new(sys.clone(), &baseline, mix).run().throughput;
 
-    println!("  {:<18} {:>10} {:>10}   per-core IPC", "scheme", "tput", "vs LRU");
+    println!(
+        "  {:<18} {:>10} {:>10}   per-core IPC",
+        "scheme", "tput", "vs LRU"
+    );
     for kind in [
         baseline.clone(),
         SchemeKind::WayPart,

@@ -16,7 +16,10 @@ fn every_scheme_completes_on_every_class_shape() {
     let all = mixes(4, 1, 21);
     // One mix from each "corner" class: homogeneous s/f/t/n.
     for prefix in ["ssss", "ffff", "tttt", "nnnn"] {
-        let mix = all.iter().find(|m| m.name.starts_with(prefix)).expect("class exists");
+        let mix = all
+            .iter()
+            .find(|m| m.name.starts_with(prefix))
+            .expect("class exists");
         for kind in [
             SchemeKind::Baseline {
                 array: ArrayKind::SetAssoc { ways: 16 },
@@ -60,7 +63,10 @@ fn seeds_change_outcomes() {
     let mix = &mixes(4, 1, 5)[12];
     let a = CmpSim::new(s1, &kind, mix).run();
     let b = CmpSim::new(s2, &kind, mix).run();
-    assert_ne!(a.l2_misses, b.l2_misses, "different seeds should perturb the run");
+    assert_ne!(
+        a.l2_misses, b.l2_misses,
+        "different seeds should perturb the run"
+    );
 }
 
 #[test]
@@ -68,30 +74,43 @@ fn vantage_matches_baseline_within_noise_on_insensitive_mixes() {
     // On an all-insensitive mix nothing contends; partitioning must not
     // hurt (the paper's "maintains associativity" property).
     let all = mixes(4, 1, 33);
-    let mix = all.iter().find(|m| m.name.starts_with("nnnn")).expect("class exists");
+    let mix = all
+        .iter()
+        .find(|m| m.name.starts_with("nnnn"))
+        .expect("class exists");
     let base = CmpSim::new(
         quick_sys(),
-        &SchemeKind::Baseline { array: ArrayKind::SetAssoc { ways: 16 }, rank: BaselineRank::Lru },
+        &SchemeKind::Baseline {
+            array: ArrayKind::SetAssoc { ways: 16 },
+            rank: BaselineRank::Lru,
+        },
         mix,
     )
     .run();
     let vant = CmpSim::new(quick_sys(), &SchemeKind::vantage_paper(), mix).run();
     let ratio = vant.throughput / base.throughput;
-    assert!(ratio > 0.97, "Vantage degraded an uncontended mix: {ratio:.3}");
+    assert!(
+        ratio > 0.97,
+        "Vantage degraded an uncontended mix: {ratio:.3}"
+    );
 }
 
 #[test]
 fn thirty_two_core_vantage_runs_with_32_partitions_on_4_ways() {
     // The scalability headline: 32 fine-grain partitions on a 4-way array.
+    // The quota must comfortably cover cache warmup: the managed-fraction
+    // bound below includes the fill transient, during which the unmanaged
+    // region has not formed yet and forced managed evictions dominate.
     let mut sys = SystemConfig::large_scale();
-    sys.instructions = 60_000;
+    sys.instructions = 240_000;
     let mix = &mixes(32, 1, 3)[10];
     let r = CmpSim::new(sys, &SchemeKind::vantage_paper(), mix).run();
     assert_eq!(r.ipc.len(), 32);
     assert!(r.throughput > 0.0);
+    let mf = r.managed_eviction_fraction.expect("vantage reports it");
     assert!(
-        r.managed_eviction_fraction.expect("vantage reports it") < 0.2,
-        "warmup-inclusive managed fraction out of range"
+        mf < 0.2,
+        "warmup-inclusive managed fraction out of range: {mf:.4}"
     );
 }
 
@@ -100,7 +119,10 @@ fn trace_targets_follow_ucp_and_actuals_follow_targets() {
     let mut sys = quick_sys();
     sys.instructions = 800_000;
     let all = mixes(4, 1, 9);
-    let mix = all.iter().find(|m| m.name.starts_with("sfft")).expect("class exists");
+    let mix = all
+        .iter()
+        .find(|m| m.name.starts_with("sfft"))
+        .expect("class exists");
     let mut sim = CmpSim::new(sys.clone(), &SchemeKind::vantage_paper(), mix);
     sim.enable_trace(sys.repartition_interval / 2);
     let r = sim.run();

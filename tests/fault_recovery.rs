@@ -1,0 +1,259 @@
+//! Fault-injection and recovery tests: for each fault class, corrupt live
+//! Vantage state mid-run and prove that (a) the cache keeps serving accesses
+//! without panicking, (b) a scrub pass restores every accounting invariant,
+//! and (c) partition sizes re-converge to their targets within a bounded
+//! number of accesses, with bounded interference on healthy partitions.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vantage::fault::{Fault, FaultKind, FaultPlan};
+use vantage::{VantageConfig, VantageLlc};
+use vantage_cache::{CacheArray, LineAddr, ZArray};
+use vantage_partitioning::Llc;
+
+fn z52(frames: usize) -> Box<dyn CacheArray> {
+    Box::new(ZArray::new(frames, 4, 52, 0xFA17))
+}
+
+fn default_llc(frames: usize, partitions: usize) -> VantageLlc {
+    VantageLlc::new(z52(frames), partitions, VantageConfig::default(), 3)
+}
+
+/// Drives `n` uniform random accesses over `working_set` lines of `part`'s
+/// address space.
+fn drive(llc: &mut VantageLlc, part: usize, working_set: u64, n: u64, rng: &mut SmallRng) {
+    let base = (part as u64 + 1) << 40;
+    for _ in 0..n {
+        llc.access(part, LineAddr(base + rng.gen_range(0..working_set)));
+    }
+}
+
+/// Warms a 2-partition cache into steady state with both partitions
+/// churning, then asserts the invariants hold — the healthy baseline every
+/// fault test perturbs.
+fn warmed(frames: usize, targets: &[u64]) -> (VantageLlc, SmallRng) {
+    let mut llc = default_llc(frames, targets.len());
+    llc.set_targets(targets);
+    let mut rng = SmallRng::seed_from_u64(17);
+    for _ in 0..20 {
+        for p in 0..targets.len() {
+            drive(&mut llc, p, 100_000, 4_000, &mut rng);
+        }
+    }
+    llc.check_invariants();
+    (llc, rng)
+}
+
+/// After a fault + scrub, both partitions must re-converge to within the
+/// feedback slack (plus drift margin) of their scaled targets inside
+/// `accesses` further accesses.
+fn assert_reconverged(llc: &mut VantageLlc, rng: &mut SmallRng, accesses: u64) {
+    let parts = llc.num_partitions();
+    for _ in 0..(accesses / (1_000 * parts as u64)).max(1) {
+        for p in 0..parts {
+            drive(llc, p, 100_000, 1_000, rng);
+        }
+    }
+    llc.check_invariants();
+    for p in 0..parts {
+        let t = llc.partition_target(p) as f64;
+        let s = llc.partition_size(p) as f64;
+        assert!(
+            s >= t * 0.85 && s <= t * 1.25,
+            "partition {p} failed to re-converge: size {s} vs target {t}"
+        );
+    }
+}
+
+#[test]
+fn tag_pid_corruption_is_tolerated_and_scrubbed() {
+    let (mut llc, mut rng) = warmed(4096, &[3072, 1024]);
+    // Flip high PID bits on many lines: most become out-of-range tags.
+    for i in 0..64u64 {
+        llc.inject(&Fault::TagPartFlip {
+            frame_sel: i * 61,
+            bit: 15,
+        });
+    }
+    // The cache must keep serving accesses (adoption + preferred-eviction
+    // fallbacks) without panicking, even before any scrub runs.
+    drive(&mut llc, 0, 100_000, 5_000, &mut rng);
+    drive(&mut llc, 1, 100_000, 5_000, &mut rng);
+    // Registers have drifted; scrub repairs everything in one pass.
+    let report = llc.scrub();
+    assert!(report.repaired_tags <= 64, "more repairs than injections");
+    assert!(
+        report.size_corrections > 0,
+        "PID flips must desync size registers"
+    );
+    llc.check_invariants();
+    assert_reconverged(&mut llc, &mut rng, 40_000);
+}
+
+#[test]
+fn tag_ts_corruption_recovers() {
+    let (mut llc, mut rng) = warmed(4096, &[2048, 2048]);
+    for i in 0..128u64 {
+        llc.inject(&Fault::TagTsFlip {
+            frame_sel: i * 37,
+            bit: (i % 8) as u8,
+        });
+    }
+    // Timestamp flips only mis-age lines: accesses must proceed, and sizes
+    // are still exactly accounted (no scrub needed for the registers).
+    drive(&mut llc, 0, 100_000, 5_000, &mut rng);
+    drive(&mut llc, 1, 100_000, 5_000, &mut rng);
+    llc.check_invariants();
+    assert_reconverged(&mut llc, &mut rng, 20_000);
+}
+
+#[test]
+fn actual_size_register_corruption_recovers_via_scrub() {
+    let (mut llc, mut rng) = warmed(4096, &[3072, 1024]);
+    let before = llc.partition_size(0);
+    // Stuck high bit: the register reads ~512K lines; the feedback loop
+    // sees a huge overshoot and demotes aggressively.
+    llc.inject(&Fault::ActualSizeCorrupt {
+        part_sel: 0,
+        bit: 19,
+    });
+    assert!(llc.partition_size(0) > before, "corruption must be visible");
+    drive(&mut llc, 0, 100_000, 2_000, &mut rng);
+    let report = llc.scrub();
+    assert!(
+        report.size_corrections > 0,
+        "scrub must rewrite the register"
+    );
+    llc.check_invariants();
+    // The register now matches the array again and sizes re-converge.
+    assert_reconverged(&mut llc, &mut rng, 60_000);
+}
+
+#[test]
+fn wedged_setpoint_is_recentered() {
+    let (mut llc, mut rng) = warmed(4096, &[2048, 2048]);
+    // Wedge partition 0's keep window fully open (demote nothing): its
+    // setpoint equals the current timestamp minus 255.
+    llc.inject(&Fault::SetpointCorrupt {
+        part_sel: 0,
+        value: 1,
+    });
+    drive(&mut llc, 0, 100_000, 1_000, &mut rng);
+    llc.scrub();
+    // Either the window was wedged at an extreme (recentered), or feedback
+    // already pulled it back — in both cases invariants hold afterwards.
+    llc.check_invariants();
+    assert_reconverged(&mut llc, &mut rng, 60_000);
+    // Re-centering must be idempotent: a second scrub finds nothing.
+    let again = llc.scrub();
+    assert_eq!(again.setpoints_recentered, 0, "second scrub re-recentered");
+}
+
+#[test]
+fn corrupted_meters_are_reset() {
+    let (mut llc, mut rng) = warmed(2048, &[1024, 1024]);
+    llc.inject(&Fault::MeterCorrupt {
+        part_sel: 1,
+        seen: 40_000,
+        demoted: 65_000,
+    });
+    assert!(llc.invariants().is_err(), "corrupt meters must be detected");
+    let report = llc.scrub();
+    assert!(report.meters_reset >= 1);
+    llc.check_invariants();
+    drive(&mut llc, 1, 100_000, 5_000, &mut rng);
+    llc.check_invariants();
+}
+
+#[test]
+fn churn_burst_interference_is_bounded() {
+    // The workload-level fault: a quiet partition holds its working set
+    // while the other partition takes an adversarial streaming burst.
+    let (mut llc, mut rng) = warmed(4096, &[2048, 2048]);
+    drive(&mut llc, 0, 1_500, 40_000, &mut rng); // partition 0 settles
+    let resident = llc.partition_size(0);
+    let mut plan = FaultPlan::new(5, 2_000, &[FaultKind::ChurnBurst]);
+    let mut burst_accesses = 0u64;
+    let mut next_addr = 0u64;
+    for step in 0..100_000u64 {
+        if let Some(Fault::ChurnBurst { accesses, .. }) = plan.poll(step) {
+            for _ in 0..accesses.min(2_000) {
+                llc.access(1, LineAddr((7u64 << 40) + next_addr));
+                next_addr += 1;
+                burst_accesses += 1;
+            }
+        }
+    }
+    assert!(
+        burst_accesses > 50_000,
+        "bursts too small to stress anything"
+    );
+    llc.check_invariants();
+    // Inject() must report churn bursts as not-applicable.
+    assert!(!llc.inject(&Fault::ChurnBurst {
+        part_sel: 0,
+        accesses: 10
+    }));
+    // The quiet partition loses lines only to (rare) forced managed
+    // evictions: bounded victim interference.
+    let after = llc.partition_size(0);
+    assert!(
+        after as f64 > resident as f64 * 0.95,
+        "churn bursts displaced {} of {} quiet lines",
+        resident - after,
+        resident
+    );
+}
+
+#[test]
+fn continuous_fault_storm_with_periodic_scrub_survives() {
+    // The full harness loop: every fault class fires continuously while an
+    // automatic scrubber runs; the cache must never panic, and at the end
+    // one scrub restores a state that passes every invariant.
+    let (mut llc, mut rng) = warmed(4096, &[3072, 1024]);
+    llc.set_scrub_period(Some(5_000));
+    let mut plan = FaultPlan::new(0xBAD5EED, 500, &FaultKind::INJECTABLE);
+    let mut injected = 0u64;
+    for step in 0..60u64 {
+        for p in 0..2 {
+            drive(&mut llc, p, 100_000, 1_000, &mut rng);
+        }
+        if let Some(fault) = plan.poll(step * 2_000) {
+            if llc.inject(&fault) {
+                injected += 1;
+            }
+        }
+    }
+    assert!(injected > 20, "storm injected too few faults ({injected})");
+    assert!(llc.vantage_stats().scrubs > 10, "auto-scrub never engaged");
+    llc.scrub();
+    llc.check_invariants();
+    // Even under a continuous storm the controller stays in the vicinity
+    // of its targets (the storm corrupts state strictly slower than the
+    // scrubber repairs it).
+    for p in 0..2 {
+        let t = llc.partition_target(p) as f64;
+        let s = llc.partition_size(p) as f64;
+        assert!(
+            s > t * 0.5 && s < t * 1.6,
+            "partition {p} lost control: {s} vs {t}"
+        );
+    }
+}
+
+#[test]
+fn fault_log_records_every_injection() {
+    let mut plan = FaultPlan::new(99, 250, &FaultKind::ALL);
+    let mut llc = default_llc(1024, 2);
+    let mut rng = SmallRng::seed_from_u64(1);
+    drive(&mut llc, 0, 5_000, 2_000, &mut rng);
+    let mut emitted = 0;
+    for acc in (0..5_000u64).step_by(50) {
+        if let Some(f) = plan.poll(acc) {
+            llc.inject(&f);
+            emitted += 1;
+        }
+    }
+    assert_eq!(plan.log().len(), emitted);
+    assert!(emitted >= 19, "expected ~20 faults, got {emitted}");
+}

@@ -35,8 +35,12 @@ fn vantage_protects_quiet_partitions_where_lru_does_not() {
     let mut lru = BaselineLlc::new(Box::new(ZArray::new(LINES, 4, 52, 2)), 2, RankPolicy::Lru);
     let lru_misses = victim_misses(&mut lru, ws);
 
-    let mut vantage =
-        VantageLlc::new(Box::new(ZArray::new(LINES, 4, 52, 2)), 2, VantageConfig::default(), 1);
+    let mut vantage = VantageLlc::new(
+        Box::new(ZArray::new(LINES, 4, 52, 2)),
+        2,
+        VantageConfig::default(),
+        1,
+    );
     vantage.set_targets(&[3_000, (LINES as u64) - 3_000]);
     let vantage_misses = victim_misses(&mut vantage, ws);
 
@@ -59,8 +63,12 @@ fn pipp_only_approximates_what_vantage_enforces() {
     pipp.set_targets(&[(LINES / 2) as u64, (LINES / 2) as u64]);
     let pipp_misses = victim_misses(&mut pipp, ws);
 
-    let mut vantage =
-        VantageLlc::new(Box::new(ZArray::new(LINES, 4, 52, 3)), 2, VantageConfig::default(), 1);
+    let mut vantage = VantageLlc::new(
+        Box::new(ZArray::new(LINES, 4, 52, 3)),
+        2,
+        VantageConfig::default(),
+        1,
+    );
     vantage.set_targets(&[(LINES / 2) as u64, (LINES / 2) as u64]);
     let vantage_misses = victim_misses(&mut vantage, ws);
 
@@ -68,7 +76,10 @@ fn pipp_only_approximates_what_vantage_enforces() {
         vantage_misses <= pipp_misses,
         "Vantage ({vantage_misses}) should not leak more than PIPP ({pipp_misses})"
     );
-    assert!(vantage_misses < ws / 10, "Vantage leak too large: {vantage_misses}/{ws}");
+    assert!(
+        vantage_misses < ws / 10,
+        "Vantage leak too large: {vantage_misses}/{ws}"
+    );
 }
 
 #[test]
@@ -77,8 +88,12 @@ fn partitions_bound_sizes_even_with_32_uneven_partitions() {
     // lines, all churning; every actual size lands within slack + MSS of
     // its target.
     let parts = 32;
-    let mut llc =
-        VantageLlc::new(Box::new(ZArray::new(LINES, 4, 52, 4)), parts, VantageConfig::default(), 1);
+    let mut llc = VantageLlc::new(
+        Box::new(ZArray::new(LINES, 4, 52, 4)),
+        parts,
+        VantageConfig::default(),
+        1,
+    );
     // Targets 64..312 lines sum to 6016 ≤ capacity; the spare goes to the
     // last partition.
     let mut targets: Vec<u64> = (0..parts as u64).map(|p| 64 + p * 8).collect();

