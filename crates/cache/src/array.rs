@@ -50,18 +50,74 @@ pub type Frame = u32;
 /// Sentinel for "no frame".
 pub const INVALID_FRAME: Frame = u32::MAX;
 
+/// Sentinel marking an empty frame in the arrays' packed line stores.
+///
+/// Arrays store one raw `u64` per frame instead of a 16-byte
+/// `Option<LineAddr>`, halving the randomly probed footprint of the
+/// lookup/walk hot path; [`CacheArray::install`] rejects this address.
+pub(crate) const EMPTY_LINE: u64 = u64::MAX;
+
+/// Widest way count the arrays' lookup→walk probe memo covers (every
+/// configuration in the paper uses far fewer ways).
+pub(crate) const MAX_PROBE_WAYS: usize = 8;
+
 /// One node of a replacement-candidate walk.
+///
+/// Packed to 16 bytes (line and parent are stored sentinel-encoded rather
+/// than as `Option`s): the walk buffer is re-read by every stage of a
+/// replacement — candidate scan, victim selection, relocation — so halving
+/// the node size measurably cuts hot-path traffic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WalkNode {
+    /// The resident line, [`EMPTY_LINE`]-encoded.
+    line_raw: u64,
     /// The physical frame this candidate occupies.
     pub frame: Frame,
+    /// Parent index, [`INVALID_FRAME`]-encoded.
+    parent_raw: u32,
+}
+
+impl WalkNode {
+    /// Builds a node from sentinel-encoded parts (array internals).
+    #[inline]
+    pub(crate) fn from_raw(frame: Frame, line_raw: u64, parent_raw: u32) -> Self {
+        Self {
+            line_raw,
+            frame,
+            parent_raw,
+        }
+    }
+
+    /// Builds a node for `frame` holding `line`, expanded from `parent`.
+    #[inline]
+    pub fn new(frame: Frame, line: Option<LineAddr>, parent: Option<u32>) -> Self {
+        Self {
+            line_raw: line.map_or(EMPTY_LINE, |l| l.0),
+            frame,
+            parent_raw: parent.unwrap_or(INVALID_FRAME),
+        }
+    }
+
     /// The line currently stored there, or `None` for an empty frame.
-    pub line: Option<LineAddr>,
+    #[inline]
+    pub fn line(&self) -> Option<LineAddr> {
+        (self.line_raw != EMPTY_LINE).then_some(LineAddr(self.line_raw))
+    }
+
+    /// Whether the candidate frame holds a line.
+    #[inline]
+    pub fn is_occupied(&self) -> bool {
+        self.line_raw != EMPTY_LINE
+    }
+
     /// Index (into [`Walk::nodes`]) of the parent node, or `None` at depth 0.
     ///
     /// The parent chain leads to a depth-0 frame, which is one of the
     /// incoming line's own hash positions.
-    pub parent: Option<u32>,
+    #[inline]
+    pub fn parent(&self) -> Option<u32> {
+        (self.parent_raw != INVALID_FRAME).then_some(self.parent_raw)
+    }
 }
 
 /// A reusable buffer holding the candidates of one replacement.
@@ -105,7 +161,7 @@ impl Walk {
 
     /// Index of the first empty (invalid) candidate frame, if any.
     pub fn first_empty(&self) -> Option<usize> {
-        self.nodes.iter().position(|n| n.line.is_none())
+        self.nodes.iter().position(|n| !n.is_occupied())
     }
 
     /// Iterates over `(index, node)` pairs of candidates holding valid lines.
@@ -113,7 +169,7 @@ impl Walk {
         self.nodes
             .iter()
             .enumerate()
-            .filter(|(_, n)| n.line.is_some())
+            .filter(|(_, n)| n.is_occupied())
     }
 }
 
@@ -183,7 +239,7 @@ pub trait CacheArray {
 pub(crate) fn debug_check_walk(walk: &Walk, ways: usize) {
     debug_assert!(walk.nodes.len() <= u32::MAX as usize);
     for (i, n) in walk.nodes.iter().enumerate() {
-        match n.parent {
+        match n.parent() {
             None => debug_assert!(i < ways, "non-root node {i} lacks parent"),
             Some(p) => debug_assert!((p as usize) < i, "parent {p} not before child {i}"),
         }
@@ -206,21 +262,9 @@ mod tests {
     fn walk_helpers() {
         let mut w = Walk::with_capacity(4);
         assert!(w.is_empty());
-        w.nodes.push(WalkNode {
-            frame: 0,
-            line: Some(LineAddr(1)),
-            parent: None,
-        });
-        w.nodes.push(WalkNode {
-            frame: 1,
-            line: None,
-            parent: None,
-        });
-        w.nodes.push(WalkNode {
-            frame: 2,
-            line: Some(LineAddr(3)),
-            parent: Some(0),
-        });
+        w.nodes.push(WalkNode::new(0, Some(LineAddr(1)), None));
+        w.nodes.push(WalkNode::new(1, None, None));
+        w.nodes.push(WalkNode::new(2, Some(LineAddr(3)), Some(0)));
         assert_eq!(w.len(), 3);
         assert_eq!(w.first_empty(), Some(1));
         let occ: Vec<usize> = w.occupied().map(|(i, _)| i).collect();

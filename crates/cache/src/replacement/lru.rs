@@ -58,6 +58,13 @@ impl TsLru {
         self.current
     }
 
+    /// The current period in accesses per timestamp tick (instrumentation:
+    /// lets tests assert which size a domain's clock is tracking).
+    #[inline]
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
     /// Updates the period (e.g. when a Vantage partition's actual size
     /// changes). Takes effect on the next access.
     ///

@@ -1,6 +1,10 @@
 //! Set-associative cache arrays, with optional H3-hashed indexing.
 
-use crate::array::{debug_check_walk, CacheArray, Frame, LineAddr, Walk, WalkNode};
+use std::cell::Cell;
+
+use crate::array::{
+    debug_check_walk, CacheArray, Frame, LineAddr, Walk, WalkNode, EMPTY_LINE, INVALID_FRAME,
+};
 use crate::hash::H3Hasher;
 
 /// How a [`SetAssocArray`] maps addresses to sets.
@@ -31,11 +35,17 @@ enum Indexing {
 /// ```
 #[derive(Clone, Debug)]
 pub struct SetAssocArray {
-    lines: Vec<Option<LineAddr>>,
+    /// Packed line store, [`EMPTY_LINE`] marking free frames (one `u64` per
+    /// frame — see the note on [`EMPTY_LINE`]).
+    lines: Vec<u64>,
     num_sets: u32,
     ways: u32,
     indexing: Indexing,
     occupancy: usize,
+    /// Memo of the last missing lookup's set index, reused by `walk` for
+    /// the same address (the set of an address never changes).
+    probe_addr: Cell<u64>,
+    probe_set: Cell<u32>,
 }
 
 impl SetAssocArray {
@@ -65,11 +75,13 @@ impl SetAssocArray {
         );
         assert!(frames <= u32::MAX as usize, "frame count must fit in u32");
         Self {
-            lines: vec![None; frames],
+            lines: vec![EMPTY_LINE; frames],
             num_sets: (frames / ways) as u32,
             ways: ways as u32,
             indexing,
             occupancy: 0,
+            probe_addr: Cell::new(EMPTY_LINE),
+            probe_set: Cell::new(0),
         }
     }
 
@@ -106,22 +118,32 @@ impl CacheArray for SetAssocArray {
     }
 
     fn lookup(&self, addr: LineAddr) -> Option<Frame> {
+        if addr.0 == EMPTY_LINE {
+            return None; // reserved sentinel, never stored
+        }
         let set = self.set_of(addr);
-        (0..self.ways)
+        let hit = (0..self.ways)
             .map(|w| self.frame_of(set, w))
-            .find(|&f| self.lines[f as usize] == Some(addr))
+            .find(|&f| self.lines[f as usize] == addr.0);
+        if hit.is_none() {
+            self.probe_addr.set(addr.0);
+            self.probe_set.set(set);
+        }
+        hit
     }
 
     fn walk(&mut self, addr: LineAddr, walk: &mut Walk) {
         walk.clear();
-        let set = self.set_of(addr);
+        let set = if self.probe_addr.get() == addr.0 {
+            self.probe_set.get()
+        } else {
+            self.set_of(addr)
+        };
         for w in 0..self.ways {
             let frame = self.frame_of(set, w);
-            walk.nodes.push(WalkNode {
-                frame,
-                line: self.lines[frame as usize],
-                parent: None,
-            });
+            let line = self.lines[frame as usize];
+            walk.nodes
+                .push(WalkNode::from_raw(frame, line, INVALID_FRAME));
         }
         debug_check_walk(walk, self.ways as usize);
     }
@@ -133,24 +155,29 @@ impl CacheArray for SetAssocArray {
         victim: usize,
         _moves: &mut Vec<(Frame, Frame)>,
     ) -> Frame {
+        assert_ne!(
+            addr.0, EMPTY_LINE,
+            "line address u64::MAX is reserved as the empty-frame sentinel"
+        );
         let node = walk.nodes[victim];
-        debug_assert_eq!(self.lines[node.frame as usize], node.line, "stale walk");
-        if self.lines[node.frame as usize].is_none() {
+        debug_assert_eq!(self.occupant(node.frame), node.line(), "stale walk");
+        if self.lines[node.frame as usize] == EMPTY_LINE {
             self.occupancy += 1;
         }
-        self.lines[node.frame as usize] = Some(addr);
+        self.lines[node.frame as usize] = addr.0;
         node.frame
     }
 
     fn invalidate(&mut self, addr: LineAddr) -> Option<Frame> {
         let frame = self.lookup(addr)?;
-        self.lines[frame as usize] = None;
+        self.lines[frame as usize] = EMPTY_LINE;
         self.occupancy -= 1;
         Some(frame)
     }
 
     fn occupant(&self, frame: Frame) -> Option<LineAddr> {
-        self.lines[frame as usize]
+        let line = self.lines[frame as usize];
+        (line != EMPTY_LINE).then_some(LineAddr(line))
     }
 
     fn occupancy(&self) -> usize {
@@ -222,7 +249,7 @@ mod tests {
         let newcomer = fill_addr(8);
         a.walk(newcomer, &mut walk);
         assert!(walk.first_empty().is_none());
-        let evicted = walk.nodes[2].line.unwrap();
+        let evicted = walk.nodes[2].line().unwrap();
         a.install(newcomer, &walk, 2, &mut moves);
         assert_eq!(a.lookup(evicted), None);
         assert!(a.lookup(newcomer).is_some());

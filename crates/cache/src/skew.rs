@@ -6,7 +6,12 @@
 //! which for well-hashed ways is statistically close to a uniform random
 //! sample of `W` lines — the property Vantage's analysis builds on.
 
-use crate::array::{debug_check_walk, CacheArray, Frame, LineAddr, Walk, WalkNode};
+use std::cell::Cell;
+
+use crate::array::{
+    debug_check_walk, CacheArray, Frame, LineAddr, Walk, WalkNode, EMPTY_LINE, INVALID_FRAME,
+    MAX_PROBE_WAYS,
+};
 use crate::hash::H3Hasher;
 
 /// A skew-associative array: `ways` banks of `frames/ways` frames, each bank
@@ -24,10 +29,16 @@ use crate::hash::H3Hasher;
 /// ```
 #[derive(Clone, Debug)]
 pub struct SkewArray {
-    lines: Vec<Option<LineAddr>>,
+    /// Packed line store, [`EMPTY_LINE`] marking free frames (one `u64` per
+    /// frame — see the note on [`EMPTY_LINE`]).
+    lines: Vec<u64>,
     hashers: Vec<H3Hasher>,
     bank_size: u32,
     occupancy: usize,
+    /// Memo of the last missing lookup's frames, reused by `walk` for the
+    /// same address (hash positions never change, so it cannot go stale).
+    probe_addr: Cell<u64>,
+    probe_frames: Cell<[Frame; MAX_PROBE_WAYS]>,
 }
 
 impl SkewArray {
@@ -48,10 +59,12 @@ impl SkewArray {
             .map(|w| H3Hasher::new(seed.wrapping_add(w as u64 * 0x5851_F42D)))
             .collect();
         Self {
-            lines: vec![None; frames],
+            lines: vec![EMPTY_LINE; frames],
             hashers,
             bank_size: (frames / ways) as u32,
             occupancy: 0,
+            probe_addr: Cell::new(EMPTY_LINE),
+            probe_frames: Cell::new([INVALID_FRAME; MAX_PROBE_WAYS]),
         }
     }
 
@@ -76,24 +89,46 @@ impl CacheArray for SkewArray {
     }
 
     fn lookup(&self, addr: LineAddr) -> Option<Frame> {
-        (0..self.hashers.len())
-            .map(|w| self.frame_in_way(addr, w))
-            .find(|&f| self.lines[f as usize] == Some(addr))
+        if addr.0 == EMPTY_LINE {
+            return None; // reserved sentinel, never stored
+        }
+        let ways = self.hashers.len();
+        if ways <= MAX_PROBE_WAYS {
+            let mut frames = [INVALID_FRAME; MAX_PROBE_WAYS];
+            for (w, slot) in frames.iter_mut().enumerate().take(ways) {
+                let f = self.frame_in_way(addr, w);
+                *slot = f;
+                if self.lines[f as usize] == addr.0 {
+                    return Some(f);
+                }
+            }
+            self.probe_addr.set(addr.0);
+            self.probe_frames.set(frames);
+            None
+        } else {
+            (0..ways)
+                .map(|w| self.frame_in_way(addr, w))
+                .find(|&f| self.lines[f as usize] == addr.0)
+        }
     }
 
     fn walk(&mut self, addr: LineAddr, walk: &mut Walk) {
         walk.clear();
-        for w in 0..self.hashers.len() {
-            let frame = self.frame_in_way(addr, w);
+        let ways = self.hashers.len();
+        let memo = (ways <= MAX_PROBE_WAYS && self.probe_addr.get() == addr.0)
+            .then(|| self.probe_frames.get());
+        for w in 0..ways {
+            let frame = match memo {
+                Some(frames) => frames[w],
+                None => self.frame_in_way(addr, w),
+            };
             // Different ways index disjoint banks, so frames never collide
             // across ways; no dedup needed.
-            walk.nodes.push(WalkNode {
-                frame,
-                line: self.lines[frame as usize],
-                parent: None,
-            });
+            let line = self.lines[frame as usize];
+            walk.nodes
+                .push(WalkNode::from_raw(frame, line, INVALID_FRAME));
         }
-        debug_check_walk(walk, self.hashers.len());
+        debug_check_walk(walk, ways);
     }
 
     fn install(
@@ -103,24 +138,29 @@ impl CacheArray for SkewArray {
         victim: usize,
         _moves: &mut Vec<(Frame, Frame)>,
     ) -> Frame {
+        assert_ne!(
+            addr.0, EMPTY_LINE,
+            "line address u64::MAX is reserved as the empty-frame sentinel"
+        );
         let node = walk.nodes[victim];
-        debug_assert_eq!(self.lines[node.frame as usize], node.line, "stale walk");
-        if self.lines[node.frame as usize].is_none() {
+        debug_assert_eq!(self.occupant(node.frame), node.line(), "stale walk");
+        if self.lines[node.frame as usize] == EMPTY_LINE {
             self.occupancy += 1;
         }
-        self.lines[node.frame as usize] = Some(addr);
+        self.lines[node.frame as usize] = addr.0;
         node.frame
     }
 
     fn invalidate(&mut self, addr: LineAddr) -> Option<Frame> {
         let frame = self.lookup(addr)?;
-        self.lines[frame as usize] = None;
+        self.lines[frame as usize] = EMPTY_LINE;
         self.occupancy -= 1;
         Some(frame)
     }
 
     fn occupant(&self, frame: Frame) -> Option<LineAddr> {
-        self.lines[frame as usize]
+        let line = self.lines[frame as usize];
+        (line != EMPTY_LINE).then_some(LineAddr(line))
     }
 
     fn occupancy(&self) -> usize {

@@ -17,7 +17,12 @@
 //! `FA(x) = x^R` regardless of workload, which is the property Vantage's
 //! analytical models are built on (paper §3.2).
 
-use crate::array::{debug_check_walk, CacheArray, Frame, LineAddr, Walk, WalkNode};
+use std::cell::Cell;
+
+use crate::array::{
+    debug_check_walk, CacheArray, Frame, LineAddr, Walk, WalkNode, EMPTY_LINE, INVALID_FRAME,
+    MAX_PROBE_WAYS,
+};
 use crate::hash::H3Hasher;
 
 /// A zcache array: `ways` hashed banks with a multi-level candidate walk.
@@ -37,15 +42,36 @@ use crate::hash::H3Hasher;
 /// ```
 #[derive(Clone, Debug)]
 pub struct ZArray {
-    lines: Vec<Option<LineAddr>>,
+    /// Packed line store, [`EMPTY_LINE`] marking free frames: one `u64` per
+    /// frame instead of a 16-byte `Option<LineAddr>` halves the randomly
+    /// probed footprint, which is what walk throughput is bound by.
+    lines: Vec<u64>,
     hashers: Vec<H3Hasher>,
     bank_size: u32,
     max_candidates: usize,
     occupancy: usize,
     /// Frame-dedup scratch: `seen[f] == epoch` means frame `f` is already in
-    /// the current walk. Epoch-stamping avoids clearing per walk.
-    seen: Vec<u32>,
-    epoch: u32,
+    /// the current walk. Epoch-stamping avoids clearing per walk; one byte
+    /// per frame keeps the scratch cache-resident at the cost of a bulk
+    /// clear every 255 walks.
+    seen: Vec<u8>,
+    epoch: u8,
+    /// Memo of the last missing lookup: `walk` for the same address reuses
+    /// the depth-0 frames the lookup already hashed. An address's hash
+    /// positions never change, so the memo cannot go stale.
+    probe_addr: Cell<u64>,
+    probe_frames: Cell<[Frame; MAX_PROBE_WAYS]>,
+    /// Per-frame memo of the resident line's bank-local bucket in *every*
+    /// way (`pos[frame * ways + way]`), maintained on install and mirrored
+    /// along relocation chains. The BFS expansion reads a parent line's
+    /// alternative positions from one contiguous load here instead of
+    /// recomputing `W - 1` H3 hashes (8 table lookups each) per expanded
+    /// node — a line's hash positions never change, so the memo cannot go
+    /// stale. Empty when buckets do not fit in a `u16` (see `pos_ok`).
+    pos: Vec<u16>,
+    /// Whether `pos` is maintained (`bank_size <= 65536`); when false the
+    /// walk falls back to hashing. Every paper configuration fits.
+    pos_ok: bool,
 }
 
 impl ZArray {
@@ -71,14 +97,41 @@ impl ZArray {
         let hashers = (0..ways)
             .map(|w| H3Hasher::new(seed.wrapping_add(w as u64 * 0x9E37_79B9)))
             .collect();
+        let bank_size = (frames / ways) as u32;
+        let pos_ok = bank_size <= 1 << 16;
         Self {
-            lines: vec![None; frames],
+            lines: vec![EMPTY_LINE; frames],
             hashers,
-            bank_size: (frames / ways) as u32,
+            bank_size,
             max_candidates,
             occupancy: 0,
             seen: vec![0; frames],
             epoch: 0,
+            probe_addr: Cell::new(EMPTY_LINE),
+            probe_frames: Cell::new([INVALID_FRAME; MAX_PROBE_WAYS]),
+            pos: if pos_ok {
+                vec![0; frames * ways]
+            } else {
+                Vec::new()
+            },
+            pos_ok,
+        }
+    }
+
+    /// Records `addr`'s bank-local bucket in every way into the position
+    /// memo for the frame it now occupies, reusing the probe memo's hashes
+    /// when they cover `addr`.
+    fn memo_positions(&mut self, addr: LineAddr, frame: Frame) {
+        let ways = self.hashers.len();
+        let base = frame as usize * ways;
+        let memo = (ways <= MAX_PROBE_WAYS && self.probe_addr.get() == addr.0)
+            .then(|| self.probe_frames.get());
+        for w in 0..ways {
+            let f = match memo {
+                Some(frames) => frames[w],
+                None => self.frame_in_way(addr, w),
+            };
+            self.pos[base + w] = (f - w as u32 * self.bank_size) as u16;
         }
     }
 
@@ -109,64 +162,92 @@ impl CacheArray for ZArray {
     }
 
     fn lookup(&self, addr: LineAddr) -> Option<Frame> {
-        (0..self.hashers.len())
-            .map(|w| self.frame_in_way(addr, w))
-            .find(|&f| self.lines[f as usize] == Some(addr))
+        if addr.0 == EMPTY_LINE {
+            return None; // reserved sentinel, never stored
+        }
+        let ways = self.hashers.len();
+        if ways <= MAX_PROBE_WAYS {
+            let mut frames = [INVALID_FRAME; MAX_PROBE_WAYS];
+            for (w, slot) in frames.iter_mut().enumerate().take(ways) {
+                let f = self.frame_in_way(addr, w);
+                *slot = f;
+                if self.lines[f as usize] == addr.0 {
+                    return Some(f);
+                }
+            }
+            // Miss: every way was hashed, so memoize for the walk that the
+            // replacement process is about to run for this address.
+            self.probe_addr.set(addr.0);
+            self.probe_frames.set(frames);
+            None
+        } else {
+            (0..ways)
+                .map(|w| self.frame_in_way(addr, w))
+                .find(|&f| self.lines[f as usize] == addr.0)
+        }
     }
 
     fn walk(&mut self, addr: LineAddr, walk: &mut Walk) {
         walk.clear();
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
-            // Extremely rare wrap: reset stamps so stale epochs cannot match.
+            // Rare wrap (every 255 walks): reset stamps so stale epochs
+            // cannot match.
             self.seen.fill(0);
             self.epoch = 1;
         }
         let ways = self.hashers.len();
 
         // Depth 0: the incoming line's own positions (distinct banks, so no
-        // dedup needed among them). An empty frame ends the walk early — the
-        // replacement process would use it directly.
+        // dedup needed among them), reusing the missing lookup's hashes via
+        // the probe memo when it matches. An empty frame ends the walk
+        // early — the replacement process would use it directly.
+        let memo = (ways <= MAX_PROBE_WAYS && self.probe_addr.get() == addr.0)
+            .then(|| self.probe_frames.get());
         for w in 0..ways {
-            let frame = self.frame_in_way(addr, w);
+            let frame = match memo {
+                Some(frames) => frames[w],
+                None => self.frame_in_way(addr, w),
+            };
             self.seen[frame as usize] = self.epoch;
             let line = self.lines[frame as usize];
-            walk.nodes.push(WalkNode {
-                frame,
-                line,
-                parent: None,
-            });
-            if line.is_none() {
+            walk.nodes
+                .push(WalkNode::from_raw(frame, line, INVALID_FRAME));
+            if line == EMPTY_LINE {
                 return;
             }
         }
 
         // BFS expansion: each occupied node contributes its line's
-        // alternative positions in the other ways.
+        // alternative positions in the other ways — read from the position
+        // memo (one contiguous load per parent) when maintained, falling
+        // back to `W - 1` H3 hashes when not.
         let mut cursor = 0;
         while walk.nodes.len() < self.max_candidates && cursor < walk.nodes.len() {
             let parent = walk.nodes[cursor];
-            let line = match parent.line {
+            let line = match parent.line() {
                 Some(l) => l,
                 None => break, // unreachable: empty nodes end the walk below
             };
             let parent_way = self.way_of(parent.frame);
+            let base = parent.frame as usize * ways;
             for w in 0..ways {
                 if w == parent_way {
                     continue;
                 }
-                let frame = self.frame_in_way(line, w);
+                let frame = if self.pos_ok {
+                    w as u32 * self.bank_size + u32::from(self.pos[base + w])
+                } else {
+                    self.frame_in_way(line, w)
+                };
                 if self.seen[frame as usize] == self.epoch {
                     continue; // duplicate frame, already a candidate
                 }
                 self.seen[frame as usize] = self.epoch;
                 let occupant = self.lines[frame as usize];
-                walk.nodes.push(WalkNode {
-                    frame,
-                    line: occupant,
-                    parent: Some(cursor as u32),
-                });
-                if occupant.is_none() || walk.nodes.len() == self.max_candidates {
+                walk.nodes
+                    .push(WalkNode::from_raw(frame, occupant, cursor as u32));
+                if occupant == EMPTY_LINE || walk.nodes.len() == self.max_candidates {
                     debug_check_walk(walk, ways);
                     return;
                 }
@@ -183,45 +264,60 @@ impl CacheArray for ZArray {
         victim: usize,
         moves: &mut Vec<(Frame, Frame)>,
     ) -> Frame {
-        // Collect the parent chain from the victim up to a depth-0 node.
-        let mut chain: Vec<usize> = vec![victim];
-        while let Some(p) = walk.nodes[*chain.last().expect("chain non-empty")].parent {
-            chain.push(p as usize);
-        }
-
+        assert_ne!(
+            addr.0, EMPTY_LINE,
+            "line address u64::MAX is reserved as the empty-frame sentinel"
+        );
         let victim_node = walk.nodes[victim];
         debug_assert_eq!(
-            self.lines[victim_node.frame as usize], victim_node.line,
+            self.occupant(victim_node.frame),
+            victim_node.line(),
             "stale walk passed to install"
         );
-        if victim_node.line.is_none() {
+        if !victim_node.is_occupied() {
             self.occupancy += 1;
         }
 
-        // Relocate along the chain: each node's frame receives its parent's
-        // line, freeing the depth-0 frame for the incoming line. The victim
-        // end moves first, so every destination frame has just been vacated.
-        for k in 0..chain.len() - 1 {
-            let to = walk.nodes[chain[k]].frame;
-            let from = walk.nodes[chain[k + 1]].frame;
+        // Relocate from the victim up the parent chain: each node's frame
+        // receives its parent's line, freeing a depth-0 frame for the
+        // incoming line. The victim end moves first, so every destination
+        // frame has just been vacated — the chain is walked directly, with
+        // no per-install allocation.
+        let ways = self.hashers.len();
+        let mut cur = victim;
+        while let Some(p) = walk.nodes[cur].parent() {
+            let to = walk.nodes[cur].frame;
+            let from = walk.nodes[p as usize].frame;
             self.lines[to as usize] = self.lines[from as usize];
+            if self.pos_ok {
+                // A relocated line keeps its hash positions; move its memo
+                // entry along with it.
+                self.pos.copy_within(
+                    from as usize * ways..(from as usize + 1) * ways,
+                    to as usize * ways,
+                );
+            }
             moves.push((from, to));
+            cur = p as usize;
         }
-
-        let root = walk.nodes[*chain.last().expect("chain non-empty")].frame;
-        self.lines[root as usize] = Some(addr);
+        let root = walk.nodes[cur].frame;
+        self.lines[root as usize] = addr.0;
+        if self.pos_ok {
+            self.memo_positions(addr, root);
+        }
         root
     }
 
     fn invalidate(&mut self, addr: LineAddr) -> Option<Frame> {
         let frame = self.lookup(addr)?;
-        self.lines[frame as usize] = None;
+        self.lines[frame as usize] = EMPTY_LINE;
         self.occupancy -= 1;
         Some(frame)
     }
 
     fn occupant(&self, frame: Frame) -> Option<LineAddr> {
-        self.lines[frame as usize]
+        let line = self.lines[frame as usize];
+        (line != EMPTY_LINE).then_some(LineAddr(line))
     }
 
     fn occupancy(&self) -> usize {
@@ -238,9 +334,9 @@ mod tests {
     /// Checks the placement invariant: every line sits in one of the frames
     /// its hash functions map it to.
     fn check_placement(a: &ZArray) {
-        for (f, line) in a.lines.iter().enumerate() {
-            if let Some(addr) = line {
-                let ok = (0..a.ways()).any(|w| a.frame_in_way(*addr, w) == f as Frame);
+        for f in 0..a.num_frames() {
+            if let Some(addr) = a.occupant(f as Frame) {
+                let ok = (0..a.ways()).any(|w| a.frame_in_way(addr, w) == f as Frame);
                 assert!(ok, "line {addr} at frame {f} violates placement invariant");
             }
         }
@@ -297,7 +393,7 @@ mod tests {
         // Depth of each node via parent chain.
         let mut depth = vec![0usize; walk.len()];
         for (i, n) in walk.nodes.iter().enumerate() {
-            if let Some(p) = n.parent {
+            if let Some(p) = n.parent() {
                 depth[i] = depth[p as usize] + 1;
             }
         }
@@ -316,6 +412,26 @@ mod tests {
             depth.windows(2).all(|w| w[0] <= w[1]),
             "walk is breadth-first"
         );
+    }
+
+    #[test]
+    fn position_memo_matches_hashes_after_relocations() {
+        let mut a = ZArray::new(1024, 4, 52, 21);
+        let mut rng = SmallRng::seed_from_u64(5);
+        fill(&mut a, 20_000, &mut rng);
+        assert!(a.pos_ok);
+        for f in 0..a.num_frames() {
+            if let Some(addr) = a.occupant(f as Frame) {
+                for w in 0..a.ways() {
+                    let memo = w as u32 * a.bank_size + u32::from(a.pos[f * a.ways() + w]);
+                    assert_eq!(
+                        memo,
+                        a.frame_in_way(addr, w),
+                        "stale position memo for frame {f} way {w}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -338,7 +454,7 @@ mod tests {
         // Pick the deepest candidate.
         let mut depth = vec![0usize; walk.len()];
         for (i, n) in walk.nodes.iter().enumerate() {
-            if let Some(p) = n.parent {
+            if let Some(p) = n.parent() {
                 depth[i] = depth[p as usize] + 1;
             }
         }
@@ -348,8 +464,8 @@ mod tests {
             // remain findable afterwards.
             let mut v = Vec::new();
             let mut i = victim;
-            while let Some(p) = walk.nodes[i].parent {
-                v.push(walk.nodes[p as usize].line.unwrap());
+            while let Some(p) = walk.nodes[i].parent() {
+                v.push(walk.nodes[p as usize].line().unwrap());
                 i = p as usize;
             }
             v
@@ -370,7 +486,7 @@ mod tests {
         a.walk(LineAddr(1), &mut walk);
         // Cold array: the very first candidate is empty.
         assert_eq!(walk.len(), 1);
-        assert!(walk.nodes[0].line.is_none());
+        assert!(walk.nodes[0].line().is_none());
     }
 
     #[test]

@@ -198,26 +198,39 @@ impl PartitionState {
 
     /// Whether a managed line of this partition stamped `ts` should be
     /// demoted under setpoint-based demotions (LRU ranking).
+    ///
+    /// Evaluated without short-circuiting (`&`, not `&&`): at equilibrium
+    /// `actual` hovers right at `target`, so a branch on that comparison
+    /// alone is data-dependent noise, while the combined demote outcome
+    /// (a few per walk) predicts well.
     #[inline]
     pub fn should_demote_ts(&self, ts: u8) -> bool {
-        self.actual > self.target && self.lru.age(ts) > self.keep_window()
+        (self.actual > self.target) & (self.lru.age(ts) > self.keep_window())
     }
 
     /// Whether a managed line with re-reference value `rrpv` should be
-    /// demoted under setpoint-based demotions (RRIP ranking).
+    /// demoted under setpoint-based demotions (RRIP ranking); evaluated
+    /// without short-circuiting for the same reason as
+    /// [`Self::should_demote_ts`].
     #[inline]
     pub fn should_demote_rrpv(&self, rrpv: u8) -> bool {
-        self.actual > self.target && rrpv >= self.setpoint_rrpv
+        (self.actual > self.target) & (rrpv >= self.setpoint_rrpv)
     }
 
-    /// Records one access (hit or insertion): re-derives the timestamp
-    /// period from the actual size and advances the setpoint in lockstep
-    /// when the current timestamp advances, keeping the window constant.
+    /// Records one access (hit or insertion): advances the setpoint in
+    /// lockstep when the current timestamp advances, keeping the window
+    /// constant, and re-derives the timestamp period from the actual size.
     /// Returns the timestamp to stamp the line with.
+    ///
+    /// The period is only re-derived at timestamp advances (once per
+    /// `period` accesses) rather than on every access: the `size/16` rule
+    /// then lags a size change by at most one tick, which is within the
+    /// coarse-timestamp scheme's own resolution, and the access hot path
+    /// sheds a division.
     pub fn on_access(&mut self) -> u8 {
-        self.lru.set_period_for_size(self.actual.max(16));
         if self.lru.on_access() {
             self.setpoint = self.setpoint.wrapping_add(1);
+            self.lru.set_period_for_size(self.actual.max(16));
         }
         self.lru.current()
     }
@@ -226,14 +239,26 @@ impl PartitionState {
     /// Every `c` candidates, compares the demotion count against the
     /// thresholds table and returns the feedback that was applied to the
     /// setpoint; returns `None` between adjustment points.
+    ///
+    /// Split into an inlinable counting fast path and a [cold] adjustment
+    /// path: the fast path (two increments and a compare) runs once per
+    /// replacement candidate — the single hottest call site in the
+    /// controller — while the feedback fires once per `c = 256` candidates.
+    #[inline]
     pub fn note_candidate(&mut self, demoted: bool, c: u32, max_rrpv: u8) -> Option<Feedback> {
         self.cands_seen += 1;
-        if demoted {
-            self.cands_demoted += 1;
-        }
+        self.cands_demoted += u32::from(demoted);
         if self.cands_seen < c {
             return None;
         }
+        Some(self.adjust_setpoint(max_rrpv))
+    }
+
+    /// The every-`c`-candidates feedback step of [`Self::note_candidate`]:
+    /// compares the metered demotion count against the thresholds table,
+    /// nudges the setpoint, and resets the meters.
+    #[cold]
+    fn adjust_setpoint(&mut self, max_rrpv: u8) -> Feedback {
         // At or below target the aperture is 0, so the threshold is 0: any
         // demotions counted while transiently over target are "too many".
         // Keeping the comparison symmetric here is what stops the keep
@@ -268,7 +293,7 @@ impl PartitionState {
         }
         self.cands_seen = 0;
         self.cands_demoted = 0;
-        Some(fb)
+        fb
     }
 }
 

@@ -88,6 +88,32 @@ struct Tag {
     ts: u8,
 }
 
+/// The demotion rule for one miss walk, resolved once per walk so the
+/// candidate loop dispatches on a single enum instead of re-matching
+/// `DemotionMode` × `RankMode` for every one of the (up to 52) candidates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DemoteRule {
+    /// Practical controller, LRU ranks: demote outside the keep window.
+    SetpointLru,
+    /// Practical controller, RRIP ranks: demote at/above the setpoint RRPV.
+    SetpointRrip,
+    /// Idealized controller: demote by exact rank against the aperture.
+    PerfectAperture,
+    /// Fig. 2b strawman: at most one demotion per walk, picked after the
+    /// scan.
+    ExactlyOne,
+}
+
+/// One partition's keep window (`CurrentTS`, `CurrentTS - SetpointTS`),
+/// snapshotted once per miss walk. A mid-walk setpoint adjustment thus
+/// takes effect from the next walk — adjustments happen at most once per
+/// `c = 256` candidates, well inside the feedback loop's time constant.
+#[derive(Clone, Copy, Debug, Default)]
+struct KeepWin {
+    current: u8,
+    window: u8,
+}
+
 /// A Vantage-partitioned last-level cache over any [`CacheArray`].
 ///
 /// # Example
@@ -118,10 +144,19 @@ pub struct VantageLlc {
     /// perfect-aperture controller and priority instrumentation.
     hists: Vec<TsHistogram>,
     um_hist: TsHistogram,
+    /// Whether the timestamp histograms are maintained on the access path.
+    /// Opt-in: only the idealized perfect-aperture controller and the
+    /// Fig. 8 priority probe read them, so the practical-controller hot
+    /// path skips the per-hit/per-demotion/per-eviction bookkeeping
+    /// entirely (real hardware keeps no such structure).
+    hist_track: bool,
     stats: LlcStats,
     vstats: VantageStats,
     walk: Walk,
     moves: Vec<(Frame, Frame)>,
+    /// Per-walk keep-window snapshots (SetpointLru rule), reused across
+    /// misses to stay allocation-free.
+    win: Vec<KeepWin>,
     probe: bool,
     samples: Vec<PrioritySample>,
     accesses: u64,
@@ -202,6 +237,8 @@ impl VantageLlc {
             }
         };
         let frames = array.num_frames();
+        let hist_track =
+            matches!(cfg.rank, RankMode::Lru) && cfg.demotion_mode == DemotionMode::PerfectAperture;
         let parts = (0..partitions)
             .map(|_| {
                 PartitionState::new(
@@ -226,10 +263,12 @@ impl VantageLlc {
             rrip,
             hists: (0..partitions).map(|_| TsHistogram::new()).collect(),
             um_hist: TsHistogram::new(),
+            hist_track,
             stats: LlcStats::new(partitions),
             vstats: VantageStats::default(),
             walk: Walk::with_capacity(64),
             moves: Vec::with_capacity(8),
+            win: Vec::with_capacity(partitions),
             probe: false,
             samples: Vec::new(),
             accesses: 0,
@@ -267,6 +306,10 @@ impl VantageLlc {
 
     /// Enables Fig. 8-style demotion-priority sampling (LRU ranking only).
     ///
+    /// Histogram maintenance is opt-in (the practical controller never
+    /// reads it), so enabling the probe mid-run rebuilds the histograms
+    /// from the tag array before turning tracking on.
+    ///
     /// # Panics
     ///
     /// Panics under RRIP ranking, where timestamp ranks are undefined.
@@ -276,6 +319,35 @@ impl VantageLlc {
             "probe requires LRU ranking"
         );
         self.probe = true;
+        if !self.hist_track {
+            self.hist_track = true;
+            self.rebuild_hists();
+        }
+    }
+
+    /// Whether the timestamp histograms are being maintained (idealized
+    /// controller or an enabled priority probe).
+    pub fn histograms_tracked(&self) -> bool {
+        self.hist_track
+    }
+
+    /// Rebuilds the instrumentation histograms from a full tag scan.
+    fn rebuild_hists(&mut self) {
+        for h in &mut self.hists {
+            *h = TsHistogram::new();
+        }
+        self.um_hist = TsHistogram::new();
+        for f in 0..self.meta.len() {
+            if self.array.occupant(f as Frame).is_none() {
+                continue;
+            }
+            let tag = self.meta[f];
+            if tag.part == UNMANAGED {
+                self.um_hist.add(tag.ts);
+            } else if (tag.part as usize) < self.hists.len() {
+                self.hists[tag.part as usize].add(tag.ts);
+            }
+        }
     }
 
     /// Drains accumulated demotion-priority samples.
@@ -335,7 +407,15 @@ impl VantageLlc {
             managed_total += scaled;
         }
         self.um_target = cap - managed_total;
-        self.um_lru.set_period_for_size(self.um_target.max(16));
+        // Seed the unmanaged clock from the region's actual size when it is
+        // populated — the clock keeps tracking `um_size` at every tick (see
+        // `um_stamp`) — and from the target only as a cold-start estimate.
+        let clock_size = if self.um_size > 0 {
+            self.um_size
+        } else {
+            self.um_target
+        };
+        self.um_lru.set_period_for_size(clock_size.max(16));
         Ok(())
     }
 
@@ -465,6 +545,7 @@ impl VantageLlc {
     /// access-path fallbacks to repair.
     pub fn inject(&mut self, fault: &Fault) -> bool {
         let lru = self.is_lru();
+        let track = self.hist_track;
         let nparts = self.parts.len();
         match *fault {
             Fault::TagPartFlip { frame_sel, bit } => {
@@ -473,7 +554,7 @@ impl VantageLlc {
                 };
                 let old = self.meta[f];
                 let new_part = old.part ^ (1 << (bit % 16));
-                if lru {
+                if track {
                     self.hist_remove(old.part, old.ts);
                     self.hist_add(new_part, old.ts);
                 }
@@ -485,7 +566,7 @@ impl VantageLlc {
                 };
                 let old = self.meta[f];
                 let new_ts = old.ts ^ (1 << (bit % 8));
-                if lru {
+                if track {
                     self.hist_remove(old.part, old.ts);
                     self.hist_add(old.part, new_ts);
                 }
@@ -525,7 +606,8 @@ impl VantageLlc {
     /// * tags with out-of-range partition IDs are re-tagged [`UNMANAGED`]
     ///   (the line stays resident and is evicted or promoted normally);
     /// * every size register (`ActualSize`, unmanaged size) is recomputed
-    ///   from the tag scan, and the instrumentation histograms are rebuilt;
+    ///   from the tag scan, and the instrumentation histograms (when
+    ///   tracked, see [`Self::histograms_tracked`]) are rebuilt;
     /// * candidate meters outside `demoted <= seen < c` are reset to 0;
     /// * setpoints whose keep window is wedged fully closed (0) or fully
     ///   open (255) are re-centered to the constructor's half-window, and
@@ -537,8 +619,6 @@ impl VantageLlc {
         let mut report = ScrubReport::default();
         let mut sizes = vec![0u64; self.parts.len()];
         let mut um = 0u64;
-        let mut hists = vec![TsHistogram::new(); self.parts.len()];
-        let mut um_hist = TsHistogram::new();
         for f in 0..self.meta.len() {
             if self.array.occupant(f as Frame).is_none() {
                 continue;
@@ -551,10 +631,8 @@ impl VantageLlc {
             let tag = self.meta[f];
             if tag.part == UNMANAGED {
                 um += 1;
-                um_hist.add(tag.ts);
             } else {
                 sizes[tag.part as usize] += 1;
-                hists[tag.part as usize].add(tag.ts);
             }
         }
         if um != self.um_size {
@@ -567,9 +645,10 @@ impl VantageLlc {
                 report.size_corrections += 1;
             }
         }
-        if lru {
-            self.hists = hists;
-            self.um_hist = um_hist;
+        if self.hist_track {
+            // Only rebuilt when something reads them (idealized controller
+            // or an enabled probe); the practical controller keeps none.
+            self.rebuild_hists();
         }
         for st in &mut self.parts {
             if st.cands_seen >= self.cfg.cands_period || st.cands_demoted > st.cands_seen {
@@ -591,14 +670,46 @@ impl VantageLlc {
         report
     }
 
-    /// Maps a raw frame selector to an occupied frame: reduce modulo the
-    /// frame count, then scan forward (wrapping) to the next occupied slot.
+    /// Maps a raw frame selector to an occupied frame, uniformly: the
+    /// selector is reduced modulo the occupancy and the k-th occupied
+    /// frame (in frame order) is chosen, so every resident line is
+    /// equally likely. (Reducing modulo the frame count and scanning
+    /// forward to the next occupied slot would over-sample frames that
+    /// follow runs of empties.) Counts by scanning rather than trusting
+    /// the size registers, which fault injection may have corrupted.
     fn pick_occupied(&self, frame_sel: u64) -> Option<usize> {
-        let n = self.meta.len();
-        let start = (frame_sel % n as u64) as usize;
-        (0..n)
-            .map(|i| (start + i) % n)
-            .find(|&f| self.array.occupant(f as Frame).is_some())
+        let occupied = (0..self.meta.len())
+            .filter(|&f| self.array.occupant(f as Frame).is_some())
+            .count();
+        if occupied == 0 {
+            return None;
+        }
+        let k = (frame_sel % occupied as u64) as usize;
+        (0..self.meta.len())
+            .filter(|&f| self.array.occupant(f as Frame).is_some())
+            .nth(k)
+    }
+
+    /// The unmanaged region's current timestamp period, in demotions per
+    /// tick (instrumentation: asserts which size the region's clock
+    /// tracks).
+    pub fn unmanaged_ts_period(&self) -> u32 {
+        self.um_lru.period()
+    }
+
+    /// Stamps one line into the unmanaged region's timestamp domain and
+    /// returns the timestamp to tag it with.
+    ///
+    /// The period follows the region's *actual* size (the `size/16` rule
+    /// applied to `um_size`, matching how partitions derive theirs from
+    /// `ActualSize`), re-derived only when the timestamp advances — the
+    /// per-demotion path carries no division and the clock tracks what
+    /// the region really holds rather than its target.
+    fn um_stamp(&mut self) -> u8 {
+        if self.um_lru.on_access() {
+            self.um_lru.set_period_for_size(self.um_size.max(16));
+        }
+        self.um_lru.current()
     }
 
     fn hist_remove(&mut self, part: u16, ts: u8) {
@@ -626,13 +737,14 @@ impl VantageLlc {
     fn hit(&mut self, part: usize, frame: Frame) {
         let tag = self.meta[frame as usize];
         let lru = self.is_lru();
+        let track = self.hist_track;
         if tag.part == UNMANAGED {
             // Promotion: the line rejoins the accessing partition. The
             // saturating decrement tolerates a corrupted unmanaged-size
             // register (scrub recomputes the true value).
             self.vstats.promotions += 1;
             self.um_size = self.um_size.saturating_sub(1);
-            if lru {
+            if track {
                 self.um_hist.remove(tag.ts);
             }
             self.parts[part].actual += 1;
@@ -645,7 +757,7 @@ impl VantageLlc {
             self.parts[part].actual += 1;
         } else {
             let q = tag.part as usize;
-            if lru {
+            if track {
                 self.hists[q].remove(tag.ts);
             }
             if q != part {
@@ -656,7 +768,9 @@ impl VantageLlc {
         }
         let ts = if lru {
             let t = self.parts[part].on_access();
-            self.hists[part].add(t);
+            if track {
+                self.hists[part].add(t);
+            }
             t
         } else {
             0 // RRIP hit promotion: near-immediate re-reference
@@ -667,32 +781,9 @@ impl VantageLlc {
         };
     }
 
-    /// Decides whether the managed candidate `(q, ts)` should be demoted.
-    fn demotes(&self, q: usize, ts: u8) -> bool {
-        let st = &self.parts[q];
-        match (self.cfg.demotion_mode, self.cfg.rank) {
-            (DemotionMode::Setpoint, RankMode::Lru) => st.should_demote_ts(ts),
-            (DemotionMode::Setpoint, RankMode::Rrip { .. }) => st.should_demote_rrpv(ts),
-            (DemotionMode::PerfectAperture, RankMode::Lru) => {
-                if st.actual <= st.target {
-                    return false;
-                }
-                let aperture = st.table.aperture(st.actual);
-                aperture > 0.0 && self.hists[q].rank(ts, st.lru.current()) > 1.0 - aperture
-            }
-            (DemotionMode::PerfectAperture, RankMode::Rrip { .. }) => {
-                unreachable!("rejected at construction")
-            }
-            (DemotionMode::ExactlyOne, _) => {
-                unreachable!("ExactlyOne is resolved before per-candidate checks")
-            }
-        }
-    }
-
-    /// Demotes the line at candidate `i` of the current walk (bookkeeping
-    /// shared by the per-candidate and exactly-one paths).
-    fn demote_candidate(&mut self, i: usize, lru: bool) {
-        let f = self.walk.nodes[i].frame as usize;
+    /// Demotes the line in frame `f` (bookkeeping shared by the
+    /// per-candidate and exactly-one paths).
+    fn demote_candidate(&mut self, f: usize, lru: bool) {
         let tag = self.meta[f];
         let q = tag.part as usize;
         self.vstats.demotions += 1;
@@ -700,16 +791,16 @@ impl VantageLlc {
             let pr = self.hists[q].rank(tag.ts, self.parts[q].lru.current());
             self.samples.push((self.accesses, q as u16, pr as f32));
         }
-        if lru {
+        if self.hist_track {
             self.hists[q].remove(tag.ts);
         }
         self.parts[q].actual = self.parts[q].actual.saturating_sub(1);
         self.um_size += 1;
         let um_ts = if lru {
-            self.um_lru.set_period_for_size(self.um_target.max(16));
-            self.um_lru.on_access();
-            let t = self.um_lru.current();
-            self.um_hist.add(t);
+            let t = self.um_stamp();
+            if self.hist_track {
+                self.um_hist.add(t);
+            }
             t
         } else {
             tag.ts
@@ -724,18 +815,40 @@ impl VantageLlc {
         if let Some(rr) = &mut self.rrip {
             rr.note_miss(part, addr);
         }
-        self.array.walk(addr, &mut self.walk);
+        // The walk buffer is moved out of `self` for the duration of the
+        // miss: the candidate loop below then borrows it immutably while
+        // mutating the rest of the controller, which also lets the compiler
+        // keep its pointer in a register across those mutations.
+        let mut walk = std::mem::take(&mut self.walk);
+        self.array.walk(addr, &mut walk);
         let lru = self.is_lru();
 
         // --- Demotion pass over all candidates (§4.3, "Misses"). ---
+        // Per-candidate invariants are hoisted out of the loop: the
+        // `DemotionMode` × `RankMode` dispatch collapses to a [`DemoteRule`],
+        // the feedback constants become locals, and (SetpointLru) each
+        // partition's keep window is snapshotted once per walk.
+        let rule = match (self.cfg.demotion_mode, self.cfg.rank) {
+            (DemotionMode::Setpoint, RankMode::Lru) => DemoteRule::SetpointLru,
+            (DemotionMode::Setpoint, RankMode::Rrip { .. }) => DemoteRule::SetpointRrip,
+            (DemotionMode::PerfectAperture, _) => DemoteRule::PerfectAperture,
+            (DemotionMode::ExactlyOne, _) => DemoteRule::ExactlyOne,
+        };
+        let cands_period = self.cfg.cands_period;
+        let max_rrpv = self.max_rrpv;
+        if rule == DemoteRule::SetpointLru {
+            self.win.clear();
+            self.win.extend(self.parts.iter().map(|st| KeepWin {
+                current: st.lru.current(),
+                window: st.keep_window(),
+            }));
+        }
         let mut empty: Option<usize> = None;
         let mut best_um: Option<(usize, u8)> = None; // (walk idx, age/rrpv)
         let mut first_demoted: Option<usize> = None;
-        let exactly_one = self.cfg.demotion_mode == DemotionMode::ExactlyOne;
         let mut best_managed: Option<(usize, u8)> = None; // exactly-one pick
-        for i in 0..self.walk.nodes.len() {
-            let node = self.walk.nodes[i];
-            if node.line.is_none() {
+        for (i, node) in walk.nodes.iter().enumerate() {
+            if !node.is_occupied() {
                 empty = Some(i);
                 break; // walks end at the first empty frame
             }
@@ -757,42 +870,64 @@ impl VantageLlc {
                 best_um = Some((i, u8::MAX));
                 continue;
             }
-            if exactly_one {
-                // Fig. 2b policy: remember the oldest over-target candidate
-                // and demote exactly that one after the scan.
-                let st = &self.parts[q];
-                if st.actual > st.target {
-                    let age = if lru { st.lru.age(tag.ts) } else { tag.ts };
-                    if best_managed.is_none_or(|(_, a)| age > a) {
-                        best_managed = Some((i, age));
+            let demote = match rule {
+                DemoteRule::SetpointLru => {
+                    // `should_demote_ts` against the per-walk snapshot; the
+                    // over-target check stays live so one walk never demotes
+                    // a partition below its target. Evaluated without
+                    // short-circuiting: at equilibrium `actual` hovers right
+                    // at `target`, so branching on that comparison alone
+                    // mispredicts constantly, while the combined demote
+                    // outcome (a few per 52-candidate walk) predicts well.
+                    let st = &self.parts[q];
+                    let w = self.win[q];
+                    (st.actual > st.target) & (w.current.wrapping_sub(tag.ts) > w.window)
+                }
+                DemoteRule::SetpointRrip => self.parts[q].should_demote_rrpv(tag.ts),
+                DemoteRule::PerfectAperture => {
+                    let st = &self.parts[q];
+                    st.actual > st.target && {
+                        let aperture = st.table.aperture(st.actual);
+                        aperture > 0.0
+                            && self.hists[q].rank(tag.ts, st.lru.current()) > 1.0 - aperture
                     }
                 }
-                continue;
-            }
-            let demote = self.demotes(q, tag.ts);
+                DemoteRule::ExactlyOne => {
+                    // Fig. 2b policy: remember the oldest over-target
+                    // candidate and demote exactly that one after the scan.
+                    let st = &self.parts[q];
+                    if st.actual > st.target {
+                        let age = if lru { st.lru.age(tag.ts) } else { tag.ts };
+                        if best_managed.is_none_or(|(_, a)| age > a) {
+                            best_managed = Some((i, age));
+                        }
+                    }
+                    continue;
+                }
+            };
             if self.parts[q]
-                .note_candidate(demote, self.cfg.cands_period, self.max_rrpv)
+                .note_candidate(demote, cands_period, max_rrpv)
                 .is_some()
             {
                 self.vstats.setpoint_adjustments += 1;
             }
             if demote {
                 first_demoted.get_or_insert(i);
-                self.demote_candidate(i, lru);
+                self.demote_candidate(f, lru);
             } else if !lru {
                 // RRIP aging: candidates of over-target partitions drift
                 // towards "distant" so demotion pressure can build
                 // (under-target partitions are never aged, §6.2).
                 let st = &self.parts[q];
-                if st.actual > st.target && tag.ts < self.max_rrpv {
+                if st.actual > st.target && tag.ts < max_rrpv {
                     self.meta[f].ts = tag.ts + 1;
                 }
             }
         }
-        if exactly_one && empty.is_none() {
+        if rule == DemoteRule::ExactlyOne && empty.is_none() {
             if let Some((i, _)) = best_managed {
                 first_demoted = Some(i);
-                self.demote_candidate(i, lru);
+                self.demote_candidate(walk.nodes[i].frame as usize, lru);
             }
         }
 
@@ -814,7 +949,7 @@ impl VantageLlc {
             self.vstats.forced_managed_evictions += 1;
             let mut best = 0usize;
             let mut best_key = (false, 0u16);
-            for (i, node) in self.walk.nodes.iter().enumerate() {
+            for (i, node) in walk.nodes.iter().enumerate() {
                 let tag = self.meta[node.frame as usize];
                 let q = tag.part as usize;
                 // A corrupted-PID line (tolerated above) is always the best
@@ -838,19 +973,19 @@ impl VantageLlc {
         };
 
         // --- Retire the victim's tag. ---
-        let vnode = self.walk.nodes[victim];
-        if vnode.line.is_some() {
+        let vnode = walk.nodes[victim];
+        if vnode.is_occupied() {
             self.stats.evictions += 1;
             let tag = self.meta[vnode.frame as usize];
             if tag.part == UNMANAGED {
                 self.um_size = self.um_size.saturating_sub(1);
-                if lru {
+                if self.hist_track {
                     self.um_hist.remove(tag.ts);
                 }
             } else if (tag.part as usize) < self.parts.len() {
                 let q = tag.part as usize;
                 self.parts[q].actual = self.parts[q].actual.saturating_sub(1);
-                if lru {
+                if self.hist_track {
                     self.hists[q].remove(tag.ts);
                 }
             }
@@ -861,10 +996,8 @@ impl VantageLlc {
 
         // --- Install the incoming line. ---
         self.moves.clear();
-        let landing = {
-            let walk = &self.walk;
-            self.array.install(addr, walk, victim, &mut self.moves)
-        };
+        let landing = self.array.install(addr, &walk, victim, &mut self.moves);
+        self.walk = walk;
         for &(from, to) in &self.moves {
             self.meta[to as usize] = self.meta[from as usize];
         }
@@ -878,10 +1011,10 @@ impl VantageLlc {
             self.vstats.throttled_insertions += 1;
             self.um_size += 1;
             let ts = if lru {
-                self.um_lru.set_period_for_size(self.um_target.max(16));
-                self.um_lru.on_access();
-                let t = self.um_lru.current();
-                self.um_hist.add(t);
+                let t = self.um_stamp();
+                if self.hist_track {
+                    self.um_hist.add(t);
+                }
                 t
             } else {
                 self.rrip
@@ -898,7 +1031,9 @@ impl VantageLlc {
         self.parts[part].actual += 1;
         let ts = if lru {
             let t = self.parts[part].on_access();
-            self.hists[part].add(t);
+            if self.hist_track {
+                self.hists[part].add(t);
+            }
             t
         } else {
             self.rrip
@@ -1310,6 +1445,77 @@ mod tests {
             llc.set_targets(&[1024, 1024]);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pick_occupied_samples_uniformly() {
+        let mut llc = default_llc(1024, 2);
+        llc.set_targets(&[512, 512]);
+        let mut rng = SmallRng::seed_from_u64(40);
+        // Partial fill (~25% occupancy) leaves long runs of empty frames —
+        // exactly the layout where scanning forward from a random frame to
+        // the next occupied slot over-samples frames behind empty runs.
+        for _ in 0..256 {
+            llc.access(0, LineAddr(rng.gen_range(0..100_000u64)));
+        }
+        let occupied: Vec<usize> = (0..1024usize)
+            .filter(|&f| llc.array.occupant(f as Frame).is_some())
+            .collect();
+        let k = occupied.len();
+        assert!(k >= 64, "fill too small ({k})");
+        let n = 100 * k;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            let f = llc.pick_occupied(rng.gen::<u64>()).expect("array nonempty");
+            assert!(
+                llc.array.occupant(f as Frame).is_some(),
+                "picked empty frame {f}"
+            );
+            *counts.entry(f).or_insert(0u64) += 1;
+        }
+        // Chi-square goodness of fit against the uniform distribution over
+        // occupied frames: the statistic concentrates around its dof
+        // (k - 1); 6 sigma of slack makes the test deterministic-friendly.
+        // The pre-fix next-occupied scan weights each frame by the empty
+        // run preceding it and blows this up by orders of magnitude.
+        let e = n as f64 / k as f64;
+        let chi2: f64 = occupied
+            .iter()
+            .map(|f| {
+                let o = *counts.get(f).unwrap_or(&0) as f64;
+                (o - e) * (o - e) / e
+            })
+            .sum();
+        let dof = (k - 1) as f64;
+        let bound = dof + 6.0 * (2.0 * dof).sqrt();
+        assert!(chi2 < bound, "chi2 {chi2:.1} vs bound {bound:.1}");
+    }
+
+    #[test]
+    fn unmanaged_clock_tracks_actual_size_not_target() {
+        let mut llc = default_llc(4096, 2);
+        llc.set_targets(&[2048, 2048]);
+        // Cold start (empty region): seeded from the target.
+        let target = llc.unmanaged_target();
+        assert_eq!(
+            u64::from(llc.unmanaged_ts_period()),
+            (target.max(16) / 16).max(1)
+        );
+        // Once the region holds far more than its target, stamping through
+        // one full period must re-derive the period from the actual size.
+        llc.um_size = 4 * target;
+        for _ in 0..=llc.unmanaged_ts_period() {
+            llc.um_stamp();
+        }
+        assert_eq!(
+            u64::from(llc.unmanaged_ts_period()),
+            (llc.um_size.max(16) / 16).max(1),
+            "period still tracking the target, not the actual size"
+        );
+        // And retargeting a populated region seeds from the actual size.
+        llc.um_size = 32;
+        llc.set_targets(&[2048, 2048]);
+        assert_eq!(llc.unmanaged_ts_period(), 2);
     }
 
     #[test]

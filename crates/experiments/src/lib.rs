@@ -11,4 +11,5 @@ pub mod fig_model;
 pub mod fig_sensitivity;
 pub mod fig_throughput;
 pub mod montecarlo;
+pub mod perf;
 pub mod tables;

@@ -11,6 +11,7 @@
 //!   fig8                       size tracking + associativity heat maps
 //!   fig9 fig10 fig11           sensitivity, cache designs, RRIP variants
 //!   modelcheck                 §6.2 idealized-configuration check
+//!   perf                       hot-path microbenchmarks -> BENCH_hotpath.json
 //!   all                        everything above, in order
 //! ```
 //!
@@ -26,10 +27,10 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use vantage_experiments::common::{record_failure, take_failures, Options, USAGE};
-use vantage_experiments::{fig_dynamics, fig_model, fig_sensitivity, fig_throughput, tables};
+use vantage_experiments::{fig_dynamics, fig_model, fig_sensitivity, fig_throughput, perf, tables};
 
 const COMMANDS: &str = "commands: fig1 fig2 fig3 fig5 table1 table2 table3 fig4|overheads \
-                        fig6a fig6b fig7 fig8 fig9 fig10 fig11 modelcheck ablation all";
+                        fig6a fig6b fig7 fig8 fig9 fig10 fig11 modelcheck ablation perf all";
 
 /// Runs one experiment step, isolating panics so that `all` keeps going.
 fn step(name: &str, f: impl FnOnce() + std::panic::UnwindSafe) {
@@ -103,6 +104,7 @@ fn main() {
         "fig11" => step("fig11", || fig_sensitivity::fig11(&opts)),
         "modelcheck" => step("modelcheck", || fig_sensitivity::modelcheck(&opts)),
         "ablation" => step("ablation", || fig_sensitivity::ablation(&opts)),
+        "perf" => step("perf", || perf::perf(&opts)),
         "all" => {
             for (name, f) in all {
                 step(name, AssertUnwindSafe(|| f(&opts)));

@@ -157,7 +157,7 @@ impl Llc for BaselineLlc {
         }
         self.array.walk(addr, &mut self.walk);
         let victim = self.select_victim();
-        let evicted = self.walk.nodes[victim].line.is_some();
+        let evicted = self.walk.nodes[victim].is_occupied();
         if evicted {
             self.stats.evictions += 1;
             let vf = self.walk.nodes[victim].frame as usize;

@@ -20,10 +20,10 @@
 /// h.add(10);
 /// h.add(11);
 /// h.add(12);
-/// // With current time 12, the line stamped 10 is the oldest of 3:
-/// // both other lines are strictly younger than none of it... rank ~ 5/6.
-/// let r = h.rank(10, 12);
-/// assert!(r > 0.8 && r <= 1.0);
+/// // With current time 12, the line stamped 10 is the oldest of the 3:
+/// // both other lines are strictly younger (2 of 3), and the line itself
+/// // counts as half a tie, so its rank is (2 + 1/2) / 3 = 5/6.
+/// assert_eq!(h.rank(10, 12), 5.0 / 6.0);
 /// ```
 #[derive(Clone)]
 pub struct TsHistogram {
@@ -144,6 +144,29 @@ mod tests {
         assert!(oldest > mid && mid > youngest);
         assert!((oldest - 0.95).abs() < 1e-9, "oldest rank {oldest}");
         assert!((youngest - 0.05).abs() < 1e-9, "youngest rank {youngest}");
+    }
+
+    #[test]
+    fn rank_is_exact_with_ties_counted_as_half() {
+        let mut h = TsHistogram::new();
+        h.add(10);
+        h.add(11);
+        h.add(12);
+        // Unique stamps, current = 12: rank(ts) = (#younger + 1/2) / 3.
+        assert_eq!(h.rank(10, 12), (2.0 + 0.5) / 3.0);
+        assert_eq!(h.rank(11, 12), (1.0 + 0.5) / 3.0);
+        assert_eq!(h.rank(12, 12), 0.5 / 3.0);
+        // A tie splits: two lines at the oldest stamp share rank
+        // (#younger + #ties/2) / total.
+        h.add(10);
+        assert_eq!(h.rank(10, 12), (2.0 + 1.0) / 4.0);
+        // Ranks of populated stamps always lie strictly inside (0, 1): even
+        // the youngest line carries half its own tie weight, and the oldest
+        // still donates half of its own.
+        for ts in [10u8, 11, 12] {
+            let r = h.rank(ts, 12);
+            assert!(r > 0.0 && r < 1.0, "rank({ts}) = {r} out of bounds");
+        }
     }
 
     #[test]

@@ -233,11 +233,11 @@ impl Llc for PippLlc {
             let chain = &self.chain[base..base + ways];
             *chain
                 .iter()
-                .find(|&&w| walk.nodes[w as usize].line.is_none())
+                .find(|&&w| !walk.nodes[w as usize].is_occupied())
                 .unwrap_or(&chain[0])
         };
         let vnode = walk.nodes[victim_way as usize];
-        if vnode.line.is_some() {
+        if vnode.is_occupied() {
             self.stats.evictions += 1;
             self.part_lines[self.owner[vnode.frame as usize] as usize] -= 1;
         }

@@ -229,7 +229,7 @@ impl Llc for WayPartLlc {
             if self.way_owner[i] as usize != part {
                 continue;
             }
-            match node.line {
+            match node.line() {
                 None => {
                     victim = Some(i);
                     break;
@@ -245,7 +245,7 @@ impl Llc for WayPartLlc {
         }
         let victim = victim.expect("every partition owns at least one way");
         let vnode = walk.nodes[victim];
-        if vnode.line.is_some() {
+        if vnode.is_occupied() {
             self.stats.evictions += 1;
             let vowner = self.owner[vnode.frame as usize] as usize;
             self.part_lines[vowner] -= 1;

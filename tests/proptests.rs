@@ -33,7 +33,7 @@ proptest! {
             prop_assert!(walk.len() <= 52);
             // Parent links must point backwards.
             for (i, n) in walk.nodes.iter().enumerate() {
-                if let Some(p) = n.parent {
+                if let Some(p) = n.parent() {
                     prop_assert!((p as usize) < i);
                 }
             }
