@@ -70,3 +70,4 @@ pub use fault::{Fault, FaultKind, FaultPlan};
 pub use llc::{PrioritySample, ScrubReport, VantageLlc, VantageStats, UNMANAGED};
 pub use overhead::{state_overhead, StateOverhead};
 pub use resize::TargetRamp;
+pub use vantage_telemetry as telemetry;

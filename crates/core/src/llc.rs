@@ -24,9 +24,10 @@
 use vantage_cache::replacement::rrip::BasePolicy;
 use vantage_cache::{CacheArray, Frame, LineAddr, RripConfig, RripMode, RripPolicy, TsLru, Walk};
 use vantage_partitioning::{AccessOutcome, Llc, LlcStats, TsHistogram};
+use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::config::{DemotionMode, RankMode, VantageConfig};
-use crate::controller::PartitionState;
+use crate::controller::{Feedback, PartitionState};
 use crate::error::VantageError;
 use crate::fault::Fault;
 
@@ -162,6 +163,8 @@ pub struct VantageLlc {
     accesses: u64,
     /// Run [`Self::scrub`] automatically every this many accesses.
     scrub_period: Option<u64>,
+    /// Dynamics telemetry (events + periodic samples); disabled by default.
+    tele: Telemetry,
 }
 
 /// What one [`VantageLlc::scrub`] pass found and repaired.
@@ -273,6 +276,7 @@ impl VantageLlc {
             samples: Vec::new(),
             accesses: 0,
             scrub_period: None,
+            tele: Telemetry::disabled(),
         };
         let even = vec![(frames / partitions) as u64; partitions];
         llc.try_set_targets(&even).expect("even split always fits");
@@ -284,9 +288,10 @@ impl VantageLlc {
         &self.vstats
     }
 
-    /// Mutable Vantage-specific counters (e.g. to reset per interval).
-    pub fn vantage_stats_mut(&mut self) -> &mut VantageStats {
-        &mut self.vstats
+    /// Takes the Vantage-specific counters, leaving zeroed ones — the
+    /// per-interval companion of [`Llc::take_stats`].
+    pub fn take_vantage_stats(&mut self) -> VantageStats {
+        std::mem::take(&mut self.vstats)
     }
 
     /// Current number of lines in the unmanaged region.
@@ -416,25 +421,24 @@ impl VantageLlc {
             self.um_target
         };
         self.um_lru.set_period_for_size(clock_size.max(16));
-        Ok(())
-    }
-
-    /// Verifies internal accounting against a full array scan. Test
-    /// support and fault-recovery instrumentation; O(frames).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any invariant is violated; see [`Self::invariants`] for
-    /// the non-panicking form and the list of checks.
-    pub fn check_invariants(&self) {
-        if let Err(e) = self.invariants() {
-            panic!("{e}");
+        if self.tele.enabled() {
+            for p in 0..self.parts.len() {
+                let st = &self.parts[p];
+                let aperture = st.table.aperture(st.actual) as f32;
+                self.tele.event(TelemetryEvent::ApertureUpdate {
+                    access: self.accesses,
+                    part: p as u16,
+                    aperture,
+                });
+            }
         }
+        Ok(())
     }
 
     /// Checks every internal accounting invariant, returning the first
     /// violation instead of panicking — usable inside fault-injection
-    /// experiments, where a violation is data rather than a bug. O(frames).
+    /// experiments, where a violation is data rather than a bug, as well
+    /// as in tests (`.expect()` it there). O(frames).
     ///
     /// Checked invariants:
     ///
@@ -667,6 +671,16 @@ impl VantageLlc {
             }
         }
         self.vstats.scrubs += 1;
+        if self.tele.enabled() {
+            let repairs = report.repaired_tags
+                + report.size_corrections
+                + report.meters_reset
+                + report.setpoints_recentered;
+            self.tele.event(TelemetryEvent::Scrub {
+                access: self.accesses,
+                repairs,
+            });
+        }
         report
     }
 
@@ -743,6 +757,10 @@ impl VantageLlc {
             // saturating decrement tolerates a corrupted unmanaged-size
             // register (scrub recomputes the true value).
             self.vstats.promotions += 1;
+            self.tele.event(TelemetryEvent::Promotion {
+                access: self.accesses,
+                part: part as u16,
+            });
             self.um_size = self.um_size.saturating_sub(1);
             if track {
                 self.um_hist.remove(tag.ts);
@@ -787,6 +805,10 @@ impl VantageLlc {
         let tag = self.meta[f];
         let q = tag.part as usize;
         self.vstats.demotions += 1;
+        self.tele.event(TelemetryEvent::Demotion {
+            access: self.accesses,
+            part: tag.part,
+        });
         if self.probe {
             let pr = self.hists[q].rank(tag.ts, self.parts[q].lru.current());
             self.samples.push((self.accesses, q as u16, pr as f32));
@@ -809,6 +831,61 @@ impl VantageLlc {
             part: UNMANAGED,
             ts: um_ts,
         };
+    }
+
+    /// Emits the telemetry for one setpoint adjustment: the adjusted keep
+    /// window plus the implied Eq. 7 aperture at the current size. Cold by
+    /// construction — at most once per `c = 256` candidates, and only
+    /// reached with telemetry enabled.
+    #[cold]
+    fn note_adjustment(&mut self, part: usize, fb: Feedback) {
+        let st = &self.parts[part];
+        let direction = match fb {
+            Feedback::TooMany => 1i8,
+            Feedback::TooFew => -1,
+            Feedback::OnTarget => 0,
+        };
+        let window = st.keep_window();
+        let aperture = st.table.aperture(st.actual) as f32;
+        self.tele.event(TelemetryEvent::SetpointAdjust {
+            access: self.accesses,
+            part: part as u16,
+            direction,
+            window,
+        });
+        self.tele.event(TelemetryEvent::ApertureUpdate {
+            access: self.accesses,
+            part: part as u16,
+            aperture,
+        });
+    }
+
+    /// Emits one periodic sample per partition plus one for the unmanaged
+    /// region. Cold: reached once per telemetry sampling period.
+    #[cold]
+    fn emit_samples(&mut self) {
+        for p in 0..self.parts.len() {
+            let st = &self.parts[p];
+            let s = PartitionSample {
+                access: self.accesses,
+                part: p as u16,
+                actual: st.actual,
+                target: st.target,
+                aperture: st.table.aperture(st.actual) as f32,
+                window: st.keep_window(),
+                churn: 0,
+            };
+            self.tele.sample(s);
+        }
+        self.tele.sample(PartitionSample {
+            access: self.accesses,
+            part: UNMANAGED,
+            actual: self.um_size,
+            target: self.um_target,
+            aperture: 0.0,
+            window: 0,
+            churn: 0,
+        });
     }
 
     fn miss(&mut self, part: usize, addr: LineAddr) {
@@ -905,11 +982,11 @@ impl VantageLlc {
                     continue;
                 }
             };
-            if self.parts[q]
-                .note_candidate(demote, cands_period, max_rrpv)
-                .is_some()
-            {
+            if let Some(fb) = self.parts[q].note_candidate(demote, cands_period, max_rrpv) {
                 self.vstats.setpoint_adjustments += 1;
+                if self.tele.enabled() {
+                    self.note_adjustment(q, fb);
+                }
             }
             if demote {
                 first_demoted.get_or_insert(i);
@@ -932,6 +1009,7 @@ impl VantageLlc {
         }
 
         // --- Victim selection. ---
+        let mut forced = false;
         let victim = if let Some(e) = empty {
             self.vstats.empty_fills += 1;
             e
@@ -947,6 +1025,7 @@ impl VantageLlc {
             // partitions that are over their targets so transients do not
             // bleed quiet, under-target partitions.
             self.vstats.forced_managed_evictions += 1;
+            forced = true;
             let mut best = 0usize;
             let mut best_key = (false, 0u16);
             for (i, node) in walk.nodes.iter().enumerate() {
@@ -977,6 +1056,11 @@ impl VantageLlc {
         if vnode.is_occupied() {
             self.stats.evictions += 1;
             let tag = self.meta[vnode.frame as usize];
+            self.tele.event(TelemetryEvent::Eviction {
+                access: self.accesses,
+                part: tag.part,
+                forced,
+            });
             if tag.part == UNMANAGED {
                 self.um_size = self.um_size.saturating_sub(1);
                 if self.hist_track {
@@ -1056,6 +1140,9 @@ impl Llc for VantageLlc {
                 self.scrub();
             }
         }
+        if self.tele.sample_due(self.accesses) {
+            self.emit_samples();
+        }
         if let Some(frame) = self.array.lookup(addr) {
             self.stats.hits[part] += 1;
             self.hit(part, frame);
@@ -1097,6 +1184,20 @@ impl Llc for VantageLlc {
 
     fn stats_mut(&mut self) -> &mut LlcStats {
         &mut self.stats
+    }
+
+    fn set_telemetry(&mut self, mut telemetry: Telemetry) -> bool {
+        telemetry.bind(self.parts.len());
+        self.tele = telemetry;
+        true
+    }
+
+    fn take_telemetry(&mut self) -> Option<Telemetry> {
+        if self.tele.enabled() {
+            Some(std::mem::take(&mut self.tele))
+        } else {
+            None
+        }
     }
 
     fn name(&self) -> &str {
@@ -1143,7 +1244,7 @@ mod tests {
             drive(&mut llc, 0, 100_000, 5_000, &mut rng);
             drive(&mut llc, 1, 100_000, 5_000, &mut rng);
         }
-        llc.check_invariants();
+        llc.invariants().expect("invariants hold");
         let (t0, t1) = (
             llc.partition_target(0) as f64,
             llc.partition_target(1) as f64,
@@ -1168,7 +1269,7 @@ mod tests {
         for i in 0..400_000u64 {
             llc.access(1, LineAddr((2u64 << 40) + i));
         }
-        llc.check_invariants();
+        llc.invariants().expect("invariants hold");
         // The quiet partition keeps (almost) all its lines: only forced
         // managed evictions could remove them, and those are rare.
         let resident_after = llc.partition_size(0);
@@ -1201,7 +1302,7 @@ mod tests {
         // Model worst case for u = 0.15, R = 52 is ~2e-4; give slack for
         // warmup and walk truncation.
         assert!(frac < 0.01, "managed eviction fraction {frac}");
-        llc.check_invariants();
+        llc.invariants().expect("invariants hold");
     }
 
     #[test]
@@ -1219,7 +1320,7 @@ mod tests {
             llc.vantage_stats().promotions > before,
             "no promotions happened"
         );
-        llc.check_invariants();
+        llc.invariants().expect("invariants hold");
     }
 
     #[test]
@@ -1235,7 +1336,7 @@ mod tests {
         // churns.
         llc.set_targets(&[0, 2048]);
         drive(&mut llc, 1, 50_000, 120_000, &mut rng);
-        llc.check_invariants();
+        llc.invariants().expect("invariants hold");
         let drained = llc.partition_size(0);
         assert!(
             drained < s0 / 4,
@@ -1256,7 +1357,7 @@ mod tests {
         for i in 0..300_000u64 {
             llc.access(0, LineAddr(i));
         }
-        llc.check_invariants();
+        llc.invariants().expect("invariants hold");
         let mss_bound = (4096.0 / (0.5 * 52.0)) * 1.5; // 1/(A_max·R) + 50% margin
         let s0 = llc.partition_size(0) as f64;
         assert!(
@@ -1279,7 +1380,7 @@ mod tests {
             drive(&mut llc, 0, 100_000, 2_000, &mut rng);
             drive(&mut llc, 1, 100_000, 2_000, &mut rng);
         }
-        llc.check_invariants();
+        llc.invariants().expect("invariants hold");
         let t0 = llc.partition_target(0) as f64;
         assert!(
             (llc.partition_size(0) as f64) < t0 * 1.3,
@@ -1306,7 +1407,7 @@ mod tests {
                 drive(llc, 0, 50_000, 4_000, &mut rng);
                 drive(llc, 1, 50_000, 4_000, &mut rng);
             }
-            llc.check_invariants();
+            llc.invariants().expect("invariants hold");
         }
         // §6.2: both designs perform essentially identically; sizes must
         // agree within a few percent of capacity.
@@ -1333,7 +1434,7 @@ mod tests {
             drive(&mut llc, 0, 50_000, 4_000, &mut rng);
             drive(&mut llc, 1, 50_000, 4_000, &mut rng);
         }
-        llc.check_invariants();
+        llc.invariants().expect("invariants hold");
         assert_eq!(llc.name(), "Vantage-RRIP");
         let (s0, s1) = (llc.partition_size(0) as f64, llc.partition_size(1) as f64);
         let (t0, t1) = (
@@ -1381,7 +1482,7 @@ mod tests {
                 drive(&mut llc, 0, 20_000, 3_000, &mut rng);
                 drive(&mut llc, 1, 20_000, 3_000, &mut rng);
             }
-            llc.check_invariants();
+            llc.invariants().expect("invariants hold");
             let samples = llc.drain_priority_samples();
             // The Eq. 2-vs-Eq. 3 difference is in the low-priority tail:
             // demote-on-average never reaches below 1 - A, exactly-one does
@@ -1421,7 +1522,7 @@ mod tests {
             for i in 0..200_000u64 {
                 llc.access(0, LineAddr(i));
             }
-            llc.check_invariants();
+            llc.invariants().expect("invariants hold");
             (
                 llc.partition_size(0),
                 llc.vantage_stats().throttled_insertions,
@@ -1519,6 +1620,70 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_captures_partition_dynamics() {
+        use vantage_telemetry::{RingSink, TelemetryRecord};
+        let mut llc = default_llc(2048, 2);
+        let (sink, reader) = RingSink::with_capacity(1 << 19);
+        assert!(llc.set_telemetry(Telemetry::new(Box::new(sink), 1024)));
+        llc.set_targets(&[1536, 512]);
+        let mut rng = SmallRng::seed_from_u64(77);
+        for _ in 0..10 {
+            drive(&mut llc, 0, 50_000, 4_000, &mut rng);
+            drive(&mut llc, 1, 50_000, 4_000, &mut rng);
+        }
+        llc.scrub();
+        let recs = reader.records();
+        let mut demotions = 0u64;
+        let mut promotions = 0u64;
+        let mut adjustments = 0u64;
+        let mut apertures = 0u64;
+        let mut scrubs = 0u64;
+        let mut um_samples = 0u64;
+        let mut part_samples = 0u64;
+        for r in &recs {
+            match r {
+                TelemetryRecord::Event(TelemetryEvent::Demotion { .. }) => demotions += 1,
+                TelemetryRecord::Event(TelemetryEvent::Promotion { .. }) => promotions += 1,
+                TelemetryRecord::Event(TelemetryEvent::SetpointAdjust { .. }) => adjustments += 1,
+                TelemetryRecord::Event(TelemetryEvent::ApertureUpdate { .. }) => apertures += 1,
+                TelemetryRecord::Event(TelemetryEvent::Scrub { .. }) => scrubs += 1,
+                TelemetryRecord::Sample(s) if s.part == UNMANAGED => um_samples += 1,
+                TelemetryRecord::Sample(_) => part_samples += 1,
+                _ => {}
+            }
+        }
+        // The ring is sized to hold everything: event counts line up with
+        // the architectural counters (the ring also saw pre-drop records).
+        assert_eq!(reader.overwritten(), 0, "ring sized too small for test");
+        assert!(demotions > 0 && promotions > 0, "dynamics events present");
+        assert!(adjustments > 0, "feedback adjustments present");
+        assert!(apertures >= adjustments, "each adjustment logs an aperture");
+        assert_eq!(scrubs, 1);
+        assert!(um_samples > 10, "unmanaged region sampled");
+        assert_eq!(part_samples, 2 * um_samples, "one sample per partition");
+        // Samples carry real targets (scaled onto the managed region).
+        let t0 = llc.partition_target(0);
+        assert!(recs
+            .iter()
+            .any(|r| matches!(r, TelemetryRecord::Sample(s) if s.part == 0 && s.target == t0)));
+        // take_telemetry removes the handle and stops the stream.
+        let before = reader.len();
+        assert!(llc.take_telemetry().is_some());
+        drive(&mut llc, 0, 50_000, 2_000, &mut rng);
+        assert_eq!(reader.len(), before, "stream must stop after take");
+    }
+
+    #[test]
+    fn take_vantage_stats_resets_counters() {
+        let mut llc = default_llc(1024, 2);
+        let mut rng = SmallRng::seed_from_u64(99);
+        drive(&mut llc, 0, 10_000, 20_000, &mut rng);
+        let taken = llc.take_vantage_stats();
+        assert!(taken.demotions > 0);
+        assert_eq!(llc.vantage_stats().demotions, 0);
+    }
+
+    #[test]
     fn unmanaged_region_size_hovers_near_its_target() {
         let mut llc = default_llc(4096, 4);
         llc.set_targets(&[1024, 1024, 1024, 1024]);
@@ -1528,7 +1693,7 @@ mod tests {
                 drive(&mut llc, p, 50_000, 3_000, &mut rng);
             }
         }
-        llc.check_invariants();
+        llc.invariants().expect("invariants hold");
         let um = llc.unmanaged_size() as f64;
         let target = llc.unmanaged_target() as f64;
         assert!(

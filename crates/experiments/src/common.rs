@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use vantage_sim::{CmpSim, SchemeKind, SimResult, SystemConfig};
+use vantage_telemetry::{CsvSink, JsonSink, Telemetry, TelemetrySink};
 use vantage_workloads::Mix;
 
 /// A malformed command line: carries the message shown above the usage
@@ -40,7 +41,10 @@ pub const USAGE: &str = "options:
   --out DIR    output directory for CSV artifacts (default results/)
   --seed N     master seed (default 42)
   --jobs N     worker threads for mix-level parallelism
-  --quick      drastically reduced scale for smoke runs";
+  --quick      drastically reduced scale for smoke runs
+  --telemetry P  record per-partition dynamics traces; P is a base path whose
+                 extension picks the format (.csv, else JSON Lines) and each
+                 simulated cache writes to a tagged sibling of P";
 
 /// Command-line options shared by all experiments.
 #[derive(Clone, Debug)]
@@ -57,6 +61,10 @@ pub struct Options {
     pub quick: bool,
     /// Worker threads for mix-level parallelism (default: available cores).
     pub jobs: usize,
+    /// Base path for telemetry traces (`None` = telemetry off). Each
+    /// simulated cache writes to a sibling of this path tagged with the mix
+    /// and scheme; a `.csv` extension selects CSV, anything else JSON Lines.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -68,6 +76,7 @@ impl Default for Options {
             seed: 42,
             quick: false,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            telemetry: None,
         }
     }
 }
@@ -97,6 +106,7 @@ impl Options {
                 "--seed" => o.seed = num(a, take()?)?,
                 "--jobs" => o.jobs = num::<usize>(a, take()?)?.max(1),
                 "--quick" => o.quick = true,
+                "--telemetry" => o.telemetry = Some(PathBuf::from(take()?)),
                 other => return Err(UsageError(format!("unknown option: {other}"))),
             }
         }
@@ -213,6 +223,77 @@ pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) -> Optio
     }
 }
 
+/// Reduces a scheme/mix label to a filesystem-safe tag fragment.
+pub fn slugify(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Derives the trace path for one simulated cache from the `--telemetry`
+/// base path: `out.json` + tag `fig8_vantage` -> `out_fig8_vantage.json`.
+pub fn telemetry_trace_path(base: &Path, tag: &str) -> PathBuf {
+    let stem = base
+        .file_stem()
+        .map_or_else(|| "telemetry".to_string(), |s| s.to_string_lossy().into());
+    let ext = base
+        .extension()
+        .map_or_else(|| "json".to_string(), |e| e.to_string_lossy().into());
+    base.with_file_name(format!("{stem}_{tag}.{ext}"))
+}
+
+/// Opens a telemetry producer writing to the tagged sibling of `base`
+/// (see [`telemetry_trace_path`]); the extension picks the sink format
+/// (`.csv` = CSV, anything else = JSON Lines). An unopenable path is
+/// recorded in the failure registry and yields `None` (keep-going).
+pub fn open_telemetry(base: &Path, tag: &str) -> Option<Telemetry> {
+    let path = telemetry_trace_path(base, &slugify(tag));
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = fs::create_dir_all(dir) {
+            record_failure(path.display().to_string(), e.to_string());
+            return None;
+        }
+    }
+    let csv = path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("csv"));
+    let sink: Box<dyn TelemetrySink> = if csv {
+        match CsvSink::create(&path) {
+            Ok(s) => Box::new(s),
+            Err(e) => {
+                record_failure(path.display().to_string(), e.to_string());
+                return None;
+            }
+        }
+    } else {
+        match JsonSink::create(&path) {
+            Ok(s) => Box::new(s),
+            Err(e) => {
+                record_failure(path.display().to_string(), e.to_string());
+                return None;
+            }
+        }
+    };
+    println!("  telemetry -> {}", path.display());
+    Some(Telemetry::new(sink, 0))
+}
+
+/// Installs a per-cache telemetry trace on `sim` when a base path is set.
+fn install_telemetry(sim: &mut CmpSim, base: Option<&Path>, mix: &Mix, kind: &SchemeKind) {
+    let Some(base) = base else { return };
+    let tag = format!("{}_{}", mix.name, kind.label());
+    if let Some(t) = open_telemetry(base, &tag) {
+        sim.set_telemetry(t);
+    }
+}
+
 /// Result of running one mix under a baseline and several schemes.
 #[derive(Clone, Debug)]
 pub struct MixOutcome {
@@ -239,12 +320,19 @@ fn run_one(
     baseline: &SchemeKind,
     schemes: &[SchemeKind],
     mix: &Mix,
+    telemetry: Option<&Path>,
 ) -> MixOutcome {
-    let base = CmpSim::new(sys.clone(), baseline, mix).run();
+    let mut base_sim = CmpSim::new(sys.clone(), baseline, mix);
+    install_telemetry(&mut base_sim, telemetry, mix, baseline);
+    let base = base_sim.run();
+    base_sim.take_telemetry();
     let mut tp = Vec::with_capacity(schemes.len());
     let mut mf = Vec::with_capacity(schemes.len());
     for kind in schemes {
-        let r: SimResult = CmpSim::new(sys.clone(), kind, mix).run();
+        let mut sim = CmpSim::new(sys.clone(), kind, mix);
+        install_telemetry(&mut sim, telemetry, mix, kind);
+        let r: SimResult = sim.run();
+        sim.take_telemetry();
         tp.push(r.throughput);
         mf.push(r.managed_eviction_fraction);
     }
@@ -275,12 +363,14 @@ fn run_one_isolated(
     baseline: &SchemeKind,
     schemes: &[SchemeKind],
     mix: &Mix,
+    telemetry: Option<&Path>,
 ) -> Result<MixOutcome, RunFailure> {
-    catch_unwind(AssertUnwindSafe(|| run_one(sys, baseline, schemes, mix))).map_err(|p| {
-        RunFailure {
-            what: mix.name.clone(),
-            why: panic_message(p.as_ref()),
-        }
+    catch_unwind(AssertUnwindSafe(|| {
+        run_one(sys, baseline, schemes, mix, telemetry)
+    }))
+    .map_err(|p| RunFailure {
+        what: mix.name.clone(),
+        why: panic_message(p.as_ref()),
     })
 }
 
@@ -300,6 +390,7 @@ pub fn run_comparison_jobs(
     mixes: &[Mix],
     progress: bool,
     jobs: usize,
+    telemetry: Option<&Path>,
 ) -> Vec<MixOutcome> {
     let jobs = jobs.max(1).min(mixes.len().max(1));
     let results: Vec<Result<MixOutcome, RunFailure>> = if jobs <= 1 {
@@ -310,7 +401,7 @@ pub fn run_comparison_jobs(
                 if progress && (i % 10 == 0 || i + 1 == mixes.len()) {
                     eprintln!("  [{}/{}] {}", i + 1, mixes.len(), mix.name);
                 }
-                run_one_isolated(sys, baseline, schemes, mix)
+                run_one_isolated(sys, baseline, schemes, mix, telemetry)
             })
             .collect()
     } else {
@@ -326,7 +417,7 @@ pub fn run_comparison_jobs(
                     if i >= mixes.len() {
                         break;
                     }
-                    let outcome = run_one_isolated(sys, baseline, schemes, &mixes[i]);
+                    let outcome = run_one_isolated(sys, baseline, schemes, &mixes[i], telemetry);
                     // Workers cannot poison the slot: the fallible part ran
                     // under catch_unwind above.
                     match slots[i].lock() {
@@ -368,7 +459,7 @@ pub fn run_comparison(
     mixes: &[Mix],
     progress: bool,
 ) -> Vec<MixOutcome> {
-    run_comparison_jobs(sys, baseline, schemes, mixes, progress, 1)
+    run_comparison_jobs(sys, baseline, schemes, mixes, progress, 1, None)
 }
 
 /// Geometric mean of an iterator of positive values.

@@ -4,7 +4,7 @@
 use vantage_sim::{CmpSim, SchemeKind, SystemConfig};
 use vantage_workloads::{spec_by_name, Category, Mix};
 
-use crate::common::{write_csv, Options};
+use crate::common::{open_telemetry, write_csv, Options};
 
 /// Builds the paper-style 4-core mix used for the dynamics study: a phased
 /// cache-friendly app (whose UCP target moves around), a cache-fitting app,
@@ -46,10 +46,17 @@ pub fn fig8(opts: &Options) {
         SchemeKind::Pipp,
     ] {
         let label = kind.label();
+        let slug = label.replace('/', "_").to_lowercase();
         let mut sim = CmpSim::new(sys.clone(), &kind, &mix);
         sim.enable_trace(sys.repartition_interval / 5);
         sim.enable_priority_probe();
+        if let Some(base) = &opts.telemetry {
+            if let Some(t) = open_telemetry(base, &format!("fig8_{slug}")) {
+                sim.set_telemetry(t);
+            }
+        }
         let r = sim.run();
+        sim.take_telemetry();
 
         // Size-tracking series.
         let rows: Vec<String> = r
@@ -57,7 +64,6 @@ pub fn fig8(opts: &Options) {
             .iter()
             .map(|s| format!("{},{},{}", s.cycle, s.targets[tracked], s.actuals[tracked]))
             .collect();
-        let slug = label.replace('/', "_").to_lowercase();
         write_csv(
             &opts.out_dir,
             &format!("fig8_sizes_{slug}"),

@@ -48,7 +48,15 @@ pub fn fig9(opts: &Options) {
         })
         .collect();
     let labels: Vec<String> = us.iter().map(|u| format!("u={:.0}%", u * 100.0)).collect();
-    let outcomes = run_comparison_jobs(&sys, &baseline_sa16(), &schemes, &all, true, opts.jobs);
+    let outcomes = run_comparison_jobs(
+        &sys,
+        &baseline_sa16(),
+        &schemes,
+        &all,
+        true,
+        opts.jobs,
+        opts.telemetry.as_deref(),
+    );
 
     let summaries: Vec<_> = labels
         .iter()
@@ -130,7 +138,15 @@ pub fn fig10(opts: &Options) {
         "Vantage-Z4/16".to_string(),
         "Vantage-SA16".to_string(),
     ];
-    let outcomes = run_comparison_jobs(&sys, &baseline_sa16(), &schemes, &all, true, opts.jobs);
+    let outcomes = run_comparison_jobs(
+        &sys,
+        &baseline_sa16(),
+        &schemes,
+        &all,
+        true,
+        opts.jobs,
+        opts.telemetry.as_deref(),
+    );
     let summaries: Vec<_> = labels
         .iter()
         .enumerate()
@@ -203,7 +219,15 @@ pub fn fig11(opts: &Options) {
         "Vantage-LRU-Z4/52".to_string(),
         "Vantage-DRRIP-Z4/52".to_string(),
     ];
-    let outcomes = run_comparison_jobs(&sys, &baseline_sa16(), &schemes, &all, true, opts.jobs);
+    let outcomes = run_comparison_jobs(
+        &sys,
+        &baseline_sa16(),
+        &schemes,
+        &all,
+        true,
+        opts.jobs,
+        opts.telemetry.as_deref(),
+    );
     let summaries: Vec<_> = labels
         .iter()
         .enumerate()
@@ -254,7 +278,15 @@ pub fn ablation(opts: &Options) {
         "exactly-one".to_string(),
         "churn-throttled".to_string(),
     ];
-    let outcomes = run_comparison_jobs(&sys, &baseline_sa16(), &schemes, &subset, true, opts.jobs);
+    let outcomes = run_comparison_jobs(
+        &sys,
+        &baseline_sa16(),
+        &schemes,
+        &subset,
+        true,
+        opts.jobs,
+        opts.telemetry.as_deref(),
+    );
     let summaries: Vec<_> = labels
         .iter()
         .enumerate()
@@ -322,7 +354,15 @@ pub fn modelcheck(opts: &Options) {
         "perfect-aperture".to_string(),
         "random-array".to_string(),
     ];
-    let outcomes = run_comparison_jobs(&sys, &baseline_sa16(), &schemes, &subset, true, opts.jobs);
+    let outcomes = run_comparison_jobs(
+        &sys,
+        &baseline_sa16(),
+        &schemes,
+        &subset,
+        true,
+        opts.jobs,
+        opts.telemetry.as_deref(),
+    );
 
     println!(
         "  {:<8} {:>12} {:>18} {:>14}",

@@ -36,7 +36,15 @@ pub fn fig6a(opts: &Options) {
         SchemeKind::vantage_paper(),
     ];
     let labels: Vec<String> = schemes.iter().map(SchemeKind::label).collect();
-    let outcomes = run_comparison_jobs(&sys, &baseline_sa(16), &schemes, &all, true, opts.jobs);
+    let outcomes = run_comparison_jobs(
+        &sys,
+        &baseline_sa(16),
+        &schemes,
+        &all,
+        true,
+        opts.jobs,
+        opts.telemetry.as_deref(),
+    );
 
     let summaries: Vec<_> = labels
         .iter()
@@ -112,6 +120,7 @@ pub fn fig6b(opts: &Options) {
         &selected,
         false,
         opts.jobs,
+        opts.telemetry.as_deref(),
     );
 
     println!(
@@ -167,7 +176,15 @@ pub fn fig7(opts: &Options) {
         SchemeKind::vantage_paper(),
     ];
     let labels: Vec<String> = schemes.iter().map(SchemeKind::label).collect();
-    let outcomes = run_comparison_jobs(&sys, &baseline_sa(64), &schemes, &all, true, opts.jobs);
+    let outcomes = run_comparison_jobs(
+        &sys,
+        &baseline_sa(64),
+        &schemes,
+        &all,
+        true,
+        opts.jobs,
+        opts.telemetry.as_deref(),
+    );
 
     let summaries: Vec<_> = labels
         .iter()

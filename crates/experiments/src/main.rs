@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! vantage-experiments <command> [--mixes N] [--instr N] [--out DIR] [--seed N] [--quick]
+//!                               [--telemetry PATH]
 //!
 //! commands:
 //!   fig1 fig2 fig3 fig5        model figures (analytical + Monte Carlo)

@@ -27,6 +27,7 @@ use rand::{Rng, SeedableRng};
 use vantage::{RankMode, VantageConfig, VantageLlc};
 use vantage_cache::{CacheArray, LineAddr, SetAssocArray, SkewArray, ZArray};
 use vantage_partitioning::{BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, WayPartLlc};
+use vantage_telemetry::{NullSink, Telemetry};
 
 use crate::common::{record_failure, Options};
 use crate::{fig_dynamics, fig_model, tables};
@@ -199,6 +200,72 @@ pub fn run_microbenches(opts: &Options) -> Vec<MicrobenchResult> {
     out
 }
 
+/// Telemetry-overhead ceiling enforced by the NullSink gate.
+const NULLSINK_MAX_OVERHEAD: f64 = 0.02;
+
+/// The NullSink gate at an explicit scale: interleaved best-of-`rounds`
+/// runs of the acceptance-gate configuration (`vantage_z4_52`) bare and
+/// with an installed `NullSink` telemetry producer. Interleaving and
+/// best-of filtering cancel most machine noise, so the remaining delta is
+/// the instrumentation's own branch cost. Returns `(bare, nullsink)`.
+fn nullsink_gate_at(
+    scale: Scale,
+    seed: u64,
+    rounds: usize,
+) -> (MicrobenchResult, MicrobenchResult) {
+    let f = scale.frames;
+    let mut best: [Option<MicrobenchResult>; 2] = [None, None];
+    for _ in 0..rounds {
+        for (slot, name) in [(0, "vantage_z4_52_bare"), (1, "vantage_z4_52_nullsink")] {
+            let mut llc = vantage_on(
+                Box::new(ZArray::new(f, 4, 52, seed)),
+                VantageConfig::default(),
+                seed,
+            );
+            if slot == 1 {
+                llc.set_telemetry(Telemetry::new(Box::new(NullSink), 0));
+            }
+            let r = bench_llc(name, &mut llc, scale, seed ^ 0xBE7C4);
+            if best[slot]
+                .as_ref()
+                .is_none_or(|b| r.accesses_per_sec > b.accesses_per_sec)
+            {
+                best[slot] = Some(r);
+            }
+        }
+    }
+    let [bare, nulled] = best;
+    (bare.expect("rounds ran"), nulled.expect("rounds ran"))
+}
+
+/// Runs the NullSink overhead gate: telemetry compiled in but disabled (a
+/// `NullSink` producer sampling on the default period) must stay within
+/// [`NULLSINK_MAX_OVERHEAD`] of the uninstrumented `vantage_z4_52` rate.
+/// A breach is recorded in the failure registry (keep-going), so `perf`
+/// still writes its trajectory entry before the process exits nonzero.
+pub fn run_nullsink_gate(opts: &Options) -> Vec<MicrobenchResult> {
+    let (bare, nulled) = nullsink_gate_at(Scale::from_options(opts), opts.seed, 3);
+    let overhead = 1.0 - nulled.accesses_per_sec / bare.accesses_per_sec;
+    eprintln!(
+        "  nullsink gate: bare {:>10.0} acc/s, nullsink {:>10.0} acc/s, overhead {:+.2}%",
+        bare.accesses_per_sec,
+        nulled.accesses_per_sec,
+        overhead * 100.0
+    );
+    if overhead > NULLSINK_MAX_OVERHEAD {
+        record_failure(
+            "perf nullsink gate",
+            format!(
+                "NullSink telemetry costs {:.2}% throughput on vantage_z4_52 \
+                 (limit {:.0}%)",
+                overhead * 100.0,
+                NULLSINK_MAX_OVERHEAD * 100.0
+            ),
+        );
+    }
+    vec![bare, nulled]
+}
+
 /// Times representative figure kernels at quick scale (they exercise the
 /// full workload -> core -> UCP -> scheme stack rather than the bare LLC).
 pub fn run_kernels(opts: &Options) -> Vec<KernelResult> {
@@ -303,7 +370,9 @@ pub fn perf_to(opts: &Options, path: &Path) {
         "perf: hot-path microbenchmarks ({} scale)",
         if opts.quick { "quick" } else { "full" }
     );
-    let micro = run_microbenches(opts);
+    let mut micro = run_microbenches(opts);
+    println!("perf: telemetry NullSink overhead gate");
+    micro.extend(run_nullsink_gate(opts));
     println!("perf: figure kernels (quick scale)");
     let kernels = run_kernels(opts);
     let entry = render_entry(opts, &micro, &kernels);
@@ -342,6 +411,20 @@ mod tests {
         assert_eq!(r.accesses, 4_000);
         assert!(r.accesses_per_sec > 0.0);
         assert!(r.wall_s > 0.0);
+    }
+
+    #[test]
+    fn nullsink_gate_measures_both_variants() {
+        let scale = Scale {
+            frames: 1024,
+            warmup: 2_000,
+            timed: 4_000,
+        };
+        let (bare, nulled) = nullsink_gate_at(scale, 5, 1);
+        assert_eq!(bare.name, "vantage_z4_52_bare");
+        assert_eq!(nulled.name, "vantage_z4_52_nullsink");
+        assert!(bare.accesses_per_sec > 0.0);
+        assert!(nulled.accesses_per_sec > 0.0);
     }
 
     #[test]

@@ -16,9 +16,15 @@
 use vantage_cache::hash::mix_bucket;
 use vantage_cache::LineAddr;
 
+use crate::error::SchemeConfigError;
 use crate::llc::{AccessOutcome, Llc, LlcStats};
 
 /// An address-interleaved multi-bank LLC.
+///
+/// Telemetry is not supported at the banked level (a single sink cannot be
+/// shared across banks without serializing their access paths);
+/// [`Llc::set_telemetry`] keeps its default `false` return. Install
+/// telemetry on the per-bank caches before assembly instead.
 ///
 /// # Example
 ///
@@ -53,22 +59,38 @@ impl BankedLlc {
     ///
     /// # Panics
     ///
-    /// Panics if `banks` is empty or the banks disagree on partition count.
+    /// Panics if `banks` is empty or the banks disagree on partition count;
+    /// use [`BankedLlc::try_new`] to handle the error instead.
     pub fn new(banks: Vec<Box<dyn Llc>>, bank_seed: u64) -> Self {
-        assert!(!banks.is_empty(), "need at least one bank");
+        match Self::try_new(banks, bank_seed) {
+            Ok(llc) => llc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeConfigError::NoBanks`] for an empty bank list and
+    /// [`SchemeConfigError::BankPartitionMismatch`] when the banks disagree
+    /// on partition count.
+    pub fn try_new(banks: Vec<Box<dyn Llc>>, bank_seed: u64) -> Result<Self, SchemeConfigError> {
+        if banks.is_empty() {
+            return Err(SchemeConfigError::NoBanks);
+        }
         let partitions = banks[0].num_partitions();
-        assert!(
-            banks.iter().all(|b| b.num_partitions() == partitions),
-            "banks must agree on partition count"
-        );
+        if !banks.iter().all(|b| b.num_partitions() == partitions) {
+            return Err(SchemeConfigError::BankPartitionMismatch);
+        }
         let name = format!("{}x{}", banks.len(), banks[0].name());
-        Self {
+        Ok(Self {
             banks,
             bank_seed,
             partitions,
             agg: LlcStats::new(partitions),
             name,
-        }
+        })
     }
 
     /// Number of banks.
@@ -227,5 +249,30 @@ mod tests {
     #[should_panic(expected = "at least one bank")]
     fn empty_banks_rejected() {
         BankedLlc::new(Vec::new(), 0);
+    }
+
+    #[test]
+    fn try_new_reports_structured_errors() {
+        use crate::SchemeConfigError;
+        assert_eq!(
+            BankedLlc::try_new(Vec::new(), 0).err(),
+            Some(SchemeConfigError::NoBanks)
+        );
+        let banks: Vec<Box<dyn Llc>> = vec![
+            Box::new(WayPartLlc::new(256, 4, 2, 0)),
+            Box::new(WayPartLlc::new(256, 4, 3, 1)),
+        ];
+        assert_eq!(
+            BankedLlc::try_new(banks, 0).err(),
+            Some(SchemeConfigError::BankPartitionMismatch)
+        );
+    }
+
+    #[test]
+    fn telemetry_unsupported_at_banked_level() {
+        use vantage_telemetry::{NullSink, Telemetry};
+        let mut llc = banked_baseline(2, 128);
+        assert!(!llc.set_telemetry(Telemetry::new(Box::new(NullSink), 0)));
+        assert!(llc.take_telemetry().is_none());
     }
 }

@@ -8,7 +8,9 @@
 //! free-for-all sharing divides capacity, but targets are ignored.
 
 use vantage_cache::{CacheArray, Frame, LineAddr, RripConfig, RripPolicy, Walk};
+use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
+use crate::error::SchemeConfigError;
 use crate::llc::{AccessOutcome, Llc, LlcStats};
 
 /// Replacement ranking used by [`BaselineLlc`].
@@ -49,6 +51,8 @@ pub struct BaselineLlc {
     stats: LlcStats,
     walk: Walk,
     moves: Vec<(Frame, Frame)>,
+    tele: Telemetry,
+    accesses: u64,
     name: &'static str,
 }
 
@@ -58,12 +62,30 @@ impl BaselineLlc {
     ///
     /// # Panics
     ///
-    /// Panics if `partitions` is 0 or exceeds `u16::MAX`.
+    /// Panics if `partitions` is 0 or exceeds `u16::MAX`; use
+    /// [`BaselineLlc::try_new`] to handle the error instead.
     pub fn new(array: Box<dyn CacheArray>, partitions: usize, rank: RankPolicy) -> Self {
-        assert!(
-            partitions > 0 && partitions <= u16::MAX as usize,
-            "bad partition count"
-        );
+        match Self::try_new(array, partitions, rank) {
+            Ok(llc) => llc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects partition counts outside
+    /// `1..=u16::MAX`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeConfigError::BadPartitionCount`] for an invalid
+    /// `partitions`.
+    pub fn try_new(
+        array: Box<dyn CacheArray>,
+        partitions: usize,
+        rank: RankPolicy,
+    ) -> Result<Self, SchemeConfigError> {
+        if partitions == 0 || partitions > u16::MAX as usize {
+            return Err(SchemeConfigError::BadPartitionCount { partitions });
+        }
         let frames = array.num_frames();
         let (rank, name) = match rank {
             RankPolicy::Lru => (
@@ -81,7 +103,7 @@ impl BaselineLlc {
                 "Baseline-RRIP",
             ),
         };
-        Self {
+        Ok(Self {
             array,
             rank,
             owner: vec![0; frames],
@@ -89,7 +111,26 @@ impl BaselineLlc {
             stats: LlcStats::new(partitions),
             walk: Walk::with_capacity(64),
             moves: Vec::with_capacity(8),
+            tele: Telemetry::disabled(),
+            accesses: 0,
             name,
+        })
+    }
+
+    /// Emits one size sample per partition (baselines have no targets or
+    /// apertures; those fields report 0).
+    #[cold]
+    fn emit_samples(&mut self) {
+        for part in 0..self.part_lines.len() {
+            self.tele.sample(PartitionSample {
+                access: self.accesses,
+                part: part as u16,
+                actual: self.part_lines[part],
+                target: 0,
+                aperture: 0.0,
+                window: 0,
+                churn: 0,
+            });
         }
     }
 
@@ -146,6 +187,10 @@ impl BaselineLlc {
 
 impl Llc for BaselineLlc {
     fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
+        self.accesses += 1;
+        if self.tele.sample_due(self.accesses) {
+            self.emit_samples();
+        }
         if let Some(frame) = self.array.lookup(addr) {
             self.on_hit(frame);
             self.stats.hits[part] += 1;
@@ -161,7 +206,13 @@ impl Llc for BaselineLlc {
         if evicted {
             self.stats.evictions += 1;
             let vf = self.walk.nodes[victim].frame as usize;
-            self.part_lines[self.owner[vf] as usize] -= 1;
+            let vowner = self.owner[vf];
+            self.part_lines[vowner as usize] -= 1;
+            self.tele.event(TelemetryEvent::Eviction {
+                access: self.accesses,
+                part: vowner,
+                forced: false,
+            });
         }
         self.moves.clear();
         let landing = {
@@ -219,6 +270,20 @@ impl Llc for BaselineLlc {
 
     fn stats_mut(&mut self) -> &mut LlcStats {
         &mut self.stats
+    }
+
+    fn set_telemetry(&mut self, mut telemetry: Telemetry) -> bool {
+        telemetry.bind(self.part_lines.len());
+        self.tele = telemetry;
+        true
+    }
+
+    fn take_telemetry(&mut self) -> Option<Telemetry> {
+        if self.tele.enabled() {
+            Some(std::mem::take(&mut self.tele))
+        } else {
+            None
+        }
     }
 
     fn name(&self) -> &str {
@@ -307,6 +372,61 @@ mod tests {
         assert!(s.total_hits() > 0);
         assert!(s.total_misses() > 0);
         assert_eq!(c.name(), "Baseline-RRIP");
+    }
+
+    #[test]
+    fn try_new_rejects_bad_partition_counts() {
+        let arr = || Box::new(SetAssocArray::hashed(64, 4, 1));
+        assert!(matches!(
+            BaselineLlc::try_new(arr(), 0, RankPolicy::Lru),
+            Err(crate::SchemeConfigError::BadPartitionCount { partitions: 0 })
+        ));
+        assert!(BaselineLlc::try_new(arr(), 2, RankPolicy::Lru).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad partition count")]
+    fn new_panics_with_legacy_message() {
+        BaselineLlc::new(
+            Box::new(SetAssocArray::hashed(64, 4, 1)),
+            0,
+            RankPolicy::Lru,
+        );
+    }
+
+    #[test]
+    fn telemetry_emits_samples_and_evictions() {
+        use vantage_telemetry::{RingSink, Telemetry, TelemetryRecord};
+        let mut c = lru_llc(64, 4);
+        let (sink, reader) = RingSink::with_capacity(4096);
+        assert!(c.set_telemetry(Telemetry::new(Box::new(sink), 100)));
+        for i in 0..1000u64 {
+            c.access(0, LineAddr(i));
+        }
+        let recs = reader.records();
+        let samples = recs
+            .iter()
+            .filter(|r| matches!(r, TelemetryRecord::Sample(_)))
+            .count();
+        let evictions = recs
+            .iter()
+            .filter(|r| matches!(r, TelemetryRecord::Event(TelemetryEvent::Eviction { .. })))
+            .count();
+        assert!(samples > 0, "periodic samples recorded");
+        assert!(evictions > 0, "eviction events recorded");
+        assert!(c.take_telemetry().is_some());
+        assert!(c.take_telemetry().is_none(), "handle removed");
+    }
+
+    #[test]
+    fn take_stats_resets_counters() {
+        let mut c = lru_llc(64, 4);
+        c.access(0, LineAddr(1));
+        c.access(0, LineAddr(1));
+        let taken = c.take_stats();
+        assert_eq!(taken.hits[0], 1);
+        assert_eq!(taken.misses[0], 1);
+        assert_eq!(c.stats().total_hits() + c.stats().total_misses(), 0);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Configuration errors shared by the partitioning schemes.
+
+use std::fmt;
+
+/// A structurally invalid scheme configuration, reported by the `try_new`
+/// constructors. The panicking `new` wrappers format these messages
+/// verbatim, so legacy `#[should_panic]` expectations keep matching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemeConfigError {
+    /// The partition count is outside `1..=u16::MAX`.
+    BadPartitionCount {
+        /// The rejected count.
+        partitions: usize,
+    },
+    /// More partitions than ways in a way-granularity scheme.
+    PartitionsExceedWays {
+        /// The rejected count.
+        partitions: usize,
+        /// Ways available.
+        ways: usize,
+    },
+    /// A way index would not fit the scheme's per-way metadata.
+    TooManyWays {
+        /// The rejected way count.
+        ways: usize,
+    },
+    /// A banked LLC was given no banks.
+    NoBanks,
+    /// The banks of a banked LLC disagree on partition count.
+    BankPartitionMismatch,
+}
+
+impl fmt::Display for SchemeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadPartitionCount { partitions } => {
+                write!(f, "bad partition count: {partitions} (need 1..=65535)")
+            }
+            Self::PartitionsExceedWays { partitions, ways } => {
+                write!(
+                    f,
+                    "need 1..=ways partitions, got {partitions} for {ways} ways"
+                )
+            }
+            Self::TooManyWays { ways } => {
+                write!(f, "way index must fit in u8, got {ways} ways")
+            }
+            Self::NoBanks => write!(f, "need at least one bank"),
+            Self::BankPartitionMismatch => {
+                write!(f, "banks must agree on partition count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemeConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_preserve_legacy_assert_phrases() {
+        let cases = [
+            (
+                SchemeConfigError::BadPartitionCount { partitions: 0 },
+                "bad partition count",
+            ),
+            (
+                SchemeConfigError::PartitionsExceedWays {
+                    partitions: 17,
+                    ways: 16,
+                },
+                "need 1..=ways partitions",
+            ),
+            (
+                SchemeConfigError::TooManyWays { ways: 512 },
+                "way index must fit in u8",
+            ),
+            (SchemeConfigError::NoBanks, "at least one bank"),
+            (
+                SchemeConfigError::BankPartitionMismatch,
+                "banks must agree on partition count",
+            ),
+        ];
+        for (err, phrase) in cases {
+            assert!(
+                err.to_string().contains(phrase),
+                "{err} should contain {phrase:?}"
+            );
+        }
+    }
+}

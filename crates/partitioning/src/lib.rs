@@ -19,6 +19,7 @@
 
 pub mod banked;
 pub mod baseline;
+pub mod error;
 pub mod hist;
 pub mod llc;
 pub mod pipp;
@@ -26,6 +27,7 @@ pub mod way_part;
 
 pub use banked::BankedLlc;
 pub use baseline::{BaselineLlc, RankPolicy};
+pub use error::SchemeConfigError;
 pub use hist::TsHistogram;
 pub use llc::{AccessOutcome, Llc, LlcStats};
 pub use pipp::{PippConfig, PippLlc};

@@ -1,6 +1,7 @@
 //! The [`Llc`] trait: a shared, partitioned last-level cache.
 
 use vantage_cache::LineAddr;
+use vantage_telemetry::Telemetry;
 
 /// Outcome of one cache access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +117,26 @@ pub trait Llc {
 
     /// Mutable statistics (e.g. to reset between measurement intervals).
     fn stats_mut(&mut self) -> &mut LlcStats;
+
+    /// Takes the accumulated statistics, leaving zeroed counters — the
+    /// uniform "read one measurement interval" operation across schemes.
+    fn take_stats(&mut self) -> LlcStats {
+        let partitions = self.num_partitions();
+        std::mem::replace(self.stats_mut(), LlcStats::new(partitions))
+    }
+
+    /// Installs a telemetry handle; the cache emits dynamics events and
+    /// periodic per-partition samples into it from now on. Returns `false`
+    /// (dropping the handle) if the scheme does not support telemetry.
+    fn set_telemetry(&mut self, _telemetry: Telemetry) -> bool {
+        false
+    }
+
+    /// Removes and returns the installed telemetry handle (flushing is the
+    /// caller's or the handle's `Drop`'s job), or `None` if absent.
+    fn take_telemetry(&mut self) -> Option<Telemetry> {
+        None
+    }
 
     /// A short human-readable scheme name (e.g. `"Vantage"`, `"WayPart"`).
     fn name(&self) -> &str;

@@ -23,7 +23,9 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vantage_cache::{CacheArray, LineAddr, SetAssocArray, Walk};
+use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
+use crate::error::SchemeConfigError;
 use crate::llc::{ways_from_targets, AccessOutcome, Llc, LlcStats};
 
 /// Tuning knobs for [`PippLlc`] (defaults are the paper's values).
@@ -80,6 +82,8 @@ pub struct PippLlc {
     rng: SmallRng,
     stats: LlcStats,
     walk: Walk,
+    tele: Telemetry,
+    accesses: u64,
 }
 
 impl PippLlc {
@@ -88,13 +92,35 @@ impl PippLlc {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is invalid or `partitions > ways`.
+    /// Panics if the geometry is invalid or `partitions > ways`; use
+    /// [`PippLlc::try_new`] to handle the error instead.
     pub fn new(frames: usize, ways: usize, partitions: usize, cfg: PippConfig, seed: u64) -> Self {
-        assert!(
-            partitions > 0 && partitions <= ways,
-            "need 1..=ways partitions"
-        );
-        assert!(ways <= u8::MAX as usize + 1, "way index must fit in u8");
+        match Self::try_new(frames, ways, partitions, cfg, seed) {
+            Ok(llc) => llc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeConfigError::PartitionsExceedWays`] unless
+    /// `1 <= partitions <= ways`, and [`SchemeConfigError::TooManyWays`]
+    /// when a way index would not fit the per-way chain metadata.
+    pub fn try_new(
+        frames: usize,
+        ways: usize,
+        partitions: usize,
+        cfg: PippConfig,
+        seed: u64,
+    ) -> Result<Self, SchemeConfigError> {
+        if partitions == 0 || partitions > ways {
+            return Err(SchemeConfigError::PartitionsExceedWays { partitions, ways });
+        }
+        if ways > u8::MAX as usize + 1 {
+            return Err(SchemeConfigError::TooManyWays { ways });
+        }
         let array = SetAssocArray::hashed(frames, ways, seed);
         let sets = frames / ways;
         let mut chain = Vec::with_capacity(frames);
@@ -116,10 +142,30 @@ impl PippLlc {
             rng: SmallRng::seed_from_u64(seed ^ 0x9157),
             stats: LlcStats::new(partitions),
             walk: Walk::with_capacity(ways),
+            tele: Telemetry::disabled(),
+            accesses: 0,
         };
         let even = vec![1u64; partitions];
         Llc::set_targets(&mut llc, &even);
-        llc
+        Ok(llc)
+    }
+
+    /// Emits one sample per partition; `target` is the (pseudo-)allocation
+    /// in lines. PIPP has no apertures or setpoints, so those report 0.
+    #[cold]
+    fn emit_samples(&mut self) {
+        let lines_per_way = (self.owner.len() / self.ways as usize) as u64;
+        for part in 0..self.part_lines.len() {
+            self.tele.sample(PartitionSample {
+                access: self.accesses,
+                part: part as u16,
+                actual: self.part_lines[part],
+                target: u64::from(self.alloc[part]) * lines_per_way,
+                aperture: 0.0,
+                window: 0,
+                churn: 0,
+            });
+        }
     }
 
     /// Current way allocation (streaming partitions are reported as
@@ -201,6 +247,10 @@ impl PippLlc {
 
 impl Llc for PippLlc {
     fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
+        self.accesses += 1;
+        if self.tele.sample_due(self.accesses) {
+            self.emit_samples();
+        }
         if let Some(frame) = self.array.lookup(addr) {
             self.stats.hits[part] += 1;
             self.interval_hits[part] += 1;
@@ -239,7 +289,13 @@ impl Llc for PippLlc {
         let vnode = walk.nodes[victim_way as usize];
         if vnode.is_occupied() {
             self.stats.evictions += 1;
-            self.part_lines[self.owner[vnode.frame as usize] as usize] -= 1;
+            let vowner = self.owner[vnode.frame as usize];
+            self.part_lines[vowner as usize] -= 1;
+            self.tele.event(TelemetryEvent::Eviction {
+                access: self.accesses,
+                part: vowner,
+                forced: false,
+            });
         }
         let mut moves = Vec::new();
         let landing = {
@@ -300,6 +356,20 @@ impl Llc for PippLlc {
 
     fn stats_mut(&mut self) -> &mut LlcStats {
         &mut self.stats
+    }
+
+    fn set_telemetry(&mut self, mut telemetry: Telemetry) -> bool {
+        telemetry.bind(self.part_lines.len());
+        self.tele = telemetry;
+        true
+    }
+
+    fn take_telemetry(&mut self) -> Option<Telemetry> {
+        if self.tele.enabled() {
+            Some(std::mem::take(&mut self.tele))
+        } else {
+            None
+        }
     }
 
     fn name(&self) -> &str {
@@ -393,6 +463,35 @@ mod tests {
         for p in 0..16 {
             assert_eq!(llc.insert_position(p), 0);
         }
+    }
+
+    #[test]
+    fn try_new_rejects_bad_geometry() {
+        assert!(matches!(
+            PippLlc::try_new(1024, 16, 0, PippConfig::default(), 1),
+            Err(crate::SchemeConfigError::PartitionsExceedWays { .. })
+        ));
+        assert!(PippLlc::try_new(1024, 16, 4, PippConfig::default(), 1).is_ok());
+    }
+
+    #[test]
+    fn telemetry_counts_eviction_churn() {
+        use vantage_telemetry::{RingSink, Telemetry, TelemetryRecord};
+        let mut llc = pipp(2);
+        let (sink, reader) = RingSink::with_capacity(8192);
+        llc.set_telemetry(Telemetry::new(Box::new(sink), 512));
+        for i in 0..5000u64 {
+            llc.access((i % 2) as usize, LineAddr(i));
+        }
+        let total_churn: u64 = reader
+            .records()
+            .iter()
+            .filter_map(|r| match r {
+                TelemetryRecord::Sample(s) => Some(s.churn),
+                _ => None,
+            })
+            .sum();
+        assert!(total_churn > 0, "streaming traffic must churn lines");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! reproduces the slow target-tracking the paper observes in Fig. 8a.
 
 use vantage_cache::{LineAddr, SetAssocArray, TsLru};
+use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
+use crate::error::SchemeConfigError;
 use crate::hist::TsHistogram;
 use crate::llc::{ways_from_targets, AccessOutcome, Llc, LlcStats};
 
@@ -93,6 +95,7 @@ pub struct WayPartLlc {
     stats: LlcStats,
     probe: Option<PriorityProbe>,
     probe_ts: Vec<u8>,
+    tele: Telemetry,
     accesses: u64,
 }
 
@@ -103,12 +106,30 @@ impl WayPartLlc {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is invalid or `partitions > ways`.
+    /// Panics if the geometry is invalid or `partitions > ways`; use
+    /// [`WayPartLlc::try_new`] to handle the error instead.
     pub fn new(frames: usize, ways: usize, partitions: usize, seed: u64) -> Self {
-        assert!(
-            partitions > 0 && partitions <= ways,
-            "need 1..=ways partitions"
-        );
+        match Self::try_new(frames, ways, partitions, seed) {
+            Ok(llc) => llc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeConfigError::PartitionsExceedWays`] unless
+    /// `1 <= partitions <= ways`.
+    pub fn try_new(
+        frames: usize,
+        ways: usize,
+        partitions: usize,
+        seed: u64,
+    ) -> Result<Self, SchemeConfigError> {
+        if partitions == 0 || partitions > ways {
+            return Err(SchemeConfigError::PartitionsExceedWays { partitions, ways });
+        }
         let array = SetAssocArray::hashed(frames, ways, seed);
         let mut llc = Self {
             array,
@@ -122,11 +143,30 @@ impl WayPartLlc {
             stats: LlcStats::new(partitions),
             probe: None,
             probe_ts: vec![0; frames],
+            tele: Telemetry::disabled(),
             accesses: 0,
         };
         let even = vec![1u64; partitions];
         llc.set_targets(&even);
-        llc
+        Ok(llc)
+    }
+
+    /// Emits one sample per partition; `target` is the way allocation in
+    /// lines (ways have no apertures or setpoints, so those report 0).
+    #[cold]
+    fn emit_samples(&mut self) {
+        let lines_per_way = (self.last.len() / self.ways as usize) as u64;
+        for part in 0..self.part_lines.len() {
+            self.tele.sample(PartitionSample {
+                access: self.accesses,
+                part: part as u16,
+                actual: self.part_lines[part],
+                target: u64::from(self.alloc[part]) * lines_per_way,
+                aperture: 0.0,
+                window: 0,
+                churn: 0,
+            });
+        }
     }
 
     /// Enables Fig. 8-style eviction-priority sampling.
@@ -193,6 +233,9 @@ impl Llc for WayPartLlc {
     fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
         use vantage_cache::CacheArray;
         self.accesses += 1;
+        if self.tele.sample_due(self.accesses) {
+            self.emit_samples();
+        }
         let probe_ts = self
             .probe
             .as_mut()
@@ -249,6 +292,11 @@ impl Llc for WayPartLlc {
             self.stats.evictions += 1;
             let vowner = self.owner[vnode.frame as usize] as usize;
             self.part_lines[vowner] -= 1;
+            self.tele.event(TelemetryEvent::Eviction {
+                access: self.accesses,
+                part: vowner as u16,
+                forced: false,
+            });
             if let Some(pr) = self.probe.as_mut() {
                 pr.record_evict(self.accesses, vowner, self.probe_ts[vnode.frame as usize]);
             }
@@ -290,6 +338,20 @@ impl Llc for WayPartLlc {
 
     fn stats_mut(&mut self) -> &mut LlcStats {
         &mut self.stats
+    }
+
+    fn set_telemetry(&mut self, mut telemetry: Telemetry) -> bool {
+        telemetry.bind(self.part_lines.len());
+        self.tele = telemetry;
+        true
+    }
+
+    fn take_telemetry(&mut self) -> Option<Telemetry> {
+        if self.tele.enabled() {
+            Some(std::mem::take(&mut self.tele))
+        } else {
+            None
+        }
     }
 
     fn name(&self) -> &str {
@@ -399,6 +461,41 @@ mod tests {
             llc.drain_priority_samples().is_empty(),
             "drain empties the buffer"
         );
+    }
+
+    #[test]
+    fn try_new_rejects_more_partitions_than_ways() {
+        assert!(matches!(
+            WayPartLlc::try_new(1024, 16, 17, 1),
+            Err(crate::SchemeConfigError::PartitionsExceedWays {
+                partitions: 17,
+                ways: 16
+            })
+        ));
+        assert!(WayPartLlc::try_new(1024, 16, 16, 1).is_ok());
+    }
+
+    #[test]
+    fn telemetry_samples_report_way_targets() {
+        use vantage_telemetry::{RingSink, Telemetry, TelemetryRecord};
+        let mut llc = WayPartLlc::new(1024, 16, 2, 1);
+        llc.set_targets(&[768, 256]); // 12 + 4 ways, 64 lines/way
+        let (sink, reader) = RingSink::with_capacity(4096);
+        llc.set_telemetry(Telemetry::new(Box::new(sink), 256));
+        for i in 0..2000u64 {
+            llc.access((i % 2) as usize, LineAddr(i));
+        }
+        let targets: Vec<(u16, u64)> = reader
+            .records()
+            .iter()
+            .filter_map(|r| match r {
+                TelemetryRecord::Sample(s) => Some((s.part, s.target)),
+                _ => None,
+            })
+            .collect();
+        assert!(!targets.is_empty());
+        assert!(targets.contains(&(0, 12 * 64)));
+        assert!(targets.contains(&(1, 4 * 64)));
     }
 
     #[test]

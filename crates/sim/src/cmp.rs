@@ -98,7 +98,7 @@ impl CmpSim {
         sys.validate();
         assert_eq!(mix.apps.len(), sys.cores, "mix size must match core count");
         let mut scheme = Scheme::build(kind, &sys);
-        if let Some(v) = scheme.vantage_mut() {
+        if let Some(v) = scheme.as_vantage_mut() {
             v.set_scrub_period(sys.scrub_period);
         }
         let ucp_granularity = match kind {
@@ -218,6 +218,18 @@ impl CmpSim {
         &self.scheme
     }
 
+    /// Installs a telemetry producer on the LLC under test.
+    ///
+    /// Returns `false` when the scheme does not support telemetry.
+    pub fn set_telemetry(&mut self, telemetry: vantage_telemetry::Telemetry) -> bool {
+        self.scheme.set_telemetry(telemetry)
+    }
+
+    /// Detaches the LLC's telemetry producer, flushing its sink.
+    pub fn take_telemetry(&mut self) -> Option<vantage_telemetry::Telemetry> {
+        self.scheme.take_telemetry()
+    }
+
     fn take_trace_sample(&mut self, cycle: u64) {
         let n = self.cores.len();
         let targets = if self.last_targets.is_empty() {
@@ -237,7 +249,7 @@ impl CmpSim {
 
     fn repartition(&mut self) {
         if self.sys.check_invariants {
-            if let Some(v) = self.scheme.vantage() {
+            if let Some(v) = self.scheme.as_vantage() {
                 if let Err(e) = v.invariants() {
                     panic!("invariant check at repartitioning failed: {e}");
                 }
@@ -253,7 +265,7 @@ impl CmpSim {
             for u in umons.iter_mut() {
                 u.decay();
             }
-            if let Some(v) = self.scheme.vantage_mut() {
+            if let Some(v) = self.scheme.as_vantage_mut() {
                 for (p, pol) in policies.into_iter().enumerate() {
                     v.set_partition_policy(p, pol);
                 }
@@ -344,7 +356,7 @@ impl CmpSim {
             mpki,
             managed_eviction_fraction: self
                 .scheme
-                .vantage()
+                .as_vantage()
                 .map(|v| v.vantage_stats().managed_eviction_fraction()),
             trace: std::mem::take(&mut self.trace),
             priority_samples: self.scheme.drain_priority_samples(),
@@ -489,7 +501,7 @@ mod tests {
         let mut sim = CmpSim::new(sys, &SchemeKind::vantage_paper(), mix);
         let r = sim.run();
         assert!(r.throughput > 0.0);
-        let v = sim.scheme().vantage().expect("vantage scheme");
+        let v = sim.scheme().as_vantage().expect("vantage scheme");
         assert!(v.vantage_stats().scrubs > 0, "periodic scrub never ran");
         assert_eq!(v.vantage_stats().corrupted_pid_fallbacks, 0);
     }

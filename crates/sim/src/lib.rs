@@ -27,4 +27,4 @@ pub mod scheme;
 pub use cmp::{run_solo, CmpSim, SimResult, TraceSample};
 pub use config::{ArrayKind, BaselineRank, SchemeKind, SysConfigError, SystemConfig};
 pub use l1::L1;
-pub use scheme::Scheme;
+pub use scheme::{BuildError, Scheme};

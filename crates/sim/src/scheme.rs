@@ -1,12 +1,63 @@
 //! Scheme instantiation: turning a [`SchemeKind`] into a live LLC.
 
-use vantage::{RankMode, VantageLlc};
+use std::error::Error;
+use std::fmt;
+
+use vantage::{RankMode, VantageError, VantageLlc};
 use vantage_cache::{
     CacheArray, RandomArray, RripConfig, RripMode, SetAssocArray, SkewArray, ZArray,
 };
-use vantage_partitioning::{BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, WayPartLlc};
+use vantage_partitioning::{
+    BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, SchemeConfigError, WayPartLlc,
+};
+use vantage_telemetry::Telemetry;
 
 use crate::config::{ArrayKind, BaselineRank, SchemeKind, SystemConfig};
+
+/// A scheme that cannot be instantiated on the requested machine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// The Vantage controller rejected its configuration.
+    Vantage(VantageError),
+    /// A baseline/way-partitioning/PIPP geometry error.
+    Scheme(SchemeConfigError),
+    /// `Vantage-DRRIP` was requested over a non-RRIP `VantageConfig`.
+    DrripNeedsRrip,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Vantage(e) => e.fmt(f),
+            Self::Scheme(e) => e.fmt(f),
+            Self::DrripNeedsRrip => {
+                f.write_str("Vantage-DRRIP needs RRIP ranking in its VantageConfig")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Vantage(e) => Some(e),
+            Self::Scheme(e) => Some(e),
+            Self::DrripNeedsRrip => None,
+        }
+    }
+}
+
+impl From<VantageError> for BuildError {
+    fn from(e: VantageError) -> Self {
+        Self::Vantage(e)
+    }
+}
+
+impl From<SchemeConfigError> for BuildError {
+    fn from(e: SchemeConfigError) -> Self {
+        Self::Scheme(e)
+    }
+}
 
 /// A live LLC of any scheme, with scheme-specific instrumentation surfaced
 /// without downcasting.
@@ -41,10 +92,26 @@ impl Scheme {
     /// # Panics
     ///
     /// Panics on inconsistent configurations (e.g. more partitions than
-    /// ways for way-granularity schemes).
+    /// ways for way-granularity schemes); use [`Scheme::try_build`] to
+    /// handle the error instead.
     pub fn build(kind: &SchemeKind, sys: &SystemConfig) -> Self {
+        match Self::try_build(kind, sys) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Scheme::build`] with typed errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the scheme cannot be instantiated:
+    /// controller configuration errors for Vantage, geometry errors for the
+    /// way-granularity schemes, or a Vantage-DRRIP request over a non-RRIP
+    /// ranking mode.
+    pub fn try_build(kind: &SchemeKind, sys: &SystemConfig) -> Result<Self, BuildError> {
         let seed = sys.seed ^ 0xCAC4E;
-        match kind {
+        Ok(match kind {
             SchemeKind::Baseline { array, rank } => {
                 let arr = build_array(*array, sys.l2_lines, seed);
                 let policy = match rank {
@@ -59,29 +126,29 @@ impl Scheme {
                         RankPolicy::Rrip(RripConfig::paper(RripMode::TaDrrip, sys.cores, seed))
                     }
                 };
-                Scheme::Baseline(BaselineLlc::new(arr, sys.cores, policy))
+                Scheme::Baseline(BaselineLlc::try_new(arr, sys.cores, policy)?)
             }
-            SchemeKind::WayPart => {
-                Scheme::WayPart(WayPartLlc::new(sys.l2_lines, sys.l2_ways, sys.cores, seed))
-            }
-            SchemeKind::Pipp => Scheme::Pipp(PippLlc::new(
+            SchemeKind::WayPart => Scheme::WayPart(WayPartLlc::try_new(
+                sys.l2_lines,
+                sys.l2_ways,
+                sys.cores,
+                seed,
+            )?),
+            SchemeKind::Pipp => Scheme::Pipp(PippLlc::try_new(
                 sys.l2_lines,
                 sys.l2_ways,
                 sys.cores,
                 PippConfig::default(),
                 seed,
-            )),
+            )?),
             SchemeKind::Vantage { array, cfg, drrip } => {
-                if *drrip {
-                    assert!(
-                        matches!(cfg.rank, RankMode::Rrip { .. }),
-                        "Vantage-DRRIP needs RRIP ranking in its VantageConfig"
-                    );
+                if *drrip && !matches!(cfg.rank, RankMode::Rrip { .. }) {
+                    return Err(BuildError::DrripNeedsRrip);
                 }
                 let arr = build_array(*array, sys.l2_lines, seed);
-                Scheme::Vantage(VantageLlc::new(arr, sys.cores, cfg.clone(), seed))
+                Scheme::Vantage(VantageLlc::try_new(arr, sys.cores, cfg.clone(), seed)?)
             }
-        }
+        })
     }
 
     /// The scheme as a trait object.
@@ -109,8 +176,8 @@ impl Scheme {
         !matches!(self, Scheme::Baseline(_))
     }
 
-    /// Vantage-specific statistics, when the scheme is Vantage.
-    pub fn vantage(&self) -> Option<&VantageLlc> {
+    /// Vantage-specific instrumentation, when the scheme is Vantage.
+    pub fn as_vantage(&self) -> Option<&VantageLlc> {
         match self {
             Scheme::Vantage(l) => Some(l),
             _ => None,
@@ -118,11 +185,24 @@ impl Scheme {
     }
 
     /// Mutable Vantage access (for DRRIP policy updates, probes).
-    pub fn vantage_mut(&mut self) -> Option<&mut VantageLlc> {
+    pub fn as_vantage_mut(&mut self) -> Option<&mut VantageLlc> {
         match self {
             Scheme::Vantage(l) => Some(l),
             _ => None,
         }
+    }
+
+    /// Installs a telemetry producer on the underlying cache.
+    ///
+    /// Returns `false` when the scheme does not support telemetry (see
+    /// [`Llc::set_telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) -> bool {
+        self.llc_mut().set_telemetry(telemetry)
+    }
+
+    /// Detaches the telemetry producer, flushing its sink.
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.llc_mut().take_telemetry()
     }
 
     /// Enables eviction/demotion priority probes where supported
@@ -195,7 +275,7 @@ mod tests {
         assert!(!base.uses_ucp());
         let v = Scheme::build(&SchemeKind::vantage_paper(), &sys);
         assert!(v.uses_ucp());
-        assert!(v.vantage().is_some());
+        assert!(v.as_vantage().is_some());
     }
 
     #[test]
@@ -208,5 +288,58 @@ mod tests {
             drrip: true,
         };
         Scheme::build(&kind, &sys);
+    }
+
+    #[test]
+    fn try_build_surfaces_config_errors() {
+        let sys = SystemConfig::small_scale();
+        let kind = SchemeKind::Vantage {
+            array: ArrayKind::Z4_52,
+            cfg: VantageConfig::default(),
+            drrip: true,
+        };
+        assert_eq!(
+            Scheme::try_build(&kind, &sys).err(),
+            Some(BuildError::DrripNeedsRrip)
+        );
+
+        // Way-granularity schemes cannot host more partitions than ways.
+        let mut crowded = SystemConfig::small_scale();
+        crowded.cores = 32; // 32 partitions over a 16-way L2
+        assert!(matches!(
+            Scheme::try_build(&SchemeKind::WayPart, &crowded),
+            Err(BuildError::Scheme(
+                SchemeConfigError::PartitionsExceedWays { .. }
+            ))
+        ));
+
+        // A bad Vantage controller config surfaces as a typed error too.
+        let kind = SchemeKind::Vantage {
+            array: ArrayKind::Z4_52,
+            cfg: VantageConfig {
+                unmanaged_fraction: 1.5,
+                ..VantageConfig::default()
+            },
+            drrip: false,
+        };
+        assert!(matches!(
+            Scheme::try_build(&kind, &sys),
+            Err(BuildError::Vantage(_))
+        ));
+    }
+
+    #[test]
+    fn telemetry_forwards_to_the_underlying_llc() {
+        use vantage_telemetry::RingSink;
+        let sys = SystemConfig::small_scale();
+        let mut s = Scheme::build(&SchemeKind::vantage_paper(), &sys);
+        let (sink, reader) = RingSink::with_capacity(1 << 16);
+        assert!(s.set_telemetry(Telemetry::new(Box::new(sink), 256)));
+        for i in 0..4096u64 {
+            s.llc_mut()
+                .access((i % 4) as usize, vantage_cache::LineAddr(i % 900));
+        }
+        assert!(s.take_telemetry().is_some());
+        assert!(!reader.is_empty(), "no telemetry records forwarded");
     }
 }

@@ -14,6 +14,8 @@
 //!   multiprogrammed mix generation.
 //! * [`sim`] — the CMP simulator (in-order cores, private L1s, shared
 //!   partitioned L2, memory).
+//! * [`telemetry`] — partition-dynamics observation: typed events, periodic
+//!   per-partition samples, and swappable sinks (null, ring, CSV, JSON).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 //!
@@ -35,5 +37,6 @@ pub use vantage as core;
 pub use vantage_cache as cache;
 pub use vantage_partitioning as partitioning;
 pub use vantage_sim as sim;
+pub use vantage_telemetry as telemetry;
 pub use vantage_ucp as ucp;
 pub use vantage_workloads as workloads;

@@ -40,7 +40,7 @@ fn warmed(frames: usize, targets: &[u64]) -> (VantageLlc, SmallRng) {
             drive(&mut llc, p, 100_000, 4_000, &mut rng);
         }
     }
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
     (llc, rng)
 }
 
@@ -54,7 +54,7 @@ fn assert_reconverged(llc: &mut VantageLlc, rng: &mut SmallRng, accesses: u64) {
             drive(llc, p, 100_000, 1_000, rng);
         }
     }
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
     for p in 0..parts {
         let t = llc.partition_target(p) as f64;
         let s = llc.partition_size(p) as f64;
@@ -86,7 +86,7 @@ fn tag_pid_corruption_is_tolerated_and_scrubbed() {
         report.size_corrections > 0,
         "PID flips must desync size registers"
     );
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
     assert_reconverged(&mut llc, &mut rng, 40_000);
 }
 
@@ -103,7 +103,7 @@ fn tag_ts_corruption_recovers() {
     // are still exactly accounted (no scrub needed for the registers).
     drive(&mut llc, 0, 100_000, 5_000, &mut rng);
     drive(&mut llc, 1, 100_000, 5_000, &mut rng);
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
     assert_reconverged(&mut llc, &mut rng, 20_000);
 }
 
@@ -124,7 +124,7 @@ fn actual_size_register_corruption_recovers_via_scrub() {
         report.size_corrections > 0,
         "scrub must rewrite the register"
     );
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
     // The register now matches the array again and sizes re-converge.
     assert_reconverged(&mut llc, &mut rng, 60_000);
 }
@@ -142,7 +142,7 @@ fn wedged_setpoint_is_recentered() {
     llc.scrub();
     // Either the window was wedged at an extreme (recentered), or feedback
     // already pulled it back — in both cases invariants hold afterwards.
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
     assert_reconverged(&mut llc, &mut rng, 60_000);
     // Re-centering must be idempotent: a second scrub finds nothing.
     let again = llc.scrub();
@@ -160,9 +160,9 @@ fn corrupted_meters_are_reset() {
     assert!(llc.invariants().is_err(), "corrupt meters must be detected");
     let report = llc.scrub();
     assert!(report.meters_reset >= 1);
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
     drive(&mut llc, 1, 100_000, 5_000, &mut rng);
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
 }
 
 #[test]
@@ -188,7 +188,7 @@ fn churn_burst_interference_is_bounded() {
         burst_accesses > 50_000,
         "bursts too small to stress anything"
     );
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
     // Inject() must report churn bursts as not-applicable.
     assert!(!llc.inject(&Fault::ChurnBurst {
         part_sel: 0,
@@ -227,7 +227,7 @@ fn continuous_fault_storm_with_periodic_scrub_survives() {
     assert!(injected > 20, "storm injected too few faults ({injected})");
     assert!(llc.vantage_stats().scrubs > 10, "auto-scrub never engaged");
     llc.scrub();
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
     // Even under a continuous storm the controller stays in the vicinity
     // of its targets (the storm corrupts state strictly slower than the
     // scrubber repairs it).

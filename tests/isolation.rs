@@ -107,7 +107,7 @@ fn partitions_bound_sizes_even_with_32_uneven_partitions() {
         let base = (p as u64 + 1) << 40;
         llc.access(p, (base + rng.gen_range(0..50_000u64)).into());
     }
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
 
     // MSS bound (Eq. 6): total borrowed ≈ 1/(A_max·R) of the cache.
     let mss_total = LINES as f64 / (0.5 * 52.0);

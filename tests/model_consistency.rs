@@ -30,8 +30,9 @@ fn managed_eviction_fraction_tracks_unmanaged_sizing() {
         let mut llc = VantageLlc::new(Box::new(ZArray::new(8 * 1024, 4, 52, 1)), 4, cfg, 1);
         llc.set_targets(&[2048; 4]);
         churn(&mut llc, 4, 1_500_000, 42);
-        // Skip warmup effects: reset and measure a steady-state window.
-        llc.vantage_stats_mut().reset();
+        // Skip warmup effects: drain the counters and measure a
+        // steady-state window.
+        llc.take_vantage_stats();
         churn(&mut llc, 4, 1_500_000, 43);
         fractions.push(llc.vantage_stats().managed_eviction_fraction());
     }
@@ -57,7 +58,7 @@ fn feedback_outgrowth_respects_eq9() {
     let mut llc = VantageLlc::new(Box::new(ZArray::new(cap as usize, 4, 52, 2)), 4, cfg, 1);
     llc.set_targets(&[cap / 4; 4]);
     churn(&mut llc, 4, 3_000_000, 7);
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
     let outgrowth: f64 = (0..4)
         .map(|p| (llc.partition_size(p) as f64 - llc.partition_target(p) as f64).max(0.0))
         .sum();
@@ -85,7 +86,7 @@ fn minimum_stable_size_bounded_by_eq5() {
     for i in 0..1_500_000u64 {
         llc.access(0, ((1u64 << 40) + i).into());
     }
-    llc.check_invariants();
+    llc.invariants().expect("invariants hold");
     let mss_lines = cap as f64 / (0.5 * 52.0); // ≈ 1/(A_max·R) of the cache
     let s0 = llc.partition_size(0) as f64;
     assert!(

@@ -305,7 +305,7 @@ proptest! {
                 let base = (p as u64 + 1) << 40;
                 llc.access(p, LineAddr(base + rng.gen_range(0..5_000u64)));
             }
-            llc.check_invariants();
+            llc.invariants().expect("invariants hold");
         }
     }
 }

@@ -1,0 +1,83 @@
+//! Regression test: the telemetry producer path must not allocate.
+//!
+//! This file is its own test binary so it can install a counting global
+//! allocator without affecting the rest of the suite. With a `NullSink`
+//! installed, the steady-state access path (hits, misses, demotions,
+//! evictions, periodic samples) must perform zero heap allocations — the
+//! zero-cost claim behind shipping telemetry enabled-but-null.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vantage_repro::cache::{LineAddr, ZArray};
+use vantage_repro::core::{VantageConfig, VantageLlc};
+use vantage_repro::partitioning::Llc;
+use vantage_repro::telemetry::{NullSink, Telemetry};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Deterministic xorshift so the measurement loop itself cannot allocate.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[test]
+fn nullsink_miss_path_is_allocation_free() {
+    let mut llc = VantageLlc::new(
+        Box::new(ZArray::new(8 * 1024, 4, 52, 11)),
+        4,
+        VantageConfig::default(),
+        11,
+    );
+    llc.set_targets(&[2048; 4]);
+    assert!(llc.set_telemetry(Telemetry::new(Box::new(NullSink), 0)));
+
+    // Warm to steady state (2x capacity pressure: hits, demotions and
+    // evictions all active) before counting.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for _ in 0..200_000u64 {
+        let r = xorshift(&mut state);
+        let p = (r % 4) as usize;
+        let base = ((p as u64) + 1) << 40;
+        llc.access(p, LineAddr(base + (r >> 8) % 1024));
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100_000u64 {
+        let r = xorshift(&mut state);
+        let p = (r % 4) as usize;
+        let base = ((p as u64) + 1) << 40;
+        llc.access(p, LineAddr(base + (r >> 8) % 1024));
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state access path allocated {} times with a NullSink",
+        after - before
+    );
+}
