@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vantage::{VantageConfig, VantageLlc};
 use vantage_bench::{warm, AddrStream};
 use vantage_cache::{SetAssocArray, ZArray};
-use vantage_partitioning::{BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, WayPartLlc};
+use vantage_partitioning::{
+    AccessRequest, BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, WayPartLlc,
+};
 
 const LINES: usize = 32 * 1024;
 const PARTS: usize = 4;
@@ -81,7 +83,10 @@ fn bench_access_churn(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
             b.iter(|| {
                 i += 1;
-                std::hint::black_box(llc.access((i % PARTS as u64) as usize, stream.next_addr()))
+                std::hint::black_box(llc.access(AccessRequest::read(
+                    (i % PARTS as u64) as usize,
+                    stream.next_addr(),
+                )))
             })
         });
     }
@@ -99,7 +104,10 @@ fn bench_access_hits(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
             b.iter(|| {
                 i += 1;
-                std::hint::black_box(llc.access((i % PARTS as u64) as usize, stream.next_addr()))
+                std::hint::black_box(llc.access(AccessRequest::read(
+                    (i % PARTS as u64) as usize,
+                    stream.next_addr(),
+                )))
             })
         });
     }

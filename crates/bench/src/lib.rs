@@ -15,7 +15,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vantage_cache::LineAddr;
-use vantage_partitioning::Llc;
+use vantage_partitioning::{AccessRequest, Llc};
 use vantage_sim::{CmpSim, SchemeKind, SimResult, SystemConfig};
 use vantage_workloads::{mixes, Mix};
 
@@ -47,7 +47,10 @@ impl AddrStream {
 /// Warms an LLC with `n` accesses from `parts` alternating partitions.
 pub fn warm(llc: &mut dyn Llc, parts: usize, n: u64, stream: &mut AddrStream) {
     for i in 0..n {
-        llc.access((i % parts as u64) as usize, stream.next_addr());
+        llc.access(AccessRequest::read(
+            (i % parts as u64) as usize,
+            stream.next_addr(),
+        ));
     }
 }
 

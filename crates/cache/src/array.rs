@@ -58,8 +58,9 @@ pub const INVALID_FRAME: Frame = u32::MAX;
 pub(crate) const EMPTY_LINE: u64 = u64::MAX;
 
 /// Widest way count the arrays' lookup→walk probe memo covers (every
-/// configuration in the paper uses far fewer ways).
-pub(crate) const MAX_PROBE_WAYS: usize = 8;
+/// configuration in the paper uses far fewer ways). Also the size of the
+/// frame scratch handed to [`CacheArray::prefetch`].
+pub const MAX_PROBE_WAYS: usize = 8;
 
 /// One node of a replacement-candidate walk.
 ///
@@ -173,6 +174,28 @@ impl Walk {
     }
 }
 
+/// Issues a best-effort read prefetch for the `i`-th element of `s`.
+///
+/// Purely a performance hint: out-of-bounds indices are ignored, and on
+/// architectures without a stable prefetch intrinsic this is a no-op.
+/// Batched access paths use it to overlap the memory latency of upcoming
+/// probes with current work (see [`CacheArray::prefetch`]).
+#[inline(always)]
+pub fn prefetch_slice<T>(s: &[T], i: usize) {
+    if let Some(p) = s.get(i) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `p` points into a live borrow of `s`; _mm_prefetch has no
+        // architectural effect beyond cache-state hints.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                (p as *const T).cast::<i8>(),
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = p;
+    }
+}
+
 /// A physical cache array: lookup, candidate generation and installation.
 ///
 /// Implementations must maintain the *placement invariant*: every stored line
@@ -182,8 +205,10 @@ impl Walk {
 /// per-frame metadata in lockstep.
 ///
 /// The trait is object-safe so that last-level caches can be generic over
-/// arrays at run time.
-pub trait CacheArray {
+/// arrays at run time. It is additionally `Send` so that whole cache object
+/// graphs (e.g. the banks of a sharded LLC) can move across the worker
+/// threads of a parallel simulation engine.
+pub trait CacheArray: Send {
     /// Total number of frames (the cache's capacity in lines).
     fn num_frames(&self) -> usize;
 
@@ -232,6 +257,46 @@ pub trait CacheArray {
 
     /// Number of valid lines currently stored.
     fn occupancy(&self) -> usize;
+
+    /// Issues best-effort memory prefetches for the state a subsequent
+    /// [`lookup`](CacheArray::lookup) of `addr` will probe, and writes the
+    /// depth-0 frames `addr` hashes to into `frames` (so callers can
+    /// prefetch their *own* per-frame metadata alongside). Returns the
+    /// number of frames written, at most [`MAX_PROBE_WAYS`].
+    ///
+    /// Purely a performance hint for batched access paths: correctness
+    /// never depends on it, stale hints are merely wasted, and the default
+    /// implementation does nothing. Implementations must not mutate
+    /// observable state.
+    fn prefetch(&self, _addr: LineAddr, _frames: &mut [Frame; MAX_PROBE_WAYS]) -> usize {
+        0
+    }
+
+    /// Deepens an earlier [`CacheArray::prefetch`]: expands `frames` (probe
+    /// or walk frames whose rows are already cache-resident from a prior
+    /// prefetch stage) one replacement-walk level, issuing prefetches for
+    /// each child candidate's state and appending the children to `out` so
+    /// callers can pipeline further stages (and warm their own per-frame
+    /// metadata).
+    ///
+    /// Like [`prefetch`](CacheArray::prefetch), this is purely a
+    /// performance hint: the expansion may be stale by the time a real walk
+    /// runs, correctness never depends on it, and the default
+    /// implementation does nothing. Implementations must not mutate
+    /// observable state.
+    fn prefetch_expand(&self, _frames: &[Frame], _out: &mut Vec<Frame>) {}
+
+    /// [`lookup`](CacheArray::lookup) for callers that already hold the
+    /// probe frames a prior [`prefetch`](CacheArray::prefetch) of `addr`
+    /// wrote: implementations may skip rehashing and probe the given
+    /// frames directly. `frames` must be exactly what `prefetch(addr)`
+    /// produced for this same array (the hash functions are fixed at
+    /// construction, so those frames never go stale); implementations
+    /// fall back to a full [`lookup`](CacheArray::lookup) when the hint
+    /// does not fit. Observable behavior is identical to `lookup`.
+    fn lookup_prefetched(&self, addr: LineAddr, _frames: &[Frame]) -> Option<Frame> {
+        self.lookup(addr)
+    }
 }
 
 /// Checks, in debug builds, that a walk's parent links are well formed:

@@ -50,7 +50,9 @@ pub mod set_assoc;
 pub mod skew;
 pub mod zarray;
 
-pub use array::{CacheArray, Frame, LineAddr, Walk, WalkNode, INVALID_FRAME};
+pub use array::{
+    prefetch_slice, CacheArray, Frame, LineAddr, Walk, WalkNode, INVALID_FRAME, MAX_PROBE_WAYS,
+};
 pub use hash::H3Hasher;
 pub use random_array::RandomArray;
 pub use replacement::lru::TsLru;

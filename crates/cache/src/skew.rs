@@ -9,8 +9,8 @@
 use std::cell::Cell;
 
 use crate::array::{
-    debug_check_walk, CacheArray, Frame, LineAddr, Walk, WalkNode, EMPTY_LINE, INVALID_FRAME,
-    MAX_PROBE_WAYS,
+    debug_check_walk, prefetch_slice, CacheArray, Frame, LineAddr, Walk, WalkNode, EMPTY_LINE,
+    INVALID_FRAME, MAX_PROBE_WAYS,
 };
 use crate::hash::H3Hasher;
 
@@ -165,6 +165,16 @@ impl CacheArray for SkewArray {
 
     fn occupancy(&self) -> usize {
         self.occupancy
+    }
+
+    fn prefetch(&self, addr: LineAddr, frames: &mut [Frame; MAX_PROBE_WAYS]) -> usize {
+        let ways = self.hashers.len().min(MAX_PROBE_WAYS);
+        for (w, slot) in frames.iter_mut().enumerate().take(ways) {
+            let f = self.frame_in_way(addr, w);
+            *slot = f;
+            prefetch_slice(&self.lines, f as usize);
+        }
+        ways
     }
 }
 

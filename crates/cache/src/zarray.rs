@@ -20,8 +20,8 @@
 use std::cell::Cell;
 
 use crate::array::{
-    debug_check_walk, CacheArray, Frame, LineAddr, Walk, WalkNode, EMPTY_LINE, INVALID_FRAME,
-    MAX_PROBE_WAYS,
+    debug_check_walk, prefetch_slice, CacheArray, Frame, LineAddr, Walk, WalkNode, EMPTY_LINE,
+    INVALID_FRAME, MAX_PROBE_WAYS,
 };
 use crate::hash::H3Hasher;
 
@@ -322,6 +322,65 @@ impl CacheArray for ZArray {
 
     fn occupancy(&self) -> usize {
         self.occupancy
+    }
+
+    fn prefetch(&self, addr: LineAddr, frames: &mut [Frame; MAX_PROBE_WAYS]) -> usize {
+        let ways = self.hashers.len().min(MAX_PROBE_WAYS);
+        for (w, slot) in frames.iter_mut().enumerate().take(ways) {
+            let f = self.frame_in_way(addr, w);
+            *slot = f;
+            prefetch_slice(&self.lines, f as usize);
+            if self.pos_ok {
+                // The walk's BFS expansion reads the position memo row of
+                // every occupied depth-0 frame; warm it alongside the line.
+                prefetch_slice(&self.pos, f as usize * self.hashers.len());
+            }
+        }
+        ways
+    }
+
+    fn prefetch_expand(&self, frames: &[Frame], out: &mut Vec<Frame>) {
+        if !self.pos_ok {
+            return; // no memo: expanding would cost W-1 hashes per frame
+        }
+        let ways = self.hashers.len();
+        for &f in frames {
+            if f == INVALID_FRAME || self.lines[f as usize] == EMPTY_LINE {
+                continue;
+            }
+            // Mirror the walk's expansion: the occupant's alternative
+            // positions in every other way, read from the (warm) memo row.
+            let own = self.way_of(f);
+            let base = f as usize * ways;
+            for w in 0..ways {
+                if w == own {
+                    continue;
+                }
+                let g = w as u32 * self.bank_size + u32::from(self.pos[base + w]);
+                prefetch_slice(&self.lines, g as usize);
+                prefetch_slice(&self.pos, g as usize * ways);
+                out.push(g);
+            }
+        }
+    }
+
+    fn lookup_prefetched(&self, addr: LineAddr, frames: &[Frame]) -> Option<Frame> {
+        let ways = self.hashers.len();
+        if addr.0 == EMPTY_LINE || frames.len() != ways || ways > MAX_PROBE_WAYS {
+            return self.lookup(addr);
+        }
+        for &f in frames {
+            if self.lines[f as usize] == addr.0 {
+                return Some(f);
+            }
+        }
+        // Miss: memoize the (already computed) probe frames for the walk,
+        // exactly as a full lookup would.
+        let mut memo = [INVALID_FRAME; MAX_PROBE_WAYS];
+        memo[..ways].copy_from_slice(frames);
+        self.probe_addr.set(addr.0);
+        self.probe_frames.set(memo);
+        None
     }
 }
 

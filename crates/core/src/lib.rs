@@ -37,7 +37,7 @@
 //! ```
 //! use vantage::{VantageConfig, VantageLlc};
 //! use vantage_cache::ZArray;
-//! use vantage_partitioning::Llc;
+//! use vantage_partitioning::{AccessRequest, Llc};
 //!
 //! // A Z4/52 zcache with 32 fine-grain partitions — the paper's
 //! // large-scale configuration (needs only 4 ways).
@@ -50,7 +50,7 @@
 //! targets[0] += spare;
 //! llc.set_targets(&targets);
 //!
-//! llc.access(5, 0xABC.into());
+//! llc.access(AccessRequest::read(5, 0xABC.into()));
 //! assert_eq!(llc.stats().misses[5], 1);
 //! ```
 

@@ -22,14 +22,16 @@
 //! explicitly at run time.
 
 use vantage_cache::replacement::rrip::BasePolicy;
-use vantage_cache::{CacheArray, Frame, LineAddr, RripConfig, RripMode, RripPolicy, TsLru, Walk};
-use vantage_partitioning::{AccessOutcome, Llc, LlcStats, TsHistogram};
+use vantage_cache::{
+    CacheArray, Frame, LineAddr, RripConfig, RripMode, RripPolicy, TsLru, Walk, MAX_PROBE_WAYS,
+};
+use vantage_partitioning::{AccessOutcome, AccessRequest, Llc, LlcStats, TsHistogram};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::config::{DemotionMode, RankMode, VantageConfig};
 use crate::controller::{Feedback, PartitionState};
 use crate::error::VantageError;
-use crate::fault::Fault;
+use crate::fault::{Fault, FaultPlan};
 
 /// The partition ID tagging unmanaged lines.
 pub const UNMANAGED: u16 = u16::MAX;
@@ -122,12 +124,12 @@ struct KeepWin {
 /// ```
 /// use vantage::{VantageConfig, VantageLlc};
 /// use vantage_cache::ZArray;
-/// use vantage_partitioning::Llc;
+/// use vantage_partitioning::{AccessRequest, Llc};
 ///
 /// let array = ZArray::new(4096, 4, 52, 1); // Z4/52
 /// let mut llc = VantageLlc::new(Box::new(array), 2, VantageConfig::default(), 1);
 /// llc.set_targets(&[3072, 1024]);
-/// llc.access(0, 0x1000.into());
+/// llc.access(AccessRequest::read(0, 0x1000.into()));
 /// assert_eq!(llc.stats().misses[0], 1);
 /// ```
 pub struct VantageLlc {
@@ -163,6 +165,9 @@ pub struct VantageLlc {
     accesses: u64,
     /// Run [`Self::scrub`] automatically every this many accesses.
     scrub_period: Option<u64>,
+    /// Attached fault schedule, polled once per access (`None` by default;
+    /// the disabled case costs one branch).
+    fault_plan: Option<FaultPlan>,
     /// Dynamics telemetry (events + periodic samples); disabled by default.
     tele: Telemetry,
 }
@@ -276,6 +281,7 @@ impl VantageLlc {
             samples: Vec::new(),
             accesses: 0,
             scrub_period: None,
+            fault_plan: None,
             tele: Telemetry::disabled(),
         };
         let even = vec![(frames / partitions) as u64; partitions];
@@ -534,6 +540,20 @@ impl VantageLlc {
     /// fault-tolerance loop. A zero period disables scrubbing.
     pub fn set_scrub_period(&mut self, period: Option<u64>) {
         self.scrub_period = period.filter(|&p| p > 0);
+    }
+
+    /// Attaches (or detaches, with `None`) a seeded [`FaultPlan`]: the plan
+    /// is polled on every access and due faults are injected in-line via
+    /// [`Self::inject`]. Pair with [`Self::set_scrub_period`] for a closed
+    /// inject/recover loop. Returns the previously attached plan, whose
+    /// [`log`](FaultPlan::log) records everything it injected.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) -> Option<FaultPlan> {
+        std::mem::replace(&mut self.fault_plan, plan)
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Applies one [`Fault`] to live state, deliberately leaving dependent
@@ -1132,9 +1152,19 @@ impl VantageLlc {
     }
 }
 
-impl Llc for VantageLlc {
-    fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
+impl VantageLlc {
+    /// [`Llc::access`] taking an optional probe hint: when `probe` holds
+    /// the frames a prior [`CacheArray::prefetch`] of this address
+    /// returned, the lookup reuses them via
+    /// [`CacheArray::lookup_prefetched`] instead of rehashing. Observable
+    /// behavior is identical either way; the batched path passes its
+    /// pipeline's stage-1 frames here.
+    fn access_probed(&mut self, req: AccessRequest, probe: &[Frame]) -> AccessOutcome {
+        let AccessRequest { part, addr, .. } = req;
         self.accesses += 1;
+        if let Some(fault) = self.fault_plan.as_mut().and_then(|p| p.poll(self.accesses)) {
+            self.inject(&fault);
+        }
         if let Some(period) = self.scrub_period {
             if self.accesses.is_multiple_of(period) {
                 self.scrub();
@@ -1143,7 +1173,12 @@ impl Llc for VantageLlc {
         if self.tele.sample_due(self.accesses) {
             self.emit_samples();
         }
-        if let Some(frame) = self.array.lookup(addr) {
+        let found = if probe.is_empty() {
+            self.array.lookup(addr)
+        } else {
+            self.array.lookup_prefetched(addr, probe)
+        };
+        if let Some(frame) = found {
             self.stats.hits[part] += 1;
             self.hit(part, frame);
             AccessOutcome::Hit
@@ -1151,6 +1186,104 @@ impl Llc for VantageLlc {
             self.stats.misses[part] += 1;
             self.miss(part, addr);
             AccessOutcome::Miss
+        }
+    }
+}
+
+impl Llc for VantageLlc {
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        self.access_probed(req, &[])
+    }
+
+    /// The serial loop with a two-stage software-prefetch pipeline. At
+    /// working sets beyond the host LLC, each access is otherwise a chain
+    /// of dependent random loads: `ways` line probes on every request, and
+    /// on a miss the replacement walk's BFS over the candidate frames
+    /// (each level's positions are read from the previous level's rows).
+    /// The pipeline mirrors that dependence structure across requests:
+    ///
+    /// * at `i + D1`, warm request `i + D1`'s depth-0 probe rows
+    ///   ([`CacheArray::prefetch`]);
+    /// * at `i + D2`, once those rows are resident, predict the outcome
+    ///   from them and — for predicted misses only — expand one walk level
+    ///   and warm the depth-1 candidates
+    ///   ([`CacheArray::prefetch_expand`]).
+    ///
+    /// Per-frame ranking tags (`meta`) are warmed alongside each stage.
+    /// (A third stage warming the walk's final level was tried — both the
+    /// full expansion and a leaf-only variant — and *hurt*: the ~70-110
+    /// extra prefetches per miss oversubscribe the fill buffers.)
+    ///
+    /// At serve time the request's probe frames — computed at stage 1 and
+    /// guaranteed current because the array's hash functions are fixed at
+    /// construction — are handed back to the lookup
+    /// ([`CacheArray::lookup_prefetched`]), sparing the rehash.
+    /// Replacement decisions are untouched — prefetches are hints and the
+    /// serve path is exactly [`Llc::access`] — so outcomes and statistics
+    /// are identical to the one-at-a-time path.
+    fn access_batch(&mut self, reqs: &[AccessRequest], out: &mut Vec<AccessOutcome>) {
+        /// Prefetch distances (in requests ahead of the serving position)
+        /// of the two stages: far enough apart that stage 2's reads were
+        /// prefetched by stage 1, near enough that lines survive in cache
+        /// until their turn.
+        const D1: usize = 48;
+        const D2: usize = 16;
+        /// One slot more than the pipeline depth, so request `i`'s slot is
+        /// still intact when it is served at iteration `i` (stage 1 of
+        /// iteration `i` recycles a different slot).
+        const RING: usize = D1 + 1;
+
+        /// In-flight prefetch state for one request: its depth-0 probe
+        /// frames and the walk candidates expanded from them.
+        #[derive(Clone)]
+        struct Slot {
+            l0: [Frame; MAX_PROBE_WAYS],
+            n: usize,
+            l1: Vec<Frame>,
+        }
+
+        out.reserve(reqs.len());
+        let mut ring: Vec<Slot> = vec![
+            Slot {
+                l0: [vantage_cache::INVALID_FRAME; MAX_PROBE_WAYS],
+                n: 0,
+                l1: Vec::with_capacity(16),
+            };
+            RING
+        ];
+        for (i, &req) in reqs.iter().enumerate() {
+            if let Some(ahead) = reqs.get(i + D1) {
+                let slot = &mut ring[(i + D1) % RING];
+                slot.n = self.array.prefetch(ahead.addr, &mut slot.l0);
+                slot.l1.clear();
+                for &f in &slot.l0[..slot.n] {
+                    // The hit path reads meta[frame]; warm it alongside
+                    // the array's own probe state.
+                    vantage_cache::prefetch_slice(&self.meta, f as usize);
+                }
+            }
+            if let Some(ahead) = reqs.get(i + D2) {
+                let slot = &mut ring[(i + D2) % RING];
+                // Only a miss walks; its probe rows are warm by now, so
+                // predict the outcome and skip the (much wider) expansion
+                // for hits. A mispredict — the line moving between now and
+                // serve time — only costs or spares some prefetches.
+                let hit = slot.l0[..slot.n]
+                    .iter()
+                    .any(|&f| self.array.occupant(f) == Some(ahead.addr));
+                if !hit {
+                    self.array.prefetch_expand(&slot.l0[..slot.n], &mut slot.l1);
+                    for &f in &slot.l1 {
+                        // The replacement process ranks every candidate.
+                        vantage_cache::prefetch_slice(&self.meta, f as usize);
+                    }
+                }
+            }
+            let (l0, n) = {
+                let slot = &ring[i % RING];
+                (slot.l0, slot.n)
+            };
+            out.push(self.access_probed(req, &l0[..n]));
         }
     }
 
@@ -1230,8 +1363,34 @@ mod tests {
     fn drive(llc: &mut VantageLlc, part: usize, working_set: u64, n: u64, rng: &mut SmallRng) {
         let base = (part as u64 + 1) << 40;
         for _ in 0..n {
-            llc.access(part, LineAddr(base + rng.gen_range(0..working_set)));
+            llc.access(AccessRequest::read(
+                part,
+                LineAddr(base + rng.gen_range(0..working_set)),
+            ));
         }
+    }
+
+    #[test]
+    fn attached_fault_plan_injects_and_scrub_recovers() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut llc = default_llc(2048, 2);
+        llc.set_fault_plan(Some(FaultPlan::new(0xBAD, 500, &FaultKind::INJECTABLE)));
+        llc.set_scrub_period(Some(2_000));
+        let mut rng = SmallRng::seed_from_u64(9);
+        drive(&mut llc, 0, 10_000, 20_000, &mut rng);
+        drive(&mut llc, 1, 10_000, 20_000, &mut rng);
+        let plan = llc.fault_plan().expect("plan stays attached");
+        assert!(
+            plan.log().len() >= 50,
+            "plan fired {} times",
+            plan.log().len()
+        );
+        // The interleaved scrubs kept the controller coherent despite the
+        // injected corruption.
+        llc.scrub();
+        llc.invariants().expect("scrub repairs injected damage");
+        let detached = llc.set_fault_plan(None);
+        assert!(detached.is_some() && llc.fault_plan().is_none());
     }
 
     #[test]
@@ -1267,7 +1426,7 @@ mod tests {
         let resident_before = llc.partition_size(0);
         assert!(resident_before > 1200, "warmup failed ({resident_before})");
         for i in 0..400_000u64 {
-            llc.access(1, LineAddr((2u64 << 40) + i));
+            llc.access(AccessRequest::read(1, LineAddr((2u64 << 40) + i)));
         }
         llc.invariants().expect("invariants hold");
         // The quiet partition keeps (almost) all its lines: only forced
@@ -1355,7 +1514,7 @@ mod tests {
         // Partition 1 fills and stays quiet; partition 0 churns hard.
         drive(&mut llc, 1, 3400, 60_000, &mut rng);
         for i in 0..300_000u64 {
-            llc.access(0, LineAddr(i));
+            llc.access(AccessRequest::read(0, LineAddr(i)));
         }
         llc.invariants().expect("invariants hold");
         let mss_bound = (4096.0 / (0.5 * 52.0)) * 1.5; // 1/(A_max·R) + 50% margin
@@ -1520,7 +1679,7 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(22);
             drive(&mut llc, 1, 3_000, 50_000, &mut rng);
             for i in 0..200_000u64 {
-                llc.access(0, LineAddr(i));
+                llc.access(AccessRequest::read(0, LineAddr(i)));
             }
             llc.invariants().expect("invariants hold");
             (
@@ -1557,7 +1716,10 @@ mod tests {
         // exactly the layout where scanning forward from a random frame to
         // the next occupied slot over-samples frames behind empty runs.
         for _ in 0..256 {
-            llc.access(0, LineAddr(rng.gen_range(0..100_000u64)));
+            llc.access(AccessRequest::read(
+                0,
+                LineAddr(rng.gen_range(0..100_000u64)),
+            ));
         }
         let occupied: Vec<usize> = (0..1024usize)
             .filter(|&f| llc.array.occupant(f as Frame).is_some())

@@ -41,6 +41,8 @@ pub const USAGE: &str = "options:
   --out DIR    output directory for CSV artifacts (default results/)
   --seed N     master seed (default 42)
   --jobs N     worker threads for mix-level parallelism
+  --banks N    shard each simulated LLC across N address-interleaved banks
+  --bank-jobs M  worker threads serving banked batches (<= 1 is serial)
   --quick      drastically reduced scale for smoke runs
   --telemetry P  record per-partition dynamics traces; P is a base path whose
                  extension picks the format (.csv, else JSON Lines) and each
@@ -61,6 +63,10 @@ pub struct Options {
     pub quick: bool,
     /// Worker threads for mix-level parallelism (default: available cores).
     pub jobs: usize,
+    /// Banks each simulated LLC is sharded across (default 1 = unbanked).
+    pub banks: usize,
+    /// Worker threads serving banked batches (default 1 = serial).
+    pub bank_jobs: usize,
     /// Base path for telemetry traces (`None` = telemetry off). Each
     /// simulated cache writes to a sibling of this path tagged with the mix
     /// and scheme; a `.csv` extension selects CSV, anything else JSON Lines.
@@ -76,6 +82,8 @@ impl Default for Options {
             seed: 42,
             quick: false,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            banks: 1,
+            bank_jobs: 1,
             telemetry: None,
         }
     }
@@ -105,6 +113,8 @@ impl Options {
                 "--out" => o.out_dir = PathBuf::from(take()?),
                 "--seed" => o.seed = num(a, take()?)?,
                 "--jobs" => o.jobs = num::<usize>(a, take()?)?.max(1),
+                "--banks" => o.banks = num::<usize>(a, take()?)?.max(1),
+                "--bank-jobs" => o.bank_jobs = num::<usize>(a, take()?)?.max(1),
                 "--quick" => o.quick = true,
                 "--telemetry" => o.telemetry = Some(PathBuf::from(take()?)),
                 other => return Err(UsageError(format!("unknown option: {other}"))),
@@ -125,6 +135,15 @@ impl Options {
             Ok(o) => o,
             Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Applies the machine-shape flags (`--banks`, `--bank-jobs`) to a base
+    /// machine and returns it; every experiment builds its [`SystemConfig`]
+    /// through this so bank sharding reaches all commands uniformly.
+    pub fn machine(&self, mut sys: SystemConfig) -> SystemConfig {
+        sys.banks = self.banks;
+        sys.bank_jobs = self.bank_jobs;
+        sys
     }
 
     /// The per-core instruction quota for a machine, honoring overrides and

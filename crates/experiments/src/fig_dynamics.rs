@@ -30,7 +30,7 @@ pub fn fig8_mix() -> Mix {
 /// (`gcc_like`), whose phase changes make UCP retarget it repeatedly.
 pub fn fig8(opts: &Options) {
     println!("== Fig. 8: partition size tracking and associativity ==");
-    let mut sys = SystemConfig::small_scale();
+    let mut sys = opts.machine(SystemConfig::small_scale());
     sys.seed = opts.seed;
     sys.instructions = if opts.quick {
         1_000_000

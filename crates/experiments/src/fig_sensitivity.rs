@@ -16,7 +16,7 @@ fn baseline_sa16() -> SchemeKind {
 }
 
 fn four_core(opts: &Options) -> (SystemConfig, Vec<Mix>) {
-    let mut sys = SystemConfig::small_scale();
+    let mut sys = opts.machine(SystemConfig::small_scale());
     sys.seed = opts.seed;
     sys.instructions = opts.instructions_for(&sys);
     let all = mixes(4, opts.mixes_per_class, opts.seed);

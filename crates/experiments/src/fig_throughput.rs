@@ -20,7 +20,7 @@ fn baseline_sa(ways: usize) -> SchemeKind {
 /// machine, normalized to an unpartitioned 16-way LRU cache.
 pub fn fig6a(opts: &Options) {
     println!("== Fig. 6a: 4-core throughput vs unpartitioned LRU-SA16 ==");
-    let mut sys = SystemConfig::small_scale();
+    let mut sys = opts.machine(SystemConfig::small_scale());
     sys.seed = opts.seed;
     sys.instructions = opts.instructions_for(&sys);
     let all = mixes(4, opts.mixes_per_class, opts.seed);
@@ -90,7 +90,7 @@ pub fn fig6a(opts: &Options) {
 /// separate "zcache associativity" gains from "partitioning" gains.
 pub fn fig6b(opts: &Options) {
     println!("== Fig. 6b: selected 4-core mixes ==");
-    let mut sys = SystemConfig::small_scale();
+    let mut sys = opts.machine(SystemConfig::small_scale());
     sys.seed = opts.seed;
     sys.instructions = opts.instructions_for(&sys);
     let all = mixes(4, opts.mixes_per_class.max(1), opts.seed);
@@ -160,7 +160,7 @@ pub fn fig6b(opts: &Options) {
 /// 4-way zcache while WayPart/PIPP degrade even with 64 ways.
 pub fn fig7(opts: &Options) {
     println!("== Fig. 7: 32-core throughput vs unpartitioned LRU-SA64 ==");
-    let mut sys = SystemConfig::large_scale();
+    let mut sys = opts.machine(SystemConfig::large_scale());
     sys.seed = opts.seed;
     sys.instructions = opts.instructions_for(&sys);
     let all = mixes(32, opts.mixes_per_class, opts.seed);

@@ -12,4 +12,5 @@ pub mod fig_sensitivity;
 pub mod fig_throughput;
 pub mod montecarlo;
 pub mod perf;
+pub mod perf_parallel;
 pub mod tables;

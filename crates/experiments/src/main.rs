@@ -13,6 +13,7 @@
 //!   fig9 fig10 fig11           sensitivity, cache designs, RRIP variants
 //!   modelcheck                 §6.2 idealized-configuration check
 //!   perf                       hot-path microbenchmarks -> BENCH_hotpath.json
+//!   perf-parallel              bank-sharding scaling sweep -> BENCH_parallel.json
 //!   all                        everything above, in order
 //! ```
 //!
@@ -28,10 +29,13 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use vantage_experiments::common::{record_failure, take_failures, Options, USAGE};
-use vantage_experiments::{fig_dynamics, fig_model, fig_sensitivity, fig_throughput, perf, tables};
+use vantage_experiments::{
+    fig_dynamics, fig_model, fig_sensitivity, fig_throughput, perf, perf_parallel, tables,
+};
 
 const COMMANDS: &str = "commands: fig1 fig2 fig3 fig5 table1 table2 table3 fig4|overheads \
-                        fig6a fig6b fig7 fig8 fig9 fig10 fig11 modelcheck ablation perf all";
+                        fig6a fig6b fig7 fig8 fig9 fig10 fig11 modelcheck ablation perf \
+                        perf-parallel all";
 
 /// Runs one experiment step, isolating panics so that `all` keeps going.
 fn step(name: &str, f: impl FnOnce() + std::panic::UnwindSafe) {
@@ -106,6 +110,7 @@ fn main() {
         "modelcheck" => step("modelcheck", || fig_sensitivity::modelcheck(&opts)),
         "ablation" => step("ablation", || fig_sensitivity::ablation(&opts)),
         "perf" => step("perf", || perf::perf(&opts)),
+        "perf-parallel" => step("perf-parallel", || perf_parallel::perf_parallel(&opts)),
         "all" => {
             for (name, f) in all {
                 step(name, AssertUnwindSafe(|| f(&opts)));

@@ -26,7 +26,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vantage::{RankMode, VantageConfig, VantageLlc};
 use vantage_cache::{CacheArray, LineAddr, SetAssocArray, SkewArray, ZArray};
-use vantage_partitioning::{BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, WayPartLlc};
+use vantage_partitioning::{
+    AccessRequest, BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, WayPartLlc,
+};
 use vantage_telemetry::{NullSink, Telemetry};
 
 use crate::common::{record_failure, Options};
@@ -91,7 +93,10 @@ fn drive(llc: &mut dyn Llc, frames: usize, n: u64, rng: &mut SmallRng) {
     for _ in 0..n {
         let p = (rng.gen::<u32>() as usize) % PARTS;
         let base = (p as u64 + 1) << 40;
-        llc.access(p, LineAddr(base + rng.gen_range(0..ws)));
+        llc.access(AccessRequest::read(
+            p,
+            LineAddr(base + rng.gen_range(0..ws)),
+        ));
     }
 }
 
@@ -333,7 +338,7 @@ fn render_entry(opts: &Options, micro: &[MicrobenchResult], kernels: &[KernelRes
 /// splices before the final `]`; anything unparseable is preserved under a
 /// `.bak` suffix and the file restarted, so a corrupt trajectory never
 /// blocks recording new data.
-fn append_entry(path: &Path, entry: &str) -> std::io::Result<()> {
+pub(crate) fn append_entry(path: &Path, entry: &str) -> std::io::Result<()> {
     let body = match std::fs::read_to_string(path) {
         Ok(old) => {
             let trimmed = old.trim_end();

@@ -139,7 +139,7 @@ pub fn overheads(_opts: &Options) {
 pub fn table3(opts: &Options) {
     println!("== Table 3: workload classification from solo runs ==");
     let sizes_kb = [64usize, 256, 1024, 2048, 4096, 8192];
-    let mut sys = SystemConfig::small_scale();
+    let mut sys = opts.machine(SystemConfig::small_scale());
     sys.seed = opts.seed;
     // Classification needs several passes over the largest working sets
     // (cache-fitting loops are ~1.6 MB ≈ 26k lines at ~40 APKI).

@@ -15,21 +15,24 @@
 
 use vantage_cache::hash::mix_bucket;
 use vantage_cache::LineAddr;
+use vantage_telemetry::{SharedSink, Telemetry};
 
 use crate::error::SchemeConfigError;
-use crate::llc::{AccessOutcome, Llc, LlcStats};
+use crate::llc::{AccessOutcome, AccessRequest, Llc, LlcStats};
+use crate::sharded::Sharded;
 
 /// An address-interleaved multi-bank LLC.
 ///
-/// Telemetry is not supported at the banked level (a single sink cannot be
-/// shared across banks without serializing their access paths);
-/// [`Llc::set_telemetry`] keeps its default `false` return. Install
-/// telemetry on the per-bank caches before assembly instead.
+/// Telemetry installed via [`Llc::set_telemetry`] fans out to every bank
+/// through a [`SharedSink`]: each bank's records funnel into the one
+/// installed sink, tagged with the originating bank (file sinks keep the
+/// tag, in-memory sinks drop it). Each bank runs its own sampling clock, so
+/// per-partition samples appear once per bank per period.
 ///
 /// # Example
 ///
 /// ```
-/// use vantage_partitioning::{BankedLlc, BaselineLlc, Llc, RankPolicy};
+/// use vantage_partitioning::{AccessRequest, BankedLlc, BaselineLlc, Llc, RankPolicy};
 /// use vantage_cache::SetAssocArray;
 ///
 /// let banks: Vec<Box<dyn Llc>> = (0..4)
@@ -43,7 +46,7 @@ use crate::llc::{AccessOutcome, Llc, LlcStats};
 ///     .collect();
 /// let mut llc = BankedLlc::new(banks, 7);
 /// assert_eq!(llc.capacity(), 4096);
-/// llc.access(0, 0x123.into());
+/// llc.access(AccessRequest::read(0, 0x123.into()));
 /// ```
 pub struct BankedLlc {
     banks: Vec<Box<dyn Llc>>,
@@ -51,7 +54,15 @@ pub struct BankedLlc {
     partitions: usize,
     /// Lazily aggregated statistics (rebuilt on demand).
     agg: LlcStats,
+    /// The shared fan-out handle (+ sample period) while telemetry is
+    /// installed, used to recover the caller's sink on `take_telemetry`.
+    tele: Option<(SharedSink, u64)>,
     name: String,
+    /// Per-bank request grouping scratch for `access_batch` (index lists
+    /// and request buffers, reused across batches).
+    group_idxs: Vec<Vec<u32>>,
+    group_reqs: Vec<Vec<AccessRequest>>,
+    group_out: Vec<AccessOutcome>,
 }
 
 impl BankedLlc {
@@ -84,29 +95,29 @@ impl BankedLlc {
             return Err(SchemeConfigError::BankPartitionMismatch);
         }
         let name = format!("{}x{}", banks.len(), banks[0].name());
+        let n = banks.len();
         Ok(Self {
             banks,
             bank_seed,
             partitions,
             agg: LlcStats::new(partitions),
+            tele: None,
             name,
+            group_idxs: vec![Vec::new(); n],
+            group_reqs: vec![Vec::new(); n],
+            group_out: Vec::new(),
         })
     }
 
-    /// Number of banks.
-    pub fn num_banks(&self) -> usize {
-        self.banks.len()
+    /// The seed of the bank-steering hash.
+    pub fn bank_seed(&self) -> u64 {
+        self.bank_seed
     }
 
-    /// The bank serving `addr`.
-    #[inline]
-    pub fn bank_of(&self, addr: LineAddr) -> usize {
-        mix_bucket(addr.0, self.bank_seed, self.banks.len() as u32) as usize
-    }
-
-    /// Per-bank access (e.g. to reach scheme-specific instrumentation).
-    pub fn bank(&self, i: usize) -> &dyn Llc {
-        self.banks[i].as_ref()
+    /// Disjoint mutable views of all banks, for engines that drive banks
+    /// from worker threads.
+    pub(crate) fn banks_mut(&mut self) -> &mut [Box<dyn Llc>] {
+        &mut self.banks
     }
 
     fn refresh_stats(&mut self) {
@@ -123,9 +134,39 @@ impl BankedLlc {
 }
 
 impl Llc for BankedLlc {
-    fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
-        let bank = self.bank_of(addr);
-        self.banks[bank].access(part, addr)
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        let bank = self.bank_of(req.addr);
+        self.banks[bank].access(req)
+    }
+
+    /// Groups the batch by bank (stable, preserving per-bank request order)
+    /// and serves each bank's group through its own `access_batch`, so
+    /// per-bank batch specializations (e.g. Vantage's prefetching loop) see
+    /// long runs instead of interleaved singletons. Outcomes land in request
+    /// order.
+    fn access_batch(&mut self, reqs: &[AccessRequest], out: &mut Vec<AccessOutcome>) {
+        let n = self.banks.len();
+        if n == 1 {
+            return self.banks[0].access_batch(reqs, out);
+        }
+        for b in 0..n {
+            self.group_idxs[b].clear();
+            self.group_reqs[b].clear();
+        }
+        for (i, &req) in reqs.iter().enumerate() {
+            let b = mix_bucket(req.addr.0, self.bank_seed, n as u32) as usize;
+            self.group_idxs[b].push(i as u32);
+            self.group_reqs[b].push(req);
+        }
+        let start = out.len();
+        out.resize(start + reqs.len(), AccessOutcome::Miss);
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            self.group_out.clear();
+            bank.access_batch(&self.group_reqs[b], &mut self.group_out);
+            for (&i, &o) in self.group_idxs[b].iter().zip(&self.group_out) {
+                out[start + i as usize] = o;
+            }
+        }
     }
 
     fn num_partitions(&self) -> usize {
@@ -165,8 +206,68 @@ impl Llc for BankedLlc {
         &mut self.agg
     }
 
+    /// Fans the handle's sink out to every bank through a [`SharedSink`],
+    /// tagging each bank's records. Returns `false` (leaving telemetry
+    /// uninstalled) if any bank rejects telemetry or the handle is disabled.
+    fn set_telemetry(&mut self, telemetry: Telemetry) -> bool {
+        let (sink, period) = telemetry.into_parts();
+        let Some(sink) = sink else {
+            return false;
+        };
+        let shared = SharedSink::new(sink);
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            let tagged = Box::new(shared.with_bank(b as u16));
+            if !bank.set_telemetry(Telemetry::new(tagged, period)) {
+                // Roll back the banks already armed so no half-installed
+                // fan-out leaks records.
+                for armed in &mut self.banks[..b] {
+                    armed.take_telemetry();
+                }
+                return false;
+            }
+        }
+        self.tele = Some((shared, period));
+        true
+    }
+
+    /// Disarms every bank and returns a handle wrapping the original sink.
+    fn take_telemetry(&mut self) -> Option<Telemetry> {
+        let (shared, period) = self.tele.take()?;
+        for bank in &mut self.banks {
+            // Dropping the per-bank handle releases its SharedSink clone
+            // (flushing through the shared mutex on the way out).
+            bank.take_telemetry();
+        }
+        match shared.try_unwrap() {
+            Ok(sink) => Some(Telemetry::new(sink, period)),
+            // A bank failed to give its clone back (it panicked mid-access,
+            // say); the caller's sink is unrecoverable but all records up to
+            // the failure were flushed.
+            Err(_) => None,
+        }
+    }
+
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+impl Sharded for BankedLlc {
+    fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    #[inline]
+    fn bank_of(&self, addr: LineAddr) -> usize {
+        mix_bucket(addr.0, self.bank_seed, self.banks.len() as u32) as usize
+    }
+
+    fn bank(&self, i: usize) -> &dyn Llc {
+        self.banks[i].as_ref()
+    }
+
+    fn bank_mut(&mut self, i: usize) -> &mut dyn Llc {
+        self.banks[i].as_mut()
     }
 }
 
@@ -205,15 +306,21 @@ mod tests {
     #[test]
     fn same_address_always_same_bank() {
         let mut llc = banked_baseline(4, 256);
-        assert_eq!(llc.access(0, LineAddr(42)), AccessOutcome::Miss);
-        assert_eq!(llc.access(0, LineAddr(42)), AccessOutcome::Hit);
+        assert_eq!(
+            llc.access(AccessRequest::read(0, LineAddr(42))),
+            AccessOutcome::Miss
+        );
+        assert_eq!(
+            llc.access(AccessRequest::read(0, LineAddr(42))),
+            AccessOutcome::Hit
+        );
     }
 
     #[test]
     fn stats_aggregate_across_banks() {
         let mut llc = banked_baseline(2, 128);
         for i in 0..1000u64 {
-            llc.access((i % 2) as usize, LineAddr(i));
+            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i)));
         }
         let s = llc.stats_mut();
         assert_eq!(s.total_hits() + s.total_misses(), 1000);
@@ -232,7 +339,7 @@ mod tests {
         // Every bank received a valid (way-rounded) allocation; run traffic
         // to confirm the shards behave.
         for i in 0..20_000u64 {
-            llc.access((i % 2) as usize, LineAddr(i % 3000));
+            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i % 3000)));
         }
         assert!(llc.partition_size(0) > llc.partition_size(1));
     }
@@ -269,10 +376,65 @@ mod tests {
     }
 
     #[test]
-    fn telemetry_unsupported_at_banked_level() {
-        use vantage_telemetry::{NullSink, Telemetry};
+    fn telemetry_fans_out_to_banks_and_recovers_sink() {
+        use vantage_telemetry::{RingSink, Telemetry, TelemetryEvent, TelemetryRecord};
         let mut llc = banked_baseline(2, 128);
-        assert!(!llc.set_telemetry(Telemetry::new(Box::new(NullSink), 0)));
+        let (sink, reader) = RingSink::with_capacity(65536);
+        assert!(llc.set_telemetry(Telemetry::new(Box::new(sink), 64)));
+        for i in 0..4000u64 {
+            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i % 400)));
+        }
+        let recs = reader.records();
+        assert!(
+            recs.iter()
+                .any(|r| matches!(r, TelemetryRecord::Event(TelemetryEvent::Eviction { .. }))),
+            "bank events reach the shared sink"
+        );
+        assert!(
+            recs.iter().any(|r| matches!(r, TelemetryRecord::Sample(_))),
+            "per-bank samples reach the shared sink"
+        );
+        let back = llc.take_telemetry();
+        assert!(back.is_some(), "original sink recovered");
+        assert!(llc.take_telemetry().is_none(), "fan-out disarmed");
+    }
+
+    #[test]
+    fn telemetry_disabled_handle_rejected() {
+        use vantage_telemetry::Telemetry;
+        let mut llc = banked_baseline(2, 128);
+        assert!(!llc.set_telemetry(Telemetry::disabled()));
         assert!(llc.take_telemetry().is_none());
+    }
+
+    #[test]
+    fn batch_matches_one_at_a_time() {
+        let mut one = banked_baseline(4, 256);
+        let mut batched = banked_baseline(4, 256);
+        let reqs: Vec<AccessRequest> = (0..5000u64)
+            .map(|i| AccessRequest::read((i % 2) as usize, LineAddr((i * 37) % 1700)))
+            .collect();
+        let singles: Vec<AccessOutcome> = reqs.iter().map(|&r| one.access(r)).collect();
+        let mut outs = Vec::new();
+        // Uneven chunking exercises the grouping scratch reuse.
+        for chunk in reqs.chunks(777) {
+            batched.access_batch(chunk, &mut outs);
+        }
+        assert_eq!(singles, outs);
+        assert_eq!(one.stats_mut().hits, batched.stats_mut().hits);
+        assert_eq!(one.stats_mut().misses, batched.stats_mut().misses);
+        assert_eq!(one.stats_mut().evictions, batched.stats_mut().evictions);
+    }
+
+    #[test]
+    fn sharded_views_expose_banks() {
+        let mut llc = banked_baseline(4, 256);
+        assert_eq!(Sharded::num_banks(&llc), 4);
+        let addr = LineAddr(0xABC);
+        let b = llc.bank_of(addr);
+        assert!(b < 4);
+        llc.access(AccessRequest::read(0, addr));
+        assert_eq!(llc.bank(b).stats().total_misses(), 1, "steered to bank");
+        assert_eq!(llc.bank_mut(b).num_partitions(), 2);
     }
 }

@@ -7,11 +7,11 @@
 //! Fig. 6b. Partition IDs are still tracked so experiments can observe how
 //! free-for-all sharing divides capacity, but targets are ignored.
 
-use vantage_cache::{CacheArray, Frame, LineAddr, RripConfig, RripPolicy, Walk};
+use vantage_cache::{CacheArray, Frame, RripConfig, RripPolicy, Walk};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
-use crate::llc::{AccessOutcome, Llc, LlcStats};
+use crate::llc::{AccessOutcome, AccessRequest, Llc, LlcStats};
 
 /// Replacement ranking used by [`BaselineLlc`].
 #[derive(Clone, Debug)]
@@ -33,13 +33,13 @@ enum RankState {
 ///
 /// ```
 /// use vantage_cache::SetAssocArray;
-/// use vantage_partitioning::{BaselineLlc, Llc, RankPolicy};
+/// use vantage_partitioning::{AccessRequest, BaselineLlc, Llc, RankPolicy};
 ///
 /// let array = SetAssocArray::hashed(4096, 16, 1);
 /// let mut llc = BaselineLlc::new(Box::new(array), 4, RankPolicy::Lru);
-/// llc.access(0, 0x10.into());
+/// llc.access(AccessRequest::read(0, 0x10.into()));
 /// assert_eq!(llc.stats().misses[0], 1);
-/// llc.access(0, 0x10.into());
+/// llc.access(AccessRequest::read(0, 0x10.into()));
 /// assert_eq!(llc.stats().hits[0], 1);
 /// ```
 pub struct BaselineLlc {
@@ -186,7 +186,8 @@ impl BaselineLlc {
 }
 
 impl Llc for BaselineLlc {
-    fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        let AccessRequest { part, addr, .. } = req;
         self.accesses += 1;
         if self.tele.sample_due(self.accesses) {
             self.emit_samples();
@@ -294,6 +295,7 @@ impl Llc for BaselineLlc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vantage_cache::LineAddr;
     use vantage_cache::{RripMode, SetAssocArray, ZArray};
 
     fn lru_llc(frames: usize, ways: usize) -> BaselineLlc {
@@ -307,8 +309,14 @@ mod tests {
     #[test]
     fn hit_after_miss() {
         let mut c = lru_llc(256, 4);
-        assert_eq!(c.access(0, LineAddr(1)), AccessOutcome::Miss);
-        assert_eq!(c.access(0, LineAddr(1)), AccessOutcome::Hit);
+        assert_eq!(
+            c.access(AccessRequest::read(0, LineAddr(1))),
+            AccessOutcome::Miss
+        );
+        assert_eq!(
+            c.access(AccessRequest::read(0, LineAddr(1))),
+            AccessOutcome::Hit
+        );
         assert_eq!(c.stats().hits[0], 1);
         assert_eq!(c.stats().misses[0], 1);
     }
@@ -319,23 +327,29 @@ mod tests {
         let array = SetAssocArray::modulo(4, 4);
         let mut c = BaselineLlc::new(Box::new(array), 1, RankPolicy::Lru);
         for i in 0..4u64 {
-            c.access(0, LineAddr(i));
+            c.access(AccessRequest::read(0, LineAddr(i)));
         }
         // Touch 0 to make 1 the LRU line.
-        c.access(0, LineAddr(0));
-        c.access(0, LineAddr(100)); // evicts 1
-        assert_eq!(c.access(0, LineAddr(0)), AccessOutcome::Hit);
-        assert_eq!(c.access(0, LineAddr(1)), AccessOutcome::Miss);
+        c.access(AccessRequest::read(0, LineAddr(0)));
+        c.access(AccessRequest::read(0, LineAddr(100))); // evicts 1
+        assert_eq!(
+            c.access(AccessRequest::read(0, LineAddr(0))),
+            AccessOutcome::Hit
+        );
+        assert_eq!(
+            c.access(AccessRequest::read(0, LineAddr(1))),
+            AccessOutcome::Miss
+        );
     }
 
     #[test]
     fn partition_sizes_track_ownership() {
         let mut c = lru_llc(256, 4);
         for i in 0..10u64 {
-            c.access(0, LineAddr(i));
+            c.access(AccessRequest::read(0, LineAddr(i)));
         }
         for i in 100..105u64 {
-            c.access(1, LineAddr(i));
+            c.access(AccessRequest::read(1, LineAddr(i)));
         }
         assert_eq!(c.partition_size(0), 10);
         assert_eq!(c.partition_size(1), 5);
@@ -348,14 +362,14 @@ mod tests {
         let mut c = BaselineLlc::new(Box::new(array), 1, RankPolicy::Lru);
         // Drive enough traffic to force evictions with relocations.
         for i in 0..4096u64 {
-            c.access(0, LineAddr(i % 700));
+            c.access(AccessRequest::read(0, LineAddr(i % 700)));
         }
         assert!(c.stats().evictions > 0);
         assert_eq!(c.partition_size(0), c.array().occupancy() as u64);
         // Re-access a recently used window: mostly hits.
         let before = c.stats().hits[0];
         for i in 0..50u64 {
-            c.access(0, LineAddr(i % 700));
+            c.access(AccessRequest::read(0, LineAddr(i % 700)));
         }
         assert!(c.stats().hits[0] > before);
     }
@@ -366,7 +380,7 @@ mod tests {
         let cfg = RripConfig::paper(RripMode::Drrip, 2, 11);
         let mut c = BaselineLlc::new(Box::new(array), 2, RankPolicy::Rrip(cfg));
         for i in 0..10_000u64 {
-            c.access((i % 2) as usize, LineAddr(i % 1500));
+            c.access(AccessRequest::read((i % 2) as usize, LineAddr(i % 1500)));
         }
         let s = c.stats();
         assert!(s.total_hits() > 0);
@@ -401,7 +415,7 @@ mod tests {
         let (sink, reader) = RingSink::with_capacity(4096);
         assert!(c.set_telemetry(Telemetry::new(Box::new(sink), 100)));
         for i in 0..1000u64 {
-            c.access(0, LineAddr(i));
+            c.access(AccessRequest::read(0, LineAddr(i)));
         }
         let recs = reader.records();
         let samples = recs
@@ -421,8 +435,8 @@ mod tests {
     #[test]
     fn take_stats_resets_counters() {
         let mut c = lru_llc(64, 4);
-        c.access(0, LineAddr(1));
-        c.access(0, LineAddr(1));
+        c.access(AccessRequest::read(0, LineAddr(1)));
+        c.access(AccessRequest::read(0, LineAddr(1)));
         let taken = c.take_stats();
         assert_eq!(taken.hits[0], 1);
         assert_eq!(taken.misses[0], 1);
@@ -433,12 +447,12 @@ mod tests {
     fn eviction_counter_counts_only_replacements() {
         let mut c = lru_llc(64, 4);
         for i in 0..64u64 {
-            c.access(0, LineAddr(i));
+            c.access(AccessRequest::read(0, LineAddr(i)));
         }
         // At most capacity lines could have been installed without eviction.
         assert_eq!(c.stats().evictions, 0);
         for i in 64..256u64 {
-            c.access(0, LineAddr(i));
+            c.access(AccessRequest::read(0, LineAddr(i)));
         }
         assert!(c.stats().evictions > 0);
     }

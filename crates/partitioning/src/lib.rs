@@ -22,13 +22,18 @@ pub mod baseline;
 pub mod error;
 pub mod hist;
 pub mod llc;
+pub mod parallel;
 pub mod pipp;
+pub mod sharded;
+pub mod spsc;
 pub mod way_part;
 
 pub use banked::BankedLlc;
 pub use baseline::{BaselineLlc, RankPolicy};
 pub use error::SchemeConfigError;
 pub use hist::TsHistogram;
-pub use llc::{AccessOutcome, Llc, LlcStats};
+pub use llc::{AccessKind, AccessOutcome, AccessRequest, Llc, LlcStats};
+pub use parallel::ParallelBankedLlc;
 pub use pipp::{PippConfig, PippLlc};
+pub use sharded::Sharded;
 pub use way_part::WayPartLlc;

@@ -3,6 +3,57 @@
 use vantage_cache::LineAddr;
 use vantage_telemetry::Telemetry;
 
+/// The kind of memory operation an [`AccessRequest`] models.
+///
+/// Today every scheme treats reads and writes identically (the paper's
+/// evaluation does not model dirty lines); the distinction is carried through
+/// the access path so future write-back/dirty-line modeling needs no second
+/// API migration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand load.
+    #[default]
+    Read,
+    /// A store (reserved for future dirty-line modeling).
+    Write,
+}
+
+/// One cache access: which partition is asking, for which line, and how.
+///
+/// This is the unit of the [`Llc`] access API — both the one-at-a-time
+/// [`Llc::access`] and the batched [`Llc::access_batch`] consume it — and it
+/// is plain `Copy` data so request slices can be grouped, queued and shipped
+/// across worker threads by sharded engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AccessRequest {
+    /// The partition (usually a core/thread) the access is on behalf of.
+    pub part: usize,
+    /// The line address accessed.
+    pub addr: LineAddr,
+    /// Read or write (see [`AccessKind`]).
+    pub kind: AccessKind,
+}
+
+impl AccessRequest {
+    /// Builds a request with an explicit kind.
+    #[inline]
+    pub fn new(part: usize, addr: LineAddr, kind: AccessKind) -> Self {
+        Self { part, addr, kind }
+    }
+
+    /// Builds a read request — the common case throughout the simulator.
+    #[inline]
+    pub fn read(part: usize, addr: LineAddr) -> Self {
+        Self::new(part, addr, AccessKind::Read)
+    }
+
+    /// Builds a write request.
+    #[inline]
+    pub fn write(part: usize, addr: LineAddr) -> Self {
+        Self::new(part, addr, AccessKind::Write)
+    }
+}
+
 /// Outcome of one cache access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessOutcome {
@@ -86,14 +137,46 @@ impl LlcStats {
 /// *lines of total cache capacity* (the allocation-policy view). Schemes map
 /// these onto their own mechanism: way-partitioning and PIPP round to whole
 /// ways; Vantage scales them onto its managed region.
-pub trait Llc {
-    /// Serves an access to `addr` on behalf of partition `part`,
-    /// updating replacement and partition state.
+///
+/// # Threading
+///
+/// `Llc` requires `Send`: a cache (and everything it owns — arrays, RNGs,
+/// telemetry sinks) can be moved to another thread, which is what lets a
+/// sharded engine farm whole banks out to a worker pool. No `Sync` is
+/// required; a bank is only ever driven by one thread at a time.
+pub trait Llc: Send {
+    /// Serves one access, updating replacement and partition state.
     ///
     /// # Panics
     ///
-    /// Implementations may panic if `part >= num_partitions()`.
-    fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome;
+    /// Implementations may panic if `req.part >= num_partitions()`.
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome;
+
+    /// Serves `reqs` in order, appending one outcome per request to `out`.
+    ///
+    /// Semantically identical to calling [`access`](Llc::access) in a loop
+    /// (which is the default implementation); schemes override it to amortize
+    /// per-access costs across the batch — software-prefetching upcoming
+    /// probes, grouping by bank, or fanning out to worker threads. `out` is
+    /// appended to, not cleared, so callers can accumulate across batches.
+    fn access_batch(&mut self, reqs: &[AccessRequest], out: &mut Vec<AccessOutcome>) {
+        out.reserve(reqs.len());
+        for &req in reqs {
+            out.push(self.access(req));
+        }
+    }
+
+    /// Serves an access to `addr` on behalf of partition `part`.
+    ///
+    /// Compatibility shim for the pre-[`AccessRequest`] positional signature;
+    /// it will be removed one release after the redesign.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `access(AccessRequest::read(part, addr))` instead"
+    )]
+    fn access_positional(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
+        self.access(AccessRequest::read(part, addr))
+    }
 
     /// Number of partitions this cache was configured with.
     fn num_partitions(&self) -> usize;
@@ -207,6 +290,15 @@ mod tests {
     fn outcome_helpers() {
         assert!(AccessOutcome::Hit.is_hit());
         assert!(!AccessOutcome::Miss.is_hit());
+    }
+
+    #[test]
+    fn request_constructors() {
+        let r = AccessRequest::read(3, LineAddr(0x10));
+        assert_eq!(r, AccessRequest::new(3, LineAddr(0x10), AccessKind::Read));
+        let w = AccessRequest::write(3, LineAddr(0x10));
+        assert_eq!(w.kind, AccessKind::Write);
+        assert_eq!(AccessKind::default(), AccessKind::Read);
     }
 
     #[test]

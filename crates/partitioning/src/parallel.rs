@@ -1,0 +1,392 @@
+//! [`ParallelBankedLlc`]: a bank-sharded LLC whose batches are served by a
+//! worker pool.
+//!
+//! The serial [`BankedLlc`] already decomposes a cache into independent
+//! address-hashed banks; this module exploits that independence for
+//! parallelism. [`Llc::access_batch`] shards the batch by bank hash on the
+//! producing thread (in request order), streams per-bank sub-batches through
+//! bounded SPSC queues to scoped workers, and scatters the outcomes back
+//! into request order. Each bank is owned by exactly one worker, so every
+//! bank still sees its requests strictly in trace order — which makes the
+//! results (stats, partition sizes, per-bank telemetry streams, and the
+//! outcome of every request) *bit-identical* to the serial `BankedLlc`,
+//! regardless of `bank_jobs`. Only the interleaving of telemetry records
+//! across banks varies.
+//!
+//! The engine parallelizes *throughput*, not latency: one `access` still
+//! runs inline (there is nothing to overlap), and batches below
+//! [`ParallelBankedLlc::PARALLEL_THRESHOLD`] fall back to the serial grouped
+//! path, where per-bank batch specializations (prefetch pipelining) do the
+//! amortizing.
+
+use vantage_cache::LineAddr;
+use vantage_telemetry::Telemetry;
+
+use crate::banked::BankedLlc;
+use crate::error::SchemeConfigError;
+use crate::llc::{AccessOutcome, AccessRequest, Llc, LlcStats};
+use crate::sharded::Sharded;
+use crate::spsc;
+
+/// One unit of work shipped to a worker: a run of same-bank requests plus
+/// the positions their outcomes scatter back to.
+struct WorkBatch {
+    bank: usize,
+    idxs: Vec<u32>,
+    reqs: Vec<AccessRequest>,
+}
+
+/// A multi-bank LLC that serves large batches with a scoped worker pool.
+///
+/// Composition over [`BankedLlc`]: construction, target splitting, stats
+/// aggregation, telemetry fan-out and the single-access path all delegate;
+/// only `access_batch` differs. Workers are spawned per batch with
+/// [`std::thread::scope`] — batch sizes in the thousands amortize the spawn
+/// cost, and no state outlives the call.
+///
+/// # Example
+///
+/// ```
+/// use vantage_cache::SetAssocArray;
+/// use vantage_partitioning::{
+///     AccessRequest, BaselineLlc, Llc, ParallelBankedLlc, RankPolicy,
+/// };
+///
+/// let banks: Vec<Box<dyn Llc>> = (0..4)
+///     .map(|b| {
+///         Box::new(BaselineLlc::new(
+///             Box::new(SetAssocArray::hashed(1024, 16, b)),
+///             2,
+///             RankPolicy::Lru,
+///         )) as Box<dyn Llc>
+///     })
+///     .collect();
+/// let mut llc = ParallelBankedLlc::new(banks, 7, 2);
+/// let reqs: Vec<AccessRequest> =
+///     (0..100).map(|i| AccessRequest::read(0, vantage_cache::LineAddr(i))).collect();
+/// let mut out = Vec::new();
+/// llc.access_batch(&reqs, &mut out);
+/// assert_eq!(out.len(), 100);
+/// ```
+pub struct ParallelBankedLlc {
+    inner: BankedLlc,
+    jobs: usize,
+    batch: usize,
+}
+
+impl ParallelBankedLlc {
+    /// Default number of same-bank requests per [`WorkBatch`].
+    pub const DEFAULT_BATCH: usize = 64;
+
+    /// In-flight batches per worker queue before the producer blocks.
+    const QUEUE_CAP: usize = 8;
+
+    /// Batches smaller than this are served serially — the worker-pool
+    /// setup cost would dominate.
+    pub const PARALLEL_THRESHOLD: usize = 256;
+
+    /// Assembles a parallel banked LLC from per-bank caches; `jobs` is the
+    /// worker count (clamped to the bank count, 0 treated as 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`BankedLlc::new`]; use
+    /// [`ParallelBankedLlc::try_new`] to handle the error instead.
+    pub fn new(banks: Vec<Box<dyn Llc>>, bank_seed: u64, jobs: usize) -> Self {
+        match Self::try_new(banks, bank_seed, jobs) {
+            Ok(llc) => llc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BankedLlc::try_new`]'s errors.
+    pub fn try_new(
+        banks: Vec<Box<dyn Llc>>,
+        bank_seed: u64,
+        jobs: usize,
+    ) -> Result<Self, SchemeConfigError> {
+        let inner = BankedLlc::try_new(banks, bank_seed)?;
+        let jobs = jobs.clamp(1, inner.num_banks());
+        Ok(Self {
+            inner,
+            jobs,
+            batch: Self::DEFAULT_BATCH,
+        })
+    }
+
+    /// Wraps an already-assembled serial banked cache.
+    pub fn from_banked(inner: BankedLlc, jobs: usize) -> Self {
+        let jobs = jobs.clamp(1, inner.num_banks());
+        Self {
+            inner,
+            jobs,
+            batch: Self::DEFAULT_BATCH,
+        }
+    }
+
+    /// Sets the per-bank sub-batch size (0 restores the default).
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch = if batch == 0 {
+            Self::DEFAULT_BATCH
+        } else {
+            batch
+        };
+        self
+    }
+
+    /// The configured worker count.
+    pub fn bank_jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The serial engine this cache wraps (e.g. for per-bank inspection).
+    pub fn as_banked(&self) -> &BankedLlc {
+        &self.inner
+    }
+
+    /// Unwraps back into the serial engine.
+    pub fn into_banked(self) -> BankedLlc {
+        self.inner
+    }
+
+    /// The sharded fan-out: group by bank on this thread (in order), stream
+    /// bounded batches to `jobs` workers, scatter outcomes back.
+    fn access_batch_parallel(&mut self, reqs: &[AccessRequest], out: &mut Vec<AccessOutcome>) {
+        let jobs = self.jobs;
+        let batch = self.batch;
+        let seed = self.inner.bank_seed();
+        let nbanks = Sharded::num_banks(&self.inner);
+        let start = out.len();
+        out.resize(start + reqs.len(), AccessOutcome::Miss);
+        let out_tail = &mut out[start..];
+
+        // Round-robin banks over workers: worker j owns every bank b with
+        // b % jobs == j. Disjoint &mut borrows, checked by iter_mut.
+        let mut worker_banks: Vec<Vec<(usize, &mut Box<dyn Llc>)>> =
+            (0..jobs).map(|_| Vec::new()).collect();
+        for (b, bank) in self.inner.banks_mut().iter_mut().enumerate() {
+            worker_banks[b % jobs].push((b, bank));
+        }
+
+        std::thread::scope(|s| {
+            let mut senders = Vec::with_capacity(jobs);
+            let mut handles = Vec::with_capacity(jobs);
+            for my_banks in worker_banks {
+                let (tx, rx) = spsc::channel::<WorkBatch>(Self::QUEUE_CAP);
+                senders.push(tx);
+                handles.push(s.spawn(move || worker_loop(my_banks, &rx)));
+            }
+
+            // Produce: accumulate per-bank runs, flush a bank's run to its
+            // owner the moment it reaches the batch size. Per-bank FIFO
+            // order is preserved end-to-end (ordered scan here, FIFO queue,
+            // single worker per bank), which is the determinism argument.
+            let mut idx_buf: Vec<Vec<u32>> = vec![Vec::with_capacity(batch); nbanks];
+            let mut req_buf: Vec<Vec<AccessRequest>> = vec![Vec::with_capacity(batch); nbanks];
+            for (i, &req) in reqs.iter().enumerate() {
+                let b = vantage_cache::hash::mix_bucket(req.addr.0, seed, nbanks as u32) as usize;
+                idx_buf[b].push(i as u32);
+                req_buf[b].push(req);
+                if req_buf[b].len() == batch {
+                    let _ = senders[b % jobs].send(WorkBatch {
+                        bank: b,
+                        idxs: std::mem::replace(&mut idx_buf[b], Vec::with_capacity(batch)),
+                        reqs: std::mem::replace(&mut req_buf[b], Vec::with_capacity(batch)),
+                    });
+                }
+            }
+            for b in 0..nbanks {
+                if !req_buf[b].is_empty() {
+                    let _ = senders[b % jobs].send(WorkBatch {
+                        bank: b,
+                        idxs: std::mem::take(&mut idx_buf[b]),
+                        reqs: std::mem::take(&mut req_buf[b]),
+                    });
+                }
+            }
+            drop(senders); // EOF: workers drain and return
+
+            for h in handles {
+                // A worker panic (a bank's scheme panicked mid-access)
+                // propagates rather than silently losing outcomes.
+                let results = h.join().expect("bank worker panicked");
+                for (i, o) in results {
+                    out_tail[i as usize] = o;
+                }
+            }
+        });
+    }
+}
+
+/// Serves batches for one worker's banks until the queue signals EOF;
+/// returns the (request-index, outcome) pairs for the main thread to
+/// scatter.
+fn worker_loop(
+    mut my_banks: Vec<(usize, &mut Box<dyn Llc>)>,
+    rx: &spsc::Receiver<WorkBatch>,
+) -> Vec<(u32, AccessOutcome)> {
+    let mut results = Vec::new();
+    let mut scratch = Vec::new();
+    while let Some(wb) = rx.recv() {
+        let (_, bank) = my_banks
+            .iter_mut()
+            .find(|(b, _)| *b == wb.bank)
+            .expect("batch routed to owning worker");
+        scratch.clear();
+        bank.access_batch(&wb.reqs, &mut scratch);
+        results.extend(wb.idxs.iter().copied().zip(scratch.iter().copied()));
+    }
+    results
+}
+
+impl Llc for ParallelBankedLlc {
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        self.inner.access(req)
+    }
+
+    fn access_batch(&mut self, reqs: &[AccessRequest], out: &mut Vec<AccessOutcome>) {
+        if self.jobs <= 1 || reqs.len() < Self::PARALLEL_THRESHOLD {
+            // Serial grouped path: same result, no pool setup.
+            return self.inner.access_batch(reqs, out);
+        }
+        self.access_batch_parallel(reqs, out);
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.inner.num_partitions()
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn set_targets(&mut self, targets: &[u64]) {
+        self.inner.set_targets(targets);
+    }
+
+    fn partition_size(&self, part: usize) -> u64 {
+        self.inner.partition_size(part)
+    }
+
+    fn stats(&self) -> &LlcStats {
+        self.inner.stats()
+    }
+
+    fn stats_mut(&mut self) -> &mut LlcStats {
+        self.inner.stats_mut()
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) -> bool {
+        self.inner.set_telemetry(telemetry)
+    }
+
+    fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.inner.take_telemetry()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+impl Sharded for ParallelBankedLlc {
+    fn num_banks(&self) -> usize {
+        Sharded::num_banks(&self.inner)
+    }
+
+    fn bank_of(&self, addr: LineAddr) -> usize {
+        self.inner.bank_of(addr)
+    }
+
+    fn bank(&self, i: usize) -> &dyn Llc {
+        self.inner.bank(i)
+    }
+
+    fn bank_mut(&mut self, i: usize) -> &mut dyn Llc {
+        self.inner.bank_mut(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{BaselineLlc, RankPolicy};
+    use vantage_cache::ZArray;
+
+    fn banks(n: usize, lines_per_bank: usize) -> Vec<Box<dyn Llc>> {
+        (0..n as u64)
+            .map(|b| {
+                Box::new(BaselineLlc::new(
+                    Box::new(ZArray::new(lines_per_bank, 4, 16, b)),
+                    2,
+                    RankPolicy::Lru,
+                )) as Box<dyn Llc>
+            })
+            .collect()
+    }
+
+    fn trace(n: u64) -> Vec<AccessRequest> {
+        (0..n)
+            .map(|i| AccessRequest::read((i % 2) as usize, LineAddr((i * 2654435761) % 3000)))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let reqs = trace(20_000);
+        let mut serial = BankedLlc::new(banks(4, 512), 7);
+        let mut serial_out = Vec::new();
+        serial.access_batch(&reqs, &mut serial_out);
+
+        for jobs in [1, 2, 4] {
+            let mut par = ParallelBankedLlc::new(banks(4, 512), 7, jobs).with_batch_size(32);
+            let mut par_out = Vec::new();
+            par.access_batch(&reqs, &mut par_out);
+            assert_eq!(serial_out, par_out, "outcomes diverge at jobs={jobs}");
+            assert_eq!(serial.stats_mut().hits, par.stats_mut().hits);
+            assert_eq!(serial.stats_mut().misses, par.stats_mut().misses);
+            assert_eq!(serial.stats_mut().evictions, par.stats_mut().evictions);
+            for p in 0..2 {
+                assert_eq!(serial.partition_size(p), par.partition_size(p));
+            }
+        }
+    }
+
+    #[test]
+    fn small_batches_take_the_serial_path() {
+        let mut par = ParallelBankedLlc::new(banks(2, 256), 3, 2);
+        let reqs = trace(ParallelBankedLlc::PARALLEL_THRESHOLD as u64 - 1);
+        let mut out = Vec::new();
+        par.access_batch(&reqs, &mut out);
+        assert_eq!(out.len(), reqs.len());
+    }
+
+    #[test]
+    fn jobs_clamped_to_bank_count() {
+        let par = ParallelBankedLlc::new(banks(2, 256), 3, 16);
+        assert_eq!(par.bank_jobs(), 2);
+        let par = ParallelBankedLlc::new(banks(2, 256), 3, 0);
+        assert_eq!(par.bank_jobs(), 1);
+    }
+
+    #[test]
+    fn delegates_llc_surface_to_inner() {
+        let mut par = ParallelBankedLlc::new(banks(4, 256), 9, 2);
+        assert_eq!(par.capacity(), 1024);
+        assert_eq!(par.num_partitions(), 2);
+        assert!(par.name().starts_with("4x"));
+        assert_eq!(Sharded::num_banks(&par), 4);
+        par.set_targets(&[600, 424]);
+        let addr = LineAddr(0x55);
+        let b = par.bank_of(addr);
+        par.access(AccessRequest::read(0, addr));
+        assert_eq!(par.bank(b).stats().total_misses(), 1);
+        assert_eq!(par.bank_mut(b).num_partitions(), 2);
+        let serial = par.into_banked();
+        assert_eq!(serial.capacity(), 1024);
+    }
+}

@@ -22,11 +22,11 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vantage_cache::{CacheArray, LineAddr, SetAssocArray, Walk};
+use vantage_cache::{CacheArray, SetAssocArray, Walk};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
-use crate::llc::{ways_from_targets, AccessOutcome, Llc, LlcStats};
+use crate::llc::{ways_from_targets, AccessOutcome, AccessRequest, Llc, LlcStats};
 
 /// Tuning knobs for [`PippLlc`] (defaults are the paper's values).
 #[derive(Clone, Debug)]
@@ -57,11 +57,11 @@ impl Default for PippConfig {
 /// # Example
 ///
 /// ```
-/// use vantage_partitioning::{Llc, PippConfig, PippLlc};
+/// use vantage_partitioning::{AccessRequest, Llc, PippConfig, PippLlc};
 ///
 /// let mut llc = PippLlc::new(4096, 16, 4, PippConfig::default(), 7);
 /// llc.set_targets(&[1024, 1024, 1024, 1024]);
-/// llc.access(0, 0x3.into());
+/// llc.access(AccessRequest::read(0, 0x3.into()));
 /// ```
 pub struct PippLlc {
     array: SetAssocArray,
@@ -246,7 +246,8 @@ impl PippLlc {
 }
 
 impl Llc for PippLlc {
-    fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        let AccessRequest { part, addr, .. } = req;
         self.accesses += 1;
         if self.tele.sample_due(self.accesses) {
             self.emit_samples();
@@ -380,6 +381,7 @@ impl Llc for PippLlc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vantage_cache::LineAddr;
 
     fn pipp(parts: usize) -> PippLlc {
         PippLlc::new(1024, 16, parts, PippConfig::default(), 42)
@@ -390,7 +392,7 @@ mod tests {
         let mut llc = pipp(4);
         llc.set_targets(&[256, 256, 256, 256]);
         for i in 0..50_000u64 {
-            llc.access((i % 4) as usize, LineAddr(i % 2000));
+            llc.access(AccessRequest::read((i % 4) as usize, LineAddr(i % 2000)));
         }
         // Every set's chain must remain a permutation of the ways.
         let ways = 16usize;
@@ -412,8 +414,8 @@ mod tests {
         llc.set_targets(&[960, 64]); // 15 vs 1 way
                                      // Equal access pressure from both partitions.
         for i in 0..400_000u64 {
-            llc.access(0, LineAddr(i % 600));
-            llc.access(1, LineAddr(10_000 + i % 600));
+            llc.access(AccessRequest::read(0, LineAddr(i % 600)));
+            llc.access(AccessRequest::read(1, LineAddr(10_000 + i % 600)));
         }
         assert!(
             llc.partition_size(0) > llc.partition_size(1),
@@ -431,7 +433,7 @@ mod tests {
         llc.set_targets(&[512, 512]);
         for i in 0..100_000u64 {
             // Partition 1 misses constantly (streams), partition 0 is idle.
-            llc.access(1, LineAddr(i));
+            llc.access(AccessRequest::read(1, LineAddr(i)));
         }
         assert!(
             llc.partition_size(1) > 512,
@@ -445,8 +447,8 @@ mod tests {
         llc.set_targets(&[512, 512]);
         // Partition 0: cache-resident loop. Partition 1: pure stream.
         for i in 0..50_000u64 {
-            llc.access(0, LineAddr(i % 128));
-            llc.access(1, LineAddr(1_000_000 + i));
+            llc.access(AccessRequest::read(0, LineAddr(i % 128)));
+            llc.access(AccessRequest::read(1, LineAddr(1_000_000 + i)));
         }
         llc.set_targets(&[512, 512]); // triggers classification
         assert!(!llc.streaming_flags()[0]);
@@ -481,7 +483,7 @@ mod tests {
         let (sink, reader) = RingSink::with_capacity(8192);
         llc.set_telemetry(Telemetry::new(Box::new(sink), 512));
         for i in 0..5000u64 {
-            llc.access((i % 2) as usize, LineAddr(i));
+            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i)));
         }
         let total_churn: u64 = reader
             .records()
@@ -497,8 +499,14 @@ mod tests {
     #[test]
     fn hits_and_misses_counted() {
         let mut llc = pipp(2);
-        assert_eq!(llc.access(0, LineAddr(7)), AccessOutcome::Miss);
-        assert_eq!(llc.access(0, LineAddr(7)), AccessOutcome::Hit);
+        assert_eq!(
+            llc.access(AccessRequest::read(0, LineAddr(7))),
+            AccessOutcome::Miss
+        );
+        assert_eq!(
+            llc.access(AccessRequest::read(0, LineAddr(7))),
+            AccessOutcome::Hit
+        );
         assert_eq!(llc.stats().hits[0], 1);
         assert_eq!(llc.stats().misses[0], 1);
         assert_eq!(llc.name(), "PIPP");

@@ -12,12 +12,12 @@
 //! owner are evicted only as the new owner misses into each set, which
 //! reproduces the slow target-tracking the paper observes in Fig. 8a.
 
-use vantage_cache::{LineAddr, SetAssocArray, TsLru};
+use vantage_cache::{SetAssocArray, TsLru};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
 use crate::hist::TsHistogram;
-use crate::llc::{ways_from_targets, AccessOutcome, Llc, LlcStats};
+use crate::llc::{ways_from_targets, AccessOutcome, AccessRequest, Llc, LlcStats};
 
 /// A sample of one eviction's empirical priority, for Fig. 8-style heat
 /// maps: (access sequence number, partition, priority in `[0, 1]`).
@@ -71,13 +71,13 @@ impl PriorityProbe {
 /// # Example
 ///
 /// ```
-/// use vantage_partitioning::{Llc, WayPartLlc};
+/// use vantage_partitioning::{AccessRequest, Llc, WayPartLlc};
 ///
 /// // 4096 lines, 16 ways, 2 partitions.
 /// let mut llc = WayPartLlc::new(4096, 16, 2, 1);
 /// llc.set_targets(&[3072, 1024]); // 12 + 4 ways
 /// assert_eq!(llc.way_allocation(), &[12, 4]);
-/// llc.access(0, 0x99.into());
+/// llc.access(AccessRequest::read(0, 0x99.into()));
 /// ```
 pub struct WayPartLlc {
     array: SetAssocArray,
@@ -230,7 +230,8 @@ impl WayPartLlc {
 }
 
 impl Llc for WayPartLlc {
-    fn access(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        let AccessRequest { part, addr, .. } = req;
         use vantage_cache::CacheArray;
         self.accesses += 1;
         if self.tele.sample_due(self.accesses) {
@@ -362,6 +363,7 @@ impl Llc for WayPartLlc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vantage_cache::LineAddr;
 
     #[test]
     fn strict_isolation_between_partitions() {
@@ -369,15 +371,15 @@ mod tests {
         llc.set_targets(&[512, 512]);
         // Partition 0 touches a small working set; partition 1 streams.
         for i in 0..64u64 {
-            llc.access(0, LineAddr(i));
+            llc.access(AccessRequest::read(0, LineAddr(i)));
         }
         for i in 0..100_000u64 {
-            llc.access(1, LineAddr(1_000_000 + i));
+            llc.access(AccessRequest::read(1, LineAddr(1_000_000 + i)));
         }
         // Partition 0's lines are untouched by partition 1's thrashing.
         let misses_before = llc.stats().misses[0];
         for i in 0..64u64 {
-            llc.access(0, LineAddr(i));
+            llc.access(AccessRequest::read(0, LineAddr(i)));
         }
         assert_eq!(llc.stats().misses[0], misses_before, "isolation violated");
     }
@@ -387,7 +389,7 @@ mod tests {
         let mut llc = WayPartLlc::new(1024, 16, 2, 2);
         llc.set_targets(&[256, 768]); // 4 vs 12 ways
         for i in 0..100_000u64 {
-            llc.access(0, LineAddr(i));
+            llc.access(AccessRequest::read(0, LineAddr(i)));
         }
         // Partition 0 owns 4/16 of the ways = 256 lines at most.
         assert!(llc.partition_size(0) <= 256);
@@ -398,8 +400,8 @@ mod tests {
         let mut llc = WayPartLlc::new(1024, 16, 2, 3);
         llc.set_targets(&[512, 512]);
         for i in 0..100_000u64 {
-            llc.access(0, LineAddr(i % 2000));
-            llc.access(1, LineAddr(10_000 + i % 2000));
+            llc.access(AccessRequest::read(0, LineAddr(i % 2000)));
+            llc.access(AccessRequest::read(1, LineAddr(10_000 + i % 2000)));
         }
         let before = llc.partition_size(0);
         assert!(
@@ -414,7 +416,7 @@ mod tests {
             "resize must not flush instantly"
         );
         for i in 0..200_000u64 {
-            llc.access(1, LineAddr(50_000 + i));
+            llc.access(AccessRequest::read(1, LineAddr(50_000 + i)));
         }
         assert!(llc.partition_size(0) <= 100, "old lines eventually drain");
     }
@@ -435,7 +437,7 @@ mod tests {
         let ws: Vec<LineAddr> = (0..48).map(|_| LineAddr(rng.gen())).collect();
         for _rep in 0..50 {
             for &a in &ws {
-                llc.access(0, a);
+                llc.access(AccessRequest::read(0, a));
             }
         }
         let s = llc.stats();
@@ -449,7 +451,7 @@ mod tests {
         llc.enable_priority_probe();
         llc.set_targets(&[128, 128]);
         for i in 0..20_000u64 {
-            llc.access((i % 2) as usize, LineAddr(i % 700));
+            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i % 700)));
         }
         let samples = llc.drain_priority_samples();
         assert!(!samples.is_empty());
@@ -483,7 +485,7 @@ mod tests {
         let (sink, reader) = RingSink::with_capacity(4096);
         llc.set_telemetry(Telemetry::new(Box::new(sink), 256));
         for i in 0..2000u64 {
-            llc.access((i % 2) as usize, LineAddr(i));
+            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i)));
         }
         let targets: Vec<(u16, u64)> = reader
             .records()
@@ -503,7 +505,7 @@ mod tests {
         let mut llc = WayPartLlc::new(512, 8, 4, 6);
         llc.set_targets(&[128, 128, 128, 128]);
         for i in 0..50_000u64 {
-            llc.access((i % 4) as usize, LineAddr(i % 3000));
+            llc.access(AccessRequest::read((i % 4) as usize, LineAddr(i % 3000)));
         }
         let total: u64 = (0..4).map(|p| llc.partition_size(p)).sum();
         assert!(total <= 512);

@@ -1,0 +1,206 @@
+//! Fluent scheme construction.
+//!
+//! [`LlcBuilder`] is the one front door to a live LLC: it collapses the
+//! `new`/`try_new` constructor pairs scattered across the scheme types and
+//! the post-construction setters (telemetry installation, fault plans,
+//! scrub periods, banking) into a single validated chain:
+//!
+//! ```
+//! use vantage_sim::{Scheme, SchemeKind, SystemConfig};
+//!
+//! let scheme = Scheme::builder(SchemeKind::vantage_paper(), SystemConfig::small_scale())
+//!     .banks(4)
+//!     .bank_jobs(2)
+//!     .build();
+//! assert_eq!(scheme.as_sharded().unwrap().num_banks(), 4);
+//! ```
+
+use vantage::FaultPlan;
+use vantage_telemetry::Telemetry;
+
+use crate::config::{SchemeKind, SystemConfig};
+use crate::scheme::{BuildError, Scheme};
+
+/// A fluent builder for [`Scheme`]s; see the [module docs](self).
+///
+/// Created by [`Scheme::builder`]. Defaults come from the given
+/// [`SystemConfig`] (`banks`, `bank_jobs`, `scrub_period`); each chained
+/// call overrides one knob, and [`LlcBuilder::try_build`] validates the
+/// result as a whole.
+pub struct LlcBuilder {
+    kind: SchemeKind,
+    sys: SystemConfig,
+    telemetry: Option<Telemetry>,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl Scheme {
+    /// Starts a fluent build of `kind` on machine `sys` — the preferred
+    /// construction path; [`Scheme::build`]/[`Scheme::try_build`] cover the
+    /// no-frills case.
+    pub fn builder(kind: SchemeKind, sys: SystemConfig) -> LlcBuilder {
+        LlcBuilder {
+            kind,
+            sys,
+            telemetry: None,
+            fault_plan: None,
+        }
+    }
+}
+
+impl LlcBuilder {
+    /// Shards the LLC across `banks` address-interleaved banks.
+    pub fn banks(mut self, banks: usize) -> Self {
+        self.sys.banks = banks;
+        self
+    }
+
+    /// Serves banked batches with `jobs` worker threads (`<= 1` is serial).
+    pub fn bank_jobs(mut self, jobs: usize) -> Self {
+        self.sys.bank_jobs = jobs;
+        self
+    }
+
+    /// Installs a telemetry producer on the built LLC (fanned out per bank
+    /// on banked machines).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Attaches a fault-injection schedule, polled on every access.
+    /// Supported by unbanked Vantage schemes only; see
+    /// [`BuildError::FaultPlanUnsupported`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Runs a Vantage recovery scrub every `period` accesses (the recovery
+    /// half of a fault-tolerance loop; zero disables).
+    pub fn scrub_period(mut self, period: u64) -> Self {
+        self.sys.scrub_period = Some(period);
+        self
+    }
+
+    /// Builds the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`BuildError`]; use [`LlcBuilder::try_build`] to handle
+    /// the error instead.
+    pub fn build(self) -> Scheme {
+        match self.try_build() {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`LlcBuilder::build`] with typed errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Scheme::try_build`] reports, plus
+    /// [`BuildError::System`] for an inconsistent machine,
+    /// [`BuildError::FaultPlanUnsupported`] when a fault plan was requested
+    /// for a scheme that cannot host one, and
+    /// [`BuildError::TelemetryRejected`] when the scheme refuses the
+    /// telemetry handle.
+    pub fn try_build(mut self) -> Result<Scheme, BuildError> {
+        self.sys.try_validate()?;
+        let mut scheme = Scheme::try_build(&self.kind, &self.sys)?;
+        if let Some(v) = scheme.as_vantage_mut() {
+            v.set_scrub_period(self.sys.scrub_period);
+            v.set_fault_plan(self.fault_plan.take());
+        }
+        if self.fault_plan.is_some() {
+            return Err(BuildError::FaultPlanUnsupported);
+        }
+        if let Some(t) = self.telemetry.take() {
+            // Unbanked schemes store a disabled handle inertly; reject it
+            // here so every scheme treats it the same way.
+            if !t.enabled() || !scheme.set_telemetry(t) {
+                return Err(BuildError::TelemetryRejected);
+            }
+        }
+        Ok(scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArrayKind, BaselineRank};
+    use vantage::{FaultKind, FaultPlan};
+    use vantage_partitioning::AccessRequest;
+    use vantage_telemetry::{RingSink, Telemetry};
+
+    #[test]
+    fn builder_stacks_banks_telemetry_and_jobs() {
+        let (sink, reader) = RingSink::with_capacity(1 << 16);
+        let mut s = Scheme::builder(SchemeKind::vantage_paper(), SystemConfig::small_scale())
+            .banks(4)
+            .bank_jobs(2)
+            .telemetry(Telemetry::new(Box::new(sink), 128))
+            .build();
+        assert_eq!(s.as_sharded().unwrap().num_banks(), 4);
+        assert!(s.uses_ucp());
+        for i in 0..4096u64 {
+            s.llc_mut().access(AccessRequest::read(
+                (i % 4) as usize,
+                vantage_cache::LineAddr(i % 900),
+            ));
+        }
+        assert!(!reader.is_empty(), "telemetry fan-out reached the sink");
+        assert!(s.take_telemetry().is_some());
+    }
+
+    #[test]
+    fn builder_wires_the_fault_loop_into_vantage() {
+        let mut s = Scheme::builder(SchemeKind::vantage_paper(), SystemConfig::small_scale())
+            .fault_plan(FaultPlan::new(3, 200, &FaultKind::INJECTABLE))
+            .scrub_period(1_000)
+            .build();
+        for i in 0..8192u64 {
+            s.llc_mut().access(AccessRequest::read(
+                (i % 4) as usize,
+                vantage_cache::LineAddr(i % 700),
+            ));
+        }
+        let v = s.as_vantage().expect("vantage scheme");
+        assert!(!v.fault_plan().expect("plan attached").log().is_empty());
+        assert!(v.vantage_stats().scrubs > 0, "scrub period not applied");
+    }
+
+    #[test]
+    fn fault_plan_rejected_off_vantage() {
+        let kind = SchemeKind::Baseline {
+            array: ArrayKind::Z4_52,
+            rank: BaselineRank::Lru,
+        };
+        let err = Scheme::builder(kind, SystemConfig::small_scale())
+            .fault_plan(FaultPlan::new(1, 100, &FaultKind::INJECTABLE))
+            .try_build()
+            .err();
+        assert_eq!(err, Some(BuildError::FaultPlanUnsupported));
+    }
+
+    #[test]
+    fn builder_validates_the_machine() {
+        use crate::config::SysConfigError;
+        let err = Scheme::builder(SchemeKind::vantage_paper(), SystemConfig::small_scale())
+            .banks(3) // 32K lines do not divide into 3 banks
+            .try_build()
+            .err();
+        assert_eq!(err, Some(BuildError::System(SysConfigError::BankGeometry)));
+    }
+
+    #[test]
+    fn disabled_telemetry_is_a_typed_error() {
+        let err = Scheme::builder(SchemeKind::vantage_paper(), SystemConfig::small_scale())
+            .telemetry(Telemetry::disabled())
+            .try_build()
+            .err();
+        assert_eq!(err, Some(BuildError::TelemetryRejected));
+    }
+}

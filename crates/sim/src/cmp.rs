@@ -5,6 +5,7 @@ use std::collections::BinaryHeap;
 
 use vantage_cache::hash::mix64;
 use vantage_cache::replacement::rrip::BasePolicy;
+use vantage_partitioning::AccessRequest;
 use vantage_ucp::{RripUmon, UcpGranularity, UcpPolicy};
 use vantage_workloads::{AppGen, Mix, RefStream};
 
@@ -97,10 +98,8 @@ impl CmpSim {
     pub fn new(sys: SystemConfig, kind: &SchemeKind, mix: &Mix) -> Self {
         sys.validate();
         assert_eq!(mix.apps.len(), sys.cores, "mix size must match core count");
-        let mut scheme = Scheme::build(kind, &sys);
-        if let Some(v) = scheme.as_vantage_mut() {
-            v.set_scrub_period(sys.scrub_period);
-        }
+        // The builder applies `sys.scrub_period` and banking in one place.
+        let scheme = Scheme::builder(kind.clone(), sys.clone()).build();
         let ucp_granularity = match kind {
             SchemeKind::WayPart | SchemeKind::Pipp => UcpGranularity::Ways(sys.l2_ways as u32),
             SchemeKind::Vantage { .. } => UcpGranularity::Fine { blocks: 256 },
@@ -154,7 +153,11 @@ impl CmpSim {
             })
             .collect();
         let channels = sys.mem_channels;
-        let label = kind.label();
+        let label = if sys.banks > 1 {
+            format!("{}-{}B", kind.label(), sys.banks)
+        } else {
+            kind.label()
+        };
         Self {
             sys,
             scheme,
@@ -311,7 +314,7 @@ impl CmpSim {
                 if let Some(umons) = &mut self.rrip_umons {
                     umons[c].access(r.addr);
                 }
-                let outcome = self.scheme.llc_mut().access(c, r.addr);
+                let outcome = self.scheme.llc_mut().access(AccessRequest::read(c, r.addr));
                 if outcome.is_hit() {
                     core.time += self.sys.l2_latency;
                 } else {

@@ -141,6 +141,9 @@ pub enum SysConfigError {
     L1Geometry,
     /// L2 lines zero or not divisible by the way count.
     L2Geometry,
+    /// Bank count zero, L2 lines not divisible by the bank count, or a
+    /// per-bank shard not divisible by the way count.
+    BankGeometry,
     /// Zero memory channels.
     NoMemChannels,
     /// Zero per-core instruction quota.
@@ -155,6 +158,7 @@ impl std::fmt::Display for SysConfigError {
             Self::NoCores => "need at least one core",
             Self::L1Geometry => "bad L1 geometry",
             Self::L2Geometry => "bad L2 geometry",
+            Self::BankGeometry => "bad bank geometry",
             Self::NoMemChannels => "need at least one memory channel",
             Self::NoInstructions => "need a nonzero instruction quota",
             Self::NoRepartitionInterval => "need a nonzero repartition interval",
@@ -177,6 +181,16 @@ pub struct SystemConfig {
     pub l2_lines: usize,
     /// Baseline/way-scheme associativity; also the UMON way count.
     pub l2_ways: usize,
+    /// Address-interleaved L2 banks. `1` (the default machines) keeps the
+    /// monolithic LLC; larger values shard the cache into `banks` equal
+    /// slices behind a steering hash (Table 2's "8 MB NUCA, 4 banks"),
+    /// each running its own controller.
+    pub banks: usize,
+    /// Worker threads serving banked batches. `<= 1` serves banks serially
+    /// on the calling thread; larger values (meaningful only with
+    /// `banks > 1`) spin up a scoped worker pool per batch. Results are
+    /// bit-identical either way.
+    pub bank_jobs: usize,
     /// L2 hit latency in cycles (L1-to-bank + bank).
     pub l2_latency: u64,
     /// Memory zero-load latency in cycles.
@@ -217,6 +231,8 @@ impl SystemConfig {
             l1_ways: 4,
             l2_lines: 32 * 1024,
             l2_ways: 16,
+            banks: 1,
+            bank_jobs: 1,
             l2_latency: 12,
             mem_latency: 200,
             mem_channels: 1,
@@ -238,6 +254,8 @@ impl SystemConfig {
             l1_ways: 4,
             l2_lines: 128 * 1024,
             l2_ways: 64,
+            banks: 1,
+            bank_jobs: 1,
             l2_latency: 12,
             mem_latency: 200,
             mem_channels: 4,
@@ -277,6 +295,12 @@ impl SystemConfig {
         if self.l2_lines == 0 || self.l2_ways == 0 || !self.l2_lines.is_multiple_of(self.l2_ways) {
             return Err(SysConfigError::L2Geometry);
         }
+        if self.banks == 0
+            || !self.l2_lines.is_multiple_of(self.banks)
+            || !(self.l2_lines / self.banks).is_multiple_of(self.l2_ways)
+        {
+            return Err(SysConfigError::BankGeometry);
+        }
         if self.mem_channels == 0 {
             return Err(SysConfigError::NoMemChannels);
         }
@@ -310,10 +334,13 @@ mod tests {
         let base = SystemConfig::small_scale();
         assert_eq!(base.try_validate(), Ok(()));
         type Case = (fn(&mut SystemConfig), SysConfigError);
-        let cases: [Case; 5] = [
+        let cases: [Case; 7] = [
             (|s| s.cores = 0, SysConfigError::NoCores),
             (|s| s.l1_lines = 7, SysConfigError::L1Geometry),
             (|s| s.l2_ways = 0, SysConfigError::L2Geometry),
+            (|s| s.banks = 0, SysConfigError::BankGeometry),
+            // 32K lines over 3 banks does not divide evenly.
+            (|s| s.banks = 3, SysConfigError::BankGeometry),
             (|s| s.mem_channels = 0, SysConfigError::NoMemChannels),
             (|s| s.instructions = 0, SysConfigError::NoInstructions),
         ];

@@ -13,17 +13,23 @@
 //!   mirroring the paper's two machines.
 //! * [`Scheme`] — the LLC under test: unpartitioned baseline (LRU or RRIP
 //!   variants), way-partitioning, PIPP, or Vantage over a configurable
-//!   array.
+//!   array — optionally sharded across address-interleaved banks
+//!   ([`SystemConfig::banks`]) and served by a worker pool
+//!   ([`SystemConfig::bank_jobs`]).
+//! * [`LlcBuilder`] (via [`Scheme::builder`]) — the fluent front door:
+//!   telemetry, fault plans, scrub periods and banking in one chain.
 //! * [`CmpSim`] — the event-interleaved multicore simulation; returns
 //!   per-core IPCs, miss statistics, optional partition-size traces
 //!   (Fig. 8) and demotion/eviction priority samples.
 
+pub mod builder;
 pub mod cmp;
 pub mod config;
 pub mod l1;
 pub mod metrics;
 pub mod scheme;
 
+pub use builder::LlcBuilder;
 pub use cmp::{run_solo, CmpSim, SimResult, TraceSample};
 pub use config::{ArrayKind, BaselineRank, SchemeKind, SysConfigError, SystemConfig};
 pub use l1::L1;

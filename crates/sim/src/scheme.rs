@@ -4,15 +4,17 @@ use std::error::Error;
 use std::fmt;
 
 use vantage::{RankMode, VantageError, VantageLlc};
+use vantage_cache::hash::mix64;
 use vantage_cache::{
     CacheArray, RandomArray, RripConfig, RripMode, SetAssocArray, SkewArray, ZArray,
 };
 use vantage_partitioning::{
-    BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, SchemeConfigError, WayPartLlc,
+    BankedLlc, BaselineLlc, Llc, ParallelBankedLlc, PippConfig, PippLlc, RankPolicy,
+    SchemeConfigError, Sharded, WayPartLlc,
 };
 use vantage_telemetry::Telemetry;
 
-use crate::config::{ArrayKind, BaselineRank, SchemeKind, SystemConfig};
+use crate::config::{ArrayKind, BaselineRank, SchemeKind, SysConfigError, SystemConfig};
 
 /// A scheme that cannot be instantiated on the requested machine.
 #[derive(Clone, Debug, PartialEq)]
@@ -23,6 +25,17 @@ pub enum BuildError {
     Scheme(SchemeConfigError),
     /// `Vantage-DRRIP` was requested over a non-RRIP `VantageConfig`.
     DrripNeedsRrip,
+    /// `Vantage-DRRIP` was requested on a banked machine; per-partition
+    /// policy updates need direct controller access, which banking hides.
+    BankedDrrip,
+    /// The machine description itself is inconsistent.
+    System(SysConfigError),
+    /// A fault plan was requested for a scheme that cannot host one (only
+    /// unbanked Vantage carries an attached [`FaultPlan`](vantage::FaultPlan)).
+    FaultPlanUnsupported,
+    /// A telemetry handle was provided but the scheme rejected it (disabled
+    /// handle, or a bank refused the fan-out).
+    TelemetryRejected,
 }
 
 impl fmt::Display for BuildError {
@@ -33,6 +46,12 @@ impl fmt::Display for BuildError {
             Self::DrripNeedsRrip => {
                 f.write_str("Vantage-DRRIP needs RRIP ranking in its VantageConfig")
             }
+            Self::BankedDrrip => f.write_str("Vantage-DRRIP cannot run on a banked machine"),
+            Self::System(e) => e.fmt(f),
+            Self::FaultPlanUnsupported => {
+                f.write_str("fault plans attach to unbanked Vantage schemes only")
+            }
+            Self::TelemetryRejected => f.write_str("the scheme rejected the telemetry handle"),
         }
     }
 }
@@ -42,8 +61,18 @@ impl Error for BuildError {
         match self {
             Self::Vantage(e) => Some(e),
             Self::Scheme(e) => Some(e),
-            Self::DrripNeedsRrip => None,
+            Self::System(e) => Some(e),
+            Self::DrripNeedsRrip
+            | Self::BankedDrrip
+            | Self::FaultPlanUnsupported
+            | Self::TelemetryRejected => None,
         }
+    }
+}
+
+impl From<SysConfigError> for BuildError {
+    fn from(e: SysConfigError) -> Self {
+        Self::System(e)
     }
 }
 
@@ -75,6 +104,23 @@ pub enum Scheme {
     Pipp(PippLlc),
     /// Vantage.
     Vantage(VantageLlc),
+    /// Any of the above sharded across address-interleaved banks
+    /// (`SystemConfig::banks > 1`), served serially.
+    Banked {
+        /// The sharded cache.
+        llc: BankedLlc,
+        /// Whether UCP drives the wrapped scheme (false for baselines).
+        ucp: bool,
+    },
+    /// A banked machine served by a worker pool
+    /// (`SystemConfig::bank_jobs > 1`); results are bit-identical to
+    /// [`Scheme::Banked`].
+    ParallelBanked {
+        /// The sharded cache and its worker pool.
+        llc: ParallelBankedLlc,
+        /// Whether UCP drives the wrapped scheme (false for baselines).
+        ucp: bool,
+    },
 }
 
 fn build_array(kind: ArrayKind, lines: usize, seed: u64) -> Box<dyn CacheArray> {
@@ -87,7 +133,9 @@ fn build_array(kind: ArrayKind, lines: usize, seed: u64) -> Box<dyn CacheArray> 
 }
 
 impl Scheme {
-    /// Builds the LLC described by `kind` for machine `sys`.
+    /// Builds the LLC described by `kind` for machine `sys`. Prefer
+    /// [`Scheme::builder`] when telemetry, fault plans or banking overrides
+    /// are also in play — it validates and applies everything in one chain.
     ///
     /// # Panics
     ///
@@ -107,9 +155,33 @@ impl Scheme {
     ///
     /// Returns a [`BuildError`] when the scheme cannot be instantiated:
     /// controller configuration errors for Vantage, geometry errors for the
-    /// way-granularity schemes, or a Vantage-DRRIP request over a non-RRIP
-    /// ranking mode.
+    /// way-granularity schemes, a Vantage-DRRIP request over a non-RRIP
+    /// ranking mode, or a Vantage-DRRIP request on a banked machine.
     pub fn try_build(kind: &SchemeKind, sys: &SystemConfig) -> Result<Self, BuildError> {
+        if sys.banks > 1 {
+            if matches!(kind, SchemeKind::Vantage { drrip: true, .. }) {
+                return Err(BuildError::BankedDrrip);
+            }
+            let mut shard = sys.clone();
+            shard.banks = 1;
+            shard.l2_lines = sys.l2_lines / sys.banks;
+            let banks = (0..sys.banks)
+                .map(|b| {
+                    shard.seed = sys.seed ^ mix64(b as u64 + 0xBA);
+                    Self::try_build(kind, &shard).map(Scheme::into_llc)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let banked = BankedLlc::try_new(banks, sys.seed ^ 0xBA2C)?;
+            let ucp = !matches!(kind, SchemeKind::Baseline { .. });
+            return Ok(if sys.bank_jobs > 1 {
+                Scheme::ParallelBanked {
+                    llc: ParallelBankedLlc::from_banked(banked, sys.bank_jobs),
+                    ucp,
+                }
+            } else {
+                Scheme::Banked { llc: banked, ucp }
+            });
+        }
         let seed = sys.seed ^ 0xCAC4E;
         Ok(match kind {
             SchemeKind::Baseline { array, rank } => {
@@ -151,6 +223,19 @@ impl Scheme {
         })
     }
 
+    /// Consumes the scheme into a boxed trait object (used to stack
+    /// single-bank schemes into a [`BankedLlc`]).
+    fn into_llc(self) -> Box<dyn Llc> {
+        match self {
+            Scheme::Baseline(l) => Box::new(l),
+            Scheme::WayPart(l) => Box::new(l),
+            Scheme::Pipp(l) => Box::new(l),
+            Scheme::Vantage(l) => Box::new(l),
+            Scheme::Banked { llc, .. } => Box::new(llc),
+            Scheme::ParallelBanked { llc, .. } => Box::new(llc),
+        }
+    }
+
     /// The scheme as a trait object.
     pub fn llc(&self) -> &dyn Llc {
         match self {
@@ -158,6 +243,8 @@ impl Scheme {
             Scheme::WayPart(l) => l,
             Scheme::Pipp(l) => l,
             Scheme::Vantage(l) => l,
+            Scheme::Banked { llc, .. } => llc,
+            Scheme::ParallelBanked { llc, .. } => llc,
         }
     }
 
@@ -168,12 +255,27 @@ impl Scheme {
             Scheme::WayPart(l) => l,
             Scheme::Pipp(l) => l,
             Scheme::Vantage(l) => l,
+            Scheme::Banked { llc, .. } => llc,
+            Scheme::ParallelBanked { llc, .. } => llc,
         }
     }
 
     /// Whether UCP should drive this scheme (baselines are unmanaged).
     pub fn uses_ucp(&self) -> bool {
-        !matches!(self, Scheme::Baseline(_))
+        match self {
+            Scheme::Baseline(_) => false,
+            Scheme::Banked { ucp, .. } | Scheme::ParallelBanked { ucp, .. } => *ucp,
+            _ => true,
+        }
+    }
+
+    /// The bank-level view of a sharded scheme (`None` when unbanked).
+    pub fn as_sharded(&self) -> Option<&dyn Sharded> {
+        match self {
+            Scheme::Banked { llc, .. } => Some(llc),
+            Scheme::ParallelBanked { llc, .. } => Some(llc),
+            _ => None,
+        }
     }
 
     /// Vantage-specific instrumentation, when the scheme is Vantage.
@@ -229,6 +331,7 @@ impl Scheme {
 mod tests {
     use super::*;
     use vantage::VantageConfig;
+    use vantage_partitioning::AccessRequest;
 
     #[test]
     fn all_schemes_build_and_serve() {
@@ -254,12 +357,89 @@ mod tests {
         for kind in &kinds {
             let mut s = Scheme::build(kind, &sys);
             for i in 0..1000u64 {
-                s.llc_mut()
-                    .access((i % 4) as usize, vantage_cache::LineAddr(i % 300));
+                s.llc_mut().access(AccessRequest::read(
+                    (i % 4) as usize,
+                    vantage_cache::LineAddr(i % 300),
+                ));
             }
             assert!(s.llc().stats().total_hits() > 0, "{}", kind.label());
             assert_eq!(s.llc().num_partitions(), 4);
         }
+    }
+
+    #[test]
+    fn banked_machines_build_every_bankable_scheme() {
+        let mut sys = SystemConfig::small_scale();
+        sys.banks = 4;
+        let kinds = [
+            SchemeKind::Baseline {
+                array: ArrayKind::Z4_52,
+                rank: BaselineRank::Lru,
+            },
+            SchemeKind::WayPart,
+            SchemeKind::Pipp,
+            SchemeKind::vantage_paper(),
+        ];
+        for kind in &kinds {
+            for jobs in [1usize, 2] {
+                sys.bank_jobs = jobs;
+                let mut s = Scheme::build(kind, &sys);
+                let sharded = s.as_sharded().expect("banked scheme is sharded");
+                assert_eq!(sharded.num_banks(), 4, "{}", kind.label());
+                assert_eq!(s.llc().capacity(), sys.l2_lines);
+                assert_eq!(s.llc().num_partitions(), 4);
+                assert_eq!(
+                    s.uses_ucp(),
+                    !matches!(kind, SchemeKind::Baseline { .. }),
+                    "{}",
+                    kind.label()
+                );
+                for i in 0..2000u64 {
+                    s.llc_mut().access(AccessRequest::read(
+                        (i % 4) as usize,
+                        vantage_cache::LineAddr(i % 600),
+                    ));
+                }
+                assert!(s.llc_mut().stats_mut().total_hits() > 0, "{}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn banked_and_parallel_banked_agree_exactly() {
+        let mut serial_sys = SystemConfig::small_scale();
+        serial_sys.banks = 4;
+        let mut par_sys = serial_sys.clone();
+        par_sys.bank_jobs = 2;
+        let kind = SchemeKind::vantage_paper();
+        let mut serial = Scheme::build(&kind, &serial_sys);
+        let mut par = Scheme::build(&kind, &par_sys);
+        for i in 0..20_000u64 {
+            let req =
+                AccessRequest::read((i % 4) as usize, vantage_cache::LineAddr((i * 131) % 9000));
+            assert_eq!(serial.llc_mut().access(req), par.llc_mut().access(req));
+        }
+        for p in 0..4 {
+            assert_eq!(serial.llc().partition_size(p), par.llc().partition_size(p));
+        }
+    }
+
+    #[test]
+    fn banked_drrip_is_rejected() {
+        let mut sys = SystemConfig::small_scale();
+        sys.banks = 4;
+        let kind = SchemeKind::Vantage {
+            array: ArrayKind::Z4_52,
+            cfg: VantageConfig {
+                rank: vantage::RankMode::Rrip { bits: 2 },
+                ..VantageConfig::default()
+            },
+            drrip: true,
+        };
+        assert_eq!(
+            Scheme::try_build(&kind, &sys).err(),
+            Some(BuildError::BankedDrrip)
+        );
     }
 
     #[test]
@@ -336,8 +516,10 @@ mod tests {
         let (sink, reader) = RingSink::with_capacity(1 << 16);
         assert!(s.set_telemetry(Telemetry::new(Box::new(sink), 256)));
         for i in 0..4096u64 {
-            s.llc_mut()
-                .access((i % 4) as usize, vantage_cache::LineAddr(i % 900));
+            s.llc_mut().access(AccessRequest::read(
+                (i % 4) as usize,
+                vantage_cache::LineAddr(i % 900),
+            ));
         }
         assert!(s.take_telemetry().is_some());
         assert!(!reader.is_empty(), "no telemetry records forwarded");

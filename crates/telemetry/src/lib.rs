@@ -207,6 +207,98 @@ pub trait TelemetrySink: Send {
     fn record_sample(&mut self, s: &PartitionSample);
     /// Flushes buffered output (no-op for in-memory sinks).
     fn flush(&mut self) {}
+    /// Tags subsequently recorded records as coming from bank `bank` of a
+    /// multi-banked cache (`None` clears the tag).
+    ///
+    /// Default is a no-op: in-memory sinks keep records untagged so traces
+    /// from a sharded run compare record-for-record with a serial run.
+    /// File sinks append the tag as an extra field their parsers tolerate
+    /// ([`CsvSink`] in the `detail` column, [`JsonSink`] as a `"bank"` key).
+    fn set_bank(&mut self, _bank: Option<u16>) {}
+}
+
+/// A cloneable sink wrapper that serializes several producers into one
+/// underlying sink.
+///
+/// A banked cache hands each bank a [`SharedSink::with_bank`] clone; every
+/// record funnels through one mutex into the shared backend, tagged with the
+/// recording bank via [`TelemetrySink::set_bank`] (taken under the same lock,
+/// so tags cannot interleave). Record order *across* banks follows execution
+/// order, which a parallel engine does not make deterministic — consumers
+/// comparing sharded against serial traces should compare multisets, or
+/// group by the bank tag.
+pub struct SharedSink {
+    inner: Arc<Mutex<Box<dyn TelemetrySink>>>,
+    bank: Option<u16>,
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSink")
+            .field("bank", &self.bank)
+            .field("handles", &Arc::strong_count(&self.inner))
+            .finish()
+    }
+}
+
+impl SharedSink {
+    /// Wraps `inner` for sharing. The wrapper itself records untagged;
+    /// producers get tagged handles from [`SharedSink::with_bank`].
+    pub fn new(inner: Box<dyn TelemetrySink>) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(inner)),
+            bank: None,
+        }
+    }
+
+    /// A handle onto the same backend whose records are tagged `bank`.
+    pub fn with_bank(&self, bank: u16) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            bank: Some(bank),
+        }
+    }
+
+    /// Recovers the wrapped sink once every clone has been dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns `self` unchanged while other handles are still alive.
+    pub fn try_unwrap(self) -> Result<Box<dyn TelemetrySink>, Self> {
+        let bank = self.bank;
+        match Arc::try_unwrap(self.inner) {
+            Ok(m) => Ok(m
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)),
+            Err(inner) => Err(Self { inner, bank }),
+        }
+    }
+
+    fn with_lock(&self, f: impl FnOnce(&mut Box<dyn TelemetrySink>)) {
+        // A producer that panicked mid-record leaves a poisoned (but
+        // structurally sound) sink; keep collecting from the others.
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        g.set_bank(self.bank);
+        f(&mut g);
+    }
+}
+
+impl TelemetrySink for SharedSink {
+    fn record_event(&mut self, ev: &TelemetryEvent) {
+        self.with_lock(|s| s.record_event(ev));
+    }
+    fn record_sample(&mut self, s: &PartitionSample) {
+        self.with_lock(|sink| sink.record_sample(s));
+    }
+    fn flush(&mut self) {
+        self.with_lock(|s| s.flush());
+    }
+    fn set_bank(&mut self, bank: Option<u16>) {
+        self.bank = bank;
+    }
 }
 
 /// The zero-cost sink: drops everything. Installing it exercises the whole
@@ -573,6 +665,7 @@ pub fn from_json_line(line: &str) -> Option<TelemetryRecord> {
 pub struct CsvSink<W: Write + Send> {
     w: W,
     wrote_header: bool,
+    bank: Option<u16>,
 }
 
 impl CsvSink<BufWriter<File>> {
@@ -592,6 +685,7 @@ impl<W: Write + Send> CsvSink<W> {
         Self {
             w,
             wrote_header: false,
+            bank: None,
         }
     }
 
@@ -602,7 +696,16 @@ impl<W: Write + Send> CsvSink<W> {
             self.wrote_header = true;
             let _ = writeln!(self.w, "{CSV_HEADER}");
         }
-        let _ = writeln!(self.w, "{}", to_csv_row(rec));
+        let mut row = to_csv_row(rec);
+        if let Some(b) = self.bank {
+            // The detail column is last and `k=v;k=v`-structured; an extra
+            // key round-trips through `from_csv_row` untouched.
+            if !row.ends_with(',') {
+                row.push(';');
+            }
+            let _ = write!(row, "bank={b}");
+        }
+        let _ = writeln!(self.w, "{row}");
     }
 }
 
@@ -616,11 +719,15 @@ impl<W: Write + Send> TelemetrySink for CsvSink<W> {
     fn flush(&mut self) {
         let _ = self.w.flush();
     }
+    fn set_bank(&mut self, bank: Option<u16>) {
+        self.bank = bank;
+    }
 }
 
 /// A JSON Lines sink over any writer: one flat object per record.
 pub struct JsonSink<W: Write + Send> {
     w: W,
+    bank: Option<u16>,
 }
 
 impl JsonSink<BufWriter<File>> {
@@ -637,19 +744,32 @@ impl JsonSink<BufWriter<File>> {
 impl<W: Write + Send> JsonSink<W> {
     /// Wraps a writer.
     pub fn new(w: W) -> Self {
-        Self { w }
+        Self { w, bank: None }
+    }
+
+    fn write_line(&mut self, rec: &TelemetryRecord) {
+        let mut line = to_json_line(rec);
+        if let Some(b) = self.bank {
+            // Extra keys pass through `from_json_line` untouched.
+            line.pop();
+            let _ = write!(line, ",\"bank\":{b}}}");
+        }
+        let _ = writeln!(self.w, "{line}");
     }
 }
 
 impl<W: Write + Send> TelemetrySink for JsonSink<W> {
     fn record_event(&mut self, ev: &TelemetryEvent) {
-        let _ = writeln!(self.w, "{}", to_json_line(&TelemetryRecord::Event(*ev)));
+        self.write_line(&TelemetryRecord::Event(*ev));
     }
     fn record_sample(&mut self, s: &PartitionSample) {
-        let _ = writeln!(self.w, "{}", to_json_line(&TelemetryRecord::Sample(*s)));
+        self.write_line(&TelemetryRecord::Sample(*s));
     }
     fn flush(&mut self) {
         let _ = self.w.flush();
+    }
+    fn set_bank(&mut self, bank: Option<u16>) {
+        self.bank = bank;
     }
 }
 
@@ -795,6 +915,14 @@ impl Telemetry {
         if let Some(sink) = self.sink.as_mut() {
             sink.flush();
         }
+    }
+
+    /// Splits the handle into its sink (if any) and sample period, e.g. so
+    /// a banked cache can wrap the sink in a [`SharedSink`] and rebuild one
+    /// `Telemetry` per bank with the same period. No flush happens here; the
+    /// sink keeps its buffered state.
+    pub fn into_parts(mut self) -> (Option<Box<dyn TelemetrySink>>, u64) {
+        (self.sink.take(), self.sample_period)
     }
 }
 
@@ -982,6 +1110,116 @@ mod tests {
         assert!(!tele.sample_due(u64::MAX - 1));
         tele.sample(sample(1, 0));
         tele.flush();
+    }
+
+    #[test]
+    fn shared_sink_clones_funnel_into_one_backend() {
+        let (ring, reader) = RingSink::with_capacity(8);
+        let shared = SharedSink::new(Box::new(ring));
+        let mut bank0 = shared.with_bank(0);
+        let mut bank1 = shared.with_bank(1);
+        bank0.record_event(&TelemetryEvent::Demotion { access: 1, part: 2 });
+        bank1.record_event(&TelemetryEvent::Promotion { access: 2, part: 0 });
+        bank0.record_sample(&sample(3, 0));
+        assert_eq!(reader.len(), 3, "all clones reach the shared backend");
+    }
+
+    #[test]
+    fn csv_bank_tags_round_trip_and_are_ignored_by_parser() {
+        let mut sink = CsvSink::new(Vec::new());
+        sink.set_bank(Some(3));
+        sink.record_event(&TelemetryEvent::Demotion { access: 1, part: 2 });
+        sink.record_event(&TelemetryEvent::Eviction {
+            access: 2,
+            part: 0,
+            forced: true,
+        });
+        sink.record_sample(&sample(3, 1));
+        sink.set_bank(None);
+        sink.record_event(&TelemetryEvent::Promotion { access: 4, part: 0 });
+        sink.flush();
+        let text = String::from_utf8(sink.w).unwrap();
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        assert!(lines[0].ends_with("bank=3"), "{}", lines[0]);
+        assert!(lines[1].contains("forced=true;bank=3"), "{}", lines[1]);
+        assert!(lines[2].ends_with("bank=3"), "{}", lines[2]);
+        assert!(!lines[3].contains("bank="), "tag cleared: {}", lines[3]);
+        // The tag is transparent to the parser: records decode unchanged.
+        assert_eq!(
+            from_csv_row(lines[0]),
+            Some(TelemetryRecord::Event(TelemetryEvent::Demotion {
+                access: 1,
+                part: 2
+            }))
+        );
+        assert_eq!(
+            from_csv_row(lines[2]),
+            Some(TelemetryRecord::Sample(sample(3, 1)))
+        );
+    }
+
+    #[test]
+    fn json_bank_tags_round_trip_and_are_ignored_by_parser() {
+        let mut sink = JsonSink::new(Vec::new());
+        sink.set_bank(Some(7));
+        sink.record_event(&TelemetryEvent::Scrub {
+            access: 9,
+            repairs: 0,
+        });
+        sink.record_sample(&sample(10, 0));
+        sink.flush();
+        let text = String::from_utf8(sink.w).unwrap();
+        for line in text.lines() {
+            assert!(line.ends_with(",\"bank\":7}"), "{line}");
+        }
+        let parsed: Vec<TelemetryRecord> = text.lines().filter_map(from_json_line).collect();
+        assert_eq!(
+            parsed,
+            vec![
+                TelemetryRecord::Event(TelemetryEvent::Scrub {
+                    access: 9,
+                    repairs: 0
+                }),
+                TelemetryRecord::Sample(sample(10, 0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn shared_sink_try_unwrap_requires_sole_ownership() {
+        let (ring, reader) = RingSink::with_capacity(8);
+        let shared = SharedSink::new(Box::new(ring));
+        let mut tagged = shared.with_bank(1);
+        tagged.record_event(&TelemetryEvent::Demotion { access: 5, part: 0 });
+        let shared = match shared.try_unwrap() {
+            Err(s) => s,
+            Ok(_) => panic!("unwrap should fail while a clone is alive"),
+        };
+        drop(tagged);
+        let _inner = shared.try_unwrap().expect("now sole owner");
+        // RingSink ignores bank tags, so the record is byte-identical to a
+        // serial run's.
+        assert_eq!(
+            reader.records(),
+            vec![TelemetryRecord::Event(TelemetryEvent::Demotion {
+                access: 5,
+                part: 0
+            })]
+        );
+    }
+
+    #[test]
+    fn into_parts_splits_sink_and_period() {
+        let (sink, reader) = RingSink::with_capacity(4);
+        let tele = Telemetry::new(Box::new(sink), 512);
+        let (sink, period) = tele.into_parts();
+        assert_eq!(period, 512);
+        let mut sink = sink.expect("sink present");
+        sink.record_event(&TelemetryEvent::Demotion { access: 1, part: 0 });
+        assert_eq!(reader.len(), 1);
+        let (none, period) = Telemetry::disabled().into_parts();
+        assert!(none.is_none());
+        assert_eq!(period, DEFAULT_SAMPLE_PERIOD);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::Llc;
+use vantage_repro::partitioning::{AccessRequest, Llc};
 
 fn main() {
     // A 2 MB last-level cache: 32768 64-byte lines, as a Z4/52 zcache
@@ -24,7 +24,10 @@ fn main() {
     for i in 0..2_000_000u64 {
         let part = (i % 2) as usize;
         let base = (part as u64 + 1) << 40;
-        llc.access(part, (base + rng.gen_range(0..200_000u64)).into());
+        llc.access(AccessRequest::read(
+            part,
+            (base + rng.gen_range(0..200_000u64)).into(),
+        ));
     }
 
     println!("partition | target (lines) | actual (lines)");

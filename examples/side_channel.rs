@@ -12,7 +12,7 @@
 
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::{BaselineLlc, Llc, RankPolicy};
+use vantage_repro::partitioning::{AccessRequest, BaselineLlc, Llc, RankPolicy};
 
 const LINES: usize = 8 * 1024;
 const PRIME_LINES: u64 = 4 * 1024;
@@ -25,26 +25,26 @@ fn prime_probe(llc: &mut dyn Llc, victim_accesses: u64) -> u64 {
 
     // Prime: load the attacker's monitoring set.
     for i in 0..PRIME_LINES {
-        llc.access(attacker, (0x1_0000_0000u64 + i).into());
+        llc.access(AccessRequest::read(attacker, (0x1_0000_0000u64 + i).into()));
     }
     // Re-touch so every primed line is resident and warm.
     for i in 0..PRIME_LINES {
-        llc.access(attacker, (0x1_0000_0000u64 + i).into());
+        llc.access(AccessRequest::read(attacker, (0x1_0000_0000u64 + i).into()));
     }
 
     // Victim activity: a secret-dependent walk over its own data.
     for i in 0..victim_accesses {
         let secret_stride = 3 + (i / 1000) % 5; // "key-dependent" pattern
-        llc.access(
+        llc.access(AccessRequest::read(
             victim,
             (0x2_0000_0000u64 + (i * secret_stride) % 60_000).into(),
-        );
+        ));
     }
 
     // Probe: attacker misses reveal victim-induced evictions.
     let before = llc.stats().misses[attacker];
     for i in 0..PRIME_LINES {
-        llc.access(attacker, (0x1_0000_0000u64 + i).into());
+        llc.access(AccessRequest::read(attacker, (0x1_0000_0000u64 + i).into()));
     }
     llc.stats().misses[attacker] - before
 }

@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 use vantage::fault::{Fault, FaultKind, FaultPlan};
 use vantage::{VantageConfig, VantageLlc};
 use vantage_cache::{CacheArray, LineAddr, ZArray};
-use vantage_partitioning::Llc;
+use vantage_partitioning::{AccessRequest, Llc};
 
 fn z52(frames: usize) -> Box<dyn CacheArray> {
     Box::new(ZArray::new(frames, 4, 52, 0xFA17))
@@ -24,7 +24,10 @@ fn default_llc(frames: usize, partitions: usize) -> VantageLlc {
 fn drive(llc: &mut VantageLlc, part: usize, working_set: u64, n: u64, rng: &mut SmallRng) {
     let base = (part as u64 + 1) << 40;
     for _ in 0..n {
-        llc.access(part, LineAddr(base + rng.gen_range(0..working_set)));
+        llc.access(AccessRequest::read(
+            part,
+            LineAddr(base + rng.gen_range(0..working_set)),
+        ));
     }
 }
 
@@ -178,7 +181,7 @@ fn churn_burst_interference_is_bounded() {
     for step in 0..100_000u64 {
         if let Some(Fault::ChurnBurst { accesses, .. }) = plan.poll(step) {
             for _ in 0..accesses.min(2_000) {
-                llc.access(1, LineAddr((7u64 << 40) + next_addr));
+                llc.access(AccessRequest::read(1, LineAddr((7u64 << 40) + next_addr)));
                 next_addr += 1;
                 burst_accesses += 1;
             }

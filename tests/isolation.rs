@@ -5,7 +5,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::{BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy};
+use vantage_repro::partitioning::{
+    AccessRequest, BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy,
+};
 
 const LINES: usize = 8 * 1024;
 
@@ -13,17 +15,17 @@ const LINES: usize = 8 * 1024;
 /// then measures how many of partition 0's re-read accesses miss.
 fn victim_misses(llc: &mut dyn Llc, ws: u64) -> u64 {
     for i in 0..ws {
-        llc.access(0, (0x10_0000u64 + i).into());
+        llc.access(AccessRequest::read(0, (0x10_0000u64 + i).into()));
     }
     for i in 0..ws {
-        llc.access(0, (0x10_0000u64 + i).into());
+        llc.access(AccessRequest::read(0, (0x10_0000u64 + i).into()));
     }
     for i in 0..600_000u64 {
-        llc.access(1, (0x99_0000_0000u64 + i).into());
+        llc.access(AccessRequest::read(1, (0x99_0000_0000u64 + i).into()));
     }
     let before = llc.stats().misses[0];
     for i in 0..ws {
-        llc.access(0, (0x10_0000u64 + i).into());
+        llc.access(AccessRequest::read(0, (0x10_0000u64 + i).into()));
     }
     llc.stats().misses[0] - before
 }
@@ -105,7 +107,10 @@ fn partitions_bound_sizes_even_with_32_uneven_partitions() {
     for i in 0..2_000_000u64 {
         let p = (i % parts as u64) as usize;
         let base = (p as u64 + 1) << 40;
-        llc.access(p, (base + rng.gen_range(0..50_000u64)).into());
+        llc.access(AccessRequest::read(
+            p,
+            (base + rng.gen_range(0..50_000u64)).into(),
+        ));
     }
     llc.invariants().expect("invariants hold");
 

@@ -6,14 +6,17 @@ use rand::{Rng, SeedableRng};
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::model::sizing;
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::Llc;
+use vantage_repro::partitioning::{AccessRequest, Llc};
 
 fn churn(llc: &mut VantageLlc, parts: usize, accesses: u64, seed: u64) {
     let mut rng = SmallRng::seed_from_u64(seed);
     for i in 0..accesses {
         let p = (i % parts as u64) as usize;
         let base = (p as u64 + 1) << 40;
-        llc.access(p, (base + rng.gen_range(0..100_000u64)).into());
+        llc.access(AccessRequest::read(
+            p,
+            (base + rng.gen_range(0..100_000u64)).into(),
+        ));
     }
 }
 
@@ -81,10 +84,13 @@ fn minimum_stable_size_bounded_by_eq5() {
     // Partition 1 fills once and goes quiet; partition 0 churns forever.
     let mut rng = SmallRng::seed_from_u64(11);
     for _ in 0..40_000 {
-        llc.access(1, ((2u64 << 40) + rng.gen_range(0..7_000u64)).into());
+        llc.access(AccessRequest::read(
+            1,
+            ((2u64 << 40) + rng.gen_range(0..7_000u64)).into(),
+        ));
     }
     for i in 0..1_500_000u64 {
-        llc.access(0, ((1u64 << 40) + i).into());
+        llc.access(AccessRequest::read(0, ((1u64 << 40) + i).into()));
     }
     llc.invariants().expect("invariants hold");
     let mss_lines = cap as f64 / (0.5 * 52.0); // ≈ 1/(A_max·R) of the cache
@@ -109,11 +115,14 @@ fn unmanaged_region_absorbs_borrowing_without_interference() {
     let mut rng = SmallRng::seed_from_u64(13);
     // Quiet partner loads a set well under its target.
     for _ in 0..60_000 {
-        llc.access(1, ((2u64 << 40) + rng.gen_range(0..3_000u64)).into());
+        llc.access(AccessRequest::read(
+            1,
+            ((2u64 << 40) + rng.gen_range(0..3_000u64)).into(),
+        ));
     }
     let quiet_before = llc.partition_size(1);
     for i in 0..1_200_000u64 {
-        llc.access(0, ((1u64 << 40) + i).into());
+        llc.access(AccessRequest::read(0, ((1u64 << 40) + i).into()));
     }
     let quiet_after = llc.partition_size(1);
     assert!(

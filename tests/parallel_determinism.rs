@@ -1,0 +1,195 @@
+//! Engine-equivalence tests for the parallel sharded-bank engine: on the
+//! same seeded mixed trace, [`ParallelBankedLlc`] at any worker count must
+//! be indistinguishable from the serial per-access [`BankedLlc`] — same
+//! outcome stream, same statistics, same partition sizes, and the same
+//! multiset of telemetry records (per-bank streams interleave differently
+//! in the shared ring, so order is not part of the contract).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vantage_repro::cache::{LineAddr, ZArray};
+use vantage_repro::core::{VantageConfig, VantageLlc};
+use vantage_repro::partitioning::{
+    AccessOutcome, AccessRequest, BankedLlc, Llc, ParallelBankedLlc,
+};
+use vantage_repro::sim::{Scheme, SchemeKind, SystemConfig};
+use vantage_repro::telemetry::{RingSink, Telemetry};
+
+const PARTS: usize = 4;
+const BANKS: usize = 4;
+const FRAMES: usize = 8 * 1024;
+
+/// Seeded mixed trace: reads and writes over per-partition working sets
+/// sized for steady churn (hits, misses, demotions and evictions all
+/// occur).
+fn mixed_trace(n: u64, seed: u64) -> Vec<AccessRequest> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let p = (rng.gen::<u32>() as usize) % PARTS;
+            let base = (p as u64 + 1) << 40;
+            let addr = LineAddr(base + rng.gen_range(0..(FRAMES as u64 / 2)));
+            if rng.gen_ratio(1, 4) {
+                AccessRequest::write(p, addr)
+            } else {
+                AccessRequest::read(p, addr)
+            }
+        })
+        .collect()
+}
+
+/// The gate configuration in miniature: `BANKS` Vantage-Z4/52 banks behind
+/// an address-interleaved [`BankedLlc`] with even targets. Deterministic in
+/// `seed`.
+fn build_banked(seed: u64) -> BankedLlc {
+    let banks = (0..BANKS)
+        .map(|b| {
+            let array = ZArray::new(FRAMES / BANKS, 4, 52, seed ^ (b as u64 + 1));
+            Box::new(VantageLlc::new(
+                Box::new(array),
+                PARTS,
+                VantageConfig::default(),
+                seed ^ ((b as u64) << 8),
+            )) as Box<dyn Llc>
+        })
+        .collect();
+    let mut llc = BankedLlc::new(banks, seed ^ 0xBA2C);
+    llc.set_targets(&[(FRAMES / PARTS) as u64; PARTS]);
+    llc
+}
+
+/// Everything observable about a run: the outcome stream, final statistics,
+/// partition sizes, and the telemetry record multiset (sorted rendering).
+struct Observed {
+    outcomes: Vec<AccessOutcome>,
+    stats: String,
+    sizes: Vec<u64>,
+    telemetry: Vec<String>,
+}
+
+fn observe(
+    llc: &mut dyn Llc,
+    outcomes: Vec<AccessOutcome>,
+    reader: impl FnOnce() -> Vec<String>,
+) -> Observed {
+    let stats = format!("{:?}", llc.stats_mut());
+    let sizes = (0..llc.num_partitions())
+        .map(|p| llc.partition_size(p))
+        .collect();
+    let mut telemetry = reader();
+    telemetry.sort_unstable();
+    Observed {
+        outcomes,
+        stats,
+        sizes,
+        telemetry,
+    }
+}
+
+/// Drives `llc` one access at a time with telemetry attached.
+fn run_serial(mut llc: BankedLlc, reqs: &[AccessRequest]) -> Observed {
+    let (sink, reader) = RingSink::with_capacity(1 << 20);
+    assert!(llc.set_telemetry(Telemetry::new(Box::new(sink), 512)));
+    let outcomes: Vec<AccessOutcome> = reqs.iter().map(|&r| llc.access(r)).collect();
+    llc.take_telemetry();
+    observe(&mut llc, outcomes, || {
+        reader.records().iter().map(|r| format!("{r:?}")).collect()
+    })
+}
+
+/// Drives `llc` through `access_batch` in uneven chunks (to exercise batch
+/// boundaries) with telemetry attached.
+fn run_batched(mut llc: ParallelBankedLlc, reqs: &[AccessRequest]) -> Observed {
+    let (sink, reader) = RingSink::with_capacity(1 << 20);
+    assert!(llc.set_telemetry(Telemetry::new(Box::new(sink), 512)));
+    let mut outcomes = Vec::with_capacity(reqs.len());
+    for chunk in reqs.chunks(999) {
+        llc.access_batch(chunk, &mut outcomes);
+    }
+    llc.take_telemetry();
+    observe(&mut llc, outcomes, || {
+        reader.records().iter().map(|r| format!("{r:?}")).collect()
+    })
+}
+
+/// The tentpole determinism claim: batched, sharded service at 1, 2 and 4
+/// workers replays the serial reference bit-for-bit.
+#[test]
+fn parallel_engine_matches_serial_at_every_worker_count() {
+    let reqs = mixed_trace(120_000, 0xD15C);
+    let reference = run_serial(build_banked(9), &reqs);
+    assert!(
+        reference.outcomes.iter().any(|o| o.is_hit())
+            && reference.outcomes.iter().any(|o| !o.is_hit()),
+        "trace must exercise both hits and misses"
+    );
+    assert!(
+        !reference.telemetry.is_empty(),
+        "telemetry captured nothing"
+    );
+
+    for jobs in [1, 2, 4] {
+        let par = ParallelBankedLlc::from_banked(build_banked(9), jobs);
+        let got = run_batched(par, &reqs);
+        assert_eq!(
+            got.outcomes, reference.outcomes,
+            "outcome stream diverged at {jobs} workers"
+        );
+        assert_eq!(
+            got.stats, reference.stats,
+            "stats diverged at {jobs} workers"
+        );
+        assert_eq!(
+            got.sizes, reference.sizes,
+            "sizes diverged at {jobs} workers"
+        );
+        assert_eq!(
+            got.telemetry, reference.telemetry,
+            "telemetry record multiset diverged at {jobs} workers"
+        );
+    }
+}
+
+/// The same equivalence holds for engines built through the `Scheme`
+/// builder (the path simulations actually take): a banked machine with a
+/// worker pool must replay the serial banked machine exactly.
+#[test]
+fn builder_parallel_scheme_matches_builder_serial_scheme() {
+    let sys = {
+        let mut sys = SystemConfig::small_scale();
+        sys.l2_lines = FRAMES;
+        sys
+    };
+    let build = |jobs: usize| {
+        Scheme::builder(SchemeKind::vantage_paper(), sys.clone())
+            .banks(BANKS)
+            .bank_jobs(jobs)
+            .build()
+    };
+    let reqs = mixed_trace(60_000, 0x5EED);
+    let mut reference = build(1);
+    assert!(matches!(reference, Scheme::Banked { .. }));
+    let ref_outcomes: Vec<AccessOutcome> = reqs
+        .iter()
+        .map(|&r| reference.llc_mut().access(r))
+        .collect();
+    let ref_stats = format!("{:?}", reference.llc_mut().stats_mut());
+
+    for jobs in [2, 4] {
+        let mut scheme = build(jobs);
+        assert!(matches!(scheme, Scheme::ParallelBanked { .. }));
+        let mut outcomes = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(777) {
+            scheme.llc_mut().access_batch(chunk, &mut outcomes);
+        }
+        assert_eq!(
+            outcomes, ref_outcomes,
+            "outcomes diverged at {jobs} workers"
+        );
+        assert_eq!(
+            format!("{:?}", scheme.llc_mut().stats_mut()),
+            ref_stats,
+            "stats diverged at {jobs} workers"
+        );
+    }
+}

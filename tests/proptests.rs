@@ -6,7 +6,7 @@ use vantage_repro::core::controller::ThresholdTable;
 use vantage_repro::core::model::{assoc, managed, sizing};
 use vantage_repro::core::{VantageConfig, VantageLlc};
 use vantage_repro::partitioning::llc::ways_from_targets;
-use vantage_repro::partitioning::Llc;
+use vantage_repro::partitioning::{AccessRequest, Llc};
 use vantage_repro::ucp::{interpolate_curve, lookahead};
 
 proptest! {
@@ -303,9 +303,71 @@ proptest! {
             for _ in 0..accesses {
                 let p = rng.gen_range(0..3usize);
                 let base = (p as u64 + 1) << 40;
-                llc.access(p, LineAddr(base + rng.gen_range(0..5_000u64)));
+                llc.access(AccessRequest::read(p, LineAddr(base + rng.gen_range(0..5_000u64))));
             }
             llc.invariants().expect("invariants hold");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The batched access surface is pure sugar: for every scheme,
+    /// `access_batch` over arbitrary chunkings of an arbitrary mixed trace
+    /// produces the same outcome stream and statistics as serving the
+    /// trace one `access` at a time.
+    #[test]
+    fn access_batch_is_equivalent_to_repeated_access_for_every_scheme(
+        seed in 0u64..1000,
+        chunk in 1usize..400,
+        ops in prop::collection::vec((0usize..4, 0u64..3000, 0u32..4), 200..800),
+    ) {
+        use vantage_repro::sim::{ArrayKind, BaselineRank, Scheme, SchemeKind, SystemConfig};
+
+        let reqs: Vec<AccessRequest> = ops
+            .iter()
+            .map(|&(p, a, kind)| {
+                let addr = LineAddr(((p as u64 + 1) << 40) + a);
+                if kind == 0 { AccessRequest::write(p, addr) } else { AccessRequest::read(p, addr) }
+            })
+            .collect();
+        let mut sys = SystemConfig::small_scale();
+        sys.l2_lines = 4 * 1024;
+        sys.seed = seed;
+        let kinds = [
+            SchemeKind::Baseline { array: ArrayKind::SetAssoc { ways: 16 }, rank: BaselineRank::Lru },
+            SchemeKind::WayPart,
+            SchemeKind::Pipp,
+            SchemeKind::vantage_paper(),
+        ];
+        // Every kind is also exercised sharded (serial and worker-pool).
+        let machines = [(1usize, 1usize), (4, 1), (4, 2)];
+        for kind in &kinds {
+            for &(banks, jobs) in &machines {
+                let build = || {
+                    Scheme::builder(kind.clone(), sys.clone())
+                        .banks(banks)
+                        .bank_jobs(jobs)
+                        .build()
+                };
+                let mut one = build();
+                let serial: Vec<_> = reqs.iter().map(|&r| one.llc_mut().access(r)).collect();
+                let mut many = build();
+                let mut batched = Vec::with_capacity(reqs.len());
+                for c in reqs.chunks(chunk) {
+                    many.llc_mut().access_batch(c, &mut batched);
+                }
+                prop_assert_eq!(
+                    &batched, &serial,
+                    "outcomes diverged for {} on {}x{} banks/jobs", kind.label(), banks, jobs
+                );
+                prop_assert_eq!(
+                    format!("{:?}", many.llc_mut().stats_mut()),
+                    format!("{:?}", one.llc_mut().stats_mut()),
+                    "stats diverged for {} on {}x{} banks/jobs", kind.label(), banks, jobs
+                );
+            }
         }
     }
 }

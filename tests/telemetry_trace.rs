@@ -6,7 +6,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vantage_repro::cache::{LineAddr, SetAssocArray, ZArray};
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::{BaselineLlc, Llc, RankPolicy};
+use vantage_repro::partitioning::{AccessRequest, BaselineLlc, Llc, RankPolicy};
 use vantage_repro::telemetry::{
     from_csv_row, from_json_line, CsvSink, JsonSink, RingSink, Telemetry, TelemetryRecord,
     CSV_HEADER, UNMANAGED_PART,
@@ -18,7 +18,10 @@ fn drive(llc: &mut VantageLlc, accesses: u64, rng: &mut SmallRng) {
     for _ in 0..accesses {
         let p = (rng.gen::<u32>() % 2) as usize;
         let base = ((p as u64) + 1) << 40;
-        llc.access(p, LineAddr(base + rng.gen_range(0..6000u64)));
+        llc.access(AccessRequest::read(
+            p,
+            LineAddr(base + rng.gen_range(0..6000u64)),
+        ));
     }
 }
 
@@ -131,7 +134,10 @@ fn json_trace_round_trips_through_a_file() {
     for _ in 0..60_000u64 {
         let p = (rng.gen::<u32>() % 2) as usize;
         let base = ((p as u64) + 1) << 40;
-        llc.access(p, LineAddr(base + rng.gen_range(0..3000u64)));
+        llc.access(AccessRequest::read(
+            p,
+            LineAddr(base + rng.gen_range(0..3000u64)),
+        ));
     }
     llc.take_telemetry(); // drop flushes the file
 
@@ -169,7 +175,10 @@ fn baseline_csv_trace_parses_row_by_row() {
     for _ in 0..60_000u64 {
         let p = (rng.gen::<u32>() % 2) as usize;
         let base = ((p as u64) + 1) << 40;
-        llc.access(p, LineAddr(base + rng.gen_range(0..3000u64)));
+        llc.access(AccessRequest::read(
+            p,
+            LineAddr(base + rng.gen_range(0..3000u64)),
+        ));
     }
     llc.take_telemetry();
 
