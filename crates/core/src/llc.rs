@@ -25,7 +25,10 @@ use vantage_cache::replacement::rrip::BasePolicy;
 use vantage_cache::{
     CacheArray, Frame, LineAddr, RripConfig, RripMode, RripPolicy, TsLru, Walk, MAX_PROBE_WAYS,
 };
-use vantage_partitioning::{AccessOutcome, AccessRequest, Llc, LlcStats, TsHistogram};
+use vantage_partitioning::{
+    AccessOutcome, AccessRequest, HasInvariants, HasPartitionPolicy, InvariantViolation, Llc,
+    LlcStats, PartitionObservations, TsHistogram,
+};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::config::{DemotionMode, RankMode, VantageConfig};
@@ -162,6 +165,21 @@ pub struct VantageLlc {
     win: Vec<KeepWin>,
     probe: bool,
     samples: Vec<PrioritySample>,
+    /// Cumulative lines lost per partition (demotion or eviction) — the
+    /// churn meter behind [`PartitionObservations`] and telemetry samples.
+    lost: Vec<u64>,
+    /// Cumulative managed installs per partition.
+    filled: Vec<u64>,
+    /// Cumulative unmanaged-region evictions (the region's churn meter).
+    um_lost: u64,
+    /// `lost`/`um_lost` values at the previous telemetry sample, so each
+    /// sample reports churn since the one before.
+    sample_lost: Vec<u64>,
+    sample_um_lost: u64,
+    /// `lost`/`filled` values at the previous [`Llc::observations`]
+    /// snapshot, so each snapshot reports epoch-relative dynamics.
+    obs_lost: Vec<u64>,
+    obs_filled: Vec<u64>,
     accesses: u64,
     /// Run [`Self::scrub`] automatically every this many accesses.
     scrub_period: Option<u64>,
@@ -279,6 +297,13 @@ impl VantageLlc {
             win: Vec::with_capacity(partitions),
             probe: false,
             samples: Vec::new(),
+            lost: vec![0; partitions],
+            filled: vec![0; partitions],
+            um_lost: 0,
+            sample_lost: vec![0; partitions],
+            sample_um_lost: 0,
+            obs_lost: vec![0; partitions],
+            obs_filled: vec![0; partitions],
             accesses: 0,
             scrub_period: None,
             fault_plan: None,
@@ -837,6 +862,7 @@ impl VantageLlc {
             self.hists[q].remove(tag.ts);
         }
         self.parts[q].actual = self.parts[q].actual.saturating_sub(1);
+        self.lost[q] += 1;
         self.um_size += 1;
         let um_ts = if lru {
             let t = self.um_stamp();
@@ -893,8 +919,9 @@ impl VantageLlc {
                 target: st.target,
                 aperture: st.table.aperture(st.actual) as f32,
                 window: st.keep_window(),
-                churn: 0,
+                churn: self.lost[p] - self.sample_lost[p],
             };
+            self.sample_lost[p] = self.lost[p];
             self.tele.sample(s);
         }
         self.tele.sample(PartitionSample {
@@ -904,8 +931,9 @@ impl VantageLlc {
             target: self.um_target,
             aperture: 0.0,
             window: 0,
-            churn: 0,
+            churn: self.um_lost - self.sample_um_lost,
         });
+        self.sample_um_lost = self.um_lost;
     }
 
     fn miss(&mut self, part: usize, addr: LineAddr) {
@@ -1083,12 +1111,14 @@ impl VantageLlc {
             });
             if tag.part == UNMANAGED {
                 self.um_size = self.um_size.saturating_sub(1);
+                self.um_lost += 1;
                 if self.hist_track {
                     self.um_hist.remove(tag.ts);
                 }
             } else if (tag.part as usize) < self.parts.len() {
                 let q = tag.part as usize;
                 self.parts[q].actual = self.parts[q].actual.saturating_sub(1);
+                self.lost[q] += 1;
                 if self.hist_track {
                     self.hists[q].remove(tag.ts);
                 }
@@ -1133,6 +1163,7 @@ impl VantageLlc {
             return;
         }
         self.parts[part].actual += 1;
+        self.filled[part] += 1;
         let ts = if lru {
             let t = self.parts[part].on_access();
             if self.hist_track {
@@ -1311,6 +1342,25 @@ impl Llc for VantageLlc {
         self.parts[part].actual
     }
 
+    /// Real dynamics metering: reports the (scaled) managed targets and
+    /// drains the epoch-relative churn/insertion counters maintained on the
+    /// demotion/eviction/install paths.
+    fn observations(&mut self) -> PartitionObservations {
+        let n = self.parts.len();
+        let mut obs = PartitionObservations::new(n);
+        for (p, st) in self.parts.iter().enumerate() {
+            obs.actual[p] = st.actual;
+            obs.targets[p] = st.target;
+            obs.churn[p] = self.lost[p] - self.obs_lost[p];
+            obs.insertions[p] = self.filled[p] - self.obs_filled[p];
+        }
+        obs.hits.copy_from_slice(&self.stats.hits);
+        obs.misses.copy_from_slice(&self.stats.misses);
+        self.obs_lost.copy_from_slice(&self.lost);
+        self.obs_filled.copy_from_slice(&self.filled);
+        obs
+    }
+
     fn stats(&self) -> &LlcStats {
         &self.stats
     }
@@ -1340,6 +1390,32 @@ impl Llc for VantageLlc {
             (DemotionMode::PerfectAperture, _) => "Vantage-Ideal",
             (DemotionMode::ExactlyOne, _) => "Vantage-ExactlyOne",
         }
+    }
+}
+
+impl HasPartitionPolicy for VantageLlc {
+    fn set_partition_policy(&mut self, part: usize, policy: BasePolicy) {
+        VantageLlc::set_partition_policy(self, part, policy);
+    }
+}
+
+impl HasInvariants for VantageLlc {
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        self.invariants()
+            .map_err(|e| InvariantViolation(e.to_string()))
+    }
+
+    fn repair(&mut self) -> u64 {
+        let r = self.scrub();
+        r.repaired_tags + r.size_corrections + r.meters_reset + r.setpoints_recentered
+    }
+
+    fn scrubs(&self) -> u64 {
+        self.vstats.scrubs
+    }
+
+    fn corruption_fallbacks(&self) -> u64 {
+        self.vstats.corrupted_pid_fallbacks
     }
 }
 

@@ -17,7 +17,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use vantage_sim::{CmpSim, SchemeKind, SimResult, SystemConfig};
+use vantage_sim::{CmpSim, PolicyKind, SchemeKind, SimResult, SystemConfig};
 use vantage_telemetry::{CsvSink, JsonSink, Telemetry, TelemetrySink};
 use vantage_workloads::Mix;
 
@@ -44,6 +44,8 @@ pub const USAGE: &str = "options:
   --banks N    shard each simulated LLC across N address-interleaved banks
   --bank-jobs M  worker threads serving banked batches (<= 1 is serial)
   --quick      drastically reduced scale for smoke runs
+  --policy P   allocation policy driving partition targets on UCP-managed
+               schemes: ucp (default), equal, missratio, qos
   --telemetry P  record per-partition dynamics traces; P is a base path whose
                  extension picks the format (.csv, else JSON Lines) and each
                  simulated cache writes to a tagged sibling of P";
@@ -67,6 +69,8 @@ pub struct Options {
     pub banks: usize,
     /// Worker threads serving banked batches (default 1 = serial).
     pub bank_jobs: usize,
+    /// Allocation policy driving partition targets on UCP-managed schemes.
+    pub policy: PolicyKind,
     /// Base path for telemetry traces (`None` = telemetry off). Each
     /// simulated cache writes to a sibling of this path tagged with the mix
     /// and scheme; a `.csv` extension selects CSV, anything else JSON Lines.
@@ -84,6 +88,7 @@ impl Default for Options {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             banks: 1,
             bank_jobs: 1,
+            policy: PolicyKind::default(),
             telemetry: None,
         }
     }
@@ -116,6 +121,14 @@ impl Options {
                 "--banks" => o.banks = num::<usize>(a, take()?)?.max(1),
                 "--bank-jobs" => o.bank_jobs = num::<usize>(a, take()?)?.max(1),
                 "--quick" => o.quick = true,
+                "--policy" => {
+                    let v = take()?;
+                    o.policy = PolicyKind::parse(&v).ok_or_else(|| {
+                        UsageError(format!(
+                            "--policy expects ucp, equal, missratio or qos, got '{v}'"
+                        ))
+                    })?;
+                }
                 "--telemetry" => o.telemetry = Some(PathBuf::from(take()?)),
                 other => return Err(UsageError(format!("unknown option: {other}"))),
             }
@@ -143,6 +156,7 @@ impl Options {
     pub fn machine(&self, mut sys: SystemConfig) -> SystemConfig {
         sys.banks = self.banks;
         sys.bank_jobs = self.bank_jobs;
+        sys.policy = self.policy;
         sys
     }
 
@@ -305,9 +319,11 @@ pub fn open_telemetry(base: &Path, tag: &str) -> Option<Telemetry> {
 }
 
 /// Installs a per-cache telemetry trace on `sim` when a base path is set.
-fn install_telemetry(sim: &mut CmpSim, base: Option<&Path>, mix: &Mix, kind: &SchemeKind) {
+/// The tag carries the sim's full label (scheme plus any `+policy` suffix)
+/// so traces from different allocation policies never collide.
+fn install_telemetry(sim: &mut CmpSim, base: Option<&Path>, mix: &Mix) {
     let Some(base) = base else { return };
-    let tag = format!("{}_{}", mix.name, kind.label());
+    let tag = format!("{}_{}", mix.name, sim.label());
     if let Some(t) = open_telemetry(base, &tag) {
         sim.set_telemetry(t);
     }
@@ -342,14 +358,14 @@ fn run_one(
     telemetry: Option<&Path>,
 ) -> MixOutcome {
     let mut base_sim = CmpSim::new(sys.clone(), baseline, mix);
-    install_telemetry(&mut base_sim, telemetry, mix, baseline);
+    install_telemetry(&mut base_sim, telemetry, mix);
     let base = base_sim.run();
     base_sim.take_telemetry();
     let mut tp = Vec::with_capacity(schemes.len());
     let mut mf = Vec::with_capacity(schemes.len());
     for kind in schemes {
         let mut sim = CmpSim::new(sys.clone(), kind, mix);
-        install_telemetry(&mut sim, telemetry, mix, kind);
+        install_telemetry(&mut sim, telemetry, mix);
         let r: SimResult = sim.run();
         sim.take_telemetry();
         tp.push(r.throughput);
@@ -599,7 +615,15 @@ mod tests {
     #[test]
     fn options_parse_roundtrip() {
         let args: Vec<String> = [
-            "--mixes", "3", "--instr", "500000", "--seed", "9", "--quick",
+            "--mixes",
+            "3",
+            "--instr",
+            "500000",
+            "--seed",
+            "9",
+            "--quick",
+            "--policy",
+            "missratio",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -609,6 +633,17 @@ mod tests {
         assert_eq!(o.instructions, Some(500_000));
         assert_eq!(o.seed, 9);
         assert!(o.quick);
+        assert_eq!(o.policy, PolicyKind::MissRatio);
+    }
+
+    #[test]
+    fn policy_flag_reaches_the_machine() {
+        let o = Options::parse(&["--policy".to_string(), "qos".to_string()]);
+        let sys = o.machine(SystemConfig::small_scale());
+        assert_eq!(sys.policy, PolicyKind::Qos);
+        let err = Options::try_parse(&["--policy".to_string(), "bogus".to_string()])
+            .expect_err("bad policy rejected");
+        assert!(err.0.contains("--policy"));
     }
 
     #[test]

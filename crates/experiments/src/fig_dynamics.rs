@@ -45,9 +45,11 @@ pub fn fig8(opts: &Options) {
         SchemeKind::vantage_paper(),
         SchemeKind::Pipp,
     ] {
-        let label = kind.label();
-        let slug = label.replace('/', "_").to_lowercase();
         let mut sim = CmpSim::new(sys.clone(), &kind, &mix);
+        // The sim label carries any +policy suffix, keeping artifacts from
+        // different allocation policies apart.
+        let label = sim.label().to_string();
+        let slug = label.replace(['/', '+'], "_").to_lowercase();
         sim.enable_trace(sys.repartition_interval / 5);
         sim.enable_priority_probe();
         if let Some(base) = &opts.telemetry {

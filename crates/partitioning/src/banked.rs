@@ -194,6 +194,24 @@ impl Llc for BankedLlc {
         self.banks.iter().map(|b| b.partition_size(part)).sum()
     }
 
+    /// Sums each bank's snapshot, so bank-local dynamics metering (e.g.
+    /// Vantage churn counters) survives sharding.
+    fn observations(&mut self) -> crate::llc::PartitionObservations {
+        let mut obs = crate::llc::PartitionObservations::new(self.partitions);
+        for bank in &mut self.banks {
+            let bo = bank.observations();
+            for p in 0..self.partitions {
+                obs.actual[p] += bo.actual[p];
+                obs.targets[p] += bo.targets[p];
+                obs.hits[p] += bo.hits[p];
+                obs.misses[p] += bo.misses[p];
+                obs.churn[p] += bo.churn[p];
+                obs.insertions[p] += bo.insertions[p];
+            }
+        }
+        obs
+    }
+
     fn stats(&self) -> &LlcStats {
         // `stats()` is a cheap borrow by contract; BankedLlc callers should
         // use `stats_mut` (which refreshes) or per-bank stats for live

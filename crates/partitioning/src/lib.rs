@@ -19,6 +19,7 @@
 
 pub mod banked;
 pub mod baseline;
+pub mod caps;
 pub mod error;
 pub mod hist;
 pub mod llc;
@@ -30,9 +31,10 @@ pub mod way_part;
 
 pub use banked::BankedLlc;
 pub use baseline::{BaselineLlc, RankPolicy};
+pub use caps::{HasInvariants, HasPartitionPolicy, InvariantViolation};
 pub use error::SchemeConfigError;
 pub use hist::TsHistogram;
-pub use llc::{AccessKind, AccessOutcome, AccessRequest, Llc, LlcStats};
+pub use llc::{AccessKind, AccessOutcome, AccessRequest, Llc, LlcStats, PartitionObservations};
 pub use parallel::ParallelBankedLlc;
 pub use pipp::{PippConfig, PippLlc};
 pub use sharded::Sharded;

@@ -124,6 +124,51 @@ impl LlcStats {
     }
 }
 
+/// A per-partition snapshot of occupancy and dynamics, in one shape shared
+/// by allocation policies and telemetry.
+///
+/// All vectors have one entry per partition. `hits`/`misses` mirror
+/// [`LlcStats`]; `targets`, `churn` and `insertions` are scheme-provided
+/// where the scheme tracks them (schemes without the machinery report
+/// zeros — see [`Llc::observations`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionObservations {
+    /// Lines each partition currently holds.
+    pub actual: Vec<u64>,
+    /// The capacity target each partition was last given (0 if the scheme
+    /// does not retain targets).
+    pub targets: Vec<u64>,
+    /// Cumulative hits per partition.
+    pub hits: Vec<u64>,
+    /// Cumulative misses per partition.
+    pub misses: Vec<u64>,
+    /// Lines lost (demotion or eviction) per partition since the previous
+    /// snapshot (0 for schemes that do not meter churn).
+    pub churn: Vec<u64>,
+    /// Lines installed per partition since the previous snapshot (0 for
+    /// schemes that do not meter insertions).
+    pub insertions: Vec<u64>,
+}
+
+impl PartitionObservations {
+    /// Creates a zeroed snapshot for `partitions` partitions.
+    pub fn new(partitions: usize) -> Self {
+        Self {
+            actual: vec![0; partitions],
+            targets: vec![0; partitions],
+            hits: vec![0; partitions],
+            misses: vec![0; partitions],
+            churn: vec![0; partitions],
+            insertions: vec![0; partitions],
+        }
+    }
+
+    /// Number of partitions in the snapshot.
+    pub fn num_partitions(&self) -> usize {
+        self.actual.len()
+    }
+}
+
 /// A shared last-level cache serving multiple partitions.
 ///
 /// A partition is usually a core/thread, but may be any capacity domain
@@ -166,18 +211,6 @@ pub trait Llc: Send {
         }
     }
 
-    /// Serves an access to `addr` on behalf of partition `part`.
-    ///
-    /// Compatibility shim for the pre-[`AccessRequest`] positional signature;
-    /// it will be removed one release after the redesign.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `access(AccessRequest::read(part, addr))` instead"
-    )]
-    fn access_positional(&mut self, part: usize, addr: LineAddr) -> AccessOutcome {
-        self.access(AccessRequest::read(part, addr))
-    }
-
     /// Number of partitions this cache was configured with.
     fn num_partitions(&self) -> usize;
 
@@ -206,6 +239,26 @@ pub trait Llc: Send {
     fn take_stats(&mut self) -> LlcStats {
         let partitions = self.num_partitions();
         std::mem::replace(self.stats_mut(), LlcStats::new(partitions))
+    }
+
+    /// Snapshots per-partition occupancy and dynamics (see
+    /// [`PartitionObservations`]).
+    ///
+    /// The default implementation reports current sizes and cumulative
+    /// hit/miss counters, with zeroed targets/churn/insertions; schemes
+    /// that meter dynamics (e.g. Vantage's demotion machinery) override it.
+    /// Takes `&mut self` so overriding schemes may drain epoch-relative
+    /// counters.
+    fn observations(&mut self) -> PartitionObservations {
+        let n = self.num_partitions();
+        let mut obs = PartitionObservations::new(n);
+        for p in 0..n {
+            obs.actual[p] = self.partition_size(p);
+        }
+        let stats = self.stats();
+        obs.hits.copy_from_slice(&stats.hits);
+        obs.misses.copy_from_slice(&stats.misses);
+        obs
     }
 
     /// Installs a telemetry handle; the cache emits dynamics events and

@@ -272,6 +272,10 @@ impl Llc for ParallelBankedLlc {
         self.inner.partition_size(part)
     }
 
+    fn observations(&mut self) -> crate::llc::PartitionObservations {
+        self.inner.observations()
+    }
+
     fn stats(&self) -> &LlcStats {
         self.inner.stats()
     }

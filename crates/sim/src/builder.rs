@@ -109,7 +109,7 @@ impl LlcBuilder {
     pub fn try_build(mut self) -> Result<Scheme, BuildError> {
         self.sys.try_validate()?;
         let mut scheme = Scheme::try_build(&self.kind, &self.sys)?;
-        if let Some(v) = scheme.as_vantage_mut() {
+        if let Some(v) = scheme.vantage_mut() {
             v.set_scrub_period(self.sys.scrub_period);
             v.set_fault_plan(self.fault_plan.take());
         }
@@ -167,9 +167,9 @@ mod tests {
                 vantage_cache::LineAddr(i % 700),
             ));
         }
-        let v = s.as_vantage().expect("vantage scheme");
-        assert!(!v.fault_plan().expect("plan attached").log().is_empty());
-        assert!(v.vantage_stats().scrubs > 0, "scrub period not applied");
+        assert!(!s.fault_plan().expect("plan attached").log().is_empty());
+        let inv = s.has_invariants().expect("vantage scheme");
+        assert!(inv.scrubs() > 0, "scrub period not applied");
     }
 
     #[test]

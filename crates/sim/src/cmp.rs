@@ -4,12 +4,11 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use vantage_cache::hash::mix64;
-use vantage_cache::replacement::rrip::BasePolicy;
 use vantage_partitioning::AccessRequest;
-use vantage_ucp::{RripUmon, UcpGranularity, UcpPolicy};
 use vantage_workloads::{AppGen, Mix, RefStream};
 
-use crate::config::{SchemeKind, SystemConfig};
+use crate::config::{PolicyKind, SchemeKind, SystemConfig};
+use crate::epoch::{EpochController, SimError};
 use crate::l1::L1;
 use crate::scheme::Scheme;
 
@@ -41,6 +40,9 @@ pub struct SimResult {
     pub mpki: Vec<f64>,
     /// Fraction of evictions forced from the managed region (Vantage only).
     pub managed_eviction_fraction: Option<f64>,
+    /// Invariant violations found at epoch boundaries and absorbed by an
+    /// in-place repair (always 0 unless `check_invariants` is set).
+    pub invariant_recoveries: u64,
     /// Partition-size samples (when tracing was enabled).
     pub trace: Vec<TraceSample>,
     /// Demotion/eviction priority samples (when the probe was enabled).
@@ -80,10 +82,8 @@ pub struct CmpSim {
     scheme: Scheme,
     label: String,
     cores: Vec<CoreState>,
-    ucp: Option<UcpPolicy>,
-    rrip_umons: Option<Vec<RripUmon>>,
+    epoch: EpochController,
     mem_free: Vec<u64>,
-    last_targets: Vec<u64>,
     trace_interval: Option<u64>,
     trace: Vec<TraceSample>,
 }
@@ -100,38 +100,9 @@ impl CmpSim {
         assert_eq!(mix.apps.len(), sys.cores, "mix size must match core count");
         // The builder applies `sys.scrub_period` and banking in one place.
         let scheme = Scheme::builder(kind.clone(), sys.clone()).build();
-        let ucp_granularity = match kind {
-            SchemeKind::WayPart | SchemeKind::Pipp => UcpGranularity::Ways(sys.l2_ways as u32),
-            SchemeKind::Vantage { .. } => UcpGranularity::Fine { blocks: 256 },
-            SchemeKind::Baseline { .. } => UcpGranularity::Ways(sys.l2_ways as u32), // unused
-        };
-        let ucp = scheme.uses_ucp().then(|| {
-            UcpPolicy::new(
-                sys.cores,
-                sys.l2_ways,
-                sys.umon_sets,
-                (sys.l2_lines / sys.l2_ways) as u32,
-                sys.l2_lines as u64,
-                ucp_granularity,
-                sys.seed ^ 0x0C0,
-            )
-        });
-        let rrip_umons = match kind {
-            SchemeKind::Vantage { drrip: true, .. } => Some(
-                (0..sys.cores)
-                    .map(|c| {
-                        RripUmon::new(
-                            sys.l2_ways,
-                            sys.umon_sets,
-                            (sys.l2_lines / sys.l2_ways) as u32,
-                            3,
-                            sys.seed ^ (c as u64 + 0xD00),
-                        )
-                    })
-                    .collect(),
-            ),
-            _ => None,
-        };
+        // Policy selection, epoch scheduling and invariant auditing all
+        // live in the controller; the loop below only feeds it.
+        let epoch = EpochController::new(&sys, kind, &scheme);
         let cores = mix
             .apps
             .iter()
@@ -153,20 +124,21 @@ impl CmpSim {
             })
             .collect();
         let channels = sys.mem_channels;
-        let label = if sys.banks > 1 {
+        let mut label = if sys.banks > 1 {
             format!("{}-{}B", kind.label(), sys.banks)
         } else {
             kind.label()
         };
+        if sys.policy != PolicyKind::Ucp && scheme.uses_ucp() {
+            label = format!("{label}+{}", sys.policy.label());
+        }
         Self {
             sys,
             scheme,
             label,
             cores,
-            ucp,
-            rrip_umons,
+            epoch,
             mem_free: vec![0; channels],
-            last_targets: Vec::new(),
             trace_interval: None,
             trace: Vec::new(),
         }
@@ -221,6 +193,12 @@ impl CmpSim {
         &self.scheme
     }
 
+    /// The label stamped on results and artifacts: the scheme's label,
+    /// plus a `+policy` tag when a non-default allocation policy drives it.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
     /// Installs a telemetry producer on the LLC under test.
     ///
     /// Returns `false` when the scheme does not support telemetry.
@@ -235,10 +213,10 @@ impl CmpSim {
 
     fn take_trace_sample(&mut self, cycle: u64) {
         let n = self.cores.len();
-        let targets = if self.last_targets.is_empty() {
+        let targets = if self.epoch.targets().is_empty() {
             vec![(self.sys.l2_lines / n) as u64; n]
         } else {
-            self.last_targets.clone()
+            self.epoch.targets().to_vec()
         };
         let actuals = (0..n)
             .map(|p| self.scheme.llc().partition_size(p))
@@ -250,41 +228,34 @@ impl CmpSim {
         });
     }
 
-    fn repartition(&mut self) {
-        if self.sys.check_invariants {
-            if let Some(v) = self.scheme.as_vantage() {
-                if let Err(e) = v.invariants() {
-                    panic!("invariant check at repartitioning failed: {e}");
-                }
-            }
-        }
-        if let Some(ucp) = &mut self.ucp {
-            let targets = ucp.reallocate();
-            self.scheme.llc_mut().set_targets(&targets);
-            self.last_targets = targets;
-        }
-        if let Some(umons) = &mut self.rrip_umons {
-            let policies: Vec<BasePolicy> = umons.iter().map(RripUmon::best_policy).collect();
-            for u in umons.iter_mut() {
-                u.decay();
-            }
-            if let Some(v) = self.scheme.as_vantage_mut() {
-                for (p, pol) in policies.into_iter().enumerate() {
-                    v.set_partition_policy(p, pol);
-                }
-            }
-        }
-    }
-
     /// Runs the simulation to completion: every core executes at least its
     /// instruction quota (finished cores keep running to preserve
     /// contention, as in the paper's methodology).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`SimError`] (fail-fast invariant violation); use
+    /// [`CmpSim::try_run`] to handle it as data instead.
     pub fn run(&mut self) -> SimResult {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`CmpSim::run`] with typed errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invariant`] when an epoch-boundary invariant check
+    /// fails under `fail_fast_invariants`; without fail-fast, violations
+    /// are repaired in place and counted in
+    /// [`SimResult::invariant_recoveries`].
+    pub fn try_run(&mut self) -> Result<SimResult, SimError> {
         let quota = self.sys.instructions;
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
             (0..self.cores.len()).map(|c| Reverse((0u64, c))).collect();
         let mut remaining = self.cores.len();
-        let mut next_repart = self.sys.repartition_interval;
         let mut next_trace = self.trace_interval.unwrap_or(u64::MAX);
 
         while remaining > 0 {
@@ -292,9 +263,8 @@ impl CmpSim {
 
             // Global-time-ordered bookkeeping (the popped time is the
             // minimum over all cores).
-            while now >= next_repart {
-                self.repartition();
-                next_repart += self.sys.repartition_interval;
+            while now >= self.epoch.next_at() {
+                self.epoch.run_epoch(&mut self.scheme)?;
             }
             if now >= next_trace {
                 self.take_trace_sample(now);
@@ -308,12 +278,7 @@ impl CmpSim {
 
             if !core.l1.access(r.addr) {
                 core.l2_accesses += 1;
-                if let Some(ucp) = &mut self.ucp {
-                    ucp.observe(c, r.addr);
-                }
-                if let Some(umons) = &mut self.rrip_umons {
-                    umons[c].access(r.addr);
-                }
+                self.epoch.observe(c, r.addr);
                 let outcome = self.scheme.llc_mut().access(AccessRequest::read(c, r.addr));
                 if outcome.is_hit() {
                     core.time += self.sys.l2_latency;
@@ -350,20 +315,18 @@ impl CmpSim {
             .iter()
             .map(|c| c.measured_l2_misses as f64 * 1000.0 / quota as f64)
             .collect();
-        SimResult {
+        Ok(SimResult {
             label: self.label.clone(),
             throughput: ipc.iter().sum(),
             ipc,
             l2_accesses: self.cores.iter().map(|c| c.measured_l2_accesses).collect(),
             l2_misses: self.cores.iter().map(|c| c.measured_l2_misses).collect(),
             mpki,
-            managed_eviction_fraction: self
-                .scheme
-                .as_vantage()
-                .map(|v| v.vantage_stats().managed_eviction_fraction()),
+            managed_eviction_fraction: self.scheme.managed_eviction_fraction(),
+            invariant_recoveries: self.epoch.recoveries(),
             trace: std::mem::take(&mut self.trace),
             priority_samples: self.scheme.drain_priority_samples(),
-        }
+        })
     }
 }
 
@@ -504,9 +467,10 @@ mod tests {
         let mut sim = CmpSim::new(sys, &SchemeKind::vantage_paper(), mix);
         let r = sim.run();
         assert!(r.throughput > 0.0);
-        let v = sim.scheme().as_vantage().expect("vantage scheme");
-        assert!(v.vantage_stats().scrubs > 0, "periodic scrub never ran");
-        assert_eq!(v.vantage_stats().corrupted_pid_fallbacks, 0);
+        assert_eq!(r.invariant_recoveries, 0, "healthy run needed repairs");
+        let inv = sim.scheme().has_invariants().expect("vantage scheme");
+        assert!(inv.scrubs() > 0, "periodic scrub never ran");
+        assert_eq!(inv.corruption_fallbacks(), 0);
     }
 
     #[test]

@@ -114,6 +114,55 @@ impl SchemeKind {
     }
 }
 
+/// Which [`AllocationPolicy`](vantage_ucp::AllocationPolicy) drives
+/// repartitioning on policy-managed schemes (everything but the
+/// unpartitioned baselines). Selected via `--policy` in the experiments
+/// CLI; [`EpochController`](crate::EpochController) instantiates it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// UCP/Lookahead (Qureshi & Patt) — the paper's evaluation policy.
+    #[default]
+    Ucp,
+    /// Static equal shares (no monitoring).
+    Equal,
+    /// Miss-ratio equalization over UMON curves ("communist"; Hsu et al.).
+    MissRatio,
+    /// Per-partition minimum capacity plus weighted shares of the spare
+    /// (LFOC/Memshare-style QoS allocation).
+    Qos,
+}
+
+impl PolicyKind {
+    /// Every selectable policy, in CLI order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Ucp,
+        PolicyKind::Equal,
+        PolicyKind::MissRatio,
+        PolicyKind::Qos,
+    ];
+
+    /// Parses a `--policy` argument (`ucp`, `equal`, `missratio`, `qos`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ucp" => Some(Self::Ucp),
+            "equal" => Some(Self::Equal),
+            "missratio" => Some(Self::MissRatio),
+            "qos" => Some(Self::Qos),
+            _ => None,
+        }
+    }
+
+    /// The CLI/label spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Ucp => "ucp",
+            Self::Equal => "equal",
+            Self::MissRatio => "missratio",
+            Self::Qos => "qos",
+        }
+    }
+}
+
 fn rank_label(r: BaselineRank) -> &'static str {
     match r {
         BaselineRank::Lru => "LRU",
@@ -207,11 +256,17 @@ pub struct SystemConfig {
     pub umon_sets: usize,
     /// Master seed (hashes, workload draws, PIPP coins).
     pub seed: u64,
-    /// Debug flag: verify the Vantage accounting invariants (an O(frames)
-    /// tag scan) at every repartitioning boundary, panicking on the first
-    /// violation. Off by default — it is a correctness harness, not a
-    /// model feature.
+    /// The allocation policy driving repartitioning (see [`PolicyKind`]).
+    pub policy: PolicyKind,
+    /// Debug flag: verify the scheme's accounting invariants (an O(frames)
+    /// tag scan) at every repartitioning boundary. A violation is repaired
+    /// in place (scrub + warning + telemetry event) unless
+    /// [`fail_fast_invariants`](Self::fail_fast_invariants) is set. Off by
+    /// default — it is a correctness harness, not a model feature.
     pub check_invariants: bool,
+    /// With [`check_invariants`](Self::check_invariants): treat a
+    /// violation as a fatal simulation error instead of repairing it.
+    pub fail_fast_invariants: bool,
     /// Run a Vantage recovery scrub every this many LLC accesses (see
     /// [`VantageLlc::scrub`](vantage::VantageLlc::scrub)). `None` disables
     /// scrubbing; only meaningful under fault injection.
@@ -241,7 +296,9 @@ impl SystemConfig {
             instructions: 10_000_000,
             umon_sets: 64,
             seed: 0xFEED_F00D,
+            policy: PolicyKind::Ucp,
             check_invariants: false,
+            fail_fast_invariants: false,
             scrub_period: None,
         }
     }
@@ -264,7 +321,9 @@ impl SystemConfig {
             instructions: 2_000_000,
             umon_sets: 64,
             seed: 0xFEED_F00D,
+            policy: PolicyKind::Ucp,
             check_invariants: false,
+            fail_fast_invariants: false,
             scrub_period: None,
         }
     }

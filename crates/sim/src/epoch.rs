@@ -1,0 +1,226 @@
+//! Epoch scheduling: the repartitioning controller that sits between the
+//! simulation loop and the allocation policy.
+//!
+//! [`EpochController`] owns everything that used to be special-cased
+//! inside `CmpSim`: the [`AllocationPolicy`] instance (built from
+//! [`SystemConfig::policy`]), the optional Vantage-DRRIP RRIP monitors,
+//! and the invariant check/repair pass at each epoch boundary. The
+//! simulation loop only calls [`EpochController::observe`] per L2 access
+//! and [`EpochController::run_epoch`] when the epoch clock expires.
+
+use vantage_cache::replacement::rrip::BasePolicy;
+use vantage_cache::LineAddr;
+use vantage_partitioning::InvariantViolation;
+use vantage_ucp::{
+    AllocationPolicy, EqualShares, MissRatioEqualizer, PolicyInput, QosGuarantee, RripUmon,
+    UcpGranularity, UcpPolicy,
+};
+
+use crate::config::{PolicyKind, SchemeKind, SystemConfig};
+use crate::scheme::Scheme;
+
+/// A fatal simulation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// An accounting-invariant violation at a repartitioning boundary,
+    /// with fail-fast checking enabled
+    /// ([`SystemConfig::fail_fast_invariants`]).
+    Invariant(InvariantViolation),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Invariant(e) => {
+                write!(f, "invariant check at repartitioning failed: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Instantiates the configured allocation policy for machine `sys` under
+/// scheme `kind`. Way-granularity schemes get way-granularity UMONs;
+/// Vantage gets the paper's 256-block interpolated curves (§5).
+fn build_policy(sys: &SystemConfig, kind: &SchemeKind) -> Box<dyn AllocationPolicy> {
+    let granularity = match kind {
+        SchemeKind::Vantage { .. } => UcpGranularity::Fine { blocks: 256 },
+        SchemeKind::WayPart | SchemeKind::Pipp | SchemeKind::Baseline { .. } => {
+            UcpGranularity::Ways(sys.l2_ways as u32)
+        }
+    };
+    match sys.policy {
+        PolicyKind::Ucp => Box::new(UcpPolicy::new(
+            sys.cores,
+            sys.l2_ways,
+            sys.umon_sets,
+            (sys.l2_lines / sys.l2_ways) as u32,
+            sys.l2_lines as u64,
+            granularity,
+            sys.seed ^ 0x0C0,
+        )),
+        PolicyKind::Equal => Box::new(EqualShares::new()),
+        PolicyKind::MissRatio => Box::new(MissRatioEqualizer::new(
+            sys.cores,
+            sys.l2_ways,
+            sys.umon_sets,
+            (sys.l2_lines / sys.l2_ways) as u32,
+            sys.l2_lines as u64,
+            granularity,
+            sys.seed ^ 0x0C0,
+        )),
+        PolicyKind::Qos => {
+            // Default QoS contract: every partition is guaranteed 1/8 of
+            // its even share, equal weights for the spare. Callers wanting
+            // real tenant SLAs construct QosGuarantee directly.
+            let min = (sys.l2_lines / (8 * sys.cores)) as u64;
+            Box::new(QosGuarantee::new(
+                vec![min; sys.cores],
+                vec![1.0; sys.cores],
+            ))
+        }
+    }
+}
+
+/// The repartitioning-epoch controller; see the [module docs](self).
+pub struct EpochController {
+    interval: u64,
+    next: u64,
+    policy: Option<Box<dyn AllocationPolicy>>,
+    wants_stream: bool,
+    rrip_umons: Option<Vec<RripUmon>>,
+    check_invariants: bool,
+    fail_fast: bool,
+    last_targets: Vec<u64>,
+    recoveries: u64,
+}
+
+impl EpochController {
+    /// Builds the controller for machine `sys` driving `scheme`. Baseline
+    /// (unmanaged) schemes get no policy; Vantage-DRRIP kinds additionally
+    /// get one RRIP monitor per core.
+    pub fn new(sys: &SystemConfig, kind: &SchemeKind, scheme: &Scheme) -> Self {
+        let policy = scheme.uses_ucp().then(|| build_policy(sys, kind));
+        let wants_stream = policy
+            .as_deref()
+            .is_some_and(AllocationPolicy::wants_access_stream);
+        let rrip_umons = match kind {
+            SchemeKind::Vantage { drrip: true, .. } => Some(
+                (0..sys.cores)
+                    .map(|c| {
+                        RripUmon::new(
+                            sys.l2_ways,
+                            sys.umon_sets,
+                            (sys.l2_lines / sys.l2_ways) as u32,
+                            3,
+                            sys.seed ^ (c as u64 + 0xD00),
+                        )
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        };
+        Self {
+            interval: sys.repartition_interval,
+            next: sys.repartition_interval,
+            policy,
+            wants_stream,
+            rrip_umons,
+            check_invariants: sys.check_invariants,
+            fail_fast: sys.fail_fast_invariants,
+            last_targets: Vec::new(),
+            recoveries: 0,
+        }
+    }
+
+    /// The active policy's name, or `None` for unmanaged schemes.
+    pub fn policy_name(&self) -> Option<&'static str> {
+        self.policy.as_deref().map(AllocationPolicy::name)
+    }
+
+    /// The global time of the next epoch boundary.
+    pub fn next_at(&self) -> u64 {
+        self.next
+    }
+
+    /// The targets installed at the last epoch (empty before the first).
+    pub fn targets(&self) -> &[u64] {
+        &self.last_targets
+    }
+
+    /// Invariant violations absorbed by repair instead of aborting.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Feeds one L2 access to whatever monitors the configuration carries
+    /// (the policy's access stream, the DRRIP monitors, or neither).
+    #[inline]
+    pub fn observe(&mut self, part: usize, addr: LineAddr) {
+        if self.wants_stream {
+            if let Some(p) = &mut self.policy {
+                p.observe(part, addr);
+            }
+        }
+        if let Some(umons) = &mut self.rrip_umons {
+            umons[part].access(addr);
+        }
+    }
+
+    /// Runs one epoch boundary: invariant audit (repairing or failing
+    /// fast on a violation), target reallocation through the policy, and
+    /// DRRIP policy selection; then advances the epoch clock.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invariant`] when a violation is found and
+    /// [`SystemConfig::fail_fast_invariants`] is set; with fail-fast off
+    /// the violation is scrubbed in place (counted in
+    /// [`recoveries`](Self::recoveries)) and the epoch proceeds.
+    pub fn run_epoch(&mut self, scheme: &mut Scheme) -> Result<(), SimError> {
+        if self.check_invariants {
+            if let Some(inv) = scheme.has_invariants() {
+                if let Err(e) = inv.check_invariants() {
+                    if self.fail_fast {
+                        return Err(SimError::Invariant(e));
+                    }
+                    let repairs = scheme.has_invariants_mut().expect("checked above").repair();
+                    eprintln!(
+                        "warning: repartitioning invariant violation repaired \
+                         ({repairs} corrections): {e}"
+                    );
+                    self.recoveries += 1;
+                }
+            }
+        }
+        if let Some(policy) = &mut self.policy {
+            let capacity = scheme.llc().capacity() as u64;
+            let obs = scheme.llc_mut().observations();
+            let input = PolicyInput {
+                capacity,
+                actual: &obs.actual,
+                hits: &obs.hits,
+                misses: &obs.misses,
+                churn: &obs.churn,
+                insertions: &obs.insertions,
+            };
+            let targets = policy.reallocate(&input);
+            scheme.llc_mut().set_targets(&targets);
+            self.last_targets = targets;
+        }
+        if let Some(umons) = &mut self.rrip_umons {
+            let policies: Vec<BasePolicy> = umons.iter().map(RripUmon::best_policy).collect();
+            for u in umons.iter_mut() {
+                u.decay();
+            }
+            if let Some(pp) = scheme.has_partition_policy() {
+                for (p, pol) in policies.into_iter().enumerate() {
+                    pp.set_partition_policy(p, pol);
+                }
+            }
+        }
+        self.next += self.interval;
+        Ok(())
+    }
+}

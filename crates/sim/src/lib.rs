@@ -25,12 +25,14 @@
 pub mod builder;
 pub mod cmp;
 pub mod config;
+pub mod epoch;
 pub mod l1;
 pub mod metrics;
 pub mod scheme;
 
 pub use builder::LlcBuilder;
 pub use cmp::{run_solo, CmpSim, SimResult, TraceSample};
-pub use config::{ArrayKind, BaselineRank, SchemeKind, SysConfigError, SystemConfig};
+pub use config::{ArrayKind, BaselineRank, PolicyKind, SchemeKind, SysConfigError, SystemConfig};
+pub use epoch::{EpochController, SimError};
 pub use l1::L1;
 pub use scheme::{BuildError, Scheme};

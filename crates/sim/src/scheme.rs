@@ -9,8 +9,8 @@ use vantage_cache::{
     CacheArray, RandomArray, RripConfig, RripMode, SetAssocArray, SkewArray, ZArray,
 };
 use vantage_partitioning::{
-    BankedLlc, BaselineLlc, Llc, ParallelBankedLlc, PippConfig, PippLlc, RankPolicy,
-    SchemeConfigError, Sharded, WayPartLlc,
+    BankedLlc, BaselineLlc, HasInvariants, HasPartitionPolicy, Llc, ParallelBankedLlc, PippConfig,
+    PippLlc, RankPolicy, SchemeConfigError, Sharded, WayPartLlc,
 };
 use vantage_telemetry::Telemetry;
 
@@ -278,16 +278,56 @@ impl Scheme {
         }
     }
 
-    /// Vantage-specific instrumentation, when the scheme is Vantage.
-    pub fn as_vantage(&self) -> Option<&VantageLlc> {
+    /// The invariant-audit capability, when the scheme advertises one
+    /// (see [`HasInvariants`]). Schemes without self-auditing bookkeeping
+    /// return `None`.
+    pub fn has_invariants(&self) -> Option<&dyn HasInvariants> {
         match self {
             Scheme::Vantage(l) => Some(l),
             _ => None,
         }
     }
 
-    /// Mutable Vantage access (for DRRIP policy updates, probes).
-    pub fn as_vantage_mut(&mut self) -> Option<&mut VantageLlc> {
+    /// Mutable [`HasInvariants`] access (to run a repair pass).
+    pub fn has_invariants_mut(&mut self) -> Option<&mut dyn HasInvariants> {
+        match self {
+            Scheme::Vantage(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The per-partition replacement-policy capability, when the scheme
+    /// advertises one (see [`HasPartitionPolicy`]; Vantage-DRRIP uses it
+    /// to install the dueling winner each epoch).
+    pub fn has_partition_policy(&mut self) -> Option<&mut dyn HasPartitionPolicy> {
+        match self {
+            Scheme::Vantage(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Fraction of evictions forced from the managed region — Vantage's
+    /// empirical isolation metric (`None` for schemes without a managed
+    /// region).
+    pub fn managed_eviction_fraction(&self) -> Option<f64> {
+        match self {
+            Scheme::Vantage(l) => Some(l.vantage_stats().managed_eviction_fraction()),
+            _ => None,
+        }
+    }
+
+    /// The attached fault-injection plan, if the scheme carries one.
+    pub fn fault_plan(&self) -> Option<&vantage::FaultPlan> {
+        match self {
+            Scheme::Vantage(l) => l.fault_plan(),
+            _ => None,
+        }
+    }
+
+    /// Concrete Vantage access for build-time wiring (scrub periods, fault
+    /// plans) — crate-private so external callers go through the
+    /// capability traits instead of downcasting.
+    pub(crate) fn vantage_mut(&mut self) -> Option<&mut VantageLlc> {
         match self {
             Scheme::Vantage(l) => Some(l),
             _ => None,
@@ -455,7 +495,8 @@ mod tests {
         assert!(!base.uses_ucp());
         let v = Scheme::build(&SchemeKind::vantage_paper(), &sys);
         assert!(v.uses_ucp());
-        assert!(v.as_vantage().is_some());
+        assert!(v.has_invariants().is_some());
+        assert!(v.managed_eviction_fraction().is_some());
     }
 
     #[test]

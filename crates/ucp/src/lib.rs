@@ -21,11 +21,16 @@
 //!   Vantage it linearly interpolates the UMON curves to 256 points (§5,
 //!   "Allocation policy") to exploit fine-grain sizing.
 
+pub mod alloc_policy;
 pub mod lookahead;
 pub mod policy;
 pub mod rrip_umon;
 pub mod umon;
 
+pub use alloc_policy::{
+    apportion, AllocationPolicy, EqualShares, MissRatioEqualizer, PolicyInput, QosError,
+    QosGuarantee,
+};
 pub use lookahead::{equalize_miss_ratios, interpolate_curve, lookahead};
 pub use policy::{AllocationGoal, UcpGranularity, UcpPolicy};
 pub use rrip_umon::RripUmon;

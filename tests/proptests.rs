@@ -311,6 +311,121 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Largest-remainder apportionment is exact for any weight vector:
+    /// shares sum to exactly `total` (the conservation property every
+    /// allocation policy leans on).
+    #[test]
+    fn apportion_conserves_total(
+        total in 0u64..1_000_000,
+        weights in prop::collection::vec(0.0f64..100.0, 1..16),
+    ) {
+        use vantage_repro::ucp::apportion;
+        let shares = apportion(total, &weights);
+        prop_assert_eq!(shares.len(), weights.len());
+        prop_assert_eq!(shares.iter().sum::<u64>(), total);
+    }
+
+    /// Snapshot-driven policies conserve the budget for arbitrary inputs,
+    /// equal shares stay within one line of each other, and QoS floors are
+    /// honored whenever they fit inside the capacity.
+    #[test]
+    fn snapshot_policies_conserve_budget_and_floors(
+        capacity in 8u64..1_000_000,
+        misses in prop::collection::vec(0u64..50_000, 2..9),
+        weights in prop::collection::vec(0.01f64..10.0, 9),
+        min_fracs in prop::collection::vec(0u64..1_000, 9),
+    ) {
+        use vantage_repro::ucp::{AllocationPolicy, EqualShares, PolicyInput, QosGuarantee};
+        let n = misses.len();
+        let zeros = vec![0u64; n];
+        let input = PolicyInput {
+            capacity,
+            actual: &zeros,
+            hits: &zeros,
+            misses: &misses,
+            churn: &zeros,
+            insertions: &zeros,
+        };
+
+        let eq = EqualShares::new().reallocate(&input);
+        prop_assert_eq!(eq.len(), n);
+        prop_assert_eq!(eq.iter().sum::<u64>(), capacity);
+        let (lo, hi) = (eq.iter().min().unwrap(), eq.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1, "equal shares skewed: {eq:?}");
+
+        // Minimums span under- and over-committed cases (~0..4.5x capacity).
+        let mins: Vec<u64> = min_fracs[..n].iter().map(|&f| f * capacity / 2_000).collect();
+        let fits = mins.iter().sum::<u64>() <= capacity;
+        let mut qos = QosGuarantee::new(mins.clone(), weights[..n].to_vec());
+        let t = qos.reallocate(&input);
+        prop_assert_eq!(t.iter().sum::<u64>(), capacity);
+        if fits {
+            for (p, (&got, &min)) in t.iter().zip(&mins).enumerate() {
+                prop_assert!(got >= min, "partition {p} got {got} < guaranteed {min}");
+            }
+        }
+        // Policies are pure functions of (state, input): rerun matches.
+        prop_assert_eq!(t, qos.reallocate(&input));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Stream-driven policies (UCP/Lookahead and the miss-ratio equalizer)
+    /// are deterministic for a fixed seed — two instances fed the same
+    /// access stream emit identical targets — and conserve the capacity.
+    #[test]
+    fn stream_policies_deterministic_and_exact(
+        seed in 0u64..1_000,
+        parts in 2usize..5,
+        addrs in prop::collection::vec((0usize..5, 0u64..10_000), 100..400),
+    ) {
+        use vantage_repro::ucp::{
+            AllocationPolicy, MissRatioEqualizer, PolicyInput, UcpGranularity, UcpPolicy,
+        };
+        let capacity = 8_192u64;
+        let gran = UcpGranularity::Fine { blocks: 256 };
+        let zeros = vec![0u64; parts];
+        let input = PolicyInput {
+            capacity,
+            actual: &zeros,
+            hits: &zeros,
+            misses: &zeros,
+            churn: &zeros,
+            insertions: &zeros,
+        };
+
+        let mut a = UcpPolicy::new(parts, 16, 32, 64, capacity, gran, seed);
+        let mut b = UcpPolicy::new(parts, 16, 32, 64, capacity, gran, seed);
+        for &(p, x) in &addrs {
+            let part = p % parts;
+            let addr = LineAddr(((part as u64 + 1) << 40) | x);
+            AllocationPolicy::observe(&mut a, part, addr);
+            AllocationPolicy::observe(&mut b, part, addr);
+        }
+        let ta = AllocationPolicy::reallocate(&mut a, &input);
+        let tb = AllocationPolicy::reallocate(&mut b, &input);
+        prop_assert_eq!(&ta, &tb, "lookahead diverged for a fixed seed");
+        prop_assert_eq!(ta.iter().sum::<u64>(), capacity);
+
+        let mut m = MissRatioEqualizer::new(parts, 16, 32, 64, capacity, gran, seed);
+        let mut m2 = MissRatioEqualizer::new(parts, 16, 32, 64, capacity, gran, seed);
+        for &(p, x) in &addrs {
+            let part = p % parts;
+            let addr = LineAddr(((part as u64 + 1) << 40) | x);
+            m.observe(part, addr);
+            m2.observe(part, addr);
+        }
+        let tm = m.reallocate(&input);
+        prop_assert_eq!(&tm, &m2.reallocate(&input), "equalizer diverged for a fixed seed");
+        prop_assert_eq!(tm.iter().sum::<u64>(), capacity);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// The batched access surface is pure sugar: for every scheme,
