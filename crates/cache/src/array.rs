@@ -207,8 +207,14 @@ pub fn prefetch_slice<T>(s: &[T], i: usize) {
 /// The trait is object-safe so that last-level caches can be generic over
 /// arrays at run time. It is additionally `Send` so that whole cache object
 /// graphs (e.g. the banks of a sharded LLC) can move across the worker
-/// threads of a parallel simulation engine.
-pub trait CacheArray: Send {
+/// threads of a parallel simulation engine, and
+/// [`Snapshot`](vantage_snapshot::Snapshot) so that checkpoint/restore can
+/// serialize arrays behind trait objects. Arrays save only their resident
+/// lines (plus any replacement RNG); derived structures — occupancy
+/// counters, hash tables, position memos, probe caches — are rebuilt on
+/// load, which restores into an array *constructed from the same
+/// configuration and seed* as the one saved.
+pub trait CacheArray: Send + vantage_snapshot::Snapshot {
     /// Total number of frames (the cache's capacity in lines).
     fn num_frames(&self) -> usize;
 

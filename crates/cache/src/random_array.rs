@@ -131,6 +131,52 @@ impl CacheArray for RandomArray {
     }
 }
 
+impl vantage_snapshot::Snapshot for RandomArray {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        // u64::MAX marks an empty frame, matching the packed arrays'
+        // sentinel convention (no simulated workload generates it).
+        let packed: Vec<u64> = self
+            .lines
+            .iter()
+            .map(|l| l.map_or(u64::MAX, |a| a.0))
+            .collect();
+        enc.put_u64_slice(&packed);
+        for s in self.rng.state() {
+            enc.put_u64(s);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let packed = dec.take_u64_vec()?;
+        if packed.len() != self.lines.len() {
+            return Err(dec.mismatch(&format!(
+                "random array has {} frames, snapshot has {}",
+                self.lines.len(),
+                packed.len()
+            )));
+        }
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = dec.take_u64()?;
+        }
+        let mut map = HashMap::with_capacity(packed.len());
+        for (f, &raw) in packed.iter().enumerate() {
+            if raw != u64::MAX && map.insert(LineAddr(raw), f as Frame).is_some() {
+                return Err(dec.invalid("duplicate resident line"));
+            }
+        }
+        for (slot, &raw) in self.lines.iter_mut().zip(packed.iter()) {
+            *slot = (raw != u64::MAX).then_some(LineAddr(raw));
+        }
+        self.map = map;
+        self.rng = SmallRng::from_state(rng_state);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -105,6 +105,32 @@ impl TsLru {
     }
 }
 
+impl vantage_snapshot::Snapshot for TsLru {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u8(self.current);
+        enc.put_u32(self.counter);
+        // The period is config-derived but mutated at runtime (Vantage
+        // retunes it as partition sizes move), so it is state.
+        enc.put_u32(self.period);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let current = dec.take_u8()?;
+        let counter = dec.take_u32()?;
+        let period = dec.take_u32()?;
+        if period == 0 {
+            return Err(dec.invalid("zero TsLru period"));
+        }
+        self.current = current;
+        self.counter = counter;
+        self.period = period;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

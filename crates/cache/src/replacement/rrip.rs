@@ -276,6 +276,55 @@ impl RripPolicy {
     }
 }
 
+impl vantage_snapshot::Snapshot for RripPolicy {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_i32_slice(&self.psel);
+        enc.put_u64(self.part_policy.len() as u64);
+        for p in &self.part_policy {
+            enc.put_u8(match p {
+                BasePolicy::Srrip => 0,
+                BasePolicy::Brrip => 1,
+            });
+        }
+        for s in self.rng.state() {
+            enc.put_u64(s);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let psel = dec.take_i32_vec()?;
+        if psel.len() != self.psel.len() {
+            return Err(dec.mismatch("PSEL domain count differs"));
+        }
+        if psel.iter().any(|&v| v.abs() > self.psel_max) {
+            return Err(dec.invalid("PSEL value outside saturation range"));
+        }
+        let nparts = dec.take_usize()?;
+        if nparts != self.part_policy.len() {
+            return Err(dec.mismatch("partition count differs"));
+        }
+        let mut part_policy = Vec::with_capacity(nparts);
+        for _ in 0..nparts {
+            part_policy.push(match dec.take_u8()? {
+                0 => BasePolicy::Srrip,
+                1 => BasePolicy::Brrip,
+                b => return Err(dec.invalid(&format!("base-policy tag {b}"))),
+            });
+        }
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = dec.take_u64()?;
+        }
+        self.psel = psel;
+        self.part_policy = part_policy;
+        self.rng = SmallRng::from_state(rng_state);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -199,6 +199,31 @@ impl CacheArray for SetAssocArray {
     }
 }
 
+impl vantage_snapshot::Snapshot for SetAssocArray {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u64_slice(&self.lines);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let lines = dec.take_u64_vec()?;
+        if lines.len() != self.lines.len() {
+            return Err(dec.mismatch(&format!(
+                "set-assoc array has {} frames, snapshot has {}",
+                self.lines.len(),
+                lines.len()
+            )));
+        }
+        self.occupancy = lines.iter().filter(|&&l| l != EMPTY_LINE).count();
+        self.lines = lines;
+        self.probe_addr.set(EMPTY_LINE);
+        self.probe_set.set(0);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -384,6 +384,47 @@ impl CacheArray for ZArray {
     }
 }
 
+impl vantage_snapshot::Snapshot for ZArray {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u64_slice(&self.lines);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let lines = dec.take_u64_vec()?;
+        if lines.len() != self.lines.len() {
+            return Err(dec.mismatch(&format!(
+                "zcache has {} frames, snapshot has {}",
+                self.lines.len(),
+                lines.len()
+            )));
+        }
+        self.occupancy = lines.iter().filter(|&&l| l != EMPTY_LINE).count();
+        self.lines = lines;
+        // Scratch and memo state is rebuilt, not restored: walk dedup
+        // stamps reset (behavior-identical — stamps only live within one
+        // walk), the probe memo is dropped (hash positions are
+        // recomputed), and the position memo is rebuilt from the resident
+        // lines (a line's hash positions depend only on the construction
+        // seed, which restore-into-same-config guarantees).
+        self.seen.fill(0);
+        self.epoch = 0;
+        self.probe_addr.set(EMPTY_LINE);
+        self.probe_frames.set([INVALID_FRAME; MAX_PROBE_WAYS]);
+        if self.pos_ok {
+            for f in 0..self.lines.len() {
+                let line = self.lines[f];
+                if line != EMPTY_LINE {
+                    self.memo_positions(LineAddr(line), f as Frame);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -241,6 +241,129 @@ impl FaultPlan {
     }
 }
 
+/// Numeric tags for [`FaultKind`] in the snapshot encoding.
+fn kind_tag(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::TagPart => 0,
+        FaultKind::TagTs => 1,
+        FaultKind::ActualSize => 2,
+        FaultKind::Setpoint => 3,
+        FaultKind::Meters => 4,
+        FaultKind::ChurnBurst => 5,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Option<FaultKind> {
+    FaultKind::ALL.get(tag as usize).copied()
+}
+
+impl vantage_snapshot::Snapshot for FaultPlan {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u64(self.rng);
+        enc.put_u64(self.period);
+        enc.put_u64(self.next_at);
+        enc.put_u64(self.kinds.len() as u64);
+        for &k in &self.kinds {
+            enc.put_u8(kind_tag(k));
+        }
+        enc.put_u64(self.log.len() as u64);
+        for &(at, fault) in &self.log {
+            enc.put_u64(at);
+            enc.put_u8(kind_tag(fault.kind()));
+            match fault {
+                Fault::TagPartFlip { frame_sel, bit } | Fault::TagTsFlip { frame_sel, bit } => {
+                    enc.put_u64(frame_sel);
+                    enc.put_u8(bit);
+                }
+                Fault::ActualSizeCorrupt { part_sel, bit } => {
+                    enc.put_u64(part_sel);
+                    enc.put_u8(bit);
+                }
+                Fault::SetpointCorrupt { part_sel, value } => {
+                    enc.put_u64(part_sel);
+                    enc.put_u8(value);
+                }
+                Fault::MeterCorrupt {
+                    part_sel,
+                    seen,
+                    demoted,
+                } => {
+                    enc.put_u64(part_sel);
+                    enc.put_u32(seen);
+                    enc.put_u32(demoted);
+                }
+                Fault::ChurnBurst { part_sel, accesses } => {
+                    enc.put_u64(part_sel);
+                    enc.put_u64(accesses);
+                }
+            }
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let rng = dec.take_u64()?;
+        let period = dec.take_u64()?;
+        let next_at = dec.take_u64()?;
+        let nkinds = dec.take_len()?;
+        let mut kinds = Vec::with_capacity(nkinds);
+        for _ in 0..nkinds {
+            let Some(k) = kind_from_tag(dec.take_u8()?) else {
+                return Err(dec.invalid("unknown fault kind tag"));
+            };
+            kinds.push(k);
+        }
+        let nlog = dec.take_len()?;
+        // Each log entry occupies at least 8 + 1 + 8 + 1 bytes.
+        if nlog > dec.remaining() / 18 {
+            return Err(dec.invalid("fault-log length exceeds payload"));
+        }
+        let mut log = Vec::with_capacity(nlog);
+        for _ in 0..nlog {
+            let at = dec.take_u64()?;
+            let Some(kind) = kind_from_tag(dec.take_u8()?) else {
+                return Err(dec.invalid("unknown fault kind tag in log"));
+            };
+            let fault = match kind {
+                FaultKind::TagPart => Fault::TagPartFlip {
+                    frame_sel: dec.take_u64()?,
+                    bit: dec.take_u8()?,
+                },
+                FaultKind::TagTs => Fault::TagTsFlip {
+                    frame_sel: dec.take_u64()?,
+                    bit: dec.take_u8()?,
+                },
+                FaultKind::ActualSize => Fault::ActualSizeCorrupt {
+                    part_sel: dec.take_u64()?,
+                    bit: dec.take_u8()?,
+                },
+                FaultKind::Setpoint => Fault::SetpointCorrupt {
+                    part_sel: dec.take_u64()?,
+                    value: dec.take_u8()?,
+                },
+                FaultKind::Meters => Fault::MeterCorrupt {
+                    part_sel: dec.take_u64()?,
+                    seen: dec.take_u32()?,
+                    demoted: dec.take_u32()?,
+                },
+                FaultKind::ChurnBurst => Fault::ChurnBurst {
+                    part_sel: dec.take_u64()?,
+                    accesses: dec.take_u64()?,
+                },
+            };
+            log.push((at, fault));
+        }
+        self.rng = rng;
+        self.period = period;
+        self.next_at = next_at;
+        self.kinds = kinds;
+        self.log = log;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1419,6 +1419,219 @@ impl HasInvariants for VantageLlc {
     }
 }
 
+impl vantage_snapshot::Snapshot for VantageLlc {
+    /// Serializes every architectural register plus the simulator-side
+    /// meters: tags, per-partition controller state, the unmanaged clock,
+    /// RRIP policy state, statistics, churn meters, the fault schedule and
+    /// the telemetry schedule, with the cache array last. Derived
+    /// structures (threshold tables, instrumentation histograms, walk
+    /// scratch) are rebuilt on load rather than stored.
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u64(self.accesses);
+        let parts_tags: Vec<u16> = self.meta.iter().map(|t| t.part).collect();
+        let ts_tags: Vec<u8> = self.meta.iter().map(|t| t.ts).collect();
+        enc.put_u16_slice(&parts_tags);
+        enc.put_u8_slice(&ts_tags);
+        enc.put_u64(self.parts.len() as u64);
+        for st in &self.parts {
+            enc.put_u64(st.target);
+            enc.put_u64(st.actual);
+            enc.put_u8(st.setpoint);
+            enc.put_u8(st.setpoint_rrpv);
+            enc.put_u32(st.cands_seen);
+            enc.put_u32(st.cands_demoted);
+            st.lru.save_state(enc);
+        }
+        self.um_lru.save_state(enc);
+        enc.put_u64(self.um_size);
+        enc.put_u64(self.um_target);
+        enc.put_bool(self.rrip.is_some());
+        if let Some(rr) = &self.rrip {
+            rr.save_state(enc);
+        }
+        self.stats.save_state(enc);
+        enc.put_u64(self.vstats.demotions);
+        enc.put_u64(self.vstats.promotions);
+        enc.put_u64(self.vstats.unmanaged_evictions);
+        enc.put_u64(self.vstats.forced_managed_evictions);
+        enc.put_u64(self.vstats.empty_fills);
+        enc.put_u64(self.vstats.setpoint_adjustments);
+        enc.put_u64(self.vstats.throttled_insertions);
+        enc.put_u64(self.vstats.corrupted_pid_fallbacks);
+        enc.put_u64(self.vstats.scrubs);
+        enc.put_bool(self.probe);
+        enc.put_u64(self.samples.len() as u64);
+        for &(access, part, pr) in &self.samples {
+            enc.put_u64(access);
+            enc.put_u16(part);
+            enc.put_u32(pr.to_bits());
+        }
+        enc.put_u64_slice(&self.lost);
+        enc.put_u64_slice(&self.filled);
+        enc.put_u64(self.um_lost);
+        enc.put_u64_slice(&self.sample_lost);
+        enc.put_u64(self.sample_um_lost);
+        enc.put_u64_slice(&self.obs_lost);
+        enc.put_u64_slice(&self.obs_filled);
+        enc.put_opt_u64(self.scrub_period);
+        enc.put_bool(self.fault_plan.is_some());
+        if let Some(plan) = &self.fault_plan {
+            plan.save_state(enc);
+        }
+        self.tele.save_state(enc);
+        self.array.save_state(enc);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let frames = self.meta.len();
+        let npart = self.parts.len();
+        let accesses = dec.take_u64()?;
+        let parts_tags = dec.take_u16_vec()?;
+        let ts_tags = dec.take_u8_vec()?;
+        if parts_tags.len() != frames || ts_tags.len() != frames {
+            return Err(dec.mismatch("tag array length differs from cache geometry"));
+        }
+        // Tag PIDs are deliberately NOT range-checked: out-of-range IDs are
+        // legal live state under fault injection, and the access paths and
+        // scrub already tolerate them.
+        if dec.take_u64()? != npart as u64 {
+            return Err(dec.mismatch("partition count differs"));
+        }
+        let mut managed_total = 0u64;
+        for p in 0..npart {
+            let target = dec.take_u64()?;
+            let actual = dec.take_u64()?;
+            let setpoint = dec.take_u8()?;
+            let setpoint_rrpv = dec.take_u8()?;
+            let cands_seen = dec.take_u32()?;
+            let cands_demoted = dec.take_u32()?;
+            let st = &mut self.parts[p];
+            st.set_target(
+                target,
+                self.cfg.slack,
+                self.cfg.a_max,
+                self.cfg.cands_period,
+                self.cfg.table_entries,
+            );
+            st.actual = actual;
+            st.setpoint = setpoint;
+            st.setpoint_rrpv = setpoint_rrpv;
+            st.cands_seen = cands_seen;
+            st.cands_demoted = cands_demoted;
+            st.lru.load_state(dec)?;
+            managed_total += target;
+        }
+        self.um_lru.load_state(dec)?;
+        let um_size = dec.take_u64()?;
+        let um_target = dec.take_u64()?;
+        if managed_total + um_target != frames as u64 {
+            return Err(dec.invalid("targets do not tile the cache"));
+        }
+        let has_rrip = dec.take_bool()?;
+        if has_rrip != self.rrip.is_some() {
+            return Err(dec.mismatch("ranking mode differs (LRU vs RRIP)"));
+        }
+        if let Some(rr) = &mut self.rrip {
+            rr.load_state(dec)?;
+        }
+        self.stats.load_state(dec)?;
+        let vstats = VantageStats {
+            demotions: dec.take_u64()?,
+            promotions: dec.take_u64()?,
+            unmanaged_evictions: dec.take_u64()?,
+            forced_managed_evictions: dec.take_u64()?,
+            empty_fills: dec.take_u64()?,
+            setpoint_adjustments: dec.take_u64()?,
+            throttled_insertions: dec.take_u64()?,
+            corrupted_pid_fallbacks: dec.take_u64()?,
+            scrubs: dec.take_u64()?,
+        };
+        let probe = dec.take_bool()?;
+        if probe && !self.is_lru() {
+            return Err(dec.mismatch("priority probe requires LRU ranking"));
+        }
+        let nsamples = dec.take_len()?;
+        // Each sample is 8 + 2 + 4 bytes in the stream.
+        if nsamples > dec.remaining() / 14 {
+            return Err(dec.invalid("priority-sample count exceeds payload"));
+        }
+        let mut samples = Vec::with_capacity(nsamples);
+        for _ in 0..nsamples {
+            let access = dec.take_u64()?;
+            let part = dec.take_u16()?;
+            let pr = f32::from_bits(dec.take_u32()?);
+            samples.push((access, part, pr));
+        }
+        let lost = dec.take_u64_vec()?;
+        let filled = dec.take_u64_vec()?;
+        let um_lost = dec.take_u64()?;
+        let sample_lost = dec.take_u64_vec()?;
+        let sample_um_lost = dec.take_u64()?;
+        let obs_lost = dec.take_u64_vec()?;
+        let obs_filled = dec.take_u64_vec()?;
+        for v in [&lost, &filled, &sample_lost, &obs_lost, &obs_filled] {
+            if v.len() != npart {
+                return Err(dec.mismatch("churn meter length differs"));
+            }
+        }
+        let scrub_period = dec.take_opt_u64()?;
+        if scrub_period == Some(0) {
+            return Err(dec.invalid("zero scrub period"));
+        }
+        let has_plan = dec.take_bool()?;
+        let fault_plan = if has_plan {
+            // Load fully overwrites the plan, so the pre-restore plan (or a
+            // never-firing placeholder) is just a landing slot.
+            let mut plan = self
+                .fault_plan
+                .take()
+                .unwrap_or_else(|| FaultPlan::new(0, 0, &[]));
+            plan.load_state(dec)?;
+            Some(plan)
+        } else {
+            None
+        };
+        self.tele.load_state(dec)?;
+        self.array.load_state(dec)?;
+
+        self.accesses = accesses;
+        for (m, (&part, &ts)) in self
+            .meta
+            .iter_mut()
+            .zip(parts_tags.iter().zip(ts_tags.iter()))
+        {
+            *m = Tag { part, ts };
+        }
+        self.um_size = um_size;
+        self.um_target = um_target;
+        self.vstats = vstats;
+        self.probe = probe;
+        self.samples = samples;
+        self.lost = lost;
+        self.filled = filled;
+        self.um_lost = um_lost;
+        self.sample_lost = sample_lost;
+        self.sample_um_lost = sample_um_lost;
+        self.obs_lost = obs_lost;
+        self.obs_filled = obs_filled;
+        self.scrub_period = scrub_period;
+        self.fault_plan = fault_plan;
+        // Derived state: the probe forces histogram tracking on (matching
+        // `enable_priority_probe`), and tracked histograms are rebuilt from
+        // the restored tags rather than stored.
+        if self.probe {
+            self.hist_track = true;
+        }
+        if self.hist_track {
+            self.rebuild_hists();
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

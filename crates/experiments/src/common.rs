@@ -48,7 +48,13 @@ pub const USAGE: &str = "options:
                schemes: ucp (default), equal, missratio, qos
   --telemetry P  record per-partition dynamics traces; P is a base path whose
                  extension picks the format (.csv, else JSON Lines) and each
-                 simulated cache writes to a tagged sibling of P";
+                 simulated cache writes to a tagged sibling of P
+  --checkpoint PATH  (run) periodically auto-checkpoint simulation state to
+                     PATH, atomically
+  --resume PATH      (run) restore simulation state from PATH before running
+  --fork-sweep       (run) fork one warmed state into every --policy variant
+  --stop-after N     (run) pause at the first chunk boundary at or past step
+                     N, checkpoint, and exit";
 
 /// Command-line options shared by all experiments.
 #[derive(Clone, Debug)]
@@ -75,6 +81,14 @@ pub struct Options {
     /// simulated cache writes to a sibling of this path tagged with the mix
     /// and scheme; a `.csv` extension selects CSV, anything else JSON Lines.
     pub telemetry: Option<PathBuf>,
+    /// `run`: auto-checkpoint simulation state here at epoch boundaries.
+    pub checkpoint: Option<PathBuf>,
+    /// `run`: restore simulation state from this checkpoint before running.
+    pub resume: Option<PathBuf>,
+    /// `run`: fork one warmed state into every allocation-policy variant.
+    pub fork_sweep: bool,
+    /// `run`: pause at the first epoch boundary at or past this step count.
+    pub stop_after: Option<u64>,
 }
 
 impl Default for Options {
@@ -90,6 +104,10 @@ impl Default for Options {
             bank_jobs: 1,
             policy: PolicyKind::default(),
             telemetry: None,
+            checkpoint: None,
+            resume: None,
+            fork_sweep: false,
+            stop_after: None,
         }
     }
 }
@@ -130,6 +148,10 @@ impl Options {
                     })?;
                 }
                 "--telemetry" => o.telemetry = Some(PathBuf::from(take()?)),
+                "--checkpoint" => o.checkpoint = Some(PathBuf::from(take()?)),
+                "--resume" => o.resume = Some(PathBuf::from(take()?)),
+                "--fork-sweep" => o.fork_sweep = true,
+                "--stop-after" => o.stop_after = Some(num(a, take()?)?),
                 other => return Err(UsageError(format!("unknown option: {other}"))),
             }
         }
@@ -321,11 +343,23 @@ pub fn open_telemetry(base: &Path, tag: &str) -> Option<Telemetry> {
 /// Installs a per-cache telemetry trace on `sim` when a base path is set.
 /// The tag carries the sim's full label (scheme plus any `+policy` suffix)
 /// so traces from different allocation policies never collide.
-fn install_telemetry(sim: &mut CmpSim, base: Option<&Path>, mix: &Mix) {
+pub(crate) fn install_telemetry(sim: &mut CmpSim, base: Option<&Path>, mix: &Mix) {
     let Some(base) = base else { return };
     let tag = format!("{}_{}", mix.name, sim.label());
     if let Some(t) = open_telemetry(base, &tag) {
         sim.set_telemetry(t);
+    }
+}
+
+/// Retires a sim's telemetry producer: flush, then surface any absorbed
+/// I/O error in the failure registry — a trace that lost data must not
+/// pass silently.
+pub(crate) fn retire_telemetry(sim: &mut CmpSim, mix: &Mix) {
+    if let Some(mut t) = sim.take_telemetry() {
+        t.flush();
+        if let Some(e) = t.io_error() {
+            record_failure(format!("telemetry for {} ({})", mix.name, sim.label()), e);
+        }
     }
 }
 
@@ -360,14 +394,14 @@ fn run_one(
     let mut base_sim = CmpSim::new(sys.clone(), baseline, mix);
     install_telemetry(&mut base_sim, telemetry, mix);
     let base = base_sim.run();
-    base_sim.take_telemetry();
+    retire_telemetry(&mut base_sim, mix);
     let mut tp = Vec::with_capacity(schemes.len());
     let mut mf = Vec::with_capacity(schemes.len());
     for kind in schemes {
         let mut sim = CmpSim::new(sys.clone(), kind, mix);
         install_telemetry(&mut sim, telemetry, mix);
         let r: SimResult = sim.run();
-        sim.take_telemetry();
+        retire_telemetry(&mut sim, mix);
         tp.push(r.throughput);
         mf.push(r.managed_eviction_fraction);
     }
@@ -418,6 +452,10 @@ fn run_one_isolated(
 /// registry and dropped from the output — one poisoned mix no longer kills
 /// a whole sweep (`--keep-going` semantics; the CLI exits nonzero at the
 /// very end if anything failed).
+///
+/// On SIGINT/SIGTERM (see [`crate::signal`]) no new mixes are started:
+/// in-flight simulations finish, their outcomes are kept, and the partial
+/// result set flows into whatever CSV artifacts the caller writes.
 pub fn run_comparison_jobs(
     sys: &SystemConfig,
     baseline: &SchemeKind,
@@ -429,16 +467,21 @@ pub fn run_comparison_jobs(
 ) -> Vec<MixOutcome> {
     let jobs = jobs.max(1).min(mixes.len().max(1));
     let results: Vec<Result<MixOutcome, RunFailure>> = if jobs <= 1 {
-        mixes
-            .iter()
-            .enumerate()
-            .map(|(i, mix)| {
-                if progress && (i % 10 == 0 || i + 1 == mixes.len()) {
-                    eprintln!("  [{}/{}] {}", i + 1, mixes.len(), mix.name);
-                }
-                run_one_isolated(sys, baseline, schemes, mix, telemetry)
-            })
-            .collect()
+        let mut v = Vec::with_capacity(mixes.len());
+        for (i, mix) in mixes.iter().enumerate() {
+            if let Some(signo) = crate::signal::pending() {
+                eprintln!(
+                    "  signal {signo}: stopping sweep after {i}/{} mixes",
+                    mixes.len()
+                );
+                break;
+            }
+            if progress && (i % 10 == 0 || i + 1 == mixes.len()) {
+                eprintln!("  [{}/{}] {}", i + 1, mixes.len(), mix.name);
+            }
+            v.push(run_one_isolated(sys, baseline, schemes, mix, telemetry));
+        }
+        v
     } else {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let next = AtomicUsize::new(0);
@@ -448,6 +491,11 @@ pub fn run_comparison_jobs(
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
+                    if crate::signal::pending().is_some() {
+                        // Wind down: in-flight mixes (other workers)
+                        // finish, no new ones start.
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= mixes.len() {
                         break;
@@ -466,12 +514,15 @@ pub fn run_comparison_jobs(
                 });
             }
         });
+        if let Some(signo) = crate::signal::pending() {
+            eprintln!("  signal {signo}: sweep stopped early; keeping finished mixes");
+        }
+        // Slots left `None` belong to mixes never started (signal wind-down).
         slots
             .into_iter()
-            .map(|s| {
+            .filter_map(|s| {
                 s.into_inner()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .expect("every slot is filled before the scope ends")
             })
             .collect()
     };

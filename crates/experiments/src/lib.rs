@@ -13,4 +13,6 @@ pub mod fig_throughput;
 pub mod montecarlo;
 pub mod perf;
 pub mod perf_parallel;
+pub mod run;
+pub mod signal;
 pub mod tables;

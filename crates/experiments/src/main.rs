@@ -30,12 +30,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use vantage_experiments::common::{record_failure, take_failures, Options, USAGE};
 use vantage_experiments::{
-    fig_dynamics, fig_model, fig_sensitivity, fig_throughput, perf, perf_parallel, tables,
+    fig_dynamics, fig_model, fig_sensitivity, fig_throughput, perf, perf_parallel, run, signal,
+    tables,
 };
 
 const COMMANDS: &str = "commands: fig1 fig2 fig3 fig5 table1 table2 table3 fig4|overheads \
                         fig6a fig6b fig7 fig8 fig9 fig10 fig11 modelcheck ablation perf \
-                        perf-parallel all";
+                        perf-parallel run all";
 
 /// Runs one experiment step, isolating panics so that `all` keeps going.
 fn step(name: &str, f: impl FnOnce() + std::panic::UnwindSafe) {
@@ -71,6 +72,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Graceful shutdown: on SIGINT/SIGTERM long-running steps finish their
+    // in-flight unit of work (an epoch, a mix), write final checkpoints and
+    // partial artifacts, and the process exits `128 + signo` below.
+    signal::install();
     let t0 = std::time::Instant::now();
     type Step = (&'static str, fn(&Options));
     let all: &[Step] = &[
@@ -111,6 +116,7 @@ fn main() {
         "ablation" => step("ablation", || fig_sensitivity::ablation(&opts)),
         "perf" => step("perf", || perf::perf(&opts)),
         "perf-parallel" => step("perf-parallel", || perf_parallel::perf_parallel(&opts)),
+        "run" => step("run", || run::run(&opts)),
         "all" => {
             for (name, f) in all {
                 step(name, AssertUnwindSafe(|| f(&opts)));
@@ -129,5 +135,11 @@ fn main() {
             eprintln!("  {}: {}", f.what, f.why);
         }
         std::process::exit(1);
+    }
+    // A signal-interrupted (but otherwise clean) run gets the conventional
+    // `128 + signo` status so wrappers can tell "stopped" from "failed".
+    if let Some(signo) = signal::pending() {
+        eprintln!("[stopped by signal {signo}; state saved]");
+        std::process::exit(signal::exit_status(signo));
     }
 }

@@ -335,9 +335,12 @@ fn render_entry(opts: &Options, micro: &[MicrobenchResult], kernels: &[KernelRes
 /// Appends `entry` to the JSON array in `path`, creating the file if needed.
 ///
 /// The file is always a top-level JSON array of run entries. Appending
-/// splices before the final `]`; anything unparseable is preserved under a
-/// `.bak` suffix and the file restarted, so a corrupt trajectory never
-/// blocks recording new data.
+/// splices before the final `]` and replaces the file atomically (temp +
+/// fsync + rename), so a crash mid-append leaves either the old trajectory
+/// or the new one — never a torn file. A file that is not a well-formed
+/// array (e.g. a torn write from before this hardening) is quarantined
+/// under a `.corrupt` suffix with a warning and the trajectory restarted;
+/// corruption never blocks recording new data and never errors the run.
 pub(crate) fn append_entry(path: &Path, entry: &str) -> std::io::Result<()> {
     let body = match std::fs::read_to_string(path) {
         Ok(old) => {
@@ -351,14 +354,27 @@ pub(crate) fn append_entry(path: &Path, entry: &str) -> std::io::Result<()> {
                     format!("{prefix},\n{entry}\n]\n")
                 }
             } else {
-                std::fs::write(path.with_extension("json.bak"), &old)?;
+                let quarantine = path.with_extension("json.corrupt");
+                eprintln!(
+                    "warning: {} is not a JSON array; quarantining the old \
+                     contents to {} and restarting the trajectory",
+                    path.display(),
+                    quarantine.display()
+                );
+                std::fs::write(&quarantine, &old)?;
                 format!("[\n{entry}\n]\n")
             }
         }
         Err(_) => format!("[\n{entry}\n]\n"),
     };
     let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, body)?;
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut f, body.as_bytes())?;
+        // Flush file contents to stable storage before the rename makes
+        // them visible, so the rename can never publish a torn file.
+        f.sync_all()?;
+    }
     std::fs::rename(&tmp, path)
 }
 
@@ -458,5 +474,27 @@ mod tests {
         assert_eq!(body.matches("\"microbench\"").count(), 2);
         assert_eq!(body.matches("\"accesses_per_sec\"").count(), 2);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_trajectory_is_quarantined_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("vantage-perf-q-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let quarantine = dir.join("bench.json.corrupt");
+        std::fs::write(&path, "{ torn write, no closing bracke").unwrap();
+        append_entry(&path, "  {\"ok\": 1}").unwrap();
+        // The bad contents moved aside, byte for byte...
+        assert_eq!(
+            std::fs::read_to_string(&quarantine).unwrap(),
+            "{ torn write, no closing bracke"
+        );
+        // ...and the trajectory restarted as a well-formed array.
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.trim_start().starts_with('['));
+        assert!(body.trim_end().ends_with(']'));
+        assert!(body.contains("\"ok\": 1"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantine);
     }
 }

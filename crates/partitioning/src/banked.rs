@@ -270,6 +270,40 @@ impl Llc for BankedLlc {
     }
 }
 
+impl vantage_snapshot::Snapshot for BankedLlc {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        // One length-prefixed blob per bank: a bank's decode errors stay
+        // contained to its own payload, and banks restore in order.
+        enc.put_usize(self.banks.len());
+        for bank in &self.banks {
+            let mut sub = vantage_snapshot::Encoder::new();
+            bank.save_state(&mut sub);
+            enc.put_bytes(&sub.into_bytes());
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let n = dec.take_usize()?;
+        if n != self.banks.len() {
+            return Err(dec.mismatch(&format!(
+                "cache has {} banks, snapshot has {n}",
+                self.banks.len()
+            )));
+        }
+        for bank in &mut self.banks {
+            let blob = dec.take_bytes()?;
+            let mut sub = vantage_snapshot::Decoder::new(&blob, "bank state");
+            bank.load_state(&mut sub)?;
+            sub.finish()?;
+        }
+        self.refresh_stats();
+        Ok(())
+    }
+}
+
 impl Sharded for BankedLlc {
     fn num_banks(&self) -> usize {
         self.banks.len()

@@ -292,6 +292,92 @@ impl Llc for BaselineLlc {
     }
 }
 
+impl vantage_snapshot::Snapshot for BaselineLlc {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        match &self.rank {
+            RankState::Lru { last, clock } => {
+                enc.put_u8(0);
+                enc.put_u64_slice(last);
+                enc.put_u64(*clock);
+            }
+            RankState::Rrip { policy, rrpv } => {
+                enc.put_u8(1);
+                policy.save_state(enc);
+                enc.put_u8_slice(rrpv);
+            }
+        }
+        enc.put_u16_slice(&self.owner);
+        enc.put_u64_slice(&self.part_lines);
+        self.stats.save_state(enc);
+        enc.put_u64(self.accesses);
+        self.tele.save_state(enc);
+        self.array.save_state(enc);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let frames = self.owner.len();
+        let partitions = self.part_lines.len();
+        let tag = dec.take_u8()?;
+        enum RankLoad {
+            Lru(Vec<u64>, u64),
+            Rrip(Vec<u8>),
+        }
+        let rank = match (tag, &mut self.rank) {
+            (0, RankState::Lru { .. }) => {
+                let last = dec.take_u64_vec()?;
+                if last.len() != frames {
+                    return Err(dec.mismatch("LRU clock count differs from frame count"));
+                }
+                RankLoad::Lru(last, dec.take_u64()?)
+            }
+            (1, RankState::Rrip { policy, .. }) => {
+                policy.load_state(dec)?;
+                let rrpv = dec.take_u8_vec()?;
+                if rrpv.len() != frames {
+                    return Err(dec.mismatch("RRPV count differs from frame count"));
+                }
+                let max = policy.max_rrpv();
+                if rrpv.iter().any(|&v| v > max) {
+                    return Err(dec.invalid("RRPV above configured maximum"));
+                }
+                RankLoad::Rrip(rrpv)
+            }
+            (0 | 1, _) => return Err(dec.mismatch("replacement policy kind differs from snapshot")),
+            _ => return Err(dec.invalid("unknown replacement-policy tag")),
+        };
+        let owner = dec.take_u16_vec()?;
+        if owner.len() != frames {
+            return Err(dec.mismatch("owner map length differs from frame count"));
+        }
+        if owner.iter().any(|&o| o as usize >= partitions) {
+            return Err(dec.invalid("frame owner beyond partition count"));
+        }
+        let part_lines = dec.take_u64_vec()?;
+        if part_lines.len() != partitions {
+            return Err(dec.mismatch("partition-size count differs"));
+        }
+        self.stats.load_state(dec)?;
+        let accesses = dec.take_u64()?;
+        self.tele.load_state(dec)?;
+        self.array.load_state(dec)?;
+        match (rank, &mut self.rank) {
+            (RankLoad::Lru(last, clock), RankState::Lru { last: l, clock: c }) => {
+                *l = last;
+                *c = clock;
+            }
+            (RankLoad::Rrip(rrpv), RankState::Rrip { rrpv: r, .. }) => *r = rrpv,
+            _ => unreachable!("tag validated against variant above"),
+        }
+        self.owner = owner;
+        self.part_lines = part_lines;
+        self.accesses = accesses;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

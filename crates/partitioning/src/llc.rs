@@ -124,6 +124,35 @@ impl LlcStats {
     }
 }
 
+impl vantage_snapshot::Snapshot for LlcStats {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u64_slice(&self.hits);
+        enc.put_u64_slice(&self.misses);
+        enc.put_u64(self.evictions);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let hits = dec.take_u64_vec()?;
+        let misses = dec.take_u64_vec()?;
+        let evictions = dec.take_u64()?;
+        if hits.len() != self.hits.len() || misses.len() != self.misses.len() {
+            return Err(dec.mismatch(&format!(
+                "stats cover {} partitions, snapshot has {}/{}",
+                self.hits.len(),
+                hits.len(),
+                misses.len()
+            )));
+        }
+        self.hits = hits;
+        self.misses = misses;
+        self.evictions = evictions;
+        Ok(())
+    }
+}
+
 /// A per-partition snapshot of occupancy and dynamics, in one shape shared
 /// by allocation policies and telemetry.
 ///
@@ -189,7 +218,16 @@ impl PartitionObservations {
 /// telemetry sinks) can be moved to another thread, which is what lets a
 /// sharded engine farm whole banks out to a worker pool. No `Sync` is
 /// required; a bank is only ever driven by one thread at a time.
-pub trait Llc: Send {
+///
+/// # Checkpoint/restore
+///
+/// `Llc` requires [`Snapshot`](vantage_snapshot::Snapshot): every scheme
+/// must be able to serialize its mutable state for crash-safe checkpointing
+/// and bit-identical resume. The supertrait (rather than an optional method)
+/// makes the compiler enforce coverage — a new scheme cannot forget it.
+/// The restore contract is the trait's: `load_state` runs on a cache freshly
+/// built from the same configuration and seeds that produced the save.
+pub trait Llc: Send + vantage_snapshot::Snapshot {
     /// Serves one access, updating replacement and partition state.
     ///
     /// # Panics

@@ -297,6 +297,22 @@ impl Llc for ParallelBankedLlc {
     }
 }
 
+impl vantage_snapshot::Snapshot for ParallelBankedLlc {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        // The worker pool holds no simulation state; the wrapped serial
+        // engine is the whole checkpoint. A serial run's snapshot therefore
+        // resumes under any job count, and vice versa.
+        self.inner.save_state(enc);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        self.inner.load_state(dec)
+    }
+}
+
 impl Sharded for ParallelBankedLlc {
     fn num_banks(&self) -> usize {
         Sharded::num_banks(&self.inner)

@@ -378,6 +378,99 @@ impl Llc for PippLlc {
     }
 }
 
+impl vantage_snapshot::Snapshot for PippLlc {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u8_slice(&self.chain);
+        enc.put_u32_slice(&self.alloc);
+        enc.put_u64(self.streaming.len() as u64);
+        for &s in &self.streaming {
+            enc.put_bool(s);
+        }
+        enc.put_u16_slice(&self.owner);
+        enc.put_u64_slice(&self.part_lines);
+        enc.put_u64_slice(&self.interval_hits);
+        enc.put_u64_slice(&self.interval_misses);
+        for s in self.rng.state() {
+            enc.put_u64(s);
+        }
+        self.stats.save_state(enc);
+        enc.put_u64(self.accesses);
+        self.tele.save_state(enc);
+        self.array.save_state(enc);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let frames = self.owner.len();
+        let partitions = self.part_lines.len();
+        let ways = self.ways as usize;
+        let chain = dec.take_u8_vec()?;
+        if chain.len() != frames {
+            return Err(dec.mismatch("chain length differs from frame count"));
+        }
+        // Each set's chain must be a permutation of its ways; the inverse
+        // map is derived from it rather than trusted from the file.
+        let mut pos_of = vec![0u8; frames];
+        for (set, sc) in chain.chunks_exact(ways).enumerate() {
+            let mut seen = [false; 256];
+            for (pos, &w) in sc.iter().enumerate() {
+                if w as usize >= ways || seen[w as usize] {
+                    return Err(dec.invalid("set chain is not a permutation of the ways"));
+                }
+                seen[w as usize] = true;
+                pos_of[set * ways + w as usize] = pos as u8;
+            }
+        }
+        let alloc = dec.take_u32_vec()?;
+        if alloc.len() != partitions {
+            return Err(dec.mismatch("way-allocation length differs"));
+        }
+        let n = dec.take_u64()? as usize;
+        if n != partitions {
+            return Err(dec.mismatch("streaming-flag count differs"));
+        }
+        let mut streaming = Vec::with_capacity(n);
+        for _ in 0..n {
+            streaming.push(dec.take_bool()?);
+        }
+        let owner = dec.take_u16_vec()?;
+        let part_lines = dec.take_u64_vec()?;
+        let interval_hits = dec.take_u64_vec()?;
+        let interval_misses = dec.take_u64_vec()?;
+        if owner.len() != frames
+            || part_lines.len() != partitions
+            || interval_hits.len() != partitions
+            || interval_misses.len() != partitions
+        {
+            return Err(dec.mismatch("per-partition metadata lengths differ"));
+        }
+        if owner.iter().any(|&o| o as usize >= partitions) {
+            return Err(dec.invalid("frame owner beyond partition count"));
+        }
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = dec.take_u64()?;
+        }
+        self.stats.load_state(dec)?;
+        let accesses = dec.take_u64()?;
+        self.tele.load_state(dec)?;
+        self.array.load_state(dec)?;
+        self.chain = chain;
+        self.pos_of = pos_of;
+        self.alloc = alloc;
+        self.streaming = streaming;
+        self.owner = owner;
+        self.part_lines = part_lines;
+        self.interval_hits = interval_hits;
+        self.interval_misses = interval_misses;
+        self.rng = SmallRng::from_state(rng_state);
+        self.accesses = accesses;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

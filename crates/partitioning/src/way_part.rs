@@ -360,6 +360,121 @@ impl Llc for WayPartLlc {
     }
 }
 
+impl vantage_snapshot::Snapshot for WayPartLlc {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u16_slice(&self.way_owner);
+        enc.put_u32_slice(&self.alloc);
+        enc.put_u64_slice(&self.last);
+        enc.put_u64(self.clock);
+        enc.put_u16_slice(&self.owner);
+        enc.put_u64_slice(&self.part_lines);
+        self.stats.save_state(enc);
+        enc.put_u64(self.accesses);
+        enc.put_u8_slice(&self.probe_ts);
+        match &self.probe {
+            None => enc.put_bool(false),
+            Some(pr) => {
+                enc.put_bool(true);
+                for lru in &pr.lru {
+                    lru.save_state(enc);
+                }
+                // Histograms are rebuilt from resident lines on restore;
+                // only undrained samples need to travel.
+                enc.put_usize(pr.samples.len());
+                for &(access, part, rank) in &pr.samples {
+                    enc.put_u64(access);
+                    enc.put_u16(part);
+                    enc.put_u32(rank.to_bits());
+                }
+            }
+        }
+        self.tele.save_state(enc);
+        self.array.save_state(enc);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        use vantage_cache::CacheArray;
+        let frames = self.owner.len();
+        let partitions = self.part_lines.len();
+        let way_owner = dec.take_u16_vec()?;
+        if way_owner.len() != self.way_owner.len() {
+            return Err(dec.mismatch("way count differs"));
+        }
+        if way_owner.iter().any(|&o| o as usize >= partitions) {
+            return Err(dec.invalid("way owner beyond partition count"));
+        }
+        let alloc = dec.take_u32_vec()?;
+        if alloc.len() != partitions {
+            return Err(dec.mismatch("way-allocation length differs"));
+        }
+        if alloc.iter().sum::<u32>() != self.ways || alloc.contains(&0) {
+            return Err(dec.invalid("way allocation does not cover all ways"));
+        }
+        let last = dec.take_u64_vec()?;
+        let clock = dec.take_u64()?;
+        let owner = dec.take_u16_vec()?;
+        let part_lines = dec.take_u64_vec()?;
+        if last.len() != frames || owner.len() != frames || part_lines.len() != partitions {
+            return Err(dec.mismatch("frame metadata lengths differ"));
+        }
+        if owner.iter().any(|&o| o as usize >= partitions) {
+            return Err(dec.invalid("frame owner beyond partition count"));
+        }
+        self.stats.load_state(dec)?;
+        let accesses = dec.take_u64()?;
+        let probe_ts = dec.take_u8_vec()?;
+        if probe_ts.len() != frames {
+            return Err(dec.mismatch("probe timestamp length differs"));
+        }
+        let probe = if dec.take_bool()? {
+            let mut pr = PriorityProbe::new(partitions);
+            for lru in &mut pr.lru {
+                lru.load_state(dec)?;
+            }
+            let n = dec.take_usize()?;
+            // Each pending sample occupies 14 bytes; a count the remaining
+            // payload cannot hold is a hostile length prefix.
+            if n > dec.remaining() / 14 {
+                return Err(dec.invalid("pending-sample count exceeds payload"));
+            }
+            pr.samples.reserve(n);
+            for _ in 0..n {
+                let access = dec.take_u64()?;
+                let part = dec.take_u16()?;
+                let rank = f32::from_bits(dec.take_u32()?);
+                pr.samples.push((access, part, rank));
+            }
+            Some(pr)
+        } else {
+            None
+        };
+        self.tele.load_state(dec)?;
+        self.array.load_state(dec)?;
+        self.way_owner = way_owner;
+        self.alloc = alloc;
+        self.last = last;
+        self.clock = clock;
+        self.owner = owner;
+        self.part_lines = part_lines;
+        self.accesses = accesses;
+        self.probe_ts = probe_ts;
+        self.probe = probe;
+        if let Some(pr) = self.probe.as_mut() {
+            // Rebuild the per-partition histograms from the restored lines:
+            // a histogram is exactly "the multiset of resident stamps".
+            for f in 0..frames {
+                if self.array.occupant(f as u32).is_some() {
+                    pr.hist[self.owner[f] as usize].add(self.probe_ts[f]);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,13 +2,15 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::path::Path;
 
 use vantage_cache::hash::mix64;
 use vantage_partitioning::AccessRequest;
+use vantage_snapshot::{Encoder, Snapshot, SnapshotReader, SnapshotWriter};
 use vantage_workloads::{AppGen, Mix, RefStream};
 
 use crate::config::{PolicyKind, SchemeKind, SystemConfig};
-use crate::epoch::{EpochController, SimError};
+use crate::epoch::{EpochController, Reconfig, ReconfigError, SimError};
 use crate::l1::L1;
 use crate::scheme::Scheme;
 
@@ -43,6 +45,9 @@ pub struct SimResult {
     /// Invariant violations found at epoch boundaries and absorbed by an
     /// in-place repair (always 0 unless `check_invariants` is set).
     pub invariant_recoveries: u64,
+    /// Live reconfigurations that failed post-swap invariants and were
+    /// rolled back (see [`CmpSim::reconfigure`]).
+    pub reconfig_rollbacks: u64,
     /// Partition-size samples (when tracing was enabled).
     pub trace: Vec<TraceSample>,
     /// Demotion/eviction priority samples (when the probe was enabled).
@@ -59,6 +64,54 @@ struct CoreState {
     l2_misses: u64,
     measured_l2_accesses: u64,
     measured_l2_misses: u64,
+}
+
+impl Snapshot for CoreState {
+    fn save_state(&self, enc: &mut Encoder) {
+        self.gen.save_state(enc);
+        self.l1.save_state(enc);
+        enc.put_u64(self.time);
+        enc.put_u64(self.instrs);
+        enc.put_opt_u64(self.done_at);
+        enc.put_u64(self.l2_accesses);
+        enc.put_u64(self.l2_misses);
+        enc.put_u64(self.measured_l2_accesses);
+        enc.put_u64(self.measured_l2_misses);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        self.gen.load_state(dec)?;
+        self.l1.load_state(dec)?;
+        let time = dec.take_u64()?;
+        let instrs = dec.take_u64()?;
+        let done_at = dec.take_opt_u64()?;
+        let l2_accesses = dec.take_u64()?;
+        let l2_misses = dec.take_u64()?;
+        let measured_l2_accesses = dec.take_u64()?;
+        let measured_l2_misses = dec.take_u64()?;
+        if l2_misses > l2_accesses || measured_l2_misses > measured_l2_accesses {
+            return Err(dec.invalid("more misses than accesses"));
+        }
+        if measured_l2_accesses > l2_accesses {
+            return Err(dec.invalid("measured window exceeds the total access count"));
+        }
+        if let Some(at) = done_at {
+            if at > time {
+                return Err(dec.invalid("core finished in its own future"));
+            }
+        }
+        self.time = time;
+        self.instrs = instrs;
+        self.done_at = done_at;
+        self.l2_accesses = l2_accesses;
+        self.l2_misses = l2_misses;
+        self.measured_l2_accesses = measured_l2_accesses;
+        self.measured_l2_misses = measured_l2_misses;
+        Ok(())
+    }
 }
 
 /// An event-interleaved CMP simulation of one mix under one scheme.
@@ -85,7 +138,11 @@ pub struct CmpSim {
     epoch: EpochController,
     mem_free: Vec<u64>,
     trace_interval: Option<u64>,
+    next_trace: u64,
     trace: Vec<TraceSample>,
+    /// References processed so far — the checkpoint clock.
+    steps: u64,
+    finished: bool,
 }
 
 impl CmpSim {
@@ -140,7 +197,10 @@ impl CmpSim {
             epoch,
             mem_free: vec![0; channels],
             trace_interval: None,
+            next_trace: u64::MAX,
             trace: Vec::new(),
+            steps: 0,
+            finished: false,
         }
     }
 
@@ -180,6 +240,7 @@ impl CmpSim {
     pub fn enable_trace(&mut self, interval: u64) {
         assert!(interval > 0, "trace interval must be non-zero");
         self.trace_interval = Some(interval);
+        self.next_trace = interval;
     }
 
     /// Enables demotion/eviction priority probing where the scheme
@@ -191,6 +252,24 @@ impl CmpSim {
     /// Direct access to the scheme under test.
     pub fn scheme(&self) -> &Scheme {
         &self.scheme
+    }
+
+    /// The epoch controller (policy identity, recovery counters).
+    pub fn epoch(&self) -> &EpochController {
+        &self.epoch
+    }
+
+    /// Attaches a fault-injection schedule to the LLC, polled on every
+    /// access. Returns `false` when the scheme cannot host one (only
+    /// unbanked Vantage can).
+    pub fn set_fault_plan(&mut self, plan: vantage::FaultPlan) -> bool {
+        match self.scheme.vantage_mut() {
+            Some(v) => {
+                v.set_fault_plan(Some(plan));
+                true
+            }
+            None => false,
+        }
     }
 
     /// The label stamped on results and artifacts: the scheme's label,
@@ -252,57 +331,99 @@ impl CmpSim {
     /// are repaired in place and counted in
     /// [`SimResult::invariant_recoveries`].
     pub fn try_run(&mut self) -> Result<SimResult, SimError> {
+        let r = self.try_run_for(u64::MAX)?;
+        Ok(r.expect("an unbounded run always completes"))
+    }
+
+    /// [`CmpSim::try_run_for`] with panics instead of typed errors.
+    pub fn run_for(&mut self, budget: u64) -> Option<SimResult> {
+        match self.try_run_for(budget) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs at most `budget` more references, pausing at a
+    /// checkpoint-consistent boundary.
+    ///
+    /// Returns `Ok(None)` when paused before completion — the simulation
+    /// can then be checkpointed ([`save_checkpoint`](Self::save_checkpoint))
+    /// or simply continued with another call. Returns `Ok(Some(result))`
+    /// once every core has met its quota. The pause/resume seams are
+    /// exact: any interleaving of `try_run_for` calls produces the same
+    /// final result as one uninterrupted [`try_run`](Self::try_run).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run`](Self::try_run).
+    pub fn try_run_for(&mut self, budget: u64) -> Result<Option<SimResult>, SimError> {
         let quota = self.sys.instructions;
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-            (0..self.cores.len()).map(|c| Reverse((0u64, c))).collect();
-        let mut remaining = self.cores.len();
-        let mut next_trace = self.trace_interval.unwrap_or(u64::MAX);
+        if !self.finished {
+            // The event heap is rebuilt from core times on entry: between
+            // references its contents are exactly {(core.time, c)}, and the
+            // (time, core) tuples are distinct, so pop order — hence the
+            // whole run — is identical however the heap was materialized.
+            let mut heap: BinaryHeap<Reverse<(u64, usize)>> = self
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(c, core)| Reverse((core.time, c)))
+                .collect();
+            let mut remaining = self.cores.iter().filter(|c| c.done_at.is_none()).count();
+            let mut left = budget;
 
-        while remaining > 0 {
-            let Reverse((now, c)) = heap.pop().expect("cores remain");
-
-            // Global-time-ordered bookkeeping (the popped time is the
-            // minimum over all cores).
-            while now >= self.epoch.next_at() {
-                self.epoch.run_epoch(&mut self.scheme)?;
-            }
-            if now >= next_trace {
-                self.take_trace_sample(now);
-                next_trace += self.trace_interval.expect("tracing enabled");
-            }
-
-            let core = &mut self.cores[c];
-            let r = core.gen.next_ref();
-            core.time = now + u64::from(r.gap);
-            core.instrs += u64::from(r.gap);
-
-            if !core.l1.access(r.addr) {
-                core.l2_accesses += 1;
-                self.epoch.observe(c, r.addr);
-                let outcome = self.scheme.llc_mut().access(AccessRequest::read(c, r.addr));
-                if outcome.is_hit() {
-                    core.time += self.sys.l2_latency;
-                } else {
-                    core.l2_misses += 1;
-                    // Bandwidth model: the line occupies one memory channel
-                    // for a fixed service time; contention queues behind it.
-                    let ch = (mix64(r.addr.0) % self.mem_free.len() as u64) as usize;
-                    let start = self.mem_free[ch].max(core.time);
-                    self.mem_free[ch] = start + self.sys.mem_cycles_per_line;
-                    core.time = start + self.sys.mem_latency;
+            while remaining > 0 {
+                if left == 0 {
+                    return Ok(None);
                 }
-            }
+                left -= 1;
+                self.steps += 1;
+                let Reverse((now, c)) = heap.pop().expect("cores remain");
 
-            if core.done_at.is_none() && core.instrs >= quota {
-                core.done_at = Some(core.time);
-                core.measured_l2_accesses = core.l2_accesses;
-                core.measured_l2_misses = core.l2_misses;
-                remaining -= 1;
-                if remaining == 0 {
-                    break;
+                // Global-time-ordered bookkeeping (the popped time is the
+                // minimum over all cores).
+                while now >= self.epoch.next_at() {
+                    self.epoch.run_epoch(&mut self.scheme)?;
                 }
+                if now >= self.next_trace {
+                    self.take_trace_sample(now);
+                    self.next_trace += self.trace_interval.expect("tracing enabled");
+                }
+
+                let core = &mut self.cores[c];
+                let r = core.gen.next_ref();
+                core.time = now + u64::from(r.gap);
+                core.instrs += u64::from(r.gap);
+
+                if !core.l1.access(r.addr) {
+                    core.l2_accesses += 1;
+                    self.epoch.observe(c, r.addr);
+                    let outcome = self.scheme.llc_mut().access(AccessRequest::read(c, r.addr));
+                    if outcome.is_hit() {
+                        core.time += self.sys.l2_latency;
+                    } else {
+                        core.l2_misses += 1;
+                        // Bandwidth model: the line occupies one memory channel
+                        // for a fixed service time; contention queues behind it.
+                        let ch = (mix64(r.addr.0) % self.mem_free.len() as u64) as usize;
+                        let start = self.mem_free[ch].max(core.time);
+                        self.mem_free[ch] = start + self.sys.mem_cycles_per_line;
+                        core.time = start + self.sys.mem_latency;
+                    }
+                }
+
+                if core.done_at.is_none() && core.instrs >= quota {
+                    core.done_at = Some(core.time);
+                    core.measured_l2_accesses = core.l2_accesses;
+                    core.measured_l2_misses = core.l2_misses;
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+                heap.push(Reverse((core.time, c)));
             }
-            heap.push(Reverse((core.time, c)));
+            self.finished = true;
         }
 
         let ipc: Vec<f64> = self
@@ -315,7 +436,7 @@ impl CmpSim {
             .iter()
             .map(|c| c.measured_l2_misses as f64 * 1000.0 / quota as f64)
             .collect();
-        Ok(SimResult {
+        Ok(Some(SimResult {
             label: self.label.clone(),
             throughput: ipc.iter().sum(),
             ipc,
@@ -324,9 +445,164 @@ impl CmpSim {
             mpki,
             managed_eviction_fraction: self.scheme.managed_eviction_fraction(),
             invariant_recoveries: self.epoch.recoveries(),
+            reconfig_rollbacks: self.epoch.reconfig_rollbacks(),
             trace: std::mem::take(&mut self.trace),
             priority_samples: self.scheme.drain_priority_samples(),
-        })
+        }))
+    }
+
+    /// References processed so far — the clock periodic checkpointing
+    /// counts in.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether every core has met its instruction quota.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Applies a guarded live reconfiguration — an allocation-policy
+    /// hot-swap or QoS-contract change — transactionally; see
+    /// [`EpochController::reconfigure`]. A failed swap rolls the
+    /// controller back and is counted in
+    /// [`SimResult::reconfig_rollbacks`].
+    ///
+    /// # Errors
+    ///
+    /// As [`EpochController::reconfigure`].
+    pub fn reconfigure(&mut self, req: &Reconfig) -> Result<(), ReconfigError> {
+        self.epoch.reconfigure(req, &mut self.scheme)
+    }
+
+    /// Serializes the complete simulation state — reference generators,
+    /// L1s, core scheduling state, the epoch controller (policy monitors
+    /// included), memory channels, accumulated trace samples, and the
+    /// whole LLC — into a sectioned snapshot.
+    pub fn write_checkpoint(&self) -> SnapshotWriter {
+        let mut w = SnapshotWriter::new();
+        w.add_with("sim/meta", |e| {
+            e.put_u64(self.sys.cores as u64);
+            e.put_u64(self.sys.l2_lines as u64);
+            e.put_u64(self.sys.seed);
+            e.put_u64(self.sys.instructions);
+            e.put_u64(self.steps);
+            e.put_bool(self.finished);
+            e.put_bool(self.trace_interval.is_some());
+            e.put_u64(self.next_trace);
+            e.put_u64_slice(&self.mem_free);
+            e.put_u64(self.trace.len() as u64);
+            for s in &self.trace {
+                e.put_u64(s.cycle);
+                e.put_u64_slice(&s.targets);
+                e.put_u64_slice(&s.actuals);
+            }
+        });
+        w.add_with("sim/cores", |e| {
+            e.put_u64(self.cores.len() as u64);
+            for core in &self.cores {
+                core.save_state(e);
+            }
+        });
+        let mut e = Encoder::new();
+        self.epoch.save_state(&mut e);
+        w.add("sim/epoch", e);
+        let mut e = Encoder::new();
+        self.scheme.llc().save_state(&mut e);
+        w.add("sim/llc", e);
+        w
+    }
+
+    /// Writes a checkpoint to `path` atomically (temp file + fsync +
+    /// rename): a crash mid-write leaves the previous checkpoint intact.
+    ///
+    /// # Errors
+    ///
+    /// [`vantage_snapshot::SnapshotError::Io`] on filesystem failure.
+    pub fn save_checkpoint(&self, path: &Path) -> vantage_snapshot::Result<()> {
+        self.write_checkpoint().write_atomic(path)
+    }
+
+    /// Restores a checkpoint into this simulation, which must have been
+    /// built from the same [`SystemConfig`], scheme and mix that produced
+    /// the save. Continuing afterwards is bit-identical to the run that
+    /// was checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`vantage_snapshot::SnapshotError`]: corrupt or truncated
+    /// files are reported, never panicked on, and shape disagreements
+    /// with this simulation surface as
+    /// [`Mismatch`](vantage_snapshot::SnapshotError::Mismatch).
+    pub fn restore_checkpoint(&mut self, r: &SnapshotReader) -> vantage_snapshot::Result<()> {
+        let mut dec = r.section("sim/meta")?;
+        if dec.take_u64()? != self.sys.cores as u64 {
+            return Err(dec.mismatch("core count differs"));
+        }
+        if dec.take_u64()? != self.sys.l2_lines as u64 {
+            return Err(dec.mismatch("L2 capacity differs"));
+        }
+        if dec.take_u64()? != self.sys.seed {
+            return Err(dec.mismatch("seed differs"));
+        }
+        if dec.take_u64()? != self.sys.instructions {
+            return Err(dec.mismatch("instruction quota differs"));
+        }
+        let steps = dec.take_u64()?;
+        let finished = dec.take_bool()?;
+        if dec.take_bool()? != self.trace_interval.is_some() {
+            return Err(dec.mismatch("partition-size tracing differs"));
+        }
+        let next_trace = dec.take_u64()?;
+        if self.trace_interval.is_none() && next_trace != u64::MAX {
+            return Err(dec.invalid("trace clock armed without tracing"));
+        }
+        let mem_free = dec.take_u64_vec()?;
+        if mem_free.len() != self.mem_free.len() {
+            return Err(dec.mismatch("memory channel count differs"));
+        }
+        let ntrace = dec.take_u64()? as usize;
+        // Each sample is at least cycle + two length prefixes: 24 bytes.
+        if ntrace > dec.remaining() / 24 {
+            return Err(dec.invalid("trace sample count exceeds payload"));
+        }
+        let mut trace = Vec::with_capacity(ntrace);
+        for _ in 0..ntrace {
+            let cycle = dec.take_u64()?;
+            let targets = dec.take_u64_vec()?;
+            let actuals = dec.take_u64_vec()?;
+            if targets.len() != self.cores.len() || actuals.len() != self.cores.len() {
+                return Err(dec.invalid("trace sample shape differs from core count"));
+            }
+            trace.push(TraceSample {
+                cycle,
+                targets,
+                actuals,
+            });
+        }
+        dec.finish()?;
+
+        let mut cdec = r.section("sim/cores")?;
+        if cdec.take_u64()? != self.cores.len() as u64 {
+            return Err(cdec.mismatch("core count differs"));
+        }
+        for core in &mut self.cores {
+            core.load_state(&mut cdec)?;
+        }
+        cdec.finish()?;
+
+        r.restore("sim/epoch", &mut self.epoch)?;
+
+        let mut ldec = r.section("sim/llc")?;
+        self.scheme.llc_mut().load_state(&mut ldec)?;
+        ldec.finish()?;
+
+        self.steps = steps;
+        self.finished = finished;
+        self.next_trace = next_trace;
+        self.mem_free = mem_free;
+        self.trace = trace;
+        Ok(())
     }
 }
 

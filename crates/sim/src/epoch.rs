@@ -7,10 +7,18 @@
 //! and the invariant check/repair pass at each epoch boundary. The
 //! simulation loop only calls [`EpochController::observe`] per L2 access
 //! and [`EpochController::run_epoch`] when the epoch clock expires.
+//!
+//! The controller also hosts *guarded live reconfiguration*
+//! ([`EpochController::reconfigure`]): a policy hot-swap or QoS-contract
+//! change is applied transactionally — the controller snapshots its own
+//! state first, runs a trial reallocation under the new policy, and if
+//! the post-swap invariants fail it rolls back to the snapshot and
+//! counts the recovery instead of leaving a half-configured controller.
 
 use vantage_cache::replacement::rrip::BasePolicy;
 use vantage_cache::LineAddr;
 use vantage_partitioning::InvariantViolation;
+use vantage_snapshot::{Decoder, Encoder, Snapshot};
 use vantage_ucp::{
     AllocationPolicy, EqualShares, MissRatioEqualizer, PolicyInput, QosGuarantee, RripUmon,
     UcpGranularity, UcpPolicy,
@@ -40,18 +48,74 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Instantiates the configured allocation policy for machine `sys` under
+/// The live allocation-policy selection, including any hot-swapped QoS
+/// contract. This is what a checkpoint records: unlike
+/// [`SystemConfig::policy`] it survives [`EpochController::reconfigure`],
+/// so a resumed run rebuilds the policy that was actually active.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ActivePolicy {
+    /// UCP/Lookahead.
+    Ucp,
+    /// Static equal shares.
+    Equal,
+    /// Miss-ratio equalization.
+    MissRatio,
+    /// A QoS contract: guaranteed lines plus spare-capacity weights.
+    Qos {
+        /// Guaranteed minimum lines per partition.
+        floors: Vec<u64>,
+        /// Spare-capacity weights per partition.
+        weights: Vec<f64>,
+    },
+}
+
+impl ActivePolicy {
+    /// The [`PolicyKind`] this selection instantiates (contract details,
+    /// if any, are dropped).
+    pub fn kind(&self) -> PolicyKind {
+        match self {
+            Self::Ucp => PolicyKind::Ucp,
+            Self::Equal => PolicyKind::Equal,
+            Self::MissRatio => PolicyKind::MissRatio,
+            Self::Qos { .. } => PolicyKind::Qos,
+        }
+    }
+}
+
+/// The default [`ActivePolicy`] for `policy` on machine `sys` (the QoS
+/// default guarantees each partition 1/8 of its even share, equal
+/// weights for the spare).
+fn default_active(sys: &SystemConfig, policy: PolicyKind) -> ActivePolicy {
+    match policy {
+        PolicyKind::Ucp => ActivePolicy::Ucp,
+        PolicyKind::Equal => ActivePolicy::Equal,
+        PolicyKind::MissRatio => ActivePolicy::MissRatio,
+        PolicyKind::Qos => {
+            let min = (sys.l2_lines / (8 * sys.cores)) as u64;
+            ActivePolicy::Qos {
+                floors: vec![min; sys.cores],
+                weights: vec![1.0; sys.cores],
+            }
+        }
+    }
+}
+
+/// Instantiates allocation policy `active` for machine `sys` under
 /// scheme `kind`. Way-granularity schemes get way-granularity UMONs;
 /// Vantage gets the paper's 256-block interpolated curves (§5).
-fn build_policy(sys: &SystemConfig, kind: &SchemeKind) -> Box<dyn AllocationPolicy> {
+fn build_policy(
+    sys: &SystemConfig,
+    kind: &SchemeKind,
+    active: &ActivePolicy,
+) -> Box<dyn AllocationPolicy> {
     let granularity = match kind {
         SchemeKind::Vantage { .. } => UcpGranularity::Fine { blocks: 256 },
         SchemeKind::WayPart | SchemeKind::Pipp | SchemeKind::Baseline { .. } => {
             UcpGranularity::Ways(sys.l2_ways as u32)
         }
     };
-    match sys.policy {
-        PolicyKind::Ucp => Box::new(UcpPolicy::new(
+    match active {
+        ActivePolicy::Ucp => Box::new(UcpPolicy::new(
             sys.cores,
             sys.l2_ways,
             sys.umon_sets,
@@ -60,8 +124,8 @@ fn build_policy(sys: &SystemConfig, kind: &SchemeKind) -> Box<dyn AllocationPoli
             granularity,
             sys.seed ^ 0x0C0,
         )),
-        PolicyKind::Equal => Box::new(EqualShares::new()),
-        PolicyKind::MissRatio => Box::new(MissRatioEqualizer::new(
+        ActivePolicy::Equal => Box::new(EqualShares::new()),
+        ActivePolicy::MissRatio => Box::new(MissRatioEqualizer::new(
             sys.cores,
             sys.l2_ways,
             sys.umon_sets,
@@ -70,23 +134,66 @@ fn build_policy(sys: &SystemConfig, kind: &SchemeKind) -> Box<dyn AllocationPoli
             granularity,
             sys.seed ^ 0x0C0,
         )),
-        PolicyKind::Qos => {
-            // Default QoS contract: every partition is guaranteed 1/8 of
-            // its even share, equal weights for the spare. Callers wanting
-            // real tenant SLAs construct QosGuarantee directly.
-            let min = (sys.l2_lines / (8 * sys.cores)) as u64;
-            Box::new(QosGuarantee::new(
-                vec![min; sys.cores],
-                vec![1.0; sys.cores],
-            ))
+        ActivePolicy::Qos { floors, weights } => {
+            Box::new(QosGuarantee::new(floors.clone(), weights.clone()))
         }
     }
 }
 
+/// A live-reconfiguration request (see [`EpochController::reconfigure`]).
+#[derive(Clone, Debug)]
+pub enum Reconfig {
+    /// Hot-swap the allocation policy to the named kind's default
+    /// configuration.
+    Policy(PolicyKind),
+    /// Install a QoS contract: per-partition guaranteed lines plus
+    /// spare-capacity weights.
+    QosContract {
+        /// Guaranteed minimum lines per partition.
+        floors: Vec<u64>,
+        /// Spare-capacity weights per partition.
+        weights: Vec<f64>,
+    },
+}
+
+/// Why a live reconfiguration did not take effect.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReconfigError {
+    /// The scheme is unmanaged (a baseline): there is no policy to swap.
+    Unmanaged,
+    /// The request is structurally invalid (shape or weight errors); it
+    /// was rejected before any state changed.
+    BadRequest(String),
+    /// The swap was applied but its post-swap invariants failed; the
+    /// controller rolled back to its pre-swap state and counted the
+    /// recovery (see [`EpochController::reconfig_rollbacks`]).
+    RolledBack(String),
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unmanaged => f.write_str("unmanaged scheme has no allocation policy to swap"),
+            Self::BadRequest(why) => write!(f, "invalid reconfiguration request: {why}"),
+            Self::RolledBack(why) => {
+                write!(
+                    f,
+                    "reconfiguration failed post-swap invariants, rolled back: {why}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
 /// The repartitioning-epoch controller; see the [module docs](self).
 pub struct EpochController {
+    sys: SystemConfig,
+    kind: SchemeKind,
     interval: u64,
     next: u64,
+    active: Option<ActivePolicy>,
     policy: Option<Box<dyn AllocationPolicy>>,
     wants_stream: bool,
     rrip_umons: Option<Vec<RripUmon>>,
@@ -94,6 +201,7 @@ pub struct EpochController {
     fail_fast: bool,
     last_targets: Vec<u64>,
     recoveries: u64,
+    reconfig_rollbacks: u64,
 }
 
 impl EpochController {
@@ -101,7 +209,8 @@ impl EpochController {
     /// (unmanaged) schemes get no policy; Vantage-DRRIP kinds additionally
     /// get one RRIP monitor per core.
     pub fn new(sys: &SystemConfig, kind: &SchemeKind, scheme: &Scheme) -> Self {
-        let policy = scheme.uses_ucp().then(|| build_policy(sys, kind));
+        let active = scheme.uses_ucp().then(|| default_active(sys, sys.policy));
+        let policy = active.as_ref().map(|a| build_policy(sys, kind, a));
         let wants_stream = policy
             .as_deref()
             .is_some_and(AllocationPolicy::wants_access_stream);
@@ -124,6 +233,7 @@ impl EpochController {
         Self {
             interval: sys.repartition_interval,
             next: sys.repartition_interval,
+            active,
             policy,
             wants_stream,
             rrip_umons,
@@ -131,6 +241,9 @@ impl EpochController {
             fail_fast: sys.fail_fast_invariants,
             last_targets: Vec::new(),
             recoveries: 0,
+            reconfig_rollbacks: 0,
+            sys: sys.clone(),
+            kind: kind.clone(),
         }
     }
 
@@ -152,6 +265,137 @@ impl EpochController {
     /// Invariant violations absorbed by repair instead of aborting.
     pub fn recoveries(&self) -> u64 {
         self.recoveries
+    }
+
+    /// Reconfiguration attempts that failed post-swap invariants and were
+    /// rolled back.
+    pub fn reconfig_rollbacks(&self) -> u64 {
+        self.reconfig_rollbacks
+    }
+
+    /// The live policy selection (`None` for unmanaged schemes). Differs
+    /// from [`SystemConfig::policy`] after a successful
+    /// [`reconfigure`](Self::reconfigure).
+    pub fn active_policy(&self) -> Option<&ActivePolicy> {
+        self.active.as_ref()
+    }
+
+    /// Applies a live reconfiguration transactionally.
+    ///
+    /// The controller snapshots its own state, installs the new policy,
+    /// and runs a trial reallocation over the scheme's current
+    /// observations. The post-swap invariants — one target per partition,
+    /// targets tiling the capacity exactly, and (for QoS contracts) every
+    /// target honoring its guaranteed floor — must hold; on success the
+    /// trial targets are installed on the scheme and the swap is live. On
+    /// failure the controller restores the pre-swap snapshot, leaves the
+    /// scheme untouched, and counts the recovery in
+    /// [`reconfig_rollbacks`](Self::reconfig_rollbacks).
+    ///
+    /// # Errors
+    ///
+    /// [`ReconfigError::Unmanaged`] on baseline schemes,
+    /// [`ReconfigError::BadRequest`] for structurally invalid requests
+    /// (nothing changed), and [`ReconfigError::RolledBack`] when the
+    /// post-swap invariants failed (state restored, recovery counted).
+    pub fn reconfigure(
+        &mut self,
+        req: &Reconfig,
+        scheme: &mut Scheme,
+    ) -> Result<(), ReconfigError> {
+        if self.policy.is_none() {
+            return Err(ReconfigError::Unmanaged);
+        }
+        let new_active = match req {
+            Reconfig::Policy(kind) => default_active(&self.sys, *kind),
+            Reconfig::QosContract { floors, weights } => {
+                if floors.len() != self.sys.cores {
+                    return Err(ReconfigError::BadRequest(format!(
+                        "{} floors for {} partitions",
+                        floors.len(),
+                        self.sys.cores
+                    )));
+                }
+                // Surface shape/weight errors before touching anything.
+                QosGuarantee::try_new(floors.clone(), weights.clone())
+                    .map_err(|e| ReconfigError::BadRequest(e.to_string()))?;
+                ActivePolicy::Qos {
+                    floors: floors.clone(),
+                    weights: weights.clone(),
+                }
+            }
+        };
+
+        // Transaction begins: snapshot the controller for rollback.
+        let mut enc = Encoder::new();
+        self.save_state(&mut enc);
+        let saved = enc.into_bytes();
+
+        self.policy = Some(build_policy(&self.sys, &self.kind, &new_active));
+        self.active = Some(new_active.clone());
+        self.wants_stream = self
+            .policy
+            .as_deref()
+            .is_some_and(AllocationPolicy::wants_access_stream);
+
+        match self.trial_reallocate(scheme, &new_active) {
+            Ok(targets) => {
+                scheme.llc_mut().set_targets(&targets);
+                self.last_targets = targets;
+                Ok(())
+            }
+            Err(why) => {
+                let mut dec = Decoder::new(&saved, "reconfigure rollback");
+                self.load_state(&mut dec)
+                    .expect("pre-swap controller snapshot restores cleanly");
+                self.reconfig_rollbacks += 1;
+                Err(ReconfigError::RolledBack(why))
+            }
+        }
+    }
+
+    /// Runs the freshly installed policy once over current observations
+    /// and checks the post-swap invariants, returning the trial targets.
+    fn trial_reallocate(
+        &mut self,
+        scheme: &mut Scheme,
+        active: &ActivePolicy,
+    ) -> Result<Vec<u64>, String> {
+        let capacity = scheme.llc().capacity() as u64;
+        let obs = scheme.llc_mut().observations();
+        let input = PolicyInput {
+            capacity,
+            actual: &obs.actual,
+            hits: &obs.hits,
+            misses: &obs.misses,
+            churn: &obs.churn,
+            insertions: &obs.insertions,
+        };
+        let policy = self.policy.as_mut().expect("swap installed a policy");
+        let targets = policy.reallocate(&input);
+        if targets.len() != self.sys.cores {
+            return Err(format!(
+                "policy produced {} targets for {} partitions",
+                targets.len(),
+                self.sys.cores
+            ));
+        }
+        let total: u64 = targets.iter().sum();
+        if total != capacity {
+            return Err(format!(
+                "targets sum to {total} but the cache holds {capacity} lines"
+            ));
+        }
+        if let ActivePolicy::Qos { floors, .. } = active {
+            for (p, (&t, &floor)) in targets.iter().zip(floors).enumerate() {
+                if t < floor {
+                    return Err(format!(
+                        "partition {p} target {t} is below its guaranteed floor {floor}"
+                    ));
+                }
+            }
+        }
+        Ok(targets)
     }
 
     /// Feeds one L2 access to whatever monitors the configuration carries
@@ -221,6 +465,112 @@ impl EpochController {
             }
         }
         self.next += self.interval;
+        Ok(())
+    }
+}
+
+impl Snapshot for EpochController {
+    fn save_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.next);
+        // The active-policy descriptor, so a resumed run rebuilds a
+        // hot-swapped policy rather than the config default.
+        match &self.active {
+            None => enc.put_u8(0),
+            Some(ActivePolicy::Ucp) => enc.put_u8(1),
+            Some(ActivePolicy::Equal) => enc.put_u8(2),
+            Some(ActivePolicy::MissRatio) => enc.put_u8(3),
+            Some(ActivePolicy::Qos { floors, weights }) => {
+                enc.put_u8(4);
+                enc.put_u64_slice(floors);
+                let bits: Vec<u64> = weights.iter().map(|w| w.to_bits()).collect();
+                enc.put_u64_slice(&bits);
+            }
+        }
+        if let Some(p) = self.policy.as_deref() {
+            p.save_state(enc);
+        }
+        enc.put_bool(self.rrip_umons.is_some());
+        if let Some(umons) = &self.rrip_umons {
+            enc.put_u64(umons.len() as u64);
+            for u in umons {
+                u.save_state(enc);
+            }
+        }
+        enc.put_u64_slice(&self.last_targets);
+        enc.put_u64(self.recoveries);
+        enc.put_u64(self.reconfig_rollbacks);
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder<'_>) -> vantage_snapshot::Result<()> {
+        let next = dec.take_u64()?;
+        if next == 0 || !next.is_multiple_of(self.interval) {
+            return Err(dec.invalid("epoch clock out of phase with the interval"));
+        }
+        let active = match dec.take_u8()? {
+            0 => None,
+            1 => Some(ActivePolicy::Ucp),
+            2 => Some(ActivePolicy::Equal),
+            3 => Some(ActivePolicy::MissRatio),
+            4 => {
+                let floors = dec.take_u64_vec()?;
+                let weights: Vec<f64> = dec
+                    .take_u64_vec()?
+                    .into_iter()
+                    .map(f64::from_bits)
+                    .collect();
+                if floors.len() != self.sys.cores {
+                    return Err(dec.mismatch("QoS floor count differs from partition count"));
+                }
+                QosGuarantee::try_new(floors.clone(), weights.clone())
+                    .map_err(|e| dec.invalid(&format!("bad QoS contract: {e}")))?;
+                Some(ActivePolicy::Qos { floors, weights })
+            }
+            t => return Err(dec.invalid(&format!("unknown policy tag {t}"))),
+        };
+        if active.is_some() != self.policy.is_some() {
+            return Err(dec.mismatch("managed/unmanaged scheme disagreement"));
+        }
+        // Always rebuild the policy from the descriptor (cheap — fresh
+        // monitors), then restore its state; this also covers resuming
+        // onto a policy hot-swapped away from the config default.
+        let mut policy = active
+            .as_ref()
+            .map(|a| build_policy(&self.sys, &self.kind, a));
+        if let Some(p) = policy.as_deref_mut() {
+            p.load_state(dec)?;
+        }
+        if dec.take_bool()? != self.rrip_umons.is_some() {
+            return Err(dec.mismatch("DRRIP monitor presence differs"));
+        }
+        if let Some(umons) = &mut self.rrip_umons {
+            if dec.take_u64()? != umons.len() as u64 {
+                return Err(dec.mismatch("DRRIP monitor count differs"));
+            }
+            for u in umons.iter_mut() {
+                u.load_state(dec)?;
+            }
+        }
+        let last_targets = dec.take_u64_vec()?;
+        if !last_targets.is_empty() {
+            if last_targets.len() != self.sys.cores {
+                return Err(dec.mismatch("target count differs from partition count"));
+            }
+            if last_targets.iter().sum::<u64>() != self.sys.l2_lines as u64 {
+                return Err(dec.invalid("targets do not tile the cache"));
+            }
+        }
+        let recoveries = dec.take_u64()?;
+        let reconfig_rollbacks = dec.take_u64()?;
+        self.next = next;
+        self.active = active;
+        self.policy = policy;
+        self.wants_stream = self
+            .policy
+            .as_deref()
+            .is_some_and(AllocationPolicy::wants_access_stream);
+        self.last_targets = last_targets;
+        self.recoveries = recoveries;
+        self.reconfig_rollbacks = reconfig_rollbacks;
         Ok(())
     }
 }

@@ -81,6 +81,43 @@ impl L1 {
     }
 }
 
+impl vantage_snapshot::Snapshot for L1 {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        let valid: Vec<u8> = self.lines.iter().map(|l| l.is_some() as u8).collect();
+        let addrs: Vec<u64> = self.lines.iter().map(|l| l.map_or(0, |a| a.0)).collect();
+        enc.put_u8_slice(&valid);
+        enc.put_u64_slice(&addrs);
+        enc.put_u64_slice(&self.last);
+        enc.put_u64(self.clock);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let valid = dec.take_u8_vec()?;
+        let addrs = dec.take_u64_vec()?;
+        let last = dec.take_u64_vec()?;
+        let clock = dec.take_u64()?;
+        let n = self.lines.len();
+        if valid.len() != n || addrs.len() != n || last.len() != n {
+            return Err(dec.mismatch("L1 geometry differs"));
+        }
+        if valid.iter().any(|&v| v > 1) {
+            return Err(dec.invalid("L1 valid bit out of range"));
+        }
+        if last.iter().any(|&t| t > clock) {
+            return Err(dec.invalid("L1 touch time ahead of the clock"));
+        }
+        for (f, (&v, &a)) in valid.iter().zip(&addrs).enumerate() {
+            self.lines[f] = (v == 1).then_some(LineAddr(a));
+        }
+        self.last = last;
+        self.clock = clock;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,6 +33,6 @@ pub mod scheme;
 pub use builder::LlcBuilder;
 pub use cmp::{run_solo, CmpSim, SimResult, TraceSample};
 pub use config::{ArrayKind, BaselineRank, PolicyKind, SchemeKind, SysConfigError, SystemConfig};
-pub use epoch::{EpochController, SimError};
+pub use epoch::{ActivePolicy, EpochController, Reconfig, ReconfigError, SimError};
 pub use l1::L1;
 pub use scheme::{BuildError, Scheme};

@@ -1,0 +1,221 @@
+//! Hostile-restore corpus: bit-flipped, truncated, version-bumped and
+//! well-formed-but-garbage checkpoints must every one come back as a typed
+//! [`SnapshotError`] — never a panic, and never silently accepted.
+
+use vantage_sim::{CmpSim, SchemeKind, SystemConfig};
+use vantage_snapshot::{Encoder, SnapshotError, SnapshotReader, SnapshotWriter};
+use vantage_workloads::mixes;
+
+/// An encoder preloaded with raw bytes (for forging section payloads).
+fn raw(bytes: &[u8]) -> Encoder {
+    let mut e = Encoder::new();
+    for &b in bytes {
+        e.put_u8(b);
+    }
+    e
+}
+
+/// Extracts one section's raw payload from a serialized snapshot.
+fn payload_of(reader: &SnapshotReader, name: &str) -> Vec<u8> {
+    let mut dec = reader.section(name).expect("section exists");
+    let mut out = Vec::with_capacity(dec.remaining());
+    while dec.remaining() > 0 {
+        out.push(dec.take_u8().expect("in bounds"));
+    }
+    out
+}
+
+const SECTIONS: [&str; 4] = ["sim/meta", "sim/cores", "sim/epoch", "sim/llc"];
+
+/// A tiny machine so the corpus sweeps stay cheap.
+fn tiny_sys() -> SystemConfig {
+    let mut s = SystemConfig::small_scale();
+    s.l1_lines = 64;
+    s.l2_lines = 2048;
+    s.instructions = 20_000;
+    s.repartition_interval = 5_000;
+    s
+}
+
+fn paused_sim() -> CmpSim {
+    static HALFWAY: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let sys = tiny_sys();
+    let mix = &mixes(4, 1, 23)[6];
+    let half = *HALFWAY.get_or_init(|| {
+        let mut probe = CmpSim::new(sys.clone(), &SchemeKind::vantage_paper(), mix);
+        probe.run();
+        probe.steps() / 2
+    });
+    let mut sim = CmpSim::new(sys, &SchemeKind::vantage_paper(), mix);
+    assert!(sim.run_for(half).is_none(), "sim must pause mid-run");
+    sim
+}
+
+/// Attempts a full restore of `bytes` into a fresh compatible sim.
+/// Returns the typed error, if any. Panics are the failure being hunted,
+/// so nothing here catches unwinds — the test harness reports them.
+fn try_restore(bytes: &[u8]) -> Result<(), SnapshotError> {
+    let reader = SnapshotReader::from_bytes(bytes)?;
+    paused_sim().restore_checkpoint(&reader)
+}
+
+#[test]
+fn pristine_checkpoint_restores() {
+    let bytes = paused_sim().write_checkpoint().to_bytes();
+    try_restore(&bytes).expect("the unmodified corpus seed must restore");
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let bytes = paused_sim().write_checkpoint().to_bytes();
+    for cut in (0..bytes.len()).step_by(7) {
+        let err = try_restore(&bytes[..cut]);
+        assert!(
+            err.is_err(),
+            "truncation to {cut}/{} bytes was accepted",
+            bytes.len()
+        );
+    }
+    // And the last byte specifically, so off-by-one at the tail is covered.
+    assert!(try_restore(&bytes[..bytes.len() - 1]).is_err());
+}
+
+#[test]
+fn every_sampled_bit_flip_is_rejected() {
+    let bytes = paused_sim().write_checkpoint().to_bytes();
+    let mut rejected = 0u64;
+    for byte in (0..bytes.len()).step_by(41) {
+        for bit in 0..8 {
+            let mut evil = bytes.clone();
+            evil[byte] ^= 1 << bit;
+            match try_restore(&evil) {
+                Err(_) => rejected += 1,
+                Ok(()) => panic!("bit flip at byte {byte} bit {bit} was accepted"),
+            }
+        }
+    }
+    assert!(rejected > 100, "corpus too small: {rejected} cases");
+}
+
+#[test]
+fn wrong_magic_and_version_are_typed() {
+    let bytes = paused_sim().write_checkpoint().to_bytes();
+
+    let mut evil = bytes.clone();
+    evil[0] ^= 0xFF;
+    assert!(matches!(
+        SnapshotReader::from_bytes(&evil),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    // The version lives right after the 8-byte magic; a future version
+    // must be refused, not guessed at.
+    let mut evil = bytes.clone();
+    evil[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        SnapshotReader::from_bytes(&evil),
+        Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+    ));
+}
+
+#[test]
+fn valid_crc_garbage_payloads_are_typed_errors() {
+    // Checksums pass, structure doesn't: every section's decoder must
+    // reject hostile content on its own merits, not lean on the CRC.
+    // Each forgery keeps the other three sections pristine so the
+    // garbage actually reaches the decoder under test.
+    let good = paused_sim().write_checkpoint().to_bytes();
+    let good_reader = SnapshotReader::from_bytes(&good).unwrap();
+    let shapes: Vec<(&str, Vec<u8>)> = vec![
+        ("empty", vec![]),
+        ("ones", vec![0xFF; 64]),
+        ("zeros", vec![0; 256]),
+        // A hostile length prefix: claims a 2^64-1 element sequence.
+        ("hostile-length", u64::MAX.to_le_bytes().to_vec()),
+        // Truncated real payload: right bytes, wrong amount.
+        ("half-real", {
+            let p = payload_of(&good_reader, "sim/llc");
+            p[..p.len() / 2].to_vec()
+        }),
+        // Real payload with trailing garbage the decoder must not ignore.
+        ("real-plus-tail", {
+            let mut p = payload_of(&good_reader, "sim/meta");
+            p.extend_from_slice(&[0xEE; 9]);
+            p
+        }),
+    ];
+    for section in SECTIONS {
+        for (label, payload) in &shapes {
+            let mut w = SnapshotWriter::new();
+            for name in SECTIONS {
+                if name == section {
+                    w.add(name, raw(payload));
+                } else {
+                    w.add(name, raw(&payload_of(&good_reader, name)));
+                }
+            }
+            let err = try_restore(&w.to_bytes());
+            assert!(err.is_err(), "{section}/{label}: garbage accepted");
+        }
+    }
+}
+
+#[test]
+fn missing_and_duplicate_sections_are_typed() {
+    // Drop one required section at a time from a good checkpoint.
+    let good = paused_sim().write_checkpoint().to_bytes();
+    let good_reader = SnapshotReader::from_bytes(&good).unwrap();
+    for dropped in SECTIONS {
+        let mut w = SnapshotWriter::new();
+        for name in SECTIONS {
+            if name != dropped {
+                w.add(name, raw(&payload_of(&good_reader, name)));
+            }
+        }
+        let err = try_restore(&w.to_bytes()).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::MissingSection { .. }),
+            "dropping {dropped}: wanted a missing-section error, got {err:?}"
+        );
+    }
+
+    let mut w = SnapshotWriter::new();
+    w.add("sim/meta", raw(&[0; 8]));
+    w.add("sim/meta", raw(&[0; 8]));
+    assert!(matches!(
+        SnapshotReader::from_bytes(&w.to_bytes()),
+        Err(SnapshotError::DuplicateSection { .. })
+    ));
+}
+
+#[test]
+fn a_rejected_restore_does_not_poison_the_host() {
+    // After refusing garbage, the same sim must still accept a good
+    // checkpoint and resume bit-identically — rejection never leaves the
+    // host wedged in a half-restored state it can't recover from.
+    let sys = tiny_sys();
+    let mix = &mixes(4, 1, 23)[6];
+    let kind = SchemeKind::vantage_paper();
+
+    let mut straight = CmpSim::new(sys.clone(), &kind, mix);
+    let want = straight.run();
+
+    let warm = paused_sim();
+    let good = warm.write_checkpoint().to_bytes();
+
+    let mut evil = good.clone();
+    let tamper = evil.len() / 2;
+    evil[tamper] ^= 0x10;
+
+    let mut victim = CmpSim::new(sys, &kind, mix);
+    if let Ok(reader) = SnapshotReader::from_bytes(&evil) {
+        assert!(victim.restore_checkpoint(&reader).is_err());
+    }
+    let reader = SnapshotReader::from_bytes(&good).expect("good bytes parse");
+    victim
+        .restore_checkpoint(&reader)
+        .expect("good checkpoint restores after a rejection");
+    let got = victim.run();
+    assert_eq!(want.l2_misses, got.l2_misses);
+    assert_eq!(want.ipc, got.ipc);
+}

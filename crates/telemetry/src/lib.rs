@@ -207,6 +207,16 @@ pub trait TelemetrySink: Send {
     fn record_sample(&mut self, s: &PartitionSample);
     /// Flushes buffered output (no-op for in-memory sinks).
     fn flush(&mut self) {}
+    /// The first I/O error this sink has absorbed, if any.
+    ///
+    /// File sinks cannot propagate errors from the record path (it may sit
+    /// on a cache's miss path), so they record the first failure here
+    /// instead of silently dropping it; callers check after [`flush`]
+    /// (Self::flush) to learn whether the trace on disk is complete.
+    /// In-memory sinks never error.
+    fn io_error(&self) -> Option<String> {
+        None
+    }
     /// Tags subsequently recorded records as coming from bank `bank` of a
     /// multi-banked cache (`None` clears the tag).
     ///
@@ -295,6 +305,12 @@ impl TelemetrySink for SharedSink {
     }
     fn flush(&mut self) {
         self.with_lock(|s| s.flush());
+    }
+    fn io_error(&self) -> Option<String> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .io_error()
     }
     fn set_bank(&mut self, bank: Option<u16>) {
         self.bank = bank;
@@ -666,6 +682,7 @@ pub struct CsvSink<W: Write + Send> {
     w: W,
     wrote_header: bool,
     bank: Option<u16>,
+    err: Option<std::io::Error>,
 }
 
 impl CsvSink<BufWriter<File>> {
@@ -686,15 +703,25 @@ impl<W: Write + Send> CsvSink<W> {
             w,
             wrote_header: false,
             bank: None,
+            err: None,
+        }
+    }
+
+    /// Remembers the first I/O failure (later ones are usually cascades).
+    fn note(&mut self, r: std::io::Result<()>) {
+        if let (Err(e), None) = (r, &self.err) {
+            self.err = Some(e);
         }
     }
 
     fn write_row(&mut self, rec: &TelemetryRecord) {
         // Telemetry is observability, not ground truth: I/O errors drop the
-        // record rather than unwinding into the cache's miss path.
+        // record rather than unwinding into the cache's miss path — but the
+        // first one is kept so `io_error` can report the trace incomplete.
         if !self.wrote_header {
             self.wrote_header = true;
-            let _ = writeln!(self.w, "{CSV_HEADER}");
+            let r = writeln!(self.w, "{CSV_HEADER}");
+            self.note(r);
         }
         let mut row = to_csv_row(rec);
         if let Some(b) = self.bank {
@@ -705,7 +732,8 @@ impl<W: Write + Send> CsvSink<W> {
             }
             let _ = write!(row, "bank={b}");
         }
-        let _ = writeln!(self.w, "{row}");
+        let r = writeln!(self.w, "{row}");
+        self.note(r);
     }
 }
 
@@ -717,10 +745,26 @@ impl<W: Write + Send> TelemetrySink for CsvSink<W> {
         self.write_row(&TelemetryRecord::Sample(*s));
     }
     fn flush(&mut self) {
-        let _ = self.w.flush();
+        let r = self.w.flush();
+        self.note(r);
+    }
+    fn io_error(&self) -> Option<String> {
+        self.err.as_ref().map(|e| e.to_string())
     }
     fn set_bank(&mut self, bank: Option<u16>) {
         self.bank = bank;
+    }
+}
+
+impl<W: Write + Send> Drop for CsvSink<W> {
+    fn drop(&mut self) {
+        // `BufWriter`'s own drop flushes but swallows the error; flush
+        // explicitly and say so when the trace lost data.
+        let r = self.w.flush();
+        self.note(r);
+        if let Some(e) = &self.err {
+            eprintln!("telemetry: CSV trace lost data: {e}");
+        }
     }
 }
 
@@ -728,6 +772,7 @@ impl<W: Write + Send> TelemetrySink for CsvSink<W> {
 pub struct JsonSink<W: Write + Send> {
     w: W,
     bank: Option<u16>,
+    err: Option<std::io::Error>,
 }
 
 impl JsonSink<BufWriter<File>> {
@@ -744,7 +789,18 @@ impl JsonSink<BufWriter<File>> {
 impl<W: Write + Send> JsonSink<W> {
     /// Wraps a writer.
     pub fn new(w: W) -> Self {
-        Self { w, bank: None }
+        Self {
+            w,
+            bank: None,
+            err: None,
+        }
+    }
+
+    /// Remembers the first I/O failure (later ones are usually cascades).
+    fn note(&mut self, r: std::io::Result<()>) {
+        if let (Err(e), None) = (r, &self.err) {
+            self.err = Some(e);
+        }
     }
 
     fn write_line(&mut self, rec: &TelemetryRecord) {
@@ -754,7 +810,8 @@ impl<W: Write + Send> JsonSink<W> {
             line.pop();
             let _ = write!(line, ",\"bank\":{b}}}");
         }
-        let _ = writeln!(self.w, "{line}");
+        let r = writeln!(self.w, "{line}");
+        self.note(r);
     }
 }
 
@@ -766,10 +823,26 @@ impl<W: Write + Send> TelemetrySink for JsonSink<W> {
         self.write_line(&TelemetryRecord::Sample(*s));
     }
     fn flush(&mut self) {
-        let _ = self.w.flush();
+        let r = self.w.flush();
+        self.note(r);
+    }
+    fn io_error(&self) -> Option<String> {
+        self.err.as_ref().map(|e| e.to_string())
     }
     fn set_bank(&mut self, bank: Option<u16>) {
         self.bank = bank;
+    }
+}
+
+impl<W: Write + Send> Drop for JsonSink<W> {
+    fn drop(&mut self) {
+        // `BufWriter`'s own drop flushes but swallows the error; flush
+        // explicitly and say so when the trace lost data.
+        let r = self.w.flush();
+        self.note(r);
+        if let Some(e) = &self.err {
+            eprintln!("telemetry: JSON trace lost data: {e}");
+        }
     }
 }
 
@@ -843,6 +916,13 @@ impl Telemetry {
     #[inline]
     pub fn enabled(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// The first I/O error the sink has absorbed, if any (see
+    /// [`TelemetrySink::io_error`]). Check after [`Self::flush`] to learn
+    /// whether the trace on disk is complete.
+    pub fn io_error(&self) -> Option<String> {
+        self.sink.as_ref().and_then(|s| s.io_error())
     }
 
     /// The sampling period in accesses.
@@ -929,6 +1009,40 @@ impl Telemetry {
 impl Drop for Telemetry {
     fn drop(&mut self) {
         self.flush();
+    }
+}
+
+impl vantage_snapshot::Snapshot for Telemetry {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        // The sink itself (file handles, rings) cannot be serialized; what
+        // makes a resumed trace bit-identical is the sampling schedule and
+        // the churn meters, which carry across a checkpoint boundary.
+        enc.put_bool(self.sink.is_some());
+        enc.put_u64(self.sample_period);
+        enc.put_u64(self.next_sample);
+        enc.put_u64_slice(&self.churn);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let was_enabled = dec.take_bool()?;
+        let period = dec.take_u64()?;
+        let next = dec.take_u64()?;
+        let churn = dec.take_u64_vec()?;
+        if period == 0 {
+            return Err(dec.invalid("zero telemetry sample period"));
+        }
+        // The restored schedule only applies if the resuming run installed a
+        // sink again (the sink is reinstalled out-of-band, before restore);
+        // a disabled handle stays inert regardless of what the saver had.
+        if self.sink.is_some() && was_enabled {
+            self.sample_period = period;
+            self.next_sample = next;
+            self.churn = churn;
+        }
+        Ok(())
     }
 }
 
@@ -1027,12 +1141,65 @@ mod tests {
         sink.record_event(&TelemetryEvent::Demotion { access: 1, part: 0 });
         sink.record_sample(&sample(2, 1));
         sink.flush();
-        let text = String::from_utf8(sink.w).unwrap();
+        let text = String::from_utf8(sink.w.clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], CSV_HEADER);
         assert!(from_csv_row(lines[1]).is_some());
         assert!(from_csv_row(lines[2]).is_some());
+    }
+
+    /// A writer that fails every operation (for the error-surfacing tests).
+    struct BrokenPipe;
+
+    impl Write for BrokenPipe {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipe closed",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipe closed",
+            ))
+        }
+    }
+
+    #[test]
+    fn file_sinks_surface_io_errors_instead_of_swallowing_them() {
+        let mut sink = CsvSink::new(BrokenPipe);
+        assert_eq!(sink.io_error(), None);
+        sink.record_event(&TelemetryEvent::Demotion { access: 1, part: 0 });
+        let err = sink.io_error().expect("write failure surfaced");
+        assert!(err.contains("pipe closed"), "{err}");
+
+        let mut sink = JsonSink::new(BrokenPipe);
+        sink.flush();
+        assert!(sink
+            .io_error()
+            .expect("flush failure surfaced")
+            .contains("pipe closed"));
+
+        // The producer handle forwards the sink's sticky error.
+        let mut tele = Telemetry::new(Box::new(CsvSink::new(BrokenPipe)), 0);
+        tele.event(TelemetryEvent::Scrub {
+            access: 1,
+            repairs: 0,
+        });
+        tele.flush();
+        assert!(tele.io_error().is_some());
+
+        // A shared (banked) wrapper forwards it too.
+        let shared = SharedSink::new(Box::new(JsonSink::new(BrokenPipe)));
+        let mut tagged = shared.with_bank(3);
+        tagged.record_event(&TelemetryEvent::Demotion { access: 2, part: 1 });
+        assert!(tagged.io_error().is_some());
+
+        // In-memory sinks never error.
+        let (ring, _reader) = RingSink::with_capacity(4);
+        assert_eq!(ring.io_error(), None);
     }
 
     #[test]
@@ -1045,7 +1212,7 @@ mod tests {
             }
         }
         sink.flush();
-        let text = String::from_utf8(sink.w).unwrap();
+        let text = String::from_utf8(sink.w.clone()).unwrap();
         let parsed: Vec<TelemetryRecord> = text.lines().filter_map(from_json_line).collect();
         assert_eq!(parsed, representative_records());
     }
@@ -1138,7 +1305,7 @@ mod tests {
         sink.set_bank(None);
         sink.record_event(&TelemetryEvent::Promotion { access: 4, part: 0 });
         sink.flush();
-        let text = String::from_utf8(sink.w).unwrap();
+        let text = String::from_utf8(sink.w.clone()).unwrap();
         let lines: Vec<&str> = text.lines().skip(1).collect();
         assert!(lines[0].ends_with("bank=3"), "{}", lines[0]);
         assert!(lines[1].contains("forced=true;bank=3"), "{}", lines[1]);
@@ -1168,7 +1335,7 @@ mod tests {
         });
         sink.record_sample(&sample(10, 0));
         sink.flush();
-        let text = String::from_utf8(sink.w).unwrap();
+        let text = String::from_utf8(sink.w.clone()).unwrap();
         for line in text.lines() {
             assert!(line.ends_with(",\"bank\":7}"), "{line}");
         }

@@ -62,7 +62,11 @@ impl PolicyInput<'_> {
 ///   that do not sample the access stream leave the default no-op and
 ///   return `false` from [`wants_access_stream`](Self::wants_access_stream)
 ///   so callers can skip the call entirely.
-pub trait AllocationPolicy: Send {
+/// * Every policy is a [`vantage_snapshot::Snapshot`] (the supertrait
+///   makes the compiler enforce it for trait objects): monitor state must
+///   round-trip so a checkpointed simulation resumes bit-identically.
+///   Stateless policies implement the two methods as no-ops.
+pub trait AllocationPolicy: Send + vantage_snapshot::Snapshot {
     /// Short stable identifier (used in labels and telemetry).
     fn name(&self) -> &'static str;
 
@@ -120,6 +124,18 @@ impl EqualShares {
     }
 }
 
+impl vantage_snapshot::Snapshot for EqualShares {
+    /// Stateless: nothing to serialize.
+    fn save_state(&self, _enc: &mut vantage_snapshot::Encoder) {}
+
+    fn load_state(
+        &mut self,
+        _dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        Ok(())
+    }
+}
+
 impl AllocationPolicy for EqualShares {
     fn name(&self) -> &'static str {
         "equal"
@@ -167,6 +183,19 @@ impl MissRatioEqualizer {
         );
         inner.set_goal(AllocationGoal::Fairness);
         Self { inner }
+    }
+}
+
+impl vantage_snapshot::Snapshot for MissRatioEqualizer {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        self.inner.save_state(enc);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        self.inner.load_state(dec)
     }
 }
 
@@ -269,6 +298,19 @@ impl QosGuarantee {
     /// The spare-capacity weights.
     pub fn weights(&self) -> &[f64] {
         &self.weights
+    }
+}
+
+impl vantage_snapshot::Snapshot for QosGuarantee {
+    /// Minimums and weights are construction-time configuration, not run
+    /// state; nothing varies over a run.
+    fn save_state(&self, _enc: &mut vantage_snapshot::Encoder) {}
+
+    fn load_state(
+        &mut self,
+        _dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        Ok(())
     }
 }
 

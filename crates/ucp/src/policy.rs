@@ -186,6 +186,37 @@ impl UcpPolicy {
     }
 }
 
+impl vantage_snapshot::Snapshot for UcpPolicy {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u64(self.umons.len() as u64);
+        for u in &self.umons {
+            u.save_state(enc);
+        }
+        enc.put_u8(match self.goal {
+            AllocationGoal::Throughput => 0,
+            AllocationGoal::Fairness => 1,
+        });
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        if dec.take_u64()? != self.umons.len() as u64 {
+            return Err(dec.mismatch("partition count differs"));
+        }
+        for u in &mut self.umons {
+            u.load_state(dec)?;
+        }
+        self.goal = match dec.take_u8()? {
+            0 => AllocationGoal::Throughput,
+            1 => AllocationGoal::Fairness,
+            _ => return Err(dec.invalid("unknown allocation goal tag")),
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

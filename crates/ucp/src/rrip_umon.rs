@@ -176,6 +176,62 @@ impl RripUmon {
     }
 }
 
+impl vantage_snapshot::Snapshot for RripUmon {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u64(self.tags.len() as u64);
+        for (tags, rrpvs) in self.tags.iter().zip(&self.rrpvs) {
+            enc.put_u64_slice(tags);
+            enc.put_u8_slice(rrpvs);
+        }
+        enc.put_u64_slice(&self.hits);
+        enc.put_u64(self.misses);
+        enc.put_u64(self.srrip_stats.0);
+        enc.put_u64(self.srrip_stats.1);
+        enc.put_u64(self.brrip_stats.0);
+        enc.put_u64(self.brrip_stats.1);
+        enc.put_u32(self.brrip_ctr);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        if dec.take_u64()? != self.tags.len() as u64 {
+            return Err(dec.mismatch("sampled-set count differs"));
+        }
+        let mut tags = Vec::with_capacity(self.tags.len());
+        let mut rrpvs = Vec::with_capacity(self.tags.len());
+        for _ in 0..self.tags.len() {
+            let t = dec.take_u64_vec()?;
+            let r = dec.take_u8_vec()?;
+            if t.len() != r.len() || t.len() > self.ways {
+                return Err(dec.invalid("monitor set shape out of range"));
+            }
+            if r.iter().any(|&v| v > self.max_rrpv) {
+                return Err(dec.invalid("monitor RRPV exceeds the configured maximum"));
+            }
+            tags.push(t);
+            rrpvs.push(r);
+        }
+        let hits = dec.take_u64_vec()?;
+        if hits.len() != self.ways {
+            return Err(dec.mismatch("hit-counter length differs"));
+        }
+        self.misses = dec.take_u64()?;
+        self.srrip_stats = (dec.take_u64()?, dec.take_u64()?);
+        self.brrip_stats = (dec.take_u64()?, dec.take_u64()?);
+        let ctr = dec.take_u32()?;
+        if ctr >= 32 {
+            return Err(dec.invalid("bimodal counter out of range"));
+        }
+        self.brrip_ctr = ctr;
+        self.tags = tags;
+        self.rrpvs = rrpvs;
+        self.hits = hits;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

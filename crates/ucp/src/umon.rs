@@ -137,6 +137,42 @@ impl Umon {
     }
 }
 
+impl vantage_snapshot::Snapshot for Umon {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u64(self.stacks.len() as u64);
+        for stack in &self.stacks {
+            enc.put_u64_slice(stack);
+        }
+        enc.put_u64_slice(&self.hits);
+        enc.put_u64(self.misses);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        if dec.take_u64()? != self.stacks.len() as u64 {
+            return Err(dec.mismatch("sampled-set count differs"));
+        }
+        let mut stacks = Vec::with_capacity(self.stacks.len());
+        for _ in 0..self.stacks.len() {
+            let stack = dec.take_u64_vec()?;
+            if stack.len() > self.ways {
+                return Err(dec.invalid("LRU stack deeper than the monitored ways"));
+            }
+            stacks.push(stack);
+        }
+        let hits = dec.take_u64_vec()?;
+        if hits.len() != self.ways {
+            return Err(dec.mismatch("hit-counter length differs"));
+        }
+        self.misses = dec.take_u64()?;
+        self.stacks = stacks;
+        self.hits = hits;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

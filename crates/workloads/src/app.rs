@@ -239,6 +239,63 @@ impl AppGen {
     }
 }
 
+impl vantage_snapshot::Snapshot for AppGen {
+    /// The spec, base and APKI-derived mean gap are construction-time
+    /// configuration; run state is the RNG stream, the per-region cursors
+    /// and the phase machine.
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u64_slice(&self.rng.state());
+        enc.put_u64_slice(&self.cursors);
+        enc.put_u64(self.phase as u64);
+        enc.put_u64(self.phase_left);
+        enc.put_u64(self.accesses);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let rng_state = dec.take_u64_vec()?;
+        let Ok(rng_state) = <[u64; 4]>::try_from(rng_state) else {
+            return Err(dec.invalid("RNG state must be 4 words"));
+        };
+        let cursors = dec.take_u64_vec()?;
+        if cursors.len() != self.spec.regions.len() {
+            return Err(dec.mismatch("cursor count differs from region count"));
+        }
+        for (c, (_, kind)) in cursors.iter().zip(&self.spec.regions) {
+            let bound = match *kind {
+                RegionKind::Loop { lines } => lines,
+                RegionKind::Stream { wrap } => wrap,
+                RegionKind::Hot { .. } | RegionKind::Skewed { .. } => u64::MAX,
+            };
+            if *c >= bound {
+                return Err(dec.invalid("region cursor beyond its region"));
+            }
+        }
+        let phase = dec.take_usize()?;
+        let phase_left = dec.take_u64()?;
+        match &self.spec.phases {
+            Some((period, phases)) => {
+                if phase >= phases.len() || phase_left == 0 || phase_left > *period {
+                    return Err(dec.invalid("phase machine out of range"));
+                }
+            }
+            None => {
+                if phase != 0 || phase_left != u64::MAX {
+                    return Err(dec.mismatch("phase state for a phaseless spec"));
+                }
+            }
+        }
+        self.accesses = dec.take_u64()?;
+        self.rng = SmallRng::from_state(rng_state);
+        self.cursors = cursors;
+        self.phase = phase;
+        self.phase_left = phase_left;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

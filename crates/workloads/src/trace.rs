@@ -19,7 +19,13 @@ use vantage_cache::LineAddr;
 use crate::app::{AppGen, MemRef};
 
 /// Anything that can feed a simulated core with memory references.
-pub trait RefStream {
+///
+/// Every stream is a [`vantage_snapshot::Snapshot`] (enforced by the
+/// supertrait so `Box<dyn RefStream>` checkpoints without downcasts):
+/// generator state — RNG streams, cursors, replay positions — must
+/// round-trip so a resumed simulation sees the identical reference
+/// sequence it would have seen uninterrupted.
+pub trait RefStream: vantage_snapshot::Snapshot {
     /// Produces the next reference.
     fn next_ref(&mut self) -> MemRef;
 }
@@ -262,6 +268,28 @@ impl RefStream for TraceGen {
             self.loops += 1;
         }
         r
+    }
+}
+
+impl vantage_snapshot::Snapshot for TraceGen {
+    /// The trace contents are configuration (reloaded from the same file);
+    /// only the replay position and loop counter are run state.
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u64(self.pos as u64);
+        enc.put_u64(self.loops);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        let pos = dec.take_usize()?;
+        if pos >= self.refs.len() {
+            return Err(dec.invalid("replay position beyond the trace"));
+        }
+        self.loops = dec.take_u64()?;
+        self.pos = pos;
+        Ok(())
     }
 }
 

@@ -267,6 +267,25 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state, for checkpoint/restore.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a captured [`state`](Self::state).
+        /// An all-zero state is a fixed point of the generator, so it is
+        /// nudged exactly as [`SeedableRng::from_seed`] does.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                let mut seed = [0u8; 32];
+                seed.fill(0);
+                return Self::from_seed(seed);
+            }
+            Self { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         type Seed = [u8; 32];
 
