@@ -62,53 +62,64 @@ pub(crate) const EMPTY_LINE: u64 = u64::MAX;
 /// frame scratch handed to [`CacheArray::prefetch`].
 pub const MAX_PROBE_WAYS: usize = 8;
 
+/// Sentinel for "depth-0 node, no parent" in [`WalkNode`]'s packed parent
+/// index. Walks are far shorter than `u16::MAX` nodes (R ≤ 64 in every
+/// paper configuration), so a `u16` index always fits.
+const NO_PARENT: u16 = u16::MAX;
+
 /// One node of a replacement-candidate walk.
 ///
-/// Packed to 16 bytes (line and parent are stored sentinel-encoded rather
-/// than as `Option`s): the walk buffer is re-read by every stage of a
-/// replacement — candidate scan, victim selection, relocation — so halving
-/// the node size measurably cuts hot-path traffic.
+/// Packed to 8 bytes: the walk buffer is re-read by every stage of a
+/// replacement — candidate scan, victim selection, relocation — so keeping
+/// a whole Z4/52 walk in seven cache lines measurably cuts hot-path
+/// traffic. Instead of the resident line (which stages re-read from the
+/// array when they truly need it, i.e. almost never), the node carries an
+/// occupancy flag plus the frame's *way*, sparing the zcache BFS a
+/// `frame / bank_size` division per expanded parent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WalkNode {
-    /// The resident line, [`EMPTY_LINE`]-encoded.
-    line_raw: u64,
     /// The physical frame this candidate occupies.
     pub frame: Frame,
-    /// Parent index, [`INVALID_FRAME`]-encoded.
-    parent_raw: u32,
+    /// Parent index, [`NO_PARENT`]-encoded.
+    parent_raw: u16,
+    /// The way (bank) `frame` belongs to; 0 for arrays without way
+    /// structure.
+    way: u8,
+    /// 1 if the frame held a line when the walk was gathered.
+    occupied: u8,
 }
 
 impl WalkNode {
-    /// Builds a node from sentinel-encoded parts (array internals).
+    /// Builds a node for `frame` (resident in `way`, `occupied` or empty),
+    /// expanded from the walk node at index `parent`.
     #[inline]
-    pub(crate) fn from_raw(frame: Frame, line_raw: u64, parent_raw: u32) -> Self {
+    pub fn new(frame: Frame, occupied: bool, parent: Option<u32>, way: usize) -> Self {
+        debug_assert!(way <= u8::MAX as usize, "way index must fit in u8");
+        let parent_raw = match parent {
+            Some(p) => {
+                debug_assert!(p < u32::from(NO_PARENT), "parent index must fit in u16");
+                p as u16
+            }
+            None => NO_PARENT,
+        };
         Self {
-            line_raw,
             frame,
             parent_raw,
+            way: way as u8,
+            occupied: occupied as u8,
         }
     }
 
-    /// Builds a node for `frame` holding `line`, expanded from `parent`.
-    #[inline]
-    pub fn new(frame: Frame, line: Option<LineAddr>, parent: Option<u32>) -> Self {
-        Self {
-            line_raw: line.map_or(EMPTY_LINE, |l| l.0),
-            frame,
-            parent_raw: parent.unwrap_or(INVALID_FRAME),
-        }
-    }
-
-    /// The line currently stored there, or `None` for an empty frame.
-    #[inline]
-    pub fn line(&self) -> Option<LineAddr> {
-        (self.line_raw != EMPTY_LINE).then_some(LineAddr(self.line_raw))
-    }
-
-    /// Whether the candidate frame holds a line.
+    /// Whether the candidate frame held a line when the walk was gathered.
     #[inline]
     pub fn is_occupied(&self) -> bool {
-        self.line_raw != EMPTY_LINE
+        self.occupied != 0
+    }
+
+    /// The way (bank) the candidate frame belongs to.
+    #[inline]
+    pub fn way(&self) -> usize {
+        self.way as usize
     }
 
     /// Index (into [`Walk::nodes`]) of the parent node, or `None` at depth 0.
@@ -117,7 +128,7 @@ impl WalkNode {
     /// incoming line's own hash positions.
     #[inline]
     pub fn parent(&self) -> Option<u32> {
-        (self.parent_raw != INVALID_FRAME).then_some(self.parent_raw)
+        (self.parent_raw != NO_PARENT).then_some(u32::from(self.parent_raw))
     }
 }
 
@@ -333,13 +344,17 @@ mod tests {
     fn walk_helpers() {
         let mut w = Walk::with_capacity(4);
         assert!(w.is_empty());
-        w.nodes.push(WalkNode::new(0, Some(LineAddr(1)), None));
-        w.nodes.push(WalkNode::new(1, None, None));
-        w.nodes.push(WalkNode::new(2, Some(LineAddr(3)), Some(0)));
+        w.nodes.push(WalkNode::new(0, true, None, 0));
+        w.nodes.push(WalkNode::new(1, false, None, 1));
+        w.nodes.push(WalkNode::new(2, true, Some(0), 2));
         assert_eq!(w.len(), 3);
         assert_eq!(w.first_empty(), Some(1));
         let occ: Vec<usize> = w.occupied().map(|(i, _)| i).collect();
         assert_eq!(occ, vec![0, 2]);
+        assert_eq!(std::mem::size_of::<WalkNode>(), 8, "walk node stays packed");
+        assert_eq!(w.nodes[0].parent(), None);
+        assert_eq!(w.nodes[2].parent(), Some(0));
+        assert_eq!(w.nodes[2].way(), 2);
         w.clear();
         assert!(w.is_empty());
         assert_eq!(w.first_empty(), None);

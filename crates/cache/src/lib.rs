@@ -48,6 +48,7 @@ pub mod random_array;
 pub mod replacement;
 pub mod set_assoc;
 pub mod skew;
+pub mod tagmeta;
 pub mod zarray;
 
 pub use array::{
@@ -59,4 +60,5 @@ pub use replacement::lru::TsLru;
 pub use replacement::rrip::{RripConfig, RripMode, RripPolicy};
 pub use set_assoc::SetAssocArray;
 pub use skew::SkewArray;
+pub use tagmeta::{TagMeta, TAG_UNMANAGED};
 pub use zarray::ZArray;

@@ -27,7 +27,7 @@ use crate::array::{CacheArray, Frame, LineAddr, Walk, WalkNode};
 /// a.walk(LineAddr(3), &mut walk);
 /// // Cold array: the walk ends at the first empty frame it samples.
 /// assert_eq!(walk.len(), 1);
-/// assert!(walk.nodes[0].line().is_none());
+/// assert!(!walk.nodes[0].is_occupied());
 /// ```
 #[derive(Clone, Debug)]
 pub struct RandomArray {
@@ -92,7 +92,8 @@ impl CacheArray for RandomArray {
                 continue;
             }
             let line = self.lines[frame as usize];
-            walk.nodes.push(WalkNode::new(frame, line, None));
+            walk.nodes
+                .push(WalkNode::new(frame, line.is_some(), None, 0));
             if line.is_none() {
                 return; // empty frame: use it, as the real arrays do
             }
@@ -107,7 +108,11 @@ impl CacheArray for RandomArray {
         _moves: &mut Vec<(Frame, Frame)>,
     ) -> Frame {
         let node = walk.nodes[victim];
-        debug_assert_eq!(self.lines[node.frame as usize], node.line(), "stale walk");
+        debug_assert_eq!(
+            self.lines[node.frame as usize].is_some(),
+            node.is_occupied(),
+            "stale walk"
+        );
         if let Some(old) = self.lines[node.frame as usize] {
             self.map.remove(&old);
         }
@@ -216,7 +221,7 @@ mod tests {
         assert_eq!(a.occupancy(), 8);
         let newcomer = LineAddr(100);
         a.walk(newcomer, &mut walk);
-        let victim_line = walk.nodes[0].line().expect("full array");
+        let victim_line = a.occupant(walk.nodes[0].frame).expect("full array");
         a.install(newcomer, &walk, 0, &mut moves);
         assert_eq!(a.lookup(victim_line), None);
         assert!(a.lookup(newcomer).is_some());

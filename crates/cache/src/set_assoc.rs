@@ -4,7 +4,7 @@ use std::cell::Cell;
 
 use crate::array::{
     debug_check_walk, prefetch_slice, CacheArray, Frame, LineAddr, Walk, WalkNode, EMPTY_LINE,
-    INVALID_FRAME, MAX_PROBE_WAYS,
+    MAX_PROBE_WAYS,
 };
 use crate::hash::H3Hasher;
 
@@ -144,7 +144,7 @@ impl CacheArray for SetAssocArray {
             let frame = self.frame_of(set, w);
             let line = self.lines[frame as usize];
             walk.nodes
-                .push(WalkNode::from_raw(frame, line, INVALID_FRAME));
+                .push(WalkNode::new(frame, line != EMPTY_LINE, None, w as usize));
         }
         debug_check_walk(walk, self.ways as usize);
     }
@@ -161,7 +161,11 @@ impl CacheArray for SetAssocArray {
             "line address u64::MAX is reserved as the empty-frame sentinel"
         );
         let node = walk.nodes[victim];
-        debug_assert_eq!(self.occupant(node.frame), node.line(), "stale walk");
+        debug_assert_eq!(
+            self.occupant(node.frame).is_some(),
+            node.is_occupied(),
+            "stale walk"
+        );
         if self.lines[node.frame as usize] == EMPTY_LINE {
             self.occupancy += 1;
         }
@@ -288,7 +292,7 @@ mod tests {
         let newcomer = fill_addr(8);
         a.walk(newcomer, &mut walk);
         assert!(walk.first_empty().is_none());
-        let evicted = walk.nodes[2].line().unwrap();
+        let evicted = a.occupant(walk.nodes[2].frame).unwrap();
         a.install(newcomer, &walk, 2, &mut moves);
         assert_eq!(a.lookup(evicted), None);
         assert!(a.lookup(newcomer).is_some());

@@ -126,7 +126,7 @@ impl CacheArray for SkewArray {
             // across ways; no dedup needed.
             let line = self.lines[frame as usize];
             walk.nodes
-                .push(WalkNode::from_raw(frame, line, INVALID_FRAME));
+                .push(WalkNode::new(frame, line != EMPTY_LINE, None, w));
         }
         debug_check_walk(walk, ways);
     }
@@ -143,7 +143,11 @@ impl CacheArray for SkewArray {
             "line address u64::MAX is reserved as the empty-frame sentinel"
         );
         let node = walk.nodes[victim];
-        debug_assert_eq!(self.occupant(node.frame), node.line(), "stale walk");
+        debug_assert_eq!(
+            self.occupant(node.frame).is_some(),
+            node.is_occupied(),
+            "stale walk"
+        );
         if self.lines[node.frame as usize] == EMPTY_LINE {
             self.occupancy += 1;
         }

@@ -1,0 +1,242 @@
+//! Dense structure-of-arrays per-frame tag metadata.
+//!
+//! Partitioned caches extend every frame's tag with a partition ID and a
+//! small replacement stamp (an 8-bit coarse timestamp or an RRPV). Keeping
+//! those as an array-of-structs (`Vec<Tag { part, ts }>`) wastes a padding
+//! byte per frame and, worse, makes the demotion candidate scan read
+//! strided 4-byte records. [`TagMeta`] stores the two fields as separate
+//! contiguous lanes instead:
+//!
+//! * `parts: Vec<u16>` — the owning partition of each frame, with the
+//!   reserved sentinel [`TAG_UNMANAGED`] (`u16::MAX`) for lines in the
+//!   unmanaged region **and** for frames that have never been filled.
+//!   A never-filled frame is therefore distinguishable from a partition-0
+//!   line by its tag alone, which the scrub/audit paths rely on.
+//! * `ts: Vec<u8>` — the timestamp / RRPV lane.
+//!
+//! The lanes are exposed both element-wise (hot-path accessors, all
+//! `#[inline]`) and as whole slices, so candidate scans and scrub passes
+//! can run branchless, autovectorizable loops over contiguous `u16`/`u8`
+//! data. Snapshot encoding is left to the owning cache: the lanes
+//! serialize naturally as one `u16` slice plus one `u8` slice.
+
+use crate::array::{prefetch_slice, Frame};
+
+/// The reserved partition ID tagging unmanaged lines and never-filled
+/// frames. Valid partition IDs are `0..TAG_UNMANAGED`.
+pub const TAG_UNMANAGED: u16 = u16::MAX;
+
+/// Structure-of-arrays per-frame (partition ID, timestamp/RRPV) store.
+#[derive(Clone, Debug)]
+pub struct TagMeta {
+    parts: Vec<u16>,
+    ts: Vec<u8>,
+}
+
+impl TagMeta {
+    /// Creates a store for `frames` frames, every tag reset to the
+    /// never-filled state (`TAG_UNMANAGED`, stamp 0).
+    pub fn new(frames: usize) -> Self {
+        Self {
+            parts: vec![TAG_UNMANAGED; frames],
+            ts: vec![0; frames],
+        }
+    }
+
+    /// Number of frames covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the store covers zero frames.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The partition ID of frame `f`.
+    #[inline]
+    pub fn part(&self, f: usize) -> u16 {
+        self.parts[f]
+    }
+
+    /// The timestamp / RRPV of frame `f`.
+    #[inline]
+    pub fn ts(&self, f: usize) -> u8 {
+        self.ts[f]
+    }
+
+    /// Writes both lanes of frame `f`.
+    #[inline]
+    pub fn set(&mut self, f: usize, part: u16, ts: u8) {
+        self.parts[f] = part;
+        self.ts[f] = ts;
+    }
+
+    /// Writes only the partition lane of frame `f`.
+    #[inline]
+    pub fn set_part(&mut self, f: usize, part: u16) {
+        self.parts[f] = part;
+    }
+
+    /// Writes only the timestamp lane of frame `f`.
+    #[inline]
+    pub fn set_ts(&mut self, f: usize, ts: u8) {
+        self.ts[f] = ts;
+    }
+
+    /// Copies frame `from`'s tag into frame `to` (line relocation).
+    #[inline]
+    pub fn copy(&mut self, from: Frame, to: Frame) {
+        self.parts[to as usize] = self.parts[from as usize];
+        self.ts[to as usize] = self.ts[from as usize];
+    }
+
+    /// The whole partition lane.
+    #[inline]
+    pub fn parts(&self) -> &[u16] {
+        &self.parts
+    }
+
+    /// The whole timestamp lane.
+    #[inline]
+    pub fn ts_lane(&self) -> &[u8] {
+        &self.ts
+    }
+
+    /// Mutable partition lane (scrub / fault injection / restore).
+    #[inline]
+    pub fn parts_mut(&mut self) -> &mut [u16] {
+        &mut self.parts
+    }
+
+    /// Mutable timestamp lane (scrub / fault injection / restore).
+    #[inline]
+    pub fn ts_lane_mut(&mut self) -> &mut [u8] {
+        &mut self.ts
+    }
+
+    /// Replaces both lanes wholesale (snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lanes disagree with the store's frame count.
+    pub fn load_lanes(&mut self, parts: Vec<u16>, ts: Vec<u8>) {
+        assert_eq!(parts.len(), self.parts.len(), "partition lane length");
+        assert_eq!(ts.len(), self.ts.len(), "timestamp lane length");
+        self.parts = parts;
+        self.ts = ts;
+    }
+
+    /// Issues prefetch hints for frame `f`'s entries in both lanes.
+    #[inline]
+    pub fn prefetch(&self, f: usize) {
+        prefetch_slice(&self.parts, f);
+        prefetch_slice(&self.ts, f);
+    }
+
+    /// Pins lines of `part` whose stamp is exactly `aliasing_ts` one tick
+    /// behind it, i.e. at the maximum age of 255.
+    ///
+    /// Called right after a partition's coarse-timestamp clock advances to
+    /// `aliasing_ts` and *before* any line is stamped with the new value:
+    /// at that moment the only resident lines carrying `aliasing_ts` are
+    /// ones stamped a full 256 ticks ago, which the 8-bit age arithmetic
+    /// `current - ts` would otherwise alias to age 0 — back inside every
+    /// keep window, dodging demotion indefinitely. Re-stamping them to
+    /// `aliasing_ts + 1` reads as age 255 now and on every later tick
+    /// (each subsequent advance re-pins them), so truly stale lines stay
+    /// the oldest instead of the youngest.
+    ///
+    /// The loop is a branchless pass over the two lanes and vectorizes;
+    /// clocks tick once per `size/16` accesses, so the amortized cost per
+    /// access is a small fraction of a lane sweep.
+    ///
+    /// Returns how many frames were pinned, so callers maintaining stamp
+    /// histograms can move the affected entries without a rescan.
+    pub fn clamp_stale(&mut self, part: u16, aliasing_ts: u8) -> usize {
+        let pinned = aliasing_ts.wrapping_add(1);
+        let mut count = 0usize;
+        for (p, t) in self.parts.iter().zip(self.ts.iter_mut()) {
+            let hit = (*p == part) & (*t == aliasing_ts);
+            count += usize::from(hit);
+            *t = if hit { pinned } else { *t };
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_store_is_unmanaged_everywhere() {
+        let m = TagMeta::new(8);
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+        for f in 0..8 {
+            assert_eq!(
+                m.part(f),
+                TAG_UNMANAGED,
+                "frame {f} must default to the sentinel"
+            );
+            assert_eq!(m.ts(f), 0);
+        }
+    }
+
+    #[test]
+    fn set_and_copy_move_both_lanes() {
+        let mut m = TagMeta::new(4);
+        m.set(1, 7, 42);
+        assert_eq!((m.part(1), m.ts(1)), (7, 42));
+        m.copy(1, 3);
+        assert_eq!((m.part(3), m.ts(3)), (7, 42));
+        m.set_part(3, 2);
+        m.set_ts(3, 9);
+        assert_eq!((m.part(3), m.ts(3)), (2, 9));
+        assert_eq!((m.part(1), m.ts(1)), (7, 42), "source unchanged");
+    }
+
+    #[test]
+    fn clamp_stale_pins_only_matching_lines() {
+        let mut m = TagMeta::new(6);
+        m.set(0, 3, 10); // target partition, aliasing stamp -> pinned
+        m.set(1, 3, 11); // target partition, other stamp -> untouched
+        m.set(2, 5, 10); // other partition, aliasing stamp -> untouched
+        m.set(3, 3, 10); // target partition, aliasing stamp -> pinned
+        m.set(4, TAG_UNMANAGED, 10); // unmanaged -> untouched here
+        assert_eq!(m.clamp_stale(3, 10), 2, "two lines of partition 3 pinned");
+        assert_eq!(m.ts(0), 11);
+        assert_eq!(m.ts(1), 11);
+        assert_eq!(m.ts(2), 10);
+        assert_eq!(m.ts(3), 11);
+        assert_eq!(m.ts(4), 10);
+        // The unmanaged domain clamps with the sentinel as the partition.
+        assert_eq!(m.clamp_stale(TAG_UNMANAGED, 10), 1);
+        assert_eq!(m.ts(4), 11);
+    }
+
+    #[test]
+    fn clamp_stale_wraps_at_the_domain_edge() {
+        let mut m = TagMeta::new(1);
+        m.set(0, 0, 255);
+        assert_eq!(m.clamp_stale(0, 255), 1);
+        assert_eq!(m.ts(0), 0, "pin wraps modulo 256");
+    }
+
+    #[test]
+    fn load_lanes_replaces_contents() {
+        let mut m = TagMeta::new(3);
+        m.load_lanes(vec![1, 2, TAG_UNMANAGED], vec![9, 8, 7]);
+        assert_eq!(m.parts(), &[1, 2, TAG_UNMANAGED]);
+        assert_eq!(m.ts_lane(), &[9, 8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition lane length")]
+    fn load_lanes_rejects_wrong_length() {
+        TagMeta::new(3).load_lanes(vec![0; 2], vec![0; 3]);
+    }
+}

@@ -212,7 +212,7 @@ impl CacheArray for ZArray {
             self.seen[frame as usize] = self.epoch;
             let line = self.lines[frame as usize];
             walk.nodes
-                .push(WalkNode::from_raw(frame, line, INVALID_FRAME));
+                .push(WalkNode::new(frame, line != EMPTY_LINE, None, w));
             if line == EMPTY_LINE {
                 return;
             }
@@ -221,15 +221,13 @@ impl CacheArray for ZArray {
         // BFS expansion: each occupied node contributes its line's
         // alternative positions in the other ways — read from the position
         // memo (one contiguous load per parent) when maintained, falling
-        // back to `W - 1` H3 hashes when not.
+        // back to `W - 1` H3 hashes when not. The parent's way comes from
+        // the node itself, not a `frame / bank_size` division.
         let mut cursor = 0;
         while walk.nodes.len() < self.max_candidates && cursor < walk.nodes.len() {
             let parent = walk.nodes[cursor];
-            let line = match parent.line() {
-                Some(l) => l,
-                None => break, // unreachable: empty nodes end the walk below
-            };
-            let parent_way = self.way_of(parent.frame);
+            debug_assert!(parent.is_occupied(), "empty nodes end the walk below");
+            let parent_way = parent.way();
             let base = parent.frame as usize * ways;
             for w in 0..ways {
                 if w == parent_way {
@@ -238,15 +236,19 @@ impl CacheArray for ZArray {
                 let frame = if self.pos_ok {
                     w as u32 * self.bank_size + u32::from(self.pos[base + w])
                 } else {
-                    self.frame_in_way(line, w)
+                    self.frame_in_way(LineAddr(self.lines[parent.frame as usize]), w)
                 };
                 if self.seen[frame as usize] == self.epoch {
                     continue; // duplicate frame, already a candidate
                 }
                 self.seen[frame as usize] = self.epoch;
                 let occupant = self.lines[frame as usize];
-                walk.nodes
-                    .push(WalkNode::from_raw(frame, occupant, cursor as u32));
+                walk.nodes.push(WalkNode::new(
+                    frame,
+                    occupant != EMPTY_LINE,
+                    Some(cursor as u32),
+                    w,
+                ));
                 if occupant == EMPTY_LINE || walk.nodes.len() == self.max_candidates {
                     debug_check_walk(walk, ways);
                     return;
@@ -270,8 +272,8 @@ impl CacheArray for ZArray {
         );
         let victim_node = walk.nodes[victim];
         debug_assert_eq!(
-            self.occupant(victim_node.frame),
-            victim_node.line(),
+            self.occupant(victim_node.frame).is_some(),
+            victim_node.is_occupied(),
             "stale walk passed to install"
         );
         if !victim_node.is_occupied() {
@@ -344,13 +346,17 @@ impl CacheArray for ZArray {
             return; // no memo: expanding would cost W-1 hashes per frame
         }
         let ways = self.hashers.len();
-        for &f in frames {
+        // The only producer of `frames` is `prefetch`, which writes the
+        // depth-0 probe frames in way order — in that case the index *is*
+        // the way, sparing a division per frame.
+        let way_ordered = frames.len() == ways;
+        for (i, &f) in frames.iter().enumerate() {
             if f == INVALID_FRAME || self.lines[f as usize] == EMPTY_LINE {
                 continue;
             }
             // Mirror the walk's expansion: the occupant's alternative
             // positions in every other way, read from the (warm) memo row.
-            let own = self.way_of(f);
+            let own = if way_ordered { i } else { self.way_of(f) };
             let base = f as usize * ways;
             for w in 0..ways {
                 if w == own {
@@ -512,6 +518,11 @@ mod tests {
             depth.windows(2).all(|w| w[0] <= w[1]),
             "walk is breadth-first"
         );
+        // Each node carries the way its frame belongs to (the BFS relies on
+        // this instead of dividing by the bank size).
+        for n in &walk.nodes {
+            assert_eq!(n.way(), (n.frame / a.bank_size) as usize);
+        }
     }
 
     #[test]
@@ -565,7 +576,7 @@ mod tests {
             let mut v = Vec::new();
             let mut i = victim;
             while let Some(p) = walk.nodes[i].parent() {
-                v.push(walk.nodes[p as usize].line().unwrap());
+                v.push(a.occupant(walk.nodes[p as usize].frame).unwrap());
                 i = p as usize;
             }
             v
@@ -586,7 +597,7 @@ mod tests {
         a.walk(LineAddr(1), &mut walk);
         // Cold array: the very first candidate is empty.
         assert_eq!(walk.len(), 1);
-        assert!(walk.nodes[0].line().is_none());
+        assert!(!walk.nodes[0].is_occupied());
     }
 
     #[test]

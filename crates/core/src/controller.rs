@@ -228,11 +228,22 @@ impl PartitionState {
     /// coarse-timestamp scheme's own resolution, and the access hot path
     /// sheds a division.
     pub fn on_access(&mut self) -> u8 {
-        if self.lru.on_access() {
+        self.on_access_advanced().0
+    }
+
+    /// Like [`Self::on_access`], but also reports whether the coarse
+    /// clock ticked on this access. The tick is the moment resident lines
+    /// stamped a full 256 ticks ago start aliasing into age 0; callers
+    /// must pin those stamps (see `TagMeta::clamp_stale`) before any line
+    /// is stamped with the new current value, or stale lines re-enter the
+    /// keep window and dodge demotion indefinitely.
+    pub fn on_access_advanced(&mut self) -> (u8, bool) {
+        let advanced = self.lru.on_access();
+        if advanced {
             self.setpoint = self.setpoint.wrapping_add(1);
             self.lru.set_period_for_size(self.actual.max(16));
         }
-        self.lru.current()
+        (self.lru.current(), advanced)
     }
 
     /// Meters one candidate seen (`demoted` says whether it was demoted).

@@ -7,7 +7,7 @@
 //! Fig. 6b. Partition IDs are still tracked so experiments can observe how
 //! free-for-all sharing divides capacity, but targets are ignored.
 
-use vantage_cache::{CacheArray, Frame, RripConfig, RripPolicy, Walk};
+use vantage_cache::{CacheArray, Frame, RripConfig, RripPolicy, TagMeta, Walk, TAG_UNMANAGED};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
@@ -23,8 +23,10 @@ pub enum RankPolicy {
 }
 
 enum RankState {
+    /// Exact LRU needs full-width clocks; the shared stamp lane is unused.
     Lru { last: Vec<u64>, clock: u64 },
-    Rrip { policy: RripPolicy, rrpv: Vec<u8> },
+    /// RRPVs live in the shared [`TagMeta`] stamp lane.
+    Rrip { policy: RripPolicy },
 }
 
 /// An unpartitioned shared cache.
@@ -45,8 +47,11 @@ enum RankState {
 pub struct BaselineLlc {
     array: Box<dyn CacheArray>,
     rank: RankState,
-    /// Which partition inserted the line in each frame (stats only).
-    owner: Vec<u16>,
+    /// Per-frame tag lanes shared with the Vantage core: the partition lane
+    /// records which partition inserted each line (stats only,
+    /// [`TAG_UNMANAGED`] for never-filled frames); the stamp lane carries
+    /// RRPVs under [`RankState::Rrip`] and is unused under LRU.
+    meta: TagMeta,
     part_lines: Vec<u64>,
     stats: LlcStats,
     walk: Walk,
@@ -98,7 +103,6 @@ impl BaselineLlc {
             RankPolicy::Rrip(cfg) => (
                 RankState::Rrip {
                     policy: RripPolicy::new(cfg),
-                    rrpv: vec![0; frames],
                 },
                 "Baseline-RRIP",
             ),
@@ -106,7 +110,7 @@ impl BaselineLlc {
         Ok(Self {
             array,
             rank,
-            owner: vec![0; frames],
+            meta: TagMeta::new(frames),
             part_lines: vec![0; partitions],
             stats: LlcStats::new(partitions),
             walk: Walk::with_capacity(64),
@@ -145,8 +149,8 @@ impl BaselineLlc {
                 *clock += 1;
                 last[frame as usize] = *clock;
             }
-            RankState::Rrip { policy, rrpv } => {
-                rrpv[frame as usize] = policy.hit_rrpv();
+            RankState::Rrip { policy } => {
+                self.meta.set_ts(frame as usize, policy.hit_rrpv());
             }
         }
     }
@@ -164,19 +168,20 @@ impl BaselineLlc {
                 .min_by_key(|(_, n)| last[n.frame as usize])
                 .map(|(i, _)| i)
                 .expect("walk non-empty"),
-            RankState::Rrip { policy, rrpv } => {
+            RankState::Rrip { policy } => {
                 let cands: Vec<u8> = self
                     .walk
                     .nodes
                     .iter()
-                    .map(|n| rrpv[n.frame as usize])
+                    .map(|n| self.meta.ts(n.frame as usize))
                     .collect();
                 let (victim, aging) = policy.select_victim(&cands);
                 if aging > 0 {
                     let max = policy.max_rrpv();
                     for n in &self.walk.nodes {
-                        let v = &mut rrpv[n.frame as usize];
-                        *v = v.saturating_add(aging).min(max);
+                        let f = n.frame as usize;
+                        let v = self.meta.ts(f);
+                        self.meta.set_ts(f, v.saturating_add(aging).min(max));
                     }
                 }
                 victim
@@ -207,7 +212,7 @@ impl Llc for BaselineLlc {
         if evicted {
             self.stats.evictions += 1;
             let vf = self.walk.nodes[victim].frame as usize;
-            let vowner = self.owner[vf];
+            let vowner = self.meta.part(vf);
             self.part_lines[vowner as usize] -= 1;
             self.tele.event(TelemetryEvent::Eviction {
                 access: self.accesses,
@@ -221,23 +226,24 @@ impl Llc for BaselineLlc {
             let walk = &self.walk;
             self.array.install(addr, walk, victim, &mut self.moves)
         };
-        // Relocate per-frame metadata along with the moved lines.
+        // Relocate per-frame metadata along with the moved lines (both tag
+        // lanes move together; LRU clocks ride in their own lane).
         for &(from, to) in &self.moves {
-            self.owner[to as usize] = self.owner[from as usize];
-            match &mut self.rank {
-                RankState::Lru { last, .. } => last[to as usize] = last[from as usize],
-                RankState::Rrip { rrpv, .. } => rrpv[to as usize] = rrpv[from as usize],
+            self.meta.copy(from, to);
+            if let RankState::Lru { last, .. } = &mut self.rank {
+                last[to as usize] = last[from as usize];
             }
         }
-        self.owner[landing as usize] = part as u16;
+        self.meta.set_part(landing as usize, part as u16);
         self.part_lines[part] += 1;
         match &mut self.rank {
             RankState::Lru { last, clock } => {
                 *clock += 1;
                 last[landing as usize] = *clock;
             }
-            RankState::Rrip { policy, rrpv } => {
-                rrpv[landing as usize] = policy.insertion_rrpv(part, addr);
+            RankState::Rrip { policy } => {
+                let v = policy.insertion_rrpv(part, addr);
+                self.meta.set_ts(landing as usize, v);
             }
         }
         AccessOutcome::Miss
@@ -300,13 +306,13 @@ impl vantage_snapshot::Snapshot for BaselineLlc {
                 enc.put_u64_slice(last);
                 enc.put_u64(*clock);
             }
-            RankState::Rrip { policy, rrpv } => {
+            RankState::Rrip { policy } => {
                 enc.put_u8(1);
                 policy.save_state(enc);
-                enc.put_u8_slice(rrpv);
+                enc.put_u8_slice(self.meta.ts_lane());
             }
         }
-        enc.put_u16_slice(&self.owner);
+        enc.put_u16_slice(self.meta.parts());
         enc.put_u64_slice(&self.part_lines);
         self.stats.save_state(enc);
         enc.put_u64(self.accesses);
@@ -318,7 +324,7 @@ impl vantage_snapshot::Snapshot for BaselineLlc {
         &mut self,
         dec: &mut vantage_snapshot::Decoder<'_>,
     ) -> vantage_snapshot::Result<()> {
-        let frames = self.owner.len();
+        let frames = self.meta.len();
         let partitions = self.part_lines.len();
         let tag = dec.take_u8()?;
         enum RankLoad {
@@ -352,7 +358,13 @@ impl vantage_snapshot::Snapshot for BaselineLlc {
         if owner.len() != frames {
             return Err(dec.mismatch("owner map length differs from frame count"));
         }
-        if owner.iter().any(|&o| o as usize >= partitions) {
+        // v2 snapshots mark never-filled frames with the [`TAG_UNMANAGED`]
+        // sentinel; v1 snapshots left them at owner 0. Both pass here, and
+        // the normalization below makes them indistinguishable afterwards.
+        if owner
+            .iter()
+            .any(|&o| o != TAG_UNMANAGED && o as usize >= partitions)
+        {
             return Err(dec.invalid("frame owner beyond partition count"));
         }
         let part_lines = dec.take_u64_vec()?;
@@ -367,11 +379,23 @@ impl vantage_snapshot::Snapshot for BaselineLlc {
             (RankLoad::Lru(last, clock), RankState::Lru { last: l, clock: c }) => {
                 *l = last;
                 *c = clock;
+                self.meta.load_lanes(owner, vec![0u8; frames]);
             }
-            (RankLoad::Rrip(rrpv), RankState::Rrip { rrpv: r, .. }) => *r = rrpv,
+            (RankLoad::Rrip(rrpv), RankState::Rrip { .. }) => {
+                self.meta.load_lanes(owner, rrpv);
+            }
             _ => unreachable!("tag validated against variant above"),
         }
-        self.owner = owner;
+        // Normalize unoccupied frames to the sentinel convention so a v1
+        // snapshot restores into exactly the state a fresh v2 run would
+        // have. Occupied frames must carry a real partition ID.
+        for f in 0..frames {
+            if self.array.occupant(f as u32).is_none() {
+                self.meta.set(f, TAG_UNMANAGED, 0);
+            } else if self.meta.part(f) == TAG_UNMANAGED {
+                return Err(dec.invalid("occupied frame without an owner"));
+            }
+        }
         self.part_lines = part_lines;
         self.accesses = accesses;
         Ok(())

@@ -22,7 +22,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vantage_cache::{CacheArray, SetAssocArray, Walk};
+use vantage_cache::{CacheArray, SetAssocArray, TagMeta, Walk, TAG_UNMANAGED};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
@@ -69,11 +69,13 @@ pub struct PippLlc {
     /// Per-set priority chains: `chain[set*ways + pos]` is the way at
     /// position `pos` (0 = LRU end).
     chain: Vec<u8>,
-    /// Inverse map: `pos_of[frame]` is the chain position of that frame.
-    pos_of: Vec<u8>,
+    /// Per-frame tag lanes shared with the Vantage core: the partition lane
+    /// holds each line's inserting partition ([`TAG_UNMANAGED`] for
+    /// never-filled frames), the stamp lane the inverse chain map
+    /// (`meta.ts(frame)` is the frame's chain position).
+    meta: TagMeta,
     alloc: Vec<u32>,
     streaming: Vec<bool>,
-    owner: Vec<u16>,
     part_lines: Vec<u64>,
     /// Interval counters for stream classification.
     interval_hits: Vec<u64>,
@@ -127,14 +129,17 @@ impl PippLlc {
         for _ in 0..sets {
             chain.extend(0..ways as u8);
         }
+        let mut meta = TagMeta::new(frames);
+        for f in 0..frames {
+            meta.set_ts(f, (f % ways) as u8);
+        }
         let mut llc = Self {
             array,
             ways: ways as u32,
             chain,
-            pos_of: (0..frames).map(|f| (f % ways) as u8).collect(),
+            meta,
             alloc: vec![0; partitions],
             streaming: vec![false; partitions],
-            owner: vec![0; frames],
             part_lines: vec![0; partitions],
             interval_hits: vec![0; partitions],
             interval_misses: vec![0; partitions],
@@ -154,7 +159,7 @@ impl PippLlc {
     /// in lines. PIPP has no apertures or setpoints, so those report 0.
     #[cold]
     fn emit_samples(&mut self) {
-        let lines_per_way = (self.owner.len() / self.ways as usize) as u64;
+        let lines_per_way = (self.meta.len() / self.ways as usize) as u64;
         for part in 0..self.part_lines.len() {
             self.tele.sample(PartitionSample {
                 access: self.accesses,
@@ -208,7 +213,7 @@ impl PippLlc {
         let span: Vec<u8> = chain[lo..=hi].to_vec();
         for (off, &w) in span.iter().enumerate() {
             let frame = set * ways + u32::from(w);
-            self.pos_of[frame as usize] = (lo + off) as u8;
+            self.meta.set_ts(frame as usize, (lo + off) as u8);
         }
     }
 
@@ -256,13 +261,13 @@ impl Llc for PippLlc {
             self.stats.hits[part] += 1;
             self.interval_hits[part] += 1;
             // Single-step probabilistic promotion.
-            let p = if self.streaming[self.owner[frame as usize] as usize] {
+            let p = if self.streaming[self.meta.part(frame as usize) as usize] {
                 self.cfg.p_stream
             } else {
                 self.cfg.p_prom
             };
             if self.rng.gen_bool(p) {
-                let pos = self.pos_of[frame as usize] as usize;
+                let pos = self.meta.ts(frame as usize) as usize;
                 if pos + 1 < self.ways as usize {
                     let set = frame / self.ways;
                     let way = (frame % self.ways) as u8;
@@ -290,7 +295,7 @@ impl Llc for PippLlc {
         let vnode = walk.nodes[victim_way as usize];
         if vnode.is_occupied() {
             self.stats.evictions += 1;
-            let vowner = self.owner[vnode.frame as usize];
+            let vowner = self.meta.part(vnode.frame as usize);
             self.part_lines[vowner as usize] -= 1;
             self.tele.event(TelemetryEvent::Eviction {
                 access: self.accesses,
@@ -305,7 +310,7 @@ impl Llc for PippLlc {
                 .install(addr, walk, victim_way as usize, &mut moves)
         };
         debug_assert!(moves.is_empty());
-        self.owner[landing as usize] = part as u16;
+        self.meta.set_part(landing as usize, part as u16);
         self.part_lines[part] += 1;
         let pos = self.insert_position(part);
         self.reposition(set, victim_way, pos);
@@ -317,7 +322,7 @@ impl Llc for PippLlc {
     }
 
     fn capacity(&self) -> usize {
-        self.owner.len()
+        self.meta.len()
     }
 
     fn set_targets(&mut self, targets: &[u64]) {
@@ -386,7 +391,7 @@ impl vantage_snapshot::Snapshot for PippLlc {
         for &s in &self.streaming {
             enc.put_bool(s);
         }
-        enc.put_u16_slice(&self.owner);
+        enc.put_u16_slice(self.meta.parts());
         enc.put_u64_slice(&self.part_lines);
         enc.put_u64_slice(&self.interval_hits);
         enc.put_u64_slice(&self.interval_misses);
@@ -403,7 +408,7 @@ impl vantage_snapshot::Snapshot for PippLlc {
         &mut self,
         dec: &mut vantage_snapshot::Decoder<'_>,
     ) -> vantage_snapshot::Result<()> {
-        let frames = self.owner.len();
+        let frames = self.meta.len();
         let partitions = self.part_lines.len();
         let ways = self.ways as usize;
         let chain = dec.take_u8_vec()?;
@@ -446,7 +451,13 @@ impl vantage_snapshot::Snapshot for PippLlc {
         {
             return Err(dec.mismatch("per-partition metadata lengths differ"));
         }
-        if owner.iter().any(|&o| o as usize >= partitions) {
+        // v2 snapshots mark never-filled frames with the [`TAG_UNMANAGED`]
+        // sentinel; v1 snapshots left them at owner 0. Both pass here, and
+        // the normalization below makes them indistinguishable afterwards.
+        if owner
+            .iter()
+            .any(|&o| o != TAG_UNMANAGED && o as usize >= partitions)
+        {
             return Err(dec.invalid("frame owner beyond partition count"));
         }
         let mut rng_state = [0u64; 4];
@@ -458,10 +469,20 @@ impl vantage_snapshot::Snapshot for PippLlc {
         self.tele.load_state(dec)?;
         self.array.load_state(dec)?;
         self.chain = chain;
-        self.pos_of = pos_of;
+        self.meta.load_lanes(owner, pos_of);
+        // Normalize unoccupied frames to the sentinel convention so a v1
+        // snapshot restores into exactly the state a fresh v2 run would
+        // have (the chain position in the stamp lane stays meaningful for
+        // empty frames and is left untouched).
+        for f in 0..frames {
+            if self.array.occupant(f as u32).is_none() {
+                self.meta.set_part(f, TAG_UNMANAGED);
+            } else if self.meta.part(f) == TAG_UNMANAGED {
+                return Err(dec.invalid("occupied frame without an owner"));
+            }
+        }
         self.alloc = alloc;
         self.streaming = streaming;
-        self.owner = owner;
         self.part_lines = part_lines;
         self.interval_hits = interval_hits;
         self.interval_misses = interval_misses;
@@ -496,7 +517,7 @@ mod tests {
                 assert!(!seen[w], "way {w} duplicated in set {set}");
                 seen[w] = true;
                 let frame = set * ways + w;
-                assert_eq!(llc.pos_of[frame] as usize, pos, "pos_of out of sync");
+                assert_eq!(llc.meta.ts(frame) as usize, pos, "pos_of out of sync");
             }
         }
     }

@@ -12,7 +12,7 @@
 //! owner are evicted only as the new owner misses into each set, which
 //! reproduces the slow target-tracking the paper observes in Fig. 8a.
 
-use vantage_cache::{SetAssocArray, TsLru};
+use vantage_cache::{SetAssocArray, TagMeta, TsLru, TAG_UNMANAGED};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
@@ -89,12 +89,13 @@ pub struct WayPartLlc {
     /// Exact-LRU clocks per frame.
     last: Vec<u64>,
     clock: u64,
-    /// Partition that inserted each frame's line.
-    owner: Vec<u16>,
+    /// Per-frame tag lanes shared with the Vantage core: the partition
+    /// lane holds the inserting partition ([`TAG_UNMANAGED`] for
+    /// never-filled frames), the stamp lane the probe's coarse timestamps.
+    meta: TagMeta,
     part_lines: Vec<u64>,
     stats: LlcStats,
     probe: Option<PriorityProbe>,
-    probe_ts: Vec<u8>,
     tele: Telemetry,
     accesses: u64,
 }
@@ -138,11 +139,10 @@ impl WayPartLlc {
             alloc: vec![0; partitions],
             last: vec![0; frames],
             clock: 0,
-            owner: vec![0; frames],
+            meta: TagMeta::new(frames),
             part_lines: vec![0; partitions],
             stats: LlcStats::new(partitions),
             probe: None,
-            probe_ts: vec![0; frames],
             tele: Telemetry::disabled(),
             accesses: 0,
         };
@@ -249,14 +249,14 @@ impl Llc for WayPartLlc {
                 // The line is re-stamped under its *owner's* clock domain;
                 // owner and accessor coincide except right after releasing a
                 // way, when hitting another partition's leftover line.
-                let owner = self.owner[frame as usize] as usize;
+                let owner = self.meta.part(frame as usize) as usize;
                 let ts = if owner == part {
                     ts
                 } else {
                     pr.lru[owner].current()
                 };
-                pr.stamp_hit(owner, self.probe_ts[frame as usize], ts);
-                self.probe_ts[frame as usize] = ts;
+                pr.stamp_hit(owner, self.meta.ts(frame as usize), ts);
+                self.meta.set_ts(frame as usize, ts);
             }
             self.stats.hits[part] += 1;
             return AccessOutcome::Hit;
@@ -273,25 +273,21 @@ impl Llc for WayPartLlc {
             if self.way_owner[i] as usize != part {
                 continue;
             }
-            match node.line() {
-                None => {
-                    victim = Some(i);
-                    break;
-                }
-                Some(_) => {
-                    let l = self.last[node.frame as usize];
-                    if l < best {
-                        best = l;
-                        victim = Some(i);
-                    }
-                }
+            if !node.is_occupied() {
+                victim = Some(i);
+                break;
+            }
+            let l = self.last[node.frame as usize];
+            if l < best {
+                best = l;
+                victim = Some(i);
             }
         }
         let victim = victim.expect("every partition owns at least one way");
         let vnode = walk.nodes[victim];
         if vnode.is_occupied() {
             self.stats.evictions += 1;
-            let vowner = self.owner[vnode.frame as usize] as usize;
+            let vowner = self.meta.part(vnode.frame as usize) as usize;
             self.part_lines[vowner] -= 1;
             self.tele.event(TelemetryEvent::Eviction {
                 access: self.accesses,
@@ -299,19 +295,19 @@ impl Llc for WayPartLlc {
                 forced: false,
             });
             if let Some(pr) = self.probe.as_mut() {
-                pr.record_evict(self.accesses, vowner, self.probe_ts[vnode.frame as usize]);
+                pr.record_evict(self.accesses, vowner, self.meta.ts(vnode.frame as usize));
             }
         }
         let mut moves = Vec::new();
         let landing = self.array.install(addr, &walk, victim, &mut moves);
         debug_assert!(moves.is_empty(), "set-associative arrays never relocate");
-        self.owner[landing as usize] = part as u16;
+        self.meta.set_part(landing as usize, part as u16);
         self.part_lines[part] += 1;
         self.clock += 1;
         self.last[landing as usize] = self.clock;
         if let (Some(pr), Some(ts)) = (self.probe.as_mut(), probe_ts) {
             pr.stamp_insert(part, ts);
-            self.probe_ts[landing as usize] = ts;
+            self.meta.set_ts(landing as usize, ts);
         }
         AccessOutcome::Miss
     }
@@ -366,11 +362,11 @@ impl vantage_snapshot::Snapshot for WayPartLlc {
         enc.put_u32_slice(&self.alloc);
         enc.put_u64_slice(&self.last);
         enc.put_u64(self.clock);
-        enc.put_u16_slice(&self.owner);
+        enc.put_u16_slice(self.meta.parts());
         enc.put_u64_slice(&self.part_lines);
         self.stats.save_state(enc);
         enc.put_u64(self.accesses);
-        enc.put_u8_slice(&self.probe_ts);
+        enc.put_u8_slice(self.meta.ts_lane());
         match &self.probe {
             None => enc.put_bool(false),
             Some(pr) => {
@@ -397,7 +393,7 @@ impl vantage_snapshot::Snapshot for WayPartLlc {
         dec: &mut vantage_snapshot::Decoder<'_>,
     ) -> vantage_snapshot::Result<()> {
         use vantage_cache::CacheArray;
-        let frames = self.owner.len();
+        let frames = self.meta.len();
         let partitions = self.part_lines.len();
         let way_owner = dec.take_u16_vec()?;
         if way_owner.len() != self.way_owner.len() {
@@ -420,7 +416,13 @@ impl vantage_snapshot::Snapshot for WayPartLlc {
         if last.len() != frames || owner.len() != frames || part_lines.len() != partitions {
             return Err(dec.mismatch("frame metadata lengths differ"));
         }
-        if owner.iter().any(|&o| o as usize >= partitions) {
+        // v2 snapshots mark never-filled frames with the [`TAG_UNMANAGED`]
+        // sentinel; v1 snapshots left them at owner 0. Both pass here, and
+        // the normalization below makes them indistinguishable afterwards.
+        if owner
+            .iter()
+            .any(|&o| o != TAG_UNMANAGED && o as usize >= partitions)
+        {
             return Err(dec.invalid("frame owner beyond partition count"));
         }
         self.stats.load_state(dec)?;
@@ -457,17 +459,27 @@ impl vantage_snapshot::Snapshot for WayPartLlc {
         self.alloc = alloc;
         self.last = last;
         self.clock = clock;
-        self.owner = owner;
+        self.meta.load_lanes(owner, probe_ts);
         self.part_lines = part_lines;
         self.accesses = accesses;
-        self.probe_ts = probe_ts;
         self.probe = probe;
+        // Normalize unoccupied frames to the sentinel convention so a v1
+        // snapshot (owner 0 on never-filled frames) restores into exactly
+        // the state a fresh v2 run would have. Occupied frames are checked
+        // above to carry a real partition ID.
+        for f in 0..frames {
+            if self.array.occupant(f as u32).is_none() {
+                self.meta.set(f, TAG_UNMANAGED, 0);
+            } else if self.meta.part(f) == TAG_UNMANAGED {
+                return Err(dec.invalid("occupied frame without an owner"));
+            }
+        }
         if let Some(pr) = self.probe.as_mut() {
             // Rebuild the per-partition histograms from the restored lines:
             // a histogram is exactly "the multiset of resident stamps".
             for f in 0..frames {
                 if self.array.occupant(f as u32).is_some() {
-                    pr.hist[self.owner[f] as usize].add(self.probe_ts[f]);
+                    pr.hist[self.meta.part(f) as usize].add(self.meta.ts(f));
                 }
             }
         }

@@ -29,12 +29,24 @@
 //!   [CRC-32 (IEEE) of payload, u32 LE]
 //! ```
 //!
-//! Versioning rule: readers accept exactly [`FORMAT_VERSION`]. Any
-//! change to section payload encodings bumps the version; old files are
-//! then rejected with [`SnapshotError::UnsupportedVersion`] rather than
-//! misread. Unknown *extra* sections in a current-version file are
-//! ignored, so writers may add sections without a version bump as long
-//! as existing payloads are unchanged.
+//! Versioning rule: writers emit [`FORMAT_VERSION`]; readers accept the
+//! closed range [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`]. Any
+//! change to section payload encodings bumps the version; files newer
+//! than this build are rejected with [`SnapshotError::UnsupportedVersion`]
+//! rather than misread, while older supported versions are migrated on
+//! load (consumers query [`SnapshotReader::version`] when they care).
+//! Version history:
+//!
+//! * **v1** — original format. Per-frame partition tags use owner 0 for
+//!   never-filled frames.
+//! * **v2** — tag metadata is stored as dense SoA lanes; never-filled
+//!   frames carry the explicit unmanaged sentinel (`u16::MAX`) in the
+//!   partition lane. Payload bytes are otherwise identical to v1, and
+//!   v1 files restore by normalizing unoccupied frames on load.
+//!
+//! Unknown *extra* sections in a current-version file are ignored, so
+//! writers may add sections without a version bump as long as existing
+//! payloads are unchanged.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -44,8 +56,12 @@ use std::path::Path;
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"VNTGSNAP";
 
-/// The current (and only supported) format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this build writes.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version this build still reads (older payloads are
+/// migrated on load — see the module-level version history).
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Hard ceiling on a single section payload (1 GiB). A hostile length
 /// prefix larger than this is reported as malformed instead of being
@@ -65,7 +81,8 @@ pub enum SnapshotError {
     Io(std::io::Error),
     /// The file does not start with [`MAGIC`] — not a snapshot at all.
     BadMagic,
-    /// The file's format version is not [`FORMAT_VERSION`].
+    /// The file's format version is outside
+    /// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`].
     UnsupportedVersion {
         /// Version found in the file header.
         found: u32,
@@ -607,6 +624,7 @@ impl SnapshotWriter {
 /// `SnapshotReader` that exists at all is structurally sound.
 #[derive(Debug)]
 pub struct SnapshotReader {
+    version: u32,
     sections: BTreeMap<String, Vec<u8>>,
 }
 
@@ -629,7 +647,7 @@ impl SnapshotReader {
         let version = d.take_u32().map_err(|_| SnapshotError::Truncated {
             context: "file header".into(),
         })?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -684,7 +702,14 @@ impl SnapshotReader {
                 context: format!("{} bytes of trailing garbage after sections", d.remaining()),
             });
         }
-        Ok(Self { sections })
+        Ok(Self { version, sections })
+    }
+
+    /// The format version the file was written with (within
+    /// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`], or the reader
+    /// would not exist).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Reads and validates the snapshot at `path`.
@@ -789,6 +814,29 @@ mod tests {
         assert!(matches!(
             err,
             SnapshotError::UnsupportedVersion { found: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn supported_version_range_is_read_and_reported() {
+        // The writer emits the current version...
+        let bytes = SnapshotWriter::new().to_bytes();
+        let r = SnapshotReader::from_bytes(&bytes).unwrap();
+        assert_eq!(r.version(), FORMAT_VERSION);
+        // ...and every still-supported older version parses too, with
+        // the actual file version surfaced for load-time migration.
+        for v in MIN_FORMAT_VERSION..FORMAT_VERSION {
+            let mut old = bytes.clone();
+            old[8..12].copy_from_slice(&v.to_le_bytes());
+            let r = SnapshotReader::from_bytes(&old).unwrap();
+            assert_eq!(r.version(), v);
+        }
+        // Version 0 predates the format and stays rejected.
+        let mut zero = bytes.clone();
+        zero[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            SnapshotReader::from_bytes(&zero).unwrap_err(),
+            SnapshotError::UnsupportedVersion { found: 0, .. }
         ));
     }
 

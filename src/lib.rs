@@ -37,6 +37,7 @@ pub use vantage as core;
 pub use vantage_cache as cache;
 pub use vantage_partitioning as partitioning;
 pub use vantage_sim as sim;
+pub use vantage_snapshot as snapshot;
 pub use vantage_telemetry as telemetry;
 pub use vantage_ucp as ucp;
 pub use vantage_workloads as workloads;

@@ -218,3 +218,105 @@ fn invariant_checking_recovers_instead_of_panicking() {
         .expect("clean run passes invariant checks");
     assert_eq!(r.invariant_recoveries, 0);
 }
+
+/// Order-independent multiset digest of a telemetry capture: each record's
+/// CSV rendering is FNV-1a hashed and the per-record hashes are summed
+/// (wrapping), so any added, dropped or altered record changes the digest
+/// while buffering-order differences do not.
+fn telemetry_multiset(records: &[vantage_repro::telemetry::TelemetryRecord]) -> (usize, u64) {
+    use vantage_repro::telemetry::to_csv_row;
+    let mut sum = 0u64;
+    for rec in records {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in to_csv_row(rec).bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        sum = sum.wrapping_add(h);
+    }
+    (records.len(), sum)
+}
+
+/// Telemetry multiset goldens for the three partitioning schemes: the
+/// event stream a golden run emits is pinned as a record count plus an
+/// order-independent digest, so a scheme change that perturbs *any*
+/// demotion, eviction, aperture or sampling event is caught even when the
+/// miss counts happen to survive.
+#[test]
+fn telemetry_multisets_match_goldens() {
+    let goldens: [(usize, SchemeKind, usize, u64); 3] = [
+        (17, SchemeKind::vantage_paper(), 17503, 0x05ff6c7d0cdf8a92),
+        (17, SchemeKind::WayPart, 9620, 0x65499eed1a897c9a),
+        (8, SchemeKind::Pipp, 26992, 0x2bd91184af36001e),
+    ];
+    let all = mixes(4, 1, 11);
+    for (mix_idx, kind, want_len, want_digest) in goldens {
+        let mix = &all[mix_idx];
+        let mut sim = CmpSim::new(golden_sys(), &kind, mix);
+        let (sink, reader) = RingSink::with_capacity(1 << 18);
+        assert!(sim.set_telemetry(Telemetry::new(Box::new(sink), 1024)));
+        let r = sim.run();
+        sim.take_telemetry();
+        let (len, digest) = telemetry_multiset(&reader.records());
+        let ctx = format!("mix {} under {}", mix.name, r.label);
+        assert_eq!(len, want_len, "telemetry record count diverged: {ctx}");
+        assert_eq!(
+            digest, want_digest,
+            "telemetry multiset digest diverged: {ctx} (len {len}, digest {digest:#018x})"
+        );
+    }
+}
+
+/// A v1 (array-of-structs era) checkpoint must restore into the v2 (SoA)
+/// snapshot layer and continue bit-identically. The two formats share
+/// their payload encoding — the SoA lanes serialize exactly where the AoS
+/// fields did — and differ only in the header version plus the v1
+/// convention of leaving never-filled frames tagged owner 0; restore
+/// normalizes those to the sentinel. A version-patched v2 image is
+/// therefore a faithful v1 fixture, exercised at an early split (array
+/// partially filled, so the normalization path runs) and a late one
+/// (array full, payloads literally byte-identical between the formats).
+#[test]
+fn v1_checkpoint_restores_into_v2_with_identical_digests() {
+    use vantage_repro::snapshot::SnapshotReader;
+    let mix = &mixes(4, 1, 11)[17];
+    for kind in [
+        SchemeKind::vantage_paper(),
+        SchemeKind::WayPart,
+        SchemeKind::Pipp,
+    ] {
+        let build = || {
+            let mut s = CmpSim::new(golden_sys(), &kind, mix);
+            s.enable_trace(60_000);
+            s
+        };
+        let mut straight = build();
+        let want = straight.run();
+        let total = straight.steps();
+        for split in [total / 20, total * 3 / 4] {
+            let mut warm = build();
+            assert!(warm.run_for(split).is_none(), "paused before completion");
+            let v2 = warm.write_checkpoint().to_bytes();
+            assert_eq!(&v2[8..12], &2u32.to_le_bytes(), "checkpoints write v2");
+            let mut v1 = v2.clone();
+            v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+            let reader = SnapshotReader::from_bytes(&v1).expect("v1 image parses");
+            assert_eq!(reader.version(), 1);
+            let mut resumed = build();
+            resumed.restore_checkpoint(&reader).expect("v1 restores");
+            let got = resumed.run();
+            let ctx = format!("{} @ {split}", got.label);
+            assert_eq!(want.l2_misses, got.l2_misses, "misses diverged: {ctx}");
+            let (wb, gb): (Vec<u64>, Vec<u64>) = (
+                want.ipc.iter().map(|x| x.to_bits()).collect(),
+                got.ipc.iter().map(|x| x.to_bits()).collect(),
+            );
+            assert_eq!(wb, gb, "IPC bit patterns diverged: {ctx}");
+            assert_eq!(
+                trace_digest(&want),
+                trace_digest(&got),
+                "trace digests diverged: {ctx}"
+            );
+        }
+    }
+}
