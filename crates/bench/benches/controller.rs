@@ -14,10 +14,16 @@ fn bench_controller_ops(c: &mut Criterion) {
     g.sample_size(30);
 
     g.bench_function("threshold_table_build", |b| {
-        b.iter(|| std::hint::black_box(ThresholdTable::new(10_000, 0.1, 0.5, 256, 8)))
+        b.iter(|| {
+            std::hint::black_box(
+                ThresholdTable::try_new(10_000, 0.1, 0.5, 256, 8)
+                    .expect("valid controller parameters"),
+            )
+        })
     });
 
-    let table = ThresholdTable::new(10_000, 0.1, 0.5, 256, 8);
+    let table =
+        ThresholdTable::try_new(10_000, 0.1, 0.5, 256, 8).expect("valid controller parameters");
     let mut size = 9_900u64;
     g.bench_function("threshold_table_lookup", |b| {
         b.iter(|| {

@@ -22,48 +22,65 @@ fn schemes() -> Vec<(&'static str, Box<dyn Llc>)> {
     let mut out: Vec<(&'static str, Box<dyn Llc>)> = vec![
         (
             "Baseline-LRU-SA16",
-            Box::new(BaselineLlc::new(
-                Box::new(SetAssocArray::hashed(LINES, 16, 1)),
-                PARTS,
-                RankPolicy::Lru,
-            )),
+            Box::new(
+                BaselineLlc::try_new(
+                    Box::new(SetAssocArray::hashed(LINES, 16, 1)),
+                    PARTS,
+                    RankPolicy::Lru,
+                )
+                .expect("valid baseline geometry"),
+            ),
         ),
         (
             "Baseline-LRU-Z4/52",
-            Box::new(BaselineLlc::new(
-                Box::new(ZArray::new(LINES, 4, 52, 1)),
-                PARTS,
-                RankPolicy::Lru,
-            )),
+            Box::new(
+                BaselineLlc::try_new(
+                    Box::new(ZArray::new(LINES, 4, 52, 1)),
+                    PARTS,
+                    RankPolicy::Lru,
+                )
+                .expect("valid baseline geometry"),
+            ),
         ),
         (
             "WayPart-SA16",
-            Box::new(WayPartLlc::new(LINES, 16, PARTS, 1)),
+            Box::new(
+                WayPartLlc::try_new(LINES, 16, PARTS, 1).expect("valid way-partition geometry"),
+            ),
         ),
         (
             "PIPP-SA16",
-            Box::new(PippLlc::new(LINES, 16, PARTS, PippConfig::default(), 1)),
+            Box::new(
+                PippLlc::try_new(LINES, 16, PARTS, PippConfig::default(), 1)
+                    .expect("valid PIPP geometry"),
+            ),
         ),
         (
             "Vantage-Z4/52",
-            Box::new(VantageLlc::new(
-                Box::new(ZArray::new(LINES, 4, 52, 1)),
-                PARTS,
-                VantageConfig::default(),
-                1,
-            )),
+            Box::new(
+                VantageLlc::try_new(
+                    Box::new(ZArray::new(LINES, 4, 52, 1)),
+                    PARTS,
+                    VantageConfig::default(),
+                    1,
+                )
+                .expect("valid Vantage config"),
+            ),
         ),
         (
             "Vantage-Z4/16",
-            Box::new(VantageLlc::new(
-                Box::new(ZArray::new(LINES, 4, 16, 1)),
-                PARTS,
-                VantageConfig {
-                    unmanaged_fraction: 0.10,
-                    ..VantageConfig::default()
-                },
-                1,
-            )),
+            Box::new(
+                VantageLlc::try_new(
+                    Box::new(ZArray::new(LINES, 4, 16, 1)),
+                    PARTS,
+                    VantageConfig {
+                        unmanaged_fraction: 0.10,
+                        ..VantageConfig::default()
+                    },
+                    1,
+                )
+                .expect("valid Vantage config"),
+            ),
         ),
     ];
     for (_, llc) in &mut out {

@@ -1,0 +1,144 @@
+//! [`PartitionId`]: the typed handle for a cache partition.
+//!
+//! Partition identity used to be a raw `usize` (or `u16` in the tag
+//! lanes) threaded through every layer, which made it easy to confuse a
+//! partition index with a way index, a bank index or a tenant slot. The
+//! newtype pins the meaning down at every public boundary while staying
+//! `#[repr(transparent)]` over the `u16` the tag metadata lanes store, so
+//! it costs nothing at runtime.
+
+use std::fmt;
+
+use crate::tagmeta::TAG_UNMANAGED;
+
+/// A typed partition handle.
+///
+/// Wraps the `u16` partition ID the tag metadata lanes
+/// ([`TagMeta`](crate::TagMeta)) store per frame, which bounds a cache at
+/// 65 534 concurrent partitions plus the [`UNMANAGED`](Self::UNMANAGED)
+/// sentinel. IDs are dense slot indices: schemes hand them out from a
+/// slot table and may reuse a slot after its partition is destroyed and
+/// fully drained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct PartitionId(u16);
+
+impl PartitionId {
+    /// The unmanaged-region sentinel: lines demoted out of every managed
+    /// partition carry this ID in their tag.
+    pub const UNMANAGED: PartitionId = PartitionId(TAG_UNMANAGED);
+
+    /// The largest number of concurrently live partitions an LLC can
+    /// address (all `u16` values below the sentinel).
+    pub const MAX_PARTITIONS: usize = TAG_UNMANAGED as usize;
+
+    /// Builds the ID for slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= PartitionId::MAX_PARTITIONS` (the value would
+    /// collide with the unmanaged sentinel or overflow the tag lane).
+    #[inline]
+    pub const fn from_index(index: usize) -> Self {
+        assert!(
+            index < Self::MAX_PARTITIONS,
+            "partition index overflows the u16 tag lane"
+        );
+        PartitionId(index as u16)
+    }
+
+    /// Reinterprets a raw tag-lane value as an ID (no range check; the
+    /// sentinel and even out-of-range fault-injected values pass through,
+    /// which is what telemetry needs to report them faithfully).
+    #[inline]
+    pub const fn from_raw(raw: u16) -> Self {
+        PartitionId(raw)
+    }
+
+    /// The slot index, for indexing per-partition tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw tag-lane value.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the unmanaged-region sentinel.
+    #[inline]
+    pub const fn is_unmanaged(self) -> bool {
+        self.0 == TAG_UNMANAGED
+    }
+}
+
+/// Transitional shim so pre-`PartitionId` callers that passed raw `usize`
+/// indices keep compiling for one release. New code should construct IDs
+/// via [`PartitionId::from_index`] or use the handles returned by
+/// `create_partition`; this impl will be removed in the next release.
+///
+/// # Panics
+///
+/// Panics if `index >= PartitionId::MAX_PARTITIONS`.
+impl From<usize> for PartitionId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        PartitionId::from_index(index)
+    }
+}
+
+impl From<PartitionId> for usize {
+    #[inline]
+    fn from(id: PartitionId) -> usize {
+        id.index()
+    }
+}
+
+impl From<PartitionId> for u16 {
+    #[inline]
+    fn from(id: PartitionId) -> u16 {
+        id.raw()
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unmanaged() {
+            f.write_str("unmanaged")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_sentinel() {
+        let p = PartitionId::from_index(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.raw(), 7);
+        assert_eq!(usize::from(p), 7);
+        assert_eq!(u16::from(p), 7);
+        assert!(!p.is_unmanaged());
+        assert!(PartitionId::UNMANAGED.is_unmanaged());
+        assert_eq!(PartitionId::from_raw(TAG_UNMANAGED), PartitionId::UNMANAGED);
+        assert_eq!(PartitionId::from(3usize), PartitionId::from_index(3));
+    }
+
+    #[test]
+    fn displays_like_telemetry_spelling() {
+        assert_eq!(PartitionId::from_index(12).to_string(), "12");
+        assert_eq!(PartitionId::UNMANAGED.to_string(), "unmanaged");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u16 tag lane")]
+    fn index_colliding_with_sentinel_panics() {
+        let _ = PartitionId::from_index(TAG_UNMANAGED as usize);
+    }
+}

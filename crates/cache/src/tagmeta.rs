@@ -26,20 +26,78 @@ use crate::array::{prefetch_slice, Frame};
 /// frames. Valid partition IDs are `0..TAG_UNMANAGED`.
 pub const TAG_UNMANAGED: u16 = u16::MAX;
 
+/// Size of the stamp domain (8-bit coarse timestamps / RRPVs).
+const STAMP_DOMAIN: usize = 256;
+
 /// Structure-of-arrays per-frame (partition ID, timestamp/RRPV) store.
 #[derive(Clone, Debug)]
 pub struct TagMeta {
     parts: Vec<u16>,
     ts: Vec<u8>,
+    /// Lines per (partition, stamp) pair: `counts[row(part) + ts]`.
+    ///
+    /// Every lane write maintains this index, which exists for one
+    /// reason: [`Self::clamp_stale`] consults it to skip its whole-lane
+    /// sweep when no line carries the aliasing stamp — the common case
+    /// by far, and the difference between O(1) and O(frames) per
+    /// coarse-clock tick. At service-mode populations (thousands of
+    /// small partitions) clocks tick every few accesses, so unskipped
+    /// sweeps would dominate the entire simulation.
+    ///
+    /// Rows are allocated lazily up to the largest partition ID ever
+    /// written (the sentinel maps to row 0), so the index costs
+    /// `(max_part + 2) * 256` u32s — a few KB for core-count caches,
+    /// ~1 MB at 4K tenants.
+    counts: Vec<u32>,
 }
 
 impl TagMeta {
     /// Creates a store for `frames` frames, every tag reset to the
     /// never-filled state (`TAG_UNMANAGED`, stamp 0).
     pub fn new(frames: usize) -> Self {
+        let mut counts = vec![0u32; STAMP_DOMAIN];
+        counts[0] = frames as u32; // all frames: (TAG_UNMANAGED, 0)
         Self {
             parts: vec![TAG_UNMANAGED; frames],
             ts: vec![0; frames],
+            counts,
+        }
+    }
+
+    /// Index of `(part, ts)` in the count lane, growing it as needed.
+    /// `TAG_UNMANAGED` wraps to row 0; partition `p` lives at row `p + 1`.
+    #[inline]
+    fn count_idx(&mut self, part: u16, ts: u8) -> usize {
+        let row = part.wrapping_add(1) as usize * STAMP_DOMAIN;
+        if row + STAMP_DOMAIN > self.counts.len() {
+            self.counts.resize(row + STAMP_DOMAIN, 0);
+        }
+        row + ts as usize
+    }
+
+    /// Moves one line's count from tag `(op, ot)` to tag `(np, nt)`.
+    #[inline]
+    fn recount(&mut self, op: u16, ot: u8, np: u16, nt: u8) {
+        let old = self.count_idx(op, ot);
+        self.counts[old] -= 1;
+        let new = self.count_idx(np, nt);
+        self.counts[new] += 1;
+    }
+
+    /// Rebuilds the count index from the lanes (wholesale lane loads).
+    fn rebuild_counts(&mut self) {
+        let max_row = self
+            .parts
+            .iter()
+            .map(|p| p.wrapping_add(1) as usize)
+            .max()
+            .unwrap_or(0);
+        let rows = max_row + 1;
+        self.counts.clear();
+        self.counts.resize(rows * STAMP_DOMAIN, 0);
+        for (p, t) in self.parts.iter().zip(self.ts.iter()) {
+            let row = p.wrapping_add(1) as usize * STAMP_DOMAIN;
+            self.counts[row + *t as usize] += 1;
         }
     }
 
@@ -70,6 +128,7 @@ impl TagMeta {
     /// Writes both lanes of frame `f`.
     #[inline]
     pub fn set(&mut self, f: usize, part: u16, ts: u8) {
+        self.recount(self.parts[f], self.ts[f], part, ts);
         self.parts[f] = part;
         self.ts[f] = ts;
     }
@@ -77,20 +136,24 @@ impl TagMeta {
     /// Writes only the partition lane of frame `f`.
     #[inline]
     pub fn set_part(&mut self, f: usize, part: u16) {
+        self.recount(self.parts[f], self.ts[f], part, self.ts[f]);
         self.parts[f] = part;
     }
 
     /// Writes only the timestamp lane of frame `f`.
     #[inline]
     pub fn set_ts(&mut self, f: usize, ts: u8) {
+        self.recount(self.parts[f], self.ts[f], self.parts[f], ts);
         self.ts[f] = ts;
     }
 
     /// Copies frame `from`'s tag into frame `to` (line relocation).
     #[inline]
     pub fn copy(&mut self, from: Frame, to: Frame) {
-        self.parts[to as usize] = self.parts[from as usize];
-        self.ts[to as usize] = self.ts[from as usize];
+        let (f, t) = (from as usize, to as usize);
+        self.recount(self.parts[t], self.ts[t], self.parts[f], self.ts[f]);
+        self.parts[t] = self.parts[f];
+        self.ts[t] = self.ts[f];
     }
 
     /// The whole partition lane.
@@ -105,19 +168,9 @@ impl TagMeta {
         &self.ts
     }
 
-    /// Mutable partition lane (scrub / fault injection / restore).
-    #[inline]
-    pub fn parts_mut(&mut self) -> &mut [u16] {
-        &mut self.parts
-    }
-
-    /// Mutable timestamp lane (scrub / fault injection / restore).
-    #[inline]
-    pub fn ts_lane_mut(&mut self) -> &mut [u8] {
-        &mut self.ts
-    }
-
-    /// Replaces both lanes wholesale (snapshot restore).
+    /// Replaces both lanes wholesale (snapshot restore), rebuilding the
+    /// count index. (There is deliberately no mutable slice access: every
+    /// lane write must go through the setters so the index stays exact.)
     ///
     /// # Panics
     ///
@@ -127,6 +180,7 @@ impl TagMeta {
         assert_eq!(ts.len(), self.ts.len(), "timestamp lane length");
         self.parts = parts;
         self.ts = ts;
+        self.rebuild_counts();
     }
 
     /// Issues prefetch hints for frame `f`'s entries in both lanes.
@@ -149,13 +203,20 @@ impl TagMeta {
     /// (each subsequent advance re-pins them), so truly stale lines stay
     /// the oldest instead of the youngest.
     ///
-    /// The loop is a branchless pass over the two lanes and vectorizes;
-    /// clocks tick once per `size/16` accesses, so the amortized cost per
-    /// access is a small fraction of a lane sweep.
+    /// The count index makes the usual case O(1): when no resident line
+    /// carries `(part, aliasing_ts)` — a line has to sit untouched for a
+    /// full 256 ticks to qualify — the sweep is skipped outright. Only
+    /// genuinely aliasing populations pay the branchless whole-lane pass,
+    /// which matters at service-mode populations where small partitions
+    /// tick their clocks every few accesses.
     ///
     /// Returns how many frames were pinned, so callers maintaining stamp
     /// histograms can move the affected entries without a rescan.
     pub fn clamp_stale(&mut self, part: u16, aliasing_ts: u8) -> usize {
+        let idx = self.count_idx(part, aliasing_ts);
+        if self.counts[idx] == 0 {
+            return 0;
+        }
         let pinned = aliasing_ts.wrapping_add(1);
         let mut count = 0usize;
         for (p, t) in self.parts.iter().zip(self.ts.iter_mut()) {
@@ -163,6 +224,10 @@ impl TagMeta {
             count += usize::from(hit);
             *t = if hit { pinned } else { *t };
         }
+        debug_assert_eq!(count as u32, self.counts[idx], "count index exact");
+        self.counts[idx] = 0;
+        let to = self.count_idx(part, pinned);
+        self.counts[to] += count as u32;
         count
     }
 }
@@ -224,6 +289,26 @@ mod tests {
         m.set(0, 0, 255);
         assert_eq!(m.clamp_stale(0, 255), 1);
         assert_eq!(m.ts(0), 0, "pin wraps modulo 256");
+    }
+
+    #[test]
+    fn count_index_stays_exact_through_every_setter() {
+        // The clamp fast path trusts the per-(part, ts) counts; drive every
+        // mutation kind and check the sweep agrees with the index (the
+        // debug_assert inside clamp_stale cross-checks the full count).
+        let mut m = TagMeta::new(8);
+        assert_eq!(m.clamp_stale(TAG_UNMANAGED, 0), 8, "init state counted");
+        m.set(0, 3, 10);
+        m.set(1, 3, 10);
+        m.copy(0, 2); // (3, 10) again
+        m.set_part(2, 5); // now (5, 10)
+        m.set_ts(1, 11); // now (3, 11)
+        assert_eq!(m.clamp_stale(3, 10), 1, "only frame 0 left at (3, 10)");
+        assert_eq!(m.clamp_stale(3, 11), 2, "frame 1 plus frame 0's pin");
+        assert_eq!(m.clamp_stale(5, 10), 1);
+        assert_eq!(m.clamp_stale(5, 10), 0, "pinned away: skip is exact");
+        m.load_lanes(vec![7; 8], vec![200; 8]);
+        assert_eq!(m.clamp_stale(7, 200), 8, "load_lanes rebuilds the index");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::error::ConfigError;
 /// ```
 /// use vantage::controller::ThresholdTable;
 ///
-/// let t = ThresholdTable::new(1000, 0.1, 0.5, 256, 4);
+/// let t = ThresholdTable::try_new(1000, 0.1, 0.5, 256, 4).expect("valid controller parameters");
 /// assert_eq!(t.threshold(1000), None);      // at target: aperture 0
 /// assert_eq!(t.threshold(1020), Some(32));
 /// assert_eq!(t.threshold(1050), Some(64));
@@ -44,19 +44,6 @@ pub struct ThresholdTable {
 
 impl ThresholdTable {
     /// Builds the table for a partition with `target` lines.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `slack <= 0`, `a_max` is not in `(0, 1]`, `c == 0`, or
-    /// `entries == 0`.
-    pub fn new(target: u64, slack: f64, a_max: f64, c: u32, entries: usize) -> Self {
-        match Self::try_new(target, slack, a_max, c, entries) {
-            Ok(t) => t,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// [`Self::new`] with typed errors instead of panics.
     ///
     /// # Errors
     ///
@@ -179,14 +166,16 @@ impl PartitionState {
             setpoint_rrpv: max_rrpv, // initially demote only "distant" lines
             cands_seen: 0,
             cands_demoted: 0,
-            table: ThresholdTable::new(target, slack, a_max, c, entries),
+            table: ThresholdTable::try_new(target, slack, a_max, c, entries)
+                .expect("valid controller parameters"),
         }
     }
 
     /// Installs a new target, rebuilding the thresholds table.
     pub fn set_target(&mut self, target: u64, slack: f64, a_max: f64, c: u32, entries: usize) {
         self.target = target;
-        self.table = ThresholdTable::new(target, slack, a_max, c, entries);
+        self.table = ThresholdTable::try_new(target, slack, a_max, c, entries)
+            .expect("valid controller parameters");
     }
 
     /// The keep window in timestamp units: `CurrentTS - SetpointTS`
@@ -318,7 +307,8 @@ mod tests {
 
     #[test]
     fn paper_fig3c_table() {
-        let t = ThresholdTable::new(1000, 0.1, 0.5, 256, 4);
+        let t =
+            ThresholdTable::try_new(1000, 0.1, 0.5, 256, 4).expect("valid controller parameters");
         // Range boundaries from Fig. 3c (1-line shifts from rounding the
         // 33.3-line width are acceptable; check interior points).
         assert_eq!(t.threshold(999), None);
@@ -331,7 +321,8 @@ mod tests {
 
     #[test]
     fn aperture_transfer_function() {
-        let t = ThresholdTable::new(1000, 0.1, 0.5, 256, 8);
+        let t =
+            ThresholdTable::try_new(1000, 0.1, 0.5, 256, 8).expect("valid controller parameters");
         assert_eq!(t.aperture(900), 0.0);
         assert_eq!(t.aperture(1000), 0.0);
         let mid = t.aperture(1050);
@@ -342,7 +333,7 @@ mod tests {
 
     #[test]
     fn zero_target_drains_at_max_aperture() {
-        let t = ThresholdTable::new(0, 0.1, 0.5, 256, 8);
+        let t = ThresholdTable::try_new(0, 0.1, 0.5, 256, 8).expect("valid controller parameters");
         assert_eq!(t.aperture(1), 0.5);
         // With a zero target the ranges are 1 line wide: any size beyond the
         // table saturates at the c·A_max threshold.

@@ -42,7 +42,7 @@
 //! // A Z4/52 zcache with 32 fine-grain partitions — the paper's
 //! // large-scale configuration (needs only 4 ways).
 //! let array = ZArray::new(32 * 1024, 4, 52, 0xBEEF);
-//! let mut llc = VantageLlc::new(Box::new(array), 32, VantageConfig::default(), 1);
+//! let mut llc = VantageLlc::try_new(Box::new(array), 32, VantageConfig::default(), 1).expect("valid Vantage config");
 //!
 //! // Line-granularity targets.
 //! let mut targets: Vec<u64> = (0..32).map(|i| 512 + i * 32).collect();

@@ -23,12 +23,12 @@
 
 use vantage_cache::replacement::rrip::BasePolicy;
 use vantage_cache::{
-    CacheArray, Frame, LineAddr, RripConfig, RripMode, RripPolicy, TagMeta, TsLru, Walk,
-    MAX_PROBE_WAYS, TAG_UNMANAGED,
+    CacheArray, Frame, LineAddr, PartitionId, RripConfig, RripMode, RripPolicy, TagMeta, TsLru,
+    Walk, MAX_PROBE_WAYS, TAG_UNMANAGED,
 };
 use vantage_partitioning::{
-    AccessOutcome, AccessRequest, HasInvariants, HasPartitionPolicy, InvariantViolation, Llc,
-    LlcStats, PartitionObservations, TsHistogram,
+    AccessOutcome, AccessRequest, HasInvariants, HasPartitionPolicy, InvariantViolation,
+    LifecycleError, Llc, LlcStats, PartitionObservations, PartitionSpec, TsHistogram,
 };
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
@@ -105,6 +105,34 @@ enum DemoteRule {
     ExactlyOne,
 }
 
+/// Lifecycle state of one partition slot (service mode).
+///
+/// The slot table only ever grows; destroyed slots are recycled. A slot's
+/// state gates what the controller does with it:
+///
+/// * `Active` slots serve accesses and hold a capacity target;
+/// * `Draining` slots were destroyed while still holding lines — their
+///   target is zero (so the aperture saturates at `A_max` and ordinary
+///   setpoint demotions evict everything stale) and they become `Free`
+///   once the last line leaves;
+/// * `Free` slots are fully drained.
+///
+/// [`Llc::create_partition`] reuses the lowest non-`Active` slot — drained
+/// or not — so slot assignment depends only on the lifecycle call
+/// sequence, never on drain progress (which differs across the banks of a
+/// banked cache). Recycling a `Draining` slot hands its leftover lines to
+/// the new tenant, as reassigning a partition ID does in hardware.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SlotState {
+    /// Live: serving accesses and holding a capacity target.
+    #[default]
+    Active,
+    /// Destroyed but not yet empty; drains via ordinary demotion.
+    Draining,
+    /// Fully drained; dead until recycled by the next create.
+    Free,
+}
+
 /// One partition's keep window (`CurrentTS`, `CurrentTS - SetpointTS`),
 /// snapshotted once per miss walk. A mid-walk setpoint adjustment thus
 /// takes effect from the next walk — adjustments happen at most once per
@@ -113,6 +141,11 @@ enum DemoteRule {
 struct KeepWin {
     current: u8,
     window: u8,
+    /// Draining slot: every resident line counts as stale. A destroyed
+    /// partition's coarse clock never advances again (only its own
+    /// accesses tick it), so without this its freshest lines would read
+    /// age 0 forever and the drain would stall short of empty.
+    draining: bool,
 }
 
 /// A Vantage-partitioned last-level cache over any [`CacheArray`].
@@ -125,7 +158,7 @@ struct KeepWin {
 /// use vantage_partitioning::{AccessRequest, Llc};
 ///
 /// let array = ZArray::new(4096, 4, 52, 1); // Z4/52
-/// let mut llc = VantageLlc::new(Box::new(array), 2, VantageConfig::default(), 1);
+/// let mut llc = VantageLlc::try_new(Box::new(array), 2, VantageConfig::default(), 1).expect("valid Vantage config");
 /// llc.set_targets(&[3072, 1024]);
 /// llc.access(AccessRequest::read(0, 0x1000.into()));
 /// assert_eq!(llc.stats().misses[0], 1);
@@ -136,6 +169,12 @@ pub struct VantageLlc {
     /// never-filled frames carry the [`UNMANAGED`] sentinel.
     meta: TagMeta,
     parts: Vec<PartitionState>,
+    /// Per-slot lifecycle state, parallel to `parts` (service mode).
+    slot_state: Vec<SlotState>,
+    /// Partitions created since the last [`Llc::observations`] snapshot.
+    pending_arrived: Vec<PartitionId>,
+    /// Partitions destroyed since the last [`Llc::observations`] snapshot.
+    pending_departed: Vec<PartitionId>,
     /// Unmanaged-region timestamp domain (advanced per demotion).
     um_lru: TsLru,
     um_size: u64,
@@ -220,26 +259,6 @@ impl VantageLlc {
     /// Creates a Vantage cache over `array` with `partitions` partitions,
     /// initially splitting capacity evenly.
     ///
-    /// # Panics
-    ///
-    /// Panics if `cfg` is invalid (see [`VantageConfig::validate`]), if
-    /// `partitions` is 0 or ≥ `u16::MAX`, or if
-    /// `cfg.demotion_mode == PerfectAperture` is combined with RRIP ranking
-    /// (the idealized controller is defined for LRU priorities only).
-    pub fn new(
-        array: Box<dyn CacheArray>,
-        partitions: usize,
-        cfg: VantageConfig,
-        seed: u64,
-    ) -> Self {
-        match Self::try_new(array, partitions, cfg, seed) {
-            Ok(llc) => llc,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// [`Self::new`] with typed errors instead of panics.
-    ///
     /// # Errors
     ///
     /// Returns a [`VantageError`] if `cfg` is out of domain, `partitions`
@@ -285,6 +304,9 @@ impl VantageLlc {
             array,
             meta: TagMeta::new(frames),
             parts,
+            slot_state: vec![SlotState::Active; partitions],
+            pending_arrived: Vec::new(),
+            pending_departed: Vec::new(),
             um_lru: TsLru::for_size(16),
             um_size: 0,
             um_target: 0,
@@ -343,8 +365,23 @@ impl VantageLlc {
     }
 
     /// Partition `part`'s (scaled) target size in lines.
-    pub fn partition_target(&self, part: usize) -> u64 {
-        self.parts[part].target
+    pub fn partition_target(&self, part: impl Into<PartitionId>) -> u64 {
+        self.parts[part.into().index()].target
+    }
+
+    /// Lifecycle state of slot `part` (service mode; slots of a cache that
+    /// never created or destroyed partitions are all
+    /// [`SlotState::Active`]).
+    pub fn slot_state(&self, part: impl Into<PartitionId>) -> SlotState {
+        self.slot_state[part.into().index()]
+    }
+
+    /// Number of live ([`SlotState::Active`]) partitions.
+    pub fn live_partitions(&self) -> usize {
+        self.slot_state
+            .iter()
+            .filter(|s| **s == SlotState::Active)
+            .count()
     }
 
     /// Enables Fig. 8-style demotion-priority sampling (LRU ranking only).
@@ -447,8 +484,16 @@ impl VantageLlc {
         }
         let m = 1.0 - self.cfg.unmanaged_fraction;
         let mut managed_total = 0u64;
-        for (st, &t) in self.parts.iter_mut().zip(targets) {
-            let scaled = (t as f64 * m).floor() as u64;
+        for (p, (st, &t)) in self.parts.iter_mut().zip(targets).enumerate() {
+            // Dead slots (destroyed or draining) hold no capacity: whatever
+            // a policy hands them funds the unmanaged region instead, and
+            // the zero target keeps their aperture saturated so draining
+            // slots keep shedding lines.
+            let scaled = if self.slot_state[p] == SlotState::Active {
+                (t as f64 * m).floor() as u64
+            } else {
+                0
+            };
             st.set_target(
                 scaled,
                 self.cfg.slack,
@@ -470,11 +515,14 @@ impl VantageLlc {
         self.um_lru.set_period_for_size(clock_size.max(16));
         if self.tele.enabled() {
             for p in 0..self.parts.len() {
+                if self.slot_state[p] != SlotState::Active {
+                    continue;
+                }
                 let st = &self.parts[p];
                 let aperture = st.table.aperture(st.actual) as f32;
                 self.tele.event(TelemetryEvent::ApertureUpdate {
                     access: self.accesses,
-                    part: p as u16,
+                    part: PartitionId::from_index(p),
                     aperture,
                 });
             }
@@ -751,6 +799,44 @@ impl VantageLlc {
         report
     }
 
+    /// Lazily retires drained slots: a [`SlotState::Draining`] slot whose
+    /// last line has left becomes [`SlotState::Free`]. Run at the
+    /// lifecycle/observation boundaries rather than on the access path —
+    /// nothing on the hot path reads the distinction.
+    fn retire_drained_slots(&mut self) {
+        for (st, slot) in self.parts.iter().zip(&mut self.slot_state) {
+            if *slot == SlotState::Draining && st.actual == 0 {
+                *slot = SlotState::Free;
+            }
+        }
+    }
+
+    /// Resizes every per-slot table to `n` slots (snapshot restore of a
+    /// cache whose population moved since construction). New slots start
+    /// zeroed and [`SlotState::Free`]; the caller overwrites each slot's
+    /// state from the payload.
+    fn resize_slot_tables(&mut self, n: usize) {
+        self.parts.resize_with(n, || {
+            PartitionState::new(
+                0,
+                self.cfg.slack,
+                self.cfg.a_max,
+                self.cfg.cands_period,
+                self.cfg.table_entries,
+                self.max_rrpv,
+            )
+        });
+        self.slot_state.resize(n, SlotState::Free);
+        self.hists.resize_with(n, TsHistogram::new);
+        self.stats.resize(n);
+        self.lost.resize(n, 0);
+        self.filled.resize(n, 0);
+        self.sample_lost.resize(n, 0);
+        self.obs_lost.resize(n, 0);
+        self.obs_filled.resize(n, 0);
+        self.tele.bind(n);
+    }
+
     /// Maps a raw frame selector to an occupied frame, uniformly: the
     /// selector is reduced modulo the occupancy and the k-th occupied
     /// frame (in frame order) is chosen, so every resident line is
@@ -854,7 +940,7 @@ impl VantageLlc {
             self.vstats.promotions += 1;
             self.tele.event(TelemetryEvent::Promotion {
                 access: self.accesses,
-                part: part as u16,
+                part: PartitionId::from_index(part),
             });
             self.um_size = self.um_size.saturating_sub(1);
             if track {
@@ -902,7 +988,7 @@ impl VantageLlc {
         self.vstats.demotions += 1;
         self.tele.event(TelemetryEvent::Demotion {
             access: self.accesses,
-            part: tag_part,
+            part: PartitionId::from_raw(tag_part),
         });
         if self.probe {
             let pr = self.hists[q].rank(tag_ts, self.parts[q].lru.current());
@@ -942,13 +1028,13 @@ impl VantageLlc {
         let aperture = st.table.aperture(st.actual) as f32;
         self.tele.event(TelemetryEvent::SetpointAdjust {
             access: self.accesses,
-            part: part as u16,
+            part: PartitionId::from_index(part),
             direction,
             window,
         });
         self.tele.event(TelemetryEvent::ApertureUpdate {
             access: self.accesses,
-            part: part as u16,
+            part: PartitionId::from_index(part),
             aperture,
         });
     }
@@ -958,10 +1044,14 @@ impl VantageLlc {
     #[cold]
     fn emit_samples(&mut self) {
         for p in 0..self.parts.len() {
+            if self.slot_state[p] == SlotState::Free {
+                self.sample_lost[p] = self.lost[p];
+                continue;
+            }
             let st = &self.parts[p];
             let s = PartitionSample {
                 access: self.accesses,
-                part: p as u16,
+                part: PartitionId::from_index(p),
                 actual: st.actual,
                 target: st.target,
                 aperture: st.table.aperture(st.actual) as f32,
@@ -973,7 +1063,7 @@ impl VantageLlc {
         }
         self.tele.sample(PartitionSample {
             access: self.accesses,
-            part: UNMANAGED,
+            part: PartitionId::UNMANAGED,
             actual: self.um_size,
             target: self.um_target,
             aperture: 0.0,
@@ -1008,12 +1098,25 @@ impl VantageLlc {
         };
         let cands_period = self.cfg.cands_period;
         let max_rrpv = self.max_rrpv;
-        if rule == DemoteRule::SetpointLru {
+        // Snapshotting every keep window per miss is O(partitions) — fine
+        // for a handful of cores, ruinous at service-mode populations
+        // (thousands of tenants). Past the broadcast width the stale mask
+        // reads each candidate's own partition instead, so the snapshot is
+        // skipped entirely; both reads happen before any per-walk state
+        // mutation, so the two paths stay bit-identical.
+        let broadcast = self.parts.len() <= 8;
+        if rule == DemoteRule::SetpointLru && broadcast {
             self.win.clear();
-            self.win.extend(self.parts.iter().map(|st| KeepWin {
-                current: st.lru.current(),
-                window: st.keep_window(),
-            }));
+            self.win.extend(
+                self.parts
+                    .iter()
+                    .zip(self.slot_state.iter())
+                    .map(|(st, slot)| KeepWin {
+                        current: st.lru.current(),
+                        window: st.keep_window(),
+                        draining: *slot == SlotState::Draining,
+                    }),
+            );
         }
         let mut empty: Option<usize> = None;
         let mut best_um: Option<(usize, u8)> = None; // (walk idx, age/rrpv)
@@ -1055,25 +1158,31 @@ impl VantageLlc {
             }
             self.scan_stale.clear();
             self.scan_stale.resize(occ, 0);
-            if self.win.len() <= 8 {
+            if broadcast {
                 // Gather-free: broadcast each partition's window over the
                 // candidate lanes (few partitions — the common case).
                 for (q, w) in self.win.iter().enumerate() {
                     let q16 = q as u16;
                     for i in 0..occ {
                         let hit = u8::from(self.scan_part[i] == q16)
-                            & u8::from(w.current.wrapping_sub(self.scan_ts[i]) > w.window);
+                            & (u8::from(w.current.wrapping_sub(self.scan_ts[i]) > w.window)
+                                | u8::from(w.draining));
                         self.scan_stale[i] |= hit;
                     }
                 }
             } else {
                 // Many partitions: one window lookup per candidate beats
-                // npart passes over the lanes.
+                // npart passes over the lanes (and no per-miss snapshot of
+                // every partition's window is ever built). Reading the live
+                // state here is safe: no setpoint or clock moves until the
+                // resolution loop below.
                 for i in 0..occ {
                     let q = self.scan_part[i] as usize;
-                    if let Some(w) = self.win.get(q) {
+                    if let Some(st) = self.parts.get(q) {
                         self.scan_stale[i] =
-                            u8::from(w.current.wrapping_sub(self.scan_ts[i]) > w.window);
+                            u8::from(
+                                st.lru.current().wrapping_sub(self.scan_ts[i]) > st.keep_window(),
+                            ) | u8::from(self.slot_state[q] == SlotState::Draining);
                     }
                 }
             }
@@ -1241,7 +1350,7 @@ impl VantageLlc {
             let (tag_part, tag_ts) = (self.meta.part(vf), self.meta.ts(vf));
             self.tele.event(TelemetryEvent::Eviction {
                 access: self.accesses,
-                part: tag_part,
+                part: PartitionId::from_raw(tag_part),
                 forced,
             });
             if tag_part == UNMANAGED {
@@ -1326,6 +1435,7 @@ impl VantageLlc {
     /// pipeline's stage-1 frames here.
     fn access_probed(&mut self, req: AccessRequest, probe: &[Frame]) -> AccessOutcome {
         let AccessRequest { part, addr, .. } = req;
+        let part = part.index();
         self.accesses += 1;
         if let Some(fault) = self.fault_plan.as_mut().and_then(|p| p.poll(self.accesses)) {
             self.inject(&fault);
@@ -1472,27 +1582,180 @@ impl Llc for VantageLlc {
         }
     }
 
-    fn partition_size(&self, part: usize) -> u64 {
-        self.parts[part].actual
+    fn partition_size(&self, part: PartitionId) -> u64 {
+        self.parts[part.index()].actual
     }
 
     /// Real dynamics metering: reports the (scaled) managed targets and
     /// drains the epoch-relative churn/insertion counters maintained on the
-    /// demotion/eviction/install paths.
+    /// demotion/eviction/install paths, plus the lifecycle deltas (slots
+    /// created/destroyed since the previous snapshot).
+    ///
+    /// Dead slots (destroyed or still draining) report `live = false` with
+    /// zeroed churn/insertion rows — their meters are frozen leftovers of
+    /// the departed tenant, not dynamics a policy should ingest.
     fn observations(&mut self) -> PartitionObservations {
+        self.retire_drained_slots();
         let n = self.parts.len();
         let mut obs = PartitionObservations::new(n);
         for (p, st) in self.parts.iter().enumerate() {
+            let live = self.slot_state[p] == SlotState::Active;
+            obs.live[p] = live;
             obs.actual[p] = st.actual;
             obs.targets[p] = st.target;
-            obs.churn[p] = self.lost[p] - self.obs_lost[p];
-            obs.insertions[p] = self.filled[p] - self.obs_filled[p];
+            if live {
+                obs.churn[p] = self.lost[p] - self.obs_lost[p];
+                obs.insertions[p] = self.filled[p] - self.obs_filled[p];
+            }
         }
         obs.hits.copy_from_slice(&self.stats.hits);
         obs.misses.copy_from_slice(&self.stats.misses);
         self.obs_lost.copy_from_slice(&self.lost);
         self.obs_filled.copy_from_slice(&self.filled);
+        obs.arrived = std::mem::take(&mut self.pending_arrived);
+        obs.departed = std::mem::take(&mut self.pending_departed);
         obs
+    }
+
+    /// Creates a partition at runtime: reuses the lowest dead slot, or
+    /// grows the slot table by one. The grant is carved from the unmanaged
+    /// region's spare target (everything above the configured unmanaged
+    /// fraction's floor), so targets keep tiling the cache and the Vantage
+    /// guarantees hold throughout; a short grant is trued up by the next
+    /// repartitioning epoch.
+    ///
+    /// Any dead slot qualifies, drained or not: slot choice must be a pure
+    /// function of the lifecycle call sequence, never of drain progress,
+    /// so that the banks of a [`BankedLlc`] — which drain at different
+    /// rates — always assign the same slot. A still-draining slot's
+    /// leftover lines are inherited by the new tenant, exactly as recycling
+    /// a partition ID does in hardware; they demote through the ordinary
+    /// machinery whenever they push the tenant over target.
+    ///
+    /// [`BankedLlc`]: vantage_partitioning::BankedLlc
+    fn create_partition(&mut self, spec: PartitionSpec) -> Result<PartitionId, LifecycleError> {
+        if self.rrip.is_some() {
+            // The RRIP policy's per-partition state is sized at
+            // construction; Vantage-DRRIP keeps a fixed population.
+            return Err(LifecycleError::Unsupported);
+        }
+        self.retire_drained_slots();
+        let p = match self.slot_state.iter().position(|s| *s != SlotState::Active) {
+            Some(p) => {
+                // Recycled slot: fresh controller and meters, so the new
+                // tenant's SLA accounting starts from zero. Inherited lines
+                // (if the slot was still draining) stay counted in `actual`.
+                let actual = self.parts[p].actual;
+                debug_assert!(
+                    self.slot_state[p] == SlotState::Draining || actual == 0,
+                    "free slot still holds lines"
+                );
+                self.parts[p] = PartitionState::new(
+                    0,
+                    self.cfg.slack,
+                    self.cfg.a_max,
+                    self.cfg.cands_period,
+                    self.cfg.table_entries,
+                    self.max_rrpv,
+                );
+                self.parts[p].actual = actual;
+                self.stats.hits[p] = 0;
+                self.stats.misses[p] = 0;
+                self.lost[p] = 0;
+                self.filled[p] = 0;
+                self.sample_lost[p] = 0;
+                self.obs_lost[p] = 0;
+                self.obs_filled[p] = 0;
+                p
+            }
+            None => {
+                let p = self.parts.len();
+                if p >= UNMANAGED as usize {
+                    return Err(LifecycleError::Exhausted);
+                }
+                self.parts.push(PartitionState::new(
+                    0,
+                    self.cfg.slack,
+                    self.cfg.a_max,
+                    self.cfg.cands_period,
+                    self.cfg.table_entries,
+                    self.max_rrpv,
+                ));
+                self.slot_state.push(SlotState::Free);
+                self.hists.push(TsHistogram::new());
+                self.stats.resize(p + 1);
+                self.lost.push(0);
+                self.filled.push(0);
+                self.sample_lost.push(0);
+                self.obs_lost.push(0);
+                self.obs_filled.push(0);
+                self.tele.bind(p + 1);
+                p
+            }
+        };
+        let cap = self.meta.len() as u64;
+        let m = 1.0 - self.cfg.unmanaged_fraction;
+        let want = (spec.target as f64 * m).floor() as u64;
+        let floor = (self.cfg.unmanaged_fraction * cap as f64).floor() as u64;
+        let grant = want.min(self.um_target.saturating_sub(floor));
+        self.um_target -= grant;
+        self.parts[p].set_target(
+            grant,
+            self.cfg.slack,
+            self.cfg.a_max,
+            self.cfg.cands_period,
+            self.cfg.table_entries,
+        );
+        self.slot_state[p] = SlotState::Active;
+        let id = PartitionId::from_index(p);
+        self.pending_arrived.push(id);
+        if self.tele.enabled() {
+            self.tele.event(TelemetryEvent::PartitionCreated {
+                access: self.accesses,
+                part: id,
+                target: grant,
+            });
+        }
+        Ok(id)
+    }
+
+    /// Destroys a live partition without flushing: its target funds the
+    /// unmanaged region again and the zero target saturates its aperture,
+    /// so resident lines drain through ordinary setpoint demotions as
+    /// other tenants miss. The slot is dead immediately and reusable by
+    /// the next create, drained or not.
+    fn destroy_partition(&mut self, part: PartitionId) -> Result<(), LifecycleError> {
+        if self.rrip.is_some() {
+            return Err(LifecycleError::Unsupported);
+        }
+        let p = part.index();
+        if part.is_unmanaged() || p >= self.parts.len() {
+            return Err(LifecycleError::OutOfRange(part));
+        }
+        if self.slot_state[p] != SlotState::Active {
+            return Err(LifecycleError::NotLive(part));
+        }
+        self.um_target += self.parts[p].target;
+        self.parts[p].set_target(
+            0,
+            self.cfg.slack,
+            self.cfg.a_max,
+            self.cfg.cands_period,
+            self.cfg.table_entries,
+        );
+        self.slot_state[p] = if self.parts[p].actual == 0 {
+            SlotState::Free
+        } else {
+            SlotState::Draining
+        };
+        self.pending_departed.push(part);
+        if self.tele.enabled() {
+            self.tele.event(TelemetryEvent::PartitionDestroyed {
+                access: self.accesses,
+                part,
+            });
+        }
+        Ok(())
     }
 
     fn stats(&self) -> &LlcStats {
@@ -1615,6 +1878,23 @@ impl vantage_snapshot::Snapshot for VantageLlc {
         }
         self.tele.save_state(enc);
         self.array.save_state(enc);
+        // v3 lifecycle tail, after everything a v2 reader consumes: the
+        // slot-state lane plus the pending arrival/departure queues. v2
+        // payloads simply end here, which is how `load_state` detects them.
+        let lane: Vec<u8> = self
+            .slot_state
+            .iter()
+            .map(|s| match s {
+                SlotState::Active => 0u8,
+                SlotState::Draining => 1,
+                SlotState::Free => 2,
+            })
+            .collect();
+        enc.put_u8_slice(&lane);
+        let arrived: Vec<u16> = self.pending_arrived.iter().map(|p| p.raw()).collect();
+        let departed: Vec<u16> = self.pending_departed.iter().map(|p| p.raw()).collect();
+        enc.put_u16_slice(&arrived);
+        enc.put_u16_slice(&departed);
     }
 
     fn load_state(
@@ -1622,7 +1902,6 @@ impl vantage_snapshot::Snapshot for VantageLlc {
         dec: &mut vantage_snapshot::Decoder<'_>,
     ) -> vantage_snapshot::Result<()> {
         let frames = self.meta.len();
-        let npart = self.parts.len();
         let accesses = dec.take_u64()?;
         let parts_tags = dec.take_u16_vec()?;
         let ts_tags = dec.take_u8_vec()?;
@@ -1632,8 +1911,18 @@ impl vantage_snapshot::Snapshot for VantageLlc {
         // Tag PIDs are deliberately NOT range-checked: out-of-range IDs are
         // legal live state under fault injection, and the access paths and
         // scrub already tolerate them.
-        if dec.take_u64()? != npart as u64 {
-            return Err(dec.mismatch("partition count differs"));
+        let npart = dec.take_u64()? as usize;
+        if npart == 0 || npart >= UNMANAGED as usize {
+            return Err(dec.invalid("partition count out of range"));
+        }
+        if npart != self.parts.len() {
+            // Service mode: the saved cache created/destroyed partitions
+            // after construction, so the slot table is sized by the
+            // snapshot, not the constructor. RRIP state cannot resize.
+            if self.rrip.is_some() {
+                return Err(dec.mismatch("partition count differs under RRIP ranking"));
+            }
+            self.resize_slot_tables(npart);
         }
         let mut managed_total = 0u64;
         for p in 0..npart {
@@ -1731,8 +2020,52 @@ impl vantage_snapshot::Snapshot for VantageLlc {
         };
         self.tele.load_state(dec)?;
         self.array.load_state(dec)?;
+        // v3 lifecycle tail; a v2 payload ends exactly at the array, so any
+        // remaining bytes are the slot-state lane + pending queues.
+        let (slot_state, pending_arrived, pending_departed) = if dec.remaining() > 0 {
+            let lane = dec.take_u8_vec()?;
+            if lane.len() != npart {
+                return Err(dec.mismatch("slot-state lane length differs"));
+            }
+            let mut slots = Vec::with_capacity(npart);
+            for b in lane {
+                slots.push(match b {
+                    0 => SlotState::Active,
+                    1 => SlotState::Draining,
+                    2 => SlotState::Free,
+                    _ => return Err(dec.invalid("unknown slot state")),
+                });
+            }
+            let take_queue = |dec: &mut vantage_snapshot::Decoder<'_>|
+             -> vantage_snapshot::Result<Vec<PartitionId>> {
+                let raw = dec.take_u16_vec()?;
+                let mut ids = Vec::with_capacity(raw.len());
+                for r in raw {
+                    let id = PartitionId::from_raw(r);
+                    if id.is_unmanaged() || id.index() >= npart {
+                        return Err(dec.invalid("lifecycle queue names an out-of-range slot"));
+                    }
+                    ids.push(id);
+                }
+                Ok(ids)
+            };
+            let arrived = take_queue(dec)?;
+            let departed = take_queue(dec)?;
+            (slots, arrived, departed)
+        } else {
+            // v1/v2: a fixed population, every slot live.
+            (vec![SlotState::Active; npart], Vec::new(), Vec::new())
+        };
+        for (p, s) in slot_state.iter().enumerate() {
+            if *s != SlotState::Active && self.parts[p].target != 0 {
+                return Err(dec.invalid("dead slot carries a capacity target"));
+            }
+        }
 
         self.accesses = accesses;
+        self.slot_state = slot_state;
+        self.pending_arrived = pending_arrived;
+        self.pending_departed = pending_departed;
         self.meta.load_lanes(parts_tags, ts_tags);
         // Normalize never-filled frames to the sentinel: v1 (AoS) snapshots
         // stored their `Tag::default()` junk (`part = 0`), which the SoA
@@ -1782,7 +2115,8 @@ mod tests {
     }
 
     fn default_llc(frames: usize, partitions: usize) -> VantageLlc {
-        VantageLlc::new(z52(frames), partitions, VantageConfig::default(), 7)
+        VantageLlc::try_new(z52(frames), partitions, VantageConfig::default(), 7)
+            .expect("valid Vantage config")
     }
 
     /// Drives `n` accesses of uniform random lines over `working_set`
@@ -1867,7 +2201,9 @@ mod tests {
         }
         assert_eq!(llc.meta.part(occupied[0]), UNMANAGED);
         // Recomputed sizes count exactly the occupied frames.
-        let total = llc.partition_size(0) + llc.partition_size(1) + llc.unmanaged_size();
+        let total = llc.partition_size(PartitionId::from_index(0))
+            + llc.partition_size(PartitionId::from_index(1))
+            + llc.unmanaged_size();
         assert_eq!(total as usize, occupied.len());
         llc.invariants().expect("scrub leaves a coherent cache");
     }
@@ -1887,7 +2223,10 @@ mod tests {
             llc.partition_target(0) as f64,
             llc.partition_target(1) as f64,
         );
-        let (s0, s1) = (llc.partition_size(0) as f64, llc.partition_size(1) as f64);
+        let (s0, s1) = (
+            llc.partition_size(PartitionId::from_index(0)) as f64,
+            llc.partition_size(PartitionId::from_index(1)) as f64,
+        );
         // Sizes track scaled targets within the feedback slack plus a small
         // margin for in-flight drift.
         assert!(s0 >= t0 * 0.92 && s0 <= t0 * 1.2, "s0 = {s0}, t0 = {t0}");
@@ -1902,7 +2241,7 @@ mod tests {
         // Partition 0 loads a working set that fits comfortably, then goes
         // quiet while partition 1 streams.
         drive(&mut llc, 0, 1500, 60_000, &mut rng);
-        let resident_before = llc.partition_size(0);
+        let resident_before = llc.partition_size(PartitionId::from_index(0));
         assert!(resident_before > 1200, "warmup failed ({resident_before})");
         for i in 0..400_000u64 {
             llc.access(AccessRequest::read(1, LineAddr((2u64 << 40) + i)));
@@ -1910,7 +2249,7 @@ mod tests {
         llc.invariants().expect("invariants hold");
         // The quiet partition keeps (almost) all its lines: only forced
         // managed evictions could remove them, and those are rare.
-        let resident_after = llc.partition_size(0);
+        let resident_after = llc.partition_size(PartitionId::from_index(0));
         assert!(
             resident_after as f64 > resident_before as f64 * 0.97,
             "quiet partition lost {} of {} lines",
@@ -1919,7 +2258,7 @@ mod tests {
         );
         // And the streamer is bounded near its own target.
         let t1 = llc.partition_target(1) as f64;
-        assert!((llc.partition_size(1) as f64) < t1 * 1.2);
+        assert!((llc.partition_size(PartitionId::from_index(1)) as f64) < t1 * 1.2);
     }
 
     #[test]
@@ -1928,7 +2267,7 @@ mod tests {
             unmanaged_fraction: 0.15,
             ..VantageConfig::default()
         };
-        let mut llc = VantageLlc::new(z52(4096), 4, cfg, 3);
+        let mut llc = VantageLlc::try_new(z52(4096), 4, cfg, 3).expect("valid Vantage config");
         llc.set_targets(&[1024, 1024, 1024, 1024]);
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..20 {
@@ -1968,14 +2307,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         drive(&mut llc, 0, 50_000, 30_000, &mut rng);
         drive(&mut llc, 1, 50_000, 30_000, &mut rng);
-        let s0 = llc.partition_size(0);
+        let s0 = llc.partition_size(PartitionId::from_index(0));
         assert!(s0 > 700);
         // Delete partition 0: target 0; its lines drain as partition 1
         // churns.
         llc.set_targets(&[0, 2048]);
         drive(&mut llc, 1, 50_000, 120_000, &mut rng);
         llc.invariants().expect("invariants hold");
-        let drained = llc.partition_size(0);
+        let drained = llc.partition_size(PartitionId::from_index(0));
         assert!(
             drained < s0 / 4,
             "partition retained {drained} of {s0} lines"
@@ -2000,7 +2339,7 @@ mod tests {
         for i in 0..300_000u64 {
             llc.access(AccessRequest::read(0, LineAddr(i)));
             if i >= 100_000 && i % 1_000 == 0 {
-                sum += llc.partition_size(0);
+                sum += llc.partition_size(PartitionId::from_index(0));
                 samples += 1;
             }
         }
@@ -2020,7 +2359,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         drive(&mut llc, 0, 100_000, 60_000, &mut rng);
         drive(&mut llc, 1, 100_000, 20_000, &mut rng);
-        assert!(llc.partition_size(0) > 2500);
+        assert!(llc.partition_size(PartitionId::from_index(0)) > 2500);
         // Swap the allocations; both partitions keep churning.
         llc.set_targets(&[512, 3584]);
         for _ in 0..20 {
@@ -2030,9 +2369,9 @@ mod tests {
         llc.invariants().expect("invariants hold");
         let t0 = llc.partition_target(0) as f64;
         assert!(
-            (llc.partition_size(0) as f64) < t0 * 1.3,
+            (llc.partition_size(PartitionId::from_index(0)) as f64) < t0 * 1.3,
             "downsized partition stuck at {}",
-            llc.partition_size(0)
+            llc.partition_size(PartitionId::from_index(0))
         );
     }
 
@@ -2043,7 +2382,7 @@ mod tests {
                 demotion_mode: mode,
                 ..VantageConfig::default()
             };
-            VantageLlc::new(z52(2048), 2, cfg, 9)
+            VantageLlc::try_new(z52(2048), 2, cfg, 9).expect("valid Vantage config")
         };
         let mut practical = mk(DemotionMode::Setpoint);
         let mut ideal = mk(DemotionMode::PerfectAperture);
@@ -2059,8 +2398,8 @@ mod tests {
         // §6.2: both designs perform essentially identically; sizes must
         // agree within a few percent of capacity.
         for p in 0..2 {
-            let a = practical.partition_size(p) as f64;
-            let b = ideal.partition_size(p) as f64;
+            let a = practical.partition_size(PartitionId::from_index(p)) as f64;
+            let b = ideal.partition_size(PartitionId::from_index(p)) as f64;
             assert!((a - b).abs() / 2048.0 < 0.06, "partition {p}: {a} vs {b}");
         }
         assert_eq!(ideal.name(), "Vantage-Ideal");
@@ -2072,7 +2411,7 @@ mod tests {
             rank: RankMode::Rrip { bits: 3 },
             ..VantageConfig::default()
         };
-        let mut llc = VantageLlc::new(z52(2048), 2, cfg, 11);
+        let mut llc = VantageLlc::try_new(z52(2048), 2, cfg, 11).expect("valid Vantage config");
         llc.set_targets(&[1536, 512]);
         llc.set_partition_policy(0, BasePolicy::Srrip);
         llc.set_partition_policy(1, BasePolicy::Brrip);
@@ -2083,7 +2422,10 @@ mod tests {
         }
         llc.invariants().expect("invariants hold");
         assert_eq!(llc.name(), "Vantage-RRIP");
-        let (s0, s1) = (llc.partition_size(0) as f64, llc.partition_size(1) as f64);
+        let (s0, s1) = (
+            llc.partition_size(PartitionId::from_index(0)) as f64,
+            llc.partition_size(PartitionId::from_index(1)) as f64,
+        );
         let (t0, t1) = (
             llc.partition_target(0) as f64,
             llc.partition_target(1) as f64,
@@ -2121,7 +2463,7 @@ mod tests {
                 demotion_mode: mode,
                 ..VantageConfig::default()
             };
-            let mut llc = VantageLlc::new(z52(2048), 2, cfg, 31);
+            let mut llc = VantageLlc::try_new(z52(2048), 2, cfg, 31).expect("valid Vantage config");
             llc.enable_priority_probe();
             llc.set_targets(&[1024, 1024]);
             let mut rng = SmallRng::seed_from_u64(32);
@@ -2136,7 +2478,7 @@ mod tests {
             // whenever few of a partition's lines appear among candidates.
             let tail = samples.iter().filter(|(_, _, p)| *p < 0.8).count() as f64
                 / samples.len().max(1) as f64;
-            (llc.partition_size(0), tail)
+            (llc.partition_size(PartitionId::from_index(0)), tail)
         };
         let (size_avg, tail_avg) = run(DemotionMode::PerfectAperture);
         let (size_one, tail_one) = run(DemotionMode::ExactlyOne);
@@ -2162,7 +2504,7 @@ mod tests {
                 churn_throttling: throttle,
                 ..VantageConfig::default()
             };
-            let mut llc = VantageLlc::new(z52(4096), 2, cfg, 21);
+            let mut llc = VantageLlc::try_new(z52(4096), 2, cfg, 21).expect("valid Vantage config");
             llc.set_targets(&[64, 4032]);
             let mut rng = SmallRng::seed_from_u64(22);
             drive(&mut llc, 1, 3_000, 50_000, &mut rng);
@@ -2171,7 +2513,7 @@ mod tests {
             }
             llc.invariants().expect("invariants hold");
             (
-                llc.partition_size(0),
+                llc.partition_size(PartitionId::from_index(0)),
                 llc.vantage_stats().throttled_insertions,
             )
         };
@@ -2297,7 +2639,7 @@ mod tests {
                 TelemetryRecord::Event(TelemetryEvent::SetpointAdjust { .. }) => adjustments += 1,
                 TelemetryRecord::Event(TelemetryEvent::ApertureUpdate { .. }) => apertures += 1,
                 TelemetryRecord::Event(TelemetryEvent::Scrub { .. }) => scrubs += 1,
-                TelemetryRecord::Sample(s) if s.part == UNMANAGED => um_samples += 1,
+                TelemetryRecord::Sample(s) if s.part.is_unmanaged() => um_samples += 1,
                 TelemetryRecord::Sample(_) => part_samples += 1,
                 _ => {}
             }
@@ -2313,9 +2655,9 @@ mod tests {
         assert_eq!(part_samples, 2 * um_samples, "one sample per partition");
         // Samples carry real targets (scaled onto the managed region).
         let t0 = llc.partition_target(0);
-        assert!(recs
-            .iter()
-            .any(|r| matches!(r, TelemetryRecord::Sample(s) if s.part == 0 && s.target == t0)));
+        assert!(recs.iter().any(
+            |r| matches!(r, TelemetryRecord::Sample(s) if s.part.index() == 0 && s.target == t0)
+        ));
         // take_telemetry removes the handle and stops the stream.
         let before = reader.len();
         assert!(llc.take_telemetry().is_some());
@@ -2363,7 +2705,8 @@ mod tests {
         // Modulo indexing: `set = addr % 4`, so traffic is steerable
         // per set. 4 sets x 16 ways.
         let array = Box::new(SetAssocArray::modulo(64, 16));
-        let mut llc = VantageLlc::new(array, 1, VantageConfig::default(), 5);
+        let mut llc = VantageLlc::try_new(array, 1, VantageConfig::default(), 5)
+            .expect("valid Vantage config");
         llc.set_targets(&[32]);
         // Phase A: park victim lines in set 0, never touched again.
         let victims: Vec<LineAddr> = (0..8u64).map(|v| LineAddr(v * 4)).collect();

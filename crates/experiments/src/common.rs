@@ -45,7 +45,7 @@ pub const USAGE: &str = "options:
   --bank-jobs M  worker threads serving banked batches (<= 1 is serial)
   --quick      drastically reduced scale for smoke runs
   --policy P   allocation policy driving partition targets on UCP-managed
-               schemes: ucp (default), equal, missratio, qos
+               schemes: ucp (default), equal, missratio, qos, clustered
   --telemetry P  record per-partition dynamics traces; P is a base path whose
                  extension picks the format (.csv, else JSON Lines) and each
                  simulated cache writes to a tagged sibling of P
@@ -143,7 +143,7 @@ impl Options {
                     let v = take()?;
                     o.policy = PolicyKind::parse(&v).ok_or_else(|| {
                         UsageError(format!(
-                            "--policy expects ucp, equal, missratio or qos, got '{v}'"
+                            "--policy expects ucp, equal, missratio, qos or clustered, got '{v}'"
                         ))
                     })?;
                 }

@@ -138,7 +138,8 @@ pub fn fig2(opts: &Options) {
 pub fn fig3(opts: &Options) {
     println!("== Fig. 3: feedback-based aperture control artifacts ==");
     // 3a/3c worked example: Ti = 1000 lines, 10% slack, A_max = 0.5, c=256.
-    let table4 = ThresholdTable::new(1000, 0.1, 0.5, 256, 4);
+    let table4 =
+        ThresholdTable::try_new(1000, 0.1, 0.5, 256, 4).expect("valid controller parameters");
     println!("  paper's 4-entry table (Ti=1000, slack=10%, A_max=0.5, c=256):");
     println!("    {:<16} dems per 256 candidates", "size range");
     let probes = [
@@ -160,7 +161,8 @@ pub fn fig3(opts: &Options) {
     }
 
     let mut rows = Vec::new();
-    let table8 = ThresholdTable::new(1000, 0.1, 0.5, 256, 8);
+    let table8 =
+        ThresholdTable::try_new(1000, 0.1, 0.5, 256, 8).expect("valid controller parameters");
     for size in (950..=1200).step_by(5) {
         rows.push(format!(
             "{size},{:.4},{}",

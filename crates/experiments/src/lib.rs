@@ -14,5 +14,6 @@ pub mod montecarlo;
 pub mod perf;
 pub mod perf_parallel;
 pub mod run;
+pub mod service;
 pub mod signal;
 pub mod tables;

@@ -119,7 +119,7 @@ fn bench_llc(name: &str, llc: &mut dyn Llc, scale: Scale, seed: u64) -> Microben
 }
 
 fn vantage_on(array: Box<dyn CacheArray>, cfg: VantageConfig, seed: u64) -> VantageLlc {
-    VantageLlc::new(array, PARTS, cfg, seed)
+    VantageLlc::try_new(array, PARTS, cfg, seed).expect("valid Vantage config")
 }
 
 /// Runs every scheme/array microbenchmark at the given scale.
@@ -183,24 +183,30 @@ pub fn run_microbenches(opts: &Options) -> Vec<MicrobenchResult> {
     );
     go(
         "baseline_lru_sa16",
-        &mut BaselineLlc::new(
+        &mut BaselineLlc::try_new(
             Box::new(SetAssocArray::hashed(f, 16, seed)),
             PARTS,
             RankPolicy::Lru,
-        ),
+        )
+        .expect("valid baseline geometry"),
     );
     go(
         "baseline_lru_z4_52",
-        &mut BaselineLlc::new(
+        &mut BaselineLlc::try_new(
             Box::new(ZArray::new(f, 4, 52, seed)),
             PARTS,
             RankPolicy::Lru,
-        ),
+        )
+        .expect("valid baseline geometry"),
     );
-    go("waypart_sa16", &mut WayPartLlc::new(f, 16, PARTS, seed));
+    go(
+        "waypart_sa16",
+        &mut WayPartLlc::try_new(f, 16, PARTS, seed).expect("valid way-partition geometry"),
+    );
     go(
         "pipp_sa16",
-        &mut PippLlc::new(f, 16, PARTS, PippConfig::default(), seed),
+        &mut PippLlc::try_new(f, 16, PARTS, PippConfig::default(), seed)
+            .expect("valid PIPP geometry"),
     );
     out
 }

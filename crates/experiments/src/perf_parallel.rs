@@ -31,7 +31,9 @@ use rand::{Rng, SeedableRng};
 use vantage::{VantageConfig, VantageLlc};
 use vantage_cache::hash::mix64;
 use vantage_cache::{LineAddr, ZArray};
-use vantage_partitioning::{AccessOutcome, AccessRequest, BankedLlc, Llc, ParallelBankedLlc};
+use vantage_partitioning::{
+    AccessOutcome, AccessRequest, BankedLlc, Llc, ParallelBankedLlc, PartitionId,
+};
 
 use crate::common::{record_failure, Options};
 use crate::perf::append_entry;
@@ -143,7 +145,7 @@ fn state_hash(outcomes: &[AccessOutcome], llc: &mut dyn Llc) -> u64 {
     for p in 0..llc.num_partitions() {
         h = fnv(h, stats.hits[p]);
         h = fnv(h, stats.misses[p]);
-        h = fnv(h, llc.partition_size(p));
+        h = fnv(h, llc.partition_size(PartitionId::from_index(p)));
     }
     fnv(h, stats.evictions)
 }
@@ -155,15 +157,18 @@ fn build_banked(frames: usize, banks: usize, seed: u64) -> BankedLlc {
     let bank_llcs = (0..banks)
         .map(|b| {
             let array = ZArray::new(frames / banks, 4, 52, seed ^ mix64(b as u64 + 0xBA));
-            Box::new(VantageLlc::new(
-                Box::new(array),
-                PARTS,
-                VantageConfig::default(),
-                seed ^ mix64(b as u64),
-            )) as Box<dyn Llc>
+            Box::new(
+                VantageLlc::try_new(
+                    Box::new(array),
+                    PARTS,
+                    VantageConfig::default(),
+                    seed ^ mix64(b as u64),
+                )
+                .expect("valid Vantage config"),
+            ) as Box<dyn Llc>
         })
         .collect();
-    let mut llc = BankedLlc::new(bank_llcs, seed ^ 0xBA2C);
+    let mut llc = BankedLlc::try_new(bank_llcs, seed ^ 0xBA2C).expect("valid bank set");
     llc.set_targets(&[(frames / PARTS) as u64; PARTS]);
     llc
 }

@@ -14,7 +14,7 @@
 //! the same bounds bank-by-bank.
 
 use vantage_cache::hash::mix_bucket;
-use vantage_cache::LineAddr;
+use vantage_cache::{LineAddr, PartitionId};
 use vantage_telemetry::{SharedSink, Telemetry};
 
 use crate::error::SchemeConfigError;
@@ -37,14 +37,14 @@ use crate::sharded::Sharded;
 ///
 /// let banks: Vec<Box<dyn Llc>> = (0..4)
 ///     .map(|b| {
-///         Box::new(BaselineLlc::new(
+///         Box::new(BaselineLlc::try_new(
 ///             Box::new(SetAssocArray::hashed(1024, 16, b)),
 ///             2,
 ///             RankPolicy::Lru,
-///         )) as Box<dyn Llc>
+///         ).expect("valid baseline geometry")) as Box<dyn Llc>
 ///     })
 ///     .collect();
-/// let mut llc = BankedLlc::new(banks, 7);
+/// let mut llc = BankedLlc::try_new(banks, 7).expect("valid bank set");
 /// assert_eq!(llc.capacity(), 4096);
 /// llc.access(AccessRequest::read(0, 0x123.into()));
 /// ```
@@ -67,19 +67,6 @@ pub struct BankedLlc {
 
 impl BankedLlc {
     /// Assembles a banked LLC from per-bank caches.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `banks` is empty or the banks disagree on partition count;
-    /// use [`BankedLlc::try_new`] to handle the error instead.
-    pub fn new(banks: Vec<Box<dyn Llc>>, bank_seed: u64) -> Self {
-        match Self::try_new(banks, bank_seed) {
-            Ok(llc) => llc,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible constructor.
     ///
     /// # Errors
     ///
@@ -190,15 +177,51 @@ impl Llc for BankedLlc {
         }
     }
 
-    fn partition_size(&self, part: usize) -> u64 {
+    fn partition_size(&self, part: PartitionId) -> u64 {
         self.banks.iter().map(|b| b.partition_size(part)).sum()
     }
 
+    /// Creates the partition in every bank, splitting the requested target
+    /// evenly (largest-remainder, mirroring [`Llc::set_targets`]). Banks
+    /// move in lockstep — construction enforces equal populations and every
+    /// lifecycle call fans out — so all banks hand back the same slot.
+    fn create_partition(
+        &mut self,
+        spec: crate::llc::PartitionSpec,
+    ) -> Result<PartitionId, crate::llc::LifecycleError> {
+        let n = self.banks.len() as u64;
+        let mut id = None;
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            let share = spec.target / n + u64::from((b as u64) < spec.target % n);
+            // Bank 0 screens the request (Unsupported/Exhausted fire before
+            // any state moves); later banks cannot disagree with it.
+            let got = bank.create_partition(crate::llc::PartitionSpec::with_target(share))?;
+            assert!(
+                id.replace(got).is_none_or(|prev| prev == got),
+                "banks diverged on partition slot assignment"
+            );
+        }
+        self.partitions = self.banks[0].num_partitions();
+        self.agg.resize(self.partitions);
+        Ok(id.expect("at least one bank"))
+    }
+
+    /// Destroys the partition in every bank; each bank drains it through
+    /// its own demotion machinery.
+    fn destroy_partition(&mut self, part: PartitionId) -> Result<(), crate::llc::LifecycleError> {
+        for bank in &mut self.banks {
+            bank.destroy_partition(part)?;
+        }
+        Ok(())
+    }
+
     /// Sums each bank's snapshot, so bank-local dynamics metering (e.g.
-    /// Vantage churn counters) survives sharding.
+    /// Vantage churn counters) survives sharding. Lifecycle lanes come from
+    /// bank 0 (banks move in lockstep, so the deltas are identical; the
+    /// other banks' queues are drained and discarded).
     fn observations(&mut self) -> crate::llc::PartitionObservations {
         let mut obs = crate::llc::PartitionObservations::new(self.partitions);
-        for bank in &mut self.banks {
+        for (b, bank) in self.banks.iter_mut().enumerate() {
             let bo = bank.observations();
             for p in 0..self.partitions {
                 obs.actual[p] += bo.actual[p];
@@ -207,6 +230,11 @@ impl Llc for BankedLlc {
                 obs.misses[p] += bo.misses[p];
                 obs.churn[p] += bo.churn[p];
                 obs.insertions[p] += bo.insertions[p];
+            }
+            if b == 0 {
+                obs.live = bo.live;
+                obs.arrived = bo.arrived;
+                obs.departed = bo.departed;
             }
         }
         obs
@@ -299,6 +327,15 @@ impl vantage_snapshot::Snapshot for BankedLlc {
             bank.load_state(&mut sub)?;
             sub.finish()?;
         }
+        // Service mode: the saved run may have created/destroyed partitions,
+        // resizing each bank's slot table. Re-derive the shared count and
+        // insist the banks still agree.
+        let partitions = self.banks[0].num_partitions();
+        if !self.banks.iter().all(|b| b.num_partitions() == partitions) {
+            return Err(dec.mismatch("banks disagree on partition count after restore"));
+        }
+        self.partitions = partitions;
+        self.agg.resize(partitions);
         self.refresh_stats();
         Ok(())
     }
@@ -333,14 +370,17 @@ mod tests {
     fn banked_baseline(banks: usize, lines_per_bank: usize) -> BankedLlc {
         let banks: Vec<Box<dyn Llc>> = (0..banks as u64)
             .map(|b| {
-                Box::new(BaselineLlc::new(
-                    Box::new(ZArray::new(lines_per_bank, 4, 16, b)),
-                    2,
-                    RankPolicy::Lru,
-                )) as Box<dyn Llc>
+                Box::new(
+                    BaselineLlc::try_new(
+                        Box::new(ZArray::new(lines_per_bank, 4, 16, b)),
+                        2,
+                        RankPolicy::Lru,
+                    )
+                    .expect("valid baseline geometry"),
+                ) as Box<dyn Llc>
             })
             .collect();
-        BankedLlc::new(banks, 99)
+        BankedLlc::try_new(banks, 99).expect("valid bank set")
     }
 
     #[test]
@@ -381,9 +421,12 @@ mod tests {
     #[test]
     fn targets_split_exactly() {
         let banks: Vec<Box<dyn Llc>> = (0..4u64)
-            .map(|b| Box::new(WayPartLlc::new(1024, 16, 2, b)) as Box<dyn Llc>)
+            .map(|b| {
+                Box::new(WayPartLlc::try_new(1024, 16, 2, b).expect("valid way-partition geometry"))
+                    as Box<dyn Llc>
+            })
             .collect();
-        let mut llc = BankedLlc::new(banks, 1);
+        let mut llc = BankedLlc::try_new(banks, 1).expect("valid bank set");
         // 2600 is not divisible by 4: largest remainder must still hand out
         // whole-line shares summing to the total.
         llc.set_targets(&[2600, 1496]);
@@ -393,7 +436,10 @@ mod tests {
         for i in 0..20_000u64 {
             llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i % 3000)));
         }
-        assert!(llc.partition_size(0) > llc.partition_size(1));
+        assert!(
+            llc.partition_size(PartitionId::from_index(0))
+                > llc.partition_size(PartitionId::from_index(1))
+        );
     }
 
     #[test]
@@ -405,12 +451,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one bank")]
-    fn empty_banks_rejected() {
-        BankedLlc::new(Vec::new(), 0);
-    }
-
-    #[test]
     fn try_new_reports_structured_errors() {
         use crate::SchemeConfigError;
         assert_eq!(
@@ -418,8 +458,8 @@ mod tests {
             Some(SchemeConfigError::NoBanks)
         );
         let banks: Vec<Box<dyn Llc>> = vec![
-            Box::new(WayPartLlc::new(256, 4, 2, 0)),
-            Box::new(WayPartLlc::new(256, 4, 3, 1)),
+            Box::new(WayPartLlc::try_new(256, 4, 2, 0).expect("valid way-partition geometry")),
+            Box::new(WayPartLlc::try_new(256, 4, 3, 1).expect("valid way-partition geometry")),
         ];
         assert_eq!(
             BankedLlc::try_new(banks, 0).err(),

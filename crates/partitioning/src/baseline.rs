@@ -7,7 +7,9 @@
 //! Fig. 6b. Partition IDs are still tracked so experiments can observe how
 //! free-for-all sharing divides capacity, but targets are ignored.
 
-use vantage_cache::{CacheArray, Frame, RripConfig, RripPolicy, TagMeta, Walk, TAG_UNMANAGED};
+use vantage_cache::{
+    CacheArray, Frame, PartitionId, RripConfig, RripPolicy, TagMeta, Walk, TAG_UNMANAGED,
+};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
@@ -38,7 +40,7 @@ enum RankState {
 /// use vantage_partitioning::{AccessRequest, BaselineLlc, Llc, RankPolicy};
 ///
 /// let array = SetAssocArray::hashed(4096, 16, 1);
-/// let mut llc = BaselineLlc::new(Box::new(array), 4, RankPolicy::Lru);
+/// let mut llc = BaselineLlc::try_new(Box::new(array), 4, RankPolicy::Lru).expect("valid baseline geometry");
 /// llc.access(AccessRequest::read(0, 0x10.into()));
 /// assert_eq!(llc.stats().misses[0], 1);
 /// llc.access(AccessRequest::read(0, 0x10.into()));
@@ -63,21 +65,8 @@ pub struct BaselineLlc {
 
 impl BaselineLlc {
     /// Creates an unpartitioned cache over `array` serving `partitions`
-    /// requestors with the given replacement `rank` policy.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `partitions` is 0 or exceeds `u16::MAX`; use
-    /// [`BaselineLlc::try_new`] to handle the error instead.
-    pub fn new(array: Box<dyn CacheArray>, partitions: usize, rank: RankPolicy) -> Self {
-        match Self::try_new(array, partitions, rank) {
-            Ok(llc) => llc,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible constructor: rejects partition counts outside
-    /// `1..=u16::MAX`.
+    /// requestors with the given replacement `rank` policy. Rejects
+    /// partition counts outside `1..=u16::MAX`.
     ///
     /// # Errors
     ///
@@ -128,7 +117,7 @@ impl BaselineLlc {
         for part in 0..self.part_lines.len() {
             self.tele.sample(PartitionSample {
                 access: self.accesses,
-                part: part as u16,
+                part: PartitionId::from_index(part),
                 actual: self.part_lines[part],
                 target: 0,
                 aperture: 0.0,
@@ -193,6 +182,7 @@ impl BaselineLlc {
 impl Llc for BaselineLlc {
     fn access(&mut self, req: AccessRequest) -> AccessOutcome {
         let AccessRequest { part, addr, .. } = req;
+        let part = part.index();
         self.accesses += 1;
         if self.tele.sample_due(self.accesses) {
             self.emit_samples();
@@ -216,7 +206,7 @@ impl Llc for BaselineLlc {
             self.part_lines[vowner as usize] -= 1;
             self.tele.event(TelemetryEvent::Eviction {
                 access: self.accesses,
-                part: vowner,
+                part: PartitionId::from_raw(vowner),
                 forced: false,
             });
         }
@@ -267,8 +257,8 @@ impl Llc for BaselineLlc {
         );
     }
 
-    fn partition_size(&self, part: usize) -> u64 {
-        self.part_lines[part]
+    fn partition_size(&self, part: PartitionId) -> u64 {
+        self.part_lines[part.index()]
     }
 
     fn stats(&self) -> &LlcStats {
@@ -409,11 +399,12 @@ mod tests {
     use vantage_cache::{RripMode, SetAssocArray, ZArray};
 
     fn lru_llc(frames: usize, ways: usize) -> BaselineLlc {
-        BaselineLlc::new(
+        BaselineLlc::try_new(
             Box::new(SetAssocArray::hashed(frames, ways, 3)),
             2,
             RankPolicy::Lru,
         )
+        .expect("valid baseline geometry")
     }
 
     #[test]
@@ -435,7 +426,8 @@ mod tests {
     fn lru_evicts_least_recent() {
         // Modulo-indexed 1-set cache so we control the conflict pattern.
         let array = SetAssocArray::modulo(4, 4);
-        let mut c = BaselineLlc::new(Box::new(array), 1, RankPolicy::Lru);
+        let mut c = BaselineLlc::try_new(Box::new(array), 1, RankPolicy::Lru)
+            .expect("valid baseline geometry");
         for i in 0..4u64 {
             c.access(AccessRequest::read(0, LineAddr(i)));
         }
@@ -461,21 +453,25 @@ mod tests {
         for i in 100..105u64 {
             c.access(AccessRequest::read(1, LineAddr(i)));
         }
-        assert_eq!(c.partition_size(0), 10);
-        assert_eq!(c.partition_size(1), 5);
+        assert_eq!(c.partition_size(PartitionId::from_index(0)), 10);
+        assert_eq!(c.partition_size(PartitionId::from_index(1)), 5);
         assert_eq!(c.capacity(), 256);
     }
 
     #[test]
     fn works_over_zcache_with_relocations() {
         let array = ZArray::new(512, 4, 16, 5);
-        let mut c = BaselineLlc::new(Box::new(array), 1, RankPolicy::Lru);
+        let mut c = BaselineLlc::try_new(Box::new(array), 1, RankPolicy::Lru)
+            .expect("valid baseline geometry");
         // Drive enough traffic to force evictions with relocations.
         for i in 0..4096u64 {
             c.access(AccessRequest::read(0, LineAddr(i % 700)));
         }
         assert!(c.stats().evictions > 0);
-        assert_eq!(c.partition_size(0), c.array().occupancy() as u64);
+        assert_eq!(
+            c.partition_size(PartitionId::from_index(0)),
+            c.array().occupancy() as u64
+        );
         // Re-access a recently used window: mostly hits.
         let before = c.stats().hits[0];
         for i in 0..50u64 {
@@ -488,7 +484,8 @@ mod tests {
     fn rrip_baseline_runs() {
         let array = SetAssocArray::hashed(512, 16, 9);
         let cfg = RripConfig::paper(RripMode::Drrip, 2, 11);
-        let mut c = BaselineLlc::new(Box::new(array), 2, RankPolicy::Rrip(cfg));
+        let mut c = BaselineLlc::try_new(Box::new(array), 2, RankPolicy::Rrip(cfg))
+            .expect("valid baseline geometry");
         for i in 0..10_000u64 {
             c.access(AccessRequest::read((i % 2) as usize, LineAddr(i % 1500)));
         }
@@ -509,12 +506,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad partition count")]
-    fn new_panics_with_legacy_message() {
-        BaselineLlc::new(
+    fn zero_partitions_is_a_typed_error() {
+        use crate::SchemeConfigError;
+        let err = BaselineLlc::try_new(
             Box::new(SetAssocArray::hashed(64, 4, 1)),
             0,
             RankPolicy::Lru,
+        )
+        .err();
+        assert_eq!(
+            err,
+            Some(SchemeConfigError::BadPartitionCount { partitions: 0 })
         );
     }
 

@@ -34,8 +34,12 @@ pub use baseline::{BaselineLlc, RankPolicy};
 pub use caps::{HasInvariants, HasPartitionPolicy, InvariantViolation};
 pub use error::SchemeConfigError;
 pub use hist::TsHistogram;
-pub use llc::{AccessKind, AccessOutcome, AccessRequest, Llc, LlcStats, PartitionObservations};
+pub use llc::{
+    AccessKind, AccessOutcome, AccessRequest, LifecycleError, Llc, LlcStats, PartitionObservations,
+    PartitionSpec,
+};
 pub use parallel::ParallelBankedLlc;
 pub use pipp::{PippConfig, PippLlc};
 pub use sharded::Sharded;
+pub use vantage_cache::PartitionId;
 pub use way_part::WayPartLlc;

@@ -1,6 +1,6 @@
 //! The [`Llc`] trait: a shared, partitioned last-level cache.
 
-use vantage_cache::LineAddr;
+use vantage_cache::{LineAddr, PartitionId};
 use vantage_telemetry::Telemetry;
 
 /// The kind of memory operation an [`AccessRequest`] models.
@@ -26,8 +26,9 @@ pub enum AccessKind {
 /// across worker threads by sharded engines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct AccessRequest {
-    /// The partition (usually a core/thread) the access is on behalf of.
-    pub part: usize,
+    /// The partition (a core/thread or a service-mode tenant) the access
+    /// is on behalf of.
+    pub part: PartitionId,
     /// The line address accessed.
     pub addr: LineAddr,
     /// Read or write (see [`AccessKind`]).
@@ -35,21 +36,26 @@ pub struct AccessRequest {
 }
 
 impl AccessRequest {
-    /// Builds a request with an explicit kind.
+    /// Builds a request with an explicit kind. Accepts a [`PartitionId`]
+    /// or (transitionally) a raw `usize` slot index.
     #[inline]
-    pub fn new(part: usize, addr: LineAddr, kind: AccessKind) -> Self {
-        Self { part, addr, kind }
+    pub fn new(part: impl Into<PartitionId>, addr: LineAddr, kind: AccessKind) -> Self {
+        Self {
+            part: part.into(),
+            addr,
+            kind,
+        }
     }
 
     /// Builds a read request — the common case throughout the simulator.
     #[inline]
-    pub fn read(part: usize, addr: LineAddr) -> Self {
+    pub fn read(part: impl Into<PartitionId>, addr: LineAddr) -> Self {
         Self::new(part, addr, AccessKind::Read)
     }
 
     /// Builds a write request.
     #[inline]
-    pub fn write(part: usize, addr: LineAddr) -> Self {
+    pub fn write(part: impl Into<PartitionId>, addr: LineAddr) -> Self {
         Self::new(part, addr, AccessKind::Write)
     }
 }
@@ -91,14 +97,18 @@ impl LlcStats {
         }
     }
 
-    /// Total accesses by `part`.
-    pub fn accesses(&self, part: usize) -> u64 {
-        self.hits[part] + self.misses[part]
+    /// Total accesses by `part` (a [`PartitionId`] or, transitionally, a
+    /// raw `usize` slot index).
+    pub fn accesses(&self, part: impl Into<PartitionId>) -> u64 {
+        let p = part.into().index();
+        self.hits[p] + self.misses[p]
     }
 
     /// Miss ratio of `part` (0 if it made no accesses).
-    pub fn miss_ratio(&self, part: usize) -> f64 {
+    pub fn miss_ratio(&self, part: impl Into<PartitionId>) -> f64 {
+        let part = part.into();
         let a = self.accesses(part);
+        let part = part.index();
         if a == 0 {
             0.0
         } else {
@@ -121,6 +131,14 @@ impl LlcStats {
         self.hits.fill(0);
         self.misses.fill(0);
         self.evictions = 0;
+    }
+
+    /// Grows or shrinks the per-partition counters to `partitions` slots
+    /// (new slots start at zero). Used by schemes with a runtime partition
+    /// lifecycle when the slot table grows.
+    pub fn resize(&mut self, partitions: usize) {
+        self.hits.resize(partitions, 0);
+        self.misses.resize(partitions, 0);
     }
 }
 
@@ -177,10 +195,22 @@ pub struct PartitionObservations {
     /// Lines installed per partition since the previous snapshot (0 for
     /// schemes that do not meter insertions).
     pub insertions: Vec<u64>,
+    /// Whether each slot hosts a live (serviceable) partition. Destroyed
+    /// or never-created slots report `false`; consumers aggregating CSV
+    /// rows or SLA reports must skip dead slots rather than ingest their
+    /// zeroed/stale counters.
+    pub live: Vec<bool>,
+    /// Partitions created since the previous snapshot (service-mode
+    /// arrival deltas for allocation policies).
+    pub arrived: Vec<PartitionId>,
+    /// Partitions destroyed since the previous snapshot (departure
+    /// deltas; the slot may still be draining).
+    pub departed: Vec<PartitionId>,
 }
 
 impl PartitionObservations {
-    /// Creates a zeroed snapshot for `partitions` partitions.
+    /// Creates a zeroed snapshot for `partitions` partitions (all live,
+    /// no lifecycle deltas — the fixed-population default).
     pub fn new(partitions: usize) -> Self {
         Self {
             actual: vec![0; partitions],
@@ -189,6 +219,9 @@ impl PartitionObservations {
             misses: vec![0; partitions],
             churn: vec![0; partitions],
             insertions: vec![0; partitions],
+            live: vec![true; partitions],
+            arrived: Vec::new(),
+            departed: Vec::new(),
         }
     }
 
@@ -196,7 +229,58 @@ impl PartitionObservations {
     pub fn num_partitions(&self) -> usize {
         self.actual.len()
     }
+
+    /// Number of live partitions in the snapshot.
+    pub fn num_live(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
 }
+
+/// Requested configuration for a partition created at runtime (see
+/// [`Llc::create_partition`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Requested capacity target in lines of total cache capacity (the
+    /// allocation-policy view; schemes scale it onto their mechanism).
+    /// The grant may be smaller when spare capacity is short — the next
+    /// repartitioning epoch trues it up.
+    pub target: u64,
+}
+
+impl PartitionSpec {
+    /// A spec requesting `target` lines.
+    pub fn with_target(target: u64) -> Self {
+        Self { target }
+    }
+}
+
+/// Why a runtime partition lifecycle operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LifecycleError {
+    /// The scheme has no runtime partition lifecycle (fixed population).
+    Unsupported,
+    /// Every slot the scheme can address is in use (the `u16` tag lane
+    /// bounds the population at [`PartitionId::MAX_PARTITIONS`]).
+    Exhausted,
+    /// The partition is not live (already destroyed, still draining, or
+    /// never created).
+    NotLive(PartitionId),
+    /// The ID does not name a slot this cache has ever allocated.
+    OutOfRange(PartitionId),
+}
+
+impl std::fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unsupported => f.write_str("scheme has no runtime partition lifecycle"),
+            Self::Exhausted => f.write_str("partition slots exhausted (u16 tag lane)"),
+            Self::NotLive(p) => write!(f, "partition {p} is not live"),
+            Self::OutOfRange(p) => write!(f, "partition {p} was never allocated"),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
 
 /// A shared last-level cache serving multiple partitions.
 ///
@@ -264,7 +348,50 @@ pub trait Llc: Send + vantage_snapshot::Snapshot {
     fn set_targets(&mut self, targets: &[u64]);
 
     /// The number of lines partition `part` currently holds.
-    fn partition_size(&self, part: usize) -> u64;
+    fn partition_size(&self, part: PartitionId) -> u64;
+
+    /// [`partition_size`](Llc::partition_size) taking a raw slot index —
+    /// a transitional shim for pre-[`PartitionId`] callers.
+    #[deprecated(note = "use partition_size(PartitionId) instead")]
+    fn partition_size_at(&self, part: usize) -> u64 {
+        self.partition_size(PartitionId::from_index(part))
+    }
+
+    /// Creates a partition at runtime and returns its handle.
+    ///
+    /// Schemes with a runtime lifecycle (Vantage and its banked wrappers)
+    /// allocate a slot (reusing a fully drained one when available), seed
+    /// it with as much of `spec.target` as current spare capacity allows,
+    /// and emit a partition-created telemetry event. The default is a
+    /// fixed-population scheme: [`LifecycleError::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::Unsupported`] on fixed-population schemes and
+    /// [`LifecycleError::Exhausted`] when the `u16` tag lane has no free
+    /// slot left.
+    fn create_partition(&mut self, spec: PartitionSpec) -> Result<PartitionId, LifecycleError> {
+        let _ = spec;
+        Err(LifecycleError::Unsupported)
+    }
+
+    /// Destroys a live partition.
+    ///
+    /// Destruction never flushes: the slot stops receiving capacity (its
+    /// target moves to the unmanaged region) and its resident lines drain
+    /// through the scheme's ordinary demotion machinery as other tenants
+    /// churn. The slot becomes reusable once fully drained.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::Unsupported`] on fixed-population schemes,
+    /// [`LifecycleError::OutOfRange`] for a handle this cache never
+    /// allocated, and [`LifecycleError::NotLive`] when the partition was
+    /// already destroyed.
+    fn destroy_partition(&mut self, part: PartitionId) -> Result<(), LifecycleError> {
+        let _ = part;
+        Err(LifecycleError::Unsupported)
+    }
 
     /// Hit/miss statistics.
     fn stats(&self) -> &LlcStats;
@@ -291,7 +418,7 @@ pub trait Llc: Send + vantage_snapshot::Snapshot {
         let n = self.num_partitions();
         let mut obs = PartitionObservations::new(n);
         for p in 0..n {
-            obs.actual[p] = self.partition_size(p);
+            obs.actual[p] = self.partition_size(PartitionId::from_index(p));
         }
         let stats = self.stats();
         obs.hits.copy_from_slice(&stats.hits);

@@ -19,7 +19,7 @@
 //! path, where per-bank batch specializations (prefetch pipelining) do the
 //! amortizing.
 
-use vantage_cache::LineAddr;
+use vantage_cache::{LineAddr, PartitionId};
 use vantage_telemetry::Telemetry;
 
 use crate::banked::BankedLlc;
@@ -54,14 +54,14 @@ struct WorkBatch {
 ///
 /// let banks: Vec<Box<dyn Llc>> = (0..4)
 ///     .map(|b| {
-///         Box::new(BaselineLlc::new(
+///         Box::new(BaselineLlc::try_new(
 ///             Box::new(SetAssocArray::hashed(1024, 16, b)),
 ///             2,
 ///             RankPolicy::Lru,
-///         )) as Box<dyn Llc>
+///         ).expect("valid baseline geometry")) as Box<dyn Llc>
 ///     })
 ///     .collect();
-/// let mut llc = ParallelBankedLlc::new(banks, 7, 2);
+/// let mut llc = ParallelBankedLlc::try_new(banks, 7, 2).expect("valid bank set");
 /// let reqs: Vec<AccessRequest> =
 ///     (0..100).map(|i| AccessRequest::read(0, vantage_cache::LineAddr(i))).collect();
 /// let mut out = Vec::new();
@@ -87,19 +87,6 @@ impl ParallelBankedLlc {
 
     /// Assembles a parallel banked LLC from per-bank caches; `jobs` is the
     /// worker count (clamped to the bank count, 0 treated as 1).
-    ///
-    /// # Panics
-    ///
-    /// Panics on the same conditions as [`BankedLlc::new`]; use
-    /// [`ParallelBankedLlc::try_new`] to handle the error instead.
-    pub fn new(banks: Vec<Box<dyn Llc>>, bank_seed: u64, jobs: usize) -> Self {
-        match Self::try_new(banks, bank_seed, jobs) {
-            Ok(llc) => llc,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible constructor.
     ///
     /// # Errors
     ///
@@ -268,8 +255,19 @@ impl Llc for ParallelBankedLlc {
         self.inner.set_targets(targets);
     }
 
-    fn partition_size(&self, part: usize) -> u64 {
+    fn partition_size(&self, part: PartitionId) -> u64 {
         self.inner.partition_size(part)
+    }
+
+    fn create_partition(
+        &mut self,
+        spec: crate::llc::PartitionSpec,
+    ) -> Result<PartitionId, crate::llc::LifecycleError> {
+        self.inner.create_partition(spec)
+    }
+
+    fn destroy_partition(&mut self, part: PartitionId) -> Result<(), crate::llc::LifecycleError> {
+        self.inner.destroy_partition(part)
     }
 
     fn observations(&mut self) -> crate::llc::PartitionObservations {
@@ -340,11 +338,14 @@ mod tests {
     fn banks(n: usize, lines_per_bank: usize) -> Vec<Box<dyn Llc>> {
         (0..n as u64)
             .map(|b| {
-                Box::new(BaselineLlc::new(
-                    Box::new(ZArray::new(lines_per_bank, 4, 16, b)),
-                    2,
-                    RankPolicy::Lru,
-                )) as Box<dyn Llc>
+                Box::new(
+                    BaselineLlc::try_new(
+                        Box::new(ZArray::new(lines_per_bank, 4, 16, b)),
+                        2,
+                        RankPolicy::Lru,
+                    )
+                    .expect("valid baseline geometry"),
+                ) as Box<dyn Llc>
             })
             .collect()
     }
@@ -358,12 +359,14 @@ mod tests {
     #[test]
     fn parallel_matches_serial_bit_for_bit() {
         let reqs = trace(20_000);
-        let mut serial = BankedLlc::new(banks(4, 512), 7);
+        let mut serial = BankedLlc::try_new(banks(4, 512), 7).expect("valid bank set");
         let mut serial_out = Vec::new();
         serial.access_batch(&reqs, &mut serial_out);
 
         for jobs in [1, 2, 4] {
-            let mut par = ParallelBankedLlc::new(banks(4, 512), 7, jobs).with_batch_size(32);
+            let mut par = ParallelBankedLlc::try_new(banks(4, 512), 7, jobs)
+                .expect("valid bank set")
+                .with_batch_size(32);
             let mut par_out = Vec::new();
             par.access_batch(&reqs, &mut par_out);
             assert_eq!(serial_out, par_out, "outcomes diverge at jobs={jobs}");
@@ -371,14 +374,17 @@ mod tests {
             assert_eq!(serial.stats_mut().misses, par.stats_mut().misses);
             assert_eq!(serial.stats_mut().evictions, par.stats_mut().evictions);
             for p in 0..2 {
-                assert_eq!(serial.partition_size(p), par.partition_size(p));
+                assert_eq!(
+                    serial.partition_size(PartitionId::from_index(p)),
+                    par.partition_size(PartitionId::from_index(p))
+                );
             }
         }
     }
 
     #[test]
     fn small_batches_take_the_serial_path() {
-        let mut par = ParallelBankedLlc::new(banks(2, 256), 3, 2);
+        let mut par = ParallelBankedLlc::try_new(banks(2, 256), 3, 2).expect("valid bank set");
         let reqs = trace(ParallelBankedLlc::PARALLEL_THRESHOLD as u64 - 1);
         let mut out = Vec::new();
         par.access_batch(&reqs, &mut out);
@@ -387,15 +393,15 @@ mod tests {
 
     #[test]
     fn jobs_clamped_to_bank_count() {
-        let par = ParallelBankedLlc::new(banks(2, 256), 3, 16);
+        let par = ParallelBankedLlc::try_new(banks(2, 256), 3, 16).expect("valid bank set");
         assert_eq!(par.bank_jobs(), 2);
-        let par = ParallelBankedLlc::new(banks(2, 256), 3, 0);
+        let par = ParallelBankedLlc::try_new(banks(2, 256), 3, 0).expect("valid bank set");
         assert_eq!(par.bank_jobs(), 1);
     }
 
     #[test]
     fn delegates_llc_surface_to_inner() {
-        let mut par = ParallelBankedLlc::new(banks(4, 256), 9, 2);
+        let mut par = ParallelBankedLlc::try_new(banks(4, 256), 9, 2).expect("valid bank set");
         assert_eq!(par.capacity(), 1024);
         assert_eq!(par.num_partitions(), 2);
         assert!(par.name().starts_with("4x"));

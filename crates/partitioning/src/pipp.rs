@@ -22,7 +22,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vantage_cache::{CacheArray, SetAssocArray, TagMeta, Walk, TAG_UNMANAGED};
+use vantage_cache::{CacheArray, PartitionId, SetAssocArray, TagMeta, Walk, TAG_UNMANAGED};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
@@ -59,7 +59,7 @@ impl Default for PippConfig {
 /// ```
 /// use vantage_partitioning::{AccessRequest, Llc, PippConfig, PippLlc};
 ///
-/// let mut llc = PippLlc::new(4096, 16, 4, PippConfig::default(), 7);
+/// let mut llc = PippLlc::try_new(4096, 16, 4, PippConfig::default(), 7).expect("valid PIPP geometry");
 /// llc.set_targets(&[1024, 1024, 1024, 1024]);
 /// llc.access(AccessRequest::read(0, 0x3.into()));
 /// ```
@@ -91,19 +91,6 @@ pub struct PippLlc {
 impl PippLlc {
     /// Creates a PIPP cache of `frames` lines and `ways` ways (H3-hashed
     /// indexing) shared by `partitions` partitions.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the geometry is invalid or `partitions > ways`; use
-    /// [`PippLlc::try_new`] to handle the error instead.
-    pub fn new(frames: usize, ways: usize, partitions: usize, cfg: PippConfig, seed: u64) -> Self {
-        match Self::try_new(frames, ways, partitions, cfg, seed) {
-            Ok(llc) => llc,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible constructor.
     ///
     /// # Errors
     ///
@@ -163,7 +150,7 @@ impl PippLlc {
         for part in 0..self.part_lines.len() {
             self.tele.sample(PartitionSample {
                 access: self.accesses,
-                part: part as u16,
+                part: PartitionId::from_index(part),
                 actual: self.part_lines[part],
                 target: u64::from(self.alloc[part]) * lines_per_way,
                 aperture: 0.0,
@@ -253,6 +240,7 @@ impl PippLlc {
 impl Llc for PippLlc {
     fn access(&mut self, req: AccessRequest) -> AccessOutcome {
         let AccessRequest { part, addr, .. } = req;
+        let part = part.index();
         self.accesses += 1;
         if self.tele.sample_due(self.accesses) {
             self.emit_samples();
@@ -299,7 +287,7 @@ impl Llc for PippLlc {
             self.part_lines[vowner as usize] -= 1;
             self.tele.event(TelemetryEvent::Eviction {
                 access: self.accesses,
-                part: vowner,
+                part: PartitionId::from_raw(vowner),
                 forced: false,
             });
         }
@@ -352,8 +340,8 @@ impl Llc for PippLlc {
         self.alloc = alloc;
     }
 
-    fn partition_size(&self, part: usize) -> u64 {
-        self.part_lines[part]
+    fn partition_size(&self, part: PartitionId) -> u64 {
+        self.part_lines[part.index()]
     }
 
     fn stats(&self) -> &LlcStats {
@@ -498,7 +486,7 @@ mod tests {
     use vantage_cache::LineAddr;
 
     fn pipp(parts: usize) -> PippLlc {
-        PippLlc::new(1024, 16, parts, PippConfig::default(), 42)
+        PippLlc::try_new(1024, 16, parts, PippConfig::default(), 42).expect("valid PIPP geometry")
     }
 
     #[test]
@@ -532,10 +520,11 @@ mod tests {
             llc.access(AccessRequest::read(1, LineAddr(10_000 + i % 600)));
         }
         assert!(
-            llc.partition_size(0) > llc.partition_size(1),
+            llc.partition_size(PartitionId::from_index(0))
+                > llc.partition_size(PartitionId::from_index(1)),
             "sizes {} vs {}",
-            llc.partition_size(0),
-            llc.partition_size(1)
+            llc.partition_size(PartitionId::from_index(0)),
+            llc.partition_size(PartitionId::from_index(1))
         );
     }
 
@@ -550,7 +539,7 @@ mod tests {
             llc.access(AccessRequest::read(1, LineAddr(i)));
         }
         assert!(
-            llc.partition_size(1) > 512,
+            llc.partition_size(PartitionId::from_index(1)) > 512,
             "idle partner cedes space in PIPP"
         );
     }
@@ -575,7 +564,8 @@ mod tests {
     fn insert_positions_collapse_with_many_partitions() {
         // The scalability failure the paper highlights: 16 partitions on 16
         // ways all insert at the LRU end.
-        let llc = PippLlc::new(1024, 16, 16, PippConfig::default(), 1);
+        let llc =
+            PippLlc::try_new(1024, 16, 16, PippConfig::default(), 1).expect("valid PIPP geometry");
         for p in 0..16 {
             assert_eq!(llc.insert_position(p), 0);
         }

@@ -12,7 +12,7 @@
 //! owner are evicted only as the new owner misses into each set, which
 //! reproduces the slow target-tracking the paper observes in Fig. 8a.
 
-use vantage_cache::{SetAssocArray, TagMeta, TsLru, TAG_UNMANAGED};
+use vantage_cache::{PartitionId, SetAssocArray, TagMeta, TsLru, TAG_UNMANAGED};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
@@ -74,7 +74,7 @@ impl PriorityProbe {
 /// use vantage_partitioning::{AccessRequest, Llc, WayPartLlc};
 ///
 /// // 4096 lines, 16 ways, 2 partitions.
-/// let mut llc = WayPartLlc::new(4096, 16, 2, 1);
+/// let mut llc = WayPartLlc::try_new(4096, 16, 2, 1).expect("valid way-partition geometry");
 /// llc.set_targets(&[3072, 1024]); // 12 + 4 ways
 /// assert_eq!(llc.way_allocation(), &[12, 4]);
 /// llc.access(AccessRequest::read(0, 0x99.into()));
@@ -104,19 +104,6 @@ impl WayPartLlc {
     /// Creates a way-partitioned cache of `frames` lines and `ways` ways
     /// (H3-hashed set indexing, seeded by `seed`), initially divided evenly
     /// among `partitions`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the geometry is invalid or `partitions > ways`; use
-    /// [`WayPartLlc::try_new`] to handle the error instead.
-    pub fn new(frames: usize, ways: usize, partitions: usize, seed: u64) -> Self {
-        match Self::try_new(frames, ways, partitions, seed) {
-            Ok(llc) => llc,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible constructor.
     ///
     /// # Errors
     ///
@@ -159,7 +146,7 @@ impl WayPartLlc {
         for part in 0..self.part_lines.len() {
             self.tele.sample(PartitionSample {
                 access: self.accesses,
-                part: part as u16,
+                part: PartitionId::from_index(part),
                 actual: self.part_lines[part],
                 target: u64::from(self.alloc[part]) * lines_per_way,
                 aperture: 0.0,
@@ -232,6 +219,7 @@ impl WayPartLlc {
 impl Llc for WayPartLlc {
     fn access(&mut self, req: AccessRequest) -> AccessOutcome {
         let AccessRequest { part, addr, .. } = req;
+        let part = part.index();
         use vantage_cache::CacheArray;
         self.accesses += 1;
         if self.tele.sample_due(self.accesses) {
@@ -291,7 +279,7 @@ impl Llc for WayPartLlc {
             self.part_lines[vowner] -= 1;
             self.tele.event(TelemetryEvent::Eviction {
                 access: self.accesses,
-                part: vowner as u16,
+                part: PartitionId::from_index(vowner),
                 forced: false,
             });
             if let Some(pr) = self.probe.as_mut() {
@@ -325,8 +313,8 @@ impl Llc for WayPartLlc {
         self.set_ways(&alloc);
     }
 
-    fn partition_size(&self, part: usize) -> u64 {
-        self.part_lines[part]
+    fn partition_size(&self, part: PartitionId) -> u64 {
+        self.part_lines[part.index()]
     }
 
     fn stats(&self) -> &LlcStats {
@@ -494,7 +482,7 @@ mod tests {
 
     #[test]
     fn strict_isolation_between_partitions() {
-        let mut llc = WayPartLlc::new(1024, 16, 2, 1);
+        let mut llc = WayPartLlc::try_new(1024, 16, 2, 1).expect("valid way-partition geometry");
         llc.set_targets(&[512, 512]);
         // Partition 0 touches a small working set; partition 1 streams.
         for i in 0..64u64 {
@@ -513,24 +501,24 @@ mod tests {
 
     #[test]
     fn partition_cannot_exceed_way_share() {
-        let mut llc = WayPartLlc::new(1024, 16, 2, 2);
+        let mut llc = WayPartLlc::try_new(1024, 16, 2, 2).expect("valid way-partition geometry");
         llc.set_targets(&[256, 768]); // 4 vs 12 ways
         for i in 0..100_000u64 {
             llc.access(AccessRequest::read(0, LineAddr(i)));
         }
         // Partition 0 owns 4/16 of the ways = 256 lines at most.
-        assert!(llc.partition_size(0) <= 256);
+        assert!(llc.partition_size(PartitionId::from_index(0)) <= 256);
     }
 
     #[test]
     fn repartitioning_is_lazy() {
-        let mut llc = WayPartLlc::new(1024, 16, 2, 3);
+        let mut llc = WayPartLlc::try_new(1024, 16, 2, 3).expect("valid way-partition geometry");
         llc.set_targets(&[512, 512]);
         for i in 0..100_000u64 {
             llc.access(AccessRequest::read(0, LineAddr(i % 2000)));
             llc.access(AccessRequest::read(1, LineAddr(10_000 + i % 2000)));
         }
-        let before = llc.partition_size(0);
+        let before = llc.partition_size(PartitionId::from_index(0));
         assert!(
             before > 400,
             "partition 0 should be near its 512-line share"
@@ -539,13 +527,16 @@ mod tests {
         // misses into sets.
         llc.set_targets(&[64, 960]);
         assert!(
-            llc.partition_size(0) > 300,
+            llc.partition_size(PartitionId::from_index(0)) > 300,
             "resize must not flush instantly"
         );
         for i in 0..200_000u64 {
             llc.access(AccessRequest::read(1, LineAddr(50_000 + i)));
         }
-        assert!(llc.partition_size(0) <= 100, "old lines eventually drain");
+        assert!(
+            llc.partition_size(PartitionId::from_index(0)) <= 100,
+            "old lines eventually drain"
+        );
     }
 
     #[test]
@@ -554,7 +545,7 @@ mod tests {
         // scattered 48-line working set then suffers birthday conflicts,
         // while the same working set in a 64-line *associative* partition
         // would fit without a single steady-state miss.
-        let mut llc = WayPartLlc::new(1024, 16, 2, 4);
+        let mut llc = WayPartLlc::try_new(1024, 16, 2, 4).expect("valid way-partition geometry");
         llc.set_targets(&[64, 960]); // 1 way vs 15 ways
         assert_eq!(llc.way_allocation()[0], 1);
         use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -574,7 +565,7 @@ mod tests {
 
     #[test]
     fn probe_records_eviction_priorities() {
-        let mut llc = WayPartLlc::new(256, 4, 2, 5);
+        let mut llc = WayPartLlc::try_new(256, 4, 2, 5).expect("valid way-partition geometry");
         llc.enable_priority_probe();
         llc.set_targets(&[128, 128]);
         for i in 0..20_000u64 {
@@ -607,14 +598,14 @@ mod tests {
     #[test]
     fn telemetry_samples_report_way_targets() {
         use vantage_telemetry::{RingSink, Telemetry, TelemetryRecord};
-        let mut llc = WayPartLlc::new(1024, 16, 2, 1);
+        let mut llc = WayPartLlc::try_new(1024, 16, 2, 1).expect("valid way-partition geometry");
         llc.set_targets(&[768, 256]); // 12 + 4 ways, 64 lines/way
         let (sink, reader) = RingSink::with_capacity(4096);
         llc.set_telemetry(Telemetry::new(Box::new(sink), 256));
         for i in 0..2000u64 {
             llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i)));
         }
-        let targets: Vec<(u16, u64)> = reader
+        let targets: Vec<(PartitionId, u64)> = reader
             .records()
             .iter()
             .filter_map(|r| match r {
@@ -623,18 +614,20 @@ mod tests {
             })
             .collect();
         assert!(!targets.is_empty());
-        assert!(targets.contains(&(0, 12 * 64)));
-        assert!(targets.contains(&(1, 4 * 64)));
+        assert!(targets.contains(&(0.into(), 12 * 64)));
+        assert!(targets.contains(&(1.into(), 4 * 64)));
     }
 
     #[test]
     fn sizes_and_stats_stay_consistent() {
-        let mut llc = WayPartLlc::new(512, 8, 4, 6);
+        let mut llc = WayPartLlc::try_new(512, 8, 4, 6).expect("valid way-partition geometry");
         llc.set_targets(&[128, 128, 128, 128]);
         for i in 0..50_000u64 {
             llc.access(AccessRequest::read((i % 4) as usize, LineAddr(i % 3000)));
         }
-        let total: u64 = (0..4).map(|p| llc.partition_size(p)).sum();
+        let total: u64 = (0..4)
+            .map(|p| llc.partition_size(PartitionId::from_index(p)))
+            .sum();
         assert!(total <= 512);
         assert_eq!(llc.num_partitions(), 4);
         assert_eq!(llc.name(), "WayPart");

@@ -1,7 +1,7 @@
 //! Fluent scheme construction.
 //!
 //! [`LlcBuilder`] is the one front door to a live LLC: it collapses the
-//! `new`/`try_new` constructor pairs scattered across the scheme types and
+//! `try_new` constructors scattered across the scheme types and
 //! the post-construction setters (telemetry installation, fault plans,
 //! scrub periods, banking) into a single validated chain:
 //!
@@ -11,7 +11,7 @@
 //! let scheme = Scheme::builder(SchemeKind::vantage_paper(), SystemConfig::small_scale())
 //!     .banks(4)
 //!     .bank_jobs(2)
-//!     .build();
+//!     .try_build().expect("valid scheme config");
 //! assert_eq!(scheme.as_sharded().unwrap().num_banks(), 4);
 //! ```
 
@@ -36,7 +36,7 @@ pub struct LlcBuilder {
 
 impl Scheme {
     /// Starts a fluent build of `kind` on machine `sys` — the preferred
-    /// construction path; [`Scheme::build`]/[`Scheme::try_build`] cover the
+    /// construction path; [`Scheme::try_build`] covers the
     /// no-frills case.
     pub fn builder(kind: SchemeKind, sys: SystemConfig) -> LlcBuilder {
         LlcBuilder {
@@ -85,19 +85,6 @@ impl LlcBuilder {
 
     /// Builds the scheme.
     ///
-    /// # Panics
-    ///
-    /// Panics on any [`BuildError`]; use [`LlcBuilder::try_build`] to handle
-    /// the error instead.
-    pub fn build(self) -> Scheme {
-        match self.try_build() {
-            Ok(s) => s,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// [`LlcBuilder::build`] with typed errors instead of panics.
-    ///
     /// # Errors
     ///
     /// Everything [`Scheme::try_build`] reports, plus
@@ -142,7 +129,8 @@ mod tests {
             .banks(4)
             .bank_jobs(2)
             .telemetry(Telemetry::new(Box::new(sink), 128))
-            .build();
+            .try_build()
+            .expect("valid scheme config");
         assert_eq!(s.as_sharded().unwrap().num_banks(), 4);
         assert!(s.uses_ucp());
         for i in 0..4096u64 {
@@ -160,7 +148,8 @@ mod tests {
         let mut s = Scheme::builder(SchemeKind::vantage_paper(), SystemConfig::small_scale())
             .fault_plan(FaultPlan::new(3, 200, &FaultKind::INJECTABLE))
             .scrub_period(1_000)
-            .build();
+            .try_build()
+            .expect("valid scheme config");
         for i in 0..8192u64 {
             s.llc_mut().access(AccessRequest::read(
                 (i % 4) as usize,

@@ -156,7 +156,9 @@ impl CmpSim {
         sys.validate();
         assert_eq!(mix.apps.len(), sys.cores, "mix size must match core count");
         // The builder applies `sys.scrub_period` and banking in one place.
-        let scheme = Scheme::builder(kind.clone(), sys.clone()).build();
+        let scheme = Scheme::builder(kind.clone(), sys.clone())
+            .try_build()
+            .expect("valid scheme config");
         // Policy selection, epoch scheduling and invariant auditing all
         // live in the controller; the loop below only feeds it.
         let epoch = EpochController::new(&sys, kind, &scheme);
@@ -298,7 +300,11 @@ impl CmpSim {
             self.epoch.targets().to_vec()
         };
         let actuals = (0..n)
-            .map(|p| self.scheme.llc().partition_size(p))
+            .map(|p| {
+                self.scheme
+                    .llc()
+                    .partition_size(vantage_partitioning::PartitionId::from_index(p))
+            })
             .collect();
         self.trace.push(TraceSample {
             cycle,

@@ -130,24 +130,31 @@ pub enum PolicyKind {
     /// Per-partition minimum capacity plus weighted shares of the spare
     /// (LFOC/Memshare-style QoS allocation).
     Qos,
+    /// LFOC-style clustering: tenants are bucketed by miss pressure into
+    /// a bounded number of clusters, and targets are sized per cluster —
+    /// the allocator for large churning populations.
+    Clustered,
 }
 
 impl PolicyKind {
     /// Every selectable policy, in CLI order.
-    pub const ALL: [PolicyKind; 4] = [
+    pub const ALL: [PolicyKind; 5] = [
         PolicyKind::Ucp,
         PolicyKind::Equal,
         PolicyKind::MissRatio,
         PolicyKind::Qos,
+        PolicyKind::Clustered,
     ];
 
-    /// Parses a `--policy` argument (`ucp`, `equal`, `missratio`, `qos`).
+    /// Parses a `--policy` argument (`ucp`, `equal`, `missratio`, `qos`,
+    /// `clustered`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "ucp" => Some(Self::Ucp),
             "equal" => Some(Self::Equal),
             "missratio" => Some(Self::MissRatio),
             "qos" => Some(Self::Qos),
+            "clustered" => Some(Self::Clustered),
             _ => None,
         }
     }
@@ -159,6 +166,7 @@ impl PolicyKind {
             Self::Equal => "equal",
             Self::MissRatio => "missratio",
             Self::Qos => "qos",
+            Self::Clustered => "clustered",
         }
     }
 }

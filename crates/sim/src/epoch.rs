@@ -20,8 +20,8 @@ use vantage_cache::LineAddr;
 use vantage_partitioning::InvariantViolation;
 use vantage_snapshot::{Decoder, Encoder, Snapshot};
 use vantage_ucp::{
-    AllocationPolicy, EqualShares, MissRatioEqualizer, PolicyInput, QosGuarantee, RripUmon,
-    UcpGranularity, UcpPolicy,
+    AllocationPolicy, ClusteredPolicy, EqualShares, MissRatioEqualizer, PolicyInput, QosGuarantee,
+    RripUmon, UcpGranularity, UcpPolicy,
 };
 
 use crate::config::{PolicyKind, SchemeKind, SystemConfig};
@@ -67,6 +67,13 @@ pub enum ActivePolicy {
         /// Spare-capacity weights per partition.
         weights: Vec<f64>,
     },
+    /// LFOC-style clustered allocation for churning populations.
+    Clustered {
+        /// Upper bound on distinct enforcement clusters.
+        max_clusters: usize,
+        /// Guaranteed lines for every live tenant.
+        min_lines: u64,
+    },
 }
 
 impl ActivePolicy {
@@ -78,6 +85,7 @@ impl ActivePolicy {
             Self::Equal => PolicyKind::Equal,
             Self::MissRatio => PolicyKind::MissRatio,
             Self::Qos { .. } => PolicyKind::Qos,
+            Self::Clustered { .. } => PolicyKind::Clustered,
         }
     }
 }
@@ -97,6 +105,10 @@ fn default_active(sys: &SystemConfig, policy: PolicyKind) -> ActivePolicy {
                 weights: vec![1.0; sys.cores],
             }
         }
+        PolicyKind::Clustered => ActivePolicy::Clustered {
+            max_clusters: 8,
+            min_lines: (sys.l2_lines / (8 * sys.cores)) as u64,
+        },
     }
 }
 
@@ -134,9 +146,15 @@ fn build_policy(
             granularity,
             sys.seed ^ 0x0C0,
         )),
-        ActivePolicy::Qos { floors, weights } => {
-            Box::new(QosGuarantee::new(floors.clone(), weights.clone()))
-        }
+        ActivePolicy::Qos { floors, weights } => Box::new(
+            QosGuarantee::try_new(floors.clone(), weights.clone()).expect("valid QoS shape"),
+        ),
+        ActivePolicy::Clustered {
+            max_clusters,
+            min_lines,
+        } => Box::new(
+            ClusteredPolicy::try_new(*max_clusters, *min_lines).expect("valid cluster config"),
+        ),
     }
 }
 
@@ -370,25 +388,34 @@ impl EpochController {
             misses: &obs.misses,
             churn: &obs.churn,
             insertions: &obs.insertions,
+            live: &obs.live,
+            arrived: &obs.arrived,
+            departed: &obs.departed,
         };
+        let nslots = input.num_partitions();
+        let nlive = input.live_partitions();
         let policy = self.policy.as_mut().expect("swap installed a policy");
         let targets = policy.reallocate(&input);
-        if targets.len() != self.sys.cores {
+        if targets.len() != nslots {
             return Err(format!(
-                "policy produced {} targets for {} partitions",
+                "policy produced {} targets for {} partition slots",
                 targets.len(),
-                self.sys.cores
+                nslots
             ));
         }
         let total: u64 = targets.iter().sum();
-        if total != capacity {
+        // With live tenants the targets must tile the capacity exactly;
+        // with none, everything stays unmanaged.
+        let expected = if nlive > 0 { capacity } else { 0 };
+        if total != expected {
             return Err(format!(
-                "targets sum to {total} but the cache holds {capacity} lines"
+                "targets sum to {total} but the cache holds {capacity} lines \
+                 ({nlive} live partitions)"
             ));
         }
         if let ActivePolicy::Qos { floors, .. } = active {
             for (p, (&t, &floor)) in targets.iter().zip(floors).enumerate() {
-                if t < floor {
+                if t < floor && obs.live.get(p).copied().unwrap_or(true) {
                     return Err(format!(
                         "partition {p} target {t} is below its guaranteed floor {floor}"
                     ));
@@ -448,6 +475,9 @@ impl EpochController {
                 misses: &obs.misses,
                 churn: &obs.churn,
                 insertions: &obs.insertions,
+                live: &obs.live,
+                arrived: &obs.arrived,
+                departed: &obs.departed,
             };
             let targets = policy.reallocate(&input);
             scheme.llc_mut().set_targets(&targets);
@@ -484,6 +514,14 @@ impl Snapshot for EpochController {
                 enc.put_u64_slice(floors);
                 let bits: Vec<u64> = weights.iter().map(|w| w.to_bits()).collect();
                 enc.put_u64_slice(&bits);
+            }
+            Some(ActivePolicy::Clustered {
+                max_clusters,
+                min_lines,
+            }) => {
+                enc.put_u8(5);
+                enc.put_u64(*max_clusters as u64);
+                enc.put_u64(*min_lines);
             }
         }
         if let Some(p) = self.policy.as_deref() {
@@ -525,6 +563,17 @@ impl Snapshot for EpochController {
                     .map_err(|e| dec.invalid(&format!("bad QoS contract: {e}")))?;
                 Some(ActivePolicy::Qos { floors, weights })
             }
+            5 => {
+                let max_clusters = dec.take_u64()? as usize;
+                let min_lines = dec.take_u64()?;
+                if max_clusters == 0 {
+                    return Err(dec.invalid("clustered policy with zero clusters"));
+                }
+                Some(ActivePolicy::Clustered {
+                    max_clusters,
+                    min_lines,
+                })
+            }
             t => return Err(dec.invalid(&format!("unknown policy tag {t}"))),
         };
         if active.is_some() != self.policy.is_some() {
@@ -552,11 +601,14 @@ impl Snapshot for EpochController {
         }
         let last_targets = dec.take_u64_vec()?;
         if !last_targets.is_empty() {
-            if last_targets.len() != self.sys.cores {
-                return Err(dec.mismatch("target count differs from partition count"));
+            // Under service-mode churn the slot table can outgrow the
+            // core count, and an all-dead population legitimately sums
+            // to zero — so bound rather than pin both checks.
+            if last_targets.len() < self.sys.cores {
+                return Err(dec.mismatch("fewer targets than partition slots"));
             }
-            if last_targets.iter().sum::<u64>() != self.sys.l2_lines as u64 {
-                return Err(dec.invalid("targets do not tile the cache"));
+            if last_targets.iter().sum::<u64>() > self.sys.l2_lines as u64 {
+                return Err(dec.invalid("targets overcommit the cache"));
             }
         }
         let recoveries = dec.take_u64()?;

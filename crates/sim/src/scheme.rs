@@ -9,8 +9,9 @@ use vantage_cache::{
     CacheArray, RandomArray, RripConfig, RripMode, SetAssocArray, SkewArray, ZArray,
 };
 use vantage_partitioning::{
-    BankedLlc, BaselineLlc, HasInvariants, HasPartitionPolicy, Llc, ParallelBankedLlc, PippConfig,
-    PippLlc, RankPolicy, SchemeConfigError, Sharded, WayPartLlc,
+    BankedLlc, BaselineLlc, HasInvariants, HasPartitionPolicy, LifecycleError, Llc,
+    ParallelBankedLlc, PartitionId, PartitionSpec, PippConfig, PippLlc, RankPolicy,
+    SchemeConfigError, Sharded, WayPartLlc,
 };
 use vantage_telemetry::Telemetry;
 
@@ -137,20 +138,6 @@ impl Scheme {
     /// [`Scheme::builder`] when telemetry, fault plans or banking overrides
     /// are also in play — it validates and applies everything in one chain.
     ///
-    /// # Panics
-    ///
-    /// Panics on inconsistent configurations (e.g. more partitions than
-    /// ways for way-granularity schemes); use [`Scheme::try_build`] to
-    /// handle the error instead.
-    pub fn build(kind: &SchemeKind, sys: &SystemConfig) -> Self {
-        match Self::try_build(kind, sys) {
-            Ok(s) => s,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// [`Scheme::build`] with typed errors instead of panics.
-    ///
     /// # Errors
     ///
     /// Returns a [`BuildError`] when the scheme cannot be instantiated:
@@ -258,6 +245,31 @@ impl Scheme {
             Scheme::Banked { llc, .. } => llc,
             Scheme::ParallelBanked { llc, .. } => llc,
         }
+    }
+
+    /// Creates a partition at runtime (service mode); forwards to the
+    /// scheme's [`Llc::create_partition`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever the scheme reports — [`LifecycleError::Unsupported`] on
+    /// schemes without runtime lifecycle, [`LifecycleError::Exhausted`]
+    /// when the slot space is full.
+    pub fn create_partition(&mut self, spec: PartitionSpec) -> Result<PartitionId, LifecycleError> {
+        self.llc_mut().create_partition(spec)
+    }
+
+    /// Destroys a live partition (service mode); the slot drains through
+    /// the scheme's ordinary demotion machinery. Forwards to
+    /// [`Llc::destroy_partition`].
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::OutOfRange`] / [`LifecycleError::NotLive`] for
+    /// bad handles, [`LifecycleError::Unsupported`] on schemes without
+    /// runtime lifecycle.
+    pub fn destroy_partition(&mut self, part: PartitionId) -> Result<(), LifecycleError> {
+        self.llc_mut().destroy_partition(part)
     }
 
     /// Whether UCP should drive this scheme (baselines are unmanaged).
@@ -372,6 +384,7 @@ mod tests {
     use super::*;
     use vantage::VantageConfig;
     use vantage_partitioning::AccessRequest;
+    use vantage_partitioning::PartitionId;
 
     #[test]
     fn all_schemes_build_and_serve() {
@@ -395,7 +408,7 @@ mod tests {
             },
         ];
         for kind in &kinds {
-            let mut s = Scheme::build(kind, &sys);
+            let mut s = Scheme::try_build(kind, &sys).expect("valid scheme config");
             for i in 0..1000u64 {
                 s.llc_mut().access(AccessRequest::read(
                     (i % 4) as usize,
@@ -423,7 +436,7 @@ mod tests {
         for kind in &kinds {
             for jobs in [1usize, 2] {
                 sys.bank_jobs = jobs;
-                let mut s = Scheme::build(kind, &sys);
+                let mut s = Scheme::try_build(kind, &sys).expect("valid scheme config");
                 let sharded = s.as_sharded().expect("banked scheme is sharded");
                 assert_eq!(sharded.num_banks(), 4, "{}", kind.label());
                 assert_eq!(s.llc().capacity(), sys.l2_lines);
@@ -452,15 +465,18 @@ mod tests {
         let mut par_sys = serial_sys.clone();
         par_sys.bank_jobs = 2;
         let kind = SchemeKind::vantage_paper();
-        let mut serial = Scheme::build(&kind, &serial_sys);
-        let mut par = Scheme::build(&kind, &par_sys);
+        let mut serial = Scheme::try_build(&kind, &serial_sys).expect("valid scheme config");
+        let mut par = Scheme::try_build(&kind, &par_sys).expect("valid scheme config");
         for i in 0..20_000u64 {
             let req =
                 AccessRequest::read((i % 4) as usize, vantage_cache::LineAddr((i * 131) % 9000));
             assert_eq!(serial.llc_mut().access(req), par.llc_mut().access(req));
         }
         for p in 0..4 {
-            assert_eq!(serial.llc().partition_size(p), par.llc().partition_size(p));
+            assert_eq!(
+                serial.llc().partition_size(PartitionId::from_index(p)),
+                par.llc().partition_size(PartitionId::from_index(p))
+            );
         }
     }
 
@@ -485,30 +501,19 @@ mod tests {
     #[test]
     fn ucp_flag_matches_scheme() {
         let sys = SystemConfig::small_scale();
-        let base = Scheme::build(
+        let base = Scheme::try_build(
             &SchemeKind::Baseline {
                 array: ArrayKind::Z4_52,
                 rank: BaselineRank::Lru,
             },
             &sys,
-        );
+        )
+        .expect("valid scheme config");
         assert!(!base.uses_ucp());
-        let v = Scheme::build(&SchemeKind::vantage_paper(), &sys);
+        let v = Scheme::try_build(&SchemeKind::vantage_paper(), &sys).expect("valid scheme config");
         assert!(v.uses_ucp());
         assert!(v.has_invariants().is_some());
         assert!(v.managed_eviction_fraction().is_some());
-    }
-
-    #[test]
-    #[should_panic(expected = "RRIP ranking")]
-    fn drrip_requires_rrip_rank() {
-        let sys = SystemConfig::small_scale();
-        let kind = SchemeKind::Vantage {
-            array: ArrayKind::Z4_52,
-            cfg: VantageConfig::default(),
-            drrip: true,
-        };
-        Scheme::build(&kind, &sys);
     }
 
     #[test]
@@ -553,7 +558,8 @@ mod tests {
     fn telemetry_forwards_to_the_underlying_llc() {
         use vantage_telemetry::RingSink;
         let sys = SystemConfig::small_scale();
-        let mut s = Scheme::build(&SchemeKind::vantage_paper(), &sys);
+        let mut s =
+            Scheme::try_build(&SchemeKind::vantage_paper(), &sys).expect("valid scheme config");
         let (sink, reader) = RingSink::with_capacity(1 << 16);
         assert!(s.set_telemetry(Telemetry::new(Box::new(sink), 256)));
         for i in 0..4096u64 {

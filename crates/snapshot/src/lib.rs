@@ -43,6 +43,12 @@
 //!   frames carry the explicit unmanaged sentinel (`u16::MAX`) in the
 //!   partition lane. Payload bytes are otherwise identical to v1, and
 //!   v1 files restore by normalizing unoccupied frames on load.
+//! * **v3** — partition tables are dynamic (service-mode lifecycle): the
+//!   Vantage LLC payload appends a slot-state lane plus the pending
+//!   arrival/departure queues, and controller payloads may carry more or
+//!   fewer partitions than the restoring object was built with (readers
+//!   resize). v1/v2 files restore by treating every build-time partition
+//!   as live.
 //!
 //! Unknown *extra* sections in a current-version file are ignored, so
 //! writers may add sections without a version bump as long as existing
@@ -57,7 +63,7 @@ use std::path::Path;
 pub const MAGIC: [u8; 8] = *b"VNTGSNAP";
 
 /// The format version this build writes.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The oldest format version this build still reads (older payloads are
 /// migrated on load — see the module-level version history).

@@ -39,10 +39,10 @@
 //! let (sink, reader) = RingSink::with_capacity(64);
 //! let mut tele = Telemetry::new(Box::new(sink), 1024);
 //! tele.bind(2);
-//! tele.event(TelemetryEvent::Demotion { access: 7, part: 1 });
+//! tele.event(TelemetryEvent::Demotion { access: 7, part: 1.into() });
 //! assert_eq!(reader.len(), 1);
 //! match reader.records()[0] {
-//!     TelemetryRecord::Event(TelemetryEvent::Demotion { part, .. }) => assert_eq!(part, 1),
+//!     TelemetryRecord::Event(TelemetryEvent::Demotion { part, .. }) => assert_eq!(part.index(), 1),
 //!     _ => unreachable!(),
 //! }
 //! ```
@@ -54,9 +54,11 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+pub use vantage_cache::PartitionId;
+
 /// The partition ID telemetry uses for the unmanaged region (matches
 /// `vantage::UNMANAGED`).
-pub const UNMANAGED_PART: u16 = u16::MAX;
+pub const UNMANAGED_PART: PartitionId = PartitionId::UNMANAGED;
 
 /// One discrete controller action.
 ///
@@ -71,14 +73,14 @@ pub enum TelemetryEvent {
         /// Access sequence number.
         access: u64,
         /// The partition that lost the line.
-        part: u16,
+        part: PartitionId,
     },
     /// An unmanaged line rejoined `part` on a hit.
     Promotion {
         /// Access sequence number.
         access: u64,
         /// The partition that regained the line.
-        part: u16,
+        part: PartitionId,
     },
     /// A resident line was evicted. `part` is the owner at eviction time
     /// ([`UNMANAGED_PART`] for the unmanaged region); `forced` marks an
@@ -88,7 +90,7 @@ pub enum TelemetryEvent {
         /// Access sequence number.
         access: u64,
         /// Owning partition of the evicted line.
-        part: u16,
+        part: PartitionId,
         /// Whether the eviction was forced from the managed region.
         forced: bool,
     },
@@ -100,7 +102,7 @@ pub enum TelemetryEvent {
         /// Access sequence number.
         access: u64,
         /// The adjusted partition.
-        part: u16,
+        part: PartitionId,
         /// +1 widened, -1 tightened, 0 unchanged.
         direction: i8,
         /// Keep window after the adjustment.
@@ -113,7 +115,7 @@ pub enum TelemetryEvent {
         /// Access sequence number.
         access: u64,
         /// The partition whose aperture moved.
-        part: u16,
+        part: PartitionId,
         /// The continuous aperture of Eq. 7 at the current actual size.
         aperture: f32,
     },
@@ -124,6 +126,24 @@ pub enum TelemetryEvent {
         access: u64,
         /// Repairs performed (tags + size registers + meters + setpoints).
         repairs: u64,
+    },
+    /// A partition came live (service-mode `create_partition`).
+    PartitionCreated {
+        /// Access sequence number.
+        access: u64,
+        /// The new partition's slot.
+        part: PartitionId,
+        /// The managed-region target it was granted, in lines.
+        target: u64,
+    },
+    /// A partition was retired (service-mode `destroy_partition`); its
+    /// lines drain into the unmanaged region via ordinary demotions, so no
+    /// bulk-eviction events accompany this.
+    PartitionDestroyed {
+        /// Access sequence number.
+        access: u64,
+        /// The retired partition's slot.
+        part: PartitionId,
     },
 }
 
@@ -136,19 +156,23 @@ impl TelemetryEvent {
             | Self::Eviction { access, .. }
             | Self::SetpointAdjust { access, .. }
             | Self::ApertureUpdate { access, .. }
-            | Self::Scrub { access, .. } => access,
+            | Self::Scrub { access, .. }
+            | Self::PartitionCreated { access, .. }
+            | Self::PartitionDestroyed { access, .. } => access,
         }
     }
 
     /// The partition the event concerns ([`UNMANAGED_PART`] where that is
     /// the unmanaged region; `None` for cache-wide events like scrubs).
-    pub fn part(&self) -> Option<u16> {
+    pub fn part(&self) -> Option<PartitionId> {
         match *self {
             Self::Demotion { part, .. }
             | Self::Promotion { part, .. }
             | Self::Eviction { part, .. }
             | Self::SetpointAdjust { part, .. }
-            | Self::ApertureUpdate { part, .. } => Some(part),
+            | Self::ApertureUpdate { part, .. }
+            | Self::PartitionCreated { part, .. }
+            | Self::PartitionDestroyed { part, .. } => Some(part),
             Self::Scrub { .. } => None,
         }
     }
@@ -160,7 +184,7 @@ pub struct PartitionSample {
     /// Access sequence number of the sampling point.
     pub access: u64,
     /// Partition ID ([`UNMANAGED_PART`] for the unmanaged region).
-    pub part: u16,
+    pub part: PartitionId,
     /// Lines the partition currently holds.
     pub actual: u64,
     /// The partition's target in lines (0 when the scheme keeps none).
@@ -429,19 +453,16 @@ impl RingReader {
 /// and samples; unused columns are empty).
 pub const CSV_HEADER: &str = "record,access,part,actual,target,aperture,window,churn,detail";
 
-fn part_str(part: u16) -> String {
-    if part == UNMANAGED_PART {
-        "unmanaged".to_string()
-    } else {
-        part.to_string()
-    }
+fn part_str(part: PartitionId) -> String {
+    // `PartitionId`'s Display spells the sentinel "unmanaged" already.
+    part.to_string()
 }
 
-fn parse_part(s: &str) -> Option<u16> {
+fn parse_part(s: &str) -> Option<PartitionId> {
     if s == "unmanaged" {
         Some(UNMANAGED_PART)
     } else {
-        s.parse().ok()
+        s.parse::<u16>().ok().map(PartitionId::from_raw)
     }
 }
 
@@ -463,7 +484,7 @@ pub fn to_csv_row(rec: &TelemetryRecord) -> String {
             );
         }
         TelemetryRecord::Event(ev) => {
-            let (kind, part, detail): (&str, Option<u16>, String) = match *ev {
+            let (kind, part, detail): (&str, Option<PartitionId>, String) = match *ev {
                 TelemetryEvent::Demotion { part, .. } => ("demotion", Some(part), String::new()),
                 TelemetryEvent::Promotion { part, .. } => ("promotion", Some(part), String::new()),
                 TelemetryEvent::Eviction { part, forced, .. } => {
@@ -484,6 +505,12 @@ pub fn to_csv_row(rec: &TelemetryRecord) -> String {
                 }
                 TelemetryEvent::Scrub { repairs, .. } => {
                     ("scrub", None, format!("repairs={repairs}"))
+                }
+                TelemetryEvent::PartitionCreated { part, target, .. } => {
+                    ("created", Some(part), format!("target={target}"))
+                }
+                TelemetryEvent::PartitionDestroyed { part, .. } => {
+                    ("destroyed", Some(part), String::new())
                 }
             };
             let _ = write!(
@@ -547,6 +574,15 @@ pub fn from_csv_row(row: &str) -> Option<TelemetryRecord> {
             access,
             repairs: detail.get("repairs")?.parse().ok()?,
         })),
+        "created" => Some(TelemetryRecord::Event(TelemetryEvent::PartitionCreated {
+            access,
+            part: parse_part(cols[2])?,
+            target: detail.get("target")?.parse().ok()?,
+        })),
+        "destroyed" => Some(TelemetryRecord::Event(TelemetryEvent::PartitionDestroyed {
+            access,
+            part: parse_part(cols[2])?,
+        })),
         _ => None,
     }
 }
@@ -561,17 +597,25 @@ pub fn to_json_line(rec: &TelemetryRecord) -> String {
             let _ = write!(
                 s,
                 "{{\"record\":\"sample\",\"access\":{},\"part\":{},\"actual\":{},\"target\":{},\"aperture\":{:.6},\"window\":{},\"churn\":{}}}",
-                p.access, p.part, p.actual, p.target, p.aperture, p.window, p.churn
+                p.access,
+                p.part.raw(),
+                p.actual,
+                p.target,
+                p.aperture,
+                p.window,
+                p.churn
             );
         }
         TelemetryRecord::Event(ev) => match *ev {
             TelemetryEvent::Demotion { access, part } => {
+                let part = part.raw();
                 let _ = write!(
                     s,
                     "{{\"record\":\"demotion\",\"access\":{access},\"part\":{part}}}"
                 );
             }
             TelemetryEvent::Promotion { access, part } => {
+                let part = part.raw();
                 let _ = write!(
                     s,
                     "{{\"record\":\"promotion\",\"access\":{access},\"part\":{part}}}"
@@ -582,6 +626,7 @@ pub fn to_json_line(rec: &TelemetryRecord) -> String {
                 part,
                 forced,
             } => {
+                let part = part.raw();
                 let _ = write!(
                     s,
                     "{{\"record\":\"eviction\",\"access\":{access},\"part\":{part},\"forced\":{forced}}}"
@@ -593,6 +638,7 @@ pub fn to_json_line(rec: &TelemetryRecord) -> String {
                 direction,
                 window,
             } => {
+                let part = part.raw();
                 let _ = write!(
                     s,
                     "{{\"record\":\"setpoint\",\"access\":{access},\"part\":{part},\"direction\":{direction},\"window\":{window}}}"
@@ -603,6 +649,7 @@ pub fn to_json_line(rec: &TelemetryRecord) -> String {
                 part,
                 aperture,
             } => {
+                let part = part.raw();
                 let _ = write!(
                     s,
                     "{{\"record\":\"aperture\",\"access\":{access},\"part\":{part},\"aperture\":{aperture:.6}}}"
@@ -612,6 +659,24 @@ pub fn to_json_line(rec: &TelemetryRecord) -> String {
                 let _ = write!(
                     s,
                     "{{\"record\":\"scrub\",\"access\":{access},\"repairs\":{repairs}}}"
+                );
+            }
+            TelemetryEvent::PartitionCreated {
+                access,
+                part,
+                target,
+            } => {
+                let part = part.raw();
+                let _ = write!(
+                    s,
+                    "{{\"record\":\"created\",\"access\":{access},\"part\":{part},\"target\":{target}}}"
+                );
+            }
+            TelemetryEvent::PartitionDestroyed { access, part } => {
+                let part = part.raw();
+                let _ = write!(
+                    s,
+                    "{{\"record\":\"destroyed\",\"access\":{access},\"part\":{part}}}"
                 );
             }
         },
@@ -631,8 +696,12 @@ pub fn from_json_line(line: &str) -> Option<TelemetryRecord> {
         fields.insert(k, v);
     }
     let access: u64 = fields.get("access")?.parse().ok()?;
-    let part = |fields: &std::collections::HashMap<&str, &str>| -> Option<u16> {
-        fields.get("part")?.parse().ok()
+    let part = |fields: &std::collections::HashMap<&str, &str>| -> Option<PartitionId> {
+        fields
+            .get("part")?
+            .parse::<u16>()
+            .ok()
+            .map(PartitionId::from_raw)
     };
     match *fields.get("record")? {
         "sample" => Some(TelemetryRecord::Sample(PartitionSample {
@@ -671,6 +740,15 @@ pub fn from_json_line(line: &str) -> Option<TelemetryRecord> {
         "scrub" => Some(TelemetryRecord::Event(TelemetryEvent::Scrub {
             access,
             repairs: fields.get("repairs")?.parse().ok()?,
+        })),
+        "created" => Some(TelemetryRecord::Event(TelemetryEvent::PartitionCreated {
+            access,
+            part: part(&fields)?,
+            target: fields.get("target")?.parse().ok()?,
+        })),
+        "destroyed" => Some(TelemetryRecord::Event(TelemetryEvent::PartitionDestroyed {
+            access,
+            part: part(&fields)?,
         })),
         _ => None,
     }
@@ -906,10 +984,21 @@ impl Telemetry {
     }
 
     /// Sizes the churn meters for `partitions` partitions (+1 slot for the
-    /// unmanaged region). Caches call this once at installation; events for
-    /// out-of-range partitions are still recorded, just not churn-metered.
+    /// unmanaged region, always the last index). Caches call this at
+    /// installation and again when `create_partition` grows the slot table;
+    /// rebinding is grow-only and keeps accumulated meters (the unmanaged
+    /// slot migrates to the new tail), so mid-period lifecycle changes do
+    /// not lose churn. Events for out-of-range partitions are still
+    /// recorded, just not churn-metered.
     pub fn bind(&mut self, partitions: usize) {
-        self.churn = vec![0; partitions + 1];
+        let want = partitions + 1;
+        if self.churn.is_empty() {
+            self.churn = vec![0; want];
+        } else if want > self.churn.len() {
+            let um = self.churn.pop().unwrap_or(0);
+            self.churn.resize(want - 1, 0);
+            self.churn.push(um);
+        }
     }
 
     /// Whether a sink is installed.
@@ -939,10 +1028,10 @@ impl Telemetry {
         };
         match ev {
             TelemetryEvent::Demotion { part, .. } | TelemetryEvent::Eviction { part, .. } => {
-                let idx = if part == UNMANAGED_PART {
+                let idx = if part.is_unmanaged() {
                     self.churn.len().saturating_sub(1)
                 } else {
-                    part as usize
+                    part.index()
                 };
                 if let Some(c) = self.churn.get_mut(idx) {
                     *c += 1;
@@ -978,10 +1067,10 @@ impl Telemetry {
         let Some(sink) = self.sink.as_mut() else {
             return;
         };
-        let idx = if s.part == UNMANAGED_PART {
+        let idx = if s.part.is_unmanaged() {
             self.churn.len().saturating_sub(1)
         } else {
-            s.part as usize
+            s.part.index()
         };
         if let Some(c) = self.churn.get_mut(idx) {
             s.churn = *c;
@@ -1050,11 +1139,12 @@ impl vantage_snapshot::Snapshot for Telemetry {
 mod tests {
     use super::*;
 
-    fn sample(access: u64, part: u16) -> PartitionSample {
+    fn sample(access: u64, part: impl Into<PartitionId>) -> PartitionSample {
+        let part = part.into();
         PartitionSample {
             access,
             part,
-            actual: 100 + u64::from(part),
+            actual: 100 + u64::from(part.raw()),
             target: 128,
             aperture: 0.25,
             window: 90,
@@ -1066,8 +1156,14 @@ mod tests {
         vec![
             TelemetryRecord::Sample(sample(4096, 0)),
             TelemetryRecord::Sample(sample(4096, UNMANAGED_PART)),
-            TelemetryRecord::Event(TelemetryEvent::Demotion { access: 1, part: 3 }),
-            TelemetryRecord::Event(TelemetryEvent::Promotion { access: 2, part: 0 }),
+            TelemetryRecord::Event(TelemetryEvent::Demotion {
+                access: 1,
+                part: 3.into(),
+            }),
+            TelemetryRecord::Event(TelemetryEvent::Promotion {
+                access: 2,
+                part: 0.into(),
+            }),
             TelemetryRecord::Event(TelemetryEvent::Eviction {
                 access: 3,
                 part: UNMANAGED_PART,
@@ -1075,23 +1171,32 @@ mod tests {
             }),
             TelemetryRecord::Event(TelemetryEvent::Eviction {
                 access: 4,
-                part: 1,
+                part: 1.into(),
                 forced: true,
             }),
             TelemetryRecord::Event(TelemetryEvent::SetpointAdjust {
                 access: 5,
-                part: 2,
+                part: 2.into(),
                 direction: -1,
                 window: 127,
             }),
             TelemetryRecord::Event(TelemetryEvent::ApertureUpdate {
                 access: 6,
-                part: 2,
+                part: 2.into(),
                 aperture: 0.5,
             }),
             TelemetryRecord::Event(TelemetryEvent::Scrub {
                 access: 7,
                 repairs: 9,
+            }),
+            TelemetryRecord::Event(TelemetryEvent::PartitionCreated {
+                access: 8,
+                part: 40.into(),
+                target: 2048,
+            }),
+            TelemetryRecord::Event(TelemetryEvent::PartitionDestroyed {
+                access: 9,
+                part: 40.into(),
             }),
         ]
     }
@@ -1100,7 +1205,10 @@ mod tests {
     fn ring_wraps_and_counts_overwrites() {
         let (mut sink, reader) = RingSink::with_capacity(4);
         for i in 0..10u64 {
-            sink.record_event(&TelemetryEvent::Demotion { access: i, part: 0 });
+            sink.record_event(&TelemetryEvent::Demotion {
+                access: i,
+                part: 0.into(),
+            });
         }
         assert_eq!(reader.len(), 4);
         assert_eq!(reader.overwritten(), 6);
@@ -1138,7 +1246,10 @@ mod tests {
     #[test]
     fn csv_sink_writes_header_then_rows() {
         let mut sink = CsvSink::new(Vec::new());
-        sink.record_event(&TelemetryEvent::Demotion { access: 1, part: 0 });
+        sink.record_event(&TelemetryEvent::Demotion {
+            access: 1,
+            part: 0.into(),
+        });
         sink.record_sample(&sample(2, 1));
         sink.flush();
         let text = String::from_utf8(sink.w.clone()).unwrap();
@@ -1171,7 +1282,10 @@ mod tests {
     fn file_sinks_surface_io_errors_instead_of_swallowing_them() {
         let mut sink = CsvSink::new(BrokenPipe);
         assert_eq!(sink.io_error(), None);
-        sink.record_event(&TelemetryEvent::Demotion { access: 1, part: 0 });
+        sink.record_event(&TelemetryEvent::Demotion {
+            access: 1,
+            part: 0.into(),
+        });
         let err = sink.io_error().expect("write failure surfaced");
         assert!(err.contains("pipe closed"), "{err}");
 
@@ -1194,7 +1308,10 @@ mod tests {
         // A shared (banked) wrapper forwards it too.
         let shared = SharedSink::new(Box::new(JsonSink::new(BrokenPipe)));
         let mut tagged = shared.with_bank(3);
-        tagged.record_event(&TelemetryEvent::Demotion { access: 2, part: 1 });
+        tagged.record_event(&TelemetryEvent::Demotion {
+            access: 2,
+            part: 1.into(),
+        });
         assert!(tagged.io_error().is_some());
 
         // In-memory sinks never error.
@@ -1223,20 +1340,29 @@ mod tests {
         let mut tele = Telemetry::new(Box::new(sink), 8);
         tele.bind(2);
         assert!(tele.enabled());
-        tele.event(TelemetryEvent::Demotion { access: 1, part: 0 });
-        tele.event(TelemetryEvent::Demotion { access: 2, part: 0 });
+        tele.event(TelemetryEvent::Demotion {
+            access: 1,
+            part: 0.into(),
+        });
+        tele.event(TelemetryEvent::Demotion {
+            access: 2,
+            part: 0.into(),
+        });
         tele.event(TelemetryEvent::Eviction {
             access: 3,
             part: UNMANAGED_PART,
             forced: false,
         });
-        tele.event(TelemetryEvent::Promotion { access: 4, part: 0 }); // not churn
+        tele.event(TelemetryEvent::Promotion {
+            access: 4,
+            part: 0.into(),
+        }); // not churn
         assert!(!tele.sample_due(7));
         assert!(tele.sample_due(8));
         tele.sample(sample(8, 0));
         tele.sample(sample(8, 1));
         tele.sample(sample(8, UNMANAGED_PART));
-        let churns: Vec<(u16, u64)> = reader
+        let churns: Vec<(PartitionId, u64)> = reader
             .records()
             .iter()
             .filter_map(|r| match r {
@@ -1244,7 +1370,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(churns, vec![(0, 2), (1, 0), (UNMANAGED_PART, 1)]);
+        assert_eq!(
+            churns,
+            vec![(0.into(), 2), (1.into(), 0), (UNMANAGED_PART, 1)]
+        );
         // Meters reset after sampling.
         assert!(tele.sample_due(16));
         tele.sample(sample(16, 0));
@@ -1273,7 +1402,10 @@ mod tests {
         let mut tele = Telemetry::disabled();
         assert!(!tele.enabled());
         tele.bind(4);
-        tele.event(TelemetryEvent::Demotion { access: 1, part: 0 });
+        tele.event(TelemetryEvent::Demotion {
+            access: 1,
+            part: 0.into(),
+        });
         assert!(!tele.sample_due(u64::MAX - 1));
         tele.sample(sample(1, 0));
         tele.flush();
@@ -1285,8 +1417,14 @@ mod tests {
         let shared = SharedSink::new(Box::new(ring));
         let mut bank0 = shared.with_bank(0);
         let mut bank1 = shared.with_bank(1);
-        bank0.record_event(&TelemetryEvent::Demotion { access: 1, part: 2 });
-        bank1.record_event(&TelemetryEvent::Promotion { access: 2, part: 0 });
+        bank0.record_event(&TelemetryEvent::Demotion {
+            access: 1,
+            part: 2.into(),
+        });
+        bank1.record_event(&TelemetryEvent::Promotion {
+            access: 2,
+            part: 0.into(),
+        });
         bank0.record_sample(&sample(3, 0));
         assert_eq!(reader.len(), 3, "all clones reach the shared backend");
     }
@@ -1295,15 +1433,21 @@ mod tests {
     fn csv_bank_tags_round_trip_and_are_ignored_by_parser() {
         let mut sink = CsvSink::new(Vec::new());
         sink.set_bank(Some(3));
-        sink.record_event(&TelemetryEvent::Demotion { access: 1, part: 2 });
+        sink.record_event(&TelemetryEvent::Demotion {
+            access: 1,
+            part: 2.into(),
+        });
         sink.record_event(&TelemetryEvent::Eviction {
             access: 2,
-            part: 0,
+            part: 0.into(),
             forced: true,
         });
         sink.record_sample(&sample(3, 1));
         sink.set_bank(None);
-        sink.record_event(&TelemetryEvent::Promotion { access: 4, part: 0 });
+        sink.record_event(&TelemetryEvent::Promotion {
+            access: 4,
+            part: 0.into(),
+        });
         sink.flush();
         let text = String::from_utf8(sink.w.clone()).unwrap();
         let lines: Vec<&str> = text.lines().skip(1).collect();
@@ -1316,7 +1460,7 @@ mod tests {
             from_csv_row(lines[0]),
             Some(TelemetryRecord::Event(TelemetryEvent::Demotion {
                 access: 1,
-                part: 2
+                part: 2.into()
             }))
         );
         assert_eq!(
@@ -1357,7 +1501,10 @@ mod tests {
         let (ring, reader) = RingSink::with_capacity(8);
         let shared = SharedSink::new(Box::new(ring));
         let mut tagged = shared.with_bank(1);
-        tagged.record_event(&TelemetryEvent::Demotion { access: 5, part: 0 });
+        tagged.record_event(&TelemetryEvent::Demotion {
+            access: 5,
+            part: 0.into(),
+        });
         let shared = match shared.try_unwrap() {
             Err(s) => s,
             Ok(_) => panic!("unwrap should fail while a clone is alive"),
@@ -1370,7 +1517,7 @@ mod tests {
             reader.records(),
             vec![TelemetryRecord::Event(TelemetryEvent::Demotion {
                 access: 5,
-                part: 0
+                part: 0.into()
             })]
         );
     }
@@ -1382,7 +1529,10 @@ mod tests {
         let (sink, period) = tele.into_parts();
         assert_eq!(period, 512);
         let mut sink = sink.expect("sink present");
-        sink.record_event(&TelemetryEvent::Demotion { access: 1, part: 0 });
+        sink.record_event(&TelemetryEvent::Demotion {
+            access: 1,
+            part: 0.into(),
+        });
         assert_eq!(reader.len(), 1);
         let (none, period) = Telemetry::disabled().into_parts();
         assert!(none.is_none());

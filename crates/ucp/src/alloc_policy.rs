@@ -18,15 +18,15 @@
 //! * [`QosGuarantee`] — per-partition minimums plus weighted shares of the
 //!   spare capacity (LFOC/Memshare-style multi-tenant allocation).
 
-use vantage_cache::LineAddr;
+use vantage_cache::{LineAddr, PartitionId};
 
 use crate::policy::{AllocationGoal, UcpGranularity, UcpPolicy};
 
 /// A per-epoch snapshot of partition state, assembled by the caller from
 /// scheme statistics and handed to [`AllocationPolicy::reallocate`].
 ///
-/// All slices have one entry per partition. Counters are cumulative over
-/// the epoch that just ended unless noted otherwise.
+/// All slices have one entry per partition slot. Counters are cumulative
+/// over the epoch that just ended unless noted otherwise.
 #[derive(Clone, Copy, Debug)]
 pub struct PolicyInput<'a> {
     /// Total capacity (in lines) the policy may distribute.
@@ -41,12 +41,39 @@ pub struct PolicyInput<'a> {
     pub churn: &'a [u64],
     /// Lines each partition installed this epoch.
     pub insertions: &'a [u64],
+    /// Whether each slot hosts a live partition. An empty slice means
+    /// every slot is live (the static-population case). Policies must
+    /// allocate zero lines to dead slots: the scheme forces their targets
+    /// to zero anyway, so any capacity aimed at them silently inflates
+    /// the unmanaged region instead of reaching a tenant.
+    pub live: &'a [bool],
+    /// Partitions created since the previous epoch (service-mode arrival
+    /// deltas). Policies that warm per-tenant state can seed it here.
+    pub arrived: &'a [PartitionId],
+    /// Partitions destroyed since the previous epoch (departure deltas;
+    /// the slot may still be draining).
+    pub departed: &'a [PartitionId],
 }
 
 impl PolicyInput<'_> {
-    /// Number of partitions in the snapshot.
+    /// Number of partition slots in the snapshot (live or not).
     pub fn num_partitions(&self) -> usize {
         self.actual.len()
+    }
+
+    /// Whether slot `p` hosts a live partition. Slots beyond the `live`
+    /// lane (including every slot when the lane is empty) are live.
+    pub fn is_live(&self, p: usize) -> bool {
+        self.live.get(p).copied().unwrap_or(true)
+    }
+
+    /// Number of live partitions.
+    pub fn live_partitions(&self) -> usize {
+        if self.live.is_empty() {
+            self.actual.len()
+        } else {
+            self.live.iter().filter(|&&l| l).count()
+        }
     }
 }
 
@@ -54,8 +81,11 @@ impl PolicyInput<'_> {
 ///
 /// # Contract
 ///
-/// * [`reallocate`](Self::reallocate) returns one target per partition,
-///   in lines, summing to exactly `input.capacity`.
+/// * [`reallocate`](Self::reallocate) returns one target per partition
+///   slot, in lines, summing to exactly `input.capacity`. Dead slots
+///   (per [`PolicyInput::is_live`]) receive zero; if no slot is live the
+///   result is all-zero and the scheme's unmanaged region absorbs the
+///   capacity.
 /// * Policies must be deterministic: the same observation sequence and
 ///   the same inputs produce the same targets.
 /// * [`observe`](Self::observe) is on the simulation hot path; policies
@@ -142,10 +172,22 @@ impl AllocationPolicy for EqualShares {
     }
 
     fn reallocate(&mut self, input: &PolicyInput<'_>) -> Vec<u64> {
-        let n = input.num_partitions() as u64;
-        let base = input.capacity / n;
-        let rem = input.capacity % n;
-        (0..n).map(|p| base + u64::from(p < rem)).collect()
+        let n = input.num_partitions();
+        let live = input.live_partitions() as u64;
+        let mut out = vec![0u64; n];
+        if live == 0 {
+            return out;
+        }
+        let base = input.capacity / live;
+        let rem = input.capacity % live;
+        let mut rank = 0u64;
+        for (p, t) in out.iter_mut().enumerate() {
+            if input.is_live(p) {
+                *t = base + u64::from(rank < rem);
+                rank += 1;
+            }
+        }
+        out
     }
 }
 
@@ -241,6 +283,18 @@ impl std::fmt::Display for QosError {
 
 impl std::error::Error for QosError {}
 
+/// How a [`QosGuarantee`] maps its contract onto the partition slots of
+/// a given epoch.
+#[derive(Clone, Debug)]
+enum QosMode {
+    /// A per-slot contract fixed at construction (static populations).
+    Fixed { mins: Vec<u64>, weights: Vec<f64> },
+    /// One contract applied uniformly to every *live* slot — the
+    /// service-mode spelling, where the population churns and slots
+    /// appear and disappear between epochs.
+    Uniform { min: u64, weight: f64 },
+}
+
 /// QoS/share-driven allocation: each partition is guaranteed a minimum
 /// number of lines, and the spare capacity is split by weighted demand —
 /// `weight[p] * (misses[p] + 1)` — so heavier-missing tenants pull more of
@@ -248,29 +302,17 @@ impl std::error::Error for QosError {}
 ///
 /// If the minimums exceed the capacity they are scaled down
 /// proportionally (the guarantee degrades gracefully instead of
-/// overcommitting).
+/// overcommitting). Dead slots (per [`PolicyInput::is_live`]) get zero
+/// floor, zero weight, and therefore zero lines.
 #[derive(Clone, Debug)]
 pub struct QosGuarantee {
-    mins: Vec<u64>,
-    weights: Vec<f64>,
+    mode: QosMode,
 }
 
 impl QosGuarantee {
-    /// Creates the policy; `mins[p]` is partition `p`'s guaranteed lines
-    /// and `weights[p]` its share of spare capacity.
-    ///
-    /// # Panics
-    ///
-    /// Panics on invalid shapes or weights; see
-    /// [`try_new`](Self::try_new).
-    pub fn new(mins: Vec<u64>, weights: Vec<f64>) -> Self {
-        match Self::try_new(mins, weights) {
-            Ok(p) => p,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// [`QosGuarantee::new`] with typed errors instead of panics.
+    /// Creates a fixed per-partition contract; `mins[p]` is partition
+    /// `p`'s guaranteed lines and `weights[p]` its share of spare
+    /// capacity.
     ///
     /// # Errors
     ///
@@ -287,17 +329,55 @@ impl QosGuarantee {
         if !weights.iter().any(|w| *w > 0.0) {
             return Err(QosError::AllZeroWeights);
         }
-        Ok(Self { mins, weights })
+        Ok(Self {
+            mode: QosMode::Fixed { mins, weights },
+        })
     }
 
-    /// The guaranteed minimums, in lines.
+    /// Creates a uniform contract for churning populations: every live
+    /// slot is guaranteed `min` lines and pulls spare capacity with the
+    /// same `weight`, however many tenants happen to exist at each epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::BadWeight`] for a non-finite or negative weight and
+    /// [`QosError::AllZeroWeights`] for a zero weight.
+    pub fn uniform(min: u64, weight: f64) -> Result<Self, QosError> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(QosError::BadWeight);
+        }
+        if weight == 0.0 {
+            return Err(QosError::AllZeroWeights);
+        }
+        Ok(Self {
+            mode: QosMode::Uniform { min, weight },
+        })
+    }
+
+    /// The guaranteed minimums, in lines (empty for a
+    /// [uniform](Self::uniform) contract).
     pub fn mins(&self) -> &[u64] {
-        &self.mins
+        match &self.mode {
+            QosMode::Fixed { mins, .. } => mins,
+            QosMode::Uniform { .. } => &[],
+        }
     }
 
-    /// The spare-capacity weights.
+    /// The spare-capacity weights (empty for a [uniform](Self::uniform)
+    /// contract).
     pub fn weights(&self) -> &[f64] {
-        &self.weights
+        match &self.mode {
+            QosMode::Fixed { weights, .. } => weights,
+            QosMode::Uniform { .. } => &[],
+        }
+    }
+
+    /// The guaranteed floor for slot `p`, in lines.
+    pub fn floor_for(&self, p: usize) -> u64 {
+        match &self.mode {
+            QosMode::Fixed { mins, .. } => mins.get(p).copied().unwrap_or(0),
+            QosMode::Uniform { min, .. } => *min,
+        }
     }
 }
 
@@ -320,25 +400,54 @@ impl AllocationPolicy for QosGuarantee {
     }
 
     fn reallocate(&mut self, input: &PolicyInput<'_>) -> Vec<u64> {
-        let n = self.mins.len();
-        debug_assert_eq!(n, input.num_partitions(), "policy sized for machine");
-        let floor_sum: u64 = self.mins.iter().sum();
+        let n = input.num_partitions();
+        if let QosMode::Fixed { mins, .. } = &self.mode {
+            debug_assert_eq!(mins.len(), n, "policy sized for machine");
+        }
+        if input.live_partitions() == 0 {
+            // Nobody to serve: the unmanaged region absorbs everything.
+            return vec![0; n];
+        }
+        // Project the contract onto this epoch's slots: dead slots get
+        // zero floor and zero weight so no capacity can leak to them.
+        let (mins, weights): (Vec<u64>, Vec<f64>) = (0..n)
+            .map(|p| {
+                if !input.is_live(p) {
+                    return (0u64, 0.0);
+                }
+                match &self.mode {
+                    QosMode::Fixed { mins, weights } => (
+                        mins.get(p).copied().unwrap_or(0),
+                        weights.get(p).copied().unwrap_or(0.0),
+                    ),
+                    QosMode::Uniform { min, weight } => (*min, *weight),
+                }
+            })
+            .unzip();
+        let floor_sum: u64 = mins.iter().sum();
         let mut targets = if floor_sum > input.capacity {
             // Overcommitted guarantees: scale the floors down
             // proportionally so the contract degrades uniformly.
-            let scaled: Vec<f64> = self.mins.iter().map(|&m| m as f64).collect();
+            let scaled: Vec<f64> = mins.iter().map(|&m| m as f64).collect();
             apportion(input.capacity, &scaled)
         } else {
-            self.mins.clone()
+            mins
         };
         let spare = input.capacity - targets.iter().sum::<u64>();
         if spare > 0 {
-            let demand: Vec<f64> = self
-                .weights
+            let mut demand: Vec<f64> = weights
                 .iter()
                 .enumerate()
                 .map(|(p, &w)| w * (input.misses.get(p).copied().unwrap_or(0) as f64 + 1.0))
                 .collect();
+            if !demand.iter().any(|d| *d > 0.0) {
+                // Every positively weighted tenant is dead: split the
+                // spare among the live ones instead of letting
+                // `apportion`'s all-zero fallback feed dead slots.
+                demand = (0..n)
+                    .map(|p| if input.is_live(p) { 1.0 } else { 0.0 })
+                    .collect();
+            }
             for (t, extra) in targets.iter_mut().zip(apportion(spare, &demand)) {
                 *t += extra;
             }
@@ -404,6 +513,9 @@ mod tests {
             misses,
             churn: zeros,
             insertions: zeros,
+            live: &[],
+            arrived: &[],
+            departed: &[],
         }
     }
 
@@ -450,7 +562,8 @@ mod tests {
 
     #[test]
     fn qos_honors_minimums_and_spends_spare_by_weight() {
-        let mut qos = QosGuarantee::new(vec![100, 200, 50], vec![1.0, 1.0, 2.0]);
+        let mut qos = QosGuarantee::try_new(vec![100, 200, 50], vec![1.0, 1.0, 2.0])
+            .expect("valid QoS shape");
         let zeros = [0u64; 3];
         let misses = [10u64, 10, 10];
         let inp = input(1_000, &zeros, &misses, &zeros);
@@ -463,7 +576,8 @@ mod tests {
 
     #[test]
     fn qos_scales_overcommitted_minimums_down() {
-        let mut qos = QosGuarantee::new(vec![800, 800], vec![1.0, 1.0]);
+        let mut qos =
+            QosGuarantee::try_new(vec![800, 800], vec![1.0, 1.0]).expect("valid QoS shape");
         let zeros = [0u64; 2];
         let inp = input(1_000, &zeros, &zeros, &zeros);
         let t = qos.reallocate(&inp);
@@ -487,6 +601,60 @@ mod tests {
         );
         assert_eq!(
             QosGuarantee::try_new(vec![1, 2], vec![0.0, 0.0]).err(),
+            Some(QosError::AllZeroWeights)
+        );
+    }
+
+    #[test]
+    fn equal_shares_skips_dead_slots() {
+        let zeros = [0u64; 4];
+        let mut inp = input(1_000, &zeros, &zeros, &zeros);
+        let live = [true, false, true, false];
+        inp.live = &live;
+        let t = EqualShares::new().reallocate(&inp);
+        assert_eq!(t, vec![500, 0, 500, 0]);
+    }
+
+    #[test]
+    fn qos_uniform_contract_follows_the_population() {
+        let mut qos = QosGuarantee::uniform(100, 1.0).expect("valid uniform contract");
+        let zeros = [0u64; 3];
+        let misses = [5u64, 50, 5];
+        let mut inp = input(1_000, &zeros, &misses, &zeros);
+        let live = [true, true, false];
+        inp.live = &live;
+        let t = qos.reallocate(&inp);
+        assert_eq!(t.iter().sum::<u64>(), 1_000);
+        assert_eq!(t[2], 0, "dead slot must not receive lines: {t:?}");
+        assert!(t[0] >= 100 && t[1] >= 100, "floors: {t:?}");
+        assert!(
+            t[1] > t[0],
+            "heavier-missing tenant pulls more spare: {t:?}"
+        );
+    }
+
+    #[test]
+    fn qos_with_no_live_tenants_returns_zeros() {
+        let mut qos = QosGuarantee::uniform(100, 1.0).expect("valid uniform contract");
+        let zeros = [0u64; 2];
+        let mut inp = input(1_000, &zeros, &zeros, &zeros);
+        let live = [false, false];
+        inp.live = &live;
+        assert_eq!(qos.reallocate(&inp), vec![0, 0]);
+    }
+
+    #[test]
+    fn qos_uniform_rejects_bad_weights() {
+        assert_eq!(
+            QosGuarantee::uniform(1, -1.0).err(),
+            Some(QosError::BadWeight)
+        );
+        assert_eq!(
+            QosGuarantee::uniform(1, f64::INFINITY).err(),
+            Some(QosError::BadWeight)
+        );
+        assert_eq!(
+            QosGuarantee::uniform(1, 0.0).err(),
             Some(QosError::AllZeroWeights)
         );
     }

@@ -1,0 +1,257 @@
+//! LFOC-style clustered allocation for large churning populations.
+//!
+//! Fine-grain schemes like Vantage can *enforce* hundreds of partitions,
+//! but giving every tenant its own distinct target makes the allocator
+//! itself the bottleneck: each epoch recomputes and re-tiles one value
+//! per tenant, and the scheme's setpoint controllers chase hundreds of
+//! independent targets. LFOC (Xiang et al., ICPP 2019) observed that
+//! tenants with similar miss pressure are happy with the *same* share,
+//! so it groups them into a bounded number of clusters and sizes the
+//! cluster, not the tenant.
+//!
+//! [`ClusteredPolicy`] reproduces that idea on top of the
+//! [`AllocationPolicy`] seam:
+//!
+//! 1. Live tenants are ranked by accumulated miss pressure.
+//! 2. The ranking is cut into at most `max_clusters` quantile buckets.
+//! 3. Each tenant is guaranteed `min_lines`; the spare capacity is
+//!    apportioned across clusters by aggregate demand, then evenly
+//!    within a cluster.
+//!
+//! The result: however many tenants are live, the policy hands the
+//! scheme at most `max_clusters` distinct target values (give or take
+//! one line of largest-remainder rounding), bounding both allocator
+//! work and enforcement churn.
+
+use crate::alloc_policy::{apportion, AllocationPolicy, PolicyInput};
+
+/// Errors constructing a [`ClusteredPolicy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterError {
+    /// `max_clusters` was zero.
+    NoClusters,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoClusters => f.write_str("max_clusters must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The clustered allocator; see the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct ClusteredPolicy {
+    max_clusters: usize,
+    min_lines: u64,
+    clusters_formed: u64,
+}
+
+impl ClusteredPolicy {
+    /// Creates the policy: at most `max_clusters` distinct targets, with
+    /// every live tenant guaranteed `min_lines` (scaled down
+    /// proportionally if the population outgrows the cache).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoClusters`] when `max_clusters` is zero.
+    pub fn try_new(max_clusters: usize, min_lines: u64) -> Result<Self, ClusterError> {
+        if max_clusters == 0 {
+            return Err(ClusterError::NoClusters);
+        }
+        Ok(Self {
+            max_clusters,
+            min_lines,
+            clusters_formed: 0,
+        })
+    }
+
+    /// The configured cluster bound.
+    pub fn max_clusters(&self) -> usize {
+        self.max_clusters
+    }
+
+    /// The per-tenant guaranteed floor, in lines.
+    pub fn min_lines(&self) -> u64 {
+        self.min_lines
+    }
+
+    /// Clusters formed by the most recent [`reallocate`] call
+    /// (0 before the first call or when no tenant was live).
+    ///
+    /// [`reallocate`]: AllocationPolicy::reallocate
+    pub fn clusters_formed(&self) -> u64 {
+        self.clusters_formed
+    }
+}
+
+impl vantage_snapshot::Snapshot for ClusteredPolicy {
+    fn save_state(&self, enc: &mut vantage_snapshot::Encoder) {
+        enc.put_u64(self.clusters_formed);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut vantage_snapshot::Decoder<'_>,
+    ) -> vantage_snapshot::Result<()> {
+        self.clusters_formed = dec.take_u64()?;
+        Ok(())
+    }
+}
+
+impl AllocationPolicy for ClusteredPolicy {
+    fn name(&self) -> &'static str {
+        "clustered"
+    }
+
+    fn reallocate(&mut self, input: &PolicyInput<'_>) -> Vec<u64> {
+        let n = input.num_partitions();
+        let live: Vec<usize> = (0..n).filter(|&p| input.is_live(p)).collect();
+        let mut targets = vec![0u64; n];
+        if live.is_empty() {
+            self.clusters_formed = 0;
+            return targets;
+        }
+        let floor_total = self.min_lines.saturating_mul(live.len() as u64);
+        if floor_total > input.capacity {
+            // Population outgrew the cache: degrade to an even split of
+            // whatever is there — one cluster, uniform targets.
+            let even = vec![1.0; live.len()];
+            for (i, t) in apportion(input.capacity, &even).into_iter().enumerate() {
+                targets[live[i]] = t;
+            }
+            self.clusters_formed = 1;
+            return targets;
+        }
+        for &p in &live {
+            targets[p] = self.min_lines;
+        }
+        let spare = input.capacity - floor_total;
+        // Rank live tenants heaviest-missing first; ties by slot index
+        // keep the cut deterministic.
+        let mut ranked = live;
+        ranked.sort_by_key(|&p| {
+            (
+                std::cmp::Reverse(input.misses.get(p).copied().unwrap_or(0)),
+                p,
+            )
+        });
+        let k = self.max_clusters.min(ranked.len());
+        let bounds: Vec<usize> = (0..=k).map(|j| j * ranked.len() / k).collect();
+        let clusters: Vec<&[usize]> = bounds.windows(2).map(|w| &ranked[w[0]..w[1]]).collect();
+        let demand: Vec<f64> = clusters
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|&p| input.misses.get(p).copied().unwrap_or(0) as f64 + 1.0)
+                    .sum()
+            })
+            .collect();
+        for (cluster, budget) in clusters.iter().zip(apportion(spare, &demand)) {
+            let even = vec![1.0; cluster.len()];
+            for (&p, share) in cluster.iter().zip(apportion(budget, &even)) {
+                targets[p] += share;
+            }
+        }
+        self.clusters_formed = k as u64;
+        targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input<'a>(
+        capacity: u64,
+        misses: &'a [u64],
+        zeros: &'a [u64],
+        live: &'a [bool],
+    ) -> PolicyInput<'a> {
+        PolicyInput {
+            capacity,
+            actual: zeros,
+            hits: zeros,
+            misses,
+            churn: zeros,
+            insertions: zeros,
+            live,
+            arrived: &[],
+            departed: &[],
+        }
+    }
+
+    #[test]
+    fn rejects_zero_clusters() {
+        assert_eq!(
+            ClusteredPolicy::try_new(0, 10).err(),
+            Some(ClusterError::NoClusters)
+        );
+    }
+
+    #[test]
+    fn bounds_distinct_targets_to_cluster_count() {
+        let mut pol = ClusteredPolicy::try_new(4, 8).expect("valid cluster config");
+        let misses: Vec<u64> = (0..64).map(|p| p * 100).collect();
+        let zeros = vec![0u64; 64];
+        let inp = input(100_000, &misses, &zeros, &[]);
+        let t = pol.reallocate(&inp);
+        assert_eq!(t.iter().sum::<u64>(), 100_000);
+        assert_eq!(pol.clusters_formed(), 4);
+        assert!(t.iter().all(|&x| x >= 8), "floors hold: {t:?}");
+        // Largest-remainder rounding smears each cluster's shared value
+        // across at most two adjacent line counts.
+        let mut distinct: Vec<u64> = t.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 8, "too many targets: {distinct:?}");
+    }
+
+    #[test]
+    fn heavier_clusters_get_bigger_budgets() {
+        let mut pol = ClusteredPolicy::try_new(2, 10).expect("valid cluster config");
+        let misses = [1_000u64, 1_000, 1, 1];
+        let zeros = [0u64; 4];
+        let t = pol.reallocate(&input(10_000, &misses, &zeros, &[]));
+        assert_eq!(t.iter().sum::<u64>(), 10_000);
+        assert!(t[0] > t[2] && t[1] > t[3], "pressure ignored: {t:?}");
+        assert_eq!(t[0], t[1], "same cluster, same share");
+    }
+
+    #[test]
+    fn dead_slots_get_nothing() {
+        let mut pol = ClusteredPolicy::try_new(3, 10).expect("valid cluster config");
+        let misses = [50u64, 0, 50];
+        let zeros = [0u64; 3];
+        let live = [true, false, true];
+        let t = pol.reallocate(&input(1_000, &misses, &zeros, &live));
+        assert_eq!(t[1], 0);
+        assert_eq!(t.iter().sum::<u64>(), 1_000);
+    }
+
+    #[test]
+    fn overcrowded_population_degrades_to_even_split() {
+        let mut pol = ClusteredPolicy::try_new(4, 100).expect("valid cluster config");
+        let misses = [9u64, 5, 1];
+        let zeros = [0u64; 3];
+        // 3 tenants x 100-line floor > 120 lines of capacity.
+        let t = pol.reallocate(&input(120, &misses, &zeros, &[]));
+        assert_eq!(t, vec![40, 40, 40]);
+        assert_eq!(pol.clusters_formed(), 1);
+    }
+
+    #[test]
+    fn empty_population_returns_zeros() {
+        let mut pol = ClusteredPolicy::try_new(4, 10).expect("valid cluster config");
+        let zeros = [0u64; 2];
+        let live = [false, false];
+        assert_eq!(
+            pol.reallocate(&input(500, &zeros, &zeros, &live)),
+            vec![0, 0]
+        );
+        assert_eq!(pol.clusters_formed(), 0);
+    }
+}

@@ -22,6 +22,7 @@
 //!   "Allocation policy") to exploit fine-grain sizing.
 
 pub mod alloc_policy;
+pub mod cluster;
 pub mod lookahead;
 pub mod policy;
 pub mod rrip_umon;
@@ -31,6 +32,7 @@ pub use alloc_policy::{
     apportion, AllocationPolicy, EqualShares, MissRatioEqualizer, PolicyInput, QosError,
     QosGuarantee,
 };
+pub use cluster::{ClusterError, ClusteredPolicy};
 pub use lookahead::{equalize_miss_ratios, interpolate_curve, lookahead};
 pub use policy::{AllocationGoal, UcpGranularity, UcpPolicy};
 pub use rrip_umon::RripUmon;

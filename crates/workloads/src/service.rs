@@ -1,0 +1,521 @@
+//! Service-mode workload: a churning population of cache tenants.
+//!
+//! The paper's evaluation runs fixed multiprogrammed mixes — one
+//! partition per core for the whole run. A consolidated service (the
+//! motivating deployment for fine-grain partitioning at scale) looks
+//! different: tenants arrive, run for a while, and leave; traffic is
+//! heavily skewed toward a few hot tenants; and load swings with the
+//! time of day. [`TenantChurn`] models exactly that:
+//!
+//! * **Arrivals** follow a Poisson process (exponential inter-arrival
+//!   gaps); **lifetimes** are exponential, so departures are memoryless
+//!   too. Admission is capped at `max_tenants` — arrivals past the cap
+//!   are rejected and re-scheduled.
+//! * **Popularity** is Zipfian over the live population by arrival
+//!   order: tenant at seniority rank `r` carries weight `1/r^s`.
+//! * **Diurnal load**: each tenant's traffic is modulated by a sinusoid
+//!   with a per-tenant phase, so different tenants peak at different
+//!   times and the mix of hot tenants rotates over a period.
+//! * **Addresses**: each tenant owns a private footprint and reuses it
+//!   with a hot head (`line = footprint · u³`), so tenants benefit from
+//!   capacity without thrashing.
+//!
+//! Determinism is structural: every random draw is `mix64(seed ^ n)`
+//! for a monotone draw counter `n`, so the generator's entire state is
+//! a handful of counters — it checkpoints through
+//! [`vantage_snapshot::Snapshot`] and replays bit-identically, and two
+//! drivers that consume the same event sequence stay in lockstep no
+//! matter how they overlap cache work with generation.
+
+use vantage_cache::hash::mix64;
+use vantage_cache::LineAddr;
+use vantage_snapshot::{Decoder, Encoder, Snapshot};
+
+/// Configuration for a [`TenantChurn`] generator.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantChurnConfig {
+    /// Maximum concurrently live tenants (admission cap).
+    pub max_tenants: usize,
+    /// Mean tenant lifetime, in generator events (exponential).
+    pub mean_lifetime: f64,
+    /// Mean events between arrivals (Poisson process).
+    pub mean_interarrival: f64,
+    /// Zipf skew for popularity by seniority rank (0 = uniform).
+    pub zipf_s: f64,
+    /// Lines in each tenant's private footprint.
+    pub footprint_lines: u64,
+    /// Diurnal period in events (0 disables the modulation).
+    pub diurnal_period: u64,
+    /// Diurnal swing in `[0, 1)`: traffic varies by `±amplitude`.
+    pub diurnal_amplitude: f64,
+    /// Seed for the counter-based RNG.
+    pub seed: u64,
+}
+
+impl Default for TenantChurnConfig {
+    /// A mid-size service: up to 64 tenants, lifetimes of ~2M events,
+    /// an arrival every ~20K events, Zipf(0.9) popularity and a mild
+    /// diurnal swing.
+    fn default() -> Self {
+        Self {
+            max_tenants: 64,
+            mean_lifetime: 2_000_000.0,
+            mean_interarrival: 20_000.0,
+            zipf_s: 0.9,
+            footprint_lines: 4_096,
+            diurnal_period: 1_000_000,
+            diurnal_amplitude: 0.5,
+            seed: 1,
+        }
+    }
+}
+
+/// An invalid [`TenantChurnConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnConfigError {
+    /// `max_tenants` was zero.
+    NoTenants,
+    /// `mean_lifetime` or `mean_interarrival` was not positive and finite.
+    BadRate,
+    /// `zipf_s` was negative, NaN, or infinite.
+    BadSkew,
+    /// `footprint_lines` was zero or does not fit beside the tenant id.
+    BadFootprint,
+    /// `diurnal_amplitude` was outside `[0, 1)`.
+    BadAmplitude,
+}
+
+impl std::fmt::Display for ChurnConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoTenants => f.write_str("max_tenants must be at least 1"),
+            Self::BadRate => f.write_str("lifetimes and inter-arrival gaps must be positive"),
+            Self::BadSkew => f.write_str("zipf_s must be finite and non-negative"),
+            Self::BadFootprint => f.write_str("footprint_lines must be in 1..2^32"),
+            Self::BadAmplitude => f.write_str("diurnal_amplitude must be in [0, 1)"),
+        }
+    }
+}
+
+impl std::error::Error for ChurnConfigError {}
+
+/// One generator event, consumed in order by the service driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A tenant arrived; the driver should create its partition.
+    Arrive {
+        /// The stable external tenant id (never reused).
+        tenant: u64,
+    },
+    /// A tenant departed; the driver should destroy its partition.
+    Depart {
+        /// The departing tenant's id.
+        tenant: u64,
+    },
+    /// One cache access by a live tenant.
+    Access {
+        /// The accessing tenant's id.
+        tenant: u64,
+        /// The line touched (unique to this tenant).
+        addr: LineAddr,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Tenant {
+    id: u64,
+    depart_at: u64,
+}
+
+/// The churn generator; see the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct TenantChurn {
+    cfg: TenantChurnConfig,
+    /// Event clock (advances once per `Access`).
+    now: u64,
+    /// Monotone draw counter — the whole RNG state.
+    draws: u64,
+    /// Next tenant id to assign (ids are never reused).
+    next_id: u64,
+    next_arrival_at: u64,
+    live: Vec<Tenant>,
+    /// Cached min of `live[..].depart_at` (u64::MAX when empty).
+    next_depart_at: u64,
+    /// Cumulative popularity weights over `live`, rebuilt on churn and
+    /// when the diurnal slot rolls over.
+    cum_weights: Vec<f64>,
+    weights_slot: u64,
+}
+
+impl TenantChurn {
+    /// Creates the generator. The first event is always an `Arrive`.
+    ///
+    /// # Errors
+    ///
+    /// A [`ChurnConfigError`] naming the offending field.
+    pub fn try_new(cfg: TenantChurnConfig) -> Result<Self, ChurnConfigError> {
+        if cfg.max_tenants == 0 {
+            return Err(ChurnConfigError::NoTenants);
+        }
+        for rate in [cfg.mean_lifetime, cfg.mean_interarrival] {
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(ChurnConfigError::BadRate);
+            }
+        }
+        if !cfg.zipf_s.is_finite() || cfg.zipf_s < 0.0 {
+            return Err(ChurnConfigError::BadSkew);
+        }
+        if cfg.footprint_lines == 0 || cfg.footprint_lines >= (1 << 32) {
+            return Err(ChurnConfigError::BadFootprint);
+        }
+        if !(0.0..1.0).contains(&cfg.diurnal_amplitude) {
+            return Err(ChurnConfigError::BadAmplitude);
+        }
+        Ok(Self {
+            cfg,
+            now: 0,
+            draws: 0,
+            next_id: 0,
+            next_arrival_at: 0,
+            live: Vec::new(),
+            next_depart_at: u64::MAX,
+            cum_weights: Vec::new(),
+            weights_slot: 0,
+        })
+    }
+
+    /// The configuration the generator was built with.
+    pub fn config(&self) -> &TenantChurnConfig {
+        &self.cfg
+    }
+
+    /// Number of currently live tenants.
+    pub fn live_tenants(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The event clock (one tick per `Access` event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total tenants ever admitted.
+    pub fn tenants_admitted(&self) -> u64 {
+        self.next_id
+    }
+
+    /// A uniform draw in `[0, 1)` from the counter-based stream.
+    fn u01(&mut self) -> f64 {
+        self.draws += 1;
+        (mix64(self.cfg.seed ^ self.draws) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// An exponential draw with the given mean, in whole events (≥ 1).
+    fn exp(&mut self, mean: f64) -> u64 {
+        let u = self.u01();
+        let x = -mean * (1.0 - u).ln();
+        x.clamp(1.0, u64::MAX as f64 / 2.0) as u64
+    }
+
+    /// The diurnal time slot (weights are refreshed per slot, keeping
+    /// the per-access cost at a binary search).
+    fn slot(&self) -> u64 {
+        if self.cfg.diurnal_period == 0 {
+            0
+        } else {
+            self.now / (self.cfg.diurnal_period / 32).max(1)
+        }
+    }
+
+    fn rebuild_weights(&mut self) {
+        self.weights_slot = self.slot();
+        // Evaluate the sinusoid at the slot's *start*, not at `now`:
+        // rebuilds triggered mid-slot (churn, checkpoint restore) must
+        // produce the exact weights the slot rollover would have.
+        let slot_start = if self.cfg.diurnal_period == 0 {
+            0
+        } else {
+            self.weights_slot * (self.cfg.diurnal_period / 32).max(1)
+        };
+        self.cum_weights.clear();
+        let mut acc = 0.0f64;
+        for (rank, t) in self.live.iter().enumerate() {
+            let zipf = 1.0 / ((rank + 1) as f64).powf(self.cfg.zipf_s);
+            let diurnal = if self.cfg.diurnal_period == 0 {
+                1.0
+            } else {
+                // A per-tenant phase rotates which tenants are peaking.
+                let phase = mix64(t.id ^ 0xD1A2) as f64 / u64::MAX as f64;
+                let angle = std::f64::consts::TAU
+                    * (slot_start as f64 / self.cfg.diurnal_period as f64 + phase);
+                1.0 + self.cfg.diurnal_amplitude * angle.sin()
+            };
+            acc += zipf * diurnal;
+            self.cum_weights.push(acc);
+        }
+    }
+
+    fn refresh_next_depart(&mut self) {
+        self.next_depart_at = self
+            .live
+            .iter()
+            .map(|t| t.depart_at)
+            .min()
+            .unwrap_or(u64::MAX);
+    }
+
+    /// Produces the next event. Never blocks: with no live tenant the
+    /// clock jumps straight to the next arrival.
+    pub fn next_event(&mut self) -> ChurnEvent {
+        loop {
+            // Departures first: drain every tenant whose time has come
+            // before generating more of its traffic.
+            if self.next_depart_at <= self.now {
+                let due = self.next_depart_at;
+                let i = self
+                    .live
+                    .iter()
+                    .position(|t| t.depart_at == due)
+                    .expect("cached min departure is present");
+                let tenant = self.live.remove(i).id;
+                self.refresh_next_depart();
+                self.rebuild_weights();
+                return ChurnEvent::Depart { tenant };
+            }
+            if self.next_arrival_at <= self.now {
+                let gap = self.exp(self.cfg.mean_interarrival);
+                self.next_arrival_at = self.now + gap;
+                if self.live.len() >= self.cfg.max_tenants {
+                    // Admission rejected; the arrival is dropped.
+                    continue;
+                }
+                let id = self.next_id;
+                self.next_id += 1;
+                let life = self.exp(self.cfg.mean_lifetime);
+                self.live.push(Tenant {
+                    id,
+                    depart_at: self.now + life,
+                });
+                self.next_depart_at = self.next_depart_at.min(self.now + life);
+                self.rebuild_weights();
+                return ChurnEvent::Arrive { tenant: id };
+            }
+            if self.live.is_empty() {
+                self.now = self.next_arrival_at.min(self.next_depart_at);
+                continue;
+            }
+            self.now += 1;
+            if self.slot() != self.weights_slot {
+                self.rebuild_weights();
+            }
+            let total = *self.cum_weights.last().expect("live population");
+            let pick = self.u01() * total;
+            let i = self
+                .cum_weights
+                .partition_point(|&c| c <= pick)
+                .min(self.live.len() - 1);
+            let tenant = self.live[i].id;
+            // Hot-headed reuse inside the tenant's private footprint.
+            let u = self.u01();
+            let line = (self.cfg.footprint_lines as f64 * u * u * u) as u64;
+            let addr = LineAddr((tenant << 32) | line.min(self.cfg.footprint_lines - 1));
+            return ChurnEvent::Access { tenant, addr };
+        }
+    }
+}
+
+impl Snapshot for TenantChurn {
+    fn save_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.now);
+        enc.put_u64(self.draws);
+        enc.put_u64(self.next_id);
+        enc.put_u64(self.next_arrival_at);
+        enc.put_u64(self.live.len() as u64);
+        for t in &self.live {
+            enc.put_u64(t.id);
+            enc.put_u64(t.depart_at);
+        }
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder<'_>) -> vantage_snapshot::Result<()> {
+        let now = dec.take_u64()?;
+        let draws = dec.take_u64()?;
+        let next_id = dec.take_u64()?;
+        let next_arrival_at = dec.take_u64()?;
+        let n = dec.take_u64()? as usize;
+        if n > self.cfg.max_tenants {
+            return Err(dec.mismatch("live tenants exceed the admission cap"));
+        }
+        let mut live = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = dec.take_u64()?;
+            let depart_at = dec.take_u64()?;
+            if id >= next_id {
+                return Err(dec.invalid("live tenant id beyond the id watermark"));
+            }
+            live.push(Tenant { id, depart_at });
+        }
+        self.now = now;
+        self.draws = draws;
+        self.next_id = next_id;
+        self.next_arrival_at = next_arrival_at;
+        self.live = live;
+        self.refresh_next_depart();
+        self.rebuild_weights();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> TenantChurnConfig {
+        TenantChurnConfig {
+            max_tenants: 8,
+            mean_lifetime: 5_000.0,
+            mean_interarrival: 500.0,
+            footprint_lines: 256,
+            diurnal_period: 2_000,
+            ..TenantChurnConfig::default()
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_configs() {
+        let base = quick_cfg();
+        let cases = [
+            (
+                TenantChurnConfig {
+                    max_tenants: 0,
+                    ..base
+                },
+                ChurnConfigError::NoTenants,
+            ),
+            (
+                TenantChurnConfig {
+                    mean_lifetime: 0.0,
+                    ..base
+                },
+                ChurnConfigError::BadRate,
+            ),
+            (
+                TenantChurnConfig {
+                    zipf_s: f64::NAN,
+                    ..base
+                },
+                ChurnConfigError::BadSkew,
+            ),
+            (
+                TenantChurnConfig {
+                    footprint_lines: 0,
+                    ..base
+                },
+                ChurnConfigError::BadFootprint,
+            ),
+            (
+                TenantChurnConfig {
+                    diurnal_amplitude: 1.0,
+                    ..base
+                },
+                ChurnConfigError::BadAmplitude,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(TenantChurn::try_new(cfg).err(), Some(want));
+        }
+    }
+
+    #[test]
+    fn generates_a_live_population_with_churn() {
+        let mut gen = TenantChurn::try_new(quick_cfg()).expect("valid churn config");
+        let (mut arrives, mut departs, mut accesses) = (0u64, 0u64, 0u64);
+        let mut live = std::collections::HashSet::new();
+        for _ in 0..200_000 {
+            match gen.next_event() {
+                ChurnEvent::Arrive { tenant } => {
+                    assert!(live.insert(tenant), "tenant ids are never reused");
+                    arrives += 1;
+                }
+                ChurnEvent::Depart { tenant } => {
+                    assert!(live.remove(&tenant), "departures name live tenants");
+                    departs += 1;
+                }
+                ChurnEvent::Access { tenant, addr } => {
+                    assert!(live.contains(&tenant), "only live tenants access");
+                    assert_eq!(addr.0 >> 32, tenant, "footprints are private");
+                    accesses += 1;
+                }
+            }
+            assert!(live.len() <= 8, "admission cap holds");
+            assert_eq!(live.len(), gen.live_tenants());
+        }
+        assert!(arrives > 20, "population churns: {arrives} arrivals");
+        assert!(departs > 10, "population churns: {departs} departures");
+        assert!(accesses > 100_000, "traffic dominates: {accesses}");
+    }
+
+    #[test]
+    fn popularity_is_skewed_toward_senior_tenants() {
+        let cfg = TenantChurnConfig {
+            mean_lifetime: 1e12, // effectively immortal
+            zipf_s: 1.2,
+            diurnal_period: 0,
+            ..quick_cfg()
+        };
+        let mut gen = TenantChurn::try_new(cfg).expect("valid churn config");
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            if let ChurnEvent::Access { tenant, .. } = gen.next_event() {
+                *counts.entry(tenant).or_insert(0u64) += 1;
+            }
+        }
+        let first = counts.get(&0).copied().unwrap_or(0);
+        let last = counts.get(&7).copied().unwrap_or(0);
+        assert!(
+            first > 3 * last.max(1),
+            "tenant 0 should dominate: {first} vs {last}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resumes_bit_identically() {
+        let mut a = TenantChurn::try_new(quick_cfg()).expect("valid churn config");
+        for _ in 0..50_000 {
+            a.next_event();
+        }
+        let mut enc = Encoder::new();
+        a.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut b = TenantChurn::try_new(quick_cfg()).expect("valid churn config");
+        let mut dec = Decoder::new(&bytes, "tenant churn");
+        b.load_state(&mut dec).expect("checkpoint restores");
+        for _ in 0..50_000 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn hostile_checkpoints_are_rejected() {
+        let mut gen = TenantChurn::try_new(quick_cfg()).expect("valid churn config");
+        for _ in 0..10_000 {
+            gen.next_event();
+        }
+        let mut enc = Encoder::new();
+        gen.save_state(&mut enc);
+        let good = enc.into_bytes();
+
+        // Live count beyond the admission cap.
+        let mut evil = good.clone();
+        evil[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut dec = Decoder::new(&evil, "tenant churn");
+        assert!(gen.clone().load_state(&mut dec).is_err());
+
+        // A live tenant id above the id watermark.
+        let mut evil = good;
+        evil[16..24].copy_from_slice(&0u64.to_le_bytes());
+        let mut dec = Decoder::new(&evil, "tenant churn");
+        assert!(gen.clone().load_state(&mut dec).is_err());
+    }
+}

@@ -9,6 +9,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use vantage_partitioning::PartitionId;
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::{VantageConfig, VantageLlc};
 use vantage_repro::partitioning::{AccessRequest, Llc};
@@ -19,7 +20,8 @@ const STORE_LINES: u64 = 3_000; // ~190 KB scratchpad
 fn main() {
     // Partition 0 = regular traffic; partition 1 = the pinned local store.
     let array = ZArray::new(LINES, 4, 52, 5);
-    let mut llc = VantageLlc::new(Box::new(array), 2, VantageConfig::default(), 1);
+    let mut llc = VantageLlc::try_new(Box::new(array), 2, VantageConfig::default(), 1)
+        .expect("valid Vantage config");
     let mut rng = SmallRng::seed_from_u64(11);
 
     // --- Phase 1: allocate the local store and load it. ---
@@ -29,7 +31,7 @@ fn main() {
     }
     println!(
         "local store loaded: {} lines resident",
-        llc.partition_size(1)
+        llc.partition_size(PartitionId::from_index(1))
     );
 
     // --- Phase 2: heavy regular traffic; the store must stay resident. ---
@@ -64,11 +66,11 @@ fn main() {
     }
     println!(
         "after release: store partition holds {} lines (drained), regular partition {}",
-        llc.partition_size(1),
-        llc.partition_size(0)
+        llc.partition_size(PartitionId::from_index(1)),
+        llc.partition_size(PartitionId::from_index(0))
     );
     assert!(
-        llc.partition_size(1) < STORE_LINES / 4,
+        llc.partition_size(PartitionId::from_index(1)) < STORE_LINES / 4,
         "deleted partition should drain"
     );
     println!("OK: scratchpad semantics from an ordinary cache, no flushes needed.");

@@ -5,6 +5,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use vantage_partitioning::PartitionId;
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::{VantageConfig, VantageLlc};
 use vantage_repro::partitioning::{AccessRequest, Llc};
@@ -13,7 +14,8 @@ fn main() {
     // A 2 MB last-level cache: 32768 64-byte lines, as a Z4/52 zcache
     // (4 ways, 52 replacement candidates — the paper's configuration).
     let array = ZArray::new(32 * 1024, 4, 52, 0xC0FFEE);
-    let mut llc = VantageLlc::new(Box::new(array), 2, VantageConfig::default(), 1);
+    let mut llc = VantageLlc::try_new(Box::new(array), 2, VantageConfig::default(), 1)
+        .expect("valid Vantage config");
 
     // Fine-grain targets: 3/4 of the cache to partition 0, 1/4 to partition
     // 1 — Vantage takes these at cache-line granularity, not way counts.
@@ -35,7 +37,7 @@ fn main() {
         println!(
             "    {p}     |     {:>6}     |     {:>6}",
             llc.partition_target(p),
-            llc.partition_size(p)
+            llc.partition_size(PartitionId::from_index(p))
         );
     }
     let v = llc.vantage_stats();
@@ -55,7 +57,8 @@ fn main() {
     );
 
     assert!(
-        llc.partition_size(0) > 2 * llc.partition_size(1),
+        llc.partition_size(PartitionId::from_index(0))
+            > 2 * llc.partition_size(PartitionId::from_index(1)),
         "the 3:1 allocation should be visible in actual sizes"
     );
     println!("\nOK: sizes track the 3:1 fine-grain allocation.");

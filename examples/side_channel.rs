@@ -52,7 +52,9 @@ fn prime_probe(llc: &mut dyn Llc, victim_accesses: u64) -> u64 {
 fn main() {
     println!("prime+probe over a shared 512 KB L2 (8192 lines), victim makes 300k accesses\n");
 
-    let mut shared = BaselineLlc::new(Box::new(ZArray::new(LINES, 4, 52, 9)), 2, RankPolicy::Lru);
+    let mut shared =
+        BaselineLlc::try_new(Box::new(ZArray::new(LINES, 4, 52, 9)), 2, RankPolicy::Lru)
+            .expect("valid baseline geometry");
     let leak_shared = prime_probe(&mut shared, 300_000);
     println!(
         "  unpartitioned LRU : attacker observes {leak_shared} probe misses ({:.0}% of primed set)",
@@ -63,7 +65,8 @@ fn main() {
     // region drives the forced-eviction probability to ~1e-4 (§4.3).
     let cfg = VantageConfig::for_guarantees(52, 1e-4, 0.4, 0.1);
     let u = cfg.unmanaged_fraction;
-    let mut vantage = VantageLlc::new(Box::new(ZArray::new(LINES, 4, 52, 9)), 2, cfg, 1);
+    let mut vantage = VantageLlc::try_new(Box::new(ZArray::new(LINES, 4, 52, 9)), 2, cfg, 1)
+        .expect("valid Vantage config");
     // Pin the attacker's partition with enough headroom that its primed set
     // fits its *managed* share (targets are scaled by 1-u onto the managed
     // region), with 15% slack margin on top.

@@ -28,7 +28,8 @@
 //!
 //! // A 4096-line Z4/52 zcache, partitioned in two with Vantage.
 //! let array = ZArray::new(4096, 4, 52, 1);
-//! let mut llc = VantageLlc::new(Box::new(array), 2, VantageConfig::default(), 1);
+//! let mut llc = VantageLlc::try_new(Box::new(array), 2, VantageConfig::default(), 1)
+//!     .expect("valid Vantage config");
 //! llc.set_targets(&[3000, 896]);
 //! llc.access(AccessRequest::read(0, 0x100.into()));
 //! ```

@@ -9,14 +9,15 @@ use rand::{Rng, SeedableRng};
 use vantage::fault::{Fault, FaultKind, FaultPlan};
 use vantage::{VantageConfig, VantageLlc};
 use vantage_cache::{CacheArray, LineAddr, ZArray};
-use vantage_partitioning::{AccessRequest, Llc};
+use vantage_partitioning::{AccessRequest, Llc, PartitionId};
 
 fn z52(frames: usize) -> Box<dyn CacheArray> {
     Box::new(ZArray::new(frames, 4, 52, 0xFA17))
 }
 
 fn default_llc(frames: usize, partitions: usize) -> VantageLlc {
-    VantageLlc::new(z52(frames), partitions, VantageConfig::default(), 3)
+    VantageLlc::try_new(z52(frames), partitions, VantageConfig::default(), 3)
+        .expect("valid Vantage config")
 }
 
 /// Drives `n` uniform random accesses over `working_set` lines of `part`'s
@@ -60,7 +61,7 @@ fn assert_reconverged(llc: &mut VantageLlc, rng: &mut SmallRng, accesses: u64) {
     llc.invariants().expect("invariants hold");
     for p in 0..parts {
         let t = llc.partition_target(p) as f64;
-        let s = llc.partition_size(p) as f64;
+        let s = llc.partition_size(PartitionId::from_index(p)) as f64;
         assert!(
             s >= t * 0.85 && s <= t * 1.25,
             "partition {p} failed to re-converge: size {s} vs target {t}"
@@ -113,14 +114,17 @@ fn tag_ts_corruption_recovers() {
 #[test]
 fn actual_size_register_corruption_recovers_via_scrub() {
     let (mut llc, mut rng) = warmed(4096, &[3072, 1024]);
-    let before = llc.partition_size(0);
+    let before = llc.partition_size(PartitionId::from_index(0));
     // Stuck high bit: the register reads ~512K lines; the feedback loop
     // sees a huge overshoot and demotes aggressively.
     llc.inject(&Fault::ActualSizeCorrupt {
         part_sel: 0,
         bit: 19,
     });
-    assert!(llc.partition_size(0) > before, "corruption must be visible");
+    assert!(
+        llc.partition_size(PartitionId::from_index(0)) > before,
+        "corruption must be visible"
+    );
     drive(&mut llc, 0, 100_000, 2_000, &mut rng);
     let report = llc.scrub();
     assert!(
@@ -174,7 +178,7 @@ fn churn_burst_interference_is_bounded() {
     // while the other partition takes an adversarial streaming burst.
     let (mut llc, mut rng) = warmed(4096, &[2048, 2048]);
     drive(&mut llc, 0, 1_500, 40_000, &mut rng); // partition 0 settles
-    let resident = llc.partition_size(0);
+    let resident = llc.partition_size(PartitionId::from_index(0));
     let mut plan = FaultPlan::new(5, 2_000, &[FaultKind::ChurnBurst]);
     let mut burst_accesses = 0u64;
     let mut next_addr = 0u64;
@@ -199,7 +203,7 @@ fn churn_burst_interference_is_bounded() {
     }));
     // The quiet partition loses lines only to (rare) forced managed
     // evictions: bounded victim interference.
-    let after = llc.partition_size(0);
+    let after = llc.partition_size(PartitionId::from_index(0));
     assert!(
         after as f64 > resident as f64 * 0.95,
         "churn bursts displaced {} of {} quiet lines",
@@ -236,7 +240,7 @@ fn continuous_fault_storm_with_periodic_scrub_survives() {
     // scrubber repairs it).
     for p in 0..2 {
         let t = llc.partition_target(p) as f64;
-        let s = llc.partition_size(p) as f64;
+        let s = llc.partition_size(PartitionId::from_index(p)) as f64;
         assert!(
             s > t * 0.5 && s < t * 1.6,
             "partition {p} lost control: {s} vs {t}"

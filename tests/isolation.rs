@@ -3,6 +3,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use vantage_partitioning::PartitionId;
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::{VantageConfig, VantageLlc};
 use vantage_repro::partitioning::{
@@ -34,15 +35,17 @@ fn victim_misses(llc: &mut dyn Llc, ws: u64) -> u64 {
 fn vantage_protects_quiet_partitions_where_lru_does_not() {
     let ws = 2_000u64;
 
-    let mut lru = BaselineLlc::new(Box::new(ZArray::new(LINES, 4, 52, 2)), 2, RankPolicy::Lru);
+    let mut lru = BaselineLlc::try_new(Box::new(ZArray::new(LINES, 4, 52, 2)), 2, RankPolicy::Lru)
+        .expect("valid baseline geometry");
     let lru_misses = victim_misses(&mut lru, ws);
 
-    let mut vantage = VantageLlc::new(
+    let mut vantage = VantageLlc::try_new(
         Box::new(ZArray::new(LINES, 4, 52, 2)),
         2,
         VantageConfig::default(),
         1,
-    );
+    )
+    .expect("valid Vantage config");
     vantage.set_targets(&[3_000, (LINES as u64) - 3_000]);
     let vantage_misses = victim_misses(&mut vantage, ws);
 
@@ -61,16 +64,18 @@ fn pipp_only_approximates_what_vantage_enforces() {
     // PIPP's pseudo-partitioning lets a churning partition exceed its share
     // at a quiet partner's expense; Vantage's bound is strict.
     let ws = 2_000u64;
-    let mut pipp = PippLlc::new(LINES, 16, 2, PippConfig::default(), 3);
+    let mut pipp =
+        PippLlc::try_new(LINES, 16, 2, PippConfig::default(), 3).expect("valid PIPP geometry");
     pipp.set_targets(&[(LINES / 2) as u64, (LINES / 2) as u64]);
     let pipp_misses = victim_misses(&mut pipp, ws);
 
-    let mut vantage = VantageLlc::new(
+    let mut vantage = VantageLlc::try_new(
         Box::new(ZArray::new(LINES, 4, 52, 3)),
         2,
         VantageConfig::default(),
         1,
-    );
+    )
+    .expect("valid Vantage config");
     vantage.set_targets(&[(LINES / 2) as u64, (LINES / 2) as u64]);
     let vantage_misses = victim_misses(&mut vantage, ws);
 
@@ -90,12 +95,13 @@ fn partitions_bound_sizes_even_with_32_uneven_partitions() {
     // lines, all churning; every actual size lands within slack + MSS of
     // its target.
     let parts = 32;
-    let mut llc = VantageLlc::new(
+    let mut llc = VantageLlc::try_new(
         Box::new(ZArray::new(LINES, 4, 52, 4)),
         parts,
         VantageConfig::default(),
         1,
-    );
+    )
+    .expect("valid Vantage config");
     // Targets 64..312 lines sum to 6016 ≤ capacity; the spare goes to the
     // last partition.
     let mut targets: Vec<u64> = (0..parts as u64).map(|p| 64 + p * 8).collect();
@@ -118,7 +124,7 @@ fn partitions_bound_sizes_even_with_32_uneven_partitions() {
     let mss_total = LINES as f64 / (0.5 * 52.0);
     for p in 0..parts {
         let t = llc.partition_target(p) as f64;
-        let s = llc.partition_size(p) as f64;
+        let s = llc.partition_size(PartitionId::from_index(p)) as f64;
         assert!(
             s <= t * 1.15 + mss_total,
             "partition {p}: size {s} vs target {t} (bound {})",

@@ -3,6 +3,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use vantage_partitioning::PartitionId;
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::model::sizing;
 use vantage_repro::core::{VantageConfig, VantageLlc};
@@ -30,7 +31,8 @@ fn managed_eviction_fraction_tracks_unmanaged_sizing() {
             unmanaged_fraction: u,
             ..VantageConfig::default()
         };
-        let mut llc = VantageLlc::new(Box::new(ZArray::new(8 * 1024, 4, 52, 1)), 4, cfg, 1);
+        let mut llc = VantageLlc::try_new(Box::new(ZArray::new(8 * 1024, 4, 52, 1)), 4, cfg, 1)
+            .expect("valid Vantage config");
         llc.set_targets(&[2048; 4]);
         churn(&mut llc, 4, 1_500_000, 42);
         // Skip warmup effects: drain the counters and measure a
@@ -58,12 +60,16 @@ fn feedback_outgrowth_respects_eq9() {
     // slack/(A_max·R) of the cache (Eq. 9) plus MSS borrowing (Eq. 6).
     let cfg = VantageConfig::default();
     let cap = 8 * 1024u64;
-    let mut llc = VantageLlc::new(Box::new(ZArray::new(cap as usize, 4, 52, 2)), 4, cfg, 1);
+    let mut llc = VantageLlc::try_new(Box::new(ZArray::new(cap as usize, 4, 52, 2)), 4, cfg, 1)
+        .expect("valid Vantage config");
     llc.set_targets(&[cap / 4; 4]);
     churn(&mut llc, 4, 3_000_000, 7);
     llc.invariants().expect("invariants hold");
     let outgrowth: f64 = (0..4)
-        .map(|p| (llc.partition_size(p) as f64 - llc.partition_target(p) as f64).max(0.0))
+        .map(|p| {
+            (llc.partition_size(PartitionId::from_index(p)) as f64 - llc.partition_target(p) as f64)
+                .max(0.0)
+        })
         .sum();
     let bound = (sizing::feedback_outgrowth(0.1, 0.5, 52) + sizing::total_borrowed_approx(0.5, 52))
         * cap as f64;
@@ -79,7 +85,8 @@ fn minimum_stable_size_bounded_by_eq5() {
     // most around MSS = ΣS/(A_max·R·m) lines (Eq. 5 with C_j/ΣC = 1).
     let cap = 8 * 1024u64;
     let cfg = VantageConfig::default();
-    let mut llc = VantageLlc::new(Box::new(ZArray::new(cap as usize, 4, 52, 3)), 2, cfg, 1);
+    let mut llc = VantageLlc::try_new(Box::new(ZArray::new(cap as usize, 4, 52, 3)), 2, cfg, 1)
+        .expect("valid Vantage config");
     llc.set_targets(&[16, cap - 16]);
     // Partition 1 fills once and goes quiet; partition 0 churns forever.
     let mut rng = SmallRng::seed_from_u64(11);
@@ -94,7 +101,7 @@ fn minimum_stable_size_bounded_by_eq5() {
     }
     llc.invariants().expect("invariants hold");
     let mss_lines = cap as f64 / (0.5 * 52.0); // ≈ 1/(A_max·R) of the cache
-    let s0 = llc.partition_size(0) as f64;
+    let s0 = llc.partition_size(PartitionId::from_index(0)) as f64;
     assert!(
         s0 <= mss_lines * 1.6,
         "high-churn tiny partition at {s0} lines, MSS bound {mss_lines}"
@@ -110,7 +117,8 @@ fn unmanaged_region_absorbs_borrowing_without_interference() {
         unmanaged_fraction: 0.15,
         ..VantageConfig::default()
     };
-    let mut llc = VantageLlc::new(Box::new(ZArray::new(cap as usize, 4, 52, 4)), 2, cfg, 1);
+    let mut llc = VantageLlc::try_new(Box::new(ZArray::new(cap as usize, 4, 52, 4)), 2, cfg, 1)
+        .expect("valid Vantage config");
     llc.set_targets(&[cap / 2, cap / 2]);
     let mut rng = SmallRng::seed_from_u64(13);
     // Quiet partner loads a set well under its target.
@@ -120,11 +128,11 @@ fn unmanaged_region_absorbs_borrowing_without_interference() {
             ((2u64 << 40) + rng.gen_range(0..3_000u64)).into(),
         ));
     }
-    let quiet_before = llc.partition_size(1);
+    let quiet_before = llc.partition_size(PartitionId::from_index(1));
     for i in 0..1_200_000u64 {
         llc.access(AccessRequest::read(0, ((1u64 << 40) + i).into()));
     }
-    let quiet_after = llc.partition_size(1);
+    let quiet_after = llc.partition_size(PartitionId::from_index(1));
     assert!(
         quiet_after as f64 >= quiet_before as f64 * 0.98,
         "borrowing dented the quiet partner: {quiet_before} -> {quiet_after}"

@@ -7,6 +7,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use vantage_partitioning::PartitionId;
 use vantage_repro::cache::{LineAddr, ZArray};
 use vantage_repro::core::{VantageConfig, VantageLlc};
 use vantage_repro::partitioning::{
@@ -45,15 +46,18 @@ fn build_banked(seed: u64) -> BankedLlc {
     let banks = (0..BANKS)
         .map(|b| {
             let array = ZArray::new(FRAMES / BANKS, 4, 52, seed ^ (b as u64 + 1));
-            Box::new(VantageLlc::new(
-                Box::new(array),
-                PARTS,
-                VantageConfig::default(),
-                seed ^ ((b as u64) << 8),
-            )) as Box<dyn Llc>
+            Box::new(
+                VantageLlc::try_new(
+                    Box::new(array),
+                    PARTS,
+                    VantageConfig::default(),
+                    seed ^ ((b as u64) << 8),
+                )
+                .expect("valid Vantage config"),
+            ) as Box<dyn Llc>
         })
         .collect();
-    let mut llc = BankedLlc::new(banks, seed ^ 0xBA2C);
+    let mut llc = BankedLlc::try_new(banks, seed ^ 0xBA2C).expect("valid bank set");
     llc.set_targets(&[(FRAMES / PARTS) as u64; PARTS]);
     llc
 }
@@ -74,7 +78,7 @@ fn observe(
 ) -> Observed {
     let stats = format!("{:?}", llc.stats_mut());
     let sizes = (0..llc.num_partitions())
-        .map(|p| llc.partition_size(p))
+        .map(|p| llc.partition_size(PartitionId::from_index(p)))
         .collect();
     let mut telemetry = reader();
     telemetry.sort_unstable();
@@ -164,7 +168,8 @@ fn builder_parallel_scheme_matches_builder_serial_scheme() {
         Scheme::builder(SchemeKind::vantage_paper(), sys.clone())
             .banks(BANKS)
             .bank_jobs(jobs)
-            .build()
+            .try_build()
+            .expect("valid scheme config")
     };
     let reqs = mixed_trace(60_000, 0x5EED);
     let mut reference = build(1);

@@ -267,15 +267,17 @@ fn telemetry_multisets_match_goldens() {
     }
 }
 
-/// A v1 (array-of-structs era) checkpoint must restore into the v2 (SoA)
-/// snapshot layer and continue bit-identically. The two formats share
-/// their payload encoding — the SoA lanes serialize exactly where the AoS
-/// fields did — and differ only in the header version plus the v1
-/// convention of leaving never-filled frames tagged owner 0; restore
-/// normalizes those to the sentinel. A version-patched v2 image is
-/// therefore a faithful v1 fixture, exercised at an early split (array
-/// partially filled, so the normalization path runs) and a late one
-/// (array full, payloads literally byte-identical between the formats).
+/// A v1 (array-of-structs era) checkpoint must restore into the current
+/// snapshot layer and continue bit-identically. The formats share their
+/// payload encoding — the SoA lanes serialize exactly where the AoS
+/// fields did, and the v3 lifecycle tail is appended after everything a
+/// v1/v2 reader consumes — so the differences are the header version, the
+/// v1 convention of leaving never-filled frames tagged owner 0 (restore
+/// normalizes those to the sentinel), and the tail (whose absence restore
+/// tolerates; presence is harmless to the fixture). A version-patched
+/// image is therefore a faithful v1 fixture, exercised at an early split
+/// (array partially filled, so the normalization path runs) and a late
+/// one (array full).
 #[test]
 fn v1_checkpoint_restores_into_v2_with_identical_digests() {
     use vantage_repro::snapshot::SnapshotReader;
@@ -297,7 +299,7 @@ fn v1_checkpoint_restores_into_v2_with_identical_digests() {
             let mut warm = build();
             assert!(warm.run_for(split).is_none(), "paused before completion");
             let v2 = warm.write_checkpoint().to_bytes();
-            assert_eq!(&v2[8..12], &2u32.to_le_bytes(), "checkpoints write v2");
+            assert_eq!(&v2[8..12], &3u32.to_le_bytes(), "checkpoints write v3");
             let mut v1 = v2.clone();
             v1[8..12].copy_from_slice(&1u32.to_le_bytes());
             let reader = SnapshotReader::from_bytes(&v1).expect("v1 image parses");

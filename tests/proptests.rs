@@ -151,7 +151,7 @@ proptest! {
         slack in 0.02f64..0.5,
         a_max in 0.1f64..1.0,
     ) {
-        let t = ThresholdTable::new(target, slack, a_max, 256, 8);
+        let t = ThresholdTable::try_new(target, slack, a_max, 256, 8).expect("valid controller parameters");
         prop_assert_eq!(t.threshold(target), None);
         let cap = (256.0 * a_max).round() as u32;
         let mut prev = 0u32;
@@ -287,12 +287,12 @@ proptest! {
     ) {
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
-        let mut llc = VantageLlc::new(
+        let mut llc = VantageLlc::try_new(
             Box::new(ZArray::new(1024, 4, 52, seed)),
             3,
             VantageConfig::default(),
             seed,
-        );
+        ).expect("valid Vantage config");
         let mut rng = SmallRng::seed_from_u64(seed);
         for (retarget, accesses) in phases {
             match retarget {
@@ -347,6 +347,9 @@ proptest! {
             misses: &misses,
             churn: &zeros,
             insertions: &zeros,
+            live: &[],
+            arrived: &[],
+            departed: &[],
         };
 
         let eq = EqualShares::new().reallocate(&input);
@@ -358,7 +361,7 @@ proptest! {
         // Minimums span under- and over-committed cases (~0..4.5x capacity).
         let mins: Vec<u64> = min_fracs[..n].iter().map(|&f| f * capacity / 2_000).collect();
         let fits = mins.iter().sum::<u64>() <= capacity;
-        let mut qos = QosGuarantee::new(mins.clone(), weights[..n].to_vec());
+        let mut qos = QosGuarantee::try_new(mins.clone(), weights[..n].to_vec()).expect("valid QoS spec");
         let t = qos.reallocate(&input);
         prop_assert_eq!(t.iter().sum::<u64>(), capacity);
         if fits {
@@ -396,6 +399,9 @@ proptest! {
             misses: &zeros,
             churn: &zeros,
             insertions: &zeros,
+            live: &[],
+            arrived: &[],
+            departed: &[],
         };
 
         let mut a = UcpPolicy::new(parts, 16, 32, 64, capacity, gran, seed);
@@ -464,7 +470,7 @@ proptest! {
                     Scheme::builder(kind.clone(), sys.clone())
                         .banks(banks)
                         .bank_jobs(jobs)
-                        .build()
+                        .try_build().expect("valid scheme config")
                 };
                 let mut one = build();
                 let serial: Vec<_> = reqs.iter().map(|&r| one.llc_mut().access(r)).collect();

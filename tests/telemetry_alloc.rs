@@ -47,12 +47,13 @@ fn xorshift(state: &mut u64) -> u64 {
 
 #[test]
 fn nullsink_miss_path_is_allocation_free() {
-    let mut llc = VantageLlc::new(
+    let mut llc = VantageLlc::try_new(
         Box::new(ZArray::new(8 * 1024, 4, 52, 11)),
         4,
         VantageConfig::default(),
         11,
-    );
+    )
+    .expect("valid Vantage config");
     llc.set_targets(&[2048; 4]);
     assert!(llc.set_telemetry(Telemetry::new(Box::new(NullSink), 0)));
 

@@ -30,12 +30,13 @@ fn drive(llc: &mut VantageLlc, accesses: u64, rng: &mut SmallRng) {
 /// and the grown partition fills toward its new target.
 #[test]
 fn sizes_and_apertures_converge_after_a_target_flip() {
-    let mut llc = VantageLlc::new(
+    let mut llc = VantageLlc::try_new(
         Box::new(ZArray::new(8 * 1024, 4, 52, 3)),
         2,
         VantageConfig::default(),
         3,
-    );
+    )
+    .expect("valid Vantage config");
     let (sink, reader) = RingSink::with_capacity(1 << 16);
     assert!(llc.set_telemetry(Telemetry::new(Box::new(sink), 1024)));
 
@@ -60,6 +61,7 @@ fn sizes_and_apertures_converge_after_a_target_flip() {
     // The latest sample per partition reflects the post-flip targets and a
     // converged actual size (within enforcement slack of the target).
     let latest = |part: u16| {
+        let part = vantage_telemetry::PartitionId::from_raw(part);
         records
             .iter()
             .filter_map(|r| match r {
@@ -122,12 +124,13 @@ fn json_trace_round_trips_through_a_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("trace.json");
 
-    let mut llc = VantageLlc::new(
+    let mut llc = VantageLlc::try_new(
         Box::new(ZArray::new(4 * 1024, 4, 52, 9)),
         2,
         VantageConfig::default(),
         9,
-    );
+    )
+    .expect("valid Vantage config");
     let sink = JsonSink::create(&path).unwrap();
     assert!(llc.set_telemetry(Telemetry::new(Box::new(sink), 512)));
     let mut rng = SmallRng::seed_from_u64(5);
@@ -164,11 +167,12 @@ fn baseline_csv_trace_parses_row_by_row() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("baseline.csv");
 
-    let mut llc = BaselineLlc::new(
+    let mut llc = BaselineLlc::try_new(
         Box::new(SetAssocArray::hashed(4 * 1024, 16, 1)),
         2,
         RankPolicy::Lru,
-    );
+    )
+    .expect("valid baseline geometry");
     let sink = CsvSink::create(&path).unwrap();
     assert!(llc.set_telemetry(Telemetry::new(Box::new(sink), 512)));
     let mut rng = SmallRng::seed_from_u64(5);
