@@ -11,7 +11,7 @@ use vantage::{VantageConfig, VantageLlc};
 use vantage_bench::{warm, AddrStream};
 use vantage_cache::{SetAssocArray, ZArray};
 use vantage_partitioning::{
-    AccessRequest, BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, WayPartLlc,
+    AccessRequest, BaselineLlc, Llc, PartitionId, PippConfig, PippLlc, RankPolicy, WayPartLlc,
 };
 
 const LINES: usize = 32 * 1024;
@@ -101,7 +101,7 @@ fn bench_access_churn(c: &mut Criterion) {
             b.iter(|| {
                 i += 1;
                 std::hint::black_box(llc.access(AccessRequest::read(
-                    (i % PARTS as u64) as usize,
+                    PartitionId::from_index((i % PARTS as u64) as usize),
                     stream.next_addr(),
                 )))
             })
@@ -122,7 +122,7 @@ fn bench_access_hits(c: &mut Criterion) {
             b.iter(|| {
                 i += 1;
                 std::hint::black_box(llc.access(AccessRequest::read(
-                    (i % PARTS as u64) as usize,
+                    PartitionId::from_index((i % PARTS as u64) as usize),
                     stream.next_addr(),
                 )))
             })

@@ -11,11 +11,18 @@
 //!   running a reduced-scale version of the corresponding experiment so the
 //!   full regeneration pipeline stays exercised under `cargo bench`
 //!   (the `vantage-experiments` binary produces the paper-scale outputs).
+//!
+//! The crate also owns the benchmark *trajectory* format: [`record`] is
+//! the single writer behind every `BENCH_*.json` file the perf harnesses
+//! append to.
+
+pub mod record;
+pub use record::{append_entry, BenchRecord};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vantage_cache::LineAddr;
-use vantage_partitioning::{AccessRequest, Llc};
+use vantage_partitioning::{AccessRequest, Llc, PartitionId};
 use vantage_sim::{CmpSim, SchemeKind, SimResult, SystemConfig};
 use vantage_workloads::{mixes, Mix};
 
@@ -48,7 +55,7 @@ impl AddrStream {
 pub fn warm(llc: &mut dyn Llc, parts: usize, n: u64, stream: &mut AddrStream) {
     for i in 0..n {
         llc.access(AccessRequest::read(
-            (i % parts as u64) as usize,
+            PartitionId::from_index((i % parts as u64) as usize),
             stream.next_addr(),
         ));
     }

@@ -74,28 +74,6 @@ impl PartitionId {
     }
 }
 
-/// Transitional shim so pre-`PartitionId` callers that passed raw `usize`
-/// indices keep compiling for one release. New code should construct IDs
-/// via [`PartitionId::from_index`] or use the handles returned by
-/// `create_partition`; this impl will be removed in the next release.
-///
-/// # Panics
-///
-/// Panics if `index >= PartitionId::MAX_PARTITIONS`.
-impl From<usize> for PartitionId {
-    #[inline]
-    fn from(index: usize) -> Self {
-        PartitionId::from_index(index)
-    }
-}
-
-impl From<PartitionId> for usize {
-    #[inline]
-    fn from(id: PartitionId) -> usize {
-        id.index()
-    }
-}
-
 impl From<PartitionId> for u16 {
     #[inline]
     fn from(id: PartitionId) -> u16 {
@@ -122,12 +100,10 @@ mod tests {
         let p = PartitionId::from_index(7);
         assert_eq!(p.index(), 7);
         assert_eq!(p.raw(), 7);
-        assert_eq!(usize::from(p), 7);
         assert_eq!(u16::from(p), 7);
         assert!(!p.is_unmanaged());
         assert!(PartitionId::UNMANAGED.is_unmanaged());
         assert_eq!(PartitionId::from_raw(TAG_UNMANAGED), PartitionId::UNMANAGED);
-        assert_eq!(PartitionId::from(3usize), PartitionId::from_index(3));
     }
 
     #[test]

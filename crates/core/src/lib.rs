@@ -37,7 +37,7 @@
 //! ```
 //! use vantage::{VantageConfig, VantageLlc};
 //! use vantage_cache::ZArray;
-//! use vantage_partitioning::{AccessRequest, Llc};
+//! use vantage_partitioning::{AccessRequest, Llc, PartitionId};
 //!
 //! // A Z4/52 zcache with 32 fine-grain partitions — the paper's
 //! // large-scale configuration (needs only 4 ways).
@@ -50,12 +50,13 @@
 //! targets[0] += spare;
 //! llc.set_targets(&targets);
 //!
-//! llc.access(AccessRequest::read(5, 0xABC.into()));
+//! llc.access(AccessRequest::read(PartitionId::from_index(5), 0xABC.into()));
 //! assert_eq!(llc.stats().misses[5], 1);
 //! ```
 
 pub mod config;
 pub mod controller;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod llc;
@@ -65,6 +66,7 @@ pub mod resize;
 
 pub use config::{DemotionMode, RankMode, VantageConfig};
 pub use controller::{PartitionState, ThresholdTable};
+pub use engine::{Engine, EngineKind};
 pub use error::{ConfigError, VantageError};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use llc::{PrioritySample, ScrubReport, VantageLlc, VantageStats, UNMANAGED};

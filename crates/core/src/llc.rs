@@ -155,12 +155,12 @@ struct KeepWin {
 /// ```
 /// use vantage::{VantageConfig, VantageLlc};
 /// use vantage_cache::ZArray;
-/// use vantage_partitioning::{AccessRequest, Llc};
+/// use vantage_partitioning::{AccessRequest, Llc, PartitionId};
 ///
 /// let array = ZArray::new(4096, 4, 52, 1); // Z4/52
 /// let mut llc = VantageLlc::try_new(Box::new(array), 2, VantageConfig::default(), 1).expect("valid Vantage config");
 /// llc.set_targets(&[3072, 1024]);
-/// llc.access(AccessRequest::read(0, 0x1000.into()));
+/// llc.access(AccessRequest::read(PartitionId::from_index(0), 0x1000.into()));
 /// assert_eq!(llc.stats().misses[0], 1);
 /// ```
 pub struct VantageLlc {
@@ -365,15 +365,15 @@ impl VantageLlc {
     }
 
     /// Partition `part`'s (scaled) target size in lines.
-    pub fn partition_target(&self, part: impl Into<PartitionId>) -> u64 {
-        self.parts[part.into().index()].target
+    pub fn partition_target(&self, part: PartitionId) -> u64 {
+        self.parts[part.index()].target
     }
 
     /// Lifecycle state of slot `part` (service mode; slots of a cache that
     /// never created or destroyed partitions are all
     /// [`SlotState::Active`]).
-    pub fn slot_state(&self, part: impl Into<PartitionId>) -> SlotState {
-        self.slot_state[part.into().index()]
+    pub fn slot_state(&self, part: PartitionId) -> SlotState {
+        self.slot_state[part.index()]
     }
 
     /// Number of live ([`SlotState::Active`]) partitions.
@@ -2125,7 +2125,7 @@ mod tests {
         let base = (part as u64 + 1) << 40;
         for _ in 0..n {
             llc.access(AccessRequest::read(
-                part,
+                PartitionId::from_index(part),
                 LineAddr(base + rng.gen_range(0..working_set)),
             ));
         }
@@ -2220,8 +2220,8 @@ mod tests {
         }
         llc.invariants().expect("invariants hold");
         let (t0, t1) = (
-            llc.partition_target(0) as f64,
-            llc.partition_target(1) as f64,
+            llc.partition_target(PartitionId::from_index(0)) as f64,
+            llc.partition_target(PartitionId::from_index(1)) as f64,
         );
         let (s0, s1) = (
             llc.partition_size(PartitionId::from_index(0)) as f64,
@@ -2244,7 +2244,10 @@ mod tests {
         let resident_before = llc.partition_size(PartitionId::from_index(0));
         assert!(resident_before > 1200, "warmup failed ({resident_before})");
         for i in 0..400_000u64 {
-            llc.access(AccessRequest::read(1, LineAddr((2u64 << 40) + i)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index(1),
+                LineAddr((2u64 << 40) + i),
+            ));
         }
         llc.invariants().expect("invariants hold");
         // The quiet partition keeps (almost) all its lines: only forced
@@ -2257,7 +2260,7 @@ mod tests {
             resident_before
         );
         // And the streamer is bounded near its own target.
-        let t1 = llc.partition_target(1) as f64;
+        let t1 = llc.partition_target(PartitionId::from_index(1)) as f64;
         assert!((llc.partition_size(PartitionId::from_index(1)) as f64) < t1 * 1.2);
     }
 
@@ -2337,7 +2340,7 @@ mod tests {
         drive(&mut llc, 1, 3400, 60_000, &mut rng);
         let (mut sum, mut samples) = (0u64, 0u64);
         for i in 0..300_000u64 {
-            llc.access(AccessRequest::read(0, LineAddr(i)));
+            llc.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(i)));
             if i >= 100_000 && i % 1_000 == 0 {
                 sum += llc.partition_size(PartitionId::from_index(0));
                 samples += 1;
@@ -2367,7 +2370,7 @@ mod tests {
             drive(&mut llc, 1, 100_000, 2_000, &mut rng);
         }
         llc.invariants().expect("invariants hold");
-        let t0 = llc.partition_target(0) as f64;
+        let t0 = llc.partition_target(PartitionId::from_index(0)) as f64;
         assert!(
             (llc.partition_size(PartitionId::from_index(0)) as f64) < t0 * 1.3,
             "downsized partition stuck at {}",
@@ -2427,8 +2430,8 @@ mod tests {
             llc.partition_size(PartitionId::from_index(1)) as f64,
         );
         let (t0, t1) = (
-            llc.partition_target(0) as f64,
-            llc.partition_target(1) as f64,
+            llc.partition_target(PartitionId::from_index(0)) as f64,
+            llc.partition_target(PartitionId::from_index(1)) as f64,
         );
         assert!(s0 > t0 * 0.8 && s0 < t0 * 1.3, "s0 = {s0} vs t0 = {t0}");
         assert!(s1 > t1 * 0.8 && s1 < t1 * 1.3, "s1 = {s1} vs t1 = {t1}");
@@ -2509,7 +2512,7 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(22);
             drive(&mut llc, 1, 3_000, 50_000, &mut rng);
             for i in 0..200_000u64 {
-                llc.access(AccessRequest::read(0, LineAddr(i)));
+                llc.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(i)));
             }
             llc.invariants().expect("invariants hold");
             (
@@ -2547,7 +2550,7 @@ mod tests {
         // the next occupied slot over-samples frames behind empty runs.
         for _ in 0..256 {
             llc.access(AccessRequest::read(
-                0,
+                PartitionId::from_index(0),
                 LineAddr(rng.gen_range(0..100_000u64)),
             ));
         }
@@ -2654,7 +2657,7 @@ mod tests {
         assert!(um_samples > 10, "unmanaged region sampled");
         assert_eq!(part_samples, 2 * um_samples, "one sample per partition");
         // Samples carry real targets (scaled onto the managed region).
-        let t0 = llc.partition_target(0);
+        let t0 = llc.partition_target(PartitionId::from_index(0));
         assert!(recs.iter().any(
             |r| matches!(r, TelemetryRecord::Sample(s) if s.part.index() == 0 && s.target == t0)
         ));
@@ -2711,7 +2714,7 @@ mod tests {
         // Phase A: park victim lines in set 0, never touched again.
         let victims: Vec<LineAddr> = (0..8u64).map(|v| LineAddr(v * 4)).collect();
         for &v in &victims {
-            llc.access(AccessRequest::read(0, v));
+            llc.access(AccessRequest::read(PartitionId::from_index(0), v));
         }
         let parked: Vec<u8> = victims.iter().map(|&v| llc.tag_of(v).unwrap().1).collect();
         // Phase B: stream fresh lines through sets 1-3 only, so set 0 is
@@ -2724,7 +2727,7 @@ mod tests {
             k += 1;
             assert!(k < 1_000_000, "clock failed to wrap");
             let addr = LineAddr(4 * k + 1 + (k % 3));
-            llc.access(AccessRequest::read(0, addr));
+            llc.access(AccessRequest::read(PartitionId::from_index(0), addr));
             // A managed install is stamped with the partition's current
             // timestamp; watch it to count ticks (throttled fills land
             // unmanaged and are skipped).
@@ -2746,7 +2749,10 @@ mod tests {
         // Phase C: the first walk of set 0 must demote the stale lines
         // immediately (plenty of headroom over the shrunken target).
         llc.set_targets(&[16]);
-        llc.access(AccessRequest::read(0, LineAddr(4 * 2_000_000)));
+        llc.access(AccessRequest::read(
+            PartitionId::from_index(0),
+            LineAddr(4 * 2_000_000),
+        ));
         for &v in &victims {
             if let Some((p, _)) = llc.tag_of(v) {
                 assert_eq!(

@@ -43,6 +43,9 @@ pub const USAGE: &str = "options:
   --jobs N     worker threads for mix-level parallelism
   --banks N    shard each simulated LLC across N address-interleaved banks
   --bank-jobs M  worker threads serving banked batches (<= 1 is serial)
+  --engine E   execution engine for banked machines: serial, batched
+               (default), or pipelined (per-bank ring buffers, bank-major
+               drains, epoch barriers)
   --quick      drastically reduced scale for smoke runs
   --policy P   allocation policy driving partition targets on UCP-managed
                schemes: ucp (default), equal, missratio, qos, clustered
@@ -75,6 +78,9 @@ pub struct Options {
     pub banks: usize,
     /// Worker threads serving banked batches (default 1 = serial).
     pub bank_jobs: usize,
+    /// Execution engine for banked machines (see
+    /// [`SystemConfig::engine`]).
+    pub engine: vantage::EngineKind,
     /// Allocation policy driving partition targets on UCP-managed schemes.
     pub policy: PolicyKind,
     /// Base path for telemetry traces (`None` = telemetry off). Each
@@ -102,6 +108,7 @@ impl Default for Options {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             banks: 1,
             bank_jobs: 1,
+            engine: vantage::EngineKind::default(),
             policy: PolicyKind::default(),
             telemetry: None,
             checkpoint: None,
@@ -138,6 +145,14 @@ impl Options {
                 "--jobs" => o.jobs = num::<usize>(a, take()?)?.max(1),
                 "--banks" => o.banks = num::<usize>(a, take()?)?.max(1),
                 "--bank-jobs" => o.bank_jobs = num::<usize>(a, take()?)?.max(1),
+                "--engine" => {
+                    let v = take()?;
+                    o.engine = vantage::EngineKind::parse(&v).ok_or_else(|| {
+                        UsageError(format!(
+                            "--engine expects serial, batched or pipelined, got '{v}'"
+                        ))
+                    })?;
+                }
                 "--quick" => o.quick = true,
                 "--policy" => {
                     let v = take()?;
@@ -172,12 +187,14 @@ impl Options {
         }
     }
 
-    /// Applies the machine-shape flags (`--banks`, `--bank-jobs`) to a base
-    /// machine and returns it; every experiment builds its [`SystemConfig`]
-    /// through this so bank sharding reaches all commands uniformly.
+    /// Applies the machine-shape flags (`--banks`, `--bank-jobs`,
+    /// `--engine`) to a base machine and returns it; every experiment
+    /// builds its [`SystemConfig`] through this so bank sharding and
+    /// engine selection reach all commands uniformly.
     pub fn machine(&self, mut sys: SystemConfig) -> SystemConfig {
         sys.banks = self.banks;
         sys.bank_jobs = self.bank_jobs;
+        sys.engine = self.engine;
         sys.policy = self.policy;
         sys
     }

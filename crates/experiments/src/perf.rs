@@ -25,9 +25,10 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vantage::{RankMode, VantageConfig, VantageLlc};
+use vantage_bench::{append_entry, BenchRecord};
 use vantage_cache::{CacheArray, LineAddr, SetAssocArray, SkewArray, ZArray};
 use vantage_partitioning::{
-    AccessRequest, BaselineLlc, Llc, PippConfig, PippLlc, RankPolicy, WayPartLlc,
+    AccessRequest, BaselineLlc, Llc, PartitionId, PippConfig, PippLlc, RankPolicy, WayPartLlc,
 };
 use vantage_telemetry::{NullSink, Telemetry};
 
@@ -94,7 +95,7 @@ fn drive(llc: &mut dyn Llc, frames: usize, n: u64, rng: &mut SmallRng) {
         let p = (rng.gen::<u32>() as usize) % PARTS;
         let base = (p as u64 + 1) << 40;
         llc.access(AccessRequest::read(
-            p,
+            PartitionId::from_index(p),
             LineAddr(base + rng.gen_range(0..ws)),
         ));
     }
@@ -367,23 +368,17 @@ pub fn run_kernels(opts: &Options) -> Vec<KernelResult> {
 }
 
 /// Renders one run entry as a JSON object (hand-rolled: the workspace is
-/// offline and vendors no serde).
+/// offline and vendors no serde). The shared preamble and trajectory
+/// append mechanics live in [`vantage_bench::record`].
 fn render_entry(
     opts: &Options,
     micro: &[MicrobenchResult],
     kernels: &[KernelResult],
     hotpath_rel: f64,
 ) -> String {
-    let ts = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let mut s = String::new();
-    let _ = write!(
-        s,
-        "  {{\n    \"timestamp\": {ts},\n    \"quick\": {},\n    \"seed\": {},\n    \"microbench\": [\n",
-        opts.quick, opts.seed
-    );
+    let mut rec = BenchRecord::new(opts.quick, opts.seed);
+    let s = rec.body_mut();
+    s.push_str("    \"microbench\": [\n");
     for (i, m) in micro.iter().enumerate() {
         let comma = if i + 1 < micro.len() { "," } else { "" };
         let _ = writeln!(
@@ -405,55 +400,9 @@ fn render_entry(
         s,
         "    ],\n    \"hotpath_gate\": {{\"bench\": \"{HOTPATH_GATE_BENCH}\", \
          \"reference\": \"{HOTPATH_REFERENCE}\", \"rel\": {hotpath_rel:.3}, \
-         \"min_rel\": {HOTPATH_MIN_REL:.2}}}\n  }}"
+         \"min_rel\": {HOTPATH_MIN_REL:.2}}}"
     );
-    s
-}
-
-/// Appends `entry` to the JSON array in `path`, creating the file if needed.
-///
-/// The file is always a top-level JSON array of run entries. Appending
-/// splices before the final `]` and replaces the file atomically (temp +
-/// fsync + rename), so a crash mid-append leaves either the old trajectory
-/// or the new one — never a torn file. A file that is not a well-formed
-/// array (e.g. a torn write from before this hardening) is quarantined
-/// under a `.corrupt` suffix with a warning and the trajectory restarted;
-/// corruption never blocks recording new data and never errors the run.
-pub(crate) fn append_entry(path: &Path, entry: &str) -> std::io::Result<()> {
-    let body = match std::fs::read_to_string(path) {
-        Ok(old) => {
-            let trimmed = old.trim_end();
-            if let Some(prefix) = trimmed.strip_suffix(']') {
-                let prefix = prefix.trim_end();
-                if prefix.ends_with('[') {
-                    // Empty array.
-                    format!("{prefix}\n{entry}\n]\n")
-                } else {
-                    format!("{prefix},\n{entry}\n]\n")
-                }
-            } else {
-                let quarantine = path.with_extension("json.corrupt");
-                eprintln!(
-                    "warning: {} is not a JSON array; quarantining the old \
-                     contents to {} and restarting the trajectory",
-                    path.display(),
-                    quarantine.display()
-                );
-                std::fs::write(&quarantine, &old)?;
-                format!("[\n{entry}\n]\n")
-            }
-        }
-        Err(_) => format!("[\n{entry}\n]\n"),
-    };
-    let tmp = path.with_extension("json.tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        std::io::Write::write_all(&mut f, body.as_bytes())?;
-        // Flush file contents to stable storage before the rename makes
-        // them visible, so the rename can never publish a torn file.
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)
+    rec.finish()
 }
 
 /// The `perf` subcommand: runs all microbenchmarks and kernels and appends
@@ -555,27 +504,5 @@ mod tests {
         assert_eq!(body.matches("\"hotpath_gate\"").count(), 2);
         assert!(body.contains("\"rel\": 0.420"));
         let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn corrupt_trajectory_is_quarantined_not_fatal() {
-        let dir = std::env::temp_dir().join(format!("vantage-perf-q-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("bench.json");
-        let quarantine = dir.join("bench.json.corrupt");
-        std::fs::write(&path, "{ torn write, no closing bracke").unwrap();
-        append_entry(&path, "  {\"ok\": 1}").unwrap();
-        // The bad contents moved aside, byte for byte...
-        assert_eq!(
-            std::fs::read_to_string(&quarantine).unwrap(),
-            "{ torn write, no closing bracke"
-        );
-        // ...and the trajectory restarted as a well-formed array.
-        let body = std::fs::read_to_string(&path).unwrap();
-        assert!(body.trim_start().starts_with('['));
-        assert!(body.trim_end().ends_with(']'));
-        assert!(body.contains("\"ok\": 1"));
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_file(&quarantine);
     }
 }

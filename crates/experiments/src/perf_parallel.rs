@@ -32,11 +32,13 @@ use vantage::{VantageConfig, VantageLlc};
 use vantage_cache::hash::mix64;
 use vantage_cache::{LineAddr, ZArray};
 use vantage_partitioning::{
-    AccessOutcome, AccessRequest, BankedLlc, Llc, ParallelBankedLlc, PartitionId,
+    pipeline::DIGEST_SEED, AccessOutcome, AccessRequest, BankedLlc, Llc, ParallelBankedLlc,
+    PartitionId, PipelinedBankedLlc, RingStats, Sharded,
 };
 
+use vantage_bench::BenchRecord;
+
 use crate::common::{record_failure, Options};
-use crate::perf::append_entry;
 
 const PARTS: usize = 4;
 
@@ -77,6 +79,79 @@ const FLOOR8_MIN_SPEEDUP: f64 = 1.2;
 /// Requests handed to `access_batch` per call (the driver's batch, distinct
 /// from the engine's internal per-worker batching).
 const BATCH: usize = 65536;
+
+/// The pipelined ring engine's bank count: the 8-bank point, where the
+/// bank-major drain's per-bank locality advantage is largest and where the
+/// batched sweep historically had only an informational floor.
+const PIPE_BANKS: usize = 8;
+
+/// Hard gate on the pipelined-over-serial speedup at [`PIPE_BANKS`] banks —
+/// the promotion of the old informational 8-bank floor onto the new
+/// engine's recorded entry. The pipelined engine buffers whole windows in
+/// per-bank rings and serves each bank's run contiguously, so at the
+/// memory-bound [`PipeScale`] it must beat the per-access serial engine by
+/// a wide margin, not merely avoid regressing. Quick mode records a
+/// failure-registry entry on breach, and CI additionally asserts the
+/// recorded entry.
+const PIPE_MIN_SPEEDUP: f64 = 2.5;
+
+/// Worker counts the pipelined determinism verification replays the
+/// measured trace at: the recorded digests must be identical at every
+/// count (and to the serial reference), or the entry records a failure.
+const PIPE_JOBS_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Measurement rounds for the pipelined pair — more than [`ROUNDS`]
+/// because this gate is *hard* where the batched sweep's 8-bank floor was
+/// informational: the best-of-rounds paired-slice estimator converges on
+/// the quiet-host ratio as samples grow, and on shared hosts individual
+/// rounds can swing ±15% around it. Five rounds keeps a noisy round from
+/// deciding a hard gate.
+const PIPE_ROUNDS: usize = 5;
+
+/// Scale of the pipelined-engine pair: a footprint where the serial
+/// per-access baseline is memory-stall-bound and the cache is fully warmed
+/// before timing, the operating regime the ring engine targets. This is
+/// deliberately larger than [`Scale`]: the batched sweep keeps its
+/// historical scale so `BENCH_parallel.json` trajectories stay comparable,
+/// and the pipelined entry records its own scale alongside its own gate.
+/// The frame count is chosen so one bank's metadata sits within the host's
+/// cache and TLB reach while the whole cache's does not — the regime where
+/// bank-major service pays off and the one a large simulated LLC actually
+/// occupies; both smaller footprints (everything near) and much larger
+/// ones (not even one bank near) measurably narrow the gap. Quick mode
+/// again shrinks the access counts, never the cache.
+#[derive(Clone, Copy, Debug)]
+struct PipeScale {
+    frames: usize,
+    warmup: u64,
+    timed: u64,
+}
+
+impl PipeScale {
+    fn from_options(o: &Options) -> Self {
+        if o.quick {
+            Self {
+                frames: 2 * 1024 * 1024,
+                warmup: 4_000_000,
+                timed: 2_400_000,
+            }
+        } else {
+            Self {
+                frames: 2 * 1024 * 1024,
+                warmup: 4_000_000,
+                timed: 4_000_000,
+            }
+        }
+    }
+}
+
+/// Ring-batch size of the measured pipelined engine. Larger than the
+/// engine's default: each `access_batch` call re-ramps the two-stage
+/// prefetch pipeline from cold, so at benchmark scale fewer, longer
+/// batches serve measurably faster, and the per-bank runs of a timed
+/// window (timed / [`SLICES`] / [`PIPE_BANKS`] requests) comfortably fill
+/// them.
+const PIPE_BATCH: usize = 16 * 1024;
 
 /// Result of one scaling-benchmark run.
 #[derive(Clone, Debug)]
@@ -184,7 +259,10 @@ fn trace(frames: usize, n: u64, seed: u64) -> Vec<AccessRequest> {
         .map(|_| {
             let p = (rng.gen::<u32>() as usize) % PARTS;
             let base = (p as u64 + 1) << 40;
-            AccessRequest::read(p, LineAddr(base + rng.gen_range(0..ws)))
+            AccessRequest::read(
+                PartitionId::from_index(p),
+                LineAddr(base + rng.gen_range(0..ws)),
+            )
         })
         .collect()
 }
@@ -370,6 +448,258 @@ fn run_sweep(opts: &Options, scale: Scale) -> (Vec<ScalingResult>, f64, f64) {
     (out, gate_speedup, floor8_speedup)
 }
 
+/// Per-bank outcome digests of a serial reference run: fold each timed
+/// outcome's hit bit into its bank's FNV-1a digest, in stream order. The
+/// pipelined engine computes the same digests internally while serving
+/// bank-major, so equality here proves per-bank order (and every
+/// replacement decision) survived the re-scheduling.
+fn serial_bank_digests(
+    llc: &BankedLlc,
+    reqs: &[AccessRequest],
+    outs: &[AccessOutcome],
+) -> Vec<u64> {
+    let mut d = vec![DIGEST_SEED; Sharded::num_banks(llc)];
+    for (r, o) in reqs.iter().zip(outs) {
+        let b = llc.bank_of(r.addr);
+        d[b] = fnv(d[b], o.is_hit() as u64);
+    }
+    d
+}
+
+/// Digests per-bank outcome digests plus the cache's observable end state
+/// — the pipelined analogue of [`state_hash`], comparable across engines
+/// that expose the same bank decomposition.
+fn pipe_state_hash(bank_digests: &[u64], llc: &mut dyn Llc) -> u64 {
+    let mut h = DIGEST_SEED;
+    for &d in bank_digests {
+        h = fnv(h, d);
+    }
+    let stats = llc.stats_mut().clone();
+    for p in 0..llc.num_partitions() {
+        h = fnv(h, stats.hits[p]);
+        h = fnv(h, stats.misses[p]);
+        h = fnv(h, llc.partition_size(PartitionId::from_index(p)));
+    }
+    fnv(h, stats.evictions)
+}
+
+/// Warms both engines through their batch paths (identical traffic and
+/// end state either way — warmup is untimed), then times the rest in
+/// [`SLICES`] interleaved windows exactly like [`run_pair`]: the serial
+/// engine serves a slice one access at a time; the pipelined engine
+/// ingests the same slice into its rings and drains it bank-major inside
+/// the timed window (`run_window` = shard + serve + quiesce, so the
+/// window's clock covers the whole pipeline, not just production).
+fn run_pipe_pair(
+    serial: &mut BankedLlc,
+    pipe: &mut PipelinedBankedLlc,
+    reqs: &[AccessRequest],
+    warmup: usize,
+) -> (RunMeasurement, RunMeasurement, f64) {
+    let mut scratch = Vec::with_capacity(BATCH);
+    for chunk in reqs[..warmup].chunks(BATCH) {
+        scratch.clear();
+        serial.access_batch(chunk, &mut scratch);
+    }
+    for chunk in reqs[..warmup].chunks(BATCH) {
+        pipe.run_window(chunk);
+    }
+    // Digests cover exactly the timed stream, like `run_pair`'s outcome
+    // buffers.
+    pipe.reset_digests();
+    let timed = &reqs[warmup..];
+    let mut out_s = Vec::with_capacity(timed.len());
+    let (mut wall_s, mut wall_p) = (0.0f64, 0.0f64);
+    let (mut best_s, mut best_p, mut best_ratio) = (0.0f64, 0.0f64, 0.0f64);
+    for slice in timed.chunks(timed.len().div_ceil(SLICES)) {
+        let (warm, rest) = slice.split_at(slice.len() / WARM_DIV);
+        for &r in warm {
+            out_s.push(serial.access(r));
+        }
+        let t0 = Instant::now();
+        for &r in rest {
+            out_s.push(serial.access(r));
+        }
+        let dt_s = t0.elapsed().as_secs_f64().max(1e-9);
+        pipe.run_window(warm);
+        let t0 = Instant::now();
+        pipe.run_window(rest);
+        let dt_p = t0.elapsed().as_secs_f64().max(1e-9);
+        wall_s += dt_s;
+        wall_p += dt_p;
+        let (rate_s, rate_p) = (rest.len() as f64 / dt_s, rest.len() as f64 / dt_p);
+        best_s = best_s.max(rate_s);
+        best_p = best_p.max(rate_p);
+        best_ratio = best_ratio.max(rate_p / rate_s);
+    }
+    let serial_digests = serial_bank_digests(serial, timed, &out_s);
+    let m_s = RunMeasurement {
+        wall_s,
+        best_rate: best_s,
+        hash: pipe_state_hash(&serial_digests, serial),
+    };
+    let pipe_digests = pipe.bank_digests().to_vec();
+    let m_p = RunMeasurement {
+        wall_s: wall_p,
+        best_rate: best_p,
+        hash: pipe_state_hash(&pipe_digests, pipe),
+    };
+    (m_s, m_p, best_ratio)
+}
+
+/// Everything the pipelined-engine benchmark contributes to the recorded
+/// entry: its two scaling rows, the gated speedup, the determinism
+/// verdicts, and ring-occupancy telemetry from the measured run.
+struct PipeOutcome {
+    results: Vec<ScalingResult>,
+    /// Worker count of the measured (timed) pipelined run.
+    jobs: usize,
+    speedup: f64,
+    /// Serial and pipelined digests of the measured pair agree.
+    hashes_equal: bool,
+    /// Replays at every [`PIPE_JOBS_SWEEP`] worker count digest equal.
+    jobs_hashes_equal: bool,
+    ring: RingStats,
+    timed: u64,
+}
+
+/// Runs the pipelined pair at [`PIPE_BANKS`] banks with the same
+/// multi-round paired protocol as the gate sweep, then replays the
+/// identical trace at every [`PIPE_JOBS_SWEEP`] worker count and checks
+/// the digests against the serial reference.
+fn run_pipe_sweep(opts: &Options, scale: PipeScale) -> PipeOutcome {
+    let seed = opts.seed ^ 0x919E;
+    let reqs = trace(scale.frames, scale.warmup + scale.timed, seed ^ 0xD21E);
+    let warmup = scale.warmup as usize;
+    let jobs = opts.bank_jobs.max(1);
+    let mut best_ratio = -1.0f64;
+    let mut kept: Option<(RunMeasurement, RunMeasurement, RingStats)> = None;
+    for round in 0..PIPE_ROUNDS {
+        let mut serial = build_banked(scale.frames, PIPE_BANKS, seed);
+        let mut pipe =
+            PipelinedBankedLlc::from_banked(build_banked(scale.frames, PIPE_BANKS, seed), jobs)
+                .with_batch_size(PIPE_BATCH);
+        let (ms, mp, ratio) = run_pipe_pair(&mut serial, &mut pipe, &reqs, warmup);
+        eprintln!(
+            "  pipelined{PIPE_BANKS} round {}/{PIPE_ROUNDS}: {:>10.0} serial, {:>10.0} pipelined \
+             acc/s, best paired ratio {ratio:.2}x",
+            round + 1,
+            ms.best_rate,
+            mp.best_rate
+        );
+        if ratio > best_ratio {
+            best_ratio = ratio;
+            kept = Some((ms, mp, pipe.ring_stats()));
+        }
+    }
+    let (ms, mp, ring) = kept.expect("at least one round ran");
+    let hashes_equal = ms.hash == mp.hash;
+    let serial_hash = ms.hash;
+    let mut results = vec![
+        ScalingResult {
+            name: format!("pipe{PIPE_BANKS}_serial"),
+            banks: PIPE_BANKS,
+            jobs: 0,
+            accesses: scale.timed,
+            wall_s: ms.wall_s,
+            accesses_per_sec: ms.best_rate,
+            hash: ms.hash,
+        },
+        ScalingResult {
+            name: format!("pipe{PIPE_BANKS}_pipelined_j{jobs}"),
+            banks: PIPE_BANKS,
+            jobs,
+            accesses: scale.timed,
+            wall_s: mp.wall_s,
+            accesses_per_sec: mp.best_rate,
+            hash: mp.hash,
+        },
+    ];
+    for r in &results {
+        eprintln!(
+            "  {:<24} {:>10.0} acc/s (hash {:#018x})",
+            r.name, r.accesses_per_sec, r.hash
+        );
+    }
+    // Determinism across worker counts: replay the identical trace
+    // (untimed, arbitrary window chunking — per-bank order is what must
+    // hold) at each jobs count and digest-compare against the serial
+    // reference.
+    let mut jobs_hashes_equal = true;
+    for j in PIPE_JOBS_SWEEP {
+        let mut pipe =
+            PipelinedBankedLlc::from_banked(build_banked(scale.frames, PIPE_BANKS, seed), j)
+                .with_batch_size(PIPE_BATCH);
+        for chunk in reqs[..warmup].chunks(BATCH) {
+            pipe.run_window(chunk);
+        }
+        pipe.reset_digests();
+        for chunk in reqs[warmup..].chunks(BATCH) {
+            pipe.run_window(chunk);
+        }
+        let digests = pipe.bank_digests().to_vec();
+        let hash = pipe_state_hash(&digests, &mut pipe);
+        let ok = hash == serial_hash;
+        jobs_hashes_equal &= ok;
+        eprintln!(
+            "  pipe{PIPE_BANKS}_j{j} replay hash {hash:#018x} ({})",
+            if ok { "== serial" } else { "MISMATCH" }
+        );
+        results.push(ScalingResult {
+            name: format!("pipe{PIPE_BANKS}_replay_j{j}"),
+            banks: PIPE_BANKS,
+            jobs: j,
+            accesses: scale.timed,
+            wall_s: 0.0,
+            accesses_per_sec: 0.0,
+            hash,
+        });
+    }
+    PipeOutcome {
+        results,
+        jobs,
+        speedup: best_ratio,
+        hashes_equal,
+        jobs_hashes_equal,
+        ring,
+        timed: scale.timed,
+    }
+}
+
+/// Checks the pipelined entry's gates: digest equality (always enforced in
+/// the failure registry) and the hard [`PIPE_MIN_SPEEDUP`] speedup gate
+/// (quick-enforced, like the batched gate; CI re-asserts the recorded
+/// entry).
+fn check_pipe_gates(opts: &Options, pipe: &PipeOutcome) {
+    if !pipe.hashes_equal {
+        record_failure(
+            "perf-parallel pipelined determinism",
+            format!("serial and pipelined digests differ at {PIPE_BANKS} banks"),
+        );
+    }
+    if !pipe.jobs_hashes_equal {
+        record_failure(
+            "perf-parallel pipelined determinism",
+            format!("pipelined digests vary across worker counts {PIPE_JOBS_SWEEP:?}"),
+        );
+    }
+    eprintln!(
+        "  gate: {PIPE_BANKS}-bank pipelined/serial speedup {:.2}x \
+         (min {PIPE_MIN_SPEEDUP:.1}x, quick-enforced: {})",
+        pipe.speedup, opts.quick
+    );
+    if opts.quick && pipe.speedup < PIPE_MIN_SPEEDUP {
+        record_failure(
+            "perf-parallel pipelined gate",
+            format!(
+                "{PIPE_BANKS}-bank pipelined engine reached only {:.2}x \
+                 the serial rate (min {PIPE_MIN_SPEEDUP:.1}x)",
+                pipe.speedup
+            ),
+        );
+    }
+}
+
 /// Checks the determinism digests (always), the quick-mode speedup gate on
 /// the paired `speedup` from [`run_sweep`], and the informational 8-bank
 /// floor on `speedup8`; returns whether the digests matched.
@@ -424,19 +754,14 @@ fn render_entry(
     speedup: f64,
     speedup8: f64,
     equal: bool,
+    pipe: &PipeOutcome,
 ) -> String {
-    let ts = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let mut s = String::new();
-    let _ = write!(
-        s,
-        "  {{\n    \"timestamp\": {ts},\n    \"quick\": {},\n    \"seed\": {},\n    \"scaling\": [\n",
-        opts.quick, opts.seed
-    );
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
+    let mut rec = BenchRecord::new(opts.quick, opts.seed);
+    let s = rec.body_mut();
+    s.push_str("    \"scaling\": [\n");
+    let all: Vec<&ScalingResult> = results.iter().chain(pipe.results.iter()).collect();
+    for (i, r) in all.iter().enumerate() {
+        let comma = if i + 1 < all.len() { "," } else { "" };
         let _ = writeln!(
             s,
             "      {{\"name\": \"{}\", \"banks\": {}, \"jobs\": {}, \"accesses\": {}, \
@@ -449,9 +774,22 @@ fn render_entry(
         "    ],\n    \"gate\": {{\"banks\": {GATE_BANKS}, \"speedup\": {speedup:.3}, \
          \"min_speedup\": {GATE_MIN_SPEEDUP:.1}, \"hashes_equal\": {equal}}},\n    \
          \"floor8\": {{\"banks\": {FLOOR_BANKS}, \"speedup\": {speedup8:.3}, \
-         \"min_speedup\": {FLOOR8_MIN_SPEEDUP:.1}}}\n  }}"
+         \"min_speedup\": {FLOOR8_MIN_SPEEDUP:.1}}},\n    \
+         \"pipeline\": {{\"banks\": {PIPE_BANKS}, \"jobs\": {}, \"accesses\": {}, \
+         \"batch\": {PIPE_BATCH}, \
+         \"speedup\": {:.3}, \"min_speedup\": {PIPE_MIN_SPEEDUP:.1}, \
+         \"hashes_equal\": {}, \"jobs_hashes_equal\": {}, \
+         \"jobs_sweep\": [1, 2, 4, 8], \
+         \"ring_peak_depth\": {}, \"ring_mean_depth\": {:.2}}}",
+        pipe.jobs,
+        pipe.timed,
+        pipe.speedup,
+        pipe.hashes_equal,
+        pipe.jobs_hashes_equal,
+        pipe.ring.peak_depth,
+        pipe.ring.mean_depth()
     );
-    s
+    rec.finish()
 }
 
 /// The `perf-parallel` subcommand: runs the sweep and appends the results
@@ -470,8 +808,11 @@ pub fn perf_parallel_to(opts: &Options, path: &Path) {
     );
     let (results, speedup, speedup8) = run_sweep(opts, Scale::from_options(opts));
     let equal = check_gates(opts, &results, speedup, speedup8);
-    let entry = render_entry(opts, &results, speedup, speedup8, equal);
-    match append_entry(path, &entry) {
+    println!("perf-parallel: pipelined ring engine at {PIPE_BANKS} banks");
+    let pipe = run_pipe_sweep(opts, PipeScale::from_options(opts));
+    check_pipe_gates(opts, &pipe);
+    let entry = render_entry(opts, &results, speedup, speedup8, equal, &pipe);
+    match vantage_bench::append_entry(path, &entry) {
         Ok(()) => println!("  wrote {}", path.display()),
         Err(e) => record_failure(path.display().to_string(), e.to_string()),
     }
@@ -500,6 +841,25 @@ mod tests {
     }
 
     #[test]
+    fn serial_and_pipelined_digests_agree_at_tiny_scale() {
+        let scale = PipeScale {
+            frames: 2 * 1024,
+            warmup: 4_000,
+            timed: 8_000,
+        };
+        let seed = 7;
+        let reqs = trace(scale.frames, scale.warmup + scale.timed, seed);
+        let warmup = scale.warmup as usize;
+        for jobs in [1, 2] {
+            let mut serial = build_banked(scale.frames, 4, seed);
+            let mut pipe =
+                PipelinedBankedLlc::from_banked(build_banked(scale.frames, 4, seed), jobs);
+            let (ms, mp, _ratio) = run_pipe_pair(&mut serial, &mut pipe, &reqs, warmup);
+            assert_eq!(ms.hash, mp.hash, "jobs={jobs} diverged from serial");
+        }
+    }
+
+    #[test]
     fn trajectory_entry_records_the_gate() {
         let opts = Options {
             quick: true,
@@ -514,12 +874,40 @@ mod tests {
             accesses_per_sec: 20.0,
             hash: 0xABCD,
         }];
-        let entry = render_entry(&opts, &results, 2.5, 1.7, true);
+        let pipe = PipeOutcome {
+            results: vec![ScalingResult {
+                name: "pipe8_pipelined_j1".into(),
+                banks: 8,
+                jobs: 1,
+                accesses: 10,
+                wall_s: 0.2,
+                accesses_per_sec: 50.0,
+                hash: 0xABCD,
+            }],
+            jobs: 1,
+            speedup: 2.61,
+            hashes_equal: true,
+            jobs_hashes_equal: true,
+            ring: RingStats {
+                peak_depth: 3,
+                depth_sum: 10,
+                samples: 5,
+            },
+            timed: 10,
+        };
+        let entry = render_entry(&opts, &results, 2.5, 1.7, true, &pipe);
         assert!(entry.contains("\"scaling\""));
         assert!(entry.contains("\"speedup\": 2.500"));
         assert!(entry.contains("\"hashes_equal\": true"));
         assert!(entry.contains("0x000000000000abcd"));
         assert!(entry.contains("\"floor8\""));
         assert!(entry.contains("\"speedup\": 1.700"));
+        assert!(entry.contains("\"pipeline\""));
+        assert!(entry.contains("\"speedup\": 2.610"));
+        assert!(entry.contains("\"min_speedup\": 2.5"));
+        assert!(entry.contains("\"jobs_hashes_equal\": true"));
+        assert!(entry.contains(&format!("\"batch\": {PIPE_BATCH}")));
+        assert!(entry.contains("\"ring_peak_depth\": 3"));
+        assert!(entry.contains("pipe8_pipelined_j1"));
     }
 }

@@ -37,8 +37,9 @@ use vantage_sim::PolicyKind;
 use vantage_ucp::{AllocationPolicy, ClusteredPolicy, EqualShares, PolicyInput, QosGuarantee};
 use vantage_workloads::{ChurnEvent, TenantChurn, TenantChurnConfig};
 
+use vantage_bench::{append_entry, BenchRecord};
+
 use crate::common::{open_telemetry, record_failure, write_csv, Options};
-use crate::perf::append_entry;
 
 /// Quick-mode floor on the 1024-partition steady-state access rate.
 pub const SCALE_MIN_RATE: f64 = 1.0e6;
@@ -319,7 +320,7 @@ fn bench_scale(opts: &Options, scale: Scale) -> (u64, f64, f64) {
             let p = (rng.gen::<u32>() as usize) % SCALE_PARTITIONS;
             let base = (p as u64 + 1) << 32;
             llc.access(AccessRequest::read(
-                p,
+                PartitionId::from_index(p),
                 LineAddr(base + rng.gen_range(0..ws)),
             ));
         }
@@ -363,17 +364,9 @@ fn sla_rows(out: &ChurnOutcome) -> Vec<String> {
 
 /// Renders one BENCH_service.json entry.
 fn render_entry(opts: &Options, churn: &ChurnOutcome, bench: (u64, f64, f64)) -> String {
-    let ts = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
     let (accesses, wall_s, rate) = bench;
-    let mut s = String::new();
-    let _ = write!(
-        s,
-        "  {{\n    \"timestamp\": {ts},\n    \"quick\": {},\n    \"seed\": {},\n",
-        opts.quick, opts.seed
-    );
+    let mut rec = BenchRecord::new(opts.quick, opts.seed);
+    let s = rec.body_mut();
     let _ = writeln!(
         s,
         "    \"churn\": {{\"policy\": \"{}\", \"events\": {}, \"accesses\": {}, \
@@ -396,10 +389,10 @@ fn render_entry(opts: &Options, churn: &ChurnOutcome, bench: (u64, f64, f64)) ->
         s,
         "    \"scale_bench\": {{\"partitions\": {SCALE_PARTITIONS}, \"accesses\": {accesses}, \
          \"wall_s\": {wall_s:.6}, \"accesses_per_sec\": {rate:.1}, \
-         \"min_rate\": {SCALE_MIN_RATE:.1}, \"enforced\": {}}}\n  }}",
+         \"min_rate\": {SCALE_MIN_RATE:.1}, \"enforced\": {}}}",
         opts.quick
     );
-    s
+    rec.finish()
 }
 
 /// The `service` subcommand (see the [module docs](self)), writing the

@@ -32,7 +32,7 @@ use crate::sharded::Sharded;
 /// # Example
 ///
 /// ```
-/// use vantage_partitioning::{AccessRequest, BankedLlc, BaselineLlc, Llc, RankPolicy};
+/// use vantage_partitioning::{AccessRequest, BankedLlc, BaselineLlc, Llc, PartitionId, RankPolicy};
 /// use vantage_cache::SetAssocArray;
 ///
 /// let banks: Vec<Box<dyn Llc>> = (0..4)
@@ -46,7 +46,7 @@ use crate::sharded::Sharded;
 ///     .collect();
 /// let mut llc = BankedLlc::try_new(banks, 7).expect("valid bank set");
 /// assert_eq!(llc.capacity(), 4096);
-/// llc.access(AccessRequest::read(0, 0x123.into()));
+/// llc.access(AccessRequest::read(PartitionId::from_index(0), 0x123.into()));
 /// ```
 pub struct BankedLlc {
     banks: Vec<Box<dyn Llc>>,
@@ -399,11 +399,17 @@ mod tests {
     fn same_address_always_same_bank() {
         let mut llc = banked_baseline(4, 256);
         assert_eq!(
-            llc.access(AccessRequest::read(0, LineAddr(42))),
+            llc.access(AccessRequest::read(
+                PartitionId::from_index(0),
+                LineAddr(42)
+            )),
             AccessOutcome::Miss
         );
         assert_eq!(
-            llc.access(AccessRequest::read(0, LineAddr(42))),
+            llc.access(AccessRequest::read(
+                PartitionId::from_index(0),
+                LineAddr(42)
+            )),
             AccessOutcome::Hit
         );
     }
@@ -412,7 +418,10 @@ mod tests {
     fn stats_aggregate_across_banks() {
         let mut llc = banked_baseline(2, 128);
         for i in 0..1000u64 {
-            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index((i % 2) as usize),
+                LineAddr(i),
+            ));
         }
         let s = llc.stats_mut();
         assert_eq!(s.total_hits() + s.total_misses(), 1000);
@@ -434,7 +443,10 @@ mod tests {
         // Every bank received a valid (way-rounded) allocation; run traffic
         // to confirm the shards behave.
         for i in 0..20_000u64 {
-            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i % 3000)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index((i % 2) as usize),
+                LineAddr(i % 3000),
+            ));
         }
         assert!(
             llc.partition_size(PartitionId::from_index(0))
@@ -474,7 +486,10 @@ mod tests {
         let (sink, reader) = RingSink::with_capacity(65536);
         assert!(llc.set_telemetry(Telemetry::new(Box::new(sink), 64)));
         for i in 0..4000u64 {
-            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i % 400)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index((i % 2) as usize),
+                LineAddr(i % 400),
+            ));
         }
         let recs = reader.records();
         assert!(
@@ -504,7 +519,12 @@ mod tests {
         let mut one = banked_baseline(4, 256);
         let mut batched = banked_baseline(4, 256);
         let reqs: Vec<AccessRequest> = (0..5000u64)
-            .map(|i| AccessRequest::read((i % 2) as usize, LineAddr((i * 37) % 1700)))
+            .map(|i| {
+                AccessRequest::read(
+                    PartitionId::from_index((i % 2) as usize),
+                    LineAddr((i * 37) % 1700),
+                )
+            })
             .collect();
         let singles: Vec<AccessOutcome> = reqs.iter().map(|&r| one.access(r)).collect();
         let mut outs = Vec::new();
@@ -525,7 +545,7 @@ mod tests {
         let addr = LineAddr(0xABC);
         let b = llc.bank_of(addr);
         assert!(b < 4);
-        llc.access(AccessRequest::read(0, addr));
+        llc.access(AccessRequest::read(PartitionId::from_index(0), addr));
         assert_eq!(llc.bank(b).stats().total_misses(), 1, "steered to bank");
         assert_eq!(llc.bank_mut(b).num_partitions(), 2);
     }

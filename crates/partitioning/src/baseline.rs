@@ -37,13 +37,13 @@ enum RankState {
 ///
 /// ```
 /// use vantage_cache::SetAssocArray;
-/// use vantage_partitioning::{AccessRequest, BaselineLlc, Llc, RankPolicy};
+/// use vantage_partitioning::{AccessRequest, BaselineLlc, Llc, PartitionId, RankPolicy};
 ///
 /// let array = SetAssocArray::hashed(4096, 16, 1);
 /// let mut llc = BaselineLlc::try_new(Box::new(array), 4, RankPolicy::Lru).expect("valid baseline geometry");
-/// llc.access(AccessRequest::read(0, 0x10.into()));
+/// llc.access(AccessRequest::read(PartitionId::from_index(0), 0x10.into()));
 /// assert_eq!(llc.stats().misses[0], 1);
-/// llc.access(AccessRequest::read(0, 0x10.into()));
+/// llc.access(AccessRequest::read(PartitionId::from_index(0), 0x10.into()));
 /// assert_eq!(llc.stats().hits[0], 1);
 /// ```
 pub struct BaselineLlc {
@@ -411,11 +411,11 @@ mod tests {
     fn hit_after_miss() {
         let mut c = lru_llc(256, 4);
         assert_eq!(
-            c.access(AccessRequest::read(0, LineAddr(1))),
+            c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(1))),
             AccessOutcome::Miss
         );
         assert_eq!(
-            c.access(AccessRequest::read(0, LineAddr(1))),
+            c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(1))),
             AccessOutcome::Hit
         );
         assert_eq!(c.stats().hits[0], 1);
@@ -429,17 +429,20 @@ mod tests {
         let mut c = BaselineLlc::try_new(Box::new(array), 1, RankPolicy::Lru)
             .expect("valid baseline geometry");
         for i in 0..4u64 {
-            c.access(AccessRequest::read(0, LineAddr(i)));
+            c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(i)));
         }
         // Touch 0 to make 1 the LRU line.
-        c.access(AccessRequest::read(0, LineAddr(0)));
-        c.access(AccessRequest::read(0, LineAddr(100))); // evicts 1
+        c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(0)));
+        c.access(AccessRequest::read(
+            PartitionId::from_index(0),
+            LineAddr(100),
+        )); // evicts 1
         assert_eq!(
-            c.access(AccessRequest::read(0, LineAddr(0))),
+            c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(0))),
             AccessOutcome::Hit
         );
         assert_eq!(
-            c.access(AccessRequest::read(0, LineAddr(1))),
+            c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(1))),
             AccessOutcome::Miss
         );
     }
@@ -448,10 +451,10 @@ mod tests {
     fn partition_sizes_track_ownership() {
         let mut c = lru_llc(256, 4);
         for i in 0..10u64 {
-            c.access(AccessRequest::read(0, LineAddr(i)));
+            c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(i)));
         }
         for i in 100..105u64 {
-            c.access(AccessRequest::read(1, LineAddr(i)));
+            c.access(AccessRequest::read(PartitionId::from_index(1), LineAddr(i)));
         }
         assert_eq!(c.partition_size(PartitionId::from_index(0)), 10);
         assert_eq!(c.partition_size(PartitionId::from_index(1)), 5);
@@ -465,7 +468,10 @@ mod tests {
             .expect("valid baseline geometry");
         // Drive enough traffic to force evictions with relocations.
         for i in 0..4096u64 {
-            c.access(AccessRequest::read(0, LineAddr(i % 700)));
+            c.access(AccessRequest::read(
+                PartitionId::from_index(0),
+                LineAddr(i % 700),
+            ));
         }
         assert!(c.stats().evictions > 0);
         assert_eq!(
@@ -475,7 +481,10 @@ mod tests {
         // Re-access a recently used window: mostly hits.
         let before = c.stats().hits[0];
         for i in 0..50u64 {
-            c.access(AccessRequest::read(0, LineAddr(i % 700)));
+            c.access(AccessRequest::read(
+                PartitionId::from_index(0),
+                LineAddr(i % 700),
+            ));
         }
         assert!(c.stats().hits[0] > before);
     }
@@ -487,7 +496,10 @@ mod tests {
         let mut c = BaselineLlc::try_new(Box::new(array), 2, RankPolicy::Rrip(cfg))
             .expect("valid baseline geometry");
         for i in 0..10_000u64 {
-            c.access(AccessRequest::read((i % 2) as usize, LineAddr(i % 1500)));
+            c.access(AccessRequest::read(
+                PartitionId::from_index((i % 2) as usize),
+                LineAddr(i % 1500),
+            ));
         }
         let s = c.stats();
         assert!(s.total_hits() > 0);
@@ -527,7 +539,7 @@ mod tests {
         let (sink, reader) = RingSink::with_capacity(4096);
         assert!(c.set_telemetry(Telemetry::new(Box::new(sink), 100)));
         for i in 0..1000u64 {
-            c.access(AccessRequest::read(0, LineAddr(i)));
+            c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(i)));
         }
         let recs = reader.records();
         let samples = recs
@@ -547,8 +559,8 @@ mod tests {
     #[test]
     fn take_stats_resets_counters() {
         let mut c = lru_llc(64, 4);
-        c.access(AccessRequest::read(0, LineAddr(1)));
-        c.access(AccessRequest::read(0, LineAddr(1)));
+        c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(1)));
+        c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(1)));
         let taken = c.take_stats();
         assert_eq!(taken.hits[0], 1);
         assert_eq!(taken.misses[0], 1);
@@ -559,12 +571,12 @@ mod tests {
     fn eviction_counter_counts_only_replacements() {
         let mut c = lru_llc(64, 4);
         for i in 0..64u64 {
-            c.access(AccessRequest::read(0, LineAddr(i)));
+            c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(i)));
         }
         // At most capacity lines could have been installed without eviction.
         assert_eq!(c.stats().evictions, 0);
         for i in 64..256u64 {
-            c.access(AccessRequest::read(0, LineAddr(i)));
+            c.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(i)));
         }
         assert!(c.stats().evictions > 0);
     }

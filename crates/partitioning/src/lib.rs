@@ -24,6 +24,7 @@ pub mod error;
 pub mod hist;
 pub mod llc;
 pub mod parallel;
+pub mod pipeline;
 pub mod pipp;
 pub mod sharded;
 pub mod spsc;
@@ -39,6 +40,7 @@ pub use llc::{
     PartitionSpec,
 };
 pub use parallel::ParallelBankedLlc;
+pub use pipeline::{PipelinedBankedLlc, RingStats};
 pub use pipp::{PippConfig, PippLlc};
 pub use sharded::Sharded;
 pub use vantage_cache::PartitionId;

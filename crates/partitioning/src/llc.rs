@@ -36,26 +36,21 @@ pub struct AccessRequest {
 }
 
 impl AccessRequest {
-    /// Builds a request with an explicit kind. Accepts a [`PartitionId`]
-    /// or (transitionally) a raw `usize` slot index.
+    /// Builds a request with an explicit kind.
     #[inline]
-    pub fn new(part: impl Into<PartitionId>, addr: LineAddr, kind: AccessKind) -> Self {
-        Self {
-            part: part.into(),
-            addr,
-            kind,
-        }
+    pub fn new(part: PartitionId, addr: LineAddr, kind: AccessKind) -> Self {
+        Self { part, addr, kind }
     }
 
     /// Builds a read request — the common case throughout the simulator.
     #[inline]
-    pub fn read(part: impl Into<PartitionId>, addr: LineAddr) -> Self {
+    pub fn read(part: PartitionId, addr: LineAddr) -> Self {
         Self::new(part, addr, AccessKind::Read)
     }
 
     /// Builds a write request.
     #[inline]
-    pub fn write(part: impl Into<PartitionId>, addr: LineAddr) -> Self {
+    pub fn write(part: PartitionId, addr: LineAddr) -> Self {
         Self::new(part, addr, AccessKind::Write)
     }
 }
@@ -97,22 +92,20 @@ impl LlcStats {
         }
     }
 
-    /// Total accesses by `part` (a [`PartitionId`] or, transitionally, a
-    /// raw `usize` slot index).
-    pub fn accesses(&self, part: impl Into<PartitionId>) -> u64 {
-        let p = part.into().index();
+    /// Total accesses by `part`.
+    pub fn accesses(&self, part: PartitionId) -> u64 {
+        let p = part.index();
         self.hits[p] + self.misses[p]
     }
 
     /// Miss ratio of `part` (0 if it made no accesses).
-    pub fn miss_ratio(&self, part: impl Into<PartitionId>) -> f64 {
-        let part = part.into();
+    pub fn miss_ratio(&self, part: PartitionId) -> f64 {
         let a = self.accesses(part);
-        let part = part.index();
+        let p = part.index();
         if a == 0 {
             0.0
         } else {
-            self.misses[part] as f64 / a as f64
+            self.misses[p] as f64 / a as f64
         }
     }
 
@@ -350,13 +343,6 @@ pub trait Llc: Send + vantage_snapshot::Snapshot {
     /// The number of lines partition `part` currently holds.
     fn partition_size(&self, part: PartitionId) -> u64;
 
-    /// [`partition_size`](Llc::partition_size) taking a raw slot index —
-    /// a transitional shim for pre-[`PartitionId`] callers.
-    #[deprecated(note = "use partition_size(PartitionId) instead")]
-    fn partition_size_at(&self, part: usize) -> u64 {
-        self.partition_size(PartitionId::from_index(part))
-    }
-
     /// Creates a partition at runtime and returns its handle.
     ///
     /// Schemes with a runtime lifecycle (Vantage and its banked wrappers)
@@ -512,9 +498,12 @@ mod tests {
 
     #[test]
     fn request_constructors() {
-        let r = AccessRequest::read(3, LineAddr(0x10));
-        assert_eq!(r, AccessRequest::new(3, LineAddr(0x10), AccessKind::Read));
-        let w = AccessRequest::write(3, LineAddr(0x10));
+        let r = AccessRequest::read(PartitionId::from_index(3), LineAddr(0x10));
+        assert_eq!(
+            r,
+            AccessRequest::new(PartitionId::from_index(3), LineAddr(0x10), AccessKind::Read)
+        );
+        let w = AccessRequest::write(PartitionId::from_index(3), LineAddr(0x10));
         assert_eq!(w.kind, AccessKind::Write);
         assert_eq!(AccessKind::default(), AccessKind::Read);
     }
@@ -525,14 +514,14 @@ mod tests {
         s.hits[0] = 6;
         s.misses[0] = 2;
         s.misses[1] = 4;
-        assert_eq!(s.accesses(0), 8);
-        assert_eq!(s.miss_ratio(0), 0.25);
-        assert_eq!(s.miss_ratio(1), 1.0);
+        assert_eq!(s.accesses(PartitionId::from_index(0)), 8);
+        assert_eq!(s.miss_ratio(PartitionId::from_index(0)), 0.25);
+        assert_eq!(s.miss_ratio(PartitionId::from_index(1)), 1.0);
         assert_eq!(s.total_hits(), 6);
         assert_eq!(s.total_misses(), 6);
         s.reset();
-        assert_eq!(s.accesses(0), 0);
-        assert_eq!(s.miss_ratio(0), 0.0);
+        assert_eq!(s.accesses(PartitionId::from_index(0)), 0);
+        assert_eq!(s.miss_ratio(PartitionId::from_index(0)), 0.0);
     }
 
     #[test]

@@ -49,7 +49,7 @@ struct WorkBatch {
 /// ```
 /// use vantage_cache::SetAssocArray;
 /// use vantage_partitioning::{
-///     AccessRequest, BaselineLlc, Llc, ParallelBankedLlc, RankPolicy,
+///     AccessRequest, BaselineLlc, Llc, ParallelBankedLlc, PartitionId, RankPolicy,
 /// };
 ///
 /// let banks: Vec<Box<dyn Llc>> = (0..4)
@@ -63,7 +63,7 @@ struct WorkBatch {
 ///     .collect();
 /// let mut llc = ParallelBankedLlc::try_new(banks, 7, 2).expect("valid bank set");
 /// let reqs: Vec<AccessRequest> =
-///     (0..100).map(|i| AccessRequest::read(0, vantage_cache::LineAddr(i))).collect();
+///     (0..100).map(|i| AccessRequest::read(PartitionId::from_index(0), vantage_cache::LineAddr(i))).collect();
 /// let mut out = Vec::new();
 /// llc.access_batch(&reqs, &mut out);
 /// assert_eq!(out.len(), 100);
@@ -352,7 +352,12 @@ mod tests {
 
     fn trace(n: u64) -> Vec<AccessRequest> {
         (0..n)
-            .map(|i| AccessRequest::read((i % 2) as usize, LineAddr((i * 2654435761) % 3000)))
+            .map(|i| {
+                AccessRequest::read(
+                    PartitionId::from_index((i % 2) as usize),
+                    LineAddr((i * 2654435761) % 3000),
+                )
+            })
             .collect()
     }
 
@@ -409,7 +414,7 @@ mod tests {
         par.set_targets(&[600, 424]);
         let addr = LineAddr(0x55);
         let b = par.bank_of(addr);
-        par.access(AccessRequest::read(0, addr));
+        par.access(AccessRequest::read(PartitionId::from_index(0), addr));
         assert_eq!(par.bank(b).stats().total_misses(), 1);
         assert_eq!(par.bank_mut(b).num_partitions(), 2);
         let serial = par.into_banked();

@@ -57,11 +57,11 @@ impl Default for PippConfig {
 /// # Example
 ///
 /// ```
-/// use vantage_partitioning::{AccessRequest, Llc, PippConfig, PippLlc};
+/// use vantage_partitioning::{AccessRequest, Llc, PartitionId, PippConfig, PippLlc};
 ///
 /// let mut llc = PippLlc::try_new(4096, 16, 4, PippConfig::default(), 7).expect("valid PIPP geometry");
 /// llc.set_targets(&[1024, 1024, 1024, 1024]);
-/// llc.access(AccessRequest::read(0, 0x3.into()));
+/// llc.access(AccessRequest::read(PartitionId::from_index(0), 0x3.into()));
 /// ```
 pub struct PippLlc {
     array: SetAssocArray,
@@ -494,7 +494,10 @@ mod tests {
         let mut llc = pipp(4);
         llc.set_targets(&[256, 256, 256, 256]);
         for i in 0..50_000u64 {
-            llc.access(AccessRequest::read((i % 4) as usize, LineAddr(i % 2000)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index((i % 4) as usize),
+                LineAddr(i % 2000),
+            ));
         }
         // Every set's chain must remain a permutation of the ways.
         let ways = 16usize;
@@ -516,8 +519,14 @@ mod tests {
         llc.set_targets(&[960, 64]); // 15 vs 1 way
                                      // Equal access pressure from both partitions.
         for i in 0..400_000u64 {
-            llc.access(AccessRequest::read(0, LineAddr(i % 600)));
-            llc.access(AccessRequest::read(1, LineAddr(10_000 + i % 600)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index(0),
+                LineAddr(i % 600),
+            ));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index(1),
+                LineAddr(10_000 + i % 600),
+            ));
         }
         assert!(
             llc.partition_size(PartitionId::from_index(0))
@@ -536,7 +545,7 @@ mod tests {
         llc.set_targets(&[512, 512]);
         for i in 0..100_000u64 {
             // Partition 1 misses constantly (streams), partition 0 is idle.
-            llc.access(AccessRequest::read(1, LineAddr(i)));
+            llc.access(AccessRequest::read(PartitionId::from_index(1), LineAddr(i)));
         }
         assert!(
             llc.partition_size(PartitionId::from_index(1)) > 512,
@@ -550,8 +559,14 @@ mod tests {
         llc.set_targets(&[512, 512]);
         // Partition 0: cache-resident loop. Partition 1: pure stream.
         for i in 0..50_000u64 {
-            llc.access(AccessRequest::read(0, LineAddr(i % 128)));
-            llc.access(AccessRequest::read(1, LineAddr(1_000_000 + i)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index(0),
+                LineAddr(i % 128),
+            ));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index(1),
+                LineAddr(1_000_000 + i),
+            ));
         }
         llc.set_targets(&[512, 512]); // triggers classification
         assert!(!llc.streaming_flags()[0]);
@@ -587,7 +602,10 @@ mod tests {
         let (sink, reader) = RingSink::with_capacity(8192);
         llc.set_telemetry(Telemetry::new(Box::new(sink), 512));
         for i in 0..5000u64 {
-            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index((i % 2) as usize),
+                LineAddr(i),
+            ));
         }
         let total_churn: u64 = reader
             .records()
@@ -604,11 +622,11 @@ mod tests {
     fn hits_and_misses_counted() {
         let mut llc = pipp(2);
         assert_eq!(
-            llc.access(AccessRequest::read(0, LineAddr(7))),
+            llc.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(7))),
             AccessOutcome::Miss
         );
         assert_eq!(
-            llc.access(AccessRequest::read(0, LineAddr(7))),
+            llc.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(7))),
             AccessOutcome::Hit
         );
         assert_eq!(llc.stats().hits[0], 1);

@@ -71,13 +71,13 @@ impl PriorityProbe {
 /// # Example
 ///
 /// ```
-/// use vantage_partitioning::{AccessRequest, Llc, WayPartLlc};
+/// use vantage_partitioning::{AccessRequest, Llc, PartitionId, WayPartLlc};
 ///
 /// // 4096 lines, 16 ways, 2 partitions.
 /// let mut llc = WayPartLlc::try_new(4096, 16, 2, 1).expect("valid way-partition geometry");
 /// llc.set_targets(&[3072, 1024]); // 12 + 4 ways
 /// assert_eq!(llc.way_allocation(), &[12, 4]);
-/// llc.access(AccessRequest::read(0, 0x99.into()));
+/// llc.access(AccessRequest::read(PartitionId::from_index(0), 0x99.into()));
 /// ```
 pub struct WayPartLlc {
     array: SetAssocArray,
@@ -486,15 +486,18 @@ mod tests {
         llc.set_targets(&[512, 512]);
         // Partition 0 touches a small working set; partition 1 streams.
         for i in 0..64u64 {
-            llc.access(AccessRequest::read(0, LineAddr(i)));
+            llc.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(i)));
         }
         for i in 0..100_000u64 {
-            llc.access(AccessRequest::read(1, LineAddr(1_000_000 + i)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index(1),
+                LineAddr(1_000_000 + i),
+            ));
         }
         // Partition 0's lines are untouched by partition 1's thrashing.
         let misses_before = llc.stats().misses[0];
         for i in 0..64u64 {
-            llc.access(AccessRequest::read(0, LineAddr(i)));
+            llc.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(i)));
         }
         assert_eq!(llc.stats().misses[0], misses_before, "isolation violated");
     }
@@ -504,7 +507,7 @@ mod tests {
         let mut llc = WayPartLlc::try_new(1024, 16, 2, 2).expect("valid way-partition geometry");
         llc.set_targets(&[256, 768]); // 4 vs 12 ways
         for i in 0..100_000u64 {
-            llc.access(AccessRequest::read(0, LineAddr(i)));
+            llc.access(AccessRequest::read(PartitionId::from_index(0), LineAddr(i)));
         }
         // Partition 0 owns 4/16 of the ways = 256 lines at most.
         assert!(llc.partition_size(PartitionId::from_index(0)) <= 256);
@@ -515,8 +518,14 @@ mod tests {
         let mut llc = WayPartLlc::try_new(1024, 16, 2, 3).expect("valid way-partition geometry");
         llc.set_targets(&[512, 512]);
         for i in 0..100_000u64 {
-            llc.access(AccessRequest::read(0, LineAddr(i % 2000)));
-            llc.access(AccessRequest::read(1, LineAddr(10_000 + i % 2000)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index(0),
+                LineAddr(i % 2000),
+            ));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index(1),
+                LineAddr(10_000 + i % 2000),
+            ));
         }
         let before = llc.partition_size(PartitionId::from_index(0));
         assert!(
@@ -531,7 +540,10 @@ mod tests {
             "resize must not flush instantly"
         );
         for i in 0..200_000u64 {
-            llc.access(AccessRequest::read(1, LineAddr(50_000 + i)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index(1),
+                LineAddr(50_000 + i),
+            ));
         }
         assert!(
             llc.partition_size(PartitionId::from_index(0)) <= 100,
@@ -555,7 +567,7 @@ mod tests {
         let ws: Vec<LineAddr> = (0..48).map(|_| LineAddr(rng.gen())).collect();
         for _rep in 0..50 {
             for &a in &ws {
-                llc.access(AccessRequest::read(0, a));
+                llc.access(AccessRequest::read(PartitionId::from_index(0), a));
             }
         }
         let s = llc.stats();
@@ -569,7 +581,10 @@ mod tests {
         llc.enable_priority_probe();
         llc.set_targets(&[128, 128]);
         for i in 0..20_000u64 {
-            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i % 700)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index((i % 2) as usize),
+                LineAddr(i % 700),
+            ));
         }
         let samples = llc.drain_priority_samples();
         assert!(!samples.is_empty());
@@ -603,7 +618,10 @@ mod tests {
         let (sink, reader) = RingSink::with_capacity(4096);
         llc.set_telemetry(Telemetry::new(Box::new(sink), 256));
         for i in 0..2000u64 {
-            llc.access(AccessRequest::read((i % 2) as usize, LineAddr(i)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index((i % 2) as usize),
+                LineAddr(i),
+            ));
         }
         let targets: Vec<(PartitionId, u64)> = reader
             .records()
@@ -614,8 +632,8 @@ mod tests {
             })
             .collect();
         assert!(!targets.is_empty());
-        assert!(targets.contains(&(0.into(), 12 * 64)));
-        assert!(targets.contains(&(1.into(), 4 * 64)));
+        assert!(targets.contains(&(PartitionId::from_index(0), 12 * 64)));
+        assert!(targets.contains(&(PartitionId::from_index(1), 4 * 64)));
     }
 
     #[test]
@@ -623,7 +641,10 @@ mod tests {
         let mut llc = WayPartLlc::try_new(512, 8, 4, 6).expect("valid way-partition geometry");
         llc.set_targets(&[128, 128, 128, 128]);
         for i in 0..50_000u64 {
-            llc.access(AccessRequest::read((i % 4) as usize, LineAddr(i % 3000)));
+            llc.access(AccessRequest::read(
+                PartitionId::from_index((i % 4) as usize),
+                LineAddr(i % 3000),
+            ));
         }
         let total: u64 = (0..4)
             .map(|p| llc.partition_size(PartitionId::from_index(p)))

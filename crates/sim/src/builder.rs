@@ -61,6 +61,13 @@ impl LlcBuilder {
         self
     }
 
+    /// Selects the execution engine for banked machines (see
+    /// [`SystemConfig::engine`]); ignored when `banks <= 1`.
+    pub fn engine(mut self, engine: vantage::EngineKind) -> Self {
+        self.sys.engine = engine;
+        self
+    }
+
     /// Installs a telemetry producer on the built LLC (fanned out per bank
     /// on banked machines).
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
@@ -119,7 +126,7 @@ mod tests {
     use super::*;
     use crate::config::{ArrayKind, BaselineRank};
     use vantage::{FaultKind, FaultPlan};
-    use vantage_partitioning::AccessRequest;
+    use vantage_partitioning::{AccessRequest, PartitionId};
     use vantage_telemetry::{RingSink, Telemetry};
 
     #[test]
@@ -135,7 +142,7 @@ mod tests {
         assert!(s.uses_ucp());
         for i in 0..4096u64 {
             s.llc_mut().access(AccessRequest::read(
-                (i % 4) as usize,
+                PartitionId::from_index((i % 4) as usize),
                 vantage_cache::LineAddr(i % 900),
             ));
         }
@@ -152,7 +159,7 @@ mod tests {
             .expect("valid scheme config");
         for i in 0..8192u64 {
             s.llc_mut().access(AccessRequest::read(
-                (i % 4) as usize,
+                PartitionId::from_index((i % 4) as usize),
                 vantage_cache::LineAddr(i % 700),
             ));
         }
@@ -172,6 +179,30 @@ mod tests {
             .try_build()
             .err();
         assert_eq!(err, Some(BuildError::FaultPlanUnsupported));
+    }
+
+    #[test]
+    fn builder_selects_the_pipelined_engine() {
+        let mut s = Scheme::builder(SchemeKind::vantage_paper(), SystemConfig::small_scale())
+            .banks(4)
+            .engine(vantage::EngineKind::Pipelined)
+            .try_build()
+            .expect("valid scheme config");
+        assert!(matches!(s, Scheme::Pipelined { .. }));
+        assert_eq!(s.as_sharded().unwrap().num_banks(), 4);
+        let mut out = Vec::new();
+        let reqs: Vec<AccessRequest> = (0..2000u64)
+            .map(|i| {
+                AccessRequest::read(
+                    PartitionId::from_index((i % 4) as usize),
+                    vantage_cache::LineAddr(i % 900),
+                )
+            })
+            .collect();
+        s.llc_mut().access_batch(&reqs, &mut out);
+        s.epoch_barrier();
+        assert_eq!(out.len(), 2000);
+        assert!(s.llc_mut().stats_mut().total_hits() > 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::BinaryHeap;
 use std::path::Path;
 
 use vantage_cache::hash::mix64;
-use vantage_partitioning::AccessRequest;
+use vantage_partitioning::{AccessRequest, PartitionId};
 use vantage_snapshot::{Encoder, Snapshot, SnapshotReader, SnapshotWriter};
 use vantage_workloads::{AppGen, Mix, RefStream};
 
@@ -300,11 +300,7 @@ impl CmpSim {
             self.epoch.targets().to_vec()
         };
         let actuals = (0..n)
-            .map(|p| {
-                self.scheme
-                    .llc()
-                    .partition_size(vantage_partitioning::PartitionId::from_index(p))
-            })
+            .map(|p| self.scheme.llc().partition_size(PartitionId::from_index(p)))
             .collect();
         self.trace.push(TraceSample {
             cycle,
@@ -404,7 +400,10 @@ impl CmpSim {
                 if !core.l1.access(r.addr) {
                     core.l2_accesses += 1;
                     self.epoch.observe(c, r.addr);
-                    let outcome = self.scheme.llc_mut().access(AccessRequest::read(c, r.addr));
+                    let outcome = self
+                        .scheme
+                        .llc_mut()
+                        .access(AccessRequest::read(PartitionId::from_index(c), r.addr));
                     if outcome.is_hit() {
                         core.time += self.sys.l2_latency;
                     } else {

@@ -1,6 +1,6 @@
 //! System and scheme configuration.
 
-use vantage::VantageConfig;
+use vantage::{EngineKind, VantageConfig};
 
 /// Cache array families available to schemes that are array-agnostic.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -248,6 +248,19 @@ pub struct SystemConfig {
     /// `banks > 1`) spin up a scoped worker pool per batch. Results are
     /// bit-identical either way.
     pub bank_jobs: usize,
+    /// Execution engine for banked machines (`banks > 1`):
+    /// [`EngineKind::Batched`] (the default) serves driver batches through
+    /// the grouped [`BankedLlc`](vantage_partitioning::BankedLlc) path — or
+    /// the worker-pool
+    /// [`ParallelBankedLlc`](vantage_partitioning::ParallelBankedLlc) when
+    /// `bank_jobs > 1` — while [`EngineKind::Pipelined`] routes accesses
+    /// through the ring-buffered
+    /// [`PipelinedBankedLlc`](vantage_partitioning::PipelinedBankedLlc)
+    /// with bank-major drains and epoch barriers. [`EngineKind::Serial`]
+    /// builds the same cache as `Batched`; the distinction matters to
+    /// drivers (one `access` per request), not to construction. Results
+    /// are bit-identical across engines; unbanked machines ignore this.
+    pub engine: EngineKind,
     /// L2 hit latency in cycles (L1-to-bank + bank).
     pub l2_latency: u64,
     /// Memory zero-load latency in cycles.
@@ -296,6 +309,7 @@ impl SystemConfig {
             l2_ways: 16,
             banks: 1,
             bank_jobs: 1,
+            engine: EngineKind::default(),
             l2_latency: 12,
             mem_latency: 200,
             mem_channels: 1,
@@ -321,6 +335,7 @@ impl SystemConfig {
             l2_ways: 64,
             banks: 1,
             bank_jobs: 1,
+            engine: EngineKind::default(),
             l2_latency: 12,
             mem_latency: 200,
             mem_channels: 4,

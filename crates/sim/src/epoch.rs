@@ -450,6 +450,12 @@ impl EpochController {
     /// the violation is scrubbed in place (counted in
     /// [`recoveries`](Self::recoveries)) and the epoch proceeds.
     pub fn run_epoch(&mut self, scheme: &mut Scheme) -> Result<(), SimError> {
+        // The epoch boundary is the pipelined engine's one true barrier:
+        // drain queued accesses so the policy observes everything issued
+        // this epoch and the repartition applies to a quiesced cache.
+        // (Checkpoints cut here too, which is what keeps them engine-
+        // independent.) A no-op for the other engines.
+        scheme.epoch_barrier();
         if self.check_invariants {
             if let Some(inv) = scheme.has_invariants() {
                 if let Err(e) = inv.check_invariants() {

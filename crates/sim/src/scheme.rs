@@ -3,15 +3,15 @@
 use std::error::Error;
 use std::fmt;
 
-use vantage::{RankMode, VantageError, VantageLlc};
+use vantage::{EngineKind, RankMode, VantageError, VantageLlc};
 use vantage_cache::hash::mix64;
 use vantage_cache::{
     CacheArray, RandomArray, RripConfig, RripMode, SetAssocArray, SkewArray, ZArray,
 };
 use vantage_partitioning::{
     BankedLlc, BaselineLlc, HasInvariants, HasPartitionPolicy, LifecycleError, Llc,
-    ParallelBankedLlc, PartitionId, PartitionSpec, PippConfig, PippLlc, RankPolicy,
-    SchemeConfigError, Sharded, WayPartLlc,
+    ParallelBankedLlc, PartitionId, PartitionSpec, PipelinedBankedLlc, PippConfig, PippLlc,
+    RankPolicy, SchemeConfigError, Sharded, WayPartLlc,
 };
 use vantage_telemetry::Telemetry;
 
@@ -122,6 +122,16 @@ pub enum Scheme {
         /// Whether UCP drives the wrapped scheme (false for baselines).
         ucp: bool,
     },
+    /// A banked machine fed through per-bank ring buffers with bank-major
+    /// drains (`SystemConfig::engine == EngineKind::Pipelined`); queued
+    /// work flushes at epoch barriers ([`Scheme::epoch_barrier`]). Results
+    /// are bit-identical to [`Scheme::Banked`].
+    Pipelined {
+        /// The ring-buffered sharded cache.
+        llc: PipelinedBankedLlc,
+        /// Whether UCP drives the wrapped scheme (false for baselines).
+        ucp: bool,
+    },
 }
 
 fn build_array(kind: ArrayKind, lines: usize, seed: u64) -> Box<dyn CacheArray> {
@@ -160,13 +170,18 @@ impl Scheme {
                 .collect::<Result<Vec<_>, _>>()?;
             let banked = BankedLlc::try_new(banks, sys.seed ^ 0xBA2C)?;
             let ucp = !matches!(kind, SchemeKind::Baseline { .. });
-            return Ok(if sys.bank_jobs > 1 {
-                Scheme::ParallelBanked {
-                    llc: ParallelBankedLlc::from_banked(banked, sys.bank_jobs),
+            return Ok(match sys.engine {
+                EngineKind::Pipelined => Scheme::Pipelined {
+                    llc: PipelinedBankedLlc::from_banked(banked, sys.bank_jobs),
                     ucp,
+                },
+                EngineKind::Serial | EngineKind::Batched if sys.bank_jobs > 1 => {
+                    Scheme::ParallelBanked {
+                        llc: ParallelBankedLlc::from_banked(banked, sys.bank_jobs),
+                        ucp,
+                    }
                 }
-            } else {
-                Scheme::Banked { llc: banked, ucp }
+                EngineKind::Serial | EngineKind::Batched => Scheme::Banked { llc: banked, ucp },
             });
         }
         let seed = sys.seed ^ 0xCAC4E;
@@ -220,6 +235,7 @@ impl Scheme {
             Scheme::Vantage(l) => Box::new(l),
             Scheme::Banked { llc, .. } => Box::new(llc),
             Scheme::ParallelBanked { llc, .. } => Box::new(llc),
+            Scheme::Pipelined { llc, .. } => Box::new(llc),
         }
     }
 
@@ -232,6 +248,7 @@ impl Scheme {
             Scheme::Vantage(l) => l,
             Scheme::Banked { llc, .. } => llc,
             Scheme::ParallelBanked { llc, .. } => llc,
+            Scheme::Pipelined { llc, .. } => llc,
         }
     }
 
@@ -244,6 +261,19 @@ impl Scheme {
             Scheme::Vantage(l) => l,
             Scheme::Banked { llc, .. } => llc,
             Scheme::ParallelBanked { llc, .. } => llc,
+            Scheme::Pipelined { llc, .. } => llc,
+        }
+    }
+
+    /// Quiesces engines that queue work between barriers: the pipelined
+    /// engine's rings drain (bank-major) so every access issued so far is
+    /// reflected in stats, sizes and snapshots. A no-op on every other
+    /// scheme. Drive loops call this before epoch repartitioning and
+    /// before checkpoints — the two points whose results must not depend
+    /// on the engine.
+    pub fn epoch_barrier(&mut self) {
+        if let Scheme::Pipelined { llc, .. } = self {
+            llc.barrier();
         }
     }
 
@@ -276,7 +306,9 @@ impl Scheme {
     pub fn uses_ucp(&self) -> bool {
         match self {
             Scheme::Baseline(_) => false,
-            Scheme::Banked { ucp, .. } | Scheme::ParallelBanked { ucp, .. } => *ucp,
+            Scheme::Banked { ucp, .. }
+            | Scheme::ParallelBanked { ucp, .. }
+            | Scheme::Pipelined { ucp, .. } => *ucp,
             _ => true,
         }
     }
@@ -286,6 +318,7 @@ impl Scheme {
         match self {
             Scheme::Banked { llc, .. } => Some(llc),
             Scheme::ParallelBanked { llc, .. } => Some(llc),
+            Scheme::Pipelined { llc, .. } => Some(llc),
             _ => None,
         }
     }
@@ -411,7 +444,7 @@ mod tests {
             let mut s = Scheme::try_build(kind, &sys).expect("valid scheme config");
             for i in 0..1000u64 {
                 s.llc_mut().access(AccessRequest::read(
-                    (i % 4) as usize,
+                    PartitionId::from_index((i % 4) as usize),
                     vantage_cache::LineAddr(i % 300),
                 ));
             }
@@ -449,7 +482,7 @@ mod tests {
                 );
                 for i in 0..2000u64 {
                     s.llc_mut().access(AccessRequest::read(
-                        (i % 4) as usize,
+                        PartitionId::from_index((i % 4) as usize),
                         vantage_cache::LineAddr(i % 600),
                     ));
                 }
@@ -468,8 +501,10 @@ mod tests {
         let mut serial = Scheme::try_build(&kind, &serial_sys).expect("valid scheme config");
         let mut par = Scheme::try_build(&kind, &par_sys).expect("valid scheme config");
         for i in 0..20_000u64 {
-            let req =
-                AccessRequest::read((i % 4) as usize, vantage_cache::LineAddr((i * 131) % 9000));
+            let req = AccessRequest::read(
+                PartitionId::from_index((i % 4) as usize),
+                vantage_cache::LineAddr((i * 131) % 9000),
+            );
             assert_eq!(serial.llc_mut().access(req), par.llc_mut().access(req));
         }
         for p in 0..4 {
@@ -477,6 +512,45 @@ mod tests {
                 serial.llc().partition_size(PartitionId::from_index(p)),
                 par.llc().partition_size(PartitionId::from_index(p))
             );
+        }
+    }
+
+    #[test]
+    fn pipelined_engine_builds_and_matches_banked() {
+        let mut serial_sys = SystemConfig::small_scale();
+        serial_sys.banks = 4;
+        let mut pipe_sys = serial_sys.clone();
+        pipe_sys.engine = EngineKind::Pipelined;
+        let kind = SchemeKind::vantage_paper();
+        for jobs in [1usize, 2] {
+            pipe_sys.bank_jobs = jobs;
+            let mut serial = Scheme::try_build(&kind, &serial_sys).expect("valid scheme config");
+            let mut pipe = Scheme::try_build(&kind, &pipe_sys).expect("valid scheme config");
+            assert!(matches!(pipe, Scheme::Pipelined { .. }));
+            assert!(pipe.uses_ucp());
+            assert_eq!(pipe.as_sharded().expect("sharded").num_banks(), 4);
+            let reqs: Vec<AccessRequest> = (0..30_000u64)
+                .map(|i| {
+                    AccessRequest::read(
+                        PartitionId::from_index((i % 4) as usize),
+                        vantage_cache::LineAddr((i * 131) % 9000),
+                    )
+                })
+                .collect();
+            let mut out_s = Vec::new();
+            let mut out_p = Vec::new();
+            for chunk in reqs.chunks(4096) {
+                serial.llc_mut().access_batch(chunk, &mut out_s);
+                pipe.llc_mut().access_batch(chunk, &mut out_p);
+            }
+            pipe.epoch_barrier();
+            assert_eq!(out_s, out_p, "jobs={jobs}");
+            for p in 0..4 {
+                assert_eq!(
+                    serial.llc().partition_size(PartitionId::from_index(p)),
+                    pipe.llc().partition_size(PartitionId::from_index(p))
+                );
+            }
         }
     }
 
@@ -564,7 +638,7 @@ mod tests {
         assert!(s.set_telemetry(Telemetry::new(Box::new(sink), 256)));
         for i in 0..4096u64 {
             s.llc_mut().access(AccessRequest::read(
-                (i % 4) as usize,
+                PartitionId::from_index((i % 4) as usize),
                 vantage_cache::LineAddr(i % 900),
             ));
         }

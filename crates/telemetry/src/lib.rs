@@ -34,12 +34,12 @@
 //! # Example
 //!
 //! ```
-//! use vantage_telemetry::{PartitionSample, RingSink, Telemetry, TelemetryEvent, TelemetryRecord};
+//! use vantage_telemetry::{PartitionId, PartitionSample, RingSink, Telemetry, TelemetryEvent, TelemetryRecord};
 //!
 //! let (sink, reader) = RingSink::with_capacity(64);
 //! let mut tele = Telemetry::new(Box::new(sink), 1024);
 //! tele.bind(2);
-//! tele.event(TelemetryEvent::Demotion { access: 7, part: 1.into() });
+//! tele.event(TelemetryEvent::Demotion { access: 7, part: PartitionId::from_index(1) });
 //! assert_eq!(reader.len(), 1);
 //! match reader.records()[0] {
 //!     TelemetryRecord::Event(TelemetryEvent::Demotion { part, .. }) => assert_eq!(part.index(), 1),
@@ -1139,8 +1139,7 @@ impl vantage_snapshot::Snapshot for Telemetry {
 mod tests {
     use super::*;
 
-    fn sample(access: u64, part: impl Into<PartitionId>) -> PartitionSample {
-        let part = part.into();
+    fn sample(access: u64, part: PartitionId) -> PartitionSample {
         PartitionSample {
             access,
             part,
@@ -1154,15 +1153,15 @@ mod tests {
 
     fn representative_records() -> Vec<TelemetryRecord> {
         vec![
-            TelemetryRecord::Sample(sample(4096, 0)),
+            TelemetryRecord::Sample(sample(4096, PartitionId::from_index(0))),
             TelemetryRecord::Sample(sample(4096, UNMANAGED_PART)),
             TelemetryRecord::Event(TelemetryEvent::Demotion {
                 access: 1,
-                part: 3.into(),
+                part: PartitionId::from_index(3),
             }),
             TelemetryRecord::Event(TelemetryEvent::Promotion {
                 access: 2,
-                part: 0.into(),
+                part: PartitionId::from_index(0),
             }),
             TelemetryRecord::Event(TelemetryEvent::Eviction {
                 access: 3,
@@ -1171,18 +1170,18 @@ mod tests {
             }),
             TelemetryRecord::Event(TelemetryEvent::Eviction {
                 access: 4,
-                part: 1.into(),
+                part: PartitionId::from_index(1),
                 forced: true,
             }),
             TelemetryRecord::Event(TelemetryEvent::SetpointAdjust {
                 access: 5,
-                part: 2.into(),
+                part: PartitionId::from_index(2),
                 direction: -1,
                 window: 127,
             }),
             TelemetryRecord::Event(TelemetryEvent::ApertureUpdate {
                 access: 6,
-                part: 2.into(),
+                part: PartitionId::from_index(2),
                 aperture: 0.5,
             }),
             TelemetryRecord::Event(TelemetryEvent::Scrub {
@@ -1191,12 +1190,12 @@ mod tests {
             }),
             TelemetryRecord::Event(TelemetryEvent::PartitionCreated {
                 access: 8,
-                part: 40.into(),
+                part: PartitionId::from_index(40),
                 target: 2048,
             }),
             TelemetryRecord::Event(TelemetryEvent::PartitionDestroyed {
                 access: 9,
-                part: 40.into(),
+                part: PartitionId::from_index(40),
             }),
         ]
     }
@@ -1207,7 +1206,7 @@ mod tests {
         for i in 0..10u64 {
             sink.record_event(&TelemetryEvent::Demotion {
                 access: i,
-                part: 0.into(),
+                part: PartitionId::from_index(0),
             });
         }
         assert_eq!(reader.len(), 4);
@@ -1248,9 +1247,9 @@ mod tests {
         let mut sink = CsvSink::new(Vec::new());
         sink.record_event(&TelemetryEvent::Demotion {
             access: 1,
-            part: 0.into(),
+            part: PartitionId::from_index(0),
         });
-        sink.record_sample(&sample(2, 1));
+        sink.record_sample(&sample(2, PartitionId::from_index(1)));
         sink.flush();
         let text = String::from_utf8(sink.w.clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -1284,7 +1283,7 @@ mod tests {
         assert_eq!(sink.io_error(), None);
         sink.record_event(&TelemetryEvent::Demotion {
             access: 1,
-            part: 0.into(),
+            part: PartitionId::from_index(0),
         });
         let err = sink.io_error().expect("write failure surfaced");
         assert!(err.contains("pipe closed"), "{err}");
@@ -1310,7 +1309,7 @@ mod tests {
         let mut tagged = shared.with_bank(3);
         tagged.record_event(&TelemetryEvent::Demotion {
             access: 2,
-            part: 1.into(),
+            part: PartitionId::from_index(1),
         });
         assert!(tagged.io_error().is_some());
 
@@ -1342,11 +1341,11 @@ mod tests {
         assert!(tele.enabled());
         tele.event(TelemetryEvent::Demotion {
             access: 1,
-            part: 0.into(),
+            part: PartitionId::from_index(0),
         });
         tele.event(TelemetryEvent::Demotion {
             access: 2,
-            part: 0.into(),
+            part: PartitionId::from_index(0),
         });
         tele.event(TelemetryEvent::Eviction {
             access: 3,
@@ -1355,12 +1354,12 @@ mod tests {
         });
         tele.event(TelemetryEvent::Promotion {
             access: 4,
-            part: 0.into(),
+            part: PartitionId::from_index(0),
         }); // not churn
         assert!(!tele.sample_due(7));
         assert!(tele.sample_due(8));
-        tele.sample(sample(8, 0));
-        tele.sample(sample(8, 1));
+        tele.sample(sample(8, PartitionId::from_index(0)));
+        tele.sample(sample(8, PartitionId::from_index(1)));
         tele.sample(sample(8, UNMANAGED_PART));
         let churns: Vec<(PartitionId, u64)> = reader
             .records()
@@ -1372,11 +1371,15 @@ mod tests {
             .collect();
         assert_eq!(
             churns,
-            vec![(0.into(), 2), (1.into(), 0), (UNMANAGED_PART, 1)]
+            vec![
+                (PartitionId::from_index(0), 2),
+                (PartitionId::from_index(1), 0),
+                (UNMANAGED_PART, 1)
+            ]
         );
         // Meters reset after sampling.
         assert!(tele.sample_due(16));
-        tele.sample(sample(16, 0));
+        tele.sample(sample(16, PartitionId::from_index(0)));
         let last = reader.records();
         match last.last().unwrap() {
             TelemetryRecord::Sample(s) => assert_eq!(s.churn, 0),
@@ -1404,10 +1407,10 @@ mod tests {
         tele.bind(4);
         tele.event(TelemetryEvent::Demotion {
             access: 1,
-            part: 0.into(),
+            part: PartitionId::from_index(0),
         });
         assert!(!tele.sample_due(u64::MAX - 1));
-        tele.sample(sample(1, 0));
+        tele.sample(sample(1, PartitionId::from_index(0)));
         tele.flush();
     }
 
@@ -1419,13 +1422,13 @@ mod tests {
         let mut bank1 = shared.with_bank(1);
         bank0.record_event(&TelemetryEvent::Demotion {
             access: 1,
-            part: 2.into(),
+            part: PartitionId::from_index(2),
         });
         bank1.record_event(&TelemetryEvent::Promotion {
             access: 2,
-            part: 0.into(),
+            part: PartitionId::from_index(0),
         });
-        bank0.record_sample(&sample(3, 0));
+        bank0.record_sample(&sample(3, PartitionId::from_index(0)));
         assert_eq!(reader.len(), 3, "all clones reach the shared backend");
     }
 
@@ -1435,18 +1438,18 @@ mod tests {
         sink.set_bank(Some(3));
         sink.record_event(&TelemetryEvent::Demotion {
             access: 1,
-            part: 2.into(),
+            part: PartitionId::from_index(2),
         });
         sink.record_event(&TelemetryEvent::Eviction {
             access: 2,
-            part: 0.into(),
+            part: PartitionId::from_index(0),
             forced: true,
         });
-        sink.record_sample(&sample(3, 1));
+        sink.record_sample(&sample(3, PartitionId::from_index(1)));
         sink.set_bank(None);
         sink.record_event(&TelemetryEvent::Promotion {
             access: 4,
-            part: 0.into(),
+            part: PartitionId::from_index(0),
         });
         sink.flush();
         let text = String::from_utf8(sink.w.clone()).unwrap();
@@ -1460,12 +1463,15 @@ mod tests {
             from_csv_row(lines[0]),
             Some(TelemetryRecord::Event(TelemetryEvent::Demotion {
                 access: 1,
-                part: 2.into()
+                part: PartitionId::from_index(2)
             }))
         );
         assert_eq!(
             from_csv_row(lines[2]),
-            Some(TelemetryRecord::Sample(sample(3, 1)))
+            Some(TelemetryRecord::Sample(sample(
+                3,
+                PartitionId::from_index(1)
+            )))
         );
     }
 
@@ -1477,7 +1483,7 @@ mod tests {
             access: 9,
             repairs: 0,
         });
-        sink.record_sample(&sample(10, 0));
+        sink.record_sample(&sample(10, PartitionId::from_index(0)));
         sink.flush();
         let text = String::from_utf8(sink.w.clone()).unwrap();
         for line in text.lines() {
@@ -1491,7 +1497,7 @@ mod tests {
                     access: 9,
                     repairs: 0
                 }),
-                TelemetryRecord::Sample(sample(10, 0)),
+                TelemetryRecord::Sample(sample(10, PartitionId::from_index(0))),
             ]
         );
     }
@@ -1503,7 +1509,7 @@ mod tests {
         let mut tagged = shared.with_bank(1);
         tagged.record_event(&TelemetryEvent::Demotion {
             access: 5,
-            part: 0.into(),
+            part: PartitionId::from_index(0),
         });
         let shared = match shared.try_unwrap() {
             Err(s) => s,
@@ -1517,7 +1523,7 @@ mod tests {
             reader.records(),
             vec![TelemetryRecord::Event(TelemetryEvent::Demotion {
                 access: 5,
-                part: 0.into()
+                part: PartitionId::from_index(0)
             })]
         );
     }
@@ -1531,7 +1537,7 @@ mod tests {
         let mut sink = sink.expect("sink present");
         sink.record_event(&TelemetryEvent::Demotion {
             access: 1,
-            part: 0.into(),
+            part: PartitionId::from_index(0),
         });
         assert_eq!(reader.len(), 1);
         let (none, period) = Telemetry::disabled().into_parts();
@@ -1549,6 +1555,6 @@ mod tests {
             repairs: 0,
         });
         assert!(tele.sample_due(DEFAULT_SAMPLE_PERIOD));
-        tele.sample(sample(2, 0));
+        tele.sample(sample(2, PartitionId::from_index(0)));
     }
 }

@@ -9,10 +9,9 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vantage_partitioning::PartitionId;
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::{AccessRequest, Llc};
+use vantage_repro::partitioning::{AccessRequest, Llc, PartitionId};
 
 const LINES: usize = 16 * 1024; // 1 MB
 const STORE_LINES: u64 = 3_000; // ~190 KB scratchpad
@@ -27,7 +26,10 @@ fn main() {
     // --- Phase 1: allocate the local store and load it. ---
     llc.set_targets(&[LINES as u64 - STORE_LINES - 512, STORE_LINES + 512]);
     for i in 0..STORE_LINES {
-        llc.access(AccessRequest::read(1, (0x5_0000_0000u64 + i).into()));
+        llc.access(AccessRequest::read(
+            PartitionId::from_index(1),
+            (0x5_0000_0000u64 + i).into(),
+        ));
     }
     println!(
         "local store loaded: {} lines resident",
@@ -37,13 +39,16 @@ fn main() {
     // --- Phase 2: heavy regular traffic; the store must stay resident. ---
     for _ in 0..1_500_000u64 {
         llc.access(AccessRequest::read(
-            0,
+            PartitionId::from_index(0),
             (0x9_0000_0000u64 + rng.gen_range(0..100_000u64)).into(),
         ));
     }
     let misses_before = llc.stats().misses[1];
     for i in 0..STORE_LINES {
-        llc.access(AccessRequest::read(1, (0x5_0000_0000u64 + i).into()));
+        llc.access(AccessRequest::read(
+            PartitionId::from_index(1),
+            (0x5_0000_0000u64 + i).into(),
+        ));
     }
     let store_misses = llc.stats().misses[1] - misses_before;
     println!(
@@ -60,7 +65,7 @@ fn main() {
     llc.set_targets(&[LINES as u64, 0]);
     for _ in 0..1_500_000u64 {
         llc.access(AccessRequest::read(
-            0,
+            PartitionId::from_index(0),
             (0x9_0000_0000u64 + rng.gen_range(0..100_000u64)).into(),
         ));
     }

@@ -5,10 +5,9 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vantage_partitioning::PartitionId;
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::{AccessRequest, Llc};
+use vantage_repro::partitioning::{AccessRequest, Llc, PartitionId};
 
 fn main() {
     // A 2 MB last-level cache: 32768 64-byte lines, as a Z4/52 zcache
@@ -27,7 +26,7 @@ fn main() {
         let part = (i % 2) as usize;
         let base = (part as u64 + 1) << 40;
         llc.access(AccessRequest::read(
-            part,
+            PartitionId::from_index(part),
             (base + rng.gen_range(0..200_000u64)).into(),
         ));
     }
@@ -36,7 +35,7 @@ fn main() {
     for p in 0..2 {
         println!(
             "    {p}     |     {:>6}     |     {:>6}",
-            llc.partition_target(p),
+            llc.partition_target(PartitionId::from_index(p)),
             llc.partition_size(PartitionId::from_index(p))
         );
     }

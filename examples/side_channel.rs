@@ -12,7 +12,7 @@
 
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::{AccessRequest, BaselineLlc, Llc, RankPolicy};
+use vantage_repro::partitioning::{AccessRequest, BaselineLlc, Llc, PartitionId, RankPolicy};
 
 const LINES: usize = 8 * 1024;
 const PRIME_LINES: u64 = 4 * 1024;
@@ -20,8 +20,8 @@ const PRIME_LINES: u64 = 4 * 1024;
 /// Primes the attacker's lines, lets the victim run, then probes and counts
 /// attacker misses (the side-channel signal).
 fn prime_probe(llc: &mut dyn Llc, victim_accesses: u64) -> u64 {
-    let attacker = 0usize;
-    let victim = 1usize;
+    let attacker = PartitionId::from_index(0);
+    let victim = PartitionId::from_index(1);
 
     // Prime: load the attacker's monitoring set.
     for i in 0..PRIME_LINES {
@@ -42,11 +42,11 @@ fn prime_probe(llc: &mut dyn Llc, victim_accesses: u64) -> u64 {
     }
 
     // Probe: attacker misses reveal victim-induced evictions.
-    let before = llc.stats().misses[attacker];
+    let before = llc.stats().misses[attacker.index()];
     for i in 0..PRIME_LINES {
         llc.access(AccessRequest::read(attacker, (0x1_0000_0000u64 + i).into()));
     }
-    llc.stats().misses[attacker] - before
+    llc.stats().misses[attacker.index()] - before
 }
 
 fn main() {

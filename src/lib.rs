@@ -24,14 +24,14 @@
 //! ```
 //! use vantage_repro::cache::ZArray;
 //! use vantage_repro::core::{VantageConfig, VantageLlc};
-//! use vantage_repro::partitioning::{AccessRequest, Llc};
+//! use vantage_repro::partitioning::{AccessRequest, Llc, PartitionId};
 //!
 //! // A 4096-line Z4/52 zcache, partitioned in two with Vantage.
 //! let array = ZArray::new(4096, 4, 52, 1);
 //! let mut llc = VantageLlc::try_new(Box::new(array), 2, VantageConfig::default(), 1)
 //!     .expect("valid Vantage config");
 //! llc.set_targets(&[3000, 896]);
-//! llc.access(AccessRequest::read(0, 0x100.into()));
+//! llc.access(AccessRequest::read(PartitionId::from_index(0), 0x100.into()));
 //! ```
 
 pub use vantage as core;

@@ -26,7 +26,7 @@ fn drive(llc: &mut VantageLlc, part: usize, working_set: u64, n: u64, rng: &mut 
     let base = (part as u64 + 1) << 40;
     for _ in 0..n {
         llc.access(AccessRequest::read(
-            part,
+            PartitionId::from_index(part),
             LineAddr(base + rng.gen_range(0..working_set)),
         ));
     }
@@ -60,7 +60,7 @@ fn assert_reconverged(llc: &mut VantageLlc, rng: &mut SmallRng, accesses: u64) {
     }
     llc.invariants().expect("invariants hold");
     for p in 0..parts {
-        let t = llc.partition_target(p) as f64;
+        let t = llc.partition_target(PartitionId::from_index(p)) as f64;
         let s = llc.partition_size(PartitionId::from_index(p)) as f64;
         assert!(
             s >= t * 0.85 && s <= t * 1.25,
@@ -185,7 +185,10 @@ fn churn_burst_interference_is_bounded() {
     for step in 0..100_000u64 {
         if let Some(Fault::ChurnBurst { accesses, .. }) = plan.poll(step) {
             for _ in 0..accesses.min(2_000) {
-                llc.access(AccessRequest::read(1, LineAddr((7u64 << 40) + next_addr)));
+                llc.access(AccessRequest::read(
+                    PartitionId::from_index(1),
+                    LineAddr((7u64 << 40) + next_addr),
+                ));
                 next_addr += 1;
                 burst_accesses += 1;
             }
@@ -239,7 +242,7 @@ fn continuous_fault_storm_with_periodic_scrub_survives() {
     // of its targets (the storm corrupts state strictly slower than the
     // scrubber repairs it).
     for p in 0..2 {
-        let t = llc.partition_target(p) as f64;
+        let t = llc.partition_target(PartitionId::from_index(p)) as f64;
         let s = llc.partition_size(PartitionId::from_index(p)) as f64;
         assert!(
             s > t * 0.5 && s < t * 1.6,

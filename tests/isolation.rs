@@ -16,17 +16,29 @@ const LINES: usize = 8 * 1024;
 /// then measures how many of partition 0's re-read accesses miss.
 fn victim_misses(llc: &mut dyn Llc, ws: u64) -> u64 {
     for i in 0..ws {
-        llc.access(AccessRequest::read(0, (0x10_0000u64 + i).into()));
+        llc.access(AccessRequest::read(
+            PartitionId::from_index(0),
+            (0x10_0000u64 + i).into(),
+        ));
     }
     for i in 0..ws {
-        llc.access(AccessRequest::read(0, (0x10_0000u64 + i).into()));
+        llc.access(AccessRequest::read(
+            PartitionId::from_index(0),
+            (0x10_0000u64 + i).into(),
+        ));
     }
     for i in 0..600_000u64 {
-        llc.access(AccessRequest::read(1, (0x99_0000_0000u64 + i).into()));
+        llc.access(AccessRequest::read(
+            PartitionId::from_index(1),
+            (0x99_0000_0000u64 + i).into(),
+        ));
     }
     let before = llc.stats().misses[0];
     for i in 0..ws {
-        llc.access(AccessRequest::read(0, (0x10_0000u64 + i).into()));
+        llc.access(AccessRequest::read(
+            PartitionId::from_index(0),
+            (0x10_0000u64 + i).into(),
+        ));
     }
     llc.stats().misses[0] - before
 }
@@ -114,7 +126,7 @@ fn partitions_bound_sizes_even_with_32_uneven_partitions() {
         let p = (i % parts as u64) as usize;
         let base = (p as u64 + 1) << 40;
         llc.access(AccessRequest::read(
-            p,
+            PartitionId::from_index(p),
             (base + rng.gen_range(0..50_000u64)).into(),
         ));
     }
@@ -123,7 +135,7 @@ fn partitions_bound_sizes_even_with_32_uneven_partitions() {
     // MSS bound (Eq. 6): total borrowed ≈ 1/(A_max·R) of the cache.
     let mss_total = LINES as f64 / (0.5 * 52.0);
     for p in 0..parts {
-        let t = llc.partition_target(p) as f64;
+        let t = llc.partition_target(PartitionId::from_index(p)) as f64;
         let s = llc.partition_size(PartitionId::from_index(p)) as f64;
         assert!(
             s <= t * 1.15 + mss_total,

@@ -3,11 +3,10 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vantage_partitioning::PartitionId;
 use vantage_repro::cache::ZArray;
 use vantage_repro::core::model::sizing;
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::{AccessRequest, Llc};
+use vantage_repro::partitioning::{AccessRequest, Llc, PartitionId};
 
 fn churn(llc: &mut VantageLlc, parts: usize, accesses: u64, seed: u64) {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -15,7 +14,7 @@ fn churn(llc: &mut VantageLlc, parts: usize, accesses: u64, seed: u64) {
         let p = (i % parts as u64) as usize;
         let base = (p as u64 + 1) << 40;
         llc.access(AccessRequest::read(
-            p,
+            PartitionId::from_index(p),
             (base + rng.gen_range(0..100_000u64)).into(),
         ));
     }
@@ -67,7 +66,8 @@ fn feedback_outgrowth_respects_eq9() {
     llc.invariants().expect("invariants hold");
     let outgrowth: f64 = (0..4)
         .map(|p| {
-            (llc.partition_size(PartitionId::from_index(p)) as f64 - llc.partition_target(p) as f64)
+            (llc.partition_size(PartitionId::from_index(p)) as f64
+                - llc.partition_target(PartitionId::from_index(p)) as f64)
                 .max(0.0)
         })
         .sum();
@@ -92,12 +92,15 @@ fn minimum_stable_size_bounded_by_eq5() {
     let mut rng = SmallRng::seed_from_u64(11);
     for _ in 0..40_000 {
         llc.access(AccessRequest::read(
-            1,
+            PartitionId::from_index(1),
             ((2u64 << 40) + rng.gen_range(0..7_000u64)).into(),
         ));
     }
     for i in 0..1_500_000u64 {
-        llc.access(AccessRequest::read(0, ((1u64 << 40) + i).into()));
+        llc.access(AccessRequest::read(
+            PartitionId::from_index(0),
+            ((1u64 << 40) + i).into(),
+        ));
     }
     llc.invariants().expect("invariants hold");
     let mss_lines = cap as f64 / (0.5 * 52.0); // ≈ 1/(A_max·R) of the cache
@@ -124,13 +127,16 @@ fn unmanaged_region_absorbs_borrowing_without_interference() {
     // Quiet partner loads a set well under its target.
     for _ in 0..60_000 {
         llc.access(AccessRequest::read(
-            1,
+            PartitionId::from_index(1),
             ((2u64 << 40) + rng.gen_range(0..3_000u64)).into(),
         ));
     }
     let quiet_before = llc.partition_size(PartitionId::from_index(1));
     for i in 0..1_200_000u64 {
-        llc.access(AccessRequest::read(0, ((1u64 << 40) + i).into()));
+        llc.access(AccessRequest::read(
+            PartitionId::from_index(0),
+            ((1u64 << 40) + i).into(),
+        ));
     }
     let quiet_after = llc.partition_size(PartitionId::from_index(1));
     assert!(

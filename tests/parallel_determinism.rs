@@ -11,7 +11,7 @@ use vantage_partitioning::PartitionId;
 use vantage_repro::cache::{LineAddr, ZArray};
 use vantage_repro::core::{VantageConfig, VantageLlc};
 use vantage_repro::partitioning::{
-    AccessOutcome, AccessRequest, BankedLlc, Llc, ParallelBankedLlc,
+    AccessOutcome, AccessRequest, BankedLlc, Llc, ParallelBankedLlc, PipelinedBankedLlc,
 };
 use vantage_repro::sim::{Scheme, SchemeKind, SystemConfig};
 use vantage_repro::telemetry::{RingSink, Telemetry};
@@ -31,9 +31,9 @@ fn mixed_trace(n: u64, seed: u64) -> Vec<AccessRequest> {
             let base = (p as u64 + 1) << 40;
             let addr = LineAddr(base + rng.gen_range(0..(FRAMES as u64 / 2)));
             if rng.gen_ratio(1, 4) {
-                AccessRequest::write(p, addr)
+                AccessRequest::write(PartitionId::from_index(p), addr)
             } else {
-                AccessRequest::read(p, addr)
+                AccessRequest::read(PartitionId::from_index(p), addr)
             }
         })
         .collect()
@@ -154,6 +154,54 @@ fn parallel_engine_matches_serial_at_every_worker_count() {
     }
 }
 
+/// Drives a pipelined ring engine through `access_batch` in uneven chunks
+/// with telemetry attached — each chunk is ingested into the per-bank rings
+/// and drained bank-major, so this exercises the full shard/queue/drain
+/// path, not just the serial fallback.
+fn run_pipelined(mut llc: PipelinedBankedLlc, reqs: &[AccessRequest]) -> Observed {
+    let (sink, reader) = RingSink::with_capacity(1 << 20);
+    assert!(llc.set_telemetry(Telemetry::new(Box::new(sink), 512)));
+    let mut outcomes = Vec::with_capacity(reqs.len());
+    for chunk in reqs.chunks(997) {
+        llc.access_batch(chunk, &mut outcomes);
+    }
+    llc.take_telemetry();
+    observe(&mut llc, outcomes, || {
+        reader.records().iter().map(|r| format!("{r:?}")).collect()
+    })
+}
+
+/// The pipelined ring engine holds the same contract at every worker
+/// count, including more workers than the host has cores: bank-major
+/// service preserves per-bank FIFO order, so outcomes, stats, sizes and
+/// the telemetry multiset replay the serial reference bit-for-bit.
+#[test]
+fn pipelined_engine_matches_serial_at_every_worker_count() {
+    let reqs = mixed_trace(120_000, 0xD15C);
+    let reference = run_serial(build_banked(9), &reqs);
+
+    for jobs in [1, 2, 4, 8] {
+        let pipe = PipelinedBankedLlc::from_banked(build_banked(9), jobs);
+        let got = run_pipelined(pipe, &reqs);
+        assert_eq!(
+            got.outcomes, reference.outcomes,
+            "outcome stream diverged at {jobs} pipelined workers"
+        );
+        assert_eq!(
+            got.stats, reference.stats,
+            "stats diverged at {jobs} pipelined workers"
+        );
+        assert_eq!(
+            got.sizes, reference.sizes,
+            "sizes diverged at {jobs} pipelined workers"
+        );
+        assert_eq!(
+            got.telemetry, reference.telemetry,
+            "telemetry record multiset diverged at {jobs} pipelined workers"
+        );
+    }
+}
+
 /// The same equivalence holds for engines built through the `Scheme`
 /// builder (the path simulations actually take): a banked machine with a
 /// worker pool must replay the serial banked machine exactly.
@@ -195,6 +243,32 @@ fn builder_parallel_scheme_matches_builder_serial_scheme() {
             format!("{:?}", scheme.llc_mut().stats_mut()),
             ref_stats,
             "stats diverged at {jobs} workers"
+        );
+    }
+
+    // The pipelined engine selected through the same builder surface also
+    // replays the serial machine, with and without worker threads.
+    for jobs in [1, 2] {
+        let mut scheme = Scheme::builder(SchemeKind::vantage_paper(), sys.clone())
+            .banks(BANKS)
+            .bank_jobs(jobs)
+            .engine(vantage_repro::core::EngineKind::Pipelined)
+            .try_build()
+            .expect("valid scheme config");
+        assert!(matches!(scheme, Scheme::Pipelined { .. }));
+        let mut outcomes = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(777) {
+            scheme.llc_mut().access_batch(chunk, &mut outcomes);
+        }
+        scheme.epoch_barrier();
+        assert_eq!(
+            outcomes, ref_outcomes,
+            "outcomes diverged on the pipelined engine at {jobs} workers"
+        );
+        assert_eq!(
+            format!("{:?}", scheme.llc_mut().stats_mut()),
+            ref_stats,
+            "stats diverged on the pipelined engine at {jobs} workers"
         );
     }
 }

@@ -6,7 +6,7 @@ use vantage_repro::core::controller::ThresholdTable;
 use vantage_repro::core::model::{assoc, managed, sizing};
 use vantage_repro::core::{VantageConfig, VantageLlc};
 use vantage_repro::partitioning::llc::ways_from_targets;
-use vantage_repro::partitioning::{AccessRequest, Llc};
+use vantage_repro::partitioning::{AccessRequest, Llc, PartitionId};
 use vantage_repro::ucp::{interpolate_curve, lookahead};
 
 proptest! {
@@ -303,7 +303,7 @@ proptest! {
             for _ in 0..accesses {
                 let p = rng.gen_range(0..3usize);
                 let base = (p as u64 + 1) << 40;
-                llc.access(AccessRequest::read(p, LineAddr(base + rng.gen_range(0..5_000u64))));
+                llc.access(AccessRequest::read(PartitionId::from_index(p), LineAddr(base + rng.gen_range(0..5_000u64))));
             }
             llc.invariants().expect("invariants hold");
         }
@@ -450,7 +450,7 @@ proptest! {
             .iter()
             .map(|&(p, a, kind)| {
                 let addr = LineAddr(((p as u64 + 1) << 40) + a);
-                if kind == 0 { AccessRequest::write(p, addr) } else { AccessRequest::read(p, addr) }
+                if kind == 0 { AccessRequest::write(PartitionId::from_index(p), addr) } else { AccessRequest::read(PartitionId::from_index(p), addr) }
             })
             .collect();
         let mut sys = SystemConfig::small_scale();
@@ -462,14 +462,23 @@ proptest! {
             SchemeKind::Pipp,
             SchemeKind::vantage_paper(),
         ];
-        // Every kind is also exercised sharded (serial and worker-pool).
-        let machines = [(1usize, 1usize), (4, 1), (4, 2)];
+        // Every kind is also exercised sharded (serial worker-pool, and the
+        // pipelined ring engine with and without worker threads).
+        use vantage_repro::core::EngineKind;
+        let machines = [
+            (1usize, 1usize, EngineKind::Batched),
+            (4, 1, EngineKind::Batched),
+            (4, 2, EngineKind::Batched),
+            (4, 1, EngineKind::Pipelined),
+            (4, 2, EngineKind::Pipelined),
+        ];
         for kind in &kinds {
-            for &(banks, jobs) in &machines {
+            for &(banks, jobs, engine) in &machines {
                 let build = || {
                     Scheme::builder(kind.clone(), sys.clone())
                         .banks(banks)
                         .bank_jobs(jobs)
+                        .engine(engine)
                         .try_build().expect("valid scheme config")
                 };
                 let mut one = build();
@@ -490,5 +499,171 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The pipelined ring engine is observationally identical to the
+    /// serial banked engine under adversarial window schedules — empty
+    /// windows, single-request windows, non-divisible window and staging-
+    /// batch sizes, tiny ring capacities (forcing inline backpressure
+    /// drains), and tenant churn landing *mid-window* while work is still
+    /// queued in the rings. Outcomes are checked per bank via the engine's
+    /// own FNV digests against a reference fold of the serial outcome
+    /// stream; statistics, partition sizes and the telemetry record
+    /// multiset must match exactly.
+    #[test]
+    fn pipelined_rings_match_serial_under_windows_and_churn(
+        seed in 0u64..400,
+        jobs in 1usize..3,
+        batch in 1usize..7,
+        ring_cap in 1usize..4,
+        windows in prop::collection::vec(0usize..50, 4..20),
+        ops in prop::collection::vec((0usize..4, 0u64..2000, 0u32..4), 150..500),
+        churn in prop::collection::vec((0usize..500, 0u64..128), 0..4),
+    ) {
+        use vantage_repro::partitioning::{
+            pipeline::DIGEST_SEED, BankedLlc, PartitionSpec, PipelinedBankedLlc, Sharded,
+        };
+        use vantage_repro::telemetry::{RingSink, Telemetry};
+
+        const BANKS: usize = 4;
+        const FRAMES: usize = 2048;
+        let fnv = |h: u64, x: u64| (h ^ x).wrapping_mul(0x0000_0100_0000_01B3);
+        let build = || {
+            let banks = (0..BANKS)
+                .map(|b| {
+                    Box::new(VantageLlc::try_new(
+                        Box::new(ZArray::new(FRAMES / BANKS, 4, 52, seed ^ (b as u64 + 1))),
+                        4,
+                        VantageConfig::default(),
+                        seed ^ ((b as u64) << 8),
+                    ).expect("valid Vantage config")) as Box<dyn Llc>
+                })
+                .collect();
+            let mut llc = BankedLlc::try_new(banks, seed ^ 0xBA2C).expect("valid bank set");
+            llc.set_targets(&[(FRAMES / 4) as u64; 4]);
+            llc
+        };
+        let reqs: Vec<AccessRequest> = ops
+            .iter()
+            .map(|&(p, a, kind)| {
+                let addr = LineAddr(((p as u64 + 1) << 40) + a);
+                if kind == 0 {
+                    AccessRequest::write(PartitionId::from_index(p), addr)
+                } else {
+                    AccessRequest::read(PartitionId::from_index(p), addr)
+                }
+            })
+            .collect();
+        // Churn schedule: at request index `at`, create a fresh partition
+        // (alternating with destroying the most recent churn-created one).
+        // Traffic only ever targets partitions 0..4, so destroyed
+        // partitions are never accessed afterwards.
+        let mut churn: Vec<(usize, u64)> = churn;
+        churn.retain(|&(at, _)| at < reqs.len());
+        churn.sort_unstable();
+        churn.dedup_by_key(|&mut (at, _)| at);
+        // An all-empty window schedule would never make progress; keep the
+        // empty windows (they are an edge case under test) but guarantee
+        // at least one request moves per cycle.
+        let mut windows = windows;
+        if windows.iter().sum::<usize>() == 0 {
+            windows.push(3);
+        }
+
+        // Serial reference: per-access service, churn applied between
+        // accesses, per-bank digests folded from the outcome stream.
+        let mut serial = build();
+        let (sink_s, reader_s) = RingSink::with_capacity(1 << 18);
+        prop_assert!(serial.set_telemetry(Telemetry::new(Box::new(sink_s), 256)));
+        let mut ref_digests = [DIGEST_SEED; BANKS];
+        let mut ref_lifecycle: Vec<String> = Vec::new();
+        let mut ref_created: Vec<PartitionId> = Vec::new();
+        {
+            let mut churn_it = churn.iter().peekable();
+            for (i, &r) in reqs.iter().enumerate() {
+                while let Some(&&(at, target)) = churn_it.peek() {
+                    if at > i { break; }
+                    churn_it.next();
+                    if ref_created.is_empty() {
+                        let got = serial.create_partition(PartitionSpec::with_target(target));
+                        if let Ok(id) = got { ref_created.push(id); }
+                        ref_lifecycle.push(format!("{got:?}"));
+                    } else {
+                        let id = ref_created.pop().unwrap();
+                        ref_lifecycle.push(format!("{:?}", serial.destroy_partition(id)));
+                    }
+                }
+                let b = serial.bank_of(r.addr);
+                let o = serial.access(r);
+                ref_digests[b] = fnv(ref_digests[b], o.is_hit() as u64);
+            }
+        }
+        serial.take_telemetry();
+        let ref_stats = format!("{:?}", serial.stats_mut());
+        let ref_sizes: Vec<u64> = (0..serial.num_partitions())
+            .map(|p| serial.partition_size(PartitionId::from_index(p)))
+            .collect();
+        let mut ref_tele: Vec<String> =
+            reader_s.records().iter().map(|r| format!("{r:?}")).collect();
+        ref_tele.sort_unstable();
+
+        // Pipelined run: the same stream fed through `run_window` in the
+        // generated window sizes; churn ops land wherever they fall —
+        // including while prior windows are still queued in the rings
+        // (the lifecycle barrier must drain them first).
+        let mut pipe = PipelinedBankedLlc::from_banked(build(), jobs)
+            .with_batch_size(batch)
+            .with_ring_capacity(ring_cap);
+        let (sink_p, reader_p) = RingSink::with_capacity(1 << 18);
+        prop_assert!(pipe.set_telemetry(Telemetry::new(Box::new(sink_p), 256)));
+        {
+            let mut lifecycle: Vec<String> = Vec::new();
+            let mut created: Vec<PartitionId> = Vec::new();
+            let mut churn_it = churn.iter().peekable();
+            let mut served = 0usize;
+            let mut wi = 0usize;
+            while served < reqs.len() {
+                let want = windows[wi % windows.len()];
+                wi += 1;
+                let mut end = (served + want).min(reqs.len());
+                // A churn op inside this window splits it: requests before
+                // the op are ingested (queued, not necessarily served),
+                // then the lifecycle call fires mid-window.
+                if let Some(&&(at, _)) = churn_it.peek() {
+                    if at < end { end = at.max(served); }
+                }
+                pipe.run_window(&reqs[served..end]);
+                served = end;
+                while let Some(&&(at, target)) = churn_it.peek() {
+                    if at > served { break; }
+                    churn_it.next();
+                    if created.is_empty() {
+                        let got = pipe.create_partition(PartitionSpec::with_target(target));
+                        if let Ok(id) = got { created.push(id); }
+                        lifecycle.push(format!("{got:?}"));
+                    } else {
+                        let id = created.pop().unwrap();
+                        lifecycle.push(format!("{:?}", pipe.destroy_partition(id)));
+                    }
+                }
+            }
+            pipe.barrier();
+            prop_assert_eq!(&lifecycle, &ref_lifecycle, "lifecycle results diverged");
+        }
+        pipe.take_telemetry();
+        prop_assert_eq!(pipe.bank_digests(), &ref_digests[..], "per-bank outcome digests diverged");
+        prop_assert_eq!(format!("{:?}", pipe.stats_mut()), ref_stats, "stats diverged");
+        let sizes: Vec<u64> = (0..pipe.num_partitions())
+            .map(|p| pipe.partition_size(PartitionId::from_index(p)))
+            .collect();
+        prop_assert_eq!(sizes, ref_sizes, "partition sizes diverged");
+        let mut tele: Vec<String> =
+            reader_p.records().iter().map(|r| format!("{r:?}")).collect();
+        tele.sort_unstable();
+        prop_assert_eq!(tele, ref_tele, "telemetry record multiset diverged");
     }
 }

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use vantage_repro::cache::{LineAddr, ZArray};
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::{AccessRequest, Llc};
+use vantage_repro::partitioning::{AccessRequest, Llc, PartitionId};
 use vantage_repro::telemetry::{NullSink, Telemetry};
 
 struct CountingAlloc;
@@ -64,7 +64,10 @@ fn nullsink_miss_path_is_allocation_free() {
         let r = xorshift(&mut state);
         let p = (r % 4) as usize;
         let base = ((p as u64) + 1) << 40;
-        llc.access(AccessRequest::read(p, LineAddr(base + (r >> 8) % 1024)));
+        llc.access(AccessRequest::read(
+            PartitionId::from_index(p),
+            LineAddr(base + (r >> 8) % 1024),
+        ));
     }
 
     let before = ALLOCATIONS.load(Ordering::SeqCst);
@@ -72,7 +75,10 @@ fn nullsink_miss_path_is_allocation_free() {
         let r = xorshift(&mut state);
         let p = (r % 4) as usize;
         let base = ((p as u64) + 1) << 40;
-        llc.access(AccessRequest::read(p, LineAddr(base + (r >> 8) % 1024)));
+        llc.access(AccessRequest::read(
+            PartitionId::from_index(p),
+            LineAddr(base + (r >> 8) % 1024),
+        ));
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(

@@ -6,7 +6,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vantage_repro::cache::{LineAddr, SetAssocArray, ZArray};
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::{AccessRequest, BaselineLlc, Llc, RankPolicy};
+use vantage_repro::partitioning::{AccessRequest, BaselineLlc, Llc, PartitionId, RankPolicy};
 use vantage_repro::telemetry::{
     from_csv_row, from_json_line, CsvSink, JsonSink, RingSink, Telemetry, TelemetryRecord,
     CSV_HEADER, UNMANAGED_PART,
@@ -19,7 +19,7 @@ fn drive(llc: &mut VantageLlc, accesses: u64, rng: &mut SmallRng) {
         let p = (rng.gen::<u32>() % 2) as usize;
         let base = ((p as u64) + 1) << 40;
         llc.access(AccessRequest::read(
-            p,
+            PartitionId::from_index(p),
             LineAddr(base + rng.gen_range(0..6000u64)),
         ));
     }
@@ -138,7 +138,7 @@ fn json_trace_round_trips_through_a_file() {
         let p = (rng.gen::<u32>() % 2) as usize;
         let base = ((p as u64) + 1) << 40;
         llc.access(AccessRequest::read(
-            p,
+            PartitionId::from_index(p),
             LineAddr(base + rng.gen_range(0..3000u64)),
         ));
     }
@@ -180,7 +180,7 @@ fn baseline_csv_trace_parses_row_by_row() {
         let p = (rng.gen::<u32>() % 2) as usize;
         let base = ((p as u64) + 1) << 40;
         llc.access(AccessRequest::read(
-            p,
+            PartitionId::from_index(p),
             LineAddr(base + rng.gen_range(0..3000u64)),
         ));
     }
