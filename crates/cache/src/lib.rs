@@ -44,6 +44,7 @@
 
 pub mod array;
 pub mod hash;
+pub mod ownership;
 pub mod part_id;
 pub mod random_array;
 pub mod replacement;
@@ -56,6 +57,7 @@ pub use array::{
     prefetch_slice, CacheArray, Frame, LineAddr, Walk, WalkNode, INVALID_FRAME, MAX_PROBE_WAYS,
 };
 pub use hash::H3Hasher;
+pub use ownership::{Ownership, ShareMode};
 pub use part_id::PartitionId;
 pub use random_array::RandomArray;
 pub use replacement::lru::TsLru;

@@ -23,8 +23,8 @@
 
 use vantage_cache::replacement::rrip::BasePolicy;
 use vantage_cache::{
-    CacheArray, Frame, LineAddr, PartitionId, RripConfig, RripMode, RripPolicy, TagMeta, TsLru,
-    Walk, MAX_PROBE_WAYS, TAG_UNMANAGED,
+    CacheArray, Frame, LineAddr, Ownership, PartitionId, RripConfig, RripMode, RripPolicy,
+    ShareMode, TagMeta, TsLru, Walk, MAX_PROBE_WAYS, TAG_UNMANAGED,
 };
 use vantage_partitioning::{
     AccessOutcome, AccessRequest, HasInvariants, HasPartitionPolicy, InvariantViolation,
@@ -168,6 +168,9 @@ pub struct VantageLlc {
     /// Per-frame tags as dense SoA lanes (partition IDs + stamps, Fig. 4);
     /// never-filled frames carry the [`UNMANAGED`] sentinel.
     meta: TagMeta,
+    /// How cross-partition sharing is resolved (the [`ShareMode`] knob)
+    /// plus the per-partition sharing counters it produces.
+    own: Ownership,
     parts: Vec<PartitionState>,
     /// Per-slot lifecycle state, parallel to `parts` (service mode).
     slot_state: Vec<SlotState>,
@@ -303,6 +306,7 @@ impl VantageLlc {
         let mut llc = Self {
             array,
             meta: TagMeta::new(frames),
+            own: Ownership::new(ShareMode::Adopt, partitions),
             parts,
             slot_state: vec![SlotState::Active; partitions],
             pending_arrived: Vec::new(),
@@ -956,13 +960,55 @@ impl VantageLlc {
             self.parts[part].actual += 1;
         } else {
             let q = tag_part as usize;
-            if track {
-                self.hists[q].remove(tag_ts);
-            }
             if q != part {
-                // Shared line: it migrates to its latest user.
+                // Cross-partition hit: the ownership layer decides whether
+                // the line migrates to its latest user (Adopt) or stays with
+                // its first owner (Pin). Under Replicate the per-partition
+                // address salt keeps lookups disjoint, so this branch is
+                // unreachable in that mode.
+                self.tele.event(TelemetryEvent::SharedHit {
+                    access: self.accesses,
+                    part: PartitionId::from_index(part),
+                    owner: PartitionId::from_index(q),
+                });
+                if !self.own.on_shared_hit(part as u16) {
+                    // Pin: refresh the line's recency under the *owner's*
+                    // clock without advancing it (the owner did not access);
+                    // the accessor's coarse clock still ticks for this
+                    // access. Ownership, size registers and the owner's
+                    // demotion exposure are all untouched.
+                    let ts = if lru {
+                        let (t, advanced) = self.parts[part].on_access_advanced();
+                        if advanced {
+                            // The pinned frame keeps the owner's tag, so no
+                            // frame needs shielding from the clamp.
+                            self.clamp_aliasing(part, t, None);
+                        }
+                        let owner_ts = self.parts[q].lru.current();
+                        if track {
+                            self.hists[q].remove(tag_ts);
+                            self.hists[q].add(owner_ts);
+                        }
+                        owner_ts
+                    } else {
+                        0 // RRIP hit promotion, under the owner's ID
+                    };
+                    self.meta.set(f, q as u16, ts);
+                    return;
+                }
+                self.tele.event(TelemetryEvent::OwnershipTransfer {
+                    access: self.accesses,
+                    part: PartitionId::from_index(part),
+                    from: PartitionId::from_index(q),
+                });
+                if track {
+                    self.hists[q].remove(tag_ts);
+                }
+                // Adopt: the shared line migrates to its latest user.
                 self.parts[q].actual = self.parts[q].actual.saturating_sub(1);
                 self.parts[part].actual += 1;
+            } else if track {
+                self.hists[q].remove(tag_ts);
             }
         }
         let ts = if lru {
@@ -1057,6 +1103,8 @@ impl VantageLlc {
                 aperture: st.table.aperture(st.actual) as f32,
                 window: st.keep_window(),
                 churn: self.lost[p] - self.sample_lost[p],
+                shared: self.own.shared_hits()[p],
+                transfers: self.own.transfers()[p],
             };
             self.sample_lost[p] = self.lost[p];
             self.tele.sample(s);
@@ -1069,6 +1117,8 @@ impl VantageLlc {
             aperture: 0.0,
             window: 0,
             churn: self.um_lost - self.sample_um_lost,
+            shared: 0,
+            transfers: 0,
         });
         self.sample_um_lost = self.um_lost;
     }
@@ -1405,6 +1455,15 @@ impl VantageLlc {
         }
         self.parts[part].actual += 1;
         self.filled[part] += 1;
+        if self.own.mode() == ShareMode::Replicate {
+            // Every managed install under Replicate carries the partition's
+            // address salt, so it is a private copy by construction.
+            self.own.on_replica_fill(part as u16);
+            self.tele.event(TelemetryEvent::Replica {
+                access: self.accesses,
+                part: PartitionId::from_index(part),
+            });
+        }
         let ts = if lru {
             let (t, advanced) = self.parts[part].on_access_advanced();
             if advanced {
@@ -1436,6 +1495,10 @@ impl VantageLlc {
     fn access_probed(&mut self, req: AccessRequest, probe: &[Frame]) -> AccessOutcome {
         let AccessRequest { part, addr, .. } = req;
         let part = part.index();
+        // Under Replicate the lookup address carries a per-partition salt,
+        // so each partition fills (and hits) a private copy of shared lines.
+        // Identity in every other mode.
+        let addr = self.own.effective_addr(part as u16, addr);
         self.accesses += 1;
         if let Some(fault) = self.fault_plan.as_mut().and_then(|p| p.poll(self.accesses)) {
             self.inject(&fault);
@@ -1529,7 +1592,12 @@ impl Llc for VantageLlc {
         for (i, &req) in reqs.iter().enumerate() {
             if let Some(ahead) = reqs.get(i + D1) {
                 let slot = &mut ring[(i + D1) % RING];
-                slot.n = self.array.prefetch(ahead.addr, &mut slot.l0);
+                // Prefetch what the serve path will actually look up: the
+                // ownership layer may salt the address per partition.
+                let a = self
+                    .own
+                    .effective_addr(ahead.part.index() as u16, ahead.addr);
+                slot.n = self.array.prefetch(a, &mut slot.l0);
                 slot.l1.clear();
                 for &f in &slot.l0[..slot.n] {
                     // The hit path reads both tag lanes; warm them
@@ -1543,9 +1611,12 @@ impl Llc for VantageLlc {
                 // predict the outcome and skip the (much wider) expansion
                 // for hits. A mispredict — the line moving between now and
                 // serve time — only costs or spares some prefetches.
+                let a = self
+                    .own
+                    .effective_addr(ahead.part.index() as u16, ahead.addr);
                 let hit = slot.l0[..slot.n]
                     .iter()
-                    .any(|&f| self.array.occupant(f) == Some(ahead.addr));
+                    .any(|&f| self.array.occupant(f) == Some(a));
                 if !hit {
                     self.array.prefetch_expand(&slot.l0[..slot.n], &mut slot.l1);
                     for &f in &slot.l1 {
@@ -1610,6 +1681,10 @@ impl Llc for VantageLlc {
         }
         obs.hits.copy_from_slice(&self.stats.hits);
         obs.misses.copy_from_slice(&self.stats.misses);
+        obs.shared_hits.copy_from_slice(self.own.shared_hits());
+        obs.ownership_transfers
+            .copy_from_slice(self.own.transfers());
+        self.own.reset_counters();
         self.obs_lost.copy_from_slice(&self.lost);
         self.obs_filled.copy_from_slice(&self.filled);
         obs.arrived = std::mem::take(&mut self.pending_arrived);
@@ -1689,6 +1764,7 @@ impl Llc for VantageLlc {
                 self.sample_lost.push(0);
                 self.obs_lost.push(0);
                 self.obs_filled.push(0);
+                self.own.ensure_partitions(p + 1);
                 self.tele.bind(p + 1);
                 p
             }
@@ -1764,6 +1840,15 @@ impl Llc for VantageLlc {
 
     fn stats_mut(&mut self) -> &mut LlcStats {
         &mut self.stats
+    }
+
+    fn set_share_mode(&mut self, mode: ShareMode) -> bool {
+        self.own.set_mode(mode);
+        true
+    }
+
+    fn share_mode(&self) -> ShareMode {
+        self.own.mode()
     }
 
     fn set_telemetry(&mut self, mut telemetry: Telemetry) -> bool {
@@ -1895,6 +1980,10 @@ impl vantage_snapshot::Snapshot for VantageLlc {
         let departed: Vec<u16> = self.pending_departed.iter().map(|p| p.raw()).collect();
         enc.put_u16_slice(&arrived);
         enc.put_u16_slice(&departed);
+        // v5 ownership tail, after the lifecycle tail: the share mode plus
+        // the per-partition sharing counters. v3/v4 payloads end at the
+        // queues above, which is how `load_state` detects their absence.
+        self.own.save_state(enc);
     }
 
     fn load_state(
@@ -2056,6 +2145,18 @@ impl vantage_snapshot::Snapshot for VantageLlc {
             // v1/v2: a fixed population, every slot live.
             (vec![SlotState::Active; npart], Vec::new(), Vec::new())
         };
+        // v5 ownership tail. Older payloads end at the lifecycle queues:
+        // they were recorded under the implicit Adopt-equivalent behavior,
+        // so the host's configured mode is kept and the counters start
+        // from zero.
+        if self.own.partitions() != npart {
+            self.own = Ownership::new(self.own.mode(), npart);
+        } else {
+            self.own.reset_counters();
+        }
+        if dec.remaining() > 0 {
+            self.own.load_state(dec)?;
+        }
         for (p, s) in slot_state.iter().enumerate() {
             if *s != SlotState::Active && self.parts[p].target != 0 {
                 return Err(dec.invalid("dead slot carries a capacity target"));

@@ -17,6 +17,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use vantage_cache::ShareMode;
 use vantage_sim::{CmpSim, PolicyKind, SchemeKind, SimResult, SystemConfig};
 use vantage_telemetry::{CsvSink, JsonSink, Telemetry, TelemetrySink};
 use vantage_workloads::Mix;
@@ -49,6 +50,10 @@ pub const USAGE: &str = "options:
   --quick      drastically reduced scale for smoke runs
   --policy P   allocation policy driving partition targets on UCP-managed
                schemes: ucp (default), equal, missratio, qos, clustered
+  --share-mode M  how the LLC resolves cross-partition sharing: adopt
+                  (default; re-tag to the accessor), replicate (duplicate
+                  shared lines per partition), or pin (lines keep their
+                  first owner)
   --telemetry P  record per-partition dynamics traces; P is a base path whose
                  extension picks the format (.csv, else JSON Lines) and each
                  simulated cache writes to a tagged sibling of P
@@ -83,6 +88,9 @@ pub struct Options {
     pub engine: vantage::EngineKind,
     /// Allocation policy driving partition targets on UCP-managed schemes.
     pub policy: PolicyKind,
+    /// How the LLC resolves cross-partition sharing (the ownership layer's
+    /// knob; see [`ShareMode`](vantage_cache::ShareMode)).
+    pub share_mode: ShareMode,
     /// Base path for telemetry traces (`None` = telemetry off). Each
     /// simulated cache writes to a sibling of this path tagged with the mix
     /// and scheme; a `.csv` extension selects CSV, anything else JSON Lines.
@@ -110,6 +118,7 @@ impl Default for Options {
             bank_jobs: 1,
             engine: vantage::EngineKind::default(),
             policy: PolicyKind::default(),
+            share_mode: ShareMode::default(),
             telemetry: None,
             checkpoint: None,
             resume: None,
@@ -162,6 +171,14 @@ impl Options {
                         ))
                     })?;
                 }
+                "--share-mode" => {
+                    let v = take()?;
+                    o.share_mode = ShareMode::parse(&v).ok_or_else(|| {
+                        UsageError(format!(
+                            "--share-mode expects adopt, replicate or pin, got '{v}'"
+                        ))
+                    })?;
+                }
                 "--telemetry" => o.telemetry = Some(PathBuf::from(take()?)),
                 "--checkpoint" => o.checkpoint = Some(PathBuf::from(take()?)),
                 "--resume" => o.resume = Some(PathBuf::from(take()?)),
@@ -196,6 +213,7 @@ impl Options {
         sys.bank_jobs = self.bank_jobs;
         sys.engine = self.engine;
         sys.policy = self.policy;
+        sys.share_mode = self.share_mode;
         sys
     }
 

@@ -14,6 +14,7 @@ pub mod montecarlo;
 pub mod perf;
 pub mod perf_parallel;
 pub mod run;
+pub mod security;
 pub mod service;
 pub mod signal;
 pub mod tables;

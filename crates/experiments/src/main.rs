@@ -15,6 +15,7 @@
 //!   perf                       hot-path microbenchmarks -> BENCH_hotpath.json
 //!   perf-parallel              bank-sharding scaling sweep -> BENCH_parallel.json
 //!   service                    tenant-churn lifecycle run -> BENCH_service.json
+//!   security                   prime+probe leak matrix -> BENCH_security.json
 //!   all                        everything above, in order
 //! ```
 //!
@@ -31,13 +32,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use vantage_experiments::common::{record_failure, take_failures, Options, USAGE};
 use vantage_experiments::{
-    fig_dynamics, fig_model, fig_sensitivity, fig_throughput, perf, perf_parallel, run, service,
-    signal, tables,
+    fig_dynamics, fig_model, fig_sensitivity, fig_throughput, perf, perf_parallel, run, security,
+    service, signal, tables,
 };
 
 const COMMANDS: &str = "commands: fig1 fig2 fig3 fig5 table1 table2 table3 fig4|overheads \
                         fig6a fig6b fig7 fig8 fig9 fig10 fig11 modelcheck ablation perf \
-                        perf-parallel service run all";
+                        perf-parallel service security run all";
 
 /// Runs one experiment step, isolating panics so that `all` keeps going.
 fn step(name: &str, f: impl FnOnce() + std::panic::UnwindSafe) {
@@ -118,6 +119,7 @@ fn main() {
         "perf" => step("perf", || perf::perf(&opts)),
         "perf-parallel" => step("perf-parallel", || perf_parallel::perf_parallel(&opts)),
         "service" => step("service", || service::service(&opts)),
+        "security" => step("security", || security::security(&opts)),
         "run" => step("run", || run::run(&opts)),
         "all" => {
             for (name, f) in all {

@@ -255,6 +255,8 @@ fn run_churn(opts: &Options, scale: Scale) -> ChurnOutcome {
                         misses: &obs.misses,
                         churn: &obs.churn,
                         insertions: &obs.insertions,
+                        shared_hits: &obs.shared_hits,
+                        ownership_transfers: &obs.ownership_transfers,
                         live: &obs.live,
                         arrived: &obs.arrived,
                         departed: &obs.departed,

@@ -14,7 +14,7 @@
 //! the same bounds bank-by-bank.
 
 use vantage_cache::hash::mix_bucket;
-use vantage_cache::{LineAddr, PartitionId};
+use vantage_cache::{LineAddr, PartitionId, ShareMode};
 use vantage_telemetry::{SharedSink, Telemetry};
 
 use crate::error::SchemeConfigError;
@@ -228,6 +228,8 @@ impl Llc for BankedLlc {
                 obs.targets[p] += bo.targets[p];
                 obs.hits[p] += bo.hits[p];
                 obs.misses[p] += bo.misses[p];
+                obs.shared_hits[p] += bo.shared_hits[p];
+                obs.ownership_transfers[p] += bo.ownership_transfers[p];
                 obs.churn[p] += bo.churn[p];
                 obs.insertions[p] += bo.insertions[p];
             }
@@ -238,6 +240,21 @@ impl Llc for BankedLlc {
             }
         }
         obs
+    }
+
+    /// Applies the mode to every bank. Banks are homogeneous (same scheme,
+    /// same config), so they accept or reject uniformly and the shards
+    /// never disagree on sharing semantics.
+    fn set_share_mode(&mut self, mode: ShareMode) -> bool {
+        let mut ok = true;
+        for bank in &mut self.banks {
+            ok &= bank.set_share_mode(mode);
+        }
+        ok
+    }
+
+    fn share_mode(&self) -> ShareMode {
+        self.banks[0].share_mode()
     }
 
     fn stats(&self) -> &LlcStats {

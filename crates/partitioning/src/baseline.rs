@@ -8,12 +8,13 @@
 //! free-for-all sharing divides capacity, but targets are ignored.
 
 use vantage_cache::{
-    CacheArray, Frame, PartitionId, RripConfig, RripPolicy, TagMeta, Walk, TAG_UNMANAGED,
+    CacheArray, Frame, Ownership, PartitionId, RripConfig, RripPolicy, ShareMode, TagMeta, Walk,
+    TAG_UNMANAGED,
 };
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
-use crate::llc::{AccessOutcome, AccessRequest, Llc, LlcStats};
+use crate::llc::{AccessOutcome, AccessRequest, Llc, LlcStats, PartitionObservations};
 
 /// Replacement ranking used by [`BaselineLlc`].
 #[derive(Clone, Debug)]
@@ -55,6 +56,8 @@ pub struct BaselineLlc {
     /// RRPVs under [`RankState::Rrip`] and is unused under LRU.
     meta: TagMeta,
     part_lines: Vec<u64>,
+    /// Cross-partition sharing resolution and its per-partition counters.
+    own: Ownership,
     stats: LlcStats,
     walk: Walk,
     moves: Vec<(Frame, Frame)>,
@@ -101,6 +104,7 @@ impl BaselineLlc {
             rank,
             meta: TagMeta::new(frames),
             part_lines: vec![0; partitions],
+            own: Ownership::new(ShareMode::Adopt, partitions),
             stats: LlcStats::new(partitions),
             walk: Walk::with_capacity(64),
             moves: Vec::with_capacity(8),
@@ -123,6 +127,8 @@ impl BaselineLlc {
                 aperture: 0.0,
                 window: 0,
                 churn: 0,
+                shared: self.own.shared_hits()[part],
+                transfers: self.own.transfers()[part],
             });
         }
     }
@@ -187,7 +193,27 @@ impl Llc for BaselineLlc {
         if self.tele.sample_due(self.accesses) {
             self.emit_samples();
         }
+        let addr = self.own.effective_addr(part as u16, addr);
         if let Some(frame) = self.array.lookup(addr) {
+            let owner = self.meta.part(frame as usize);
+            if owner != part as u16 {
+                self.tele.event(TelemetryEvent::SharedHit {
+                    access: self.accesses,
+                    part: PartitionId::from_index(part),
+                    owner: PartitionId::from_raw(owner),
+                });
+                if self.own.on_shared_hit(part as u16) {
+                    // Adopt: the accessor takes the line over.
+                    self.meta.set_part(frame as usize, part as u16);
+                    self.part_lines[owner as usize] -= 1;
+                    self.part_lines[part] += 1;
+                    self.tele.event(TelemetryEvent::OwnershipTransfer {
+                        access: self.accesses,
+                        part: PartitionId::from_index(part),
+                        from: PartitionId::from_raw(owner),
+                    });
+                }
+            }
             self.on_hit(frame);
             self.stats.hits[part] += 1;
             return AccessOutcome::Hit;
@@ -226,6 +252,13 @@ impl Llc for BaselineLlc {
         }
         self.meta.set_part(landing as usize, part as u16);
         self.part_lines[part] += 1;
+        if self.own.mode() == ShareMode::Replicate {
+            self.own.on_replica_fill(part as u16);
+            self.tele.event(TelemetryEvent::Replica {
+                access: self.accesses,
+                part: PartitionId::from_index(part),
+            });
+        }
         match &mut self.rank {
             RankState::Lru { last, clock } => {
                 *clock += 1;
@@ -269,6 +302,28 @@ impl Llc for BaselineLlc {
         &mut self.stats
     }
 
+    fn set_share_mode(&mut self, mode: ShareMode) -> bool {
+        self.own.set_mode(mode);
+        true
+    }
+
+    fn share_mode(&self) -> ShareMode {
+        self.own.mode()
+    }
+
+    fn observations(&mut self) -> PartitionObservations {
+        let n = self.part_lines.len();
+        let mut obs = PartitionObservations::new(n);
+        obs.actual.copy_from_slice(&self.part_lines);
+        obs.hits.copy_from_slice(&self.stats.hits);
+        obs.misses.copy_from_slice(&self.stats.misses);
+        obs.shared_hits.copy_from_slice(self.own.shared_hits());
+        obs.ownership_transfers
+            .copy_from_slice(self.own.transfers());
+        self.own.reset_counters();
+        obs
+    }
+
     fn set_telemetry(&mut self, mut telemetry: Telemetry) -> bool {
         telemetry.bind(self.part_lines.len());
         self.tele = telemetry;
@@ -308,6 +363,9 @@ impl vantage_snapshot::Snapshot for BaselineLlc {
         enc.put_u64(self.accesses);
         self.tele.save_state(enc);
         self.array.save_state(enc);
+        // v5 ownership tail. Readers detect it by presence (older
+        // snapshots simply end here), mirroring the v3 lifecycle tail.
+        self.own.save_state(enc);
     }
 
     fn load_state(
@@ -388,6 +446,11 @@ impl vantage_snapshot::Snapshot for BaselineLlc {
         }
         self.part_lines = part_lines;
         self.accesses = accesses;
+        // Pre-v5 snapshots end here: no ownership tail means the host's
+        // configured mode stands and the sharing counters start at zero.
+        if dec.remaining() > 0 {
+            self.own.load_state(dec)?;
+        }
         Ok(())
     }
 }

@@ -1,6 +1,6 @@
 //! The [`Llc`] trait: a shared, partitioned last-level cache.
 
-use vantage_cache::{LineAddr, PartitionId};
+use vantage_cache::{LineAddr, PartitionId, ShareMode};
 use vantage_telemetry::Telemetry;
 
 /// The kind of memory operation an [`AccessRequest`] models.
@@ -188,6 +188,13 @@ pub struct PartitionObservations {
     /// Lines installed per partition since the previous snapshot (0 for
     /// schemes that do not meter insertions).
     pub insertions: Vec<u64>,
+    /// Cross-partition hits by each *accessing* partition since the
+    /// previous snapshot (sharing pressure; 0 when no lines are shared or
+    /// under `ShareMode::Replicate`, where lookups are per-partition).
+    pub shared_hits: Vec<u64>,
+    /// Ownership transfers to each *adopting* partition since the previous
+    /// snapshot (nonzero only under `ShareMode::Adopt`).
+    pub ownership_transfers: Vec<u64>,
     /// Whether each slot hosts a live (serviceable) partition. Destroyed
     /// or never-created slots report `false`; consumers aggregating CSV
     /// rows or SLA reports must skip dead slots rather than ingest their
@@ -212,6 +219,8 @@ impl PartitionObservations {
             misses: vec![0; partitions],
             churn: vec![0; partitions],
             insertions: vec![0; partitions],
+            shared_hits: vec![0; partitions],
+            ownership_transfers: vec![0; partitions],
             live: vec![true; partitions],
             arrived: Vec::new(),
             departed: Vec::new(),
@@ -410,6 +419,21 @@ pub trait Llc: Send + vantage_snapshot::Snapshot {
         obs.hits.copy_from_slice(&stats.hits);
         obs.misses.copy_from_slice(&stats.misses);
         obs
+    }
+
+    /// Installs the cross-partition sharing mode (see
+    /// [`ShareMode`](vantage_cache::ShareMode)). Must be called on a cold
+    /// cache — before any access — because lines already placed under the
+    /// old mode keep their placement. Returns `false` (leaving the scheme
+    /// in its default [`ShareMode::Adopt`] behavior) if the scheme does not
+    /// implement the ownership layer.
+    fn set_share_mode(&mut self, _mode: ShareMode) -> bool {
+        false
+    }
+
+    /// The active cross-partition sharing mode.
+    fn share_mode(&self) -> ShareMode {
+        ShareMode::Adopt
     }
 
     /// Installs a telemetry handle; the cache emits dynamics events and

@@ -274,6 +274,14 @@ impl Llc for ParallelBankedLlc {
         self.inner.observations()
     }
 
+    fn set_share_mode(&mut self, mode: vantage_cache::ShareMode) -> bool {
+        self.inner.set_share_mode(mode)
+    }
+
+    fn share_mode(&self) -> vantage_cache::ShareMode {
+        self.inner.share_mode()
+    }
+
     fn stats(&self) -> &LlcStats {
         self.inner.stats()
     }

@@ -593,6 +593,17 @@ impl Llc for PipelinedBankedLlc {
         self.inner.observations()
     }
 
+    /// Mode changes cut at a barrier: queued accesses were issued under the
+    /// old mode and must land under it.
+    fn set_share_mode(&mut self, mode: vantage_cache::ShareMode) -> bool {
+        self.barrier();
+        self.inner.set_share_mode(mode)
+    }
+
+    fn share_mode(&self) -> vantage_cache::ShareMode {
+        self.inner.share_mode()
+    }
+
     fn stats(&self) -> &LlcStats {
         self.inner.stats()
     }

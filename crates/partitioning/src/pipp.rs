@@ -22,11 +22,15 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vantage_cache::{CacheArray, PartitionId, SetAssocArray, TagMeta, Walk, TAG_UNMANAGED};
+use vantage_cache::{
+    CacheArray, Ownership, PartitionId, SetAssocArray, ShareMode, TagMeta, Walk, TAG_UNMANAGED,
+};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
-use crate::llc::{ways_from_targets, AccessOutcome, AccessRequest, Llc, LlcStats};
+use crate::llc::{
+    ways_from_targets, AccessOutcome, AccessRequest, Llc, LlcStats, PartitionObservations,
+};
 
 /// Tuning knobs for [`PippLlc`] (defaults are the paper's values).
 #[derive(Clone, Debug)]
@@ -77,6 +81,8 @@ pub struct PippLlc {
     alloc: Vec<u32>,
     streaming: Vec<bool>,
     part_lines: Vec<u64>,
+    /// Cross-partition sharing resolution and its per-partition counters.
+    own: Ownership,
     /// Interval counters for stream classification.
     interval_hits: Vec<u64>,
     interval_misses: Vec<u64>,
@@ -128,6 +134,7 @@ impl PippLlc {
             alloc: vec![0; partitions],
             streaming: vec![false; partitions],
             part_lines: vec![0; partitions],
+            own: Ownership::new(ShareMode::Adopt, partitions),
             interval_hits: vec![0; partitions],
             interval_misses: vec![0; partitions],
             cfg,
@@ -156,6 +163,8 @@ impl PippLlc {
                 aperture: 0.0,
                 window: 0,
                 churn: 0,
+                shared: self.own.shared_hits()[part],
+                transfers: self.own.transfers()[part],
             });
         }
     }
@@ -241,11 +250,32 @@ impl Llc for PippLlc {
     fn access(&mut self, req: AccessRequest) -> AccessOutcome {
         let AccessRequest { part, addr, .. } = req;
         let part = part.index();
+        let addr = self.own.effective_addr(part as u16, addr);
         self.accesses += 1;
         if self.tele.sample_due(self.accesses) {
             self.emit_samples();
         }
         if let Some(frame) = self.array.lookup(addr) {
+            let owner = self.meta.part(frame as usize);
+            if owner != part as u16 {
+                self.tele.event(TelemetryEvent::SharedHit {
+                    access: self.accesses,
+                    part: PartitionId::from_index(part),
+                    owner: PartitionId::from_raw(owner),
+                });
+                if self.own.on_shared_hit(part as u16) {
+                    // Adopt: the accessor takes the line over (the chain
+                    // position is placement state and stays put).
+                    self.meta.set_part(frame as usize, part as u16);
+                    self.part_lines[owner as usize] -= 1;
+                    self.part_lines[part] += 1;
+                    self.tele.event(TelemetryEvent::OwnershipTransfer {
+                        access: self.accesses,
+                        part: PartitionId::from_index(part),
+                        from: PartitionId::from_raw(owner),
+                    });
+                }
+            }
             self.stats.hits[part] += 1;
             self.interval_hits[part] += 1;
             // Single-step probabilistic promotion.
@@ -300,6 +330,13 @@ impl Llc for PippLlc {
         debug_assert!(moves.is_empty());
         self.meta.set_part(landing as usize, part as u16);
         self.part_lines[part] += 1;
+        if self.own.mode() == ShareMode::Replicate {
+            self.own.on_replica_fill(part as u16);
+            self.tele.event(TelemetryEvent::Replica {
+                access: self.accesses,
+                part: PartitionId::from_index(part),
+            });
+        }
         let pos = self.insert_position(part);
         self.reposition(set, victim_way, pos);
         AccessOutcome::Miss
@@ -352,6 +389,28 @@ impl Llc for PippLlc {
         &mut self.stats
     }
 
+    fn set_share_mode(&mut self, mode: ShareMode) -> bool {
+        self.own.set_mode(mode);
+        true
+    }
+
+    fn share_mode(&self) -> ShareMode {
+        self.own.mode()
+    }
+
+    fn observations(&mut self) -> PartitionObservations {
+        let n = self.part_lines.len();
+        let mut obs = PartitionObservations::new(n);
+        obs.actual.copy_from_slice(&self.part_lines);
+        obs.hits.copy_from_slice(&self.stats.hits);
+        obs.misses.copy_from_slice(&self.stats.misses);
+        obs.shared_hits.copy_from_slice(self.own.shared_hits());
+        obs.ownership_transfers
+            .copy_from_slice(self.own.transfers());
+        self.own.reset_counters();
+        obs
+    }
+
     fn set_telemetry(&mut self, mut telemetry: Telemetry) -> bool {
         telemetry.bind(self.part_lines.len());
         self.tele = telemetry;
@@ -390,6 +449,9 @@ impl vantage_snapshot::Snapshot for PippLlc {
         enc.put_u64(self.accesses);
         self.tele.save_state(enc);
         self.array.save_state(enc);
+        // v5 ownership tail. Readers detect it by presence (older
+        // snapshots simply end here), mirroring the v3 lifecycle tail.
+        self.own.save_state(enc);
     }
 
     fn load_state(
@@ -476,6 +538,11 @@ impl vantage_snapshot::Snapshot for PippLlc {
         self.interval_misses = interval_misses;
         self.rng = SmallRng::from_state(rng_state);
         self.accesses = accesses;
+        // Pre-v5 snapshots end here: no ownership tail means the host's
+        // configured mode stands and the sharing counters start at zero.
+        if dec.remaining() > 0 {
+            self.own.load_state(dec)?;
+        }
         Ok(())
     }
 }

@@ -12,12 +12,16 @@
 //! owner are evicted only as the new owner misses into each set, which
 //! reproduces the slow target-tracking the paper observes in Fig. 8a.
 
-use vantage_cache::{PartitionId, SetAssocArray, TagMeta, TsLru, TAG_UNMANAGED};
+use vantage_cache::{
+    Ownership, PartitionId, SetAssocArray, ShareMode, TagMeta, TsLru, TAG_UNMANAGED,
+};
 use vantage_telemetry::{PartitionSample, Telemetry, TelemetryEvent};
 
 use crate::error::SchemeConfigError;
 use crate::hist::TsHistogram;
-use crate::llc::{ways_from_targets, AccessOutcome, AccessRequest, Llc, LlcStats};
+use crate::llc::{
+    ways_from_targets, AccessOutcome, AccessRequest, Llc, LlcStats, PartitionObservations,
+};
 
 /// A sample of one eviction's empirical priority, for Fig. 8-style heat
 /// maps: (access sequence number, partition, priority in `[0, 1]`).
@@ -94,6 +98,8 @@ pub struct WayPartLlc {
     /// never-filled frames), the stamp lane the probe's coarse timestamps.
     meta: TagMeta,
     part_lines: Vec<u64>,
+    /// Cross-partition sharing resolution and its per-partition counters.
+    own: Ownership,
     stats: LlcStats,
     probe: Option<PriorityProbe>,
     tele: Telemetry,
@@ -128,6 +134,7 @@ impl WayPartLlc {
             clock: 0,
             meta: TagMeta::new(frames),
             part_lines: vec![0; partitions],
+            own: Ownership::new(ShareMode::Adopt, partitions),
             stats: LlcStats::new(partitions),
             probe: None,
             tele: Telemetry::disabled(),
@@ -152,6 +159,8 @@ impl WayPartLlc {
                 aperture: 0.0,
                 window: 0,
                 churn: 0,
+                shared: self.own.shared_hits()[part],
+                transfers: self.own.transfers()[part],
             });
         }
     }
@@ -221,6 +230,7 @@ impl Llc for WayPartLlc {
         let AccessRequest { part, addr, .. } = req;
         let part = part.index();
         use vantage_cache::CacheArray;
+        let addr = self.own.effective_addr(part as u16, addr);
         self.accesses += 1;
         if self.tele.sample_due(self.accesses) {
             self.emit_samples();
@@ -231,20 +241,50 @@ impl Llc for WayPartLlc {
             .map(|pr| pr.on_access(part, self.part_lines[part]));
 
         if let Some(frame) = self.array.lookup(addr) {
+            let f = frame as usize;
+            let owner = self.meta.part(f) as usize;
+            let adopted = owner != part && {
+                self.tele.event(TelemetryEvent::SharedHit {
+                    access: self.accesses,
+                    part: PartitionId::from_index(part),
+                    owner: PartitionId::from_index(owner),
+                });
+                let adopt = self.own.on_shared_hit(part as u16);
+                if adopt {
+                    // Adopt: the accessor takes the leftover line over.
+                    self.meta.set_part(f, part as u16);
+                    self.part_lines[owner] -= 1;
+                    self.part_lines[part] += 1;
+                    self.tele.event(TelemetryEvent::OwnershipTransfer {
+                        access: self.accesses,
+                        part: PartitionId::from_index(part),
+                        from: PartitionId::from_index(owner),
+                    });
+                }
+                adopt
+            };
             self.clock += 1;
-            self.last[frame as usize] = self.clock;
+            self.last[f] = self.clock;
             if let (Some(pr), Some(ts)) = (self.probe.as_mut(), probe_ts) {
                 // The line is re-stamped under its *owner's* clock domain;
                 // owner and accessor coincide except right after releasing a
-                // way, when hitting another partition's leftover line.
-                let owner = self.meta.part(frame as usize) as usize;
-                let ts = if owner == part {
+                // way, when hitting another partition's leftover line (or
+                // always, for pinned lines under `ShareMode::Pin`).
+                let owner_now = if adopted { part } else { owner };
+                let ts = if owner_now == part {
                     ts
                 } else {
-                    pr.lru[owner].current()
+                    pr.lru[owner_now].current()
                 };
-                pr.stamp_hit(owner, self.meta.ts(frame as usize), ts);
-                self.meta.set_ts(frame as usize, ts);
+                if adopted {
+                    // The histogram entry moves between partitions with
+                    // the ownership.
+                    pr.hist[owner].remove(self.meta.ts(f));
+                    pr.hist[part].add(ts);
+                } else {
+                    pr.stamp_hit(owner_now, self.meta.ts(f), ts);
+                }
+                self.meta.set_ts(f, ts);
             }
             self.stats.hits[part] += 1;
             return AccessOutcome::Hit;
@@ -291,6 +331,13 @@ impl Llc for WayPartLlc {
         debug_assert!(moves.is_empty(), "set-associative arrays never relocate");
         self.meta.set_part(landing as usize, part as u16);
         self.part_lines[part] += 1;
+        if self.own.mode() == ShareMode::Replicate {
+            self.own.on_replica_fill(part as u16);
+            self.tele.event(TelemetryEvent::Replica {
+                access: self.accesses,
+                part: PartitionId::from_index(part),
+            });
+        }
         self.clock += 1;
         self.last[landing as usize] = self.clock;
         if let (Some(pr), Some(ts)) = (self.probe.as_mut(), probe_ts) {
@@ -323,6 +370,28 @@ impl Llc for WayPartLlc {
 
     fn stats_mut(&mut self) -> &mut LlcStats {
         &mut self.stats
+    }
+
+    fn set_share_mode(&mut self, mode: ShareMode) -> bool {
+        self.own.set_mode(mode);
+        true
+    }
+
+    fn share_mode(&self) -> ShareMode {
+        self.own.mode()
+    }
+
+    fn observations(&mut self) -> PartitionObservations {
+        let n = self.part_lines.len();
+        let mut obs = PartitionObservations::new(n);
+        obs.actual.copy_from_slice(&self.part_lines);
+        obs.hits.copy_from_slice(&self.stats.hits);
+        obs.misses.copy_from_slice(&self.stats.misses);
+        obs.shared_hits.copy_from_slice(self.own.shared_hits());
+        obs.ownership_transfers
+            .copy_from_slice(self.own.transfers());
+        self.own.reset_counters();
+        obs
     }
 
     fn set_telemetry(&mut self, mut telemetry: Telemetry) -> bool {
@@ -374,6 +443,9 @@ impl vantage_snapshot::Snapshot for WayPartLlc {
         }
         self.tele.save_state(enc);
         self.array.save_state(enc);
+        // v5 ownership tail. Readers detect it by presence (older
+        // snapshots simply end here), mirroring the v3 lifecycle tail.
+        self.own.save_state(enc);
     }
 
     fn load_state(
@@ -470,6 +542,11 @@ impl vantage_snapshot::Snapshot for WayPartLlc {
                     pr.hist[self.meta.part(f) as usize].add(self.meta.ts(f));
                 }
             }
+        }
+        // Pre-v5 snapshots end here: no ownership tail means the host's
+        // configured mode stands and the sharing counters start at zero.
+        if dec.remaining() > 0 {
+            self.own.load_state(dec)?;
         }
         Ok(())
     }

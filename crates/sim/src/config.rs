@@ -1,6 +1,7 @@
 //! System and scheme configuration.
 
 use vantage::{EngineKind, VantageConfig};
+use vantage_cache::ShareMode;
 
 /// Cache array families available to schemes that are array-agnostic.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -292,6 +293,13 @@ pub struct SystemConfig {
     /// [`VantageLlc::scrub`](vantage::VantageLlc::scrub)). `None` disables
     /// scrubbing; only meaningful under fault injection.
     pub scrub_period: Option<u64>,
+    /// How the LLC resolves cross-partition sharing (see
+    /// [`ShareMode`](vantage_cache::ShareMode)). [`ShareMode::Adopt`]
+    /// reproduces the historical behavior bit-for-bit; applied to the
+    /// scheme right after construction.
+    ///
+    /// [`ShareMode::Adopt`]: vantage_cache::ShareMode::Adopt
+    pub share_mode: ShareMode,
 }
 
 impl SystemConfig {
@@ -322,6 +330,7 @@ impl SystemConfig {
             check_invariants: false,
             fail_fast_invariants: false,
             scrub_period: None,
+            share_mode: ShareMode::Adopt,
         }
     }
 
@@ -348,6 +357,7 @@ impl SystemConfig {
             check_invariants: false,
             fail_fast_invariants: false,
             scrub_period: None,
+            share_mode: ShareMode::Adopt,
         }
     }
 

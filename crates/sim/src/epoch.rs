@@ -388,6 +388,8 @@ impl EpochController {
             misses: &obs.misses,
             churn: &obs.churn,
             insertions: &obs.insertions,
+            shared_hits: &obs.shared_hits,
+            ownership_transfers: &obs.ownership_transfers,
             live: &obs.live,
             arrived: &obs.arrived,
             departed: &obs.departed,
@@ -481,6 +483,8 @@ impl EpochController {
                 misses: &obs.misses,
                 churn: &obs.churn,
                 insertions: &obs.insertions,
+                shared_hits: &obs.shared_hits,
+                ownership_transfers: &obs.ownership_transfers,
                 live: &obs.live,
                 arrived: &obs.arrived,
                 departed: &obs.departed,

@@ -37,6 +37,9 @@ pub enum BuildError {
     /// A telemetry handle was provided but the scheme rejected it (disabled
     /// handle, or a bank refused the fan-out).
     TelemetryRejected,
+    /// A non-default [`ShareMode`](vantage_cache::ShareMode) was requested
+    /// but the scheme does not implement the ownership layer.
+    ShareModeUnsupported,
 }
 
 impl fmt::Display for BuildError {
@@ -53,6 +56,9 @@ impl fmt::Display for BuildError {
                 f.write_str("fault plans attach to unbanked Vantage schemes only")
             }
             Self::TelemetryRejected => f.write_str("the scheme rejected the telemetry handle"),
+            Self::ShareModeUnsupported => {
+                f.write_str("the scheme does not support the requested share mode")
+            }
         }
     }
 }
@@ -66,7 +72,8 @@ impl Error for BuildError {
             Self::DrripNeedsRrip
             | Self::BankedDrrip
             | Self::FaultPlanUnsupported
-            | Self::TelemetryRejected => None,
+            | Self::TelemetryRejected
+            | Self::ShareModeUnsupported => None,
         }
     }
 }
@@ -155,6 +162,19 @@ impl Scheme {
     /// way-granularity schemes, a Vantage-DRRIP request over a non-RRIP
     /// ranking mode, or a Vantage-DRRIP request on a banked machine.
     pub fn try_build(kind: &SchemeKind, sys: &SystemConfig) -> Result<Self, BuildError> {
+        let mut scheme = Self::try_build_unmoded(kind, sys)?;
+        // The ownership layer's mode is orthogonal to construction: every
+        // scheme starts in the bit-identical Adopt default and is switched
+        // while still cold. Banked engines fan the call out to every shard.
+        if sys.share_mode != vantage_cache::ShareMode::Adopt
+            && !scheme.llc_mut().set_share_mode(sys.share_mode)
+        {
+            return Err(BuildError::ShareModeUnsupported);
+        }
+        Ok(scheme)
+    }
+
+    fn try_build_unmoded(kind: &SchemeKind, sys: &SystemConfig) -> Result<Self, BuildError> {
         if sys.banks > 1 {
             if matches!(kind, SchemeKind::Vantage { drrip: true, .. }) {
                 return Err(BuildError::BankedDrrip);

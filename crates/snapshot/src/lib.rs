@@ -49,6 +49,16 @@
 //!   fewer partitions than the restoring object was built with (readers
 //!   resize). v1/v2 files restore by treating every build-time partition
 //!   as live.
+//! * **v4** — reserved for an interim ownership-counter encoding that was
+//!   superseded before release; no writer ever emitted it. Readers treat
+//!   a v4 header exactly like v3.
+//! * **v5** — line-ownership tail: every scheme payload appends the
+//!   [`ShareMode`](../vantage_cache/enum.ShareMode.html) byte plus the
+//!   per-partition sharing counters (shared hits, ownership transfers,
+//!   replica fills) after the v3 lifecycle tail. v1–v4 payloads end
+//!   before the tail and restore with the host's configured mode and
+//!   zeroed counters; a present tail whose mode differs from the host's
+//!   is rejected (lines were placed under the recorded mode).
 //!
 //! Unknown *extra* sections in a current-version file are ignored, so
 //! writers may add sections without a version bump as long as existing
@@ -63,7 +73,7 @@ use std::path::Path;
 pub const MAGIC: [u8; 8] = *b"VNTGSNAP";
 
 /// The format version this build writes.
-pub const FORMAT_VERSION: u32 = 3;
+pub const FORMAT_VERSION: u32 = 5;
 
 /// The oldest format version this build still reads (older payloads are
 /// migrated on load — see the module-level version history).

@@ -145,6 +145,37 @@ pub enum TelemetryEvent {
         /// The retired partition's slot.
         part: PartitionId,
     },
+    /// `part` hit a line owned by another partition (the ownership layer's
+    /// cross-partition sharing observation; never fires under
+    /// `ShareMode::Replicate`, whose per-partition address salting keeps
+    /// lookups disjoint).
+    SharedHit {
+        /// Access sequence number.
+        access: u64,
+        /// The accessing partition.
+        part: PartitionId,
+        /// The partition that owned the line at the time of the hit.
+        owner: PartitionId,
+    },
+    /// A cross-partition hit transferred the line's ownership to the
+    /// accessor (`ShareMode::Adopt` only). Always paired with a
+    /// [`TelemetryEvent::SharedHit`] at the same access.
+    OwnershipTransfer {
+        /// Access sequence number.
+        access: u64,
+        /// The adopting partition (the line's new owner).
+        part: PartitionId,
+        /// The previous owner.
+        from: PartitionId,
+    },
+    /// `part` installed a per-partition replica of a shared line
+    /// (`ShareMode::Replicate` only).
+    Replica {
+        /// Access sequence number.
+        access: u64,
+        /// The partition that filled the replica.
+        part: PartitionId,
+    },
 }
 
 impl TelemetryEvent {
@@ -158,7 +189,10 @@ impl TelemetryEvent {
             | Self::ApertureUpdate { access, .. }
             | Self::Scrub { access, .. }
             | Self::PartitionCreated { access, .. }
-            | Self::PartitionDestroyed { access, .. } => access,
+            | Self::PartitionDestroyed { access, .. }
+            | Self::SharedHit { access, .. }
+            | Self::OwnershipTransfer { access, .. }
+            | Self::Replica { access, .. } => access,
         }
     }
 
@@ -172,7 +206,10 @@ impl TelemetryEvent {
             | Self::SetpointAdjust { part, .. }
             | Self::ApertureUpdate { part, .. }
             | Self::PartitionCreated { part, .. }
-            | Self::PartitionDestroyed { part, .. } => Some(part),
+            | Self::PartitionDestroyed { part, .. }
+            | Self::SharedHit { part, .. }
+            | Self::OwnershipTransfer { part, .. }
+            | Self::Replica { part, .. } => Some(part),
             Self::Scrub { .. } => None,
         }
     }
@@ -198,6 +235,16 @@ pub struct PartitionSample {
     /// Lines the partition lost (demotion or eviction) since the previous
     /// sample — the empirical churn rate over one sampling period.
     pub churn: u64,
+    /// Cross-partition hits made by this partition at the sampling point
+    /// (the ownership layer's counter, which resets when stats are
+    /// drained; 0 for non-sharing workloads). Rendered into the structured
+    /// detail column only when nonzero, so zero-sharing traces are
+    /// byte-identical to pre-ownership-layer ones.
+    pub shared: u64,
+    /// Ownership transfers to this partition at the sampling point
+    /// (nonzero only under `ShareMode::Adopt`; same reset and rendering
+    /// rules as `shared`).
+    pub transfers: u64,
 }
 
 /// A record: either a discrete event or a periodic sample.
@@ -482,6 +529,12 @@ pub fn to_csv_row(rec: &TelemetryRecord) -> String {
                 p.window,
                 p.churn
             );
+            // Sharing counters ride in the structured detail column, and
+            // only when nonzero: zero-sharing traces stay byte-identical
+            // to pre-ownership-layer output (golden-digest contract).
+            if p.shared != 0 || p.transfers != 0 {
+                let _ = write!(s, "shared={};transfers={}", p.shared, p.transfers);
+            }
         }
         TelemetryRecord::Event(ev) => {
             let (kind, part, detail): (&str, Option<PartitionId>, String) = match *ev {
@@ -512,6 +565,15 @@ pub fn to_csv_row(rec: &TelemetryRecord) -> String {
                 TelemetryEvent::PartitionDestroyed { part, .. } => {
                     ("destroyed", Some(part), String::new())
                 }
+                TelemetryEvent::SharedHit { part, owner, .. } => (
+                    "shared_hit",
+                    Some(part),
+                    format!("owner={}", part_str(owner)),
+                ),
+                TelemetryEvent::OwnershipTransfer { part, from, .. } => {
+                    ("transfer", Some(part), format!("from={}", part_str(from)))
+                }
+                TelemetryEvent::Replica { part, .. } => ("replica", Some(part), String::new()),
             };
             let _ = write!(
                 s,
@@ -545,6 +607,15 @@ pub fn from_csv_row(row: &str) -> Option<TelemetryRecord> {
             aperture: cols[5].parse().ok()?,
             window: cols[6].parse().ok()?,
             churn: cols[7].parse().ok()?,
+            // Absent in zero-sharing rows and in pre-ownership traces.
+            shared: detail
+                .get("shared")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            transfers: detail
+                .get("transfers")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         })),
         "demotion" => Some(TelemetryRecord::Event(TelemetryEvent::Demotion {
             access,
@@ -583,6 +654,20 @@ pub fn from_csv_row(row: &str) -> Option<TelemetryRecord> {
             access,
             part: parse_part(cols[2])?,
         })),
+        "shared_hit" => Some(TelemetryRecord::Event(TelemetryEvent::SharedHit {
+            access,
+            part: parse_part(cols[2])?,
+            owner: parse_part(detail.get("owner")?)?,
+        })),
+        "transfer" => Some(TelemetryRecord::Event(TelemetryEvent::OwnershipTransfer {
+            access,
+            part: parse_part(cols[2])?,
+            from: parse_part(detail.get("from")?)?,
+        })),
+        "replica" => Some(TelemetryRecord::Event(TelemetryEvent::Replica {
+            access,
+            part: parse_part(cols[2])?,
+        })),
         _ => None,
     }
 }
@@ -596,7 +681,7 @@ pub fn to_json_line(rec: &TelemetryRecord) -> String {
         TelemetryRecord::Sample(p) => {
             let _ = write!(
                 s,
-                "{{\"record\":\"sample\",\"access\":{},\"part\":{},\"actual\":{},\"target\":{},\"aperture\":{:.6},\"window\":{},\"churn\":{}}}",
+                "{{\"record\":\"sample\",\"access\":{},\"part\":{},\"actual\":{},\"target\":{},\"aperture\":{:.6},\"window\":{},\"churn\":{}",
                 p.access,
                 p.part.raw(),
                 p.actual,
@@ -605,6 +690,13 @@ pub fn to_json_line(rec: &TelemetryRecord) -> String {
                 p.window,
                 p.churn
             );
+            // Same rule as the CSV renderer: sharing keys only when
+            // nonzero, so zero-sharing traces are byte-identical to
+            // pre-ownership-layer output.
+            if p.shared != 0 || p.transfers != 0 {
+                let _ = write!(s, ",\"shared\":{},\"transfers\":{}", p.shared, p.transfers);
+            }
+            s.push('}');
         }
         TelemetryRecord::Event(ev) => match *ev {
             TelemetryEvent::Demotion { access, part } => {
@@ -679,6 +771,31 @@ pub fn to_json_line(rec: &TelemetryRecord) -> String {
                     "{{\"record\":\"destroyed\",\"access\":{access},\"part\":{part}}}"
                 );
             }
+            TelemetryEvent::SharedHit {
+                access,
+                part,
+                owner,
+            } => {
+                let (part, owner) = (part.raw(), owner.raw());
+                let _ = write!(
+                    s,
+                    "{{\"record\":\"shared_hit\",\"access\":{access},\"part\":{part},\"owner\":{owner}}}"
+                );
+            }
+            TelemetryEvent::OwnershipTransfer { access, part, from } => {
+                let (part, from) = (part.raw(), from.raw());
+                let _ = write!(
+                    s,
+                    "{{\"record\":\"transfer\",\"access\":{access},\"part\":{part},\"from\":{from}}}"
+                );
+            }
+            TelemetryEvent::Replica { access, part } => {
+                let part = part.raw();
+                let _ = write!(
+                    s,
+                    "{{\"record\":\"replica\",\"access\":{access},\"part\":{part}}}"
+                );
+            }
         },
     }
     s
@@ -712,6 +829,15 @@ pub fn from_json_line(line: &str) -> Option<TelemetryRecord> {
             aperture: fields.get("aperture")?.parse().ok()?,
             window: fields.get("window")?.parse().ok()?,
             churn: fields.get("churn")?.parse().ok()?,
+            // Absent keys mean a zero-sharing sample (or an old trace).
+            shared: fields
+                .get("shared")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            transfers: fields
+                .get("transfers")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         })),
         "demotion" => Some(TelemetryRecord::Event(TelemetryEvent::Demotion {
             access,
@@ -747,6 +873,28 @@ pub fn from_json_line(line: &str) -> Option<TelemetryRecord> {
             target: fields.get("target")?.parse().ok()?,
         })),
         "destroyed" => Some(TelemetryRecord::Event(TelemetryEvent::PartitionDestroyed {
+            access,
+            part: part(&fields)?,
+        })),
+        "shared_hit" => Some(TelemetryRecord::Event(TelemetryEvent::SharedHit {
+            access,
+            part: part(&fields)?,
+            owner: fields
+                .get("owner")?
+                .parse::<u16>()
+                .ok()
+                .map(PartitionId::from_raw)?,
+        })),
+        "transfer" => Some(TelemetryRecord::Event(TelemetryEvent::OwnershipTransfer {
+            access,
+            part: part(&fields)?,
+            from: fields
+                .get("from")?
+                .parse::<u16>()
+                .ok()
+                .map(PartitionId::from_raw)?,
+        })),
+        "replica" => Some(TelemetryRecord::Event(TelemetryEvent::Replica {
             access,
             part: part(&fields)?,
         })),
@@ -1148,6 +1296,8 @@ mod tests {
             aperture: 0.25,
             window: 90,
             churn: 0,
+            shared: 0,
+            transfers: 0,
         }
     }
 
@@ -1196,6 +1346,25 @@ mod tests {
             TelemetryRecord::Event(TelemetryEvent::PartitionDestroyed {
                 access: 9,
                 part: PartitionId::from_index(40),
+            }),
+            TelemetryRecord::Event(TelemetryEvent::SharedHit {
+                access: 10,
+                part: PartitionId::from_index(1),
+                owner: PartitionId::from_index(2),
+            }),
+            TelemetryRecord::Event(TelemetryEvent::OwnershipTransfer {
+                access: 10,
+                part: PartitionId::from_index(1),
+                from: PartitionId::from_index(2),
+            }),
+            TelemetryRecord::Event(TelemetryEvent::Replica {
+                access: 11,
+                part: PartitionId::from_index(3),
+            }),
+            TelemetryRecord::Sample(PartitionSample {
+                shared: 17,
+                transfers: 4,
+                ..sample(8192, PartitionId::from_index(1))
             }),
         ]
     }

@@ -41,6 +41,14 @@ pub struct PolicyInput<'a> {
     pub churn: &'a [u64],
     /// Lines each partition installed this epoch.
     pub insertions: &'a [u64],
+    /// Cross-partition hits per *accessing* partition this epoch — how
+    /// often each tenant touched lines another tenant owns. An empty
+    /// slice means the scheme does not meter sharing.
+    pub shared_hits: &'a [u64],
+    /// Ownership transfers per *adopting* partition this epoch (nonzero
+    /// only under [`ShareMode::Adopt`](vantage_cache::ShareMode::Adopt)).
+    /// An empty slice means the scheme does not meter sharing.
+    pub ownership_transfers: &'a [u64],
     /// Whether each slot hosts a live partition. An empty slice means
     /// every slot is live (the static-population case). Policies must
     /// allocate zero lines to dead slots: the scheme forces their targets
@@ -513,6 +521,8 @@ mod tests {
             misses,
             churn: zeros,
             insertions: zeros,
+            shared_hits: &[],
+            ownership_transfers: &[],
             live: &[],
             arrived: &[],
             departed: &[],

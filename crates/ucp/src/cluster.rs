@@ -178,6 +178,8 @@ mod tests {
             misses,
             churn: zeros,
             insertions: zeros,
+            shared_hits: &[],
+            ownership_transfers: &[],
             live,
             arrived: &[],
             departed: &[],

@@ -26,10 +26,12 @@ pub mod app;
 pub mod catalog;
 pub mod mix;
 pub mod service;
+pub mod sharing;
 pub mod trace;
 
 pub use app::{AppGen, AppSpec, Category, MemRef, RegionKind};
 pub use catalog::{catalog, spec_by_name};
 pub use mix::{class_names, mixes, Mix};
 pub use service::{ChurnConfigError, ChurnEvent, TenantChurn, TenantChurnConfig};
+pub use sharing::{binary_channel_bits, count_misses, PrimeProbe, SharedHotSet};
 pub use trace::{RefStream, TraceGen, TraceReader, TraceWriter};

@@ -1,0 +1,303 @@
+//! Shared-data access patterns and the prime+probe measurement harness.
+//!
+//! Everything else in this crate gives each application a private address
+//! space (bases at `(app + 1) << 40`), so partitions never touch each
+//! other's lines. This module is the deliberate exception: it generates
+//! streams in which several partitions name the *same* lines — the input
+//! the ownership layer's [`ShareMode`](vantage_cache::ShareMode) knob
+//! exists to resolve — plus the prime+probe geometry the side-channel
+//! experiments and the `side_channel` example measure with.
+//!
+//! Two producers live here:
+//!
+//! * [`SharedHotSet`] — a per-partition stream mixing a private skewed
+//!   region with a common hot set, for policy-facing sharing pressure
+//!   (the `shared_hits` / `ownership_transfers` lanes of
+//!   `PolicyInput`).
+//! * [`PrimeProbe`] — the adversarial geometry: an attacker primes a probe
+//!   set it shares with a victim, the victim acts (or not) depending on a
+//!   secret bit, and the attacker counts probe misses. The channel
+//!   capacity estimate over many trials ([`binary_channel_bits`]) is the
+//!   leak-rate metric recorded in `BENCH_security.json`.
+//!
+//! All streams are counter-based (`mix64(seed ^ counter)`), so any prefix
+//! is reproducible without carrying RNG state, and identical across
+//! execution engines.
+
+use vantage_cache::hash::mix64;
+use vantage_cache::{LineAddr, PartitionId};
+use vantage_partitioning::AccessRequest;
+
+/// Base of the shared region. Below the Replicate salt bit (48) like every
+/// app base, and far above the `(app + 1) << 40` private bases of any
+/// realistic partition count, so shared lines never collide with private
+/// ones.
+pub const SHARED_REGION_BASE: u64 = 0x7E << 40;
+
+/// Probe-set size (in lines) of the default prime+probe geometry: small
+/// enough to fit comfortably in one partition of every measured machine,
+/// large enough that per-trial miss counts are well out of the noise.
+pub const PROBE_LINES: usize = 256;
+
+/// Rounds the attacker sweeps its probe set per prime/probe phase. One
+/// round suffices on a set-associative array; skewed/zcache arrays can
+/// self-evict within a sweep, so a few rounds settle the set.
+pub const PRIME_ROUNDS: usize = 3;
+
+/// A line in the shared region.
+#[inline]
+pub fn shared_line(i: u64) -> LineAddr {
+    LineAddr(SHARED_REGION_BASE + i)
+}
+
+/// A line in `part`'s private traffic region (disjoint from the
+/// [`mix`](crate::mix) generators' regions, which use low region indices).
+#[inline]
+pub fn private_line(part: u16, i: u64) -> LineAddr {
+    LineAddr(((part as u64 + 1) << 40) + (0xF7 << 32) + i)
+}
+
+/// Per-partition stream mixing a private skewed region with a common
+/// shared hot set.
+///
+/// Counter-based: request `n` of partition `p` is a pure function of
+/// `(seed, p, n)`, so streams can be regenerated from any point and are
+/// identical no matter how accesses are batched.
+#[derive(Clone, Debug)]
+pub struct SharedHotSet {
+    /// Lines in the common hot set.
+    pub shared_lines: u64,
+    /// Lines in each partition's private region.
+    pub private_lines: u64,
+    /// Probability (in 1/256ths) that an access touches the shared set.
+    pub shared_weight: u8,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl SharedHotSet {
+    /// A default geometry: 1/4 of accesses to a 512-line shared set,
+    /// private footprints of 4K lines.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            shared_lines: 512,
+            private_lines: 4096,
+            shared_weight: 64,
+            seed,
+        }
+    }
+
+    /// The address of request `n` issued by partition `part`.
+    #[inline]
+    pub fn addr(&self, part: u16, n: u64) -> LineAddr {
+        let r = mix64(self.seed ^ mix64((part as u64) << 32 | 0x5A5A) ^ n);
+        if (r & 0xFF) < self.shared_weight as u64 {
+            // Skew the shared set too: low indices are hotter, so shared
+            // hits (and hence ownership traffic) concentrate on a head.
+            let u = ((r >> 8) & 0xFFFF) as f64 / 65536.0;
+            shared_line((self.shared_lines as f64 * u * u) as u64 % self.shared_lines)
+        } else {
+            private_line(part, (r >> 8) % self.private_lines)
+        }
+    }
+
+    /// Appends `count` requests by `part`, starting at stream position
+    /// `start`, to `out`.
+    pub fn fill(&self, part: PartitionId, start: u64, count: usize, out: &mut Vec<AccessRequest>) {
+        let p = part.raw();
+        out.reserve(count);
+        for n in 0..count as u64 {
+            out.push(AccessRequest::read(part, self.addr(p, start + n)));
+        }
+    }
+}
+
+/// The prime+probe measurement geometry: one attacker, one victim, a probe
+/// set in the shared region.
+///
+/// A trial is `prime → victim_act(secret) → probe`; the attacker's signal
+/// is the number of probe misses ([`count_misses`] over the probe batch's
+/// outcomes). Build the batches here and drive them through
+/// `Llc::access_batch` — the outcomes are synchronous on every engine, so
+/// the measurement is engine-independent.
+#[derive(Clone, Debug)]
+pub struct PrimeProbe {
+    /// The measuring partition.
+    pub attacker: PartitionId,
+    /// The partition whose secret-dependent activity is measured.
+    pub victim: PartitionId,
+    /// Probe-set size in lines.
+    pub probe_lines: usize,
+    /// Victim accesses per active trial.
+    pub victim_accesses: usize,
+    /// Trial seed (varies the victim's private traffic across trials).
+    pub seed: u64,
+}
+
+impl PrimeProbe {
+    /// The default geometry over [`PROBE_LINES`].
+    pub fn new(attacker: PartitionId, victim: PartitionId, seed: u64) -> Self {
+        Self {
+            attacker,
+            victim,
+            probe_lines: PROBE_LINES,
+            victim_accesses: 8 * PROBE_LINES,
+            seed,
+        }
+    }
+
+    /// The attacker's prime batch: [`PRIME_ROUNDS`] sweeps of the probe
+    /// set, bringing every probe line into the attacker's partition.
+    pub fn prime(&self, out: &mut Vec<AccessRequest>) {
+        out.reserve(PRIME_ROUNDS * self.probe_lines);
+        for _ in 0..PRIME_ROUNDS {
+            for i in 0..self.probe_lines as u64 {
+                out.push(AccessRequest::read(self.attacker, shared_line(i)));
+            }
+        }
+    }
+
+    /// The victim's batch for one trial. With `secret` set the victim
+    /// touches the shared probe set and then drives a heavy private
+    /// stream — under [`ShareMode::Adopt`](vantage_cache::ShareMode::Adopt)
+    /// the touched lines migrate into the victim's partition, where that
+    /// stream's replacement pressure evicts them. With `secret` clear the
+    /// victim stays idle. The secret therefore modulates both the classic
+    /// occupancy channel (blocked by partitioning alone) and the
+    /// ownership channel (blocked only by `Pin`/`Replicate`).
+    pub fn victim_act(&self, secret: bool, trial: u64, out: &mut Vec<AccessRequest>) {
+        if !secret {
+            return;
+        }
+        out.reserve(self.probe_lines + self.victim_accesses);
+        for i in 0..self.probe_lines as u64 {
+            out.push(AccessRequest::read(self.victim, shared_line(i)));
+        }
+        let base = mix64(self.seed ^ mix64(trial));
+        for n in 0..self.victim_accesses as u64 {
+            // A streaming sweep: maximal replacement pressure inside the
+            // victim's partition, address-disjoint from everything else.
+            let i = base.wrapping_add(n) % (1 << 30);
+            out.push(AccessRequest::read(
+                self.victim,
+                private_line(self.victim.raw(), i),
+            ));
+        }
+    }
+
+    /// The attacker's probe batch: one sweep of the probe set. Count the
+    /// misses in its outcomes with [`count_misses`].
+    pub fn probe(&self, out: &mut Vec<AccessRequest>) {
+        out.reserve(self.probe_lines);
+        for i in 0..self.probe_lines as u64 {
+            out.push(AccessRequest::read(self.attacker, shared_line(i)));
+        }
+    }
+}
+
+/// Counts the misses in a batch's outcomes — the attacker's per-trial
+/// observable.
+pub fn count_misses(outcomes: &[vantage_partitioning::AccessOutcome]) -> u64 {
+    outcomes
+        .iter()
+        .filter(|o| matches!(o, vantage_partitioning::AccessOutcome::Miss))
+        .count() as u64
+}
+
+/// Mutual information (in bits) of the 2×2 contingency table
+/// `n[secret][observed]`, the channel-capacity estimate of a binary
+/// prime+probe channel: `n00` trials with secret 0 observed 0, `n01`
+/// secret 0 observed 1, and so on. Zero trials yield zero bits.
+pub fn binary_channel_bits(n00: u64, n01: u64, n10: u64, n11: u64) -> f64 {
+    let total = (n00 + n01 + n10 + n11) as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    let cells = [n00, n01, n10, n11].map(|c| c as f64 / total);
+    let px = [cells[0] + cells[1], cells[2] + cells[3]];
+    let py = [cells[0] + cells[2], cells[1] + cells[3]];
+    let mut bits = 0.0;
+    for (i, &p) in cells.iter().enumerate() {
+        if p > 0.0 {
+            bits += p * (p / (px[i / 2] * py[i % 2])).log2();
+        }
+    }
+    // Tiny negatives from floating-point cancellation are still zero bits.
+    bits.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_hot_set_is_counter_based() {
+        let g = SharedHotSet::new(42);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        g.fill(PartitionId::from_index(1), 0, 100, &mut a);
+        g.fill(PartitionId::from_index(1), 50, 50, &mut b);
+        assert_eq!(&a[50..], &b[..], "any prefix regenerates");
+    }
+
+    #[test]
+    fn shared_and_private_regions_are_disjoint() {
+        let g = SharedHotSet::new(7);
+        let mut shared = 0u64;
+        for n in 0..10_000 {
+            for p in 0..4u16 {
+                let addr = g.addr(p, n).0;
+                if addr >= SHARED_REGION_BASE {
+                    assert!(addr < SHARED_REGION_BASE + g.shared_lines);
+                    shared += 1;
+                } else {
+                    assert_eq!(addr >> 40, p as u64 + 1, "private lines stay private");
+                }
+            }
+        }
+        // shared_weight = 64/256: a quarter of the stream, within noise.
+        let frac = shared as f64 / 40_000.0;
+        assert!(
+            (0.2..0.3).contains(&frac),
+            "shared fraction ≈ 1/4, got {frac}"
+        );
+    }
+
+    #[test]
+    fn prime_and_probe_name_the_same_lines() {
+        let pp = PrimeProbe::new(PartitionId::from_index(0), PartitionId::from_index(1), 1);
+        let (mut prime, mut probe) = (Vec::new(), Vec::new());
+        pp.prime(&mut prime);
+        pp.probe(&mut probe);
+        assert_eq!(prime.len(), PRIME_ROUNDS * PROBE_LINES);
+        assert_eq!(probe.len(), PROBE_LINES);
+        for (a, b) in prime.iter().zip(&probe[..]) {
+            assert_eq!(a.addr, b.addr, "probe replays the prime sweep");
+        }
+    }
+
+    #[test]
+    fn idle_victim_issues_nothing() {
+        let pp = PrimeProbe::new(PartitionId::from_index(0), PartitionId::from_index(1), 1);
+        let mut out = Vec::new();
+        pp.victim_act(false, 3, &mut out);
+        assert!(out.is_empty());
+        pp.victim_act(true, 3, &mut out);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|r| r.part == pp.victim));
+    }
+
+    #[test]
+    fn channel_bits_bounds() {
+        // Perfectly separable channel: 1 bit.
+        assert!((binary_channel_bits(500, 0, 0, 500) - 1.0).abs() < 1e-12);
+        // Independent: 0 bits.
+        assert!(binary_channel_bits(250, 250, 250, 250).abs() < 1e-12);
+        // Degenerate margins and empty tables are zero, not NaN.
+        assert_eq!(binary_channel_bits(0, 0, 0, 0), 0.0);
+        assert_eq!(binary_channel_bits(10, 0, 0, 0), 0.0);
+        // Partial correlation lands strictly between.
+        let b = binary_channel_bits(400, 100, 100, 400);
+        assert!(b > 0.0 && b < 1.0, "partial channel: {b}");
+    }
+}

@@ -1,90 +1,137 @@
-//! Cache timing side channels: a prime+probe attacker trying to observe a
-//! victim's accesses through shared-cache evictions (paper §1, citing
-//! Percival's attack). Partitioning closes the channel because the victim's
-//! fills can no longer evict the attacker's primed lines.
+//! Cache timing side channels over *shared data*: a prime+probe attacker
+//! (paper §1, citing Percival's attack) whose probe set the victim also
+//! touches. Capacity partitioning closes the classic occupancy channel —
+//! but when attacker and victim share lines, the ownership layer decides
+//! whether a channel remains:
 //!
-//! The "signal" measured here is the number of attacker probe misses caused
-//! while the victim works: on an unpartitioned cache it is large (and
-//! address-dependent — that is the leak); under Vantage it collapses to
-//! (near) zero.
+//! * `adopt` (default) — a cross-partition hit re-tags the line to the
+//!   accessor, so the victim drags the probe set into its own partition
+//!   and evicts it there. Vantage still leaks ~1 bit per trial.
+//! * `pin` — lines stay with their first owner; the victim's activity
+//!   cannot displace the attacker's probe set. The channel collapses.
+//! * `replicate` — each partition fills its own copy; same result.
 //!
-//! Run with: `cargo run --release --example side_channel`
+//! Pick the mode on the command line:
+//! `cargo run --release --example side_channel -- pin`
+//!
+//! The probe signal is counted from `access_batch` outcomes (every probe
+//! request reports hit/miss synchronously); per-partition sharing
+//! pressure comes from the `observations()` lanes.
 
-use vantage_repro::cache::ZArray;
+use vantage_repro::cache::{ShareMode, ZArray};
 use vantage_repro::core::{VantageConfig, VantageLlc};
-use vantage_repro::partitioning::{AccessRequest, BaselineLlc, Llc, PartitionId, RankPolicy};
+use vantage_repro::partitioning::{
+    AccessOutcome, AccessRequest, BaselineLlc, Llc, PartitionId, RankPolicy,
+};
+use vantage_repro::workloads::{binary_channel_bits, count_misses, PrimeProbe};
 
-const LINES: usize = 8 * 1024;
-const PRIME_LINES: u64 = 4 * 1024;
+const LINES: usize = 4 * 1024;
+const TRIALS: u64 = 64;
 
-/// Primes the attacker's lines, lets the victim run, then probes and counts
-/// attacker misses (the side-channel signal).
-fn prime_probe(llc: &mut dyn Llc, victim_accesses: u64) -> u64 {
-    let attacker = PartitionId::from_index(0);
-    let victim = PartitionId::from_index(1);
+/// Runs `TRIALS` prime+probe rounds and estimates the channel: bits per
+/// trial of the (secret, probe-missed) mutual information.
+fn leak_bits(llc: &mut dyn Llc, pp: &PrimeProbe) -> f64 {
+    let mut reqs: Vec<AccessRequest> = Vec::new();
+    let mut outs: Vec<AccessOutcome> = Vec::new();
+    // n[secret][observed]: observed = "any probe line missed".
+    let mut table = [0u64; 4];
+    for trial in 0..TRIALS {
+        reqs.clear();
+        outs.clear();
+        pp.prime(&mut reqs);
+        llc.access_batch(&reqs, &mut outs);
 
-    // Prime: load the attacker's monitoring set.
-    for i in 0..PRIME_LINES {
-        llc.access(AccessRequest::read(attacker, (0x1_0000_0000u64 + i).into()));
+        let secret = trial % 2 == 1;
+        reqs.clear();
+        pp.victim_act(secret, trial, &mut reqs);
+        if !reqs.is_empty() {
+            outs.clear();
+            llc.access_batch(&reqs, &mut outs);
+        }
+
+        reqs.clear();
+        outs.clear();
+        pp.probe(&mut reqs);
+        llc.access_batch(&reqs, &mut outs);
+        let observed = count_misses(&outs) > 0;
+        table[2 * usize::from(secret) + usize::from(observed)] += 1;
     }
-    // Re-touch so every primed line is resident and warm.
-    for i in 0..PRIME_LINES {
-        llc.access(AccessRequest::read(attacker, (0x1_0000_0000u64 + i).into()));
-    }
-
-    // Victim activity: a secret-dependent walk over its own data.
-    for i in 0..victim_accesses {
-        let secret_stride = 3 + (i / 1000) % 5; // "key-dependent" pattern
-        llc.access(AccessRequest::read(
-            victim,
-            (0x2_0000_0000u64 + (i * secret_stride) % 60_000).into(),
-        ));
-    }
-
-    // Probe: attacker misses reveal victim-induced evictions.
-    let before = llc.stats().misses[attacker.index()];
-    for i in 0..PRIME_LINES {
-        llc.access(AccessRequest::read(attacker, (0x1_0000_0000u64 + i).into()));
-    }
-    llc.stats().misses[attacker.index()] - before
+    binary_channel_bits(table[0], table[1], table[2], table[3])
 }
 
 fn main() {
-    println!("prime+probe over a shared 512 KB L2 (8192 lines), victim makes 300k accesses\n");
+    let mode = std::env::args()
+        .nth(1)
+        .map(|s| ShareMode::parse(&s).unwrap_or_else(|| panic!("unknown share mode: {s}")))
+        .unwrap_or_default();
+    println!(
+        "prime+probe over shared data on a {LINES}-line L2, share mode `{}`\n",
+        mode.label()
+    );
+
+    // The shared geometry: attacker primes a probe set in the shared
+    // region, the victim either touches it and thrashes (secret = 1) or
+    // idles (secret = 0). The sweep wraps the whole cache so the
+    // unpartitioned reference genuinely evicts the probe set.
+    let mut pp = PrimeProbe::new(PartitionId::from_index(0), PartitionId::from_index(1), 9);
+    pp.victim_accesses = 2 * LINES;
 
     let mut shared =
         BaselineLlc::try_new(Box::new(ZArray::new(LINES, 4, 52, 9)), 2, RankPolicy::Lru)
             .expect("valid baseline geometry");
-    let leak_shared = prime_probe(&mut shared, 300_000);
+    let leak_shared = leak_bits(&mut shared, &pp);
+    println!("  unpartitioned LRU  : {leak_shared:.3} bits/trial");
+
+    let mut vantage = VantageLlc::try_new(
+        Box::new(ZArray::new(LINES, 4, 52, 9)),
+        2,
+        VantageConfig::default(),
+        1,
+    )
+    .expect("valid Vantage config");
+    vantage.set_targets(&[(LINES / 4) as u64; 2]);
+    assert!(vantage.set_share_mode(mode));
+    let leak_vantage = leak_bits(&mut vantage, &pp);
+    let obs = vantage.observations();
     println!(
-        "  unpartitioned LRU : attacker observes {leak_shared} probe misses ({:.0}% of primed set)",
-        100.0 * leak_shared as f64 / PRIME_LINES as f64
+        "  Vantage ({:>9}) : {leak_vantage:.3} bits/trial",
+        mode.label()
+    );
+    println!(
+        "\nsharing pressure seen by the victim's partition: {} shared hits, {} adoptions",
+        obs.shared_hits[1], obs.ownership_transfers[1]
     );
 
-    // Vantage with a strong-isolation configuration: a larger unmanaged
-    // region drives the forced-eviction probability to ~1e-4 (§4.3).
-    let cfg = VantageConfig::for_guarantees(52, 1e-4, 0.4, 0.1);
-    let u = cfg.unmanaged_fraction;
-    let mut vantage = VantageLlc::try_new(Box::new(ZArray::new(LINES, 4, 52, 9)), 2, cfg, 1)
-        .expect("valid Vantage config");
-    // Pin the attacker's partition with enough headroom that its primed set
-    // fits its *managed* share (targets are scaled by 1-u onto the managed
-    // region), with 15% slack margin on top.
-    let attacker_target = ((PRIME_LINES as f64 * 1.15) / (1.0 - u)).ceil() as u64;
-    vantage.set_targets(&[attacker_target, LINES as u64 - attacker_target]);
-    let leak_vantage = prime_probe(&mut vantage, 300_000);
-    println!(
-        "  Vantage (P_ev=1e-4): attacker observes {leak_vantage} probe misses ({:.2}% of primed set)",
-        100.0 * leak_vantage as f64 / PRIME_LINES as f64
-    );
-
-    println!(
-        "\nchannel attenuation: {:.0}x fewer observable evictions",
-        leak_shared.max(1) as f64 / leak_vantage.max(1) as f64
-    );
     assert!(
-        leak_vantage * 20 < leak_shared,
-        "partitioning should collapse the side channel ({leak_vantage} vs {leak_shared})"
+        leak_shared > 0.5,
+        "the unpartitioned channel must be real ({leak_shared:.3} bits/trial)"
     );
-    println!("OK: isolation closes the prime+probe channel.");
+    match mode {
+        ShareMode::Adopt => {
+            assert!(
+                leak_vantage > 0.5,
+                "adopt re-tags shared lines into the victim's partition; the \
+                 ownership channel should stay open ({leak_vantage:.3} bits/trial)"
+            );
+            println!(
+                "\npartitioning alone does NOT close a shared-data channel: \
+                 re-run with `pin` or `replicate`."
+            );
+        }
+        ShareMode::Pin | ShareMode::Replicate => {
+            assert!(
+                leak_vantage < 0.02,
+                "{} should close the channel ({leak_vantage:.3} bits/trial)",
+                mode.label()
+            );
+            assert_eq!(
+                obs.ownership_transfers[1], 0,
+                "only adopt transfers ownership"
+            );
+            println!(
+                "\nOK: `{}` closes the shared-data prime+probe channel.",
+                mode.label()
+            );
+        }
+    }
 }

@@ -299,7 +299,7 @@ fn v1_checkpoint_restores_into_v2_with_identical_digests() {
             let mut warm = build();
             assert!(warm.run_for(split).is_none(), "paused before completion");
             let v2 = warm.write_checkpoint().to_bytes();
-            assert_eq!(&v2[8..12], &3u32.to_le_bytes(), "checkpoints write v3");
+            assert_eq!(&v2[8..12], &5u32.to_le_bytes(), "checkpoints write v5");
             let mut v1 = v2.clone();
             v1[8..12].copy_from_slice(&1u32.to_le_bytes());
             let reader = SnapshotReader::from_bytes(&v1).expect("v1 image parses");

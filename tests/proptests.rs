@@ -347,6 +347,8 @@ proptest! {
             misses: &misses,
             churn: &zeros,
             insertions: &zeros,
+            shared_hits: &[],
+            ownership_transfers: &[],
             live: &[],
             arrived: &[],
             departed: &[],
@@ -399,6 +401,8 @@ proptest! {
             misses: &zeros,
             churn: &zeros,
             insertions: &zeros,
+            shared_hits: &[],
+            ownership_transfers: &[],
             live: &[],
             arrived: &[],
             departed: &[],

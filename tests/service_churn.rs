@@ -311,6 +311,8 @@ fn qos_floors_hold_for_live_tenants_throughout_churn() {
                 misses: &obs.misses,
                 churn: &obs.churn,
                 insertions: &obs.insertions,
+                shared_hits: &obs.shared_hits,
+                ownership_transfers: &obs.ownership_transfers,
                 live: &obs.live,
                 arrived: &obs.arrived,
                 departed: &obs.departed,
@@ -341,6 +343,12 @@ fn tail_layout(npart: usize, arrived: usize, departed: usize) -> (usize, usize, 
     let arrived_bytes = 8 + 2 * arrived;
     let lane_bytes = 8 + npart;
     (lane_bytes, arrived_bytes, departed_bytes)
+}
+
+/// Byte size of the v5 ownership tail that follows the lifecycle tail:
+/// a mode byte plus three length-prefixed `u64` counter lanes.
+fn ownership_tail_bytes(npart: usize) -> usize {
+    1 + 3 * (8 + 8 * npart)
 }
 
 /// Builds a checkpoint with known lifecycle-tail geometry: `npart` slots,
@@ -384,9 +392,11 @@ fn v2_checkpoints_without_the_lifecycle_tail_still_restore() {
     llc.save_state(&mut enc);
     let mut bytes = enc.into_bytes();
     // A v2 writer stopped at the array section; synthesize its payload by
-    // trimming the v3 tail (every slot here is Active, so nothing is lost).
+    // trimming the v5 ownership tail and the v3 lifecycle tail (every slot
+    // here is Active and no sharing has happened, so nothing is lost).
     let (lane, arr, dep) = tail_layout(npart, 0, 0);
-    bytes.truncate(bytes.len() - lane - arr - dep);
+    let own = ownership_tail_bytes(npart);
+    bytes.truncate(bytes.len() - own - lane - arr - dep);
     let mut restored = fresh_llc(29);
     restored
         .load_state(&mut Decoder::new(&bytes, "v2 checkpoint"))
@@ -418,6 +428,9 @@ fn v2_checkpoints_without_the_lifecycle_tail_still_restore() {
 fn hostile_lifecycle_tails_are_rejected() {
     let (_, bytes, npart) = lifecycle_checkpoint();
     let (lane, arr, dep) = tail_layout(npart, 1, 1);
+    // The v5 ownership tail sits past the lifecycle tail; every
+    // end-relative offset below must skip over it.
+    let own = ownership_tail_bytes(npart);
     let try_restore =
         |bytes: &[u8]| fresh_llc(17).load_state(&mut Decoder::new(bytes, "hostile checkpoint"));
     assert!(
@@ -427,7 +440,7 @@ fn hostile_lifecycle_tails_are_rejected() {
 
     // Unknown slot-state discriminant.
     let mut evil = bytes.clone();
-    let lane_start = evil.len() - dep - arr - lane + 8;
+    let lane_start = evil.len() - own - dep - arr - lane + 8;
     evil[lane_start] = 3;
     assert!(try_restore(&evil).is_err(), "unknown slot state accepted");
 
@@ -442,7 +455,7 @@ fn hostile_lifecycle_tails_are_rejected() {
 
     // A lifecycle queue naming an out-of-range slot.
     let mut evil = bytes.clone();
-    let arrived_data = evil.len() - dep - 2; // the single arrived id
+    let arrived_data = evil.len() - own - dep - 2; // the single arrived id
     evil[arrived_data] = 0xFF;
     evil[arrived_data + 1] = 0xFF; // UNMANAGED sentinel
     assert!(
